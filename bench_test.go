@@ -1,0 +1,204 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation,
+// one per artifact, using reduced-scale inputs so `go test -bench=.` stays
+// tractable. The full-scale runs live in cmd/tasm-bench (see EXPERIMENTS.md
+// for recorded paper-vs-measured numbers).
+package tasm
+
+import (
+	"math"
+	"testing"
+
+	"github.com/tasm-repro/tasm/internal/bench"
+)
+
+// benchOptions returns the reduced-scale configuration for testing.B runs.
+func benchOptions() bench.Options {
+	return bench.Options{
+		Width: 160, Height: 96, FPS: 8,
+		DurationScale: 0.15,
+		MaxVideos:     3,
+		QueryCap:      8,
+		Seed:          1,
+	}
+}
+
+// BenchmarkTable1Datasets regenerates Table 1 (dataset roster + coverage).
+func BenchmarkTable1Datasets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := bench.RunTable1(benchOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure6aBestLayouts regenerates Figure 6(a): best uniform vs
+// best non-uniform query-time improvement.
+func BenchmarkFigure6aBestLayouts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, _, _, err := bench.RunFigure6(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var nonUniform float64
+		for _, r := range results {
+			nonUniform += r.BestNonUniformImp
+		}
+		if len(results) > 0 {
+			b.ReportMetric(nonUniform/float64(len(results)), "mean-nonuniform-imp-%")
+		}
+	}
+}
+
+// BenchmarkFigure6bQuality regenerates Figure 6(b): PSNR of the best
+// layouts vs the original video.
+func BenchmarkFigure6bQuality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, _, _, err := bench.RunFigure6(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var psnr float64
+		n := 0
+		for _, r := range results {
+			// A preset can degenerate to the untiled layout at reduced
+			// scale, giving +Inf PSNR; exclude it from the mean.
+			if !math.IsInf(r.NonUniformPSNR, 0) {
+				psnr += r.NonUniformPSNR
+				n++
+			}
+		}
+		if n > 0 {
+			b.ReportMetric(psnr/float64(n), "mean-nonuniform-psnr-dB")
+		}
+	}
+}
+
+// BenchmarkFigure7UniformSweep regenerates Figure 7: improvement across
+// uniform grid sizes.
+func BenchmarkFigure7UniformSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := bench.RunFigure7(benchOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure8Granularity regenerates Figure 8: fine vs coarse layouts
+// around same/different/all/superset object sets.
+func BenchmarkFigure8Granularity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := bench.RunFigure8(benchOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationGranularity is the design-choice ablation for fine vs
+// coarse tiles; it is exactly the Figure 8 driver.
+func BenchmarkAblationGranularity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cells, _, err := bench.RunFigure8(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = cells
+	}
+}
+
+// BenchmarkFigure9SOTDuration regenerates Figure 9: SOT duration vs
+// improvement and storage.
+func BenchmarkFigure9SOTDuration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := bench.RunFigure9(benchOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure10DecisionRule regenerates Figure 10: pixel-ratio scatter
+// and the α=0.8 do-not-tile rule.
+func BenchmarkFigure10DecisionRule(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := bench.RunFigure10(benchOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure11Workloads regenerates Figure 11, one sub-benchmark per
+// workload (four strategies each).
+func BenchmarkFigure11Workloads(b *testing.B) {
+	for _, name := range []string{"W1", "W2", "W3", "W4", "W5", "W6"} {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, _, err := bench.RunFigure11(benchOptions(), []string{name}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable2Summary regenerates Table 2's quartile summary over a
+// representative workload.
+func BenchmarkTable2Summary(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, _, t2, err := bench.RunFigure11(benchOptions(), []string{"W2"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t2.Rows) == 0 {
+			b.Fatal("empty Table 2")
+		}
+	}
+}
+
+// BenchmarkFigure12UpfrontCosts regenerates Figure 12: Workload 5 with
+// initial detection costs.
+func BenchmarkFigure12UpfrontCosts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := bench.RunFigure12(benchOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEdgeDetectionLayouts regenerates §5.2.4: layouts from cheap
+// detectors (background subtraction, tiny YOLO, every-5-frames).
+func BenchmarkEdgeDetectionLayouts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := bench.RunEdgeDetection(benchOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCostModelFit refits the decode cost model C = β·P + γ·T against
+// live decode timings and reports R² (paper: 0.996).
+func BenchmarkCostModelFit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fit, _, err := bench.RunCostModelFit(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(fit.Report.R2, "R2")
+	}
+}
+
+// BenchmarkAblationAlpha sweeps the do-not-tile threshold α.
+func BenchmarkAblationAlpha(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := bench.RunAblationAlpha(benchOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationEta sweeps the regret threshold η on workload W4.
+func BenchmarkAblationEta(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := bench.RunAblationEta(benchOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

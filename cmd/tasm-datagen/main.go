@@ -1,0 +1,125 @@
+// Command tasm-datagen generates the synthetic evaluation datasets: for
+// each preset it writes an encoded untiled video (.tsv), the generating
+// spec (.spec.json), and the ground-truth object tracks (.truth.json).
+//
+// Usage:
+//
+//	tasm-datagen -out data                      # all presets
+//	tasm-datagen -out data -preset netflix-birds -fps 30
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/tasm-repro/tasm/internal/container"
+	"github.com/tasm-repro/tasm/internal/scene"
+	"github.com/tasm-repro/tasm/internal/vcodec"
+)
+
+type truthFile struct {
+	Video  string       `json:"video"`
+	Frames []truthFrame `json:"frames"`
+}
+
+type truthFrame struct {
+	Frame   int           `json:"frame"`
+	Objects []truthObject `json:"objects"`
+}
+
+type truthObject struct {
+	Label string `json:"label"`
+	X0    int    `json:"x0"`
+	Y0    int    `json:"y0"`
+	X1    int    `json:"x1"`
+	Y1    int    `json:"y1"`
+}
+
+func main() {
+	var (
+		out    = flag.String("out", "data", "output directory")
+		preset = flag.String("preset", "all", "preset name, or all")
+		width  = flag.Int("w", 320, "video width")
+		height = flag.Int("h", 180, "video height")
+		fps    = flag.Int("fps", 30, "frames per second")
+		scale  = flag.Float64("scale", 1.0, "duration scale")
+		seed   = flag.Uint64("seed", 42, "random seed")
+		qp     = flag.Int("qp", 22, "codec quantization parameter")
+	)
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	opts := scene.Options{Width: *width, Height: *height, FPS: *fps, DurationScale: *scale, Seed: *seed}
+	var found bool
+	for _, p := range scene.Presets(opts) {
+		if *preset != "all" && p.Spec.Name != *preset {
+			continue
+		}
+		found = true
+		if err := generate(*out, p, *qp); err != nil {
+			fatal(fmt.Errorf("%s: %w", p.Spec.Name, err))
+		}
+	}
+	if !found {
+		fatal(fmt.Errorf("unknown preset %q", *preset))
+	}
+}
+
+func generate(out string, p scene.Preset, qp int) error {
+	v, err := scene.Generate(p.Spec)
+	if err != nil {
+		return err
+	}
+	n := p.Spec.NumFrames()
+	fmt.Printf("%-20s %dx%d %ds @%dfps (%d frames, coverage %.1f%%)...",
+		p.Spec.Name, p.Spec.W, p.Spec.H, p.Spec.DurationSec, p.Spec.FPS, n, 100*v.MeanCoverage())
+
+	params := vcodec.DefaultParams()
+	params.QP = qp
+	params.GOPLength = p.Spec.FPS
+	enc, err := container.EncodeVideo(v.Frames(0, n), p.Spec.FPS, params)
+	if err != nil {
+		return err
+	}
+	if err := enc.Save(filepath.Join(out, p.Spec.Name+".tsv")); err != nil {
+		return err
+	}
+
+	spec, err := json.MarshalIndent(p.Spec, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(out, p.Spec.Name+".spec.json"), spec, 0o644); err != nil {
+		return err
+	}
+
+	truth := truthFile{Video: p.Spec.Name}
+	for f := 0; f < n; f++ {
+		tf := truthFrame{Frame: f}
+		for _, tr := range v.GroundTruth(f) {
+			tf.Objects = append(tf.Objects, truthObject{
+				Label: tr.Label, X0: tr.Box.X0, Y0: tr.Box.Y0, X1: tr.Box.X1, Y1: tr.Box.Y1,
+			})
+		}
+		truth.Frames = append(truth.Frames, tf)
+	}
+	tdata, err := json.Marshal(&truth)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(out, p.Spec.Name+".truth.json"), tdata, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf(" %d KiB\n", enc.SizeBytes()/1024)
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tasm-datagen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,302 @@
+// Command tasmctl operates a TASM storage directory: ingest synthetic
+// videos, run (simulated) object detection to populate the semantic index,
+// execute Scan queries, inspect the catalog, and re-tile SOTs.
+//
+// Usage:
+//
+//	tasmctl ingest -dir db -preset visualroad-2k-a
+//	tasmctl detect -dir db -video visualroad-2k-a -detector yolo
+//	tasmctl query  -dir db "SELECT car FROM visualroad-2k-a WHERE 0 <= t < 60"
+//	tasmctl info   -dir db
+//	tasmctl retile -dir db -video visualroad-2k-a -sot 0 -labels car,person
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/tasm-repro/tasm"
+	"github.com/tasm-repro/tasm/internal/detect"
+	"github.com/tasm-repro/tasm/internal/scene"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "ingest":
+		err = cmdIngest(args)
+	case "detect":
+		err = cmdDetect(args)
+	case "query":
+		err = cmdQuery(args)
+	case "info":
+		err = cmdInfo(args)
+	case "retile":
+		err = cmdRetile(args)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tasmctl %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: tasmctl <command> [flags]
+
+commands:
+  ingest  -dir D -preset P [-video NAME] [-w -h -fps -scale -seed]
+  detect  -dir D -video V [-detector yolo|tiny|bgsub|yolo-every5] [-from N -to N]
+  query   -dir D "SELECT <pred> FROM <video> [WHERE a <= t < b]"
+  info    -dir D [-video V]
+  retile  -dir D -video V -sot N -labels a,b`)
+	os.Exit(2)
+}
+
+// specPath stores the generating scene spec beside the database so detect
+// can regenerate ground truth for the simulated detectors.
+func specPath(dir, video string) string {
+	return filepath.Join(dir, video+".spec.json")
+}
+
+func openSM(dir string) (*tasm.StorageManager, error) {
+	return tasm.Open(dir, tasm.WithMinTileSize(32, 32))
+}
+
+func cmdIngest(args []string) error {
+	fs := flag.NewFlagSet("ingest", flag.ExitOnError)
+	dir := fs.String("dir", "tasmdb", "storage directory")
+	preset := fs.String("preset", "", "scene preset name (see tasm-datagen)")
+	name := fs.String("video", "", "stored video name (default preset name)")
+	width := fs.Int("w", 320, "width")
+	height := fs.Int("h", 180, "height")
+	fps := fs.Int("fps", 30, "frames per second")
+	scaleF := fs.Float64("scale", 1.0, "duration scale")
+	seed := fs.Uint64("seed", 42, "seed")
+	fs.Parse(args)
+	if *preset == "" {
+		return fmt.Errorf("missing -preset")
+	}
+	opts := scene.Options{Width: *width, Height: *height, FPS: *fps, DurationScale: *scaleF, Seed: *seed}
+	var spec *scene.Spec
+	for _, p := range scene.Presets(opts) {
+		if p.Spec.Name == *preset {
+			s := p.Spec
+			spec = &s
+			break
+		}
+	}
+	if spec == nil {
+		return fmt.Errorf("unknown preset %q", *preset)
+	}
+	if *name != "" {
+		spec.Name = *name
+	}
+	v, err := scene.Generate(*spec)
+	if err != nil {
+		return err
+	}
+	// One-second GOPs (and thus SOTs), the default in most encoders.
+	sm, err := tasm.Open(*dir, tasm.WithMinTileSize(32, 32), tasm.WithGOPLength(spec.FPS))
+	if err != nil {
+		return err
+	}
+	defer sm.Close()
+	st, err := sm.Ingest(spec.Name, v.Frames(0, spec.NumFrames()), spec.FPS)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(spec, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(specPath(*dir, spec.Name), data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("ingested %s: %d frames, %d SOTs, %d KiB, encode %s\n",
+		spec.Name, spec.NumFrames(), st.SOTs, st.Bytes/1024, st.EncodeWall.Round(1e6))
+	return nil
+}
+
+func cmdDetect(args []string) error {
+	fs := flag.NewFlagSet("detect", flag.ExitOnError)
+	dir := fs.String("dir", "tasmdb", "storage directory")
+	video := fs.String("video", "", "video name")
+	detName := fs.String("detector", "yolo", "yolo | tiny | bgsub | yolo-every5")
+	from := fs.Int("from", 0, "first frame")
+	to := fs.Int("to", -1, "end frame (exclusive; -1 = all)")
+	fs.Parse(args)
+	if *video == "" {
+		return fmt.Errorf("missing -video")
+	}
+	data, err := os.ReadFile(specPath(*dir, *video))
+	if err != nil {
+		return fmt.Errorf("no saved spec for %q (ingest with tasmctl): %w", *video, err)
+	}
+	var spec scene.Spec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		return err
+	}
+	v, err := scene.Generate(spec)
+	if err != nil {
+		return err
+	}
+	if *to < 0 || *to > spec.NumFrames() {
+		*to = spec.NumFrames()
+	}
+	var det detect.Detector
+	lat := detect.DefaultLatencies()
+	switch *detName {
+	case "yolo":
+		det = &detect.Oracle{Lat: lat}
+	case "tiny":
+		det = &detect.Tiny{Lat: lat}
+	case "bgsub":
+		det = &detect.BackgroundSub{Lat: lat}
+	case "yolo-every5":
+		det = &detect.EveryN{Inner: &detect.Oracle{Lat: lat}, N: 5}
+	default:
+		return fmt.Errorf("unknown detector %q", *detName)
+	}
+	ds, simLat := detect.Run(det, v, *from, *to)
+	sm, err := openSM(*dir)
+	if err != nil {
+		return err
+	}
+	defer sm.Close()
+	if err := sm.AddDetections(*video, ds); err != nil {
+		return err
+	}
+	labels := map[string]bool{}
+	for _, d := range ds {
+		labels[d.Label] = true
+	}
+	for label := range labels {
+		if err := sm.MarkDetected(*video, label, *from, *to); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("%s over frames [%d,%d): %d detections, %d labels, simulated latency %s\n",
+		det.Name(), *from, *to, len(ds), len(labels), simLat.Round(1e6))
+	return nil
+}
+
+func cmdQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	dir := fs.String("dir", "tasmdb", "storage directory")
+	adaptive := fs.Bool("adaptive", false, "enable regret-based adaptive tiling")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("expected one SQL argument")
+	}
+	var opts []tasm.Option
+	opts = append(opts, tasm.WithMinTileSize(32, 32))
+	if *adaptive {
+		opts = append(opts, tasm.WithAdaptiveTiling())
+	}
+	sm, err := tasm.Open(*dir, opts...)
+	if err != nil {
+		return err
+	}
+	defer sm.Close()
+	res, st, err := sm.ScanSQL(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("regions: %d  frames touched: %d  SOTs: %d\n", len(res), countFrames(res), st.SOTsTouched)
+	fmt.Printf("decode: %s (%d tiles, %d frames, %.2f Mpx)  index: %s\n",
+		st.DecodeWall.Round(1e4), st.TilesDecoded, st.FramesDecoded,
+		float64(st.PixelsDecoded)/1e6, st.IndexWall.Round(1e4))
+	return nil
+}
+
+func countFrames(res []tasm.RegionResult) int {
+	frames := map[int]bool{}
+	for _, r := range res {
+		frames[r.Frame] = true
+	}
+	return len(frames)
+}
+
+func cmdInfo(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	dir := fs.String("dir", "tasmdb", "storage directory")
+	video := fs.String("video", "", "show one video in detail")
+	fs.Parse(args)
+	sm, err := openSM(*dir)
+	if err != nil {
+		return err
+	}
+	defer sm.Close()
+	if *video == "" {
+		videos, err := sm.Videos()
+		if err != nil {
+			return err
+		}
+		for _, name := range videos {
+			meta, err := sm.Meta(name)
+			if err != nil {
+				return err
+			}
+			bytes, _ := sm.VideoBytes(name)
+			labels, _ := sm.Labels(name)
+			fmt.Printf("%-24s %dx%d @%dfps  %d frames  %d SOTs  %d KiB  labels=%v\n",
+				name, meta.W, meta.H, meta.FPS, meta.FrameCount, len(meta.SOTs), bytes/1024, labels)
+		}
+		return nil
+	}
+	meta, err := sm.Meta(*video)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %dx%d @%dfps, %d frames, GOP %d\n", meta.Name, meta.W, meta.H, meta.FPS, meta.FrameCount, meta.GOPLength)
+	for _, sot := range meta.SOTs {
+		kind := "untiled"
+		if !sot.L.IsSingle() {
+			kind = fmt.Sprintf("%dx%d tiles", sot.L.Rows(), sot.L.Cols())
+		}
+		fmt.Printf("  SOT %2d frames [%4d,%4d)  %-14s retiles=%d\n", sot.ID, sot.From, sot.To, kind, sot.Retiles)
+	}
+	return nil
+}
+
+func cmdRetile(args []string) error {
+	fs := flag.NewFlagSet("retile", flag.ExitOnError)
+	dir := fs.String("dir", "tasmdb", "storage directory")
+	video := fs.String("video", "", "video name")
+	sot := fs.Int("sot", -1, "SOT id")
+	labels := fs.String("labels", "", "comma-separated labels to tile around")
+	fs.Parse(args)
+	if *video == "" || *sot < 0 || *labels == "" {
+		return fmt.Errorf("need -video, -sot and -labels")
+	}
+	sm, err := openSM(*dir)
+	if err != nil {
+		return err
+	}
+	defer sm.Close()
+	l, err := sm.DesignLayout(*video, *sot, strings.Split(*labels, ","))
+	if err != nil {
+		return err
+	}
+	if l.IsSingle() {
+		fmt.Println("no beneficial layout for those labels (staying untiled)")
+		return nil
+	}
+	rs, err := sm.RetileSOT(*video, *sot, l)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("retiled %s SOT %d to %dx%d tiles (decode %s, encode %s, %d KiB)\n",
+		*video, *sot, l.Rows(), l.Cols(), rs.DecodeWall.Round(1e6), rs.EncodeWall.Round(1e6), rs.Bytes/1024)
+	return nil
+}

@@ -1,0 +1,113 @@
+// Edge camera: the paper's third contribution (§4.3, "Edge tiling"). The
+// camera knows which classes queries will target (cars), runs full YOLOv3
+// on-device every five frames — all an embedded GPU can sustain at capture
+// rate — designs tile layouts around the detections as frames arrive, and
+// uploads pre-tiled video plus a pre-initialized semantic index. The VDBMS
+// then answers even the *first* query cheaply, with no re-encode.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"github.com/tasm-repro/tasm"
+	"github.com/tasm-repro/tasm/internal/detect"
+	"github.com/tasm-repro/tasm/internal/layout"
+	"github.com/tasm-repro/tasm/internal/policy"
+	"github.com/tasm-repro/tasm/internal/scene"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "tasm-edge-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// What the camera sees: a 10-second parking-lot feed.
+	video, err := scene.Generate(scene.Spec{
+		Name: "lot-cam", W: 320, H: 180, FPS: 15, DurationSec: 10,
+		Classes: []scene.ClassMix{
+			{Class: scene.Car, Count: 4, SizeFrac: 0.12, Churn: 0.3},
+			{Class: scene.Person, Count: 2, SizeFrac: 0.14, Churn: 0.5},
+		},
+		Seed: 55,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := video.Spec.NumFrames()
+	gop := video.Spec.FPS // one-second GOPs
+
+	// --- On the camera -------------------------------------------------
+	// The VDBMS communicated OQ = {car}. The embedded GPU runs full
+	// YOLOv3 at ~16 FPS, so the camera detects every 5th captured frame.
+	cam := &detect.EveryN{Inner: &detect.Oracle{Lat: detect.EdgeLatencies()}, N: 5}
+	cons := layout.Constraints{FrameW: 320, FrameH: 180, Align: 16, MinWidth: 32, MinHeight: 32}
+	layouts, detections, camLatency, err := policy.EdgeLayouts(video, cam, []string{scene.Car}, gop, cons, layout.Fine)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tiledSOTs := 0
+	for _, l := range layouts {
+		if !l.IsSingle() {
+			tiledSOTs++
+		}
+	}
+	fmt.Printf("camera: detected on every 5th frame (%.1fs of on-device inference), designed %d/%d tiled SOT layouts\n",
+		camLatency.Seconds(), tiledSOTs, len(layouts))
+
+	// --- Upload to the VDBMS -------------------------------------------
+	// The video arrives already tiled; the index arrives pre-initialized.
+	sm, err := tasm.Open(dir, tasm.WithGOPLength(gop), tasm.WithMinTileSize(32, 32))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sm.Close()
+	if _, err := sm.IngestTiled("lot-cam", video.Frames(0, n), video.Spec.FPS, layouts); err != nil {
+		log.Fatal(err)
+	}
+	if err := sm.AddDetections("lot-cam", detections); err != nil {
+		log.Fatal(err)
+	}
+
+	// A second, conventional pipeline for comparison: same frames ingested
+	// untiled with the same detections.
+	smPlain, err := tasm.Open(dir+"-plain", tasm.WithGOPLength(gop), tasm.WithMinTileSize(32, 32))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer smPlain.Close()
+	defer os.RemoveAll(dir + "-plain")
+	if _, err := smPlain.Ingest("lot-cam", video.Frames(0, n), video.Spec.FPS); err != nil {
+		log.Fatal(err)
+	}
+	if err := smPlain.AddDetections("lot-cam", detections); err != nil {
+		log.Fatal(err)
+	}
+
+	// --- The very first query ------------------------------------------
+	const sql = "SELECT car FROM lot-cam WHERE 0 <= t < 120"
+	_, tiledStats, err := sm.ScanSQL(sql)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, plainStats, err := smPlain.ScanSQL(sql)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("first query on pre-tiled upload: %.2f Mpx in %s\n",
+		float64(tiledStats.PixelsDecoded)/1e6, tiledStats.DecodeWall.Round(time.Millisecond))
+	fmt.Printf("first query on untiled upload:   %.2f Mpx in %s\n",
+		float64(plainStats.PixelsDecoded)/1e6, plainStats.DecodeWall.Round(time.Millisecond))
+	imp := 100 * (1 - float64(tiledStats.DecodeWall)/float64(plainStats.DecodeWall))
+	fmt.Printf("edge tiling made the first query %.0f%% faster, with zero server-side re-encoding\n", imp)
+
+	// Storage comparison: tiles can also reduce upload size, since the
+	// camera could choose to stream only object tiles.
+	tiledBytes, _ := sm.VideoBytes("lot-cam")
+	plainBytes, _ := smPlain.VideoBytes("lot-cam")
+	fmt.Printf("stored size: pre-tiled %d KiB vs untiled %d KiB\n", tiledBytes/1024, plainBytes/1024)
+}

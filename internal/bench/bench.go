@@ -1,0 +1,438 @@
+// Package bench implements the reproduction of every table and figure in
+// the paper's evaluation (§5). Each RunXxx function is a self-contained
+// experiment driver that generates the synthetic datasets, encodes them
+// under the layouts being compared, measures real decode/encode wall time
+// with this repository's codec, and returns both a printable table and the
+// structured results the test suite asserts on.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/tasm-repro/tasm/internal/container"
+	"github.com/tasm-repro/tasm/internal/costmodel"
+	"github.com/tasm-repro/tasm/internal/detect"
+	"github.com/tasm-repro/tasm/internal/frame"
+	"github.com/tasm-repro/tasm/internal/geom"
+	"github.com/tasm-repro/tasm/internal/layout"
+	"github.com/tasm-repro/tasm/internal/scene"
+	"github.com/tasm-repro/tasm/internal/semindex"
+	"github.com/tasm-repro/tasm/internal/vcodec"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Width/Height/FPS of generated videos (defaults 320×180 @ 30).
+	Width, Height, FPS int
+	// DurationScale multiplies preset durations (default 1.0).
+	DurationScale float64
+	// Seed drives all randomness.
+	Seed uint64
+	// MaxVideos caps the number of dataset videos per experiment (0 = all).
+	MaxVideos int
+	// QueryCap caps workload query counts (0 = the paper's counts).
+	QueryCap int
+	// QP overrides the codec quantization parameter (0 = default 22).
+	QP int
+	// MinTileW/MinTileH are layout constraints; defaults 32×32 (the
+	// paper's HEVC 256×64 scaled to the reduced resolution).
+	MinTileW, MinTileH int
+	// Verbose emits progress lines to Out while running.
+	Verbose bool
+	// Out receives progress output (nil = discard).
+	Out io.Writer
+}
+
+func (o Options) withDefaults() Options {
+	if o.Width == 0 {
+		o.Width = 320
+	}
+	if o.Height == 0 {
+		o.Height = 180
+	}
+	if o.FPS == 0 {
+		o.FPS = 30
+	}
+	if o.DurationScale == 0 {
+		o.DurationScale = 1
+	}
+	if o.QP == 0 {
+		o.QP = 22
+	}
+	if o.MinTileW == 0 {
+		o.MinTileW = 32
+	}
+	if o.MinTileH == 0 {
+		o.MinTileH = 32
+	}
+	if o.Out == nil {
+		o.Out = io.Discard
+	}
+	return o
+}
+
+// Quick returns options trimmed for fast runs (CI, go test -bench).
+func Quick() Options {
+	return Options{
+		Width: 256, Height: 144, FPS: 15,
+		DurationScale: 0.25, MaxVideos: 4, QueryCap: 20,
+	}
+}
+
+func (o Options) sceneOptions() scene.Options {
+	return scene.Options{
+		Width: o.Width, Height: o.Height, FPS: o.FPS,
+		DurationScale: o.DurationScale, Seed: o.Seed,
+	}
+}
+
+func (o Options) codecParams() vcodec.Params {
+	p := vcodec.DefaultParams()
+	p.QP = o.QP
+	p.GOPLength = o.FPS // one-second GOPs, the default in most encoders
+	return p
+}
+
+func (o Options) constraints() layout.Constraints {
+	return layout.Constraints{
+		FrameW: o.Width, FrameH: o.Height,
+		Align: 16, MinWidth: o.MinTileW, MinHeight: o.MinTileH,
+	}
+}
+
+func (o Options) progressf(format string, args ...any) {
+	if o.Verbose {
+		fmt.Fprintf(o.Out, format, args...)
+	}
+}
+
+func (o Options) presets(filter func(scene.Preset) bool) []scene.Preset {
+	var out []scene.Preset
+	for _, p := range scene.Presets(o.sceneOptions()) {
+		if filter == nil || filter(p) {
+			out = append(out, p)
+		}
+	}
+	if o.MaxVideos > 0 && len(out) > o.MaxVideos {
+		out = out[:o.MaxVideos]
+	}
+	return out
+}
+
+// Table is a printable experiment result.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "\n=== %s ===\n", t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		var sb strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(cell)
+			if i < len(widths) {
+				for p := len(cell); p < widths[i]; p++ {
+					sb.WriteByte(' ')
+				}
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(sb.String(), " "))
+	}
+	printRow(t.Columns)
+	var sep []string
+	for _, wd := range widths {
+		sep = append(sep, strings.Repeat("-", wd))
+	}
+	printRow(sep)
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Microbenchmark infrastructure: in-memory encoded videos measured directly.
+// ---------------------------------------------------------------------------
+
+// micro holds one generated video prepared for layout experiments: frames
+// chunked into SOTs (one per GOP) and detections per label per frame.
+// Encoded plans are persisted as real tile files so that measured decodes
+// pay the same per-tile costs (file read, container parse, decoder setup)
+// the storage manager pays — the γ term of the cost model.
+type micro struct {
+	preset    scene.Preset
+	video     *scene.Video
+	gopLen    int
+	numFrames int
+	sotFrames [][]*frame.Frame
+	// boxes[label][frame] — detections from the oracle detector.
+	boxes map[string]map[int][]geom.Rect
+
+	dir     string // scratch directory holding encoded plan tiles
+	planSeq int
+}
+
+// prepare renders and chunks a preset's video and runs the oracle detector.
+func prepare(o Options, p scene.Preset) (*micro, error) {
+	v, err := scene.Generate(p.Spec)
+	if err != nil {
+		return nil, err
+	}
+	dir, err := os.MkdirTemp("", "tasm-micro-*")
+	if err != nil {
+		return nil, err
+	}
+	n := v.Spec.NumFrames()
+	gop := o.FPS
+	m := &micro{preset: p, video: v, gopLen: gop, numFrames: n,
+		boxes: map[string]map[int][]geom.Rect{}, dir: dir}
+	for from := 0; from < n; from += gop {
+		to := min(from+gop, n)
+		m.sotFrames = append(m.sotFrames, v.Frames(from, to))
+	}
+	det := &detect.Oracle{Lat: detect.DefaultLatencies(), Seed: o.Seed}
+	ds, _ := detect.Run(det, v, 0, n)
+	for _, d := range ds {
+		perFrame := m.boxes[d.Label]
+		if perFrame == nil {
+			perFrame = map[int][]geom.Rect{}
+			m.boxes[d.Label] = perFrame
+		}
+		perFrame[d.Frame] = append(perFrame[d.Frame], d.Box)
+	}
+	return m, nil
+}
+
+// cleanup removes the micro's scratch tile files.
+func (m *micro) cleanup() {
+	if m.dir != "" {
+		os.RemoveAll(m.dir)
+	}
+}
+
+func (m *micro) numSOTs() int { return len(m.sotFrames) }
+
+// sotRange returns the absolute frame range of SOT si.
+func (m *micro) sotRange(si int) (int, int) {
+	from := si * m.gopLen
+	return from, min(from+m.gopLen, m.numFrames)
+}
+
+// sotBoxes returns all boxes of the given labels within SOT si.
+func (m *micro) sotBoxes(si int, labels []string) []geom.Rect {
+	from, to := m.sotRange(si)
+	var out []geom.Rect
+	for _, label := range labels {
+		perFrame := m.boxes[label]
+		for f := from; f < to; f++ {
+			out = append(out, perFrame[f]...)
+		}
+	}
+	return out
+}
+
+// queryFrames builds the per-SOT demand of a full-video query for label.
+func (m *micro) queryFrames(si int, label string) costmodel.QueryFrames {
+	from, to := m.sotRange(si)
+	qf := costmodel.QueryFrames{}
+	perFrame := m.boxes[label]
+	for f := from; f < to; f++ {
+		if bs := perFrame[f]; len(bs) > 0 {
+			qf[f-from] = bs
+		}
+	}
+	return qf
+}
+
+// plan is a per-SOT layout assignment with its encoded tiles, both held in
+// memory (for stitching/quality measurement) and on disk (for measured
+// decodes, which must pay real per-tile file costs).
+type plan struct {
+	name    string
+	layouts []layout.Layout
+	tiles   [][]*container.Video
+	paths   [][]string
+}
+
+// encodePlan encodes the video under per-SOT layouts.
+func (m *micro) encodePlan(o Options, name string, layouts []layout.Layout) (*plan, error) {
+	if len(layouts) != m.numSOTs() {
+		return nil, fmt.Errorf("bench: %d layouts for %d SOTs", len(layouts), m.numSOTs())
+	}
+	p := &plan{name: name, layouts: layouts}
+	planDir := filepath.Join(m.dir, fmt.Sprintf("p%d", m.planSeq))
+	m.planSeq++
+	for si, frames := range m.sotFrames {
+		// Each SOT is encoded independently with GOP = SOT length, so a
+		// SOT has exactly one keyframe — the paper's "GOP length equal to
+		// the SOT duration" setting (Figure 9), which for the default
+		// one-second SOTs is the standard one-second-GOP encoding.
+		params := o.codecParams()
+		params.GOPLength = len(frames)
+		tiles, err := container.EncodeTiled(frames, layouts[si], o.FPS, params)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s SOT %d: %w", name, si, err)
+		}
+		sotDir := filepath.Join(planDir, fmt.Sprintf("sot%d", si))
+		if err := os.MkdirAll(sotDir, 0o755); err != nil {
+			return nil, err
+		}
+		paths := make([]string, len(tiles))
+		for ti, tv := range tiles {
+			paths[ti] = filepath.Join(sotDir, fmt.Sprintf("tile%d.tsv", ti))
+			if err := tv.Save(paths[ti]); err != nil {
+				return nil, err
+			}
+		}
+		p.tiles = append(p.tiles, tiles)
+		p.paths = append(p.paths, paths)
+	}
+	return p, nil
+}
+
+// bytes returns the plan's total encoded size.
+func (p *plan) bytes() int64 {
+	var total int64
+	for _, sot := range p.tiles {
+		for _, tv := range sot {
+			total += tv.SizeBytes()
+		}
+	}
+	return total
+}
+
+// uniformPlan builds a constant uniform layout across SOTs.
+func (m *micro) uniformPlan(o Options, rows, cols int) (*plan, error) {
+	l, err := layout.Uniform(rows, cols, o.constraints())
+	if err != nil {
+		return nil, err
+	}
+	layouts := make([]layout.Layout, m.numSOTs())
+	for i := range layouts {
+		layouts[i] = l
+	}
+	return m.encodePlan(o, fmt.Sprintf("uniform-%dx%d", rows, cols), layouts)
+}
+
+// untiledPlan builds the ω baseline.
+func (m *micro) untiledPlan(o Options) (*plan, error) {
+	layouts := make([]layout.Layout, m.numSOTs())
+	for i := range layouts {
+		layouts[i] = layout.Single(o.Width, o.Height)
+	}
+	return m.encodePlan(o, "untiled", layouts)
+}
+
+// nonUniformPlan builds per-SOT fine/coarse layouts around the labels.
+func (m *micro) nonUniformPlan(o Options, name string, labels []string, g layout.Granularity) (*plan, error) {
+	layouts := make([]layout.Layout, m.numSOTs())
+	for si := range layouts {
+		l, err := layout.Partition(m.sotBoxes(si, labels), g, o.constraints())
+		if err != nil {
+			return nil, err
+		}
+		layouts[si] = l
+	}
+	return m.encodePlan(o, name, layouts)
+}
+
+// measurement is the outcome of timing one query against one plan.
+type measurement struct {
+	Wall   time.Duration
+	Pixels int64
+	Tiles  int
+}
+
+// measureQuery decodes, per SOT, exactly the tiles a query for label needs
+// (each from the SOT keyframe through the last needed frame) and returns
+// the measured totals. This mirrors core.Manager.Scan without the storage
+// round trip, keeping layout sweeps fast.
+func (m *micro) measureQuery(p *plan, label string) (measurement, error) {
+	var out measurement
+	start := time.Now()
+	for si := range p.tiles {
+		qf := m.queryFrames(si, label)
+		if len(qf) == 0 {
+			continue
+		}
+		l := p.layouts[si]
+		lastNeeded := map[int]int{}
+		for off, boxes := range qf {
+			for _, b := range boxes {
+				for _, ti := range l.TilesIntersecting(b) {
+					if cur, ok := lastNeeded[ti]; !ok || off > cur {
+						lastNeeded[ti] = off
+					}
+				}
+			}
+		}
+		for ti, last := range lastNeeded {
+			// Open the tile from disk, exactly as core.Manager.Scan does:
+			// the per-tile file and parse cost is the γ of the cost model.
+			tv, err := container.Open(p.paths[si][ti])
+			if err != nil {
+				return out, err
+			}
+			_, ds, err := tv.DecodeRange(0, last+1)
+			if err != nil {
+				return out, err
+			}
+			out.Pixels += ds.PixelsDecoded
+			out.Tiles++
+		}
+	}
+	out.Wall = time.Since(start)
+	return out, nil
+}
+
+// improvementPct converts (untiled, tiled) times to the paper's
+// "improvement in query time" percentage.
+func improvementPct(untiled, tiled time.Duration) float64 {
+	if untiled <= 0 {
+		return 0
+	}
+	return 100 * (1 - float64(tiled)/float64(untiled))
+}
+
+// indexDetections loads a micro's oracle detections into a semantic index
+// (used by the workload experiments).
+func (m *micro) detections() []semindex.Detection {
+	var out []semindex.Detection
+	for label, perFrame := range m.boxes {
+		for f, bs := range perFrame {
+			for _, b := range bs {
+				out = append(out, semindex.Detection{Frame: f, Label: label, Box: b})
+			}
+		}
+	}
+	return out
+}
+
+func fmtPct(v float64) string { return fmt.Sprintf("%.1f%%", v) }
+func fmtDB(v float64) string  { return fmt.Sprintf("%.1f dB", v) }
+func fmtF(v float64) string   { return fmt.Sprintf("%.2f", v) }

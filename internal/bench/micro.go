@@ -1,0 +1,638 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"github.com/tasm-repro/tasm/internal/container"
+	"github.com/tasm-repro/tasm/internal/costmodel"
+	"github.com/tasm-repro/tasm/internal/frame"
+	"github.com/tasm-repro/tasm/internal/layout"
+	"github.com/tasm-repro/tasm/internal/scene"
+	"github.com/tasm-repro/tasm/internal/stats"
+)
+
+// uniformGrids is the sweep of Figure 7 (the paper sweeps 2×2 through
+// 7×10; grid heights clamp to the minimum tile size at our resolution).
+func uniformGrids() [][2]int {
+	return [][2]int{{2, 2}, {3, 3}, {4, 4}, {5, 5}, {5, 8}, {7, 10}}
+}
+
+// Table1Row summarizes one dataset preset, mirroring the paper's Table 1.
+type Table1Row struct {
+	Name     string
+	Dataset  string
+	Type     string
+	Duration int
+	Res      string
+	Coverage float64
+	Classes  []string
+	Sparse   bool
+}
+
+// RunTable1 regenerates Table 1: the dataset roster with measured per-frame
+// object coverage.
+func RunTable1(o Options) ([]Table1Row, *Table, error) {
+	o = o.withDefaults()
+	var rows []Table1Row
+	t := &Table{
+		Title:   "Table 1: Video datasets (synthetic stand-ins)",
+		Columns: []string{"video", "dataset", "dur(s)", "res", "coverage", "classes", "class"},
+	}
+	for _, p := range o.presets(nil) {
+		v, err := scene.Generate(p.Spec)
+		if err != nil {
+			return nil, nil, err
+		}
+		cov := v.MeanCoverage()
+		row := Table1Row{
+			Name: p.Spec.Name, Dataset: p.Spec.Dataset,
+			Duration: p.Spec.DurationSec,
+			Res:      fmt.Sprintf("%dx%d", p.Spec.W, p.Spec.H),
+			Coverage: cov, Classes: p.QueryClasses, Sparse: cov < 0.20,
+		}
+		rows = append(rows, row)
+		kind := "dense"
+		if row.Sparse {
+			kind = "sparse"
+		}
+		t.Rows = append(t.Rows, []string{
+			row.Name, row.Dataset, fmt.Sprintf("%d", row.Duration), row.Res,
+			fmtPct(cov * 100), fmt.Sprint(row.Classes), kind,
+		})
+	}
+	t.Notes = append(t.Notes, "paper: Visual Road 0.06-10%, Netflix 0.32-49%, NOS 25-45%, XIPH 2-59%, MOT16 3-36%, El Fuente 1-47%")
+	return rows, t, nil
+}
+
+// Fig6Result holds one (video, object) sample of Figure 6.
+type Fig6Result struct {
+	Video  string
+	Object string
+	// BestUniformImp / BestNonUniformImp are % query-time improvements of
+	// the best layout in each family vs the untiled video.
+	BestUniformImp    float64
+	BestNonUniformImp float64
+	// PSNRs of the corresponding stitched tiled videos and of an untiled
+	// re-encode, all vs the original (ingested) video.
+	UniformPSNR    float64
+	NonUniformPSNR float64
+	ReencodePSNR   float64
+}
+
+// RunFigure6 reproduces Figures 6(a) and 6(b): for each (video, query
+// object), the improvement from the best uniform and best non-uniform
+// layout, and the quality of those layouts.
+func RunFigure6(o Options) ([]Fig6Result, *Table, *Table, error) {
+	o = o.withDefaults()
+	var results []Fig6Result
+	for _, p := range o.presets(nil) {
+		o.progressf("fig6: %s\n", p.Spec.Name)
+		m, err := prepare(o, p)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		defer m.cleanup()
+		untiled, err := m.untiledPlan(o)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		// Reference frames: the decoded original (untiled) video.
+		ref, err := decodePlanFrames(untiled)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		reencodePSNR, err := reencodeQuality(o, m, ref)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		for _, obj := range p.QueryClasses {
+			base, err := m.measureQuery(untiled, obj)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			if base.Pixels == 0 {
+				continue
+			}
+			// Best uniform layout.
+			bestUImp := math.Inf(-1)
+			var bestUPlan *plan
+			for _, g := range uniformGrids() {
+				up, err := m.uniformPlan(o, g[0], g[1])
+				if err != nil {
+					return nil, nil, nil, err
+				}
+				mu, err := m.measureQuery(up, obj)
+				if err != nil {
+					return nil, nil, nil, err
+				}
+				if imp := improvementPct(base.Wall, mu.Wall); imp > bestUImp {
+					bestUImp, bestUPlan = imp, up
+				}
+			}
+			// Best non-uniform layout: fine and coarse around the object.
+			bestNImp := math.Inf(-1)
+			var bestNPlan *plan
+			for _, g := range []layout.Granularity{layout.Fine, layout.Coarse} {
+				np, err := m.nonUniformPlan(o, "nonuniform-"+g.String()+"-"+obj, []string{obj}, g)
+				if err != nil {
+					return nil, nil, nil, err
+				}
+				mn, err := m.measureQuery(np, obj)
+				if err != nil {
+					return nil, nil, nil, err
+				}
+				if imp := improvementPct(base.Wall, mn.Wall); imp > bestNImp {
+					bestNImp, bestNPlan = imp, np
+				}
+			}
+			res := Fig6Result{
+				Video: p.Spec.Name, Object: obj,
+				BestUniformImp:    bestUImp,
+				BestNonUniformImp: bestNImp,
+				ReencodePSNR:      reencodePSNR,
+			}
+			if res.UniformPSNR, err = planQuality(bestUPlan, ref); err != nil {
+				return nil, nil, nil, err
+			}
+			if res.NonUniformPSNR, err = planQuality(bestNPlan, ref); err != nil {
+				return nil, nil, nil, err
+			}
+			results = append(results, res)
+		}
+	}
+
+	// Figure 6(a): improvements for videos/objects that benefit from tiling.
+	var uImps, nImps, uPSNRs, nPSNRs, rePSNRs []float64
+	for _, r := range results {
+		if r.BestUniformImp > 0 || r.BestNonUniformImp > 0 {
+			uImps = append(uImps, r.BestUniformImp)
+			nImps = append(nImps, r.BestNonUniformImp)
+			uPSNRs = append(uPSNRs, r.UniformPSNR)
+			nPSNRs = append(nPSNRs, r.NonUniformPSNR)
+			rePSNRs = append(rePSNRs, r.ReencodePSNR)
+		}
+	}
+	qa := &Table{
+		Title:   "Figure 6(a): query-time improvement of best layouts (median [IQR])",
+		Columns: []string{"layout family", "median", "q25", "q75", "mean"},
+	}
+	uq, nq := stats.ComputeQuartiles(uImps), stats.ComputeQuartiles(nImps)
+	qa.Rows = append(qa.Rows,
+		[]string{"best uniform", fmtPct(uq.Q50), fmtPct(uq.Q25), fmtPct(uq.Q75), fmtPct(stats.Mean(uImps))},
+		[]string{"best non-uniform", fmtPct(nq.Q50), fmtPct(nq.Q25), fmtPct(nq.Q75), fmtPct(stats.Mean(nImps))},
+	)
+	qa.Notes = append(qa.Notes, "paper: uniform avg 37%, non-uniform avg 51% (up to 94%)")
+
+	qb := &Table{
+		Title:   "Figure 6(b): quality (PSNR) of best layouts vs original video",
+		Columns: []string{"encoding", "median PSNR", "q25", "q75"},
+	}
+	up, np, rp := stats.ComputeQuartiles(uPSNRs), stats.ComputeQuartiles(nPSNRs), stats.ComputeQuartiles(rePSNRs)
+	qb.Rows = append(qb.Rows,
+		[]string{"best uniform", fmtDB(up.Q50), fmtDB(up.Q25), fmtDB(up.Q75)},
+		[]string{"best non-uniform", fmtDB(np.Q50), fmtDB(np.Q25), fmtDB(np.Q75)},
+		[]string{"re-encode, no tiles", fmtDB(rp.Q50), fmtDB(rp.Q25), fmtDB(rp.Q75)},
+	)
+	qb.Notes = append(qb.Notes, "paper: uniform 36 dB, non-uniform 40 dB, re-encode 46 dB")
+	return results, qa, qb, nil
+}
+
+// decodePlanFrames fully decodes a plan back to frames (stitching tiles).
+func decodePlanFrames(p *plan) ([]*frame.Frame, error) {
+	var out []*frame.Frame
+	for si, tiles := range p.tiles {
+		s, err := container.Stitch(p.layouts[si], tiles)
+		if err != nil {
+			return nil, err
+		}
+		frames, _, err := s.DecodeRange(0, s.FrameCount())
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, frames...)
+	}
+	return out, nil
+}
+
+// planQuality returns the PSNR of a plan's decoded+stitched output vs ref.
+func planQuality(p *plan, ref []*frame.Frame) (float64, error) {
+	frames, err := decodePlanFrames(p)
+	if err != nil {
+		return 0, err
+	}
+	return frame.SequencePSNR(ref, frames), nil
+}
+
+// reencodeQuality re-encodes the decoded original without tiles and
+// measures its PSNR vs the original — the generational-loss baseline the
+// paper reports at 46 dB.
+func reencodeQuality(o Options, m *micro, ref []*frame.Frame) (float64, error) {
+	// Encode the reference frames (the decoded original) untiled, decode,
+	// compare: pure generational loss.
+	v, err := container.EncodeVideo(ref, o.FPS, o.codecParams())
+	if err != nil {
+		return 0, err
+	}
+	decoded, _, err := v.DecodeAll()
+	if err != nil {
+		return 0, err
+	}
+	return frame.SequencePSNR(ref, decoded), nil
+}
+
+// Fig7Result is the uniform-grid sweep of Figure 7.
+type Fig7Result struct {
+	Grid string
+	Imps []float64 // per (video, object)
+}
+
+// RunFigure7 reproduces Figure 7: query-time improvement as the uniform
+// grid grows, showing the rise and then the per-tile-overhead fall.
+func RunFigure7(o Options) ([]Fig7Result, *Table, error) {
+	o = o.withDefaults()
+	grids := uniformGrids()
+	results := make([]Fig7Result, len(grids))
+	for i, g := range grids {
+		results[i].Grid = fmt.Sprintf("%dx%d", g[0], g[1])
+	}
+	for _, p := range o.presets(nil) {
+		o.progressf("fig7: %s\n", p.Spec.Name)
+		m, err := prepare(o, p)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer m.cleanup()
+		untiled, err := m.untiledPlan(o)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, obj := range p.QueryClasses {
+			base, err := m.measureQuery(untiled, obj)
+			if err != nil {
+				return nil, nil, err
+			}
+			if base.Pixels == 0 {
+				continue
+			}
+			for gi, g := range grids {
+				up, err := m.uniformPlan(o, g[0], g[1])
+				if err != nil {
+					return nil, nil, err
+				}
+				mu, err := m.measureQuery(up, obj)
+				if err != nil {
+					return nil, nil, err
+				}
+				results[gi].Imps = append(results[gi].Imps, improvementPct(base.Wall, mu.Wall))
+			}
+		}
+	}
+	t := &Table{
+		Title:   "Figure 7: improvement by uniform grid size (median [IQR])",
+		Columns: []string{"grid", "median", "q25", "q75", "mean"},
+	}
+	for _, r := range results {
+		q := stats.ComputeQuartiles(r.Imps)
+		t.Rows = append(t.Rows, []string{r.Grid, fmtPct(q.Q50), fmtPct(q.Q25), fmtPct(q.Q75), fmtPct(stats.Mean(r.Imps))})
+	}
+	t.Notes = append(t.Notes, "paper: 2x2 avg 19% rising to 36% at 5x5, falling to 28% at 7x10 with widening IQR")
+	return results, t, nil
+}
+
+// Fig8Cell aggregates one (target, granularity, density) cell of Figure 8.
+type Fig8Cell struct {
+	Target      string // same | different | all | superset
+	Granularity string
+	Sparse      bool
+	Imps        []float64
+}
+
+// RunFigure8 reproduces Figure 8: the effect of tile granularity and of
+// which objects the layout is designed around, split sparse vs dense.
+func RunFigure8(o Options) ([]Fig8Cell, *Table, error) {
+	o = o.withDefaults()
+	cells := map[string]*Fig8Cell{}
+	cell := func(target, gran string, sparse bool) *Fig8Cell {
+		key := fmt.Sprintf("%s|%s|%v", target, gran, sparse)
+		c := cells[key]
+		if c == nil {
+			c = &Fig8Cell{Target: target, Granularity: gran, Sparse: sparse}
+			cells[key] = c
+		}
+		return c
+	}
+	// Only multi-class videos support the different/superset settings,
+	// matching the paper's use of Visual Road and El Fuente scenes.
+	presets := o.presets(func(p scene.Preset) bool { return len(p.QueryClasses) >= 2 })
+	for _, p := range presets {
+		o.progressf("fig8: %s\n", p.Spec.Name)
+		m, err := prepare(o, p)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer m.cleanup()
+		sparse := m.video.Sparse()
+		untiled, err := m.untiledPlan(o)
+		if err != nil {
+			return nil, nil, err
+		}
+		allLabels := m.video.Classes()
+		for _, obj := range p.QueryClasses {
+			base, err := m.measureQuery(untiled, obj)
+			if err != nil {
+				return nil, nil, err
+			}
+			if base.Pixels == 0 {
+				continue
+			}
+			other := pickOther(p.QueryClasses, obj)
+			superset := []string{obj, other}
+			targets := []struct {
+				name   string
+				labels []string
+			}{
+				{"same", []string{obj}},
+				{"different", []string{other}},
+				{"all", allLabels},
+				{"superset", superset},
+			}
+			for _, tgt := range targets {
+				if tgt.name == "different" && other == obj {
+					continue
+				}
+				for _, g := range []layout.Granularity{layout.Fine, layout.Coarse} {
+					np, err := m.nonUniformPlan(o, "f8", tgt.labels, g)
+					if err != nil {
+						return nil, nil, err
+					}
+					mn, err := m.measureQuery(np, obj)
+					if err != nil {
+						return nil, nil, err
+					}
+					c := cell(tgt.name, g.String(), sparse)
+					c.Imps = append(c.Imps, improvementPct(base.Wall, mn.Wall))
+				}
+			}
+		}
+	}
+	var out []Fig8Cell
+	for _, c := range cells {
+		out = append(out, *c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Target != out[j].Target {
+			return targetOrder(out[i].Target) < targetOrder(out[j].Target)
+		}
+		if out[i].Sparse != out[j].Sparse {
+			return out[i].Sparse
+		}
+		return out[i].Granularity < out[j].Granularity
+	})
+	t := &Table{
+		Title:   "Figure 8: tile granularity vs layout target (median [IQR] improvement)",
+		Columns: []string{"layout target", "density", "granularity", "median", "q25", "q75"},
+	}
+	for _, c := range out {
+		q := stats.ComputeQuartiles(c.Imps)
+		d := "dense"
+		if c.Sparse {
+			d = "sparse"
+		}
+		t.Rows = append(t.Rows, []string{c.Target, d, c.Granularity, fmtPct(q.Q50), fmtPct(q.Q25), fmtPct(q.Q75)})
+	}
+	t.Notes = append(t.Notes,
+		"paper (same): fine 79%/51% sparse/dense, coarse 77%/42%",
+		"paper (all, sparse): fine 68%, coarse 50%; dense: fine 21%, coarse ~-1%")
+	return out, t, nil
+}
+
+func targetOrder(s string) int {
+	switch s {
+	case "same":
+		return 0
+	case "different":
+		return 1
+	case "all":
+		return 2
+	default:
+		return 3
+	}
+}
+
+func pickOther(classes []string, obj string) string {
+	for _, c := range classes {
+		if c != obj {
+			return c
+		}
+	}
+	return obj
+}
+
+// Fig9Result is one SOT-duration point of Figure 9.
+type Fig9Result struct {
+	DurationSec int
+	Imps        []float64
+	// StorageRel is tiled bytes / untiled(1s GOP) bytes, per video-object.
+	StorageRel []float64
+}
+
+// RunFigure9 reproduces Figure 9: SOT duration (with GOP = SOT) against
+// query-time improvement and storage cost.
+func RunFigure9(o Options) ([]Fig9Result, *Table, error) {
+	o = o.withDefaults()
+	durations := []int{1, 2, 3, 5}
+	results := make([]Fig9Result, len(durations))
+	for i, d := range durations {
+		results[i].DurationSec = d
+	}
+	for _, p := range o.presets(func(p scene.Preset) bool { return p.SparseExpected }) {
+		o.progressf("fig9: %s\n", p.Spec.Name)
+		baseOpt := o
+		m, err := prepare(baseOpt, p)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer m.cleanup()
+		untiled, err := m.untiledPlan(baseOpt)
+		if err != nil {
+			return nil, nil, err
+		}
+		untiledBytes := untiled.bytes()
+		for _, obj := range p.QueryClasses {
+			base, err := m.measureQuery(untiled, obj)
+			if err != nil {
+				return nil, nil, err
+			}
+			if base.Pixels == 0 {
+				continue
+			}
+			for di, dur := range durations {
+				// Re-chunk the video into SOTs of dur seconds; encodePlan
+				// gives each SOT a single keyframe, i.e. GOP = SOT.
+				sub, err := rechunk(o, m, dur)
+				if err != nil {
+					return nil, nil, err
+				}
+				np, err := sub.nonUniformPlan(o, "f9", []string{obj}, layout.Fine)
+				if err != nil {
+					return nil, nil, err
+				}
+				mn, err := sub.measureQuery(np, obj)
+				if err != nil {
+					return nil, nil, err
+				}
+				results[di].Imps = append(results[di].Imps, improvementPct(base.Wall, mn.Wall))
+				results[di].StorageRel = append(results[di].StorageRel, float64(np.bytes())/float64(untiledBytes))
+			}
+		}
+	}
+	t := &Table{
+		Title:   "Figure 9: SOT duration vs improvement and storage (GOP = SOT)",
+		Columns: []string{"SOT (s)", "median imp", "q25", "q75", "median size vs untiled-1s"},
+	}
+	for _, r := range results {
+		q := stats.ComputeQuartiles(r.Imps)
+		s := stats.ComputeQuartiles(r.StorageRel)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", r.DurationSec), fmtPct(q.Q50), fmtPct(q.Q25), fmtPct(q.Q75), fmtF(s.Q50),
+		})
+	}
+	t.Notes = append(t.Notes, "paper: improvement 53%→36% from 1s to 5s SOTs; 1s tiled ~5% smaller, 5s ~15% smaller than original")
+	return results, t, nil
+}
+
+// rechunk rebuilds a micro with a different SOT/GOP duration (in seconds).
+// rechunk's scratch space nests under the parent's, so the parent's
+// cleanup removes both.
+func rechunk(o Options, m *micro, seconds int) (*micro, error) {
+	gop := o.FPS * seconds
+	dir := filepath.Join(m.dir, fmt.Sprintf("rechunk%d", seconds))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	out := &micro{
+		preset: m.preset, video: m.video, gopLen: gop,
+		numFrames: m.numFrames, boxes: m.boxes, dir: dir,
+	}
+	all := make([]*frame.Frame, 0, m.numFrames)
+	for _, chunk := range m.sotFrames {
+		all = append(all, chunk...)
+	}
+	for from := 0; from < m.numFrames; from += gop {
+		out.sotFrames = append(out.sotFrames, all[from:min(from+gop, m.numFrames)])
+	}
+	return out, nil
+}
+
+// Fig10Point is one (video, object, layout) observation of Figure 10.
+type Fig10Point struct {
+	Video, Object, Layout string
+	PixelRatio            float64 // P(L)/P(ω)
+	Improvement           float64 // measured %
+}
+
+// RunFigure10 reproduces Figure 10: decoded-pixel ratio vs measured
+// improvement, validating the α = 0.8 do-not-tile rule.
+func RunFigure10(o Options) ([]Fig10Point, *Table, error) {
+	o = o.withDefaults()
+	var points []Fig10Point
+	for _, p := range o.presets(nil) {
+		o.progressf("fig10: %s\n", p.Spec.Name)
+		m, err := prepare(o, p)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer m.cleanup()
+		untiled, err := m.untiledPlan(o)
+		if err != nil {
+			return nil, nil, err
+		}
+		allLabels := m.video.Classes()
+		for _, obj := range p.QueryClasses {
+			base, err := m.measureQuery(untiled, obj)
+			if err != nil {
+				return nil, nil, err
+			}
+			if base.Pixels == 0 {
+				continue
+			}
+			type cand struct {
+				name   string
+				labels []string
+				g      layout.Granularity
+			}
+			cands := []cand{
+				{"fine:" + obj, []string{obj}, layout.Fine},
+				{"coarse:" + obj, []string{obj}, layout.Coarse},
+				{"fine:all", allLabels, layout.Fine},
+				{"coarse:all", allLabels, layout.Coarse},
+			}
+			if other := pickOther(p.QueryClasses, obj); other != obj {
+				cands = append(cands, cand{"fine:" + other, []string{other}, layout.Fine})
+			}
+			for _, c := range cands {
+				np, err := m.nonUniformPlan(o, c.name, c.labels, c.g)
+				if err != nil {
+					return nil, nil, err
+				}
+				mn, err := m.measureQuery(np, obj)
+				if err != nil {
+					return nil, nil, err
+				}
+				// Aggregate pixel ratio over the whole video.
+				var pl, pw int64
+				for si := range np.layouts {
+					qf := m.queryFrames(si, obj)
+					pl += costmodel.ComputeDemand(np.layouts[si], qf).Pixels
+					pw += costmodel.ComputeDemand(untiled.layouts[si], qf).Pixels
+				}
+				ratio := 1.0
+				if pw > 0 {
+					ratio = float64(pl) / float64(pw)
+				}
+				points = append(points, Fig10Point{
+					Video: p.Spec.Name, Object: obj, Layout: c.name,
+					PixelRatio:  ratio,
+					Improvement: improvementPct(base.Wall, mn.Wall),
+				})
+			}
+		}
+	}
+	// Quadrant analysis at α = 0.8.
+	var keptGood, keptBad, skippedGood, skippedBad int
+	var missedImps []float64
+	for _, pt := range points {
+		kept := pt.PixelRatio < costmodel.DefaultAlpha
+		good := pt.Improvement > 0
+		switch {
+		case kept && good:
+			keptGood++
+		case kept && !good:
+			keptBad++
+		case !kept && good:
+			skippedGood++
+			missedImps = append(missedImps, pt.Improvement)
+		default:
+			skippedBad++
+		}
+	}
+	t := &Table{
+		Title:   "Figure 10: pixel ratio vs improvement; decision rule at alpha=0.8",
+		Columns: []string{"quadrant", "count"},
+	}
+	t.Rows = append(t.Rows,
+		[]string{"tiled & faster (kept, good)", fmt.Sprint(keptGood)},
+		[]string{"tiled & slower (kept, bad)", fmt.Sprint(keptBad)},
+		[]string{"skipped & would be faster", fmt.Sprint(skippedGood)},
+		[]string{"skipped & would be slower", fmt.Sprint(skippedBad)},
+	)
+	if len(missedImps) > 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf("max improvement forgone by the rule: %.1f%% (paper: <20%%)", stats.ComputeQuartiles(missedImps).Q75))
+	}
+	t.Notes = append(t.Notes, "paper: ratio>0.8 captures nearly all slowdowns; forgone wins are small")
+	return points, t, nil
+}

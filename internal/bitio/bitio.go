@@ -1,0 +1,169 @@
+// Package bitio implements bit-granular readers and writers plus the
+// Exp-Golomb universal codes used by the vcodec entropy coder. The design
+// mirrors how HEVC serializes syntax elements: unsigned/signed Exp-Golomb
+// for transform coefficients and run lengths, raw fixed-width fields for
+// headers.
+package bitio
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrUnexpectedEOF is returned when a read runs past the end of the stream.
+var ErrUnexpectedEOF = errors.New("bitio: unexpected end of stream")
+
+// Writer accumulates bits into a byte slice, most significant bit first.
+// The zero value is ready to use.
+type Writer struct {
+	buf  []byte
+	cur  byte
+	nCur uint // bits currently in cur (0..7)
+}
+
+// WriteBit appends a single bit (b must be 0 or 1).
+func (w *Writer) WriteBit(b uint) {
+	w.cur = w.cur<<1 | byte(b&1)
+	w.nCur++
+	if w.nCur == 8 {
+		w.buf = append(w.buf, w.cur)
+		w.cur, w.nCur = 0, 0
+	}
+}
+
+// WriteBits appends the low n bits of v, most significant first. n may be
+// 0..64.
+func (w *Writer) WriteBits(v uint64, n uint) {
+	for i := int(n) - 1; i >= 0; i-- {
+		w.WriteBit(uint(v>>uint(i)) & 1)
+	}
+}
+
+// WriteUE appends v with unsigned Exp-Golomb coding.
+func (w *Writer) WriteUE(v uint32) {
+	x := uint64(v) + 1
+	// Count bits in x.
+	n := uint(0)
+	for t := x; t > 1; t >>= 1 {
+		n++
+	}
+	for i := uint(0); i < n; i++ {
+		w.WriteBit(0)
+	}
+	w.WriteBits(x, n+1)
+}
+
+// WriteSE appends v with signed Exp-Golomb coding (0, 1, -1, 2, -2, ...).
+func (w *Writer) WriteSE(v int32) {
+	var u uint32
+	if v > 0 {
+		u = uint32(v)*2 - 1
+	} else {
+		u = uint32(-v) * 2
+	}
+	w.WriteUE(u)
+}
+
+// Align pads the current byte with zero bits so the stream is byte-aligned.
+func (w *Writer) Align() {
+	for w.nCur != 0 {
+		w.WriteBit(0)
+	}
+}
+
+// Bytes returns the written stream, byte-aligning first.
+func (w *Writer) Bytes() []byte {
+	w.Align()
+	return w.buf
+}
+
+// BitLen returns the number of bits written so far.
+func (w *Writer) BitLen() int { return len(w.buf)*8 + int(w.nCur) }
+
+// Reset clears the writer for reuse, retaining the allocated buffer.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.cur, w.nCur = 0, 0
+}
+
+// Reader consumes bits from a byte slice, most significant bit first.
+type Reader struct {
+	buf []byte
+	pos uint // bit position
+}
+
+// NewReader returns a Reader over buf. The caller must not mutate buf while
+// reading.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// ReadBit returns the next bit.
+func (r *Reader) ReadBit() (uint, error) {
+	byteIdx := r.pos >> 3
+	if byteIdx >= uint(len(r.buf)) {
+		return 0, ErrUnexpectedEOF
+	}
+	shift := 7 - (r.pos & 7)
+	r.pos++
+	return uint(r.buf[byteIdx]>>shift) & 1, nil
+}
+
+// ReadBits returns the next n bits as an unsigned integer (n <= 64).
+func (r *Reader) ReadBits(n uint) (uint64, error) {
+	var v uint64
+	for i := uint(0); i < n; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | uint64(b)
+	}
+	return v, nil
+}
+
+// ReadUE decodes an unsigned Exp-Golomb value.
+func (r *Reader) ReadUE() (uint32, error) {
+	n := uint(0)
+	for {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		if b == 1 {
+			break
+		}
+		n++
+		if n > 32 {
+			return 0, fmt.Errorf("bitio: malformed Exp-Golomb prefix (%d leading zeros)", n)
+		}
+	}
+	rest, err := r.ReadBits(n)
+	if err != nil {
+		return 0, err
+	}
+	return uint32((1<<n)-1) + uint32(rest), nil
+}
+
+// ReadSE decodes a signed Exp-Golomb value.
+func (r *Reader) ReadSE() (int32, error) {
+	u, err := r.ReadUE()
+	if err != nil {
+		return 0, err
+	}
+	if u%2 == 1 {
+		return int32(u/2) + 1, nil
+	}
+	return -int32(u / 2), nil
+}
+
+// Align advances to the next byte boundary.
+func (r *Reader) Align() {
+	if rem := r.pos & 7; rem != 0 {
+		r.pos += 8 - rem
+	}
+}
+
+// BitPos returns the current bit offset from the start of the stream.
+func (r *Reader) BitPos() uint { return r.pos }
+
+// Remaining returns the number of unread bits.
+func (r *Reader) Remaining() int { return len(r.buf)*8 - int(r.pos) }

@@ -1,0 +1,215 @@
+package bitio
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadBits(t *testing.T) {
+	var w Writer
+	w.WriteBits(0b1011, 4)
+	w.WriteBits(0xFF, 8)
+	w.WriteBits(0, 3)
+	w.WriteBit(1)
+	data := w.Bytes()
+
+	r := NewReader(data)
+	if v, _ := r.ReadBits(4); v != 0b1011 {
+		t.Errorf("got %b, want 1011", v)
+	}
+	if v, _ := r.ReadBits(8); v != 0xFF {
+		t.Errorf("got %x, want ff", v)
+	}
+	if v, _ := r.ReadBits(3); v != 0 {
+		t.Errorf("got %b, want 0", v)
+	}
+	if v, _ := r.ReadBit(); v != 1 {
+		t.Errorf("got %d, want 1", v)
+	}
+}
+
+func TestUERoundTrip(t *testing.T) {
+	values := []uint32{0, 1, 2, 3, 4, 7, 8, 100, 255, 256, 65535, 1 << 20, 1<<31 - 1}
+	var w Writer
+	for _, v := range values {
+		w.WriteUE(v)
+	}
+	r := NewReader(w.Bytes())
+	for _, want := range values {
+		got, err := r.ReadUE()
+		if err != nil {
+			t.Fatalf("ReadUE: %v", err)
+		}
+		if got != want {
+			t.Errorf("UE round trip: got %d, want %d", got, want)
+		}
+	}
+}
+
+func TestSERoundTrip(t *testing.T) {
+	values := []int32{0, 1, -1, 2, -2, 100, -100, 32767, -32768, 1 << 20, -(1 << 20)}
+	var w Writer
+	for _, v := range values {
+		w.WriteSE(v)
+	}
+	r := NewReader(w.Bytes())
+	for _, want := range values {
+		got, err := r.ReadSE()
+		if err != nil {
+			t.Fatalf("ReadSE: %v", err)
+		}
+		if got != want {
+			t.Errorf("SE round trip: got %d, want %d", got, want)
+		}
+	}
+}
+
+func TestKnownUEEncodings(t *testing.T) {
+	// Classic Exp-Golomb: 0 -> "1", 1 -> "010", 2 -> "011", 3 -> "00100".
+	var w Writer
+	w.WriteUE(0)
+	w.WriteUE(1)
+	w.WriteUE(2)
+	w.WriteUE(3)
+	if got := w.BitLen(); got != 1+3+3+5 {
+		t.Errorf("bit length = %d, want 12", got)
+	}
+	b := w.Bytes()
+	// 1 010 011 00100 -> 10100110 0100....
+	if b[0] != 0b10100110 {
+		t.Errorf("first byte = %08b, want 10100110", b[0])
+	}
+}
+
+func TestAlign(t *testing.T) {
+	var w Writer
+	w.WriteBits(0b101, 3)
+	w.Align()
+	if got := w.BitLen(); got != 8 {
+		t.Errorf("BitLen after align = %d, want 8", got)
+	}
+	r := NewReader(w.Bytes())
+	if _, err := r.ReadBits(3); err != nil {
+		t.Fatal(err)
+	}
+	r.Align()
+	if r.BitPos() != 8 {
+		t.Errorf("BitPos after align = %d, want 8", r.BitPos())
+	}
+	r2 := NewReader([]byte{0xAB})
+	r2.Align() // already aligned: no-op
+	if r2.BitPos() != 0 {
+		t.Errorf("Align on aligned reader moved to %d", r2.BitPos())
+	}
+}
+
+func TestReaderEOF(t *testing.T) {
+	r := NewReader([]byte{0xFF})
+	if _, err := r.ReadBits(8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadBit(); err != ErrUnexpectedEOF {
+		t.Errorf("expected ErrUnexpectedEOF, got %v", err)
+	}
+	if _, err := r.ReadUE(); err == nil {
+		t.Error("ReadUE past EOF should fail")
+	}
+}
+
+func TestMalformedUE(t *testing.T) {
+	// 40 zero bits: invalid Exp-Golomb prefix.
+	r := NewReader(make([]byte, 5))
+	if _, err := r.ReadUE(); err == nil {
+		t.Error("expected error for malformed Exp-Golomb prefix")
+	}
+}
+
+func TestWriterReset(t *testing.T) {
+	var w Writer
+	w.WriteBits(0xDEAD, 16)
+	w.Reset()
+	if w.BitLen() != 0 {
+		t.Errorf("BitLen after reset = %d", w.BitLen())
+	}
+	w.WriteUE(5)
+	r := NewReader(w.Bytes())
+	if v, _ := r.ReadUE(); v != 5 {
+		t.Errorf("post-reset UE = %d, want 5", v)
+	}
+}
+
+func TestRemaining(t *testing.T) {
+	r := NewReader([]byte{0, 0})
+	if r.Remaining() != 16 {
+		t.Errorf("Remaining = %d, want 16", r.Remaining())
+	}
+	r.ReadBits(5)
+	if r.Remaining() != 11 {
+		t.Errorf("Remaining = %d, want 11", r.Remaining())
+	}
+}
+
+// Property: any sequence of UE/SE/raw writes reads back identically.
+func TestMixedRoundTripProperty(t *testing.T) {
+	f := func(ue []uint32, se []int16, raw []uint8) bool {
+		var w Writer
+		for _, v := range ue {
+			w.WriteUE(v % (1 << 24))
+		}
+		for _, v := range se {
+			w.WriteSE(int32(v))
+		}
+		for _, v := range raw {
+			w.WriteBits(uint64(v), 8)
+		}
+		r := NewReader(w.Bytes())
+		for _, v := range ue {
+			got, err := r.ReadUE()
+			if err != nil || got != v%(1<<24) {
+				return false
+			}
+		}
+		for _, v := range se {
+			got, err := r.ReadSE()
+			if err != nil || got != int32(v) {
+				return false
+			}
+		}
+		for _, v := range raw {
+			got, err := r.ReadBits(8)
+			if err != nil || got != uint64(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkWriteUE(b *testing.B) {
+	var w Writer
+	for i := 0; i < b.N; i++ {
+		if i%4096 == 0 {
+			w.Reset()
+		}
+		w.WriteUE(uint32(i % 1024))
+	}
+}
+
+func BenchmarkReadUE(b *testing.B) {
+	var w Writer
+	for i := 0; i < 4096; i++ {
+		w.WriteUE(uint32(i % 1024))
+	}
+	data := w.Bytes()
+	b.ResetTimer()
+	r := NewReader(data)
+	for i := 0; i < b.N; i++ {
+		if r.Remaining() < 64 {
+			r = NewReader(data)
+		}
+		r.ReadUE()
+	}
+}

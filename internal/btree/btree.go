@@ -1,0 +1,702 @@
+// Package btree implements a file-backed, page-oriented B+-tree with
+// variable-length keys and values, range scans over a linked leaf level,
+// and an optional purely in-memory mode. TASM's semantic index (paper §3.2)
+// is "a B-tree clustered on (video, label, time)"; this package is that
+// B-tree, replacing the SQLite dependency of the authors' prototype.
+//
+// Durability model: pages are written back on Sync/Close (no write-ahead
+// log). Inserts use standard node splits; deletes collapse empty nodes but
+// do not rebalance underfull ones, which is the usual trade-off for an
+// index whose workload is append-heavy (detections are added, rarely
+// removed).
+package btree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+)
+
+const (
+	pageSize = 4096
+	// maxEntrySize bounds key+value so any entry fits a page with headroom.
+	maxEntrySize = 1024
+
+	pageMeta     = 0
+	typeLeaf     = 1
+	typeInternal = 2
+
+	metaMagic = "TBT1"
+	nilPage   = uint32(0) // page 0 is the meta page, so 0 doubles as "none"
+)
+
+// ErrEntryTooLarge is returned for keys/values exceeding maxEntrySize.
+var ErrEntryTooLarge = errors.New("btree: entry too large")
+
+type node struct {
+	id    uint32
+	leaf  bool
+	keys  [][]byte
+	vals  [][]byte // leaf only
+	kids  []uint32 // internal only; len(kids) == len(keys)+1
+	next  uint32   // leaf only: right sibling
+	dirty bool
+}
+
+// Tree is a B+-tree. All methods are safe for concurrent use.
+type Tree struct {
+	mu    sync.RWMutex
+	file  *os.File // nil in memory mode
+	root  uint32
+	count uint64 // number of keys
+	nPage uint32 // pages allocated (including meta)
+	free  []uint32
+	cache map[uint32]*node
+	meta  bool // meta dirty
+}
+
+// OpenMemory returns an in-memory tree (nothing is persisted).
+func OpenMemory() *Tree {
+	t := &Tree{cache: map[uint32]*node{}, nPage: 1}
+	t.root = t.alloc(true).id
+	return t
+}
+
+// Open opens or creates the tree stored at path.
+func Open(path string) (*Tree, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	t := &Tree{file: f, cache: map[uint32]*node{}}
+	if st.Size() == 0 {
+		t.nPage = 1
+		t.root = t.alloc(true).id
+		if err := t.Sync(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return t, nil
+	}
+	var meta [pageSize]byte
+	if _, err := f.ReadAt(meta[:], 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if string(meta[:4]) != metaMagic {
+		f.Close()
+		return nil, fmt.Errorf("btree: %s is not a btree file", path)
+	}
+	t.root = binary.LittleEndian.Uint32(meta[4:])
+	t.nPage = binary.LittleEndian.Uint32(meta[8:])
+	t.count = binary.LittleEndian.Uint64(meta[12:])
+	nFree := binary.LittleEndian.Uint32(meta[20:])
+	for i := uint32(0); i < nFree; i++ {
+		t.free = append(t.free, binary.LittleEndian.Uint32(meta[24+4*i:]))
+	}
+	return t, nil
+}
+
+// Len returns the number of keys in the tree.
+func (t *Tree) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return int(t.count)
+}
+
+func (t *Tree) alloc(leaf bool) *node {
+	var id uint32
+	if len(t.free) > 0 {
+		id = t.free[len(t.free)-1]
+		t.free = t.free[:len(t.free)-1]
+	} else {
+		id = t.nPage
+		t.nPage++
+	}
+	n := &node{id: id, leaf: leaf, dirty: true}
+	t.cache[id] = n
+	t.meta = true
+	return n
+}
+
+func (t *Tree) freeNode(n *node) {
+	delete(t.cache, n.id)
+	t.free = append(t.free, n.id)
+	t.meta = true
+}
+
+func (t *Tree) load(id uint32) (*node, error) {
+	if n, ok := t.cache[id]; ok {
+		return n, nil
+	}
+	if t.file == nil {
+		return nil, fmt.Errorf("btree: missing page %d", id)
+	}
+	var buf [pageSize]byte
+	if _, err := t.file.ReadAt(buf[:], int64(id)*pageSize); err != nil {
+		return nil, fmt.Errorf("btree: read page %d: %w", id, err)
+	}
+	n, err := decodeNode(id, buf[:])
+	if err != nil {
+		return nil, err
+	}
+	t.cache[id] = n
+	return n, nil
+}
+
+func decodeNode(id uint32, buf []byte) (*node, error) {
+	n := &node{id: id}
+	switch buf[0] {
+	case typeLeaf:
+		n.leaf = true
+		nk := int(binary.LittleEndian.Uint16(buf[1:]))
+		n.next = binary.LittleEndian.Uint32(buf[3:])
+		off := 7
+		for i := 0; i < nk; i++ {
+			if off+4 > pageSize {
+				return nil, fmt.Errorf("btree: page %d corrupt", id)
+			}
+			kl := int(binary.LittleEndian.Uint16(buf[off:]))
+			vl := int(binary.LittleEndian.Uint16(buf[off+2:]))
+			off += 4
+			if off+kl+vl > pageSize {
+				return nil, fmt.Errorf("btree: page %d corrupt", id)
+			}
+			n.keys = append(n.keys, append([]byte(nil), buf[off:off+kl]...))
+			n.vals = append(n.vals, append([]byte(nil), buf[off+kl:off+kl+vl]...))
+			off += kl + vl
+		}
+	case typeInternal:
+		nk := int(binary.LittleEndian.Uint16(buf[1:]))
+		off := 3
+		n.kids = append(n.kids, binary.LittleEndian.Uint32(buf[off:]))
+		off += 4
+		for i := 0; i < nk; i++ {
+			if off+2 > pageSize {
+				return nil, fmt.Errorf("btree: page %d corrupt", id)
+			}
+			kl := int(binary.LittleEndian.Uint16(buf[off:]))
+			off += 2
+			if off+kl+4 > pageSize {
+				return nil, fmt.Errorf("btree: page %d corrupt", id)
+			}
+			n.keys = append(n.keys, append([]byte(nil), buf[off:off+kl]...))
+			off += kl
+			n.kids = append(n.kids, binary.LittleEndian.Uint32(buf[off:]))
+			off += 4
+		}
+	default:
+		return nil, fmt.Errorf("btree: page %d has unknown type %d", id, buf[0])
+	}
+	return n, nil
+}
+
+func (n *node) encode() []byte {
+	buf := make([]byte, pageSize)
+	if n.leaf {
+		buf[0] = typeLeaf
+		binary.LittleEndian.PutUint16(buf[1:], uint16(len(n.keys)))
+		binary.LittleEndian.PutUint32(buf[3:], n.next)
+		off := 7
+		for i, k := range n.keys {
+			binary.LittleEndian.PutUint16(buf[off:], uint16(len(k)))
+			binary.LittleEndian.PutUint16(buf[off+2:], uint16(len(n.vals[i])))
+			off += 4
+			off += copy(buf[off:], k)
+			off += copy(buf[off:], n.vals[i])
+		}
+	} else {
+		buf[0] = typeInternal
+		binary.LittleEndian.PutUint16(buf[1:], uint16(len(n.keys)))
+		off := 3
+		binary.LittleEndian.PutUint32(buf[off:], n.kids[0])
+		off += 4
+		for i, k := range n.keys {
+			binary.LittleEndian.PutUint16(buf[off:], uint16(len(k)))
+			off += 2
+			off += copy(buf[off:], k)
+			binary.LittleEndian.PutUint32(buf[off:], n.kids[i+1])
+			off += 4
+		}
+	}
+	return buf
+}
+
+// size returns the encoded byte size of the node.
+func (n *node) size() int {
+	if n.leaf {
+		s := 7
+		for i, k := range n.keys {
+			s += 4 + len(k) + len(n.vals[i])
+		}
+		return s
+	}
+	s := 3 + 4
+	for _, k := range n.keys {
+		s += 2 + len(k) + 4
+	}
+	return s
+}
+
+// Sync writes all dirty pages and the meta page to disk. It is a no-op for
+// in-memory trees.
+func (t *Tree) Sync() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.syncLocked()
+}
+
+func (t *Tree) syncLocked() error {
+	if t.file == nil {
+		return nil
+	}
+	for _, n := range t.cache {
+		if !n.dirty {
+			continue
+		}
+		if _, err := t.file.WriteAt(n.encode(), int64(n.id)*pageSize); err != nil {
+			return err
+		}
+		n.dirty = false
+	}
+	if t.meta {
+		var buf [pageSize]byte
+		copy(buf[:4], metaMagic)
+		binary.LittleEndian.PutUint32(buf[4:], t.root)
+		binary.LittleEndian.PutUint32(buf[8:], t.nPage)
+		binary.LittleEndian.PutUint64(buf[12:], t.count)
+		binary.LittleEndian.PutUint32(buf[20:], uint32(len(t.free)))
+		for i, id := range t.free {
+			if 24+4*i+4 > pageSize {
+				break // free list overflow: leak pages rather than corrupt
+			}
+			binary.LittleEndian.PutUint32(buf[24+4*i:], id)
+		}
+		if _, err := t.file.WriteAt(buf[:], 0); err != nil {
+			return err
+		}
+		t.meta = false
+	}
+	return t.file.Sync()
+}
+
+// Close syncs and releases the file.
+func (t *Tree) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.syncLocked(); err != nil {
+		return err
+	}
+	if t.file != nil {
+		err := t.file.Close()
+		t.file = nil
+		return err
+	}
+	return nil
+}
+
+// Get returns the value for key, with ok reporting presence.
+func (t *Tree) Get(key []byte) (val []byte, ok bool, err error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n, err := t.findLeaf(key)
+	if err != nil {
+		return nil, false, err
+	}
+	i := sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(n.keys[i], key) >= 0 })
+	if i < len(n.keys) && bytes.Equal(n.keys[i], key) {
+		return append([]byte(nil), n.vals[i]...), true, nil
+	}
+	return nil, false, nil
+}
+
+func (t *Tree) findLeaf(key []byte) (*node, error) {
+	n, err := t.load(t.root)
+	if err != nil {
+		return nil, err
+	}
+	for !n.leaf {
+		i := sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(key, n.keys[i]) < 0 })
+		if n, err = t.load(n.kids[i]); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+// Put inserts or replaces the value for key.
+func (t *Tree) Put(key, value []byte) error {
+	if len(key)+len(value) > maxEntrySize {
+		return ErrEntryTooLarge
+	}
+	if len(key) == 0 {
+		return errors.New("btree: empty key")
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	promoted, newID, err := t.insert(t.root, key, value)
+	if err != nil {
+		return err
+	}
+	if newID != nilPage {
+		// Root split: grow the tree by one level.
+		newRoot := t.alloc(false)
+		newRoot.keys = [][]byte{promoted}
+		newRoot.kids = []uint32{t.root, newID}
+		t.root = newRoot.id
+		t.meta = true
+	}
+	return nil
+}
+
+// insert descends into page id; on split it returns the separator key and
+// new right-sibling page.
+func (t *Tree) insert(id uint32, key, value []byte) (promoted []byte, newID uint32, err error) {
+	n, err := t.load(id)
+	if err != nil {
+		return nil, nilPage, err
+	}
+	if n.leaf {
+		i := sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(n.keys[i], key) >= 0 })
+		if i < len(n.keys) && bytes.Equal(n.keys[i], key) {
+			// Upsert: the replacement value may be larger, so fall through
+			// to the size check below rather than returning early.
+			n.vals[i] = append([]byte(nil), value...)
+			n.dirty = true
+			if n.size() <= pageSize {
+				return nil, nilPage, nil
+			}
+			return t.split(n)
+		}
+		n.keys = append(n.keys, nil)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = append([]byte(nil), key...)
+		n.vals = append(n.vals, nil)
+		copy(n.vals[i+1:], n.vals[i:])
+		n.vals[i] = append([]byte(nil), value...)
+		n.dirty = true
+		t.count++
+		t.meta = true
+	} else {
+		i := sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(key, n.keys[i]) < 0 })
+		childPromoted, childNew, err := t.insert(n.kids[i], key, value)
+		if err != nil {
+			return nil, nilPage, err
+		}
+		if childNew != nilPage {
+			n.keys = append(n.keys, nil)
+			copy(n.keys[i+1:], n.keys[i:])
+			n.keys[i] = childPromoted
+			n.kids = append(n.kids, 0)
+			copy(n.kids[i+2:], n.kids[i+1:])
+			n.kids[i+1] = childNew
+			n.dirty = true
+		}
+	}
+	if n.size() <= pageSize {
+		return nil, nilPage, nil
+	}
+	return t.split(n)
+}
+
+// split divides an oversized node, returning the separator and the new
+// right sibling's page ID. The split point balances *serialized size*, not
+// key count: entries can differ in size by orders of magnitude (upserts may
+// grow a value), and a count-based midpoint could leave one half oversized.
+func (t *Tree) split(n *node) ([]byte, uint32, error) {
+	mid := t.splitPoint(n)
+	right := t.alloc(n.leaf)
+	if n.leaf {
+		right.keys = append(right.keys, n.keys[mid:]...)
+		right.vals = append(right.vals, n.vals[mid:]...)
+		n.keys = n.keys[:mid]
+		n.vals = n.vals[:mid]
+		right.next = n.next
+		n.next = right.id
+		n.dirty = true
+		return append([]byte(nil), right.keys[0]...), right.id, nil
+	}
+	// Internal: the middle key moves up, not into the right node.
+	sep := n.keys[mid]
+	right.keys = append(right.keys, n.keys[mid+1:]...)
+	right.kids = append(right.kids, n.kids[mid+1:]...)
+	n.keys = n.keys[:mid]
+	n.kids = n.kids[:mid+1]
+	n.dirty = true
+	return sep, right.id, nil
+}
+
+// splitPoint returns the index at which the node's serialized size is most
+// evenly divided, keeping at least one key on each side.
+func (t *Tree) splitPoint(n *node) int {
+	total := n.size()
+	run := 0
+	for i, k := range n.keys {
+		if n.leaf {
+			run += 4 + len(k) + len(n.vals[i])
+		} else {
+			run += 2 + len(k) + 4
+		}
+		if run >= total/2 {
+			if i+1 >= len(n.keys) {
+				return len(n.keys) - 1
+			}
+			return i + 1
+		}
+	}
+	return len(n.keys) / 2
+}
+
+// Delete removes key, reporting whether it was present.
+func (t *Tree) Delete(key []byte) (bool, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	removed, emptied, err := t.remove(t.root, key)
+	if err != nil || !removed {
+		return removed, err
+	}
+	// If the root is an empty internal node with one child, collapse it.
+	for {
+		root, err := t.load(t.root)
+		if err != nil {
+			return true, err
+		}
+		if !root.leaf && len(root.keys) == 0 {
+			child := root.kids[0]
+			t.freeNode(root)
+			t.root = child
+			t.meta = true
+			continue
+		}
+		break
+	}
+	_ = emptied
+	return true, nil
+}
+
+// remove deletes key from the subtree rooted at id. emptied reports that the
+// node became empty and was freed (the caller must drop its pointer).
+func (t *Tree) remove(id uint32, key []byte) (removed, emptied bool, err error) {
+	n, err := t.load(id)
+	if err != nil {
+		return false, false, err
+	}
+	if n.leaf {
+		i := sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(n.keys[i], key) >= 0 })
+		if i >= len(n.keys) || !bytes.Equal(n.keys[i], key) {
+			return false, false, nil
+		}
+		n.keys = append(n.keys[:i], n.keys[i+1:]...)
+		n.vals = append(n.vals[:i], n.vals[i+1:]...)
+		n.dirty = true
+		t.count--
+		t.meta = true
+		if len(n.keys) == 0 && id != t.root {
+			// The caller unlinks us; the leaf chain is repaired there.
+			return true, true, nil
+		}
+		return true, false, nil
+	}
+	i := sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(key, n.keys[i]) < 0 })
+	removed, emptied, err = t.remove(n.kids[i], key)
+	if err != nil || !removed {
+		return removed, false, err
+	}
+	if emptied {
+		child, _ := t.load(n.kids[i])
+		if child != nil && child.leaf {
+			t.unlinkLeaf(child)
+		}
+		if child != nil {
+			t.freeNode(child)
+		}
+		if i == 0 {
+			if len(n.keys) > 0 {
+				n.keys = n.keys[1:]
+			}
+			n.kids = n.kids[1:]
+		} else {
+			n.keys = append(n.keys[:i-1], n.keys[i:]...)
+			n.kids = append(n.kids[:i], n.kids[i+1:]...)
+		}
+		n.dirty = true
+		if len(n.kids) == 0 && id != t.root {
+			return true, true, nil
+		}
+	}
+	return true, false, nil
+}
+
+// unlinkLeaf repairs the leaf sibling chain around a leaf that is being
+// removed. It walks the leaf level from the leftmost leaf; acceptable
+// because emptied-leaf removal is rare.
+func (t *Tree) unlinkLeaf(dead *node) {
+	cur, err := t.leftmostLeaf()
+	if err != nil {
+		return
+	}
+	for cur != nil && cur.next != nilPage {
+		if cur.next == dead.id {
+			cur.next = dead.next
+			cur.dirty = true
+			return
+		}
+		nxt, err := t.load(cur.next)
+		if err != nil {
+			return
+		}
+		cur = nxt
+	}
+}
+
+func (t *Tree) leftmostLeaf() (*node, error) {
+	n, err := t.load(t.root)
+	if err != nil {
+		return nil, err
+	}
+	for !n.leaf {
+		if n, err = t.load(n.kids[0]); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+// Scan calls fn for each key in [start, end) in ascending order. A nil end
+// scans to the end of the tree; a nil start scans from the beginning. fn
+// returning false stops the scan. The callback must not modify the tree.
+func (t *Tree) Scan(start, end []byte, fn func(key, value []byte) bool) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var n *node
+	var err error
+	if start == nil {
+		if n, err = t.leftmostLeaf(); err != nil {
+			return err
+		}
+	} else if n, err = t.findLeaf(start); err != nil {
+		return err
+	}
+	for n != nil {
+		for i, k := range n.keys {
+			if start != nil && bytes.Compare(k, start) < 0 {
+				continue
+			}
+			if end != nil && bytes.Compare(k, end) >= 0 {
+				return nil
+			}
+			if !fn(k, n.vals[i]) {
+				return nil
+			}
+		}
+		if n.next == nilPage {
+			return nil
+		}
+		if n, err = t.load(n.next); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Check verifies structural invariants (ordering, separator correctness,
+// leaf chain consistency, key count). Intended for tests.
+func (t *Tree) Check() error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var leafKeys int
+	var prev []byte
+	first := true
+	err := t.checkNode(t.root, nil, nil, &leafKeys, &prev, &first)
+	if err != nil {
+		return err
+	}
+	if uint64(leafKeys) != t.count {
+		return fmt.Errorf("btree: count %d != leaf keys %d", t.count, leafKeys)
+	}
+	// Leaf chain must visit exactly the same number of keys, in order.
+	n, err := t.leftmostLeaf()
+	if err != nil {
+		return err
+	}
+	chained := 0
+	var last []byte
+	for {
+		for _, k := range n.keys {
+			if last != nil && bytes.Compare(last, k) >= 0 {
+				return fmt.Errorf("btree: leaf chain out of order at %q", k)
+			}
+			last = k
+			chained++
+		}
+		if n.next == nilPage {
+			break
+		}
+		if n, err = t.load(n.next); err != nil {
+			return err
+		}
+	}
+	if chained != leafKeys {
+		return fmt.Errorf("btree: leaf chain has %d keys, tree has %d", chained, leafKeys)
+	}
+	return nil
+}
+
+func (t *Tree) checkNode(id uint32, lo, hi []byte, leafKeys *int, prev *[]byte, first *bool) error {
+	n, err := t.load(id)
+	if err != nil {
+		return err
+	}
+	for i := 1; i < len(n.keys); i++ {
+		if bytes.Compare(n.keys[i-1], n.keys[i]) >= 0 {
+			return fmt.Errorf("btree: node %d keys out of order", id)
+		}
+	}
+	for _, k := range n.keys {
+		if lo != nil && bytes.Compare(k, lo) < 0 {
+			return fmt.Errorf("btree: node %d key %q below separator %q", id, k, lo)
+		}
+		if hi != nil && bytes.Compare(k, hi) >= 0 {
+			return fmt.Errorf("btree: node %d key %q not below separator %q", id, k, hi)
+		}
+	}
+	if n.leaf {
+		for _, k := range n.keys {
+			if !*first && bytes.Compare(*prev, k) >= 0 {
+				return fmt.Errorf("btree: global key order violated at %q", k)
+			}
+			*prev, *first = k, false
+			*leafKeys++
+		}
+		return nil
+	}
+	if len(n.kids) != len(n.keys)+1 {
+		return fmt.Errorf("btree: node %d has %d kids for %d keys", id, len(n.kids), len(n.keys))
+	}
+	for i, kid := range n.kids {
+		var clo, chi []byte
+		if i > 0 {
+			clo = n.keys[i-1]
+		} else {
+			clo = lo
+		}
+		if i < len(n.keys) {
+			chi = n.keys[i]
+		} else {
+			chi = hi
+		}
+		if err := t.checkNode(kid, clo, chi, leafKeys, prev, first); err != nil {
+			return err
+		}
+	}
+	return nil
+}

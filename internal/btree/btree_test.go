@@ -1,0 +1,379 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"os"
+
+	"github.com/tasm-repro/tasm/internal/stats"
+)
+
+func key(i int) []byte { return []byte(fmt.Sprintf("key%08d", i)) }
+func val(i int) []byte { return []byte(fmt.Sprintf("value-%d", i)) }
+
+func TestPutGetMemory(t *testing.T) {
+	tr := OpenMemory()
+	for i := 0; i < 1000; i++ {
+		if err := tr.Put(key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != 1000 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for i := 0; i < 1000; i++ {
+		v, ok, err := tr.Get(key(i))
+		if err != nil || !ok {
+			t.Fatalf("Get(%d): ok=%v err=%v", i, ok, err)
+		}
+		if !bytes.Equal(v, val(i)) {
+			t.Fatalf("Get(%d) = %q", i, v)
+		}
+	}
+	if _, ok, _ := tr.Get([]byte("absent")); ok {
+		t.Error("found absent key")
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpsert(t *testing.T) {
+	tr := OpenMemory()
+	tr.Put([]byte("k"), []byte("v1"))
+	tr.Put([]byte("k"), []byte("v2"))
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d, want 1", tr.Len())
+	}
+	v, ok, _ := tr.Get([]byte("k"))
+	if !ok || string(v) != "v2" {
+		t.Errorf("Get = %q, %v", v, ok)
+	}
+}
+
+func TestRejectsBadEntries(t *testing.T) {
+	tr := OpenMemory()
+	if err := tr.Put(nil, []byte("v")); err == nil {
+		t.Error("empty key accepted")
+	}
+	big := make([]byte, maxEntrySize+1)
+	if err := tr.Put(big, nil); err != ErrEntryTooLarge {
+		t.Errorf("oversized entry: %v", err)
+	}
+}
+
+func TestInsertRandomOrder(t *testing.T) {
+	tr := OpenMemory()
+	rng := stats.NewRNG(17)
+	perm := rng.Perm(5000)
+	for _, i := range perm {
+		if err := tr.Put(key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// Full scan must be sorted and complete.
+	var got []string
+	tr.Scan(nil, nil, func(k, v []byte) bool {
+		got = append(got, string(k))
+		return true
+	})
+	if len(got) != 5000 {
+		t.Fatalf("scan found %d keys", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatalf("scan out of order at %d", i)
+		}
+	}
+}
+
+func TestScanRange(t *testing.T) {
+	tr := OpenMemory()
+	for i := 0; i < 200; i++ {
+		tr.Put(key(i), val(i))
+	}
+	var got []string
+	tr.Scan(key(50), key(60), func(k, v []byte) bool {
+		got = append(got, string(k))
+		return true
+	})
+	if len(got) != 10 {
+		t.Fatalf("range scan found %d, want 10: %v", len(got), got)
+	}
+	if got[0] != string(key(50)) || got[9] != string(key(59)) {
+		t.Errorf("range endpoints wrong: %v", got)
+	}
+	// Early termination.
+	count := 0
+	tr.Scan(nil, nil, func(k, v []byte) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Errorf("early stop after %d", count)
+	}
+	// Scan with start beyond all keys.
+	n := 0
+	tr.Scan([]byte("zzz"), nil, func(k, v []byte) bool { n++; return true })
+	if n != 0 {
+		t.Errorf("scan past end returned %d keys", n)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := OpenMemory()
+	for i := 0; i < 500; i++ {
+		tr.Put(key(i), val(i))
+	}
+	for i := 0; i < 500; i += 2 {
+		ok, err := tr.Delete(key(i))
+		if err != nil || !ok {
+			t.Fatalf("Delete(%d): %v %v", i, ok, err)
+		}
+	}
+	if tr.Len() != 250 {
+		t.Fatalf("Len = %d, want 250", tr.Len())
+	}
+	if ok, _ := tr.Delete(key(0)); ok {
+		t.Error("double delete succeeded")
+	}
+	for i := 0; i < 500; i++ {
+		_, ok, _ := tr.Get(key(i))
+		if want := i%2 == 1; ok != want {
+			t.Errorf("Get(%d) present=%v, want %v", i, ok, want)
+		}
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	tr := OpenMemory()
+	const n = 2000
+	for i := 0; i < n; i++ {
+		tr.Put(key(i), val(i))
+	}
+	rng := stats.NewRNG(23)
+	for _, i := range rng.Perm(n) {
+		ok, err := tr.Delete(key(i))
+		if err != nil || !ok {
+			t.Fatalf("Delete(%d): %v %v", i, ok, err)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after deleting all", tr.Len())
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// Tree still usable.
+	tr.Put([]byte("again"), []byte("yes"))
+	v, ok, _ := tr.Get([]byte("again"))
+	if !ok || string(v) != "yes" {
+		t.Error("tree unusable after full delete")
+	}
+}
+
+func TestPersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "idx.bt")
+	tr, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 3000
+	for i := 0; i < n; i++ {
+		if err := tr.Put(key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	tr2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr2.Close()
+	if tr2.Len() != n {
+		t.Fatalf("reopened Len = %d, want %d", tr2.Len(), n)
+	}
+	for i := 0; i < n; i += 7 {
+		v, ok, err := tr2.Get(key(i))
+		if err != nil || !ok || !bytes.Equal(v, val(i)) {
+			t.Fatalf("reopened Get(%d): %q %v %v", i, v, ok, err)
+		}
+	}
+	if err := tr2.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPersistenceWithDeletes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "idx.bt")
+	tr, _ := Open(path)
+	for i := 0; i < 1000; i++ {
+		tr.Put(key(i), val(i))
+	}
+	for i := 0; i < 1000; i += 3 {
+		tr.Delete(key(i))
+	}
+	tr.Close()
+	tr2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr2.Close()
+	for i := 0; i < 1000; i++ {
+		_, ok, _ := tr2.Get(key(i))
+		if want := i%3 != 0; ok != want {
+			t.Fatalf("Get(%d) = %v, want %v", i, ok, want)
+		}
+	}
+	if err := tr2.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenRejectsNonBtreeFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk")
+	data := make([]byte, pageSize)
+	copy(data, "JUNKJUNK")
+	if err := writeFile(path, data); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Error("junk file opened as btree")
+	}
+}
+
+func writeFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}
+
+func TestLargeValuesSplitBehavior(t *testing.T) {
+	tr := OpenMemory()
+	// Values near the entry limit force splits quickly.
+	big := bytes.Repeat([]byte("x"), 900)
+	for i := 0; i < 200; i++ {
+		if err := tr.Put(key(i), big); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, _ := tr.Get(key(137))
+	if !ok || len(v) != 900 {
+		t.Errorf("big value Get: ok=%v len=%d", ok, len(v))
+	}
+}
+
+func TestMixedWorkloadProperty(t *testing.T) {
+	tr := OpenMemory()
+	ref := map[string]string{}
+	rng := stats.NewRNG(31)
+	for op := 0; op < 20000; op++ {
+		i := rng.Intn(3000)
+		k := string(key(i))
+		switch rng.Intn(3) {
+		case 0, 1:
+			v := fmt.Sprintf("v%d-%d", i, op)
+			if err := tr.Put([]byte(k), []byte(v)); err != nil {
+				t.Fatal(err)
+			}
+			ref[k] = v
+		case 2:
+			ok, err := tr.Delete([]byte(k))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, inRef := ref[k]; ok != inRef {
+				t.Fatalf("delete presence mismatch for %s", k)
+			}
+			delete(ref, k)
+		}
+	}
+	if tr.Len() != len(ref) {
+		t.Fatalf("Len = %d, ref = %d", tr.Len(), len(ref))
+	}
+	for k, want := range ref {
+		v, ok, _ := tr.Get([]byte(k))
+		if !ok || string(v) != want {
+			t.Fatalf("Get(%s) = %q,%v want %q", k, v, ok, want)
+		}
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// Scan agrees with the reference map.
+	seen := 0
+	tr.Scan(nil, nil, func(k, v []byte) bool {
+		if want, okRef := ref[string(k)]; !okRef || want != string(v) {
+			t.Fatalf("scan saw unexpected %q=%q", k, v)
+		}
+		seen++
+		return true
+	})
+	if seen != len(ref) {
+		t.Fatalf("scan saw %d, want %d", seen, len(ref))
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	tr := OpenMemory()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Put(key(i), val(i))
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr := OpenMemory()
+	for i := 0; i < 100000; i++ {
+		tr.Put(key(i), val(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(key(i % 100000))
+	}
+}
+
+func TestUpsertGrowingValuesSplits(t *testing.T) {
+	// Regression: replacing values with larger ones must trigger splits,
+	// or pages overflow at encode time.
+	tr := OpenMemory()
+	for i := 0; i < 64; i++ {
+		if err := tr.Put(key(i), []byte("small")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	big := bytes.Repeat([]byte("v"), 500)
+	for i := 0; i < 64; i++ {
+		if err := tr.Put(key(i), big); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		v, ok, _ := tr.Get(key(i))
+		if !ok || len(v) != 500 {
+			t.Fatalf("Get(%d): ok=%v len=%d", i, ok, len(v))
+		}
+	}
+	// Every cached node must encode within a page.
+	for id, n := range tr.cache {
+		if n.size() > pageSize {
+			t.Fatalf("node %d oversized: %d bytes", id, n.size())
+		}
+	}
+}

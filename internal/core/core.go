@@ -1,0 +1,613 @@
+// Package core implements the TASM storage manager (paper §3): the bottom
+// layer of a VDBMS that stores videos as independently decodable tiles,
+// maintains the semantic index, answers Scan(video, L, T) requests by
+// decoding only the tiles containing the requested objects, and re-tiles
+// sequences of tiles (SOTs) when a policy decides a new layout pays off.
+package core
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"github.com/tasm-repro/tasm/internal/container"
+	"github.com/tasm-repro/tasm/internal/costmodel"
+	"github.com/tasm-repro/tasm/internal/frame"
+	"github.com/tasm-repro/tasm/internal/geom"
+	"github.com/tasm-repro/tasm/internal/layout"
+	"github.com/tasm-repro/tasm/internal/query"
+	"github.com/tasm-repro/tasm/internal/semindex"
+	"github.com/tasm-repro/tasm/internal/tilestore"
+	"github.com/tasm-repro/tasm/internal/vcodec"
+)
+
+// Config bundles the storage manager's tuning parameters.
+type Config struct {
+	// Codec parameters used for ingest and re-encoding.
+	Codec vcodec.Params
+	// Alpha is the do-not-tile threshold on P(L)/P(ω) (paper §3.4.4).
+	Alpha float64
+	// Eta scales the re-encode cost in the regret policy's retile rule
+	// δ > η·R (paper §4.4).
+	Eta float64
+	// Model estimates decode and encode costs.
+	Model costmodel.Model
+	// Granularity selects fine or coarse non-uniform layouts.
+	Granularity layout.Granularity
+	// Align, MinTileW, MinTileH are the codec's layout constraints.
+	Align, MinTileW, MinTileH int
+	// Parallelism bounds concurrent tile decodes within one Scan. The
+	// paper's prototype "does not parallelize encoding or decoding
+	// multiple tiles at once", so the default is 1; higher values are an
+	// extension this reproduction adds.
+	Parallelism int
+}
+
+// DefaultConfig returns the configuration used throughout the evaluation.
+func DefaultConfig() Config {
+	return Config{
+		Codec:       vcodec.DefaultParams(),
+		Alpha:       costmodel.DefaultAlpha,
+		Eta:         1.0,
+		Model:       costmodel.Default(),
+		Granularity: layout.Fine,
+		Align:       16,
+		MinTileW:    64,
+		MinTileH:    64,
+		Parallelism: 1,
+	}
+}
+
+// Constraints returns the layout constraints for a w×h video.
+func (c Config) Constraints(w, h int) layout.Constraints {
+	return layout.Constraints{FrameW: w, FrameH: h, Align: c.Align, MinWidth: c.MinTileW, MinHeight: c.MinTileH}
+}
+
+// Manager is the tile-aware storage manager.
+type Manager struct {
+	cfg   Config
+	store *tilestore.Store
+	index *semindex.Index
+}
+
+// Open creates or opens a storage manager rooted at dir (tiles under
+// dir/tiles, semantic index at dir/semindex.bt).
+func Open(dir string, cfg Config) (*Manager, error) {
+	st, err := tilestore.Open(filepath.Join(dir, "tiles"))
+	if err != nil {
+		return nil, err
+	}
+	ix, err := semindex.Open(filepath.Join(dir, "semindex.bt"))
+	if err != nil {
+		return nil, err
+	}
+	return &Manager{cfg: cfg, store: st, index: ix}, nil
+}
+
+// Close flushes and closes the semantic index.
+func (m *Manager) Close() error { return m.index.Close() }
+
+// Config returns the manager's configuration.
+func (m *Manager) Config() Config { return m.cfg }
+
+// Index exposes the semantic index.
+func (m *Manager) Index() *semindex.Index { return m.index }
+
+// Store exposes the physical tile store.
+func (m *Manager) Store() *tilestore.Store { return m.store }
+
+// Meta returns the catalog record for a video.
+func (m *Manager) Meta(video string) (tilestore.VideoMeta, error) { return m.store.Meta(video) }
+
+// IngestStats reports the work done by an ingest.
+type IngestStats struct {
+	EncodeWall time.Duration
+	Bytes      int64
+	SOTs       int
+}
+
+// Ingest stores frames as an untiled video: one SOT per GOP, each with the
+// 1×1 layout ω, so later re-tiling of any SOT is independent of the others.
+func (m *Manager) Ingest(video string, frames []*frame.Frame, fps int) (IngestStats, error) {
+	n := len(frames)
+	if n == 0 {
+		return IngestStats{}, fmt.Errorf("core: no frames")
+	}
+	gop := m.cfg.Codec.GOPLength
+	if gop <= 0 {
+		gop = vcodec.DefaultParams().GOPLength
+	}
+	w, h := frames[0].W, frames[0].H
+	layouts := make([]layout.Layout, 0, (n+gop-1)/gop)
+	for from := 0; from < n; from += gop {
+		layouts = append(layouts, layout.Single(w, h))
+	}
+	return m.IngestTiled(video, frames, fps, layouts)
+}
+
+// IngestTiled stores frames with a caller-chosen layout per SOT (SOTs are
+// GOP-length chunks). This is the path edge cameras use to upload pre-tiled
+// video (paper §4.3, "Edge tiling").
+func (m *Manager) IngestTiled(video string, frames []*frame.Frame, fps int, layouts []layout.Layout) (IngestStats, error) {
+	n := len(frames)
+	if n == 0 {
+		return IngestStats{}, fmt.Errorf("core: no frames")
+	}
+	w, h := frames[0].W, frames[0].H
+	gop := m.cfg.Codec.GOPLength
+	if gop <= 0 {
+		gop = vcodec.DefaultParams().GOPLength
+	}
+	numSOTs := (n + gop - 1) / gop
+	if len(layouts) != numSOTs {
+		return IngestStats{}, fmt.Errorf("core: %d layouts for %d SOTs", len(layouts), numSOTs)
+	}
+	cons := m.cfg.Constraints(w, h)
+	meta := tilestore.VideoMeta{
+		Name: video, W: w, H: h, FPS: fps, GOPLength: gop, FrameCount: n,
+	}
+	var sotTiles [][]*container.Video
+	start := time.Now()
+	for si := 0; si < numSOTs; si++ {
+		from := si * gop
+		to := min(from+gop, n)
+		l := layouts[si]
+		if err := l.Validate(cons); err != nil {
+			return IngestStats{}, fmt.Errorf("core: SOT %d: %w", si, err)
+		}
+		tiles, err := container.EncodeTiled(frames[from:to], l, fps, m.cfg.Codec)
+		if err != nil {
+			return IngestStats{}, fmt.Errorf("core: SOT %d: %w", si, err)
+		}
+		meta.SOTs = append(meta.SOTs, tilestore.SOTMeta{ID: si, From: from, To: to, L: l})
+		sotTiles = append(sotTiles, tiles)
+	}
+	encodeWall := time.Since(start)
+	if err := m.store.CreateVideo(meta, sotTiles); err != nil {
+		return IngestStats{}, err
+	}
+	bytes, err := m.store.VideoBytes(video)
+	if err != nil {
+		return IngestStats{}, err
+	}
+	return IngestStats{EncodeWall: encodeWall, Bytes: bytes, SOTs: numSOTs}, nil
+}
+
+// AddMetadata records an object detection, the paper's
+// AddMetadata(video, frame, label, x1, y1, x2, y2) call.
+func (m *Manager) AddMetadata(video string, frameIdx int, label string, x1, y1, x2, y2 int) error {
+	return m.index.Add(video, semindex.Detection{
+		Frame: frameIdx, Label: label, Box: geom.R(x1, y1, x2, y2),
+	})
+}
+
+// AddDetections records a batch of detections.
+func (m *Manager) AddDetections(video string, ds []semindex.Detection) error {
+	return m.index.AddBatch(video, ds)
+}
+
+// RegionResult is one retrieved pixel region: the requested rectangle
+// (snapped outward to even coordinates for 4:2:0 alignment) and its decoded
+// pixels.
+type RegionResult struct {
+	Frame  int
+	Region geom.Rect
+	Pixels *frame.Frame
+}
+
+// ScanStats reports the work a Scan performed. DecodeWall is the measured
+// decode time — the quantity every figure in the paper's evaluation plots.
+type ScanStats struct {
+	IndexWall       time.Duration
+	DecodeWall      time.Duration
+	PixelsDecoded   int64
+	TilesDecoded    int
+	FramesDecoded   int64
+	RegionsReturned int
+	SOTsTouched     int
+}
+
+// Scan implements the paper's Scan(video, L, T) access method: it consults
+// the semantic index for the boxes matching the label predicate within the
+// time range, determines which tiles contain them, decodes only those
+// tiles, and returns the matching pixel regions.
+func (m *Manager) Scan(q query.Query) ([]RegionResult, ScanStats, error) {
+	var st ScanStats
+	meta, err := m.store.Meta(q.Video)
+	if err != nil {
+		return nil, st, err
+	}
+	from, to := q.From, q.To
+	if to < 0 || to > meta.FrameCount {
+		to = meta.FrameCount
+	}
+	if from < 0 {
+		from = 0
+	}
+	if from >= to {
+		return nil, st, nil
+	}
+
+	regions, indexWall, err := m.regionsForQuery(q, from, to)
+	if err != nil {
+		return nil, st, err
+	}
+	st.IndexWall = indexWall
+	if len(regions) == 0 {
+		return nil, st, nil
+	}
+
+	var out []RegionResult
+	decodeStart := time.Now()
+	for _, sot := range meta.SOTsInRange(from, to) {
+		qf := costmodel.QueryFrames{}
+		for f := max(from, sot.From); f < min(to, sot.To); f++ {
+			if rs := regions[f]; len(rs) > 0 {
+				qf[f-sot.From] = rs
+			}
+		}
+		if len(qf) == 0 {
+			continue
+		}
+		st.SOTsTouched++
+		results, err := m.scanSOT(q.Video, sot, qf, &st)
+		if err != nil {
+			return nil, st, err
+		}
+		out = append(out, results...)
+	}
+	st.DecodeWall = time.Since(decodeStart)
+	st.RegionsReturned = len(out)
+	return out, st, nil
+}
+
+// regionsForQuery evaluates the label predicate against the semantic index,
+// returning the requested pixel regions per frame.
+func (m *Manager) regionsForQuery(q query.Query, from, to int) (map[int][]geom.Rect, time.Duration, error) {
+	start := time.Now()
+	byLabelFrame := map[string]map[int][]geom.Rect{}
+	for _, label := range q.Pred.Labels() {
+		entries, err := m.index.Lookup(q.Video, label, from, to)
+		if err != nil {
+			return nil, 0, err
+		}
+		perFrame := map[int][]geom.Rect{}
+		for _, e := range entries {
+			perFrame[e.Frame] = append(perFrame[e.Frame], e.Box)
+		}
+		byLabelFrame[label] = perFrame
+	}
+	regions := map[int][]geom.Rect{}
+	for f := from; f < to; f++ {
+		boxes := map[string][]geom.Rect{}
+		any := false
+		for label, perFrame := range byLabelFrame {
+			if bs := perFrame[f]; len(bs) > 0 {
+				boxes[label] = bs
+				any = true
+			}
+		}
+		if !any {
+			continue
+		}
+		if rs := q.Pred.Regions(boxes); len(rs) > 0 {
+			regions[f] = rs
+		}
+	}
+	return regions, time.Since(start), nil
+}
+
+// scanSOT decodes the needed tiles of one SOT and assembles region pixels.
+func (m *Manager) scanSOT(video string, sot tilestore.SOTMeta, qf costmodel.QueryFrames, st *ScanStats) ([]RegionResult, error) {
+	// Which tiles are needed, and through which frame offset.
+	lastNeeded := map[int]int{}
+	for off, rs := range qf {
+		for _, r := range rs {
+			for _, ti := range sot.L.TilesIntersecting(r) {
+				if cur, ok := lastNeeded[ti]; !ok || off > cur {
+					lastNeeded[ti] = off
+				}
+			}
+		}
+	}
+	// Decode each needed tile once, from the SOT keyframe.
+	decoded, err := m.decodeTiles(video, sot, lastNeeded, st)
+	if err != nil {
+		return nil, err
+	}
+	// Assemble each requested region from the decoded tiles.
+	frameRect := geom.R(0, 0, sot.L.Width(), sot.L.Height())
+	var out []RegionResult
+	for off, rs := range qf {
+		for _, r := range rs {
+			region := snapEven(r).Clamp(frameRect)
+			if region.Empty() {
+				continue
+			}
+			pix := frame.New(region.Width(), region.Height())
+			for ti, frames := range decoded {
+				tileRect := sot.L.TileRectByIndex(ti)
+				inter := region.Intersect(tileRect)
+				if inter.Empty() || off >= len(frames) {
+					continue
+				}
+				crop := frames[off].Crop(inter.Translate(-tileRect.X0, -tileRect.Y0))
+				pix.Blit(crop, inter.X0-region.X0, inter.Y0-region.Y0)
+			}
+			out = append(out, RegionResult{Frame: sot.From + off, Region: region, Pixels: pix})
+		}
+	}
+	return out, nil
+}
+
+// decodeTiles decodes the needed tiles of a SOT, each from its keyframe
+// through the last needed frame offset, sequentially or with bounded
+// parallelism per Config.Parallelism.
+func (m *Manager) decodeTiles(video string, sot tilestore.SOTMeta, lastNeeded map[int]int, st *ScanStats) (map[int][]*frame.Frame, error) {
+	decoded := make(map[int][]*frame.Frame, len(lastNeeded))
+	workers := m.cfg.Parallelism
+	if workers <= 1 || len(lastNeeded) <= 1 {
+		for ti, last := range lastNeeded {
+			tv, err := m.store.ReadTile(video, sot, ti)
+			if err != nil {
+				return nil, err
+			}
+			frames, ds, err := tv.DecodeRange(0, last+1)
+			if err != nil {
+				return nil, fmt.Errorf("core: %s SOT %d tile %d: %w", video, sot.ID, ti, err)
+			}
+			decoded[ti] = frames
+			st.TilesDecoded++
+			st.FramesDecoded += ds.FramesDecoded
+			st.PixelsDecoded += ds.PixelsDecoded
+		}
+		return decoded, nil
+	}
+	type job struct{ ti, last int }
+	jobs := make(chan job, len(lastNeeded))
+	for ti, last := range lastNeeded {
+		jobs <- job{ti, last}
+	}
+	close(jobs)
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		firstErr error
+	)
+	if workers > len(lastNeeded) {
+		workers = len(lastNeeded)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				tv, err := m.store.ReadTile(video, sot, j.ti)
+				if err == nil {
+					var frames []*frame.Frame
+					var ds vcodec.DecodeStats
+					frames, ds, err = tv.DecodeRange(0, j.last+1)
+					if err == nil {
+						mu.Lock()
+						decoded[j.ti] = frames
+						st.TilesDecoded++
+						st.FramesDecoded += ds.FramesDecoded
+						st.PixelsDecoded += ds.PixelsDecoded
+						mu.Unlock()
+						continue
+					}
+				}
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("core: %s SOT %d tile %d: %w", video, sot.ID, j.ti, err)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return decoded, nil
+}
+
+func snapEven(r geom.Rect) geom.Rect {
+	r.X0 &^= 1
+	r.Y0 &^= 1
+	if r.X1%2 != 0 {
+		r.X1++
+	}
+	if r.Y1%2 != 0 {
+		r.Y1++
+	}
+	return r
+}
+
+// QueryDemand returns, per touched SOT, the regions a query requests at
+// each frame offset — the input to the cost model's what-if analysis. No
+// decoding is performed.
+func (m *Manager) QueryDemand(q query.Query) (map[int]costmodel.QueryFrames, map[int]tilestore.SOTMeta, error) {
+	meta, err := m.store.Meta(q.Video)
+	if err != nil {
+		return nil, nil, err
+	}
+	from, to := q.From, q.To
+	if to < 0 || to > meta.FrameCount {
+		to = meta.FrameCount
+	}
+	if from < 0 {
+		from = 0
+	}
+	regions, _, err := m.regionsForQuery(q, from, to)
+	if err != nil {
+		return nil, nil, err
+	}
+	demands := map[int]costmodel.QueryFrames{}
+	sots := map[int]tilestore.SOTMeta{}
+	for _, sot := range meta.SOTsInRange(from, to) {
+		qf := costmodel.QueryFrames{}
+		for f := max(from, sot.From); f < min(to, sot.To); f++ {
+			if rs := regions[f]; len(rs) > 0 {
+				qf[f-sot.From] = rs
+			}
+		}
+		if len(qf) > 0 {
+			demands[sot.ID] = qf
+			sots[sot.ID] = sot
+		}
+	}
+	return demands, sots, nil
+}
+
+// DecodeFrames decodes and reassembles full frames [from, to), regardless
+// of layout. This is the path detection runs on (a detector needs whole
+// frames).
+func (m *Manager) DecodeFrames(video string, from, to int) ([]*frame.Frame, ScanStats, error) {
+	var st ScanStats
+	meta, err := m.store.Meta(video)
+	if err != nil {
+		return nil, st, err
+	}
+	if from < 0 || to > meta.FrameCount || from >= to {
+		return nil, st, fmt.Errorf("core: invalid range [%d,%d)", from, to)
+	}
+	out := make([]*frame.Frame, 0, to-from)
+	start := time.Now()
+	for _, sot := range meta.SOTsInRange(from, to) {
+		lo, hi := max(from, sot.From), min(to, sot.To)
+		full := make([]*frame.Frame, hi-lo)
+		for i := range full {
+			full[i] = frame.New(meta.W, meta.H)
+		}
+		st.SOTsTouched++
+		for ti := 0; ti < sot.L.NumTiles(); ti++ {
+			tv, err := m.store.ReadTile(video, sot, ti)
+			if err != nil {
+				return nil, st, err
+			}
+			frames, ds, err := tv.DecodeRange(lo-sot.From, hi-sot.From)
+			if err != nil {
+				return nil, st, err
+			}
+			st.TilesDecoded++
+			st.FramesDecoded += ds.FramesDecoded
+			st.PixelsDecoded += ds.PixelsDecoded
+			rect := sot.L.TileRectByIndex(ti)
+			for i, tf := range frames {
+				full[i].Blit(tf, rect.X0, rect.Y0)
+			}
+		}
+		out = append(out, full...)
+	}
+	st.DecodeWall = time.Since(start)
+	return out, st, nil
+}
+
+// RetileStats reports the work of a re-tiling operation.
+type RetileStats struct {
+	DecodeWall time.Duration
+	EncodeWall time.Duration
+	Bytes      int64
+}
+
+// RetileSOT re-encodes one SOT under a new layout: decode all current
+// tiles, reassemble frames, encode with the new layout, atomically swap,
+// and refresh the semantic index's tile pointers for boxes in the range.
+func (m *Manager) RetileSOT(video string, sotID int, l layout.Layout) (RetileStats, error) {
+	var rs RetileStats
+	meta, err := m.store.Meta(video)
+	if err != nil {
+		return rs, err
+	}
+	var sot tilestore.SOTMeta
+	found := false
+	for _, s := range meta.SOTs {
+		if s.ID == sotID {
+			sot, found = s, true
+			break
+		}
+	}
+	if !found {
+		return rs, fmt.Errorf("core: video %q has no SOT %d", video, sotID)
+	}
+	if err := l.Validate(m.cfg.Constraints(meta.W, meta.H)); err != nil {
+		return rs, err
+	}
+	if l.Equal(sot.L) {
+		return rs, nil // already in the requested layout
+	}
+
+	frames, st, err := m.DecodeFrames(video, sot.From, sot.To)
+	if err != nil {
+		return rs, err
+	}
+	rs.DecodeWall = st.DecodeWall
+
+	encStart := time.Now()
+	tiles, err := container.EncodeTiled(frames, l, meta.FPS, m.cfg.Codec)
+	if err != nil {
+		return rs, err
+	}
+	rs.EncodeWall = time.Since(encStart)
+	if err := m.store.ReplaceSOT(video, sotID, l, tiles); err != nil {
+		return rs, err
+	}
+	for _, tv := range tiles {
+		rs.Bytes += tv.SizeBytes()
+	}
+	if err := m.refreshPointers(video, sot, l); err != nil {
+		return rs, err
+	}
+	return rs, nil
+}
+
+// refreshPointers re-materializes box→tile pointers for all detections in
+// the SOT's frame range under the new layout.
+func (m *Manager) refreshPointers(video string, sot tilestore.SOTMeta, l layout.Layout) error {
+	labels, err := m.index.Labels(video)
+	if err != nil {
+		return err
+	}
+	for _, label := range labels {
+		entries, err := m.index.Lookup(video, label, sot.From, sot.To)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			var tiles []uint16
+			for _, ti := range l.TilesIntersecting(e.Box) {
+				tiles = append(tiles, uint16(ti))
+			}
+			p := semindex.TilePointer{SOT: uint32(sot.ID), Tiles: tiles}
+			if err := m.index.SetPointer(video, e.Detection, p); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// StitchSOT performs homomorphic stitching of a SOT's tiles into a single
+// stream (paper §3.4.5: queries for whole frames).
+func (m *Manager) StitchSOT(video string, sotID int) (*container.Stitched, error) {
+	meta, err := m.store.Meta(video)
+	if err != nil {
+		return nil, err
+	}
+	for _, sot := range meta.SOTs {
+		if sot.ID != sotID {
+			continue
+		}
+		tiles, err := m.store.ReadAllTiles(video, sot)
+		if err != nil {
+			return nil, err
+		}
+		return container.Stitch(sot.L, tiles)
+	}
+	return nil, fmt.Errorf("core: video %q has no SOT %d", video, sotID)
+}
+
+// VideoBytes returns the video's total storage footprint.
+func (m *Manager) VideoBytes(video string) (int64, error) { return m.store.VideoBytes(video) }

@@ -1,0 +1,185 @@
+// Package costmodel implements TASM's decode cost model (paper §4.1):
+//
+//	C(s, q, L) = β·P(s, q, L) + γ·T(s, q, L)
+//
+// where P counts pixels decoded and T counts tile-decode sessions. The
+// package computes P and T for a query under a layout, evaluates C, exposes
+// the "what-if" interface used by every tiling policy, estimates re-encode
+// cost R(s, L), and calibrates β and γ by ordinary least squares against
+// live decode timings (the paper fits the same linear model over 1,400
+// combinations and reports R² = 0.996).
+package costmodel
+
+import (
+	"time"
+
+	"github.com/tasm-repro/tasm/internal/geom"
+	"github.com/tasm-repro/tasm/internal/layout"
+	"github.com/tasm-repro/tasm/internal/stats"
+)
+
+// Model holds calibrated cost coefficients. Costs are expressed in seconds.
+type Model struct {
+	// Beta is the decode cost per pixel (the β coefficient).
+	Beta float64
+	// Gamma is the fixed cost per tile-decode session (the γ coefficient).
+	Gamma float64
+	// EncPerPixel is the encode cost per pixel, used for the re-encode
+	// cost R(s, L) consulted by the regret policy.
+	EncPerPixel float64
+	// R2 reports the goodness of fit from calibration (0 for defaults).
+	R2 float64
+}
+
+// Default returns coefficients measured for this repository's pure-Go codec
+// on a contemporary x86 core. Calibrate refits them for the local machine.
+func Default() Model {
+	return Model{
+		Beta:        42e-9,  // ~24M pixels/second decode
+		Gamma:       120e-6, // per-tile stream setup + container parse
+		EncPerPixel: 85e-9,  // ~12M pixels/second encode
+	}
+}
+
+// QueryFrames describes what a query needs from one SOT: for each frame
+// offset within the SOT (0-based), the pixel regions it must retrieve.
+type QueryFrames map[int][]geom.Rect
+
+// Demand summarizes the decode work a query induces on a SOT under a
+// layout.
+type Demand struct {
+	// Pixels is P(s,q,L): total pixels decoded. A tile needed at frame
+	// offset k must be decoded from the SOT's keyframe (frame 0) through
+	// k, so its contribution is tileArea × (lastNeeded+1).
+	Pixels int64
+	// Tiles is T(s,q,L): the number of tile-decode sessions opened.
+	Tiles int
+}
+
+// ComputeDemand returns P and T for a query over a SOT encoded with layout
+// l. q maps frame offsets within the SOT to requested regions.
+func ComputeDemand(l layout.Layout, q QueryFrames) Demand {
+	lastNeeded := map[int]int{} // tile index -> last frame offset needed
+	for off, boxes := range q {
+		if off < 0 {
+			continue
+		}
+		for _, b := range boxes {
+			for _, ti := range l.TilesIntersecting(b) {
+				if cur, ok := lastNeeded[ti]; !ok || off > cur {
+					lastNeeded[ti] = off
+				}
+			}
+		}
+	}
+	var d Demand
+	for ti, last := range lastNeeded {
+		d.Pixels += l.TileRectByIndex(ti).Area() * int64(last+1)
+		d.Tiles++
+	}
+	return d
+}
+
+// QueryCost evaluates C(s,q,L) in seconds.
+func (m Model) QueryCost(l layout.Layout, q QueryFrames) float64 {
+	d := ComputeDemand(l, q)
+	return m.Beta*float64(d.Pixels) + m.Gamma*float64(d.Tiles)
+}
+
+// Delta returns the estimated improvement ∆(q, L, L') = C(s,q,L) − C(s,q,L')
+// of switching from layout l to alt for this query: positive when alt is
+// faster.
+func (m Model) Delta(l, alt layout.Layout, q QueryFrames) float64 {
+	return m.QueryCost(l, q) - m.QueryCost(alt, q)
+}
+
+// EncodeCost estimates R(s, L): the cost of re-encoding a SOT of nFrames
+// w×h frames with layout l. Tiled encodes pay for padded tile areas.
+func (m Model) EncodeCost(l layout.Layout, nFrames int) float64 {
+	var pixels int64
+	for i := 0; i < l.NumTiles(); i++ {
+		r := l.TileRectByIndex(i)
+		pixels += int64(padUp(r.Width(), 16)) * int64(padUp(r.Height(), 16))
+	}
+	return m.EncPerPixel * float64(pixels) * float64(nFrames)
+}
+
+func padUp(v, m int) int { return (v + m - 1) / m * m }
+
+// PixelRatio returns P(s,q,L) / P(s,q,ω): the fraction of the untiled
+// decode work a layout still performs. The paper's "do not tile" rule
+// (§3.4.4) skips layouts with ratio above α = 0.8.
+func PixelRatio(l layout.Layout, q QueryFrames) float64 {
+	w, h := l.Width(), l.Height()
+	tiled := ComputeDemand(l, q)
+	untiled := ComputeDemand(layout.Single(w, h), q)
+	if untiled.Pixels == 0 {
+		return 1
+	}
+	return float64(tiled.Pixels) / float64(untiled.Pixels)
+}
+
+// DefaultAlpha is the pixel-ratio threshold above which tiling is judged
+// unhelpful; the paper finds 0.8 captures nearly all regressions (Fig. 10).
+const DefaultAlpha = 0.8
+
+// Sample is one calibration observation: a measured decode under a known
+// demand.
+type Sample struct {
+	Pixels  int64
+	Tiles   int
+	Elapsed time.Duration
+}
+
+// FitReport summarizes a calibration.
+type FitReport struct {
+	Samples int
+	R2      float64
+}
+
+// Fit performs the paper's linear-model fit over measured samples and
+// returns an updated model (β and γ replaced; encode rate preserved).
+func (m Model) Fit(samples []Sample) (Model, FitReport) {
+	if len(samples) < 2 {
+		return m, FitReport{Samples: len(samples)}
+	}
+	y := make([]float64, len(samples))
+	px := make([]float64, len(samples))
+	tl := make([]float64, len(samples))
+	for i, s := range samples {
+		y[i] = s.Elapsed.Seconds()
+		px[i] = float64(s.Pixels)
+		tl[i] = float64(s.Tiles)
+	}
+	fit := stats.FitLinearNoIntercept(y, px, tl)
+	if len(fit.Coef) != 2 || fit.Coef[0] <= 0 {
+		return m, FitReport{Samples: len(samples), R2: fit.R2}
+	}
+	out := m
+	out.Beta = fit.Coef[0]
+	out.Gamma = fit.Coef[1]
+	if out.Gamma < 0 {
+		out.Gamma = 0
+	}
+	out.R2 = fit.R2
+	return out, FitReport{Samples: len(samples), R2: fit.R2}
+}
+
+// FitEncode refits the per-pixel encode rate from (pixels, elapsed) pairs.
+func (m Model) FitEncode(pixels []int64, elapsed []time.Duration) Model {
+	if len(pixels) == 0 || len(pixels) != len(elapsed) {
+		return m
+	}
+	var sumXY, sumXX float64
+	for i := range pixels {
+		x := float64(pixels[i])
+		sumXY += x * elapsed[i].Seconds()
+		sumXX += x * x
+	}
+	if sumXX == 0 {
+		return m
+	}
+	out := m
+	out.EncPerPixel = sumXY / sumXX
+	return out
+}

@@ -1,0 +1,190 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/tasm-repro/tasm/internal/geom"
+	"github.com/tasm-repro/tasm/internal/layout"
+	"github.com/tasm-repro/tasm/internal/stats"
+)
+
+func uniform(rows, cols, w, h int) layout.Layout {
+	l, err := layout.Uniform(rows, cols, layout.DefaultConstraints(w, h))
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+func TestComputeDemandSingleTile(t *testing.T) {
+	l := layout.Single(640, 360)
+	q := QueryFrames{
+		0: {geom.R(0, 0, 10, 10)},
+		4: {geom.R(100, 100, 120, 120)},
+	}
+	d := ComputeDemand(l, q)
+	if d.Tiles != 1 {
+		t.Errorf("Tiles = %d, want 1", d.Tiles)
+	}
+	// One tile needed through frame 4: 5 frames of full-frame pixels.
+	if want := int64(640*360) * 5; d.Pixels != want {
+		t.Errorf("Pixels = %d, want %d", d.Pixels, want)
+	}
+}
+
+func TestComputeDemandSubsetOfTiles(t *testing.T) {
+	l := uniform(2, 2, 640, 360)
+	// Box only in the top-left tile, needed at frame 2.
+	q := QueryFrames{2: {geom.R(10, 10, 50, 50)}}
+	d := ComputeDemand(l, q)
+	if d.Tiles != 1 {
+		t.Errorf("Tiles = %d, want 1", d.Tiles)
+	}
+	tileArea := l.TileRectByIndex(0).Area()
+	if want := tileArea * 3; d.Pixels != want {
+		t.Errorf("Pixels = %d, want %d", d.Pixels, want)
+	}
+}
+
+func TestComputeDemandMultiFrameMax(t *testing.T) {
+	l := uniform(2, 2, 640, 360)
+	q := QueryFrames{
+		0: {geom.R(10, 10, 50, 50)},     // tile 0
+		5: {geom.R(10, 10, 50, 50)},     // tile 0 again, later
+		1: {geom.R(400, 200, 500, 300)}, // tile 3
+	}
+	d := ComputeDemand(l, q)
+	if d.Tiles != 2 {
+		t.Errorf("Tiles = %d, want 2", d.Tiles)
+	}
+	want := l.TileRectByIndex(0).Area()*6 + l.TileRectByIndex(3).Area()*2
+	if d.Pixels != want {
+		t.Errorf("Pixels = %d, want %d", d.Pixels, want)
+	}
+}
+
+func TestComputeDemandEmpty(t *testing.T) {
+	l := uniform(2, 2, 640, 360)
+	d := ComputeDemand(l, QueryFrames{})
+	if d.Pixels != 0 || d.Tiles != 0 {
+		t.Errorf("empty demand = %+v", d)
+	}
+	d = ComputeDemand(l, QueryFrames{3: nil})
+	if d.Pixels != 0 || d.Tiles != 0 {
+		t.Errorf("no-box demand = %+v", d)
+	}
+}
+
+func TestQueryCostOrdering(t *testing.T) {
+	m := Default()
+	small := QueryFrames{0: {geom.R(0, 0, 40, 40)}}
+	// A layout isolating the box should cost less than the untiled layout.
+	tiled := uniform(3, 3, 640, 360)
+	untiled := layout.Single(640, 360)
+	if m.QueryCost(tiled, small) >= m.QueryCost(untiled, small) {
+		t.Error("tiled layout not cheaper for a small query")
+	}
+	if m.Delta(untiled, tiled, small) <= 0 {
+		t.Error("Delta should be positive when alt is faster")
+	}
+	if m.Delta(tiled, untiled, small) >= 0 {
+		t.Error("Delta should be negative when alt is slower")
+	}
+}
+
+func TestPixelRatio(t *testing.T) {
+	l := uniform(2, 2, 640, 360)
+	q := QueryFrames{0: {geom.R(0, 0, 40, 40)}}
+	r := PixelRatio(l, q)
+	want := float64(l.TileRectByIndex(0).Area()) / float64(640*360)
+	if math.Abs(r-want) > 1e-9 {
+		t.Errorf("ratio = %f, want %f", r, want)
+	}
+	// Full-frame query: ratio 1.
+	q = QueryFrames{0: {geom.R(0, 0, 640, 360)}}
+	if r := PixelRatio(l, q); r != 1 {
+		t.Errorf("full query ratio = %f", r)
+	}
+	// No boxes: defined as 1 (tiling cannot help).
+	if r := PixelRatio(l, QueryFrames{}); r != 1 {
+		t.Errorf("empty ratio = %f", r)
+	}
+}
+
+func TestEncodeCost(t *testing.T) {
+	m := Default()
+	untiled := layout.Single(640, 360)
+	c1 := m.EncodeCost(untiled, 30)
+	if c1 <= 0 {
+		t.Fatal("encode cost not positive")
+	}
+	// More tiles -> padding overhead -> higher encode cost.
+	tiled := uniform(4, 4, 640, 360)
+	c2 := m.EncodeCost(tiled, 30)
+	if c2 < c1 {
+		t.Errorf("tiled encode %f cheaper than untiled %f", c2, c1)
+	}
+	// Cost scales with frames.
+	if m.EncodeCost(untiled, 60) <= c1 {
+		t.Error("encode cost does not scale with frames")
+	}
+}
+
+func TestFitRecoversCoefficients(t *testing.T) {
+	trueBeta, trueGamma := 40e-9, 100e-6
+	rng := stats.NewRNG(7)
+	var samples []Sample
+	for i := 0; i < 200; i++ {
+		px := int64(10000 + rng.Intn(5_000_000))
+		tl := 1 + rng.Intn(30)
+		sec := trueBeta*float64(px) + trueGamma*float64(tl)
+		sec *= 1 + 0.02*(rng.Float64()-0.5) // 2% noise
+		samples = append(samples, Sample{Pixels: px, Tiles: tl, Elapsed: time.Duration(sec * 1e9)})
+	}
+	m, rep := Default().Fit(samples)
+	if rep.Samples != 200 {
+		t.Errorf("Samples = %d", rep.Samples)
+	}
+	if rep.R2 < 0.99 {
+		t.Errorf("R2 = %f, want > 0.99 (paper reports 0.996)", rep.R2)
+	}
+	if math.Abs(m.Beta-trueBeta)/trueBeta > 0.1 {
+		t.Errorf("Beta = %g, want ~%g", m.Beta, trueBeta)
+	}
+	if math.Abs(m.Gamma-trueGamma)/trueGamma > 0.25 {
+		t.Errorf("Gamma = %g, want ~%g", m.Gamma, trueGamma)
+	}
+}
+
+func TestFitDegenerate(t *testing.T) {
+	m := Default()
+	m2, rep := m.Fit(nil)
+	if m2 != m || rep.Samples != 0 {
+		t.Error("empty fit should return the model unchanged")
+	}
+	m2, _ = m.Fit([]Sample{{Pixels: 100, Tiles: 1, Elapsed: time.Millisecond}})
+	if m2 != m {
+		t.Error("single-sample fit should return the model unchanged")
+	}
+}
+
+func TestFitEncode(t *testing.T) {
+	m := Default()
+	pixels := []int64{1_000_000, 2_000_000, 4_000_000}
+	elapsed := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond}
+	m2 := m.FitEncode(pixels, elapsed)
+	if math.Abs(m2.EncPerPixel-100e-9)/100e-9 > 0.01 {
+		t.Errorf("EncPerPixel = %g, want 1e-7", m2.EncPerPixel)
+	}
+	if m.FitEncode(nil, nil) != m {
+		t.Error("empty FitEncode changed model")
+	}
+}
+
+func TestDefaultAlphaValue(t *testing.T) {
+	if DefaultAlpha != 0.8 {
+		t.Errorf("alpha = %v, paper uses 0.8", DefaultAlpha)
+	}
+}

@@ -1,0 +1,244 @@
+package detect
+
+import (
+	"testing"
+	"time"
+
+	"github.com/tasm-repro/tasm/internal/geom"
+	"github.com/tasm-repro/tasm/internal/scene"
+)
+
+func testVideo(t *testing.T, pan float64) *scene.Video {
+	t.Helper()
+	v, err := scene.Generate(scene.Spec{
+		Name: "dt", W: 320, H: 180, FPS: 10, DurationSec: 4,
+		CameraPan: pan,
+		Classes: []scene.ClassMix{
+			{Class: scene.Car, Count: 3, SizeFrac: 0.12},
+			{Class: scene.Person, Count: 3, SizeFrac: 0.25},
+			{Class: scene.TrafficLight, Count: 1, SizeFrac: 0.08},
+		},
+		Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestOracleHighRecall(t *testing.T) {
+	v := testVideo(t, 0)
+	o := &Oracle{Lat: DefaultLatencies()}
+	var found, truth int
+	for f := 0; f < 40; f++ {
+		ds, lat := o.Detect(v, f)
+		if lat != DefaultLatencies().Full {
+			t.Fatalf("latency = %v", lat)
+		}
+		found += len(ds)
+		truth += len(v.GroundTruth(f))
+	}
+	recall := float64(found) / float64(truth)
+	if recall < 0.95 {
+		t.Errorf("oracle recall = %.2f, want >= 0.95", recall)
+	}
+	// Boxes must be close to ground truth (high IoU).
+	ds, _ := o.Detect(v, 0)
+	gt := v.GroundTruth(0)
+	for _, d := range ds {
+		best := 0.0
+		for _, tr := range gt {
+			if tr.Label != d.Label {
+				continue
+			}
+			if iou := iou(d.Box, tr.Box); iou > best {
+				best = iou
+			}
+		}
+		if best < 0.6 {
+			t.Errorf("oracle box %v has IoU %.2f with truth", d.Box, best)
+		}
+	}
+}
+
+func TestOracleDeterministic(t *testing.T) {
+	v := testVideo(t, 0)
+	o1 := &Oracle{Lat: DefaultLatencies(), Seed: 3}
+	o2 := &Oracle{Lat: DefaultLatencies(), Seed: 3}
+	a, _ := o1.Detect(v, 5)
+	b, _ := o2.Detect(v, 5)
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic detection count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("non-deterministic detection")
+		}
+	}
+}
+
+func TestTinyLowerRecall(t *testing.T) {
+	v := testVideo(t, 0)
+	oracle := &Oracle{Lat: DefaultLatencies()}
+	tiny := &Tiny{Lat: DefaultLatencies()}
+	var nOracle, nTiny int
+	for f := 0; f < 40; f++ {
+		a, _ := oracle.Detect(v, f)
+		b, latTiny := tiny.Detect(v, f)
+		nOracle += len(a)
+		nTiny += len(b)
+		if latTiny >= DefaultLatencies().Full {
+			t.Fatal("tiny not faster than full")
+		}
+	}
+	if nTiny >= nOracle*3/4 {
+		t.Errorf("tiny found %d vs oracle %d; expected much lower recall", nTiny, nOracle)
+	}
+	if nTiny == 0 {
+		t.Error("tiny found nothing at all")
+	}
+}
+
+func TestBackgroundSubStaticCamera(t *testing.T) {
+	v := testVideo(t, 0)
+	d := &BackgroundSub{Lat: DefaultLatencies()}
+	ds, lat := d.Detect(v, 10)
+	if lat != DefaultLatencies().BgSub {
+		t.Errorf("latency = %v", lat)
+	}
+	for _, det := range ds {
+		if det.Label != BgSubLabel {
+			t.Errorf("label = %q, want %q", det.Label, BgSubLabel)
+		}
+	}
+	// Static traffic light should not be detected: count distinct truth
+	// objects vs blobs — blobs should cover moving objects only, so at
+	// most len(gt)-1 (the static light is missed).
+	gt := v.GroundTruth(10)
+	if len(ds) > len(gt) {
+		t.Errorf("bgsub found %d blobs for %d objects on a static camera", len(ds), len(gt))
+	}
+}
+
+func TestBackgroundSubCameraPanProducesHugeBlobs(t *testing.T) {
+	v := testVideo(t, 0.6)
+	d := &BackgroundSub{Lat: DefaultLatencies()}
+	ds, _ := d.Detect(v, 10)
+	if len(ds) == 0 {
+		t.Fatal("no blobs under camera pan")
+	}
+	var covered int64
+	var boxes []geom.Rect
+	for _, det := range ds {
+		boxes = append(boxes, det.Box)
+	}
+	covered = geom.TotalArea(boxes)
+	frac := float64(covered) / float64(320*180)
+	if frac < 0.3 {
+		t.Errorf("pan blobs cover only %.2f of frame; expected spurious large foreground", frac)
+	}
+}
+
+func TestEveryN(t *testing.T) {
+	v := testVideo(t, 0)
+	inner := &Oracle{Lat: DefaultLatencies()}
+	d := &EveryN{Inner: inner, N: 5}
+	var withDet, without int
+	var totalLat time.Duration
+	for f := 0; f < 20; f++ {
+		ds, lat := d.Detect(v, f)
+		totalLat += lat
+		if f%5 == 0 {
+			if len(ds) == 0 {
+				t.Errorf("frame %d: expected detections", f)
+			}
+			withDet++
+		} else {
+			if len(ds) != 0 || lat != 0 {
+				t.Errorf("frame %d: unexpected work", f)
+			}
+			without++
+		}
+	}
+	if withDet != 4 || without != 16 {
+		t.Errorf("split = %d/%d", withDet, without)
+	}
+	if want := 4 * DefaultLatencies().Full; totalLat != want {
+		t.Errorf("total latency = %v, want %v", totalLat, want)
+	}
+}
+
+func TestRunAccumulates(t *testing.T) {
+	v := testVideo(t, 0)
+	o := &Oracle{Lat: DefaultLatencies()}
+	ds, lat := Run(o, v, 0, 10)
+	if len(ds) == 0 {
+		t.Fatal("Run found nothing")
+	}
+	if lat != 10*DefaultLatencies().Full {
+		t.Errorf("latency = %v", lat)
+	}
+	frames := map[int]bool{}
+	for _, d := range ds {
+		frames[d.Frame] = true
+		if d.Frame < 0 || d.Frame >= 10 {
+			t.Errorf("detection outside range: frame %d", d.Frame)
+		}
+	}
+	if len(frames) < 9 {
+		t.Errorf("detections on only %d frames", len(frames))
+	}
+}
+
+func TestEdgeLatenciesSlower(t *testing.T) {
+	if EdgeLatencies().Full <= DefaultLatencies().Full {
+		t.Error("edge full-model latency should exceed server latency")
+	}
+	// Edge cannot keep up with 30fps capture using the full model: that is
+	// the premise of the every-N strategy.
+	if EdgeLatencies().Full < 34*time.Millisecond {
+		t.Error("edge latency unexpectedly fast")
+	}
+}
+
+func TestDetectorNames(t *testing.T) {
+	for _, tc := range []struct {
+		d    Detector
+		want string
+	}{
+		{&Oracle{}, "yolov3"},
+		{&Tiny{}, "yolov3-tiny"},
+		{&BackgroundSub{}, "bgsub-knn"},
+		{&EveryN{Inner: &Oracle{}, N: 5}, "yolov3-every5"},
+	} {
+		if got := tc.d.Name(); got != tc.want {
+			t.Errorf("Name = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestJitterBoxStaysInFrame(t *testing.T) {
+	v := testVideo(t, 0)
+	o := &Oracle{Lat: DefaultLatencies()}
+	frameRect := geom.R(0, 0, 320, 180)
+	for f := 0; f < 40; f++ {
+		ds, _ := o.Detect(v, f)
+		for _, d := range ds {
+			if d.Box.Empty() {
+				t.Fatalf("empty detection box at frame %d", f)
+			}
+			if !frameRect.Contains(d.Box) {
+				t.Fatalf("box %v escapes frame", d.Box)
+			}
+		}
+	}
+}
+
+func iou(a, b geom.Rect) float64 {
+	inter := float64(a.Intersect(b).Area())
+	union := float64(a.Area()+b.Area()) - inter
+	if union == 0 {
+		return 0
+	}
+	return inter / union
+}

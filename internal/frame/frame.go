@@ -1,0 +1,254 @@
+// Package frame provides the raw (decoded) video frame representation used
+// throughout the reproduction: planar YCbCr with 4:2:0 chroma subsampling,
+// the same sampling structure consumer HEVC video uses. It also implements
+// the quality metrics (MSE / PSNR) with which the paper evaluates tiled
+// output (Figure 6(b)).
+package frame
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/tasm-repro/tasm/internal/geom"
+)
+
+// Frame is a planar YCbCr 4:2:0 picture. Y has W×H samples; Cb and Cr each
+// have (W/2)×(H/2). Width and Height must be even (the codec additionally
+// requires block alignment, handled at encode time by padding).
+type Frame struct {
+	W, H      int
+	Y, Cb, Cr []byte
+}
+
+// New allocates a zeroed frame of the given even dimensions.
+func New(w, h int) *Frame {
+	if w <= 0 || h <= 0 || w%2 != 0 || h%2 != 0 {
+		panic(fmt.Sprintf("frame: invalid dimensions %dx%d (must be positive and even)", w, h))
+	}
+	return &Frame{
+		W: w, H: h,
+		Y:  make([]byte, w*h),
+		Cb: make([]byte, (w/2)*(h/2)),
+		Cr: make([]byte, (w/2)*(h/2)),
+	}
+}
+
+// Bounds returns the frame rectangle [0,W)x[0,H).
+func (f *Frame) Bounds() geom.Rect { return geom.R(0, 0, f.W, f.H) }
+
+// Clone returns a deep copy of f.
+func (f *Frame) Clone() *Frame {
+	g := New(f.W, f.H)
+	copy(g.Y, f.Y)
+	copy(g.Cb, f.Cb)
+	copy(g.Cr, f.Cr)
+	return g
+}
+
+// Fill sets every sample to the given YCbCr color.
+func (f *Frame) Fill(y, cb, cr byte) {
+	for i := range f.Y {
+		f.Y[i] = y
+	}
+	for i := range f.Cb {
+		f.Cb[i] = cb
+		f.Cr[i] = cr
+	}
+}
+
+// SetYRect fills the luma plane inside r (clamped to the frame).
+func (f *Frame) SetYRect(r geom.Rect, y byte) {
+	r = r.Clamp(f.Bounds())
+	for yy := r.Y0; yy < r.Y1; yy++ {
+		row := f.Y[yy*f.W : yy*f.W+f.W]
+		for xx := r.X0; xx < r.X1; xx++ {
+			row[xx] = y
+		}
+	}
+}
+
+// FillRect fills all three planes inside r (clamped; chroma at half rate).
+func (f *Frame) FillRect(r geom.Rect, y, cb, cr byte) {
+	f.SetYRect(r, y)
+	r = r.Clamp(f.Bounds())
+	cw := f.W / 2
+	for yy := r.Y0 / 2; yy < (r.Y1+1)/2; yy++ {
+		for xx := r.X0 / 2; xx < (r.X1+1)/2; xx++ {
+			f.Cb[yy*cw+xx] = cb
+			f.Cr[yy*cw+xx] = cr
+		}
+	}
+}
+
+// YAt returns the luma sample at (x, y) without bounds checking beyond the
+// slice's own.
+func (f *Frame) YAt(x, y int) byte { return f.Y[y*f.W+x] }
+
+// SetY sets the luma sample at (x, y).
+func (f *Frame) SetY(x, y int, v byte) { f.Y[y*f.W+x] = v }
+
+// Crop returns a new frame holding the samples of f inside r. The rectangle
+// is clamped to the frame and snapped outward to even coordinates so the
+// chroma planes stay aligned.
+func (f *Frame) Crop(r geom.Rect) *Frame {
+	r = snapEven(r.Clamp(f.Bounds()))
+	if r.Empty() {
+		panic("frame: Crop of empty rectangle")
+	}
+	out := New(r.Width(), r.Height())
+	out.blitFrom(f, r, 0, 0)
+	return out
+}
+
+// Blit copies src into f with src's top-left placed at (dx, dy). Regions
+// falling outside f are clipped. dx and dy must be even.
+func (f *Frame) Blit(src *Frame, dx, dy int) {
+	if dx%2 != 0 || dy%2 != 0 {
+		panic("frame: Blit offsets must be even for 4:2:0 alignment")
+	}
+	srcRect := geom.R(0, 0, src.W, src.H)
+	// Clip against destination bounds.
+	dstRect := geom.R(dx, dy, dx+src.W, dy+src.H).Clamp(f.Bounds())
+	if dstRect.Empty() {
+		return
+	}
+	srcRect = geom.R(dstRect.X0-dx, dstRect.Y0-dy, dstRect.X1-dx, dstRect.Y1-dy)
+	// Luma rows.
+	for row := 0; row < srcRect.Height(); row++ {
+		sOff := (srcRect.Y0+row)*src.W + srcRect.X0
+		dOff := (dstRect.Y0+row)*f.W + dstRect.X0
+		copy(f.Y[dOff:dOff+srcRect.Width()], src.Y[sOff:sOff+srcRect.Width()])
+	}
+	// Chroma rows.
+	scw, dcw := src.W/2, f.W/2
+	cw, ch := srcRect.Width()/2, srcRect.Height()/2
+	for row := 0; row < ch; row++ {
+		sOff := (srcRect.Y0/2+row)*scw + srcRect.X0/2
+		dOff := (dstRect.Y0/2+row)*dcw + dstRect.X0/2
+		copy(f.Cb[dOff:dOff+cw], src.Cb[sOff:sOff+cw])
+		copy(f.Cr[dOff:dOff+cw], src.Cr[sOff:sOff+cw])
+	}
+}
+
+func (f *Frame) blitFrom(src *Frame, r geom.Rect, dx, dy int) {
+	for row := 0; row < r.Height(); row++ {
+		sOff := (r.Y0+row)*src.W + r.X0
+		dOff := (dy+row)*f.W + dx
+		copy(f.Y[dOff:dOff+r.Width()], src.Y[sOff:sOff+r.Width()])
+	}
+	scw, dcw := src.W/2, f.W/2
+	cw, ch := r.Width()/2, r.Height()/2
+	for row := 0; row < ch; row++ {
+		sOff := (r.Y0/2+row)*scw + r.X0/2
+		dOff := (dy/2+row)*dcw + dx/2
+		copy(f.Cb[dOff:dOff+cw], src.Cb[sOff:sOff+cw])
+		copy(f.Cr[dOff:dOff+cw], src.Cr[sOff:sOff+cw])
+	}
+}
+
+// PadTo returns a frame of dimensions (w, h) >= (f.W, f.H) with f's content
+// in the top-left and edge samples replicated into the padding, the standard
+// codec treatment for non-aligned picture sizes. Returns f itself if no
+// padding is needed.
+func (f *Frame) PadTo(w, h int) *Frame {
+	if w == f.W && h == f.H {
+		return f
+	}
+	if w < f.W || h < f.H {
+		panic("frame: PadTo target smaller than frame")
+	}
+	out := New(w, h)
+	out.Blit(f, 0, 0)
+	// Replicate right edge.
+	for y := 0; y < f.H; y++ {
+		edge := f.Y[y*f.W+f.W-1]
+		for x := f.W; x < w; x++ {
+			out.Y[y*w+x] = edge
+		}
+	}
+	// Replicate bottom edge (including the corner).
+	for y := f.H; y < h; y++ {
+		copy(out.Y[y*w:(y+1)*w], out.Y[(f.H-1)*w:f.H*w])
+	}
+	padChroma := func(dst, src []byte, sw, sh, dw, dh int) {
+		for y := 0; y < sh; y++ {
+			copy(dst[y*dw:y*dw+sw], src[y*sw:y*sw+sw])
+			edge := src[y*sw+sw-1]
+			for x := sw; x < dw; x++ {
+				dst[y*dw+x] = edge
+			}
+		}
+		for y := sh; y < dh; y++ {
+			copy(dst[y*dw:(y+1)*dw], dst[(sh-1)*dw:sh*dw])
+		}
+	}
+	padChroma(out.Cb, f.Cb, f.W/2, f.H/2, w/2, h/2)
+	padChroma(out.Cr, f.Cr, f.W/2, f.H/2, w/2, h/2)
+	return out
+}
+
+// snapEven expands r outward so all coordinates are even.
+func snapEven(r geom.Rect) geom.Rect {
+	r.X0 &^= 1
+	r.Y0 &^= 1
+	if r.X1%2 != 0 {
+		r.X1++
+	}
+	if r.Y1%2 != 0 {
+		r.Y1++
+	}
+	return r
+}
+
+// MSE returns the mean squared error between the Y planes of a and b,
+// which must have identical dimensions.
+func MSE(a, b *Frame) float64 {
+	if a.W != b.W || a.H != b.H {
+		panic(fmt.Sprintf("frame: MSE dimension mismatch %dx%d vs %dx%d", a.W, a.H, b.W, b.H))
+	}
+	var sum float64
+	for i := range a.Y {
+		d := float64(a.Y[i]) - float64(b.Y[i])
+		sum += d * d
+	}
+	return sum / float64(len(a.Y))
+}
+
+// PSNR returns the luma peak signal-to-noise ratio between a and b in dB.
+// Identical frames yield +Inf.
+func PSNR(a, b *Frame) float64 {
+	mse := MSE(a, b)
+	if mse == 0 {
+		return math.Inf(1)
+	}
+	return 10 * math.Log10(255*255/mse)
+}
+
+// SequencePSNR returns the PSNR computed over the concatenated luma planes
+// of two equal-length frame sequences, the way the paper reports whole-video
+// quality.
+func SequencePSNR(a, b []*Frame) float64 {
+	if len(a) != len(b) {
+		panic("frame: SequencePSNR length mismatch")
+	}
+	if len(a) == 0 {
+		return math.Inf(1)
+	}
+	var sum float64
+	var n int64
+	for i := range a {
+		if a[i].W != b[i].W || a[i].H != b[i].H {
+			panic("frame: SequencePSNR dimension mismatch")
+		}
+		for j := range a[i].Y {
+			d := float64(a[i].Y[j]) - float64(b[i].Y[j])
+			sum += d * d
+		}
+		n += int64(len(a[i].Y))
+	}
+	mse := sum / float64(n)
+	if mse == 0 {
+		return math.Inf(1)
+	}
+	return 10 * math.Log10(255*255/mse)
+}

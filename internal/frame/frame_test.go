@@ -1,0 +1,218 @@
+package frame
+
+import (
+	"math"
+	"testing"
+
+	"github.com/tasm-repro/tasm/internal/geom"
+)
+
+func TestNewDimensions(t *testing.T) {
+	f := New(64, 32)
+	if len(f.Y) != 64*32 {
+		t.Errorf("Y len = %d, want %d", len(f.Y), 64*32)
+	}
+	if len(f.Cb) != 32*16 || len(f.Cr) != 32*16 {
+		t.Errorf("chroma len = %d/%d, want %d", len(f.Cb), len(f.Cr), 32*16)
+	}
+	if f.Bounds() != geom.R(0, 0, 64, 32) {
+		t.Errorf("Bounds = %v", f.Bounds())
+	}
+}
+
+func TestNewPanicsOnOdd(t *testing.T) {
+	for _, dims := range [][2]int{{63, 32}, {64, 31}, {0, 10}, {-2, 4}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) did not panic", dims[0], dims[1])
+				}
+			}()
+			New(dims[0], dims[1])
+		}()
+	}
+}
+
+func TestFillAndAt(t *testing.T) {
+	f := New(16, 16)
+	f.Fill(100, 110, 120)
+	if f.YAt(5, 5) != 100 || f.Cb[0] != 110 || f.Cr[0] != 120 {
+		t.Error("Fill did not set planes")
+	}
+	f.SetY(3, 4, 200)
+	if f.YAt(3, 4) != 200 {
+		t.Error("SetY/YAt mismatch")
+	}
+}
+
+func TestFillRect(t *testing.T) {
+	f := New(32, 32)
+	f.Fill(0, 128, 128)
+	f.FillRect(geom.R(8, 8, 16, 16), 250, 50, 60)
+	if f.YAt(8, 8) != 250 || f.YAt(15, 15) != 250 {
+		t.Error("FillRect missed interior")
+	}
+	if f.YAt(7, 8) != 0 || f.YAt(16, 8) != 0 {
+		t.Error("FillRect bled outside")
+	}
+	// Chroma for pixel (8,8) lives at (4,4).
+	if f.Cb[4*16+4] != 50 || f.Cr[4*16+4] != 60 {
+		t.Error("FillRect chroma not set")
+	}
+	// Clamping: fully outside rect is a no-op.
+	f.FillRect(geom.R(100, 100, 120, 120), 9, 9, 9)
+}
+
+func TestCloneIndependent(t *testing.T) {
+	f := New(8, 8)
+	f.Fill(10, 20, 30)
+	g := f.Clone()
+	g.SetY(0, 0, 99)
+	if f.YAt(0, 0) == 99 {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestCropAndBlitRoundTrip(t *testing.T) {
+	f := New(64, 64)
+	for y := 0; y < 64; y++ {
+		for x := 0; x < 64; x++ {
+			f.SetY(x, y, byte(x*3+y*5))
+		}
+	}
+	for i := range f.Cb {
+		f.Cb[i] = byte(i)
+		f.Cr[i] = byte(i * 2)
+	}
+	r := geom.R(16, 8, 48, 40)
+	c := f.Crop(r)
+	if c.W != 32 || c.H != 32 {
+		t.Fatalf("crop dims = %dx%d, want 32x32", c.W, c.H)
+	}
+	if c.YAt(0, 0) != f.YAt(16, 8) {
+		t.Error("crop luma origin mismatch")
+	}
+	if c.YAt(31, 31) != f.YAt(47, 39) {
+		t.Error("crop luma end mismatch")
+	}
+	// Blit it back into a blank frame at the same offset and compare region.
+	g := New(64, 64)
+	g.Blit(c, 16, 8)
+	for y := 8; y < 40; y++ {
+		for x := 16; x < 48; x++ {
+			if g.YAt(x, y) != f.YAt(x, y) {
+				t.Fatalf("blit mismatch at (%d,%d)", x, y)
+			}
+		}
+	}
+	// Chroma round trip.
+	for y := 4; y < 20; y++ {
+		for x := 8; x < 24; x++ {
+			if g.Cb[y*32+x] != f.Cb[y*32+x] {
+				t.Fatalf("chroma blit mismatch at (%d,%d)", x, y)
+			}
+		}
+	}
+}
+
+func TestCropSnapsOdd(t *testing.T) {
+	f := New(32, 32)
+	c := f.Crop(geom.R(3, 5, 9, 11))
+	// Snapped outward to (2,4)-(10,12): 8x8.
+	if c.W != 8 || c.H != 8 {
+		t.Errorf("snapped crop dims = %dx%d, want 8x8", c.W, c.H)
+	}
+}
+
+func TestBlitClipping(t *testing.T) {
+	f := New(16, 16)
+	src := New(8, 8)
+	src.Fill(200, 0, 0)
+	f.Blit(src, 12, 12) // bottom-right corner, clipped to 4x4
+	if f.YAt(12, 12) != 200 || f.YAt(15, 15) != 200 {
+		t.Error("clipped blit missing pixels")
+	}
+	if f.YAt(11, 11) != 0 {
+		t.Error("clipped blit bled")
+	}
+	f.Blit(src, 20, 20) // fully outside: no-op, no panic
+}
+
+func TestBlitOddOffsetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("odd blit offset did not panic")
+		}
+	}()
+	New(16, 16).Blit(New(8, 8), 1, 0)
+}
+
+func TestPadTo(t *testing.T) {
+	f := New(10, 6)
+	f.Fill(50, 100, 150)
+	f.SetY(9, 5, 77)
+	p := f.PadTo(16, 8)
+	if p.W != 16 || p.H != 8 {
+		t.Fatalf("pad dims = %dx%d", p.W, p.H)
+	}
+	// Replicated right edge of last row should carry value 77.
+	if p.YAt(15, 5) != 77 {
+		t.Errorf("right pad = %d, want 77", p.YAt(15, 5))
+	}
+	// Replicated bottom rows copy row 5 (with its padding).
+	if p.YAt(15, 7) != 77 {
+		t.Errorf("corner pad = %d, want 77", p.YAt(15, 7))
+	}
+	if p.YAt(0, 7) != 50 {
+		t.Errorf("bottom pad = %d, want 50", p.YAt(0, 7))
+	}
+	if got := f.PadTo(10, 6); got != f {
+		t.Error("PadTo with same dims should return the same frame")
+	}
+}
+
+func TestMSEPSNR(t *testing.T) {
+	a := New(16, 16)
+	b := New(16, 16)
+	a.Fill(100, 128, 128)
+	b.Fill(100, 128, 128)
+	if got := MSE(a, b); got != 0 {
+		t.Errorf("MSE of identical frames = %v", got)
+	}
+	if got := PSNR(a, b); !math.IsInf(got, 1) {
+		t.Errorf("PSNR of identical frames = %v, want +Inf", got)
+	}
+	b.Fill(110, 128, 128) // every sample off by 10 -> MSE 100
+	if got := MSE(a, b); got != 100 {
+		t.Errorf("MSE = %v, want 100", got)
+	}
+	want := 10 * math.Log10(255*255/100.0)
+	if got := PSNR(a, b); math.Abs(got-want) > 1e-9 {
+		t.Errorf("PSNR = %v, want %v", got, want)
+	}
+}
+
+func TestSequencePSNR(t *testing.T) {
+	a := []*Frame{New(8, 8), New(8, 8)}
+	b := []*Frame{New(8, 8), New(8, 8)}
+	a[0].Fill(100, 0, 0)
+	b[0].Fill(100, 0, 0)
+	a[1].Fill(100, 0, 0)
+	b[1].Fill(90, 0, 0) // second frame off by 10 -> overall MSE 50
+	want := 10 * math.Log10(255*255/50.0)
+	if got := SequencePSNR(a, b); math.Abs(got-want) > 1e-9 {
+		t.Errorf("SequencePSNR = %v, want %v", got, want)
+	}
+	if got := SequencePSNR(nil, nil); !math.IsInf(got, 1) {
+		t.Errorf("empty SequencePSNR = %v, want +Inf", got)
+	}
+}
+
+func TestMSEMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MSE with mismatched dims did not panic")
+		}
+	}()
+	MSE(New(8, 8), New(16, 16))
+}

@@ -1,0 +1,238 @@
+package geom
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRectBasics(t *testing.T) {
+	r := R(10, 20, 30, 60)
+	if got := r.Width(); got != 20 {
+		t.Errorf("Width = %d, want 20", got)
+	}
+	if got := r.Height(); got != 40 {
+		t.Errorf("Height = %d, want 40", got)
+	}
+	if got := r.Area(); got != 800 {
+		t.Errorf("Area = %d, want 800", got)
+	}
+	if r.Empty() {
+		t.Error("non-empty rect reported Empty")
+	}
+	if !R(5, 5, 5, 9).Empty() {
+		t.Error("zero-width rect not Empty")
+	}
+	if !R(5, 5, 9, 5).Empty() {
+		t.Error("zero-height rect not Empty")
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	tests := []struct {
+		a, b, want Rect
+	}{
+		{R(0, 0, 10, 10), R(5, 5, 15, 15), R(5, 5, 10, 10)},
+		{R(0, 0, 10, 10), R(10, 0, 20, 10), Rect{}}, // touching edges do not intersect
+		{R(0, 0, 10, 10), R(2, 2, 4, 4), R(2, 2, 4, 4)},
+		{R(0, 0, 4, 4), R(6, 6, 9, 9), Rect{}},
+	}
+	for _, tc := range tests {
+		if got := tc.a.Intersect(tc.b); got != tc.want {
+			t.Errorf("%v.Intersect(%v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+		if got, want := tc.a.Intersects(tc.b), !tc.want.Empty(); got != want {
+			t.Errorf("%v.Intersects(%v) = %v, want %v", tc.a, tc.b, got, want)
+		}
+	}
+}
+
+func TestUnionContains(t *testing.T) {
+	a, b := R(0, 0, 4, 4), R(10, 10, 12, 20)
+	u := a.Union(b)
+	if want := R(0, 0, 12, 20); u != want {
+		t.Fatalf("Union = %v, want %v", u, want)
+	}
+	if !u.Contains(a) || !u.Contains(b) {
+		t.Error("union does not contain operands")
+	}
+	if a.Contains(u) {
+		t.Error("small rect claims to contain union")
+	}
+	var empty Rect
+	if got := empty.Union(a); got != a {
+		t.Errorf("empty.Union(a) = %v, want %v", got, a)
+	}
+	if !a.Contains(empty) {
+		t.Error("every rect should contain the empty rect")
+	}
+}
+
+func TestTranslateInset(t *testing.T) {
+	r := R(0, 0, 10, 10)
+	if got, want := r.Translate(3, -2), R(3, -2, 13, 8); got != want {
+		t.Errorf("Translate = %v, want %v", got, want)
+	}
+	if got, want := r.Inset(2), R(2, 2, 8, 8); got != want {
+		t.Errorf("Inset = %v, want %v", got, want)
+	}
+	if got := r.Inset(6); !got.Empty() {
+		t.Errorf("over-inset should be empty, got %v", got)
+	}
+}
+
+func TestBoundingBox(t *testing.T) {
+	boxes := []Rect{R(5, 5, 10, 10), R(0, 8, 2, 9), R(7, 1, 8, 3)}
+	if got, want := BoundingBox(boxes), R(0, 1, 10, 10); got != want {
+		t.Errorf("BoundingBox = %v, want %v", got, want)
+	}
+	if got := BoundingBox(nil); !got.Empty() {
+		t.Errorf("BoundingBox(nil) = %v, want empty", got)
+	}
+}
+
+func TestTotalArea(t *testing.T) {
+	tests := []struct {
+		name  string
+		boxes []Rect
+		want  int64
+	}{
+		{"disjoint", []Rect{R(0, 0, 2, 2), R(10, 10, 12, 12)}, 8},
+		{"identical", []Rect{R(0, 0, 4, 4), R(0, 0, 4, 4)}, 16},
+		{"overlap", []Rect{R(0, 0, 4, 4), R(2, 2, 6, 6)}, 28},
+		{"contained", []Rect{R(0, 0, 10, 10), R(2, 2, 4, 4)}, 100},
+		{"empty", nil, 0},
+		{"cross", []Rect{R(0, 4, 12, 8), R(4, 0, 8, 12)}, 48 + 48 - 16},
+	}
+	for _, tc := range tests {
+		if got := TotalArea(tc.boxes); got != tc.want {
+			t.Errorf("%s: TotalArea = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestMergeIntervals(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []Interval
+		want []Interval
+	}{
+		{"empty", nil, nil},
+		{"single", []Interval{{1, 5}}, []Interval{{1, 5}}},
+		{"touching", []Interval{{1, 5}, {5, 8}}, []Interval{{1, 8}}},
+		{"overlap", []Interval{{1, 5}, {3, 8}}, []Interval{{1, 8}}},
+		{"disjoint", []Interval{{5, 8}, {1, 2}}, []Interval{{1, 2}, {5, 8}}},
+		{"nested", []Interval{{1, 10}, {3, 4}}, []Interval{{1, 10}}},
+		{"drops empty", []Interval{{3, 3}, {1, 2}}, []Interval{{1, 2}}},
+	}
+	for _, tc := range tests {
+		got := MergeIntervals(tc.in)
+		if len(got) != len(tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("%s: got %v, want %v", tc.name, got, tc.want)
+				break
+			}
+		}
+	}
+}
+
+func TestGaps(t *testing.T) {
+	bounds := Interval{0, 100}
+	tests := []struct {
+		name string
+		in   []Interval
+		want []Interval
+	}{
+		{"no cover", nil, []Interval{{0, 100}}},
+		{"middle", []Interval{{40, 60}}, []Interval{{0, 40}, {60, 100}}},
+		{"edges", []Interval{{0, 10}, {90, 100}}, []Interval{{10, 90}}},
+		{"full", []Interval{{0, 100}}, nil},
+		{"overflow clipped", []Interval{{-10, 20}, {80, 120}}, []Interval{{20, 80}}},
+	}
+	for _, tc := range tests {
+		got := Gaps(tc.in, bounds)
+		if len(got) != len(tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("%s: got %v, want %v", tc.name, got, tc.want)
+				break
+			}
+		}
+	}
+}
+
+// Property: gaps and merged intervals partition the bounds exactly.
+func TestGapsPartitionProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		bounds := Interval{0, 1000}
+		var ivs []Interval
+		for i := 0; i+1 < len(raw); i += 2 {
+			lo := int(raw[i] % 1000)
+			hi := lo + int(raw[i+1]%200)
+			ivs = append(ivs, Interval{lo, min(hi, 1000)})
+		}
+		merged := MergeIntervals(ivs)
+		gaps := Gaps(ivs, bounds)
+		total := 0
+		for _, iv := range merged {
+			total += iv.Len()
+		}
+		for _, g := range gaps {
+			total += g.Len()
+		}
+		// merged spans clipped to bounds + gaps must cover bounds exactly
+		return total == bounds.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: intersection is commutative and contained in both operands.
+func TestIntersectProperty(t *testing.T) {
+	f := func(ax0, ay0, aw, ah, bx0, by0, bw, bh uint8) bool {
+		a := R(int(ax0), int(ay0), int(ax0)+int(aw), int(ay0)+int(ah))
+		b := R(int(bx0), int(by0), int(bx0)+int(bw), int(by0)+int(bh))
+		i1, i2 := a.Intersect(b), b.Intersect(a)
+		if i1 != i2 {
+			return false
+		}
+		if i1.Empty() {
+			return true
+		}
+		return a.Contains(i1) && b.Contains(i1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: TotalArea of a set is at least the max individual area and at
+// most the sum of areas.
+func TestTotalAreaBoundsProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		var boxes []Rect
+		for i := 0; i+3 < len(raw); i += 4 {
+			b := R(int(raw[i]), int(raw[i+1]), int(raw[i])+int(raw[i+2]%64)+1, int(raw[i+1])+int(raw[i+3]%64)+1)
+			boxes = append(boxes, b)
+		}
+		var sum, maxA int64
+		for _, b := range boxes {
+			sum += b.Area()
+			if b.Area() > maxA {
+				maxA = b.Area()
+			}
+		}
+		got := TotalArea(boxes)
+		return got >= maxA && got <= sum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

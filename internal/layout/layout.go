@@ -1,0 +1,501 @@
+// Package layout implements tile layouts as defined in the paper:
+// L = (nr, nc, {h1..hnr}, {c1..cnc}) — a regular grid where rows and columns
+// extend through the entire frame (irregular layouts are not representable,
+// matching the HEVC restriction). It provides the uniform layout family and
+// the non-uniform fine/coarse partitioners that design tile boundaries
+// around object bounding boxes without ever letting a boundary intersect a
+// box (paper §3.4).
+package layout
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+
+	"github.com/tasm-repro/tasm/internal/geom"
+)
+
+// Layout describes how frames of a W×H video are split into tiles.
+// RowHeights sums to the frame height, ColWidths to the frame width.
+// The zero value is invalid; use Single for the untiled layout ω.
+type Layout struct {
+	RowHeights []int
+	ColWidths  []int
+}
+
+// Single returns the untiled layout ω: one tile spanning the whole frame.
+func Single(w, h int) Layout {
+	return Layout{RowHeights: []int{h}, ColWidths: []int{w}}
+}
+
+// Rows returns the number of tile rows.
+func (l Layout) Rows() int { return len(l.RowHeights) }
+
+// Cols returns the number of tile columns.
+func (l Layout) Cols() int { return len(l.ColWidths) }
+
+// NumTiles returns Rows*Cols.
+func (l Layout) NumTiles() int { return l.Rows() * l.Cols() }
+
+// Width returns the total frame width covered by the layout.
+func (l Layout) Width() int {
+	w := 0
+	for _, c := range l.ColWidths {
+		w += c
+	}
+	return w
+}
+
+// Height returns the total frame height covered by the layout.
+func (l Layout) Height() int {
+	h := 0
+	for _, r := range l.RowHeights {
+		h += r
+	}
+	return h
+}
+
+// IsSingle reports whether l is the untiled 1×1 layout.
+func (l Layout) IsSingle() bool { return l.Rows() == 1 && l.Cols() == 1 }
+
+// TileRect returns the pixel rectangle of the tile at (row, col).
+func (l Layout) TileRect(row, col int) geom.Rect {
+	if row < 0 || row >= l.Rows() || col < 0 || col >= l.Cols() {
+		panic(fmt.Sprintf("layout: tile (%d,%d) out of range %dx%d", row, col, l.Rows(), l.Cols()))
+	}
+	x0, y0 := 0, 0
+	for c := 0; c < col; c++ {
+		x0 += l.ColWidths[c]
+	}
+	for r := 0; r < row; r++ {
+		y0 += l.RowHeights[r]
+	}
+	return geom.R(x0, y0, x0+l.ColWidths[col], y0+l.RowHeights[row])
+}
+
+// TileRectByIndex returns the rectangle for tile index i (row-major).
+func (l Layout) TileRectByIndex(i int) geom.Rect {
+	return l.TileRect(i/l.Cols(), i%l.Cols())
+}
+
+// TileIndexAt returns the row-major tile index containing pixel (x, y), or
+// -1 if the point is outside the frame.
+func (l Layout) TileIndexAt(x, y int) int {
+	if x < 0 || y < 0 {
+		return -1
+	}
+	col, cx := -1, 0
+	for c, w := range l.ColWidths {
+		cx += w
+		if x < cx {
+			col = c
+			break
+		}
+	}
+	row, cy := -1, 0
+	for r, h := range l.RowHeights {
+		cy += h
+		if y < cy {
+			row = r
+			break
+		}
+	}
+	if col < 0 || row < 0 {
+		return -1
+	}
+	return row*l.Cols() + col
+}
+
+// TilesIntersecting returns the row-major indexes of all tiles that overlap
+// rect, in increasing order.
+func (l Layout) TilesIntersecting(rect geom.Rect) []int {
+	rect = rect.Clamp(geom.R(0, 0, l.Width(), l.Height()))
+	if rect.Empty() {
+		return nil
+	}
+	var rows, cols []int
+	y := 0
+	for r, h := range l.RowHeights {
+		if y < rect.Y1 && rect.Y0 < y+h {
+			rows = append(rows, r)
+		}
+		y += h
+	}
+	x := 0
+	for c, w := range l.ColWidths {
+		if x < rect.X1 && rect.X0 < x+w {
+			cols = append(cols, c)
+		}
+		x += w
+	}
+	out := make([]int, 0, len(rows)*len(cols))
+	for _, r := range rows {
+		for _, c := range cols {
+			out = append(out, r*l.Cols()+c)
+		}
+	}
+	return out
+}
+
+// PixelsForBoxes returns the total number of pixels per frame that must be
+// decoded to recover all of the given boxes under this layout: the summed
+// area of the union of intersected tiles. This is the per-frame P term of
+// the paper's cost model.
+func (l Layout) PixelsForBoxes(boxes []geom.Rect) int64 {
+	needed := make(map[int]bool)
+	for _, b := range boxes {
+		for _, t := range l.TilesIntersecting(b) {
+			needed[t] = true
+		}
+	}
+	var total int64
+	for t := range needed {
+		total += l.TileRectByIndex(t).Area()
+	}
+	return total
+}
+
+// TilesForBoxes returns the number of distinct tiles intersecting any box.
+func (l Layout) TilesForBoxes(boxes []geom.Rect) int {
+	needed := make(map[int]bool)
+	for _, b := range boxes {
+		for _, t := range l.TilesIntersecting(b) {
+			needed[t] = true
+		}
+	}
+	return len(needed)
+}
+
+// Equal reports whether two layouts are identical.
+func (l Layout) Equal(o Layout) bool {
+	if len(l.RowHeights) != len(o.RowHeights) || len(l.ColWidths) != len(o.ColWidths) {
+		return false
+	}
+	for i := range l.RowHeights {
+		if l.RowHeights[i] != o.RowHeights[i] {
+			return false
+		}
+	}
+	for i := range l.ColWidths {
+		if l.ColWidths[i] != o.ColWidths[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String returns a canonical, map-key-safe representation.
+func (l Layout) String() string {
+	var sb strings.Builder
+	sb.WriteByte('r')
+	for i, h := range l.RowHeights {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%d", h)
+	}
+	sb.WriteByte('c')
+	for i, w := range l.ColWidths {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%d", w)
+	}
+	return sb.String()
+}
+
+// Constraints carries the codec-imposed restrictions on tile geometry.
+type Constraints struct {
+	FrameW, FrameH int
+	// Align forces tile boundaries onto multiples of this many pixels
+	// (the codec's block grid). Must be even for 4:2:0 chroma.
+	Align int
+	// MinWidth/MinHeight are the smallest legal tile dimensions (HEVC
+	// imposes 256×64 luma; we default to 64×64 at our reduced scale).
+	MinWidth, MinHeight int
+}
+
+// DefaultConstraints returns the constraint set used across the repo.
+func DefaultConstraints(w, h int) Constraints {
+	return Constraints{FrameW: w, FrameH: h, Align: 16, MinWidth: 64, MinHeight: 64}
+}
+
+func (c Constraints) validate() error {
+	if c.FrameW <= 0 || c.FrameH <= 0 {
+		return fmt.Errorf("layout: invalid frame %dx%d", c.FrameW, c.FrameH)
+	}
+	if c.Align <= 0 || c.Align%2 != 0 {
+		return fmt.Errorf("layout: alignment %d must be positive and even", c.Align)
+	}
+	if c.MinWidth < c.Align || c.MinHeight < c.Align {
+		return fmt.Errorf("layout: minimum tile %dx%d below alignment %d", c.MinWidth, c.MinHeight, c.Align)
+	}
+	return nil
+}
+
+// Validate checks that l is a legal layout under the constraints: positive
+// aligned dimensions (interior boundaries only), minimum sizes, and exact
+// frame coverage.
+func (l Layout) Validate(c Constraints) error {
+	if err := c.validate(); err != nil {
+		return err
+	}
+	if l.Rows() == 0 || l.Cols() == 0 {
+		return errors.New("layout: no rows or columns")
+	}
+	if l.Width() != c.FrameW || l.Height() != c.FrameH {
+		return fmt.Errorf("layout: covers %dx%d, frame is %dx%d", l.Width(), l.Height(), c.FrameW, c.FrameH)
+	}
+	check := func(dims []int, minDim int, total int, kind string) error {
+		pos := 0
+		for i, d := range dims {
+			if d <= 0 {
+				return fmt.Errorf("layout: non-positive %s %d", kind, d)
+			}
+			if len(dims) > 1 && d < minDim {
+				return fmt.Errorf("layout: %s %d below minimum %d", kind, d, minDim)
+			}
+			pos += d
+			if pos != total && pos%c.Align != 0 {
+				return fmt.Errorf("layout: %s boundary at %d not aligned to %d", kind, pos, c.Align)
+			}
+			_ = i
+		}
+		return nil
+	}
+	if err := check(l.RowHeights, c.MinHeight, c.FrameH, "row"); err != nil {
+		return err
+	}
+	return check(l.ColWidths, c.MinWidth, c.FrameW, "column")
+}
+
+// Uniform returns a rows×cols layout with near-equal, aligned tiles. It
+// reduces rows/cols as needed to respect minimum tile dimensions and
+// returns the layout actually produced.
+func Uniform(rows, cols int, c Constraints) (Layout, error) {
+	if err := c.validate(); err != nil {
+		return Layout{}, err
+	}
+	if rows < 1 || cols < 1 {
+		return Layout{}, fmt.Errorf("layout: invalid grid %dx%d", rows, cols)
+	}
+	maxRows := c.FrameH / c.MinHeight
+	maxCols := c.FrameW / c.MinWidth
+	if maxRows < 1 {
+		maxRows = 1
+	}
+	if maxCols < 1 {
+		maxCols = 1
+	}
+	if rows > maxRows {
+		rows = maxRows
+	}
+	if cols > maxCols {
+		cols = maxCols
+	}
+	return Layout{
+		RowHeights: splitEven(c.FrameH, rows, c.Align),
+		ColWidths:  splitEven(c.FrameW, cols, c.Align),
+	}, nil
+}
+
+// splitEven divides total into n near-equal parts whose interior boundaries
+// sit on align multiples; the final part absorbs the remainder.
+func splitEven(total, n, align int) []int {
+	if n <= 1 {
+		return []int{total}
+	}
+	out := make([]int, n)
+	prev := 0
+	for i := 1; i < n; i++ {
+		b := total * i / n
+		b = b / align * align
+		if b <= prev { // degenerate under alignment; give it one align unit
+			b = prev + align
+		}
+		if b >= total {
+			b = total - align*(n-i)
+		}
+		out[i-1] = b - prev
+		prev = b
+	}
+	out[n-1] = total - prev
+	return out
+}
+
+// Granularity selects between the paper's fine- and coarse-grained
+// non-uniform layouts (§3.4.2, Figure 4).
+type Granularity int
+
+const (
+	// Fine isolates non-intersecting boxes into the smallest legal tiles.
+	Fine Granularity = iota
+	// Coarse places all boxes inside a single large tile.
+	Coarse
+)
+
+func (g Granularity) String() string {
+	if g == Coarse {
+		return "coarse"
+	}
+	return "fine"
+}
+
+// Partition designs a non-uniform layout around the given bounding boxes:
+// no tile boundary intersects any box, boundaries lie on the alignment
+// grid, and all tiles respect the minimum dimensions. With no boxes it
+// returns the untiled layout ω.
+func Partition(boxes []geom.Rect, g Granularity, c Constraints) (Layout, error) {
+	if err := c.validate(); err != nil {
+		return Layout{}, err
+	}
+	frame := geom.R(0, 0, c.FrameW, c.FrameH)
+	var clipped []geom.Rect
+	for _, b := range boxes {
+		if bb := b.Clamp(frame); !bb.Empty() {
+			clipped = append(clipped, bb)
+		}
+	}
+	if len(clipped) == 0 {
+		return Single(c.FrameW, c.FrameH), nil
+	}
+
+	var xIvs, yIvs []geom.Interval
+	if g == Coarse {
+		bb := geom.BoundingBox(clipped)
+		xIvs = []geom.Interval{{Lo: bb.X0, Hi: bb.X1}}
+		yIvs = []geom.Interval{{Lo: bb.Y0, Hi: bb.Y1}}
+	} else {
+		for _, b := range clipped {
+			xIvs = append(xIvs, geom.Interval{Lo: b.X0, Hi: b.X1})
+			yIvs = append(yIvs, geom.Interval{Lo: b.Y0, Hi: b.Y1})
+		}
+	}
+
+	cols := axisSplit(xIvs, c.FrameW, c.Align, c.MinWidth)
+	rows := axisSplit(yIvs, c.FrameH, c.Align, c.MinHeight)
+	l := Layout{RowHeights: rows, ColWidths: cols}
+	if err := l.Validate(c); err != nil {
+		// axisSplit guarantees validity; this is a defensive check.
+		return Layout{}, fmt.Errorf("layout: internal partition error: %w", err)
+	}
+	return l, nil
+}
+
+// axisSplit converts interval projections of the boxes into a 1-D list of
+// segment lengths along one axis. Boundaries are snapped outward to the
+// alignment grid (so they never cut an interval) and then thinned until
+// every segment meets the minimum dimension.
+func axisSplit(ivs []geom.Interval, total, align, minDim int) []int {
+	merged := geom.MergeIntervals(ivs)
+	// Snap outward and re-merge.
+	snapped := make([]geom.Interval, 0, len(merged))
+	for _, iv := range merged {
+		lo := iv.Lo / align * align
+		hi := (iv.Hi + align - 1) / align * align
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > total {
+			hi = total
+		}
+		snapped = append(snapped, geom.Interval{Lo: lo, Hi: hi})
+	}
+	snapped = geom.MergeIntervals(snapped)
+
+	// Collect candidate boundaries.
+	bset := map[int]bool{0: true, total: true}
+	for _, iv := range snapped {
+		bset[iv.Lo] = true
+		bset[iv.Hi] = true
+	}
+	bounds := make([]int, 0, len(bset))
+	for b := range bset {
+		bounds = append(bounds, b)
+	}
+	sortInts(bounds)
+
+	// Enforce minimum segment lengths by removing interior boundaries.
+	// Prefer removing the boundary that ends a short segment (merging it
+	// into the following one); if the short segment is last, remove its
+	// starting boundary instead.
+	for {
+		removed := false
+		for i := 0; i+1 < len(bounds); i++ {
+			if bounds[i+1]-bounds[i] >= minDim {
+				continue
+			}
+			if i+1 < len(bounds)-1 {
+				bounds = append(bounds[:i+1], bounds[i+2:]...)
+			} else if i > 0 {
+				bounds = append(bounds[:i], bounds[i+1:]...)
+			} else {
+				// Only two boundaries left: the whole axis is one segment.
+				break
+			}
+			removed = true
+			break
+		}
+		if !removed {
+			break
+		}
+	}
+
+	out := make([]int, 0, len(bounds)-1)
+	for i := 0; i+1 < len(bounds); i++ {
+		out = append(out, bounds[i+1]-bounds[i])
+	}
+	return out
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// MarshalBinary encodes the layout for storage in container headers and
+// catalog manifests.
+func (l Layout) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 0, 4+4*(l.Rows()+l.Cols()))
+	var tmp [4]byte
+	binary.LittleEndian.PutUint16(tmp[:2], uint16(l.Rows()))
+	binary.LittleEndian.PutUint16(tmp[2:4], uint16(l.Cols()))
+	buf = append(buf, tmp[:4]...)
+	for _, v := range append(append([]int(nil), l.RowHeights...), l.ColWidths...) {
+		binary.LittleEndian.PutUint32(tmp[:4], uint32(v))
+		buf = append(buf, tmp[:4]...)
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary decodes a layout produced by MarshalBinary.
+func (l *Layout) UnmarshalBinary(data []byte) error {
+	if len(data) < 4 {
+		return errors.New("layout: truncated header")
+	}
+	nr := int(binary.LittleEndian.Uint16(data[:2]))
+	nc := int(binary.LittleEndian.Uint16(data[2:4]))
+	if nr <= 0 || nc <= 0 {
+		return fmt.Errorf("layout: invalid grid %dx%d", nr, nc)
+	}
+	need := 4 + 4*(nr+nc)
+	if len(data) < need {
+		return fmt.Errorf("layout: need %d bytes, have %d", need, len(data))
+	}
+	l.RowHeights = make([]int, nr)
+	l.ColWidths = make([]int, nc)
+	off := 4
+	for i := 0; i < nr; i++ {
+		l.RowHeights[i] = int(binary.LittleEndian.Uint32(data[off:]))
+		off += 4
+	}
+	for i := 0; i < nc; i++ {
+		l.ColWidths[i] = int(binary.LittleEndian.Uint32(data[off:]))
+		off += 4
+	}
+	return nil
+}

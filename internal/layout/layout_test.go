@@ -1,0 +1,367 @@
+package layout
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/tasm-repro/tasm/internal/geom"
+	"github.com/tasm-repro/tasm/internal/stats"
+)
+
+func cons(w, h int) Constraints { return DefaultConstraints(w, h) }
+
+func TestSingle(t *testing.T) {
+	l := Single(640, 360)
+	if !l.IsSingle() || l.NumTiles() != 1 {
+		t.Error("Single is not 1x1")
+	}
+	if l.Width() != 640 || l.Height() != 360 {
+		t.Errorf("dims = %dx%d", l.Width(), l.Height())
+	}
+	if got := l.TileRect(0, 0); got != geom.R(0, 0, 640, 360) {
+		t.Errorf("TileRect = %v", got)
+	}
+	if err := l.Validate(cons(640, 360)); err != nil {
+		t.Errorf("Single invalid: %v", err)
+	}
+}
+
+func TestUniformBasic(t *testing.T) {
+	l, err := Uniform(3, 3, cons(960, 540))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Rows() != 3 || l.Cols() != 3 {
+		t.Fatalf("grid = %dx%d, want 3x3", l.Rows(), l.Cols())
+	}
+	if err := l.Validate(cons(960, 540)); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	// Tiles tile the plane: total area equals frame area.
+	var area int64
+	for i := 0; i < l.NumTiles(); i++ {
+		area += l.TileRectByIndex(i).Area()
+	}
+	if area != 960*540 {
+		t.Errorf("total tile area %d != frame area %d", area, 960*540)
+	}
+}
+
+func TestUniformClampsToMinDims(t *testing.T) {
+	// 20 columns of a 640-wide frame would be 32px < MinWidth 64.
+	l, err := Uniform(1, 20, cons(640, 360))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Cols() > 10 {
+		t.Errorf("cols = %d, want <= 10 (640/64)", l.Cols())
+	}
+	if err := l.Validate(cons(640, 360)); err != nil {
+		t.Errorf("clamped layout invalid: %v", err)
+	}
+}
+
+func TestUniformRejectsBadGrid(t *testing.T) {
+	if _, err := Uniform(0, 3, cons(640, 360)); err == nil {
+		t.Error("0 rows accepted")
+	}
+}
+
+func TestTileIndexAt(t *testing.T) {
+	l, _ := Uniform(2, 2, cons(128, 128))
+	if got := l.TileIndexAt(0, 0); got != 0 {
+		t.Errorf("(0,0) -> %d", got)
+	}
+	if got := l.TileIndexAt(127, 127); got != 3 {
+		t.Errorf("(127,127) -> %d", got)
+	}
+	if got := l.TileIndexAt(63, 64); got != 2 {
+		t.Errorf("(63,64) -> %d", got)
+	}
+	if got := l.TileIndexAt(-1, 5); got != -1 {
+		t.Errorf("out of range -> %d", got)
+	}
+	if got := l.TileIndexAt(128, 5); got != -1 {
+		t.Errorf("past edge -> %d", got)
+	}
+}
+
+func TestTilesIntersecting(t *testing.T) {
+	l, _ := Uniform(2, 2, cons(128, 128))
+	if got := l.TilesIntersecting(geom.R(10, 10, 20, 20)); len(got) != 1 || got[0] != 0 {
+		t.Errorf("single-tile rect -> %v", got)
+	}
+	if got := l.TilesIntersecting(geom.R(60, 60, 70, 70)); len(got) != 4 {
+		t.Errorf("center rect should hit 4 tiles, got %v", got)
+	}
+	if got := l.TilesIntersecting(geom.R(0, 0, 128, 10)); len(got) != 2 {
+		t.Errorf("top strip should hit 2 tiles, got %v", got)
+	}
+	if got := l.TilesIntersecting(geom.R(200, 200, 210, 210)); got != nil {
+		t.Errorf("outside rect -> %v", got)
+	}
+}
+
+func TestPixelsAndTilesForBoxes(t *testing.T) {
+	l, _ := Uniform(2, 2, cons(128, 128))
+	boxes := []geom.Rect{geom.R(0, 0, 10, 10), geom.R(5, 5, 15, 15)} // both in tile 0
+	if got := l.TilesForBoxes(boxes); got != 1 {
+		t.Errorf("TilesForBoxes = %d, want 1", got)
+	}
+	if got := l.PixelsForBoxes(boxes); got != 64*64 {
+		t.Errorf("PixelsForBoxes = %d, want %d", got, 64*64)
+	}
+	// A box spanning everything decodes all four tiles.
+	if got := l.PixelsForBoxes([]geom.Rect{geom.R(0, 0, 128, 128)}); got != 128*128 {
+		t.Errorf("full-frame box pixels = %d", got)
+	}
+}
+
+func TestPartitionFineIsolatesBoxes(t *testing.T) {
+	c := cons(640, 360)
+	boxes := []geom.Rect{geom.R(100, 100, 180, 170), geom.R(400, 200, 500, 290)}
+	l, err := Partition(boxes, Fine, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Validate(c); err != nil {
+		t.Fatalf("fine layout invalid: %v", err)
+	}
+	if l.NumTiles() < 4 {
+		t.Errorf("fine layout has only %d tiles", l.NumTiles())
+	}
+	assertNoBoundaryCutsBoxes(t, l, boxes)
+	// Each box should be inside a single tile (they do not overlap rows/cols).
+	for _, b := range boxes {
+		if n := len(l.TilesIntersecting(b)); n != 1 {
+			t.Errorf("box %v intersects %d tiles, want 1", b, n)
+		}
+	}
+}
+
+func TestPartitionCoarseSingleBigTile(t *testing.T) {
+	c := cons(640, 360)
+	boxes := []geom.Rect{geom.R(100, 100, 180, 170), geom.R(400, 200, 500, 290)}
+	l, err := Partition(boxes, Coarse, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Validate(c); err != nil {
+		t.Fatalf("coarse layout invalid: %v", err)
+	}
+	if l.Rows() > 3 || l.Cols() > 3 {
+		t.Errorf("coarse grid %dx%d, want <= 3x3", l.Rows(), l.Cols())
+	}
+	assertNoBoundaryCutsBoxes(t, l, boxes)
+	// All boxes must land in the same tile.
+	idx := -1
+	for _, b := range boxes {
+		tiles := l.TilesIntersecting(b)
+		if len(tiles) != 1 {
+			t.Fatalf("coarse: box %v spans %v", b, tiles)
+		}
+		if idx == -1 {
+			idx = tiles[0]
+		} else if tiles[0] != idx {
+			t.Errorf("coarse: boxes in different tiles %d vs %d", idx, tiles[0])
+		}
+	}
+	// Coarse tiles should be at least as large as fine tiles for the target.
+	fine, _ := Partition(boxes, Fine, c)
+	if l.PixelsForBoxes(boxes) < fine.PixelsForBoxes(boxes) {
+		t.Error("coarse layout decodes fewer pixels than fine")
+	}
+}
+
+func TestPartitionNoBoxes(t *testing.T) {
+	l, err := Partition(nil, Fine, cons(640, 360))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.IsSingle() {
+		t.Errorf("no boxes should give ω, got %v", l)
+	}
+}
+
+func TestPartitionBoxesOutsideFrame(t *testing.T) {
+	c := cons(640, 360)
+	l, err := Partition([]geom.Rect{geom.R(1000, 1000, 1100, 1100)}, Fine, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.IsSingle() {
+		t.Errorf("out-of-frame boxes should give ω, got %v", l)
+	}
+	// Partially overlapping box is clipped, not dropped.
+	l, err = Partition([]geom.Rect{geom.R(600, 300, 700, 400)}, Fine, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.IsSingle() {
+		t.Error("clipped box ignored")
+	}
+}
+
+func TestPartitionTinyBoxesRespectMinDims(t *testing.T) {
+	c := cons(640, 360)
+	boxes := []geom.Rect{geom.R(5, 5, 15, 15)} // 10x10 box, min tile is 64x64
+	l, err := Partition(boxes, Fine, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Validate(c); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	assertNoBoundaryCutsBoxes(t, l, boxes)
+}
+
+func TestPartitionDenseBoxesEverywhere(t *testing.T) {
+	c := cons(640, 360)
+	var boxes []geom.Rect
+	for y := 0; y < 360-40; y += 50 {
+		for x := 0; x < 640-40; x += 60 {
+			boxes = append(boxes, geom.R(x, y, x+45, y+40))
+		}
+	}
+	l, err := Partition(boxes, Fine, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Validate(c); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	assertNoBoundaryCutsBoxes(t, l, boxes)
+}
+
+func assertNoBoundaryCutsBoxes(t *testing.T, l Layout, boxes []geom.Rect) {
+	t.Helper()
+	// A boundary cuts a box iff the box intersects more than one tile in a
+	// way that splits its interior: check every interior boundary line.
+	x := 0
+	for _, w := range l.ColWidths[:l.Cols()-1] {
+		x += w
+		for _, b := range boxes {
+			if b.X0 < x && x < b.X1 {
+				t.Errorf("column boundary %d cuts box %v", x, b)
+			}
+		}
+	}
+	y := 0
+	for _, h := range l.RowHeights[:l.Rows()-1] {
+		y += h
+		for _, b := range boxes {
+			if b.Y0 < y && y < b.Y1 {
+				t.Errorf("row boundary %d cuts box %v", y, b)
+			}
+		}
+	}
+}
+
+func TestValidateRejectsBadLayouts(t *testing.T) {
+	c := cons(640, 360)
+	cases := []struct {
+		name string
+		l    Layout
+	}{
+		{"wrong size", Layout{RowHeights: []int{100}, ColWidths: []int{640}}},
+		{"misaligned", Layout{RowHeights: []int{100, 260}, ColWidths: []int{640}}},
+		{"below min", Layout{RowHeights: []int{32, 328}, ColWidths: []int{640}}},
+		{"empty", Layout{}},
+		{"negative", Layout{RowHeights: []int{400, -40}, ColWidths: []int{640}}},
+	}
+	for _, tc := range cases {
+		if err := tc.l.Validate(c); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	l, _ := Uniform(3, 4, cons(640, 360))
+	data, err := l.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Layout
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(l) {
+		t.Errorf("round trip: got %v, want %v", got, l)
+	}
+	var bad Layout
+	if err := bad.UnmarshalBinary(data[:3]); err == nil {
+		t.Error("truncated unmarshal succeeded")
+	}
+	if err := bad.UnmarshalBinary([]byte{0, 0, 0, 0}); err == nil {
+		t.Error("zero-grid unmarshal succeeded")
+	}
+}
+
+func TestStringCanonical(t *testing.T) {
+	a, _ := Uniform(2, 2, cons(128, 128))
+	b, _ := Uniform(2, 2, cons(128, 128))
+	if a.String() != b.String() {
+		t.Error("equal layouts produced different strings")
+	}
+	c2, _ := Uniform(2, 3, cons(192, 128))
+	if a.String() == c2.String() {
+		t.Error("different layouts produced same string")
+	}
+}
+
+// Property: Partition always produces a valid layout whose boundaries never
+// cut input boxes, for random box sets.
+func TestPartitionProperty(t *testing.T) {
+	rng := stats.NewRNG(99)
+	c := cons(640, 360)
+	for iter := 0; iter < 200; iter++ {
+		n := rng.Intn(8)
+		var boxes []geom.Rect
+		for i := 0; i < n; i++ {
+			x, y := rng.Intn(600), rng.Intn(320)
+			w, h := 8+rng.Intn(120), 8+rng.Intn(120)
+			boxes = append(boxes, geom.R(x, y, min(x+w, 640), min(y+h, 360)))
+		}
+		for _, g := range []Granularity{Fine, Coarse} {
+			l, err := Partition(boxes, g, c)
+			if err != nil {
+				t.Fatalf("iter %d %v: %v (boxes=%v)", iter, g, err, boxes)
+			}
+			if err := l.Validate(c); err != nil {
+				t.Fatalf("iter %d %v: invalid: %v (boxes=%v layout=%v)", iter, g, err, boxes, l)
+			}
+			assertNoBoundaryCutsBoxes(t, l, boxes)
+		}
+	}
+}
+
+// Property: TilesIntersecting covers every pixel of the query rect.
+func TestTilesCoverRectProperty(t *testing.T) {
+	f := func(x0, y0, w, h uint16, gridR, gridC uint8) bool {
+		c := cons(640, 360)
+		l, err := Uniform(int(gridR%5)+1, int(gridC%5)+1, c)
+		if err != nil {
+			return false
+		}
+		r := geom.R(int(x0%640), int(y0%360), int(x0%640)+int(w%200)+1, int(y0%360)+int(h%200)+1).
+			Clamp(geom.R(0, 0, 640, 360))
+		if r.Empty() {
+			return true
+		}
+		var covered int64
+		for _, ti := range l.TilesIntersecting(r) {
+			covered += l.TileRectByIndex(ti).Intersect(r).Area()
+		}
+		return covered == r.Area()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGranularityString(t *testing.T) {
+	if Fine.String() != "fine" || Coarse.String() != "coarse" {
+		t.Error("granularity strings wrong")
+	}
+}

@@ -1,0 +1,415 @@
+// Package query implements TASM's access-method predicates (paper §3.1):
+// a CNF predicate over labels L — each disjunctive clause retrieves pixels
+// belonging to any of its labels, and conjunctions retrieve pixels in the
+// intersection of the clauses' boxes — plus an optional temporal predicate
+// T over frames. A small SQL-ish parser accepts the query shape used in
+// the paper's evaluation ("SELECT o FROM v WHERE start <= t < end").
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/tasm-repro/tasm/internal/geom"
+	"github.com/tasm-repro/tasm/internal/spatial"
+)
+
+// Predicate is a CNF formula: AND of clauses, each an OR of labels.
+type Predicate struct {
+	Clauses [][]string
+}
+
+// Single returns the predicate matching one label.
+func Single(label string) Predicate { return Predicate{Clauses: [][]string{{label}}} }
+
+// Labels returns the distinct labels mentioned anywhere in the predicate,
+// sorted.
+func (p Predicate) Labels() []string {
+	set := map[string]bool{}
+	for _, c := range p.Clauses {
+		for _, l := range c {
+			set[l] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for l := range set {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Empty reports whether the predicate has no clauses.
+func (p Predicate) Empty() bool { return len(p.Clauses) == 0 }
+
+// String renders the predicate in canonical CNF form.
+func (p Predicate) String() string {
+	var parts []string
+	for _, c := range p.Clauses {
+		if len(c) == 1 {
+			parts = append(parts, c[0])
+		} else {
+			parts = append(parts, "("+strings.Join(c, " OR ")+")")
+		}
+	}
+	return strings.Join(parts, " AND ")
+}
+
+// Regions computes the pixel regions satisfying the predicate on one frame,
+// given the boxes stored in the semantic index per label. Per the paper:
+// a disjunctive clause contributes the union of its labels' boxes, and the
+// conjunction of clauses contributes pairwise intersections. The result is
+// deduplicated of empty and fully-contained rectangles.
+func (p Predicate) Regions(boxesByLabel map[string][]geom.Rect) []geom.Rect {
+	if p.Empty() {
+		return nil
+	}
+	var current []geom.Rect
+	for i, clause := range p.Clauses {
+		var clauseBoxes []geom.Rect
+		for _, label := range clause {
+			clauseBoxes = append(clauseBoxes, boxesByLabel[label]...)
+		}
+		if i == 0 {
+			current = clauseBoxes
+			continue
+		}
+		current = intersectSets(current, clauseBoxes)
+		if len(current) == 0 {
+			return nil
+		}
+	}
+	return dedupeRects(current)
+}
+
+// intersectSetsIndexThreshold is the work bound above which conjunction
+// evaluation switches from the naive pairwise loop to the grid spatial
+// index — the acceleration the paper suggests for conjunctive predicates
+// (§3.2).
+const intersectSetsIndexThreshold = 256
+
+// intersectSets returns all non-empty pairwise intersections of a and b.
+func intersectSets(a, b []geom.Rect) []geom.Rect {
+	if len(a)*len(b) > intersectSetsIndexThreshold {
+		return spatial.Build(a, geom.BoundingBox(a)).IntersectSets(b)
+	}
+	var out []geom.Rect
+	for _, ra := range a {
+		for _, rb := range b {
+			if r := ra.Intersect(rb); !r.Empty() {
+				out = append(out, r)
+			}
+		}
+	}
+	return out
+}
+
+// dedupeRects removes empty rectangles and rectangles wholly contained in
+// another.
+func dedupeRects(rs []geom.Rect) []geom.Rect {
+	var out []geom.Rect
+	for i, r := range rs {
+		if r.Empty() {
+			continue
+		}
+		contained := false
+		for j, s := range rs {
+			if i == j || s.Empty() {
+				continue
+			}
+			if s.Contains(r) && (s != r || j < i) {
+				contained = true
+				break
+			}
+		}
+		if !contained {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Query is a parsed TASM query: a label predicate over one video with an
+// optional frame range. To == -1 means "to the end of the video".
+type Query struct {
+	Video string
+	Pred  Predicate
+	From  int
+	To    int
+}
+
+// Parse parses a query of the form
+//
+//	SELECT <predicate> FROM <video> [WHERE <time predicate>]
+//
+// Predicates use labels combined with OR/| inside clauses and AND/& between
+// clauses, with optional parentheses and label='x' equality syntax. Time
+// predicates accept "a <= t < b", "t >= a AND t < b", "t = n", "t < b",
+// and "t >= a" over frame numbers.
+func Parse(s string) (Query, error) {
+	toks, err := tokenize(s)
+	if err != nil {
+		return Query{}, err
+	}
+	p := &parser{toks: toks}
+	if !p.eatWord("select") {
+		return Query{}, fmt.Errorf("query: expected SELECT, got %q", p.peek())
+	}
+	pred, err := p.parsePredicateUntil("from")
+	if err != nil {
+		return Query{}, err
+	}
+	if !p.eatWord("from") {
+		return Query{}, fmt.Errorf("query: expected FROM, got %q", p.peek())
+	}
+	video := p.next()
+	if video == "" {
+		return Query{}, fmt.Errorf("query: missing video name")
+	}
+	q := Query{Video: video, Pred: pred, From: 0, To: -1}
+	if p.eatWord("where") {
+		if err := p.parseTime(&q); err != nil {
+			return Query{}, err
+		}
+	}
+	if p.peek() != "" {
+		return Query{}, fmt.Errorf("query: trailing input at %q", p.peek())
+	}
+	return q, nil
+}
+
+// ParsePredicate parses just a CNF label predicate.
+func ParsePredicate(s string) (Predicate, error) {
+	toks, err := tokenize(s)
+	if err != nil {
+		return Predicate{}, err
+	}
+	p := &parser{toks: toks}
+	pred, err := p.parsePredicateUntil("")
+	if err != nil {
+		return Predicate{}, err
+	}
+	if p.peek() != "" {
+		return Predicate{}, fmt.Errorf("query: trailing input at %q", p.peek())
+	}
+	return pred, nil
+}
+
+type parser struct {
+	toks []string
+	pos  int
+}
+
+func (p *parser) peek() string {
+	if p.pos >= len(p.toks) {
+		return ""
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) next() string {
+	t := p.peek()
+	if t != "" {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) eatWord(w string) bool {
+	if strings.EqualFold(p.peek(), w) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) eat(tok string) bool {
+	if p.peek() == tok {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// parsePredicateUntil parses clauses until EOF or the stop keyword.
+func (p *parser) parsePredicateUntil(stop string) (Predicate, error) {
+	var pred Predicate
+	for {
+		clause, err := p.parseClause(stop)
+		if err != nil {
+			return Predicate{}, err
+		}
+		pred.Clauses = append(pred.Clauses, clause)
+		if p.eatWord("and") || p.eat("&") || p.eat("&&") {
+			continue
+		}
+		break
+	}
+	return pred, nil
+}
+
+func (p *parser) parseClause(stop string) ([]string, error) {
+	paren := p.eat("(")
+	var labels []string
+	for {
+		label, err := p.parseTerm(stop)
+		if err != nil {
+			return nil, err
+		}
+		labels = append(labels, label)
+		if p.eatWord("or") || p.eat("|") || p.eat("||") {
+			continue
+		}
+		break
+	}
+	if paren && !p.eat(")") {
+		return nil, fmt.Errorf("query: missing ) at %q", p.peek())
+	}
+	return labels, nil
+}
+
+func (p *parser) parseTerm(stop string) (string, error) {
+	t := p.peek()
+	if t == "" || (stop != "" && strings.EqualFold(t, stop)) ||
+		strings.EqualFold(t, "and") || strings.EqualFold(t, "or") {
+		return "", fmt.Errorf("query: expected label, got %q", t)
+	}
+	p.pos++
+	// label = 'car' form.
+	if strings.EqualFold(t, "label") && p.eat("=") {
+		v := p.next()
+		if v == "" {
+			return "", fmt.Errorf("query: missing label value")
+		}
+		return v, nil
+	}
+	return t, nil
+}
+
+// parseTime handles the supported temporal predicate forms.
+func (p *parser) parseTime(q *Query) error {
+	// Form: <num> <= t < <num>  (also accepts < on the left).
+	if n, ok := p.peekInt(); ok {
+		p.pos++
+		op1 := p.next()
+		if op1 != "<=" && op1 != "<" {
+			return fmt.Errorf("query: unexpected %q in time predicate", op1)
+		}
+		if !p.eatWord("t") {
+			return fmt.Errorf("query: expected t in time predicate")
+		}
+		q.From = n
+		if op1 == "<" {
+			q.From = n + 1
+		}
+		op2 := p.next()
+		if op2 != "<" && op2 != "<=" {
+			return fmt.Errorf("query: unexpected %q in time predicate", op2)
+		}
+		m, ok := p.peekInt()
+		if !ok {
+			return fmt.Errorf("query: expected number, got %q", p.peek())
+		}
+		p.pos++
+		q.To = m
+		if op2 == "<=" {
+			q.To = m + 1
+		}
+		return nil
+	}
+	// Forms starting with t.
+	if !p.eatWord("t") {
+		return fmt.Errorf("query: expected time predicate, got %q", p.peek())
+	}
+	for {
+		op := p.next()
+		n, ok := p.peekInt()
+		if !ok {
+			return fmt.Errorf("query: expected number after %q", op)
+		}
+		p.pos++
+		switch op {
+		case "=", "==":
+			q.From, q.To = n, n+1
+		case "<":
+			q.To = n
+		case "<=":
+			q.To = n + 1
+		case ">":
+			q.From = n + 1
+		case ">=":
+			q.From = n
+		default:
+			return fmt.Errorf("query: unsupported operator %q", op)
+		}
+		if p.eatWord("and") {
+			if !p.eatWord("t") {
+				return fmt.Errorf("query: expected t after AND")
+			}
+			continue
+		}
+		return nil
+	}
+}
+
+func (p *parser) peekInt() (int, bool) {
+	n, err := strconv.Atoi(p.peek())
+	return n, err == nil
+}
+
+// tokenize splits the input into identifiers, numbers, quoted strings, and
+// operator symbols.
+func tokenize(s string) ([]string, error) {
+	var toks []string
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(' || c == ')' || c == ',':
+			toks = append(toks, string(c))
+			i++
+		case c == '&' || c == '|':
+			j := i + 1
+			if j < len(s) && s[j] == c {
+				j++
+			}
+			toks = append(toks, s[i:j])
+			i = j
+		case c == '<' || c == '>' || c == '=' || c == '!':
+			j := i + 1
+			if j < len(s) && s[j] == '=' {
+				j++
+			}
+			toks = append(toks, s[i:j])
+			i = j
+		case c == '\'':
+			j := i + 1
+			for j < len(s) && s[j] != '\'' {
+				j++
+			}
+			if j >= len(s) {
+				return nil, fmt.Errorf("query: unterminated string at %d", i)
+			}
+			toks = append(toks, s[i+1:j])
+			i = j + 1
+		case isIdentChar(c):
+			j := i
+			for j < len(s) && isIdentChar(s[j]) {
+				j++
+			}
+			toks = append(toks, s[i:j])
+			i = j
+		default:
+			return nil, fmt.Errorf("query: unexpected character %q at %d", c, i)
+		}
+	}
+	return toks, nil
+}
+
+func isIdentChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == '-'
+}

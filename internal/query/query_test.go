@@ -1,0 +1,273 @@
+package query
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/tasm-repro/tasm/internal/geom"
+)
+
+func TestParseSimpleSelect(t *testing.T) {
+	q, err := Parse("SELECT car FROM traffic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Video != "traffic" {
+		t.Errorf("video = %q", q.Video)
+	}
+	if q.From != 0 || q.To != -1 {
+		t.Errorf("range = [%d,%d)", q.From, q.To)
+	}
+	if !reflect.DeepEqual(q.Pred.Clauses, [][]string{{"car"}}) {
+		t.Errorf("pred = %+v", q.Pred)
+	}
+}
+
+func TestParseTemporalForms(t *testing.T) {
+	cases := []struct {
+		sql      string
+		from, to int
+	}{
+		{"SELECT car FROM v WHERE 10 <= t < 20", 10, 20},
+		{"SELECT car FROM v WHERE 10 < t < 20", 11, 20},
+		{"SELECT car FROM v WHERE 10 <= t <= 20", 10, 21},
+		{"SELECT car FROM v WHERE t >= 10 AND t < 20", 10, 20},
+		{"SELECT car FROM v WHERE t > 9 AND t <= 19", 10, 20},
+		{"SELECT car FROM v WHERE t = 15", 15, 16},
+		{"SELECT car FROM v WHERE t < 20", 0, 20},
+		{"SELECT car FROM v WHERE t >= 5", 5, -1},
+	}
+	for _, tc := range cases {
+		q, err := Parse(tc.sql)
+		if err != nil {
+			t.Errorf("%s: %v", tc.sql, err)
+			continue
+		}
+		if q.From != tc.from || q.To != tc.to {
+			t.Errorf("%s: range [%d,%d), want [%d,%d)", tc.sql, q.From, q.To, tc.from, tc.to)
+		}
+	}
+}
+
+func TestParsePredicateForms(t *testing.T) {
+	cases := []struct {
+		in   string
+		want [][]string
+	}{
+		{"car", [][]string{{"car"}}},
+		{"car|bicycle", [][]string{{"car", "bicycle"}}},
+		{"car OR bicycle", [][]string{{"car", "bicycle"}}},
+		{"(car OR bicycle) AND red", [][]string{{"car", "bicycle"}, {"red"}}},
+		{"car & red", [][]string{{"car"}, {"red"}}},
+		{"car && red", [][]string{{"car"}, {"red"}}},
+		{"label='car' AND label='red'", [][]string{{"car"}, {"red"}}},
+		{"(label='car' OR label='bicycle') AND red", [][]string{{"car", "bicycle"}, {"red"}}},
+	}
+	for _, tc := range cases {
+		p, err := ParsePredicate(tc.in)
+		if err != nil {
+			t.Errorf("%q: %v", tc.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(p.Clauses, tc.want) {
+			t.Errorf("%q: got %v, want %v", tc.in, p.Clauses, tc.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT FROM v",
+		"car FROM v",
+		"SELECT car FROM",
+		"SELECT car FROM v WHERE",
+		"SELECT car FROM v WHERE x < 5",
+		"SELECT car FROM v WHERE t ~ 5",
+		"SELECT car FROM v WHERE 10 <= t",
+		"SELECT (car FROM v",
+		"SELECT car FROM v extra",
+		"SELECT car FROM v WHERE t = 'abc'",
+		"SELECT 'unterminated FROM v",
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("%q: expected error", s)
+		}
+	}
+}
+
+func TestPredicateLabels(t *testing.T) {
+	p, _ := ParsePredicate("(car OR bicycle) AND red AND car")
+	if got := p.Labels(); !reflect.DeepEqual(got, []string{"bicycle", "car", "red"}) {
+		t.Errorf("Labels = %v", got)
+	}
+	var empty Predicate
+	if !empty.Empty() || len(empty.Labels()) != 0 {
+		t.Error("empty predicate misbehaves")
+	}
+}
+
+func TestPredicateString(t *testing.T) {
+	p, _ := ParsePredicate("(car OR bicycle) AND red")
+	if got := p.String(); got != "(car OR bicycle) AND red" {
+		t.Errorf("String = %q", got)
+	}
+	p2, err := ParsePredicate(p.String())
+	if err != nil || !reflect.DeepEqual(p2, p) {
+		t.Errorf("String round trip failed: %v %v", p2, err)
+	}
+}
+
+func TestRegionsSingleClause(t *testing.T) {
+	p := Single("car")
+	boxes := map[string][]geom.Rect{
+		"car":    {geom.R(0, 0, 10, 10), geom.R(50, 50, 60, 60)},
+		"person": {geom.R(100, 100, 110, 110)},
+	}
+	got := p.Regions(boxes)
+	if len(got) != 2 {
+		t.Fatalf("got %d regions: %v", len(got), got)
+	}
+}
+
+func TestRegionsDisjunction(t *testing.T) {
+	p, _ := ParsePredicate("car|person")
+	boxes := map[string][]geom.Rect{
+		"car":    {geom.R(0, 0, 10, 10)},
+		"person": {geom.R(50, 50, 60, 60)},
+	}
+	got := p.Regions(boxes)
+	if len(got) != 2 {
+		t.Fatalf("union should keep both boxes: %v", got)
+	}
+}
+
+func TestRegionsConjunction(t *testing.T) {
+	p, _ := ParsePredicate("car AND red")
+	boxes := map[string][]geom.Rect{
+		"car": {geom.R(0, 0, 20, 20), geom.R(100, 0, 120, 20)},
+		"red": {geom.R(10, 10, 30, 30)},
+	}
+	got := p.Regions(boxes)
+	if len(got) != 1 {
+		t.Fatalf("got %v", got)
+	}
+	if got[0] != geom.R(10, 10, 20, 20) {
+		t.Errorf("intersection = %v", got[0])
+	}
+	// No red overlapping the second car: conjunction drops it.
+	boxes["red"] = []geom.Rect{geom.R(500, 500, 510, 510)}
+	if got := p.Regions(boxes); len(got) != 0 {
+		t.Errorf("disjoint conjunction returned %v", got)
+	}
+}
+
+func TestRegionsMissingLabel(t *testing.T) {
+	p, _ := ParsePredicate("car AND red")
+	boxes := map[string][]geom.Rect{"car": {geom.R(0, 0, 10, 10)}}
+	if got := p.Regions(boxes); len(got) != 0 {
+		t.Errorf("missing conjunct label returned %v", got)
+	}
+	var empty Predicate
+	if got := empty.Regions(boxes); got != nil {
+		t.Errorf("empty predicate returned %v", got)
+	}
+}
+
+func TestRegionsDedupe(t *testing.T) {
+	p := Single("car")
+	boxes := map[string][]geom.Rect{
+		"car": {geom.R(0, 0, 100, 100), geom.R(10, 10, 20, 20), geom.R(0, 0, 100, 100)},
+	}
+	got := p.Regions(boxes)
+	if len(got) != 1 || got[0] != geom.R(0, 0, 100, 100) {
+		t.Errorf("dedupe failed: %v", got)
+	}
+}
+
+func TestThreeWayConjunction(t *testing.T) {
+	p, _ := ParsePredicate("a AND b AND c")
+	boxes := map[string][]geom.Rect{
+		"a": {geom.R(0, 0, 30, 30)},
+		"b": {geom.R(10, 0, 40, 30)},
+		"c": {geom.R(0, 10, 30, 40)},
+	}
+	got := p.Regions(boxes)
+	if len(got) != 1 || got[0] != geom.R(10, 10, 30, 30) {
+		t.Errorf("3-way intersection = %v", got)
+	}
+}
+
+func TestIntersectSetsIndexedMatchesNaive(t *testing.T) {
+	// Above the threshold the spatial-index path must produce the same
+	// multiset of intersections as the naive path.
+	var a, b []geom.Rect
+	for i := 0; i < 30; i++ {
+		a = append(a, geom.R(i*7%300, i*13%200, i*7%300+40, i*13%200+30))
+		b = append(b, geom.R(i*11%280, i*5%180, i*11%280+35, i*5%180+45))
+	}
+	if len(a)*len(b) <= intersectSetsIndexThreshold {
+		t.Fatalf("test sets too small to exercise indexed path")
+	}
+	got := intersectSets(a, b)
+	var want []geom.Rect
+	for _, ra := range a {
+		for _, rb := range b {
+			if r := ra.Intersect(rb); !r.Empty() {
+				want = append(want, r)
+			}
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("indexed found %d, naive %d", len(got), len(want))
+	}
+	count := map[geom.Rect]int{}
+	for _, r := range got {
+		count[r]++
+	}
+	for _, r := range want {
+		count[r]--
+	}
+	for r, c := range count {
+		if c != 0 {
+			t.Fatalf("intersection multiset differs at %v (delta %d)", r, c)
+		}
+	}
+}
+
+func TestRegionsLargeConjunction(t *testing.T) {
+	// End-to-end: a conjunctive predicate over large box sets goes through
+	// the indexed path and still returns correct regions.
+	p, _ := ParsePredicate("car AND red")
+	boxes := map[string][]geom.Rect{}
+	for i := 0; i < 40; i++ {
+		boxes["car"] = append(boxes["car"], geom.R(i*10, 0, i*10+8, 50))
+		boxes["red"] = append(boxes["red"], geom.R(i*10+4, 10, i*10+12, 40))
+	}
+	got := p.Regions(boxes)
+	if len(got) == 0 {
+		t.Fatal("no regions")
+	}
+	for _, r := range got {
+		if r.Empty() {
+			t.Error("empty region returned")
+		}
+		// Every region must lie inside some car box and some red box.
+		inCar, inRed := false, false
+		for _, b := range boxes["car"] {
+			if b.Contains(r) {
+				inCar = true
+			}
+		}
+		for _, b := range boxes["red"] {
+			if b.Contains(r) {
+				inRed = true
+			}
+		}
+		if !inCar || !inRed {
+			t.Errorf("region %v not inside both conjuncts", r)
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package scene
+
+// Dataset presets mirroring Table 1 of the paper. Each preset reproduces
+// the property the experiments key on: the per-frame object coverage range
+// and the mix of frequently occurring classes. Durations are scaled down
+// (the paper's videos run 540–900 s; a pure-Go encoder wants tens of
+// seconds) and resolutions default to 320×180 — a 6× linear reduction of 2K
+// — with object sizes specified as frame fractions so coverage is
+// resolution-independent. Options.Scale restores larger sizes.
+
+// Options controls preset generation.
+type Options struct {
+	// Width and Height of generated videos. Both default to 320×180.
+	Width, Height int
+	// FPS defaults to 30.
+	FPS int
+	// DurationScale multiplies each preset's base duration (default 1.0).
+	DurationScale float64
+	// Seed offsets every preset's RNG stream.
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Width == 0 {
+		o.Width = 320
+	}
+	if o.Height == 0 {
+		o.Height = 180
+	}
+	if o.FPS == 0 {
+		o.FPS = 30
+	}
+	if o.DurationScale == 0 {
+		o.DurationScale = 1
+	}
+	return o
+}
+
+// Preset couples a spec with the dataset-level expectations the benches
+// assert on.
+type Preset struct {
+	Spec Spec
+	// SparseExpected is the paper's sparse/dense classification (<20% mean
+	// object coverage).
+	SparseExpected bool
+	// QueryClasses are the most frequently occurring classes, i.e. the
+	// objects queries target in the evaluation (§5, "queries target the
+	// most frequently occurring object classes").
+	QueryClasses []string
+}
+
+// Presets returns the full dataset roster used across the experiments.
+func Presets(o Options) []Preset {
+	o = o.withDefaults()
+	base := func(name, dataset string, secs int, pan float64, classes []ClassMix, seed uint64) Spec {
+		d := int(float64(secs) * o.DurationScale)
+		if d < 2 {
+			d = 2
+		}
+		return Spec{
+			Name: name, Dataset: dataset,
+			W: o.Width, H: o.Height, FPS: o.FPS, DurationSec: d,
+			CameraPan: pan, Classes: classes, Seed: seed ^ o.Seed,
+		}
+	}
+	return []Preset{
+		// Visual Road: synthetic traffic, very sparse (0.06–10%), cars and
+		// pedestrians plus occasional traffic lights.
+		{
+			Spec: base("visualroad-2k-a", "VisualRoad", 16, 0, []ClassMix{
+				{Class: Car, Count: 4, SizeFrac: 0.09, Churn: 0.5},
+				{Class: Person, Count: 4, SizeFrac: 0.11, Churn: 0.5},
+				{Class: TrafficLight, Count: 2, SizeFrac: 0.08},
+			}, 101),
+			SparseExpected: true,
+			QueryClasses:   []string{Car, Person},
+		},
+		{
+			Spec: base("visualroad-2k-b", "VisualRoad", 16, 0, []ClassMix{
+				{Class: Car, Count: 6, SizeFrac: 0.08, Churn: 0.4},
+				{Class: Person, Count: 5, SizeFrac: 0.10, Churn: 0.4},
+				{Class: TrafficLight, Count: 2, SizeFrac: 0.07},
+			}, 102),
+			SparseExpected: true,
+			QueryClasses:   []string{Car, Person},
+		},
+		{
+			Spec: base("visualroad-4k", "VisualRoad", 20, 0, []ClassMix{
+				{Class: Car, Count: 5, SizeFrac: 0.07, Churn: 0.5},
+				{Class: Person, Count: 6, SizeFrac: 0.09, Churn: 0.5},
+			}, 103),
+			SparseExpected: true,
+			QueryClasses:   []string{Car, Person},
+		},
+		// Netflix public dataset: short clips, some with a single dominant
+		// object class (birds / people), coverage 0.32–49%.
+		{
+			Spec: base("netflix-birds", "NetflixPublic", 6, 0.2, []ClassMix{
+				{Class: Bird, Count: 3, SizeFrac: 0.13, Churn: 0.3},
+			}, 201),
+			SparseExpected: true,
+			QueryClasses:   []string{Bird},
+		},
+		{
+			Spec: base("netflix-dinner", "NetflixPublic", 6, 0, []ClassMix{
+				{Class: Person, Count: 5, SizeFrac: 0.55},
+			}, 202),
+			SparseExpected: false,
+			QueryClasses:   []string{Person},
+		},
+		// Netflix Open Source (Meridian/Cosmos-like): dense 25–45%.
+		{
+			Spec: base("nos-meridian", "NetflixOpenSource", 12, 0.1, []ClassMix{
+				{Class: Person, Count: 4, SizeFrac: 0.35},
+				{Class: Car, Count: 2, SizeFrac: 0.22},
+			}, 301),
+			SparseExpected: false,
+			QueryClasses:   []string{Person, Car},
+		},
+		{
+			Spec: base("nos-pasture", "NetflixOpenSource", 12, 0, []ClassMix{
+				{Class: Sheep, Count: 12, SizeFrac: 0.20},
+				{Class: Person, Count: 2, SizeFrac: 0.30},
+			}, 302),
+			SparseExpected: false,
+			QueryClasses:   []string{Sheep, Person},
+		},
+		// XIPH: mixed coverage 2–59%.
+		{
+			Spec: base("xiph-harbor", "XIPH", 8, 0.15, []ClassMix{
+				{Class: Boat, Count: 2, SizeFrac: 0.14, Churn: 0.3},
+				{Class: Person, Count: 3, SizeFrac: 0.10, Churn: 0.3},
+			}, 401),
+			SparseExpected: true,
+			QueryClasses:   []string{Boat, Person},
+		},
+		{
+			Spec: base("xiph-crosswalk", "XIPH", 8, 0, []ClassMix{
+				{Class: Car, Count: 5, SizeFrac: 0.24},
+				{Class: Person, Count: 7, SizeFrac: 0.20},
+			}, 402),
+			SparseExpected: false,
+			QueryClasses:   []string{Car, Person},
+		},
+		// MOT16: pedestrian tracking footage, moving camera, 3–36%.
+		{
+			Spec: base("mot16-street", "MOT16", 10, 0.5, []ClassMix{
+				{Class: Person, Count: 8, SizeFrac: 0.12, Churn: 0.4},
+				{Class: Car, Count: 2, SizeFrac: 0.12, Churn: 0.3},
+			}, 501),
+			SparseExpected: true,
+			QueryClasses:   []string{Person, Car},
+		},
+		// El Fuente: a long video with diverse scenes; we model two scenes,
+		// one dense market and one sparse road, 1–47%.
+		{
+			Spec: base("elfuente-market", "ElFuente", 10, 0.2, []ClassMix{
+				{Class: Person, Count: 8, SizeFrac: 0.26},
+				{Class: Car, Count: 2, SizeFrac: 0.20},
+				{Class: Bicycle, Count: 2, SizeFrac: 0.16},
+			}, 601),
+			SparseExpected: false,
+			QueryClasses:   []string{Person, Car},
+		},
+		{
+			Spec: base("elfuente-road", "ElFuente", 10, 0, []ClassMix{
+				{Class: Car, Count: 3, SizeFrac: 0.10, Churn: 0.4},
+				{Class: Boat, Count: 1, SizeFrac: 0.12},
+				{Class: Person, Count: 2, SizeFrac: 0.10, Churn: 0.4},
+			}, 602),
+			SparseExpected: true,
+			QueryClasses:   []string{Car, Person},
+		},
+	}
+}
+
+// SparsePresets filters Presets to the sparse datasets.
+func SparsePresets(o Options) []Preset {
+	var out []Preset
+	for _, p := range Presets(o) {
+		if p.SparseExpected {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// DensePresets filters Presets to the dense datasets.
+func DensePresets(o Options) []Preset {
+	var out []Preset
+	for _, p := range Presets(o) {
+		if !p.SparseExpected {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// VisualRoadPresets returns just the Visual Road videos (used by the
+// workload experiments W1–W4).
+func VisualRoadPresets(o Options) []Preset {
+	var out []Preset
+	for _, p := range Presets(o) {
+		if p.Spec.Dataset == "VisualRoad" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

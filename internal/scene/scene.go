@@ -1,0 +1,331 @@
+// Package scene generates deterministic synthetic videos that stand in for
+// the paper's evaluation datasets (Table 1). Every dataset property the
+// experiments depend on is reproduced: per-frame object coverage (sparse vs
+// dense), the mix of object classes, object motion, camera pan (which
+// defeats background subtraction, §5.2.4), and scene duration. Ground-truth
+// object tracks are available per frame, which is what the detector
+// simulators in internal/detect perturb.
+package scene
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/tasm-repro/tasm/internal/frame"
+	"github.com/tasm-repro/tasm/internal/geom"
+	"github.com/tasm-repro/tasm/internal/stats"
+)
+
+// Class names follow the paper's frequently-occurring objects (Table 1).
+const (
+	Car          = "car"
+	Person       = "person"
+	Bird         = "bird"
+	Boat         = "boat"
+	Bicycle      = "bicycle"
+	TrafficLight = "traffic_light"
+	Sheep        = "sheep"
+)
+
+// classStyle gives each class a distinct appearance and kinematic profile.
+type classStyle struct {
+	luma     byte
+	cb, cr   byte
+	aspect   float64 // width / height
+	speed    float64 // typical px/frame at 320-wide scale
+	vertical bool    // moves mostly vertically (e.g. birds)
+}
+
+var classStyles = map[string]classStyle{
+	Car:          {luma: 200, cb: 100, cr: 180, aspect: 1.8, speed: 1.6},
+	Person:       {luma: 90, cb: 140, cr: 110, aspect: 0.45, speed: 0.7},
+	Bird:         {luma: 230, cb: 110, cr: 120, aspect: 1.3, speed: 2.2, vertical: true},
+	Boat:         {luma: 160, cb: 170, cr: 90, aspect: 2.4, speed: 0.9},
+	Bicycle:      {luma: 120, cb: 120, cr: 150, aspect: 1.1, speed: 1.3},
+	TrafficLight: {luma: 250, cb: 90, cr: 200, aspect: 0.4, speed: 0},
+	Sheep:        {luma: 220, cb: 128, cr: 128, aspect: 1.2, speed: 0.4},
+}
+
+// ClassMix requests a number of objects of one class sized relative to the
+// frame.
+type ClassMix struct {
+	Class string
+	Count int
+	// SizeFrac is the object height as a fraction of frame height.
+	SizeFrac float64
+	// Churn is the probability per object that it is absent during a given
+	// third of the video, creating appearance/disappearance events.
+	Churn float64
+}
+
+// Spec describes a synthetic video.
+type Spec struct {
+	Name        string
+	W, H        int
+	FPS         int
+	DurationSec int
+	Classes     []ClassMix
+	// CameraPan is the background drift in px/frame. Non-zero pan defeats
+	// background-subtraction detectors, as the paper observes.
+	CameraPan float64
+	// Dataset tags the Table-1 dataset this spec mirrors.
+	Dataset string
+	Seed    uint64
+}
+
+// NumFrames returns FPS * DurationSec.
+func (s Spec) NumFrames() int { return s.FPS * s.DurationSec }
+
+type object struct {
+	class      string
+	style      classStyle
+	w, h       float64
+	x0, y0     float64 // start center position
+	vx, vy     float64
+	phase      float64 // texture phase
+	absentFrom int     // first frame of absence window (-1 if always present)
+	absentTo   int
+}
+
+// Video is a generated synthetic video. Frames are rendered on demand and
+// deterministically: Frame(i) always returns identical pixels for a given
+// spec.
+type Video struct {
+	Spec    Spec
+	objects []object
+}
+
+// Generate builds a Video from a spec.
+func Generate(spec Spec) (*Video, error) {
+	if spec.W <= 0 || spec.H <= 0 || spec.W%2 != 0 || spec.H%2 != 0 {
+		return nil, fmt.Errorf("scene: invalid dimensions %dx%d", spec.W, spec.H)
+	}
+	if spec.FPS <= 0 || spec.DurationSec <= 0 {
+		return nil, fmt.Errorf("scene: invalid duration %ds @ %dfps", spec.DurationSec, spec.FPS)
+	}
+	rng := stats.NewRNG(spec.Seed ^ 0x9e3779b97f4a7c15)
+	v := &Video{Spec: spec}
+	n := spec.NumFrames()
+	speedScale := float64(spec.W) / 320.0
+	for _, mix := range spec.Classes {
+		style, ok := classStyles[mix.Class]
+		if !ok {
+			return nil, fmt.Errorf("scene: unknown class %q", mix.Class)
+		}
+		for i := 0; i < mix.Count; i++ {
+			h := mix.SizeFrac * float64(spec.H) * (0.8 + 0.4*rng.Float64())
+			w := h * style.aspect * (0.85 + 0.3*rng.Float64())
+			if h < 6 {
+				h = 6
+			}
+			if w < 6 {
+				w = 6
+			}
+			o := object{
+				class: mix.Class,
+				style: style,
+				w:     w, h: h,
+				x0:    rng.Float64() * float64(spec.W),
+				y0:    rng.Float64() * float64(spec.H),
+				phase: rng.Float64() * 64,
+			}
+			sp := style.speed * speedScale * (0.6 + 0.8*rng.Float64())
+			dir := 1.0
+			if rng.Intn(2) == 0 {
+				dir = -1
+			}
+			if style.vertical {
+				o.vy = sp * dir
+				o.vx = sp * 0.3 * (rng.Float64() - 0.5)
+			} else {
+				o.vx = sp * dir
+				o.vy = sp * 0.25 * (rng.Float64() - 0.5)
+			}
+			o.absentFrom = -1
+			if mix.Churn > 0 && rng.Float64() < mix.Churn {
+				third := n / 3
+				if third > 0 {
+					k := rng.Intn(3)
+					o.absentFrom = k * third
+					o.absentTo = (k + 1) * third
+				}
+			}
+			v.objects = append(v.objects, o)
+		}
+	}
+	return v, nil
+}
+
+// position returns the object's center at frame t, bouncing off the frame
+// edges deterministically (triangle-wave reflection).
+func (o *object) position(t int, w, h int) (float64, float64) {
+	return reflect(o.x0+o.vx*float64(t), float64(w)),
+		reflect(o.y0+o.vy*float64(t), float64(h))
+}
+
+// reflect folds x into [0, limit) by reflecting at the boundaries.
+func reflect(x, limit float64) float64 {
+	if limit <= 0 {
+		return 0
+	}
+	period := 2 * limit
+	x = math.Mod(x, period)
+	if x < 0 {
+		x += period
+	}
+	if x >= limit {
+		x = period - x
+	}
+	return x
+}
+
+func (o *object) visible(t int) bool {
+	return o.absentFrom < 0 || t < o.absentFrom || t >= o.absentTo
+}
+
+// box returns the object's bounding box at frame t, clamped to the frame,
+// or an empty rect if the object is absent.
+func (o *object) box(t int, w, h int) geom.Rect {
+	if !o.visible(t) {
+		return geom.Rect{}
+	}
+	cx, cy := o.position(t, w, h)
+	r := geom.R(
+		int(cx-o.w/2), int(cy-o.h/2),
+		int(cx+o.w/2), int(cy+o.h/2),
+	)
+	return r.Clamp(geom.R(0, 0, w, h))
+}
+
+// Frame renders frame t.
+func (v *Video) Frame(t int) *frame.Frame {
+	w, h := v.Spec.W, v.Spec.H
+	f := frame.New(w, h)
+	// Background: a textured gradient drifting with the camera pan. The
+	// texture has enough spatial detail that the codec's bitrate responds
+	// to content, and the pan makes "background" pixels change over time.
+	pan := v.Spec.CameraPan * float64(t)
+	for y := 0; y < h; y++ {
+		base := 40 + 60*y/h
+		row := f.Y[y*w : y*w+w]
+		for x := 0; x < w; x++ {
+			tx := float64(x) + pan
+			tex := 20 * math.Sin(tx*0.11+float64(y)*0.07)
+			row[x] = byte(clampInt(base+int(tex)+((x+int(pan))>>4&1)*8, 0, 255))
+		}
+	}
+	for i := range f.Cb {
+		f.Cb[i] = 126
+		f.Cr[i] = 124
+	}
+	// Objects, drawn in declaration order.
+	for oi := range v.objects {
+		o := &v.objects[oi]
+		b := o.box(t, w, h)
+		if b.Empty() {
+			continue
+		}
+		v.drawObject(f, o, b, t)
+	}
+	return f
+}
+
+func (v *Video) drawObject(f *frame.Frame, o *object, b geom.Rect, t int) {
+	// Body with a simple striped texture so the codec sees real detail.
+	for y := b.Y0; y < b.Y1; y++ {
+		row := f.Y[y*f.W : y*f.W+f.W]
+		for x := b.X0; x < b.X1; x++ {
+			stripe := int(float64(x-y)*0.5+o.phase) & 15
+			l := int(o.style.luma) - stripe
+			row[x] = byte(clampInt(l, 0, 255))
+		}
+	}
+	cw := f.W / 2
+	for y := b.Y0 / 2; y < (b.Y1+1)/2 && y < f.H/2; y++ {
+		for x := b.X0 / 2; x < (b.X1+1)/2 && x < cw; x++ {
+			f.Cb[y*cw+x] = o.style.cb
+			f.Cr[y*cw+x] = o.style.cr
+		}
+	}
+	_ = t
+}
+
+// Frames renders frames [from, to).
+func (v *Video) Frames(from, to int) []*frame.Frame {
+	out := make([]*frame.Frame, 0, to-from)
+	for t := from; t < to; t++ {
+		out = append(out, v.Frame(t))
+	}
+	return out
+}
+
+// GroundTruth returns the true bounding box and class of every visible
+// object on frame t.
+func (v *Video) GroundTruth(t int) []Truth {
+	var out []Truth
+	for oi := range v.objects {
+		o := &v.objects[oi]
+		if b := o.box(t, v.Spec.W, v.Spec.H); !b.Empty() {
+			out = append(out, Truth{Label: o.class, Box: b})
+		}
+	}
+	return out
+}
+
+// Truth is a ground-truth object instance.
+type Truth struct {
+	Label string
+	Box   geom.Rect
+}
+
+// Coverage returns the fraction of frame t covered by objects (union area).
+func (v *Video) Coverage(t int) float64 {
+	var boxes []geom.Rect
+	for _, tr := range v.GroundTruth(t) {
+		boxes = append(boxes, tr.Box)
+	}
+	return float64(geom.TotalArea(boxes)) / float64(v.Spec.W*v.Spec.H)
+}
+
+// MeanCoverage averages Coverage over sampled frames.
+func (v *Video) MeanCoverage() float64 {
+	n := v.Spec.NumFrames()
+	step := n / 20
+	if step < 1 {
+		step = 1
+	}
+	var sum float64
+	var cnt int
+	for t := 0; t < n; t += step {
+		sum += v.Coverage(t)
+		cnt++
+	}
+	return sum / float64(cnt)
+}
+
+// Sparse reports whether mean object coverage is below 20%, the paper's
+// sparse/dense threshold (§5.2.2).
+func (v *Video) Sparse() bool { return v.MeanCoverage() < 0.20 }
+
+// Classes returns the distinct object classes present, in spec order.
+func (v *Video) Classes() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, o := range v.objects {
+		if !seen[o.class] {
+			seen[o.class] = true
+			out = append(out, o.class)
+		}
+	}
+	return out
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

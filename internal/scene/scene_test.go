@@ -1,0 +1,260 @@
+package scene
+
+import (
+	"testing"
+
+	"github.com/tasm-repro/tasm/internal/geom"
+)
+
+func smallSpec() Spec {
+	return Spec{
+		Name: "test", W: 128, H: 96, FPS: 10, DurationSec: 3,
+		Classes: []ClassMix{
+			{Class: Car, Count: 2, SizeFrac: 0.2},
+			{Class: Person, Count: 1, SizeFrac: 0.3},
+		},
+		Seed: 42,
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := smallSpec()
+	bad.W = 127
+	if _, err := Generate(bad); err == nil {
+		t.Error("odd width accepted")
+	}
+	bad = smallSpec()
+	bad.FPS = 0
+	if _, err := Generate(bad); err == nil {
+		t.Error("zero fps accepted")
+	}
+	bad = smallSpec()
+	bad.Classes = []ClassMix{{Class: "dragon", Count: 1, SizeFrac: 0.1}}
+	if _, err := Generate(bad); err == nil {
+		t.Error("unknown class accepted")
+	}
+}
+
+func TestDeterministicRendering(t *testing.T) {
+	v1, err := Generate(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, _ := Generate(smallSpec())
+	for _, ti := range []int{0, 7, 29} {
+		a, b := v1.Frame(ti), v2.Frame(ti)
+		for i := range a.Y {
+			if a.Y[i] != b.Y[i] {
+				t.Fatalf("frame %d not deterministic at %d", ti, i)
+			}
+		}
+	}
+	// Different seed differs.
+	spec := smallSpec()
+	spec.Seed = 43
+	v3, _ := Generate(spec)
+	diff := 0
+	a, b := v1.Frame(0), v3.Frame(0)
+	for i := range a.Y {
+		if a.Y[i] != b.Y[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("different seeds rendered identical frames")
+	}
+}
+
+func TestGroundTruthMatchesSpec(t *testing.T) {
+	v, _ := Generate(smallSpec())
+	gt := v.GroundTruth(0)
+	if len(gt) != 3 {
+		t.Fatalf("got %d objects, want 3", len(gt))
+	}
+	counts := map[string]int{}
+	for _, tr := range gt {
+		counts[tr.Label]++
+		if tr.Box.Empty() {
+			t.Errorf("empty ground-truth box for %s", tr.Label)
+		}
+		if !geom.R(0, 0, 128, 96).Contains(tr.Box) {
+			t.Errorf("box %v escapes frame", tr.Box)
+		}
+	}
+	if counts[Car] != 2 || counts[Person] != 1 {
+		t.Errorf("class counts = %v", counts)
+	}
+}
+
+func TestObjectsActuallyRendered(t *testing.T) {
+	v, _ := Generate(smallSpec())
+	f := v.Frame(0)
+	for _, tr := range v.GroundTruth(0) {
+		if tr.Box.Area() < 16 {
+			continue
+		}
+		// Sample the box center: it must differ from the background that
+		// would be there otherwise (background luma is < 110 + texture).
+		cx, cy := (tr.Box.X0+tr.Box.X1)/2, (tr.Box.Y0+tr.Box.Y1)/2
+		style := classStyles[tr.Label]
+		got := f.YAt(cx, cy)
+		if d := int(got) - int(style.luma); d < -40 || d > 40 {
+			t.Errorf("%s at (%d,%d): luma %d far from style %d", tr.Label, cx, cy, got, style.luma)
+		}
+	}
+}
+
+func TestObjectsMove(t *testing.T) {
+	v, _ := Generate(smallSpec())
+	moved := false
+	a, b := v.GroundTruth(0), v.GroundTruth(20)
+	for i := range a {
+		if a[i].Box != b[i].Box {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Error("no object moved over 20 frames")
+	}
+}
+
+func TestChurnCreatesAbsence(t *testing.T) {
+	spec := Spec{
+		Name: "churn", W: 128, H: 96, FPS: 10, DurationSec: 6,
+		Classes: []ClassMix{{Class: Car, Count: 20, SizeFrac: 0.1, Churn: 1.0}},
+		Seed:    7,
+	}
+	v, _ := Generate(spec)
+	n := spec.NumFrames()
+	minSeen, maxSeen := 1000, 0
+	for t0 := 0; t0 < n; t0 += 5 {
+		c := len(v.GroundTruth(t0))
+		if c < minSeen {
+			minSeen = c
+		}
+		if c > maxSeen {
+			maxSeen = c
+		}
+	}
+	if minSeen == maxSeen {
+		t.Errorf("churn had no effect: always %d objects", minSeen)
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	v, _ := Generate(smallSpec())
+	c := v.Coverage(0)
+	if c <= 0 || c >= 1 {
+		t.Errorf("coverage = %f", c)
+	}
+	// Manual union check.
+	var boxes []geom.Rect
+	for _, tr := range v.GroundTruth(0) {
+		boxes = append(boxes, tr.Box)
+	}
+	want := float64(geom.TotalArea(boxes)) / float64(128*96)
+	if c != want {
+		t.Errorf("coverage = %f, want %f", c, want)
+	}
+}
+
+func TestReflect(t *testing.T) {
+	cases := []struct{ x, limit, want float64 }{
+		{5, 10, 5},
+		{15, 10, 5},
+		{25, 10, 5},
+		{-3, 10, 3},
+		{10, 10, 10}, // boundary folds to limit then clamps inside on next step
+	}
+	for _, tc := range cases {
+		got := reflect(tc.x, tc.limit)
+		if got < 0 || got > tc.limit {
+			t.Errorf("reflect(%v,%v) = %v out of range", tc.x, tc.limit, got)
+		}
+		if tc.x != 10 && got != tc.want {
+			t.Errorf("reflect(%v,%v) = %v, want %v", tc.x, tc.limit, got, tc.want)
+		}
+	}
+}
+
+func TestPresetsMatchTable1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("preset generation is slow in -short mode")
+	}
+	presets := Presets(Options{})
+	if len(presets) < 10 {
+		t.Fatalf("only %d presets", len(presets))
+	}
+	datasets := map[string]bool{}
+	for _, p := range presets {
+		v, err := Generate(p.Spec)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Spec.Name, err)
+		}
+		datasets[p.Spec.Dataset] = true
+		mc := v.MeanCoverage()
+		if p.SparseExpected && mc >= 0.25 {
+			t.Errorf("%s: expected sparse, mean coverage %.2f", p.Spec.Name, mc)
+		}
+		if !p.SparseExpected && mc < 0.15 {
+			t.Errorf("%s: expected dense, mean coverage %.2f", p.Spec.Name, mc)
+		}
+		if len(p.QueryClasses) == 0 {
+			t.Errorf("%s: no query classes", p.Spec.Name)
+		}
+		classes := map[string]bool{}
+		for _, c := range v.Classes() {
+			classes[c] = true
+		}
+		for _, qc := range p.QueryClasses {
+			if !classes[qc] {
+				t.Errorf("%s: query class %s not present in video", p.Spec.Name, qc)
+			}
+		}
+	}
+	for _, want := range []string{"VisualRoad", "NetflixPublic", "NetflixOpenSource", "XIPH", "MOT16", "ElFuente"} {
+		if !datasets[want] {
+			t.Errorf("missing dataset %s", want)
+		}
+	}
+}
+
+func TestPresetFilters(t *testing.T) {
+	o := Options{}
+	all := len(Presets(o))
+	s, d := len(SparsePresets(o)), len(DensePresets(o))
+	if s+d != all {
+		t.Errorf("sparse %d + dense %d != all %d", s, d, all)
+	}
+	vr := VisualRoadPresets(o)
+	if len(vr) != 3 {
+		t.Errorf("VisualRoad presets = %d, want 3", len(vr))
+	}
+	for _, p := range vr {
+		if p.Spec.Dataset != "VisualRoad" {
+			t.Errorf("filter leaked %s", p.Spec.Dataset)
+		}
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	p := Presets(Options{})[0]
+	if p.Spec.W != 320 || p.Spec.H != 180 || p.Spec.FPS != 30 {
+		t.Errorf("defaults = %dx%d@%d", p.Spec.W, p.Spec.H, p.Spec.FPS)
+	}
+	p = Presets(Options{Width: 640, Height: 360, FPS: 15, DurationScale: 0.5})[0]
+	if p.Spec.W != 640 || p.Spec.H != 360 || p.Spec.FPS != 15 {
+		t.Errorf("options ignored: %dx%d@%d", p.Spec.W, p.Spec.H, p.Spec.FPS)
+	}
+	if p.Spec.DurationSec != 8 { // 16 * 0.5
+		t.Errorf("duration scale: %d", p.Spec.DurationSec)
+	}
+}
+
+func BenchmarkRenderFrame(b *testing.B) {
+	v, _ := Generate(Presets(Options{})[0].Spec)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.Frame(i % 100)
+	}
+}

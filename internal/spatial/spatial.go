@@ -1,0 +1,158 @@
+// Package spatial implements a grid-based spatial index over bounding
+// boxes. The paper notes (§3.2) that "a spatial index could further
+// accelerate queries containing conjunctive predicates by efficiently
+// computing the intersection of bounding boxes before fetching tiles";
+// this package is that extension. It is a static, bulk-loaded structure:
+// built once per (frame, label) box set, then queried for intersections.
+//
+// A uniform grid fits this workload better than an R-tree: box sets are
+// rebuilt per frame (cheap bulk load beats incremental balance), boxes are
+// similarly sized (object detections), and the universe is the fixed frame
+// rectangle.
+package spatial
+
+import (
+	"github.com/tasm-repro/tasm/internal/geom"
+)
+
+// Index is a static spatial index over a fixed set of rectangles.
+type Index struct {
+	bounds geom.Rect
+	boxes  []geom.Rect
+	cols   int
+	rows   int
+	cellW  int
+	cellH  int
+	cells  [][]int32 // box indexes per cell
+}
+
+// targetPerCell balances cell scan cost against cell count.
+const targetPerCell = 4
+
+// Build bulk-loads an index over boxes within bounds. Boxes outside bounds
+// are clamped; empty boxes keep their slot (so indexes returned by queries
+// match the input) but are never reported.
+func Build(boxes []geom.Rect, bounds geom.Rect) *Index {
+	ix := &Index{bounds: bounds, boxes: boxes}
+	n := len(boxes)
+	if n == 0 || bounds.Empty() {
+		ix.cols, ix.rows = 1, 1
+		ix.cellW, ix.cellH = max(bounds.Width(), 1), max(bounds.Height(), 1)
+		ix.cells = make([][]int32, 1)
+		return ix
+	}
+	// Grid resolution: ~n/targetPerCell cells, proportioned to the bounds
+	// aspect ratio, at least 1×1.
+	cells := (n + targetPerCell - 1) / targetPerCell
+	ix.cols, ix.rows = gridShape(cells, bounds.Width(), bounds.Height())
+	ix.cellW = (bounds.Width() + ix.cols - 1) / ix.cols
+	ix.cellH = (bounds.Height() + ix.rows - 1) / ix.rows
+	ix.cells = make([][]int32, ix.cols*ix.rows)
+	for i, b := range boxes {
+		b = b.Clamp(bounds)
+		if b.Empty() {
+			continue
+		}
+		c0, r0 := ix.cellAt(b.X0, b.Y0)
+		c1, r1 := ix.cellAt(b.X1-1, b.Y1-1)
+		for r := r0; r <= r1; r++ {
+			for c := c0; c <= c1; c++ {
+				idx := r*ix.cols + c
+				ix.cells[idx] = append(ix.cells[idx], int32(i))
+			}
+		}
+	}
+	return ix
+}
+
+// gridShape picks (cols, rows) with cols*rows >= cells, roughly matching
+// the aspect ratio w:h.
+func gridShape(cells, w, h int) (cols, rows int) {
+	if cells < 1 {
+		cells = 1
+	}
+	cols, rows = 1, 1
+	for cols*rows < cells {
+		// Grow the dimension that keeps cells closest to square.
+		if cols*h <= rows*w {
+			cols++
+		} else {
+			rows++
+		}
+	}
+	return cols, rows
+}
+
+func (ix *Index) cellAt(x, y int) (c, r int) {
+	c = (x - ix.bounds.X0) / ix.cellW
+	r = (y - ix.bounds.Y0) / ix.cellH
+	if c < 0 {
+		c = 0
+	} else if c >= ix.cols {
+		c = ix.cols - 1
+	}
+	if r < 0 {
+		r = 0
+	} else if r >= ix.rows {
+		r = ix.rows - 1
+	}
+	return c, r
+}
+
+// Len returns the number of indexed boxes (including empty slots).
+func (ix *Index) Len() int { return len(ix.boxes) }
+
+// Query calls fn with the index of every stored box intersecting r, in
+// unspecified order, each exactly once. fn returning false stops the scan.
+func (ix *Index) Query(r geom.Rect, fn func(i int) bool) {
+	r = r.Clamp(ix.bounds)
+	if r.Empty() || len(ix.boxes) == 0 {
+		return
+	}
+	c0, r0 := ix.cellAt(r.X0, r.Y0)
+	c1, r1 := ix.cellAt(r.X1-1, r.Y1-1)
+	// Dedup across cells: a box spanning multiple cells is reported once.
+	seen := map[int32]bool{}
+	for row := r0; row <= r1; row++ {
+		for col := c0; col <= c1; col++ {
+			for _, bi := range ix.cells[row*ix.cols+col] {
+				if seen[bi] {
+					continue
+				}
+				seen[bi] = true
+				if ix.boxes[bi].Intersects(r) {
+					if !fn(int(bi)) {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// QueryAll returns the indexes of all boxes intersecting r.
+func (ix *Index) QueryAll(r geom.Rect) []int {
+	var out []int
+	ix.Query(r, func(i int) bool {
+		out = append(out, i)
+		return true
+	})
+	return out
+}
+
+// IntersectSets computes all pairwise intersections between the indexed
+// boxes and probe boxes: the conjunctive-predicate primitive. It returns
+// the non-empty intersection rectangles. Runtime is O(|probes| · hits)
+// instead of the naive O(|boxes| · |probes|).
+func (ix *Index) IntersectSets(probes []geom.Rect) []geom.Rect {
+	var out []geom.Rect
+	for _, p := range probes {
+		ix.Query(p, func(i int) bool {
+			if r := ix.boxes[i].Intersect(p); !r.Empty() {
+				out = append(out, r)
+			}
+			return true
+		})
+	}
+	return out
+}

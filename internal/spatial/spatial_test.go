@@ -1,0 +1,209 @@
+package spatial
+
+import (
+	"sort"
+	"testing"
+
+	"github.com/tasm-repro/tasm/internal/geom"
+	"github.com/tasm-repro/tasm/internal/stats"
+)
+
+func TestQueryMatchesNaive(t *testing.T) {
+	rng := stats.NewRNG(3)
+	bounds := geom.R(0, 0, 640, 360)
+	for iter := 0; iter < 50; iter++ {
+		n := rng.Intn(60)
+		boxes := randBoxes(rng, n, bounds)
+		ix := Build(boxes, bounds)
+		if ix.Len() != n {
+			t.Fatalf("Len = %d, want %d", ix.Len(), n)
+		}
+		for probe := 0; probe < 20; probe++ {
+			q := randBox(rng, bounds)
+			got := ix.QueryAll(q)
+			var want []int
+			for i, b := range boxes {
+				if b.Clamp(bounds).Intersects(q) {
+					want = append(want, i)
+				}
+			}
+			sort.Ints(got)
+			if len(got) != len(want) {
+				t.Fatalf("iter %d: got %v, want %v (q=%v)", iter, got, want, q)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("iter %d: got %v, want %v", iter, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestQueryEachReportedOnce(t *testing.T) {
+	bounds := geom.R(0, 0, 100, 100)
+	// One big box spanning many cells.
+	boxes := make([]geom.Rect, 40)
+	for i := range boxes {
+		boxes[i] = geom.R(i, i, i+5, i+5)
+	}
+	boxes = append(boxes, geom.R(0, 0, 100, 100))
+	ix := Build(boxes, bounds)
+	counts := map[int]int{}
+	ix.Query(geom.R(0, 0, 100, 100), func(i int) bool {
+		counts[i]++
+		return true
+	})
+	for i, c := range counts {
+		if c != 1 {
+			t.Errorf("box %d reported %d times", i, c)
+		}
+	}
+	if len(counts) != len(boxes) {
+		t.Errorf("reported %d boxes, want %d", len(counts), len(boxes))
+	}
+}
+
+func TestQueryEarlyStop(t *testing.T) {
+	bounds := geom.R(0, 0, 100, 100)
+	boxes := randBoxes(stats.NewRNG(1), 30, bounds)
+	ix := Build(boxes, bounds)
+	calls := 0
+	ix.Query(bounds, func(i int) bool {
+		calls++
+		return calls < 3
+	})
+	if calls != 3 {
+		t.Errorf("early stop after %d calls", calls)
+	}
+}
+
+func TestEmptyAndDegenerate(t *testing.T) {
+	bounds := geom.R(0, 0, 100, 100)
+	ix := Build(nil, bounds)
+	if got := ix.QueryAll(bounds); got != nil {
+		t.Errorf("empty index returned %v", got)
+	}
+	// Empty boxes occupy slots but are never reported.
+	ix = Build([]geom.Rect{{}, geom.R(10, 10, 20, 20)}, bounds)
+	got := ix.QueryAll(bounds)
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("got %v, want [1]", got)
+	}
+	// Out-of-bounds query.
+	if got := ix.QueryAll(geom.R(200, 200, 300, 300)); got != nil {
+		t.Errorf("out-of-bounds query returned %v", got)
+	}
+	// Empty bounds.
+	ix = Build([]geom.Rect{geom.R(0, 0, 5, 5)}, geom.Rect{})
+	if got := ix.QueryAll(geom.R(0, 0, 10, 10)); got != nil {
+		t.Errorf("empty-bounds index returned %v", got)
+	}
+}
+
+func TestIntersectSetsMatchesNaive(t *testing.T) {
+	rng := stats.NewRNG(17)
+	bounds := geom.R(0, 0, 640, 360)
+	for iter := 0; iter < 30; iter++ {
+		a := randBoxes(rng, rng.Intn(40), bounds)
+		b := randBoxes(rng, rng.Intn(40), bounds)
+		ix := Build(a, bounds)
+		got := ix.IntersectSets(b)
+		var want []geom.Rect
+		for _, pb := range b {
+			for _, ab := range a {
+				if r := ab.Intersect(pb); !r.Empty() {
+					want = append(want, r)
+				}
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("iter %d: got %d intersections, want %d", iter, len(got), len(want))
+		}
+		// Compare as multisets via canonical sort.
+		sortRects(got)
+		sortRects(want)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("iter %d: intersection sets differ at %d: %v vs %v", iter, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestGridShape(t *testing.T) {
+	for _, tc := range []struct{ cells, w, h int }{
+		{1, 100, 100}, {4, 100, 100}, {10, 200, 100}, {7, 100, 300}, {0, 50, 50},
+	} {
+		c, r := gridShape(tc.cells, tc.w, tc.h)
+		if c < 1 || r < 1 {
+			t.Errorf("gridShape(%d,%d,%d) = %dx%d", tc.cells, tc.w, tc.h, c, r)
+		}
+		if tc.cells > 0 && c*r < tc.cells {
+			t.Errorf("gridShape(%d,...) = %d cells", tc.cells, c*r)
+		}
+	}
+}
+
+func randBoxes(rng *stats.RNG, n int, bounds geom.Rect) []geom.Rect {
+	out := make([]geom.Rect, n)
+	for i := range out {
+		out[i] = randBox(rng, bounds)
+	}
+	return out
+}
+
+func randBox(rng *stats.RNG, bounds geom.Rect) geom.Rect {
+	x := bounds.X0 + rng.Intn(bounds.Width())
+	y := bounds.Y0 + rng.Intn(bounds.Height())
+	w := 1 + rng.Intn(80)
+	h := 1 + rng.Intn(80)
+	return geom.R(x, y, min(x+w, bounds.X1), min(y+h, bounds.Y1))
+}
+
+func sortRects(rs []geom.Rect) {
+	sort.Slice(rs, func(i, j int) bool {
+		a, b := rs[i], rs[j]
+		if a.X0 != b.X0 {
+			return a.X0 < b.X0
+		}
+		if a.Y0 != b.Y0 {
+			return a.Y0 < b.Y0
+		}
+		if a.X1 != b.X1 {
+			return a.X1 < b.X1
+		}
+		return a.Y1 < b.Y1
+	})
+}
+
+func BenchmarkIndexedIntersections(b *testing.B) {
+	rng := stats.NewRNG(5)
+	bounds := geom.R(0, 0, 1920, 1080)
+	boxes := randBoxes(rng, 500, bounds)
+	probes := randBoxes(rng, 500, bounds)
+	ix := Build(boxes, bounds)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.IntersectSets(probes)
+	}
+}
+
+func BenchmarkNaiveIntersections(b *testing.B) {
+	rng := stats.NewRNG(5)
+	bounds := geom.R(0, 0, 1920, 1080)
+	boxes := randBoxes(rng, 500, bounds)
+	probes := randBoxes(rng, 500, bounds)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var out []geom.Rect
+		for _, p := range probes {
+			for _, bb := range boxes {
+				if r := bb.Intersect(p); !r.Empty() {
+					out = append(out, r)
+				}
+			}
+		}
+		_ = out
+	}
+}

@@ -1,0 +1,311 @@
+// Package stats provides the small statistical toolkit used across the
+// reproduction: deterministic RNG, order statistics (median / IQR as the
+// paper's plots report), a Zipf sampler for skewed workloads, and ordinary
+// least squares for calibrating the decode cost model.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// RNG is a small, deterministic 64-bit PRNG (splitmix64). Experiments seed it
+// explicitly so every run of the harness is reproducible.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns an RNG seeded with seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 returns the next pseudo-random 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a value uniform in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a value uniform in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// NormFloat64 returns a standard normal variate (Box-Muller).
+func (r *RNG) NormFloat64() float64 {
+	for {
+		u := r.Float64()
+		if u == 0 {
+			continue
+		}
+		v := r.Float64()
+		return math.Sqrt(-2*math.Log(u)) * math.Cos(2*math.Pi*v)
+	}
+}
+
+// Perm returns a pseudo-random permutation of [0,n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Zipf samples ranks in [0, n) with probability proportional to
+// 1/(rank+1)^s, matching the Zipfian query-start distribution used by
+// workloads 3 and 4 in the paper.
+type Zipf struct {
+	rng *RNG
+	cdf []float64
+}
+
+// NewZipf builds a Zipf sampler over n ranks with exponent s (> 0).
+func NewZipf(rng *RNG, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("stats: Zipf with non-positive n")
+	}
+	cdf := make([]float64, n)
+	var total float64
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = total
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	return &Zipf{rng: rng, cdf: cdf}
+}
+
+// Next returns the next sampled rank in [0, n).
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}
+
+// Quartiles holds the 25th/50th/75th percentile of a sample, the statistics
+// reported in the paper's Table 2 and as error bars (IQR) on every figure.
+type Quartiles struct {
+	Q25, Q50, Q75 float64
+}
+
+// ComputeQuartiles returns the quartiles of xs using linear interpolation.
+// It returns the zero value for an empty sample. The input is not modified.
+func ComputeQuartiles(xs []float64) Quartiles {
+	if len(xs) == 0 {
+		return Quartiles{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return Quartiles{
+		Q25: percentileSorted(s, 0.25),
+		Q50: percentileSorted(s, 0.50),
+		Q75: percentileSorted(s, 0.75),
+	}
+}
+
+// IQR returns Q75 - Q25.
+func (q Quartiles) IQR() float64 { return q.Q75 - q.Q25 }
+
+// Median returns the 50th percentile of xs.
+func Median(xs []float64) float64 { return ComputeQuartiles(xs).Q50 }
+
+// Mean returns the arithmetic mean of xs (0 for an empty sample).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+func percentileSorted(s []float64, p float64) float64 {
+	if len(s) == 1 {
+		return s[0]
+	}
+	pos := p * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// LinearFit is the result of an ordinary least squares fit y ≈ a + b·x1 + c·x2
+// used to calibrate the paper's cost model C = β·P + γ·T (with intercept).
+type LinearFit struct {
+	Intercept float64
+	Coef      []float64
+	R2        float64
+}
+
+// FitLinear performs OLS of y on the columns of x via the normal equations
+// with Gaussian elimination. Each x[i] must have the same length as y.
+// It returns the fitted coefficients and the coefficient of determination.
+func FitLinear(y []float64, xcols ...[]float64) LinearFit {
+	n := len(y)
+	k := len(xcols) + 1 // plus intercept
+	if n == 0 {
+		return LinearFit{}
+	}
+	for _, col := range xcols {
+		if len(col) != n {
+			panic("stats: FitLinear column length mismatch")
+		}
+	}
+	// Build X^T X and X^T y.
+	xtx := make([][]float64, k)
+	for i := range xtx {
+		xtx[i] = make([]float64, k)
+	}
+	xty := make([]float64, k)
+	feature := func(row, col int) float64 {
+		if col == 0 {
+			return 1
+		}
+		return xcols[col-1][row]
+	}
+	for row := 0; row < n; row++ {
+		for i := 0; i < k; i++ {
+			fi := feature(row, i)
+			xty[i] += fi * y[row]
+			for j := 0; j < k; j++ {
+				xtx[i][j] += fi * feature(row, j)
+			}
+		}
+	}
+	coef := solveLinearSystem(xtx, xty)
+	if coef == nil {
+		return LinearFit{}
+	}
+	// R^2.
+	meanY := Mean(y)
+	var ssTot, ssRes float64
+	for row := 0; row < n; row++ {
+		pred := coef[0]
+		for j := 1; j < k; j++ {
+			pred += coef[j] * feature(row, j)
+		}
+		ssRes += (y[row] - pred) * (y[row] - pred)
+		ssTot += (y[row] - meanY) * (y[row] - meanY)
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return LinearFit{Intercept: coef[0], Coef: coef[1:], R2: r2}
+}
+
+// FitLinearNoIntercept performs OLS of y on the columns of x with the
+// intercept forced to zero, the form of the paper's cost model
+// C = β·P + γ·T.
+func FitLinearNoIntercept(y []float64, xcols ...[]float64) LinearFit {
+	n := len(y)
+	k := len(xcols)
+	if n == 0 || k == 0 {
+		return LinearFit{}
+	}
+	for _, col := range xcols {
+		if len(col) != n {
+			panic("stats: FitLinearNoIntercept column length mismatch")
+		}
+	}
+	xtx := make([][]float64, k)
+	for i := range xtx {
+		xtx[i] = make([]float64, k)
+	}
+	xty := make([]float64, k)
+	for row := 0; row < n; row++ {
+		for i := 0; i < k; i++ {
+			xty[i] += xcols[i][row] * y[row]
+			for j := 0; j < k; j++ {
+				xtx[i][j] += xcols[i][row] * xcols[j][row]
+			}
+		}
+	}
+	coef := solveLinearSystem(xtx, xty)
+	if coef == nil {
+		return LinearFit{}
+	}
+	meanY := Mean(y)
+	var ssTot, ssRes float64
+	for row := 0; row < n; row++ {
+		var pred float64
+		for j := 0; j < k; j++ {
+			pred += coef[j] * xcols[j][row]
+		}
+		ssRes += (y[row] - pred) * (y[row] - pred)
+		ssTot += (y[row] - meanY) * (y[row] - meanY)
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return LinearFit{Coef: coef, R2: r2}
+}
+
+// Predict evaluates the fitted model at the feature vector x.
+func (f LinearFit) Predict(x ...float64) float64 {
+	out := f.Intercept
+	for i, c := range f.Coef {
+		if i < len(x) {
+			out += c * x[i]
+		}
+	}
+	return out
+}
+
+// solveLinearSystem solves A·x = b by Gaussian elimination with partial
+// pivoting. Returns nil if A is singular.
+func solveLinearSystem(a [][]float64, b []float64) []float64 {
+	n := len(b)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append(append([]float64(nil), a[i]...), b[i])
+	}
+	for col := 0; col < n; col++ {
+		pivot := col
+		for row := col + 1; row < n; row++ {
+			if math.Abs(m[row][col]) > math.Abs(m[pivot][col]) {
+				pivot = row
+			}
+		}
+		if math.Abs(m[pivot][col]) < 1e-12 {
+			return nil
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		for row := col + 1; row < n; row++ {
+			factor := m[row][col] / m[col][col]
+			for j := col; j <= n; j++ {
+				m[row][j] -= factor * m[col][j]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for row := n - 1; row >= 0; row-- {
+		sum := m[row][n]
+		for j := row + 1; j < n; j++ {
+			sum -= m[row][j] * x[j]
+		}
+		x[row] = sum / m[row][row]
+	}
+	return x
+}

@@ -1,0 +1,205 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a = NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestRNGUniformish(t *testing.T) {
+	r := NewRNG(7)
+	buckets := make([]int, 10)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		buckets[r.Intn(10)]++
+	}
+	for i, c := range buckets {
+		if c < n/10-n/50 || c > n/10+n/50 {
+			t.Errorf("bucket %d count %d deviates too far from %d", i, c, n/10)
+		}
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestPerm(t *testing.T) {
+	r := NewRNG(5)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := NewRNG(11)
+	z := NewZipf(r, 100, 1.0)
+	counts := make([]int, 100)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	if counts[0] <= counts[50] {
+		t.Errorf("rank 0 (%d) should be much more frequent than rank 50 (%d)", counts[0], counts[50])
+	}
+	// First rank should account for roughly 1/H_100 ~ 19% of mass.
+	frac := float64(counts[0]) / n
+	if frac < 0.12 || frac > 0.28 {
+		t.Errorf("rank-0 frequency %f outside plausible Zipf range", frac)
+	}
+}
+
+func TestQuartiles(t *testing.T) {
+	q := ComputeQuartiles([]float64{1, 2, 3, 4, 5})
+	if q.Q50 != 3 {
+		t.Errorf("median = %v, want 3", q.Q50)
+	}
+	if q.Q25 != 2 || q.Q75 != 4 {
+		t.Errorf("quartiles = %+v, want 2/4", q)
+	}
+	if q.IQR() != 2 {
+		t.Errorf("IQR = %v, want 2", q.IQR())
+	}
+	if got := Median([]float64{5, 1}); got != 3 {
+		t.Errorf("Median of {5,1} = %v, want 3", got)
+	}
+	empty := ComputeQuartiles(nil)
+	if empty.Q50 != 0 {
+		t.Errorf("empty quartiles = %+v, want zeros", empty)
+	}
+}
+
+func TestQuartilesDoNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	ComputeQuartiles(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("ComputeQuartiles mutated its input")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{2, 4, 6}); got != 4 {
+		t.Errorf("Mean = %v, want 4", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v, want 0", got)
+	}
+}
+
+func TestFitLinearExact(t *testing.T) {
+	// y = 3 + 2*x1 + 0.5*x2, exactly.
+	var y, x1, x2 []float64
+	for i := 0; i < 50; i++ {
+		a, b := float64(i), float64(i*i%17)
+		x1 = append(x1, a)
+		x2 = append(x2, b)
+		y = append(y, 3+2*a+0.5*b)
+	}
+	fit := FitLinear(y, x1, x2)
+	if math.Abs(fit.Intercept-3) > 1e-6 {
+		t.Errorf("intercept = %v, want 3", fit.Intercept)
+	}
+	if math.Abs(fit.Coef[0]-2) > 1e-6 || math.Abs(fit.Coef[1]-0.5) > 1e-6 {
+		t.Errorf("coefs = %v, want [2 0.5]", fit.Coef)
+	}
+	if fit.R2 < 0.999999 {
+		t.Errorf("R2 = %v, want ~1", fit.R2)
+	}
+	if got := fit.Predict(10, 4); math.Abs(got-25) > 1e-6 {
+		t.Errorf("Predict(10,4) = %v, want 25", got)
+	}
+}
+
+func TestFitLinearNoisy(t *testing.T) {
+	r := NewRNG(3)
+	var y, x []float64
+	for i := 0; i < 500; i++ {
+		xi := r.Float64() * 100
+		x = append(x, xi)
+		y = append(y, 5+0.7*xi+r.NormFloat64()*0.5)
+	}
+	fit := FitLinear(y, x)
+	if math.Abs(fit.Coef[0]-0.7) > 0.05 {
+		t.Errorf("slope = %v, want ~0.7", fit.Coef[0])
+	}
+	if fit.R2 < 0.99 {
+		t.Errorf("R2 = %v, want > 0.99", fit.R2)
+	}
+}
+
+func TestFitLinearDegenerate(t *testing.T) {
+	// Constant column makes the system singular alongside the intercept.
+	y := []float64{1, 2, 3}
+	c := []float64{4, 4, 4}
+	fit := FitLinear(y, c)
+	if fit.Coef != nil && len(fit.Coef) > 0 && !math.IsNaN(fit.Coef[0]) {
+		// Singular systems return the zero LinearFit.
+		if fit.Intercept != 0 || fit.Coef[0] != 0 {
+			t.Errorf("expected zero fit for singular system, got %+v", fit)
+		}
+	}
+}
+
+// Property: the median lies within [min, max] and quartiles are ordered.
+func TestQuartileOrderProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		q := ComputeQuartiles(xs)
+		lo, hi := xs[0], xs[0]
+		for _, v := range xs {
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+		}
+		return q.Q25 >= lo && q.Q25 <= q.Q50 && q.Q50 <= q.Q75 && q.Q75 <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZipfPanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewZipf(0) did not panic")
+		}
+	}()
+	NewZipf(NewRNG(1), 0, 1)
+}

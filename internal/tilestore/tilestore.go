@@ -1,0 +1,308 @@
+// Package tilestore manages TASM's physical video storage (paper §3.4.5):
+// each tile is a separate, independently decodable video file, grouped into
+// per-SOT directories named frames_<from>-<to> exactly as the paper's
+// Figure 1 shows:
+//
+//	root/
+//	  traffic/
+//	    manifest.json
+//	    frames_0-29/tile0.tsv
+//	    frames_30-59/tile0.tsv tile1.tsv ...
+//
+// Re-tiling a SOT writes the new tiles into a staging directory and renames
+// it into place, so readers never observe a half-written layout.
+package tilestore
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"github.com/tasm-repro/tasm/internal/container"
+	"github.com/tasm-repro/tasm/internal/layout"
+)
+
+// SOTMeta describes one sequence of tiles: a frame range sharing a layout.
+type SOTMeta struct {
+	ID   int           `json:"id"`
+	From int           `json:"from"` // first frame (inclusive)
+	To   int           `json:"to"`   // last frame (exclusive)
+	L    layout.Layout `json:"layout"`
+	// Retiles counts how many times this SOT has been re-encoded.
+	Retiles int `json:"retiles"`
+}
+
+// NumFrames returns the SOT's frame count.
+func (s SOTMeta) NumFrames() int { return s.To - s.From }
+
+// VideoMeta is the catalog record for one stored video.
+type VideoMeta struct {
+	Name       string    `json:"name"`
+	W          int       `json:"width"`
+	H          int       `json:"height"`
+	FPS        int       `json:"fps"`
+	GOPLength  int       `json:"gop_length"`
+	FrameCount int       `json:"frame_count"`
+	SOTs       []SOTMeta `json:"sots"`
+}
+
+// SOTForFrame returns the SOT containing the given frame index.
+func (m *VideoMeta) SOTForFrame(frame int) (SOTMeta, bool) {
+	i := sort.Search(len(m.SOTs), func(i int) bool { return m.SOTs[i].To > frame })
+	if i >= len(m.SOTs) || frame < m.SOTs[i].From {
+		return SOTMeta{}, false
+	}
+	return m.SOTs[i], true
+}
+
+// SOTsInRange returns the SOTs overlapping frames [from, to).
+func (m *VideoMeta) SOTsInRange(from, to int) []SOTMeta {
+	var out []SOTMeta
+	for _, s := range m.SOTs {
+		if s.From < to && from < s.To {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Store is a directory of stored videos. Methods are safe for concurrent
+// use.
+type Store struct {
+	mu   sync.RWMutex
+	root string
+}
+
+// Open creates (if needed) and opens a store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Store{root: dir}, nil
+}
+
+// Root returns the store's root directory.
+func (s *Store) Root() string { return s.root }
+
+func (s *Store) videoDir(name string) string { return filepath.Join(s.root, name) }
+
+func sotDirName(m SOTMeta) string { return fmt.Sprintf("frames_%d-%d", m.From, m.To-1) }
+
+func (s *Store) sotDir(video string, m SOTMeta) string {
+	return filepath.Join(s.videoDir(video), sotDirName(m))
+}
+
+func tileFileName(i int) string { return fmt.Sprintf("tile%d.tsv", i) }
+
+// validName rejects names that would escape the store directory.
+func validName(name string) error {
+	if name == "" || name == "." || name == ".." {
+		return fmt.Errorf("tilestore: invalid video name %q", name)
+	}
+	if filepath.Base(name) != name {
+		return fmt.Errorf("tilestore: video name %q contains a path separator", name)
+	}
+	return nil
+}
+
+// CreateVideo registers a new video and writes the tiles of each SOT. The
+// lengths of sotTiles must match meta.SOTs, and each inner slice must match
+// the SOT's layout tile count.
+func (s *Store) CreateVideo(meta VideoMeta, sotTiles [][]*container.Video) error {
+	if err := validName(meta.Name); err != nil {
+		return err
+	}
+	if len(sotTiles) != len(meta.SOTs) {
+		return fmt.Errorf("tilestore: %d tile sets for %d SOTs", len(sotTiles), len(meta.SOTs))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dir := s.videoDir(meta.Name)
+	if _, err := os.Stat(filepath.Join(dir, "manifest.json")); err == nil {
+		return fmt.Errorf("tilestore: video %q already exists", meta.Name)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, sot := range meta.SOTs {
+		if err := s.writeSOTDir(meta.Name, sot, sotTiles[i]); err != nil {
+			return err
+		}
+	}
+	return s.writeManifest(meta)
+}
+
+func (s *Store) writeSOTDir(video string, sot SOTMeta, tiles []*container.Video) error {
+	if len(tiles) != sot.L.NumTiles() {
+		return fmt.Errorf("tilestore: SOT %d has %d tiles for a %d-tile layout", sot.ID, len(tiles), sot.L.NumTiles())
+	}
+	dir := s.sotDir(video, sot)
+	staging := dir + ".staging"
+	if err := os.RemoveAll(staging); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(staging, 0o755); err != nil {
+		return err
+	}
+	for i, tv := range tiles {
+		if tv.FrameCount() != sot.NumFrames() {
+			return fmt.Errorf("tilestore: SOT %d tile %d has %d frames, want %d", sot.ID, i, tv.FrameCount(), sot.NumFrames())
+		}
+		if err := tv.Save(filepath.Join(staging, tileFileName(i))); err != nil {
+			return err
+		}
+	}
+	if err := os.RemoveAll(dir); err != nil {
+		return err
+	}
+	return os.Rename(staging, dir)
+}
+
+func (s *Store) writeManifest(meta VideoMeta) error {
+	data, err := json.MarshalIndent(&meta, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(s.videoDir(meta.Name), "manifest.json")
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Meta returns the catalog record for a video.
+func (s *Store) Meta(video string) (VideoMeta, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.metaLocked(video)
+}
+
+func (s *Store) metaLocked(video string) (VideoMeta, error) {
+	var meta VideoMeta
+	if err := validName(video); err != nil {
+		return meta, err
+	}
+	data, err := os.ReadFile(filepath.Join(s.videoDir(video), "manifest.json"))
+	if err != nil {
+		return meta, fmt.Errorf("tilestore: video %q: %w", video, err)
+	}
+	if err := json.Unmarshal(data, &meta); err != nil {
+		return meta, fmt.Errorf("tilestore: video %q: corrupt manifest: %w", video, err)
+	}
+	return meta, nil
+}
+
+// ListVideos returns the names of all stored videos, sorted.
+func (s *Store) ListVideos() ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	entries, err := os.ReadDir(s.root)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(s.root, e.Name(), "manifest.json")); err == nil {
+			out = append(out, e.Name())
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// ReadTile loads one tile stream of a SOT.
+func (s *Store) ReadTile(video string, sot SOTMeta, tileIdx int) (*container.Video, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if tileIdx < 0 || tileIdx >= sot.L.NumTiles() {
+		return nil, fmt.Errorf("tilestore: tile %d out of range for SOT %d", tileIdx, sot.ID)
+	}
+	return container.Open(filepath.Join(s.sotDir(video, sot), tileFileName(tileIdx)))
+}
+
+// ReadAllTiles loads every tile stream of a SOT in layout order.
+func (s *Store) ReadAllTiles(video string, sot SOTMeta) ([]*container.Video, error) {
+	out := make([]*container.Video, sot.L.NumTiles())
+	for i := range out {
+		tv, err := s.ReadTile(video, sot, i)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = tv
+	}
+	return out, nil
+}
+
+// ReplaceSOT atomically swaps a SOT's tiles for a new layout, updating the
+// manifest. The new tiles must match newLayout and the SOT's frame count.
+func (s *Store) ReplaceSOT(video string, sotID int, newLayout layout.Layout, tiles []*container.Video) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	meta, err := s.metaLocked(video)
+	if err != nil {
+		return err
+	}
+	idx := -1
+	for i, sot := range meta.SOTs {
+		if sot.ID == sotID {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("tilestore: video %q has no SOT %d", video, sotID)
+	}
+	newSOT := meta.SOTs[idx]
+	newSOT.L = newLayout
+	newSOT.Retiles++
+	if err := s.writeSOTDir(video, newSOT, tiles); err != nil {
+		return err
+	}
+	meta.SOTs[idx] = newSOT
+	return s.writeManifest(meta)
+}
+
+// VideoBytes returns the total on-disk size of a video's tile files, the
+// storage-cost metric in Figure 9.
+func (s *Store) VideoBytes(video string) (int64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	meta, err := s.metaLocked(video)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, sot := range meta.SOTs {
+		dir := s.sotDir(video, sot)
+		for i := 0; i < sot.L.NumTiles(); i++ {
+			st, err := os.Stat(filepath.Join(dir, tileFileName(i)))
+			if err != nil {
+				return 0, err
+			}
+			total += st.Size()
+		}
+	}
+	return total, nil
+}
+
+// DeleteVideo removes a video and all its tiles.
+func (s *Store) DeleteVideo(video string) error {
+	if err := validName(video); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dir := s.videoDir(video)
+	if _, err := os.Stat(dir); errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("tilestore: video %q does not exist", video)
+	}
+	return os.RemoveAll(dir)
+}

@@ -1,0 +1,424 @@
+// Package vcodec implements a from-scratch block-transform video codec with
+// the structural features TASM depends on: groups of pictures with intra
+// keyframes and predicted frames, quantization-controlled lossy compression,
+// motion compensation, and — critically — fully independent encoding of
+// rectangular tiles (each tile is encoded as its own stream, so prediction
+// and entropy state never cross tile boundaries, exactly like HEVC tiles).
+//
+// The codec is deliberately simple (8×8 DCT, Exp-Golomb entropy coding,
+// integer-pel motion) but is a real codec: decode cost is dominated by
+// per-pixel inverse-transform work plus per-stream setup overhead, giving
+// the linear cost structure C = β·pixels + γ·tiles that the paper's cost
+// model captures.
+package vcodec
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/tasm-repro/tasm/internal/bitio"
+	"github.com/tasm-repro/tasm/internal/frame"
+)
+
+const (
+	mbSize = 16 // motion-compensation macroblock (luma)
+	// eobRun marks end-of-block in the AC run-length code. Valid runs are
+	// 0..62 (63 AC coefficients per block).
+	eobRun = 63
+)
+
+// Edge indexes for Params.InteriorEdges.
+const (
+	EdgeLeft = iota
+	EdgeTop
+	EdgeRight
+	EdgeBottom
+)
+
+// Params configures an encoder.
+type Params struct {
+	// QP is the base quantization parameter (0..51). Higher = smaller and
+	// lossier. Default 22.
+	QP int
+	// GOPLength is the keyframe interval in frames. Default 30.
+	GOPLength int
+	// MotionSearch enables motion estimation for P frames. Default on in
+	// DefaultParams.
+	MotionSearch bool
+	// SearchRange bounds each motion-vector component. Default 4.
+	SearchRange int
+	// BoundaryQPOffset is added to the QP of blocks along frame edges
+	// flagged in InteriorEdges. It models the bit-allocation penalty real
+	// encoders pay at tile boundaries (no cross-boundary prediction or
+	// in-loop filtering), which is what degrades quality as tile counts
+	// grow (paper Fig. 6(b)). Default 4.
+	BoundaryQPOffset int
+	// InteriorEdges flags which edges of this stream adjoin other tiles
+	// (EdgeLeft, EdgeTop, EdgeRight, EdgeBottom). Picture edges stay false.
+	InteriorEdges [4]bool
+}
+
+// DefaultParams returns the parameter set used across the reproduction.
+func DefaultParams() Params {
+	return Params{QP: 22, GOPLength: 30, MotionSearch: true, SearchRange: 4, BoundaryQPOffset: 4}
+}
+
+func (p Params) withDefaults() Params {
+	if p.QP <= 0 {
+		p.QP = 22
+	}
+	if p.QP > maxQP {
+		p.QP = maxQP
+	}
+	if p.GOPLength <= 0 {
+		p.GOPLength = 30
+	}
+	if p.SearchRange <= 0 {
+		p.SearchRange = 4
+	}
+	if p.BoundaryQPOffset < 0 {
+		p.BoundaryQPOffset = 0
+	}
+	return p
+}
+
+// plane is a padded sample plane.
+type plane struct {
+	w, h int
+	pix  []byte
+}
+
+func newPlane(w, h int) *plane { return &plane{w: w, h: h, pix: make([]byte, w*h)} }
+
+// padUp rounds v up to a multiple of m.
+func padUp(v, m int) int { return (v + m - 1) / m * m }
+
+// mv is an integer-pel motion vector.
+type mv struct{ dx, dy int8 }
+
+// Encoder encodes a single stream (one tile, or a whole untiled frame).
+type Encoder struct {
+	params   Params
+	w, h     int // display dimensions
+	pw, ph   int // padded luma dimensions (multiple of mbSize)
+	frameIdx int
+	recon    [3]*plane // reconstructed reference (Y, Cb, Cr)
+	// scratch
+	bw bitio.Writer
+}
+
+// NewEncoder creates an encoder for frames of the given display size.
+func NewEncoder(w, h int, p Params) (*Encoder, error) {
+	if w <= 0 || h <= 0 || w%2 != 0 || h%2 != 0 {
+		return nil, fmt.Errorf("vcodec: invalid dimensions %dx%d", w, h)
+	}
+	p = p.withDefaults()
+	e := &Encoder{params: p, w: w, h: h, pw: padUp(w, mbSize), ph: padUp(h, mbSize)}
+	e.recon[0] = newPlane(e.pw, e.ph)
+	e.recon[1] = newPlane(e.pw/2, e.ph/2)
+	e.recon[2] = newPlane(e.pw/2, e.ph/2)
+	return e, nil
+}
+
+// GOPLength returns the configured keyframe interval.
+func (e *Encoder) GOPLength() int { return e.params.GOPLength }
+
+// Encode compresses f, which must match the encoder's dimensions. A keyframe
+// is produced on the GOP cadence or when forceKey is set; the return value
+// isKey reports which. The returned packet is owned by the caller.
+func (e *Encoder) Encode(f *frame.Frame, forceKey bool) (packet []byte, isKey bool, err error) {
+	if f.W != e.w || f.H != e.h {
+		return nil, false, fmt.Errorf("vcodec: frame %dx%d does not match encoder %dx%d", f.W, f.H, e.w, e.h)
+	}
+	isKey = forceKey || e.frameIdx%e.params.GOPLength == 0
+	padded := f.PadTo(e.pw, e.ph)
+	cur := [3]*plane{
+		{w: e.pw, h: e.ph, pix: padded.Y},
+		{w: e.pw / 2, h: e.ph / 2, pix: padded.Cb},
+		{w: e.pw / 2, h: e.ph / 2, pix: padded.Cr},
+	}
+
+	e.bw.Reset()
+	if isKey {
+		e.bw.WriteBit(1)
+	} else {
+		e.bw.WriteBit(0)
+	}
+	e.bw.WriteBits(uint64(e.params.QP), 6)
+
+	var mvs []mv
+	if !isKey {
+		hasMV := e.params.MotionSearch
+		if hasMV {
+			e.bw.WriteBit(1)
+			mvs = e.estimateMotion(cur[0])
+			for _, v := range mvs {
+				e.bw.WriteSE(int32(v.dx))
+				e.bw.WriteSE(int32(v.dy))
+			}
+		} else {
+			e.bw.WriteBit(0)
+		}
+	}
+
+	for pi := 0; pi < 3; pi++ {
+		var pred *plane
+		if isKey {
+			pred = flatPlane(cur[pi].w, cur[pi].h, 128)
+		} else {
+			pred = motionCompensate(e.recon[pi], mvs, e.mbCols(), pi > 0)
+		}
+		newRecon := newPlane(cur[pi].w, cur[pi].h)
+		e.codePlane(&e.bw, cur[pi], pred, newRecon)
+		e.recon[pi] = newRecon
+	}
+
+	e.frameIdx++
+	out := append([]byte(nil), e.bw.Bytes()...)
+	return out, isKey, nil
+}
+
+func (e *Encoder) mbCols() int { return e.pw / mbSize }
+func (e *Encoder) mbRows() int { return e.ph / mbSize }
+
+// blockQP returns the QP for the block whose top-left luma-scale pixel is
+// (x0, y0) in a plane of size (w, h), applying the boundary penalty along
+// flagged interior tile edges.
+func (e *Encoder) blockQP(x0, y0, bw, bh, w, h int) int {
+	qp := e.params.QP
+	edges := e.params.InteriorEdges
+	if e.params.BoundaryQPOffset > 0 &&
+		((edges[EdgeLeft] && x0 == 0) || (edges[EdgeTop] && y0 == 0) ||
+			(edges[EdgeRight] && x0+bw >= w) || (edges[EdgeBottom] && y0+bh >= h)) {
+		qp += e.params.BoundaryQPOffset
+		if qp > maxQP {
+			qp = maxQP
+		}
+	}
+	return qp
+}
+
+// codePlane transform-codes cur against pred, writing syntax to w and the
+// reconstruction (pred + dequantized residual) into recon.
+func (e *Encoder) codePlane(w *bitio.Writer, cur, pred, recon *plane) {
+	var res, coefs [blockSize * blockSize]float64
+	var levels [blockSize * blockSize]int32
+	prevDC := int32(0)
+	for y0 := 0; y0 < cur.h; y0 += blockSize {
+		for x0 := 0; x0 < cur.w; x0 += blockSize {
+			// Residual block.
+			for y := 0; y < blockSize; y++ {
+				row := (y0+y)*cur.w + x0
+				for x := 0; x < blockSize; x++ {
+					res[y*blockSize+x] = float64(cur.pix[row+x]) - float64(pred.pix[row+x])
+				}
+			}
+			forwardDCT(&res, &coefs)
+			qp := e.blockQP(x0, y0, blockSize, blockSize, cur.w, cur.h)
+			quantize(&coefs, &levels, qp)
+			writeBlock(w, &levels, prevDC, qp)
+			prevDC = levels[0]
+			// Reconstruct exactly as the decoder will.
+			dequantize(&levels, &coefs, qp)
+			inverseDCT(&coefs, &res)
+			for y := 0; y < blockSize; y++ {
+				row := (y0+y)*cur.w + x0
+				for x := 0; x < blockSize; x++ {
+					recon.pix[row+x] = clampByte(float64(pred.pix[row+x]) + res[y*blockSize+x])
+				}
+			}
+		}
+	}
+}
+
+// writeBlock emits one quantized block: delta-coded DC then (run, level)
+// pairs over the zig-zag scan, terminated by an EOB sentinel. The block QP
+// is carried as a 6-bit field only when it differs from the frame QP; to
+// keep the syntax simple we always write it.
+func writeBlock(w *bitio.Writer, levels *[blockSize * blockSize]int32, prevDC int32, qp int) {
+	w.WriteBits(uint64(qp), 6)
+	w.WriteSE(levels[0] - prevDC)
+	run := uint32(0)
+	for i := 1; i < blockSize*blockSize; i++ {
+		v := levels[zigzag[i]]
+		if v == 0 {
+			run++
+			continue
+		}
+		w.WriteUE(run)
+		w.WriteSE(v)
+		run = 0
+	}
+	w.WriteUE(eobRun)
+}
+
+func readBlock(r *bitio.Reader, levels *[blockSize * blockSize]int32, prevDC int32) (dc int32, qp int, err error) {
+	for i := range levels {
+		levels[i] = 0
+	}
+	q, err := r.ReadBits(6)
+	if err != nil {
+		return 0, 0, err
+	}
+	d, err := r.ReadSE()
+	if err != nil {
+		return 0, 0, err
+	}
+	levels[0] = prevDC + d
+	pos := 1
+	for {
+		run, err := r.ReadUE()
+		if err != nil {
+			return 0, 0, err
+		}
+		if run == eobRun {
+			break
+		}
+		pos += int(run)
+		if pos >= blockSize*blockSize {
+			return 0, 0, errors.New("vcodec: AC run escapes block")
+		}
+		lvl, err := r.ReadSE()
+		if err != nil {
+			return 0, 0, err
+		}
+		levels[zigzag[pos]] = lvl
+		pos++
+	}
+	return levels[0], int(q), nil
+}
+
+func flatPlane(w, h int, v byte) *plane {
+	p := newPlane(w, h)
+	for i := range p.pix {
+		p.pix[i] = v
+	}
+	return p
+}
+
+func clampByte(v float64) byte {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return byte(v + 0.5)
+}
+
+// DecodeStats accumulates the work a decoder has performed. PixelsDecoded
+// counts display (luma) pixels, the quantity P in TASM's cost model.
+type DecodeStats struct {
+	FramesDecoded int64
+	PixelsDecoded int64
+}
+
+// Decoder decodes a stream produced by Encoder with the same dimensions.
+type Decoder struct {
+	w, h   int
+	pw, ph int
+	recon  [3]*plane
+	stats  DecodeStats
+}
+
+// NewDecoder creates a decoder for a stream of the given display size.
+func NewDecoder(w, h int) (*Decoder, error) {
+	if w <= 0 || h <= 0 || w%2 != 0 || h%2 != 0 {
+		return nil, fmt.Errorf("vcodec: invalid dimensions %dx%d", w, h)
+	}
+	d := &Decoder{w: w, h: h, pw: padUp(w, mbSize), ph: padUp(h, mbSize)}
+	d.recon[0] = newPlane(d.pw, d.ph)
+	d.recon[1] = newPlane(d.pw/2, d.ph/2)
+	d.recon[2] = newPlane(d.pw/2, d.ph/2)
+	return d, nil
+}
+
+// Stats returns the accumulated decode statistics.
+func (d *Decoder) Stats() DecodeStats { return d.stats }
+
+// Decode decompresses one packet. P-frame packets must be decoded in stream
+// order following their keyframe.
+func (d *Decoder) Decode(packet []byte) (*frame.Frame, error) {
+	r := bitio.NewReader(packet)
+	keyBit, err := r.ReadBit()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := r.ReadBits(6); err != nil { // frame QP (informational)
+		return nil, err
+	}
+	isKey := keyBit == 1
+
+	var mvs []mv
+	if !isKey {
+		hasMV, err := r.ReadBit()
+		if err != nil {
+			return nil, err
+		}
+		if hasMV == 1 {
+			n := (d.pw / mbSize) * (d.ph / mbSize)
+			mvs = make([]mv, n)
+			for i := range mvs {
+				dx, err := r.ReadSE()
+				if err != nil {
+					return nil, err
+				}
+				dy, err := r.ReadSE()
+				if err != nil {
+					return nil, err
+				}
+				mvs[i] = mv{dx: int8(dx), dy: int8(dy)}
+			}
+		}
+	}
+
+	for pi := 0; pi < 3; pi++ {
+		var pred *plane
+		if isKey {
+			pred = flatPlane(d.recon[pi].w, d.recon[pi].h, 128)
+		} else {
+			pred = motionCompensate(d.recon[pi], mvs, d.pw/mbSize, pi > 0)
+		}
+		out := newPlane(d.recon[pi].w, d.recon[pi].h)
+		if err := decodePlane(r, pred, out); err != nil {
+			return nil, fmt.Errorf("vcodec: plane %d: %w", pi, err)
+		}
+		d.recon[pi] = out
+	}
+
+	d.stats.FramesDecoded++
+	d.stats.PixelsDecoded += int64(d.w) * int64(d.h)
+
+	out := frame.New(d.pw, d.ph)
+	copy(out.Y, d.recon[0].pix)
+	copy(out.Cb, d.recon[1].pix)
+	copy(out.Cr, d.recon[2].pix)
+	if d.pw == d.w && d.ph == d.h {
+		return out, nil
+	}
+	return out.Crop(frameRect(d.w, d.h)), nil
+}
+
+func decodePlane(r *bitio.Reader, pred, out *plane) error {
+	var coefs, res [blockSize * blockSize]float64
+	var levels [blockSize * blockSize]int32
+	prevDC := int32(0)
+	for y0 := 0; y0 < out.h; y0 += blockSize {
+		for x0 := 0; x0 < out.w; x0 += blockSize {
+			dc, qp, err := readBlock(r, &levels, prevDC)
+			if err != nil {
+				return err
+			}
+			prevDC = dc
+			dequantize(&levels, &coefs, qp)
+			inverseDCT(&coefs, &res)
+			for y := 0; y < blockSize; y++ {
+				row := (y0+y)*out.w + x0
+				for x := 0; x < blockSize; x++ {
+					out.pix[row+x] = clampByte(float64(pred.pix[row+x]) + res[y*blockSize+x])
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,375 @@
+package vcodec
+
+import (
+	"math"
+	"testing"
+
+	"github.com/tasm-repro/tasm/internal/frame"
+	"github.com/tasm-repro/tasm/internal/geom"
+	"github.com/tasm-repro/tasm/internal/stats"
+)
+
+func TestDCTRoundTrip(t *testing.T) {
+	var src, freq, back [blockSize * blockSize]float64
+	rng := stats.NewRNG(1)
+	for i := range src {
+		src[i] = float64(rng.Intn(256)) - 128
+	}
+	forwardDCT(&src, &freq)
+	inverseDCT(&freq, &back)
+	for i := range src {
+		if math.Abs(src[i]-back[i]) > 1e-9 {
+			t.Fatalf("DCT round trip error at %d: %v vs %v", i, src[i], back[i])
+		}
+	}
+}
+
+func TestDCTParseval(t *testing.T) {
+	// The orthonormal DCT preserves energy.
+	var src, freq [blockSize * blockSize]float64
+	rng := stats.NewRNG(2)
+	for i := range src {
+		src[i] = rng.Float64()*200 - 100
+	}
+	forwardDCT(&src, &freq)
+	var e1, e2 float64
+	for i := range src {
+		e1 += src[i] * src[i]
+		e2 += freq[i] * freq[i]
+	}
+	if math.Abs(e1-e2) > 1e-6*e1 {
+		t.Errorf("energy not preserved: %v vs %v", e1, e2)
+	}
+}
+
+func TestDCTDCOnly(t *testing.T) {
+	var src, freq [blockSize * blockSize]float64
+	for i := range src {
+		src[i] = 80
+	}
+	forwardDCT(&src, &freq)
+	if math.Abs(freq[0]-80*8) > 1e-9 {
+		t.Errorf("DC coefficient = %v, want 640", freq[0])
+	}
+	for i := 1; i < len(freq); i++ {
+		if math.Abs(freq[i]) > 1e-9 {
+			t.Errorf("AC coefficient %d = %v, want 0", i, freq[i])
+		}
+	}
+}
+
+func TestZigzagIsPermutation(t *testing.T) {
+	seen := make(map[int]bool)
+	for _, v := range zigzag {
+		if v < 0 || v >= 64 || seen[v] {
+			t.Fatalf("zigzag not a permutation: %v", zigzag)
+		}
+		seen[v] = true
+	}
+	// First few entries of the classic scan.
+	want := []int{0, 1, 8, 16, 9, 2, 3, 10}
+	for i, w := range want {
+		if zigzag[i] != w {
+			t.Errorf("zigzag[%d] = %d, want %d", i, zigzag[i], w)
+		}
+	}
+}
+
+func TestQuantMonotonicInQP(t *testing.T) {
+	for i := 0; i < blockSize*blockSize; i++ {
+		prev := 0.0
+		for qp := 0; qp <= maxQP; qp++ {
+			step := quantTable(qp)[i]
+			if step < prev {
+				t.Fatalf("quant step decreased at qp=%d idx=%d", qp, i)
+			}
+			prev = step
+		}
+	}
+}
+
+func TestQuantDequantBounded(t *testing.T) {
+	var coefs, back [blockSize * blockSize]float64
+	var levels [blockSize * blockSize]int32
+	rng := stats.NewRNG(3)
+	for i := range coefs {
+		coefs[i] = rng.Float64()*2000 - 1000
+	}
+	qp := 22
+	quantize(&coefs, &levels, qp)
+	dequantize(&levels, &back, qp)
+	tbl := quantTable(qp)
+	for i := range coefs {
+		if math.Abs(coefs[i]-back[i]) > tbl[i]/2+1e-9 {
+			t.Errorf("dequant error %v exceeds half step %v", math.Abs(coefs[i]-back[i]), tbl[i]/2)
+		}
+	}
+}
+
+// testFrame builds a deterministic frame with a gradient background and a
+// bright moving square, offset by t.
+func testFrame(w, h, t int) *frame.Frame {
+	f := frame.New(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			f.Y[y*w+x] = byte((x + 2*y) % 200)
+		}
+	}
+	for i := range f.Cb {
+		f.Cb[i] = 128
+		f.Cr[i] = 128
+	}
+	f.FillRect(geom.R(8+2*t, 8+t, 8+2*t+16, 8+t+16), 240, 90, 160)
+	return f
+}
+
+func TestEncodeDecodeKeyframe(t *testing.T) {
+	w, h := 64, 48
+	enc, err := NewEncoder(w, h, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewDecoder(w, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := testFrame(w, h, 0)
+	pkt, isKey, err := enc.Encode(src, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !isKey {
+		t.Error("first frame should be a keyframe")
+	}
+	got, err := dec.Decode(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.W != w || got.H != h {
+		t.Fatalf("decoded dims %dx%d", got.W, got.H)
+	}
+	if psnr := frame.PSNR(src, got); psnr < 32 {
+		t.Errorf("keyframe PSNR = %.1f dB, want >= 32", psnr)
+	}
+}
+
+func TestEncodeDecodeSequence(t *testing.T) {
+	w, h := 64, 64
+	p := DefaultParams()
+	p.GOPLength = 5
+	enc, _ := NewEncoder(w, h, p)
+	dec, _ := NewDecoder(w, h)
+	var keyBytes, pBytes int
+	for i := 0; i < 12; i++ {
+		src := testFrame(w, h, i)
+		pkt, isKey, err := enc.Encode(src, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantKey := i%5 == 0; isKey != wantKey {
+			t.Errorf("frame %d: isKey = %v, want %v", i, isKey, wantKey)
+		}
+		if isKey {
+			keyBytes += len(pkt)
+		} else {
+			pBytes += len(pkt)
+		}
+		got, err := dec.Decode(pkt)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if psnr := frame.PSNR(src, got); psnr < 30 {
+			t.Errorf("frame %d PSNR = %.1f dB, want >= 30", i, psnr)
+		}
+	}
+	// Keyframes must be substantially more expensive per frame than P frames:
+	// this is the storage-overhead mechanism behind the paper's Figure 9.
+	keyPer := float64(keyBytes) / 3
+	pPer := float64(pBytes) / 9
+	if keyPer < 1.5*pPer {
+		t.Errorf("keyframe bytes/frame %.0f not clearly larger than P %.0f", keyPer, pPer)
+	}
+	st := dec.Stats()
+	if st.FramesDecoded != 12 {
+		t.Errorf("FramesDecoded = %d, want 12", st.FramesDecoded)
+	}
+	if st.PixelsDecoded != 12*64*64 {
+		t.Errorf("PixelsDecoded = %d, want %d", st.PixelsDecoded, 12*64*64)
+	}
+}
+
+func TestForceKey(t *testing.T) {
+	enc, _ := NewEncoder(32, 32, DefaultParams())
+	enc.Encode(testFrame(32, 32, 0), false)
+	_, isKey, _ := enc.Encode(testFrame(32, 32, 1), true)
+	if !isKey {
+		t.Error("forceKey ignored")
+	}
+}
+
+func TestNonAlignedDimensions(t *testing.T) {
+	// 50x38 is not macroblock-aligned; codec must pad and crop transparently.
+	w, h := 50, 38
+	enc, err := NewEncoder(w, h, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, _ := NewDecoder(w, h)
+	src := testFrame(w, h, 0)
+	pkt, _, err := enc.Encode(src, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dec.Decode(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.W != w || got.H != h {
+		t.Fatalf("decoded dims %dx%d, want %dx%d", got.W, got.H, w, h)
+	}
+	if psnr := frame.PSNR(src, got); psnr < 30 {
+		t.Errorf("PSNR = %.1f", psnr)
+	}
+}
+
+func TestInvalidDimensions(t *testing.T) {
+	if _, err := NewEncoder(0, 16, DefaultParams()); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := NewEncoder(15, 16, DefaultParams()); err == nil {
+		t.Error("odd width accepted")
+	}
+	if _, err := NewDecoder(16, -2); err == nil {
+		t.Error("negative height accepted")
+	}
+}
+
+func TestEncodeWrongSizeFrame(t *testing.T) {
+	enc, _ := NewEncoder(32, 32, DefaultParams())
+	if _, _, err := enc.Encode(frame.New(64, 64), false); err == nil {
+		t.Error("mismatched frame accepted")
+	}
+}
+
+func TestQPQualityTradeoff(t *testing.T) {
+	w, h := 64, 64
+	src := testFrame(w, h, 0)
+	var prevPSNR float64 = math.Inf(1)
+	var prevSize = 1 << 30
+	for _, qp := range []int{10, 22, 34, 46} {
+		p := DefaultParams()
+		p.QP = qp
+		enc, _ := NewEncoder(w, h, p)
+		dec, _ := NewDecoder(w, h)
+		pkt, _, _ := enc.Encode(src, false)
+		got, _ := dec.Decode(pkt)
+		psnr := frame.PSNR(src, got)
+		if psnr > prevPSNR+0.5 {
+			t.Errorf("qp=%d PSNR %.1f should not exceed qp-smaller PSNR %.1f", qp, psnr, prevPSNR)
+		}
+		if len(pkt) > prevSize*11/10 {
+			t.Errorf("qp=%d size %d should shrink vs %d", qp, len(pkt), prevSize)
+		}
+		prevPSNR, prevSize = psnr, len(pkt)
+	}
+}
+
+func TestMotionCompensationHelpsMovingContent(t *testing.T) {
+	w, h := 64, 64
+	withMV := DefaultParams()
+	withMV.GOPLength = 100
+	noMV := withMV
+	noMV.MotionSearch = false
+
+	encode := func(p Params) int {
+		enc, _ := NewEncoder(w, h, p)
+		total := 0
+		for i := 0; i < 6; i++ {
+			pkt, _, err := enc.Encode(testFrame(w, h, i), false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i > 0 { // skip the keyframe
+				total += len(pkt)
+			}
+		}
+		return total
+	}
+	mvBytes, plainBytes := encode(withMV), encode(noMV)
+	if mvBytes >= plainBytes {
+		t.Errorf("motion search did not reduce P-frame bytes: %d vs %d", mvBytes, plainBytes)
+	}
+}
+
+func TestDecodeCorruptPacket(t *testing.T) {
+	dec, _ := NewDecoder(32, 32)
+	if _, err := dec.Decode([]byte{0xFF}); err == nil {
+		t.Error("truncated packet decoded without error")
+	}
+	if _, err := dec.Decode(nil); err == nil {
+		t.Error("empty packet decoded without error")
+	}
+}
+
+func TestBoundaryQPOffsetDegradesEdges(t *testing.T) {
+	w, h := 64, 64
+	src := testFrame(w, h, 0)
+	flat := DefaultParams()
+	flat.BoundaryQPOffset = 0
+	pen := DefaultParams()
+	pen.BoundaryQPOffset = 10
+	pen.InteriorEdges = [4]bool{true, true, true, true}
+
+	decodeWith := func(p Params) *frame.Frame {
+		enc, _ := NewEncoder(w, h, p)
+		dec, _ := NewDecoder(w, h)
+		pkt, _, _ := enc.Encode(src, false)
+		out, _ := dec.Decode(pkt)
+		return out
+	}
+	q0 := frame.PSNR(src, decodeWith(flat))
+	q1 := frame.PSNR(src, decodeWith(pen))
+	if q1 >= q0 {
+		t.Errorf("boundary penalty did not reduce quality: %.2f vs %.2f", q1, q0)
+	}
+}
+
+func TestReconMatchesDecoderExactly(t *testing.T) {
+	// The encoder's internal reconstruction must match the decoder's output
+	// bit-for-bit, or P frames would drift.
+	w, h := 48, 48
+	enc, _ := NewEncoder(w, h, DefaultParams())
+	dec, _ := NewDecoder(w, h)
+	for i := 0; i < 8; i++ {
+		pkt, _, _ := enc.Encode(testFrame(w, h, i), false)
+		got, err := dec.Decode(pkt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		padded := got.PadTo(enc.pw, enc.ph)
+		for j := range padded.Y {
+			if padded.Y[j] != enc.recon[0].pix[j] {
+				t.Fatalf("frame %d: encoder/decoder recon mismatch at %d", i, j)
+			}
+		}
+	}
+}
+
+func BenchmarkEncode64(b *testing.B) {
+	enc, _ := NewEncoder(64, 64, DefaultParams())
+	f := testFrame(64, 64, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc.Encode(f, false)
+	}
+}
+
+func BenchmarkDecode64(b *testing.B) {
+	enc, _ := NewEncoder(64, 64, DefaultParams())
+	pkt, _, _ := enc.Encode(testFrame(64, 64, 0), false)
+	dec, _ := NewDecoder(64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dec.Decode(pkt)
+	}
+}

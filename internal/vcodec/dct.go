@@ -1,0 +1,103 @@
+package vcodec
+
+import "math"
+
+// blockSize is the transform block size. All tile and picture dimensions are
+// padded to multiples of 2*blockSize (luma) so the 4:2:0 chroma planes stay
+// block-aligned.
+const blockSize = 8
+
+// dctMatrix holds the orthonormal DCT-II basis: dctMatrix[u][x] =
+// sqrt(2/N)·c(u)·cos((2x+1)uπ/2N) with c(0)=1/√2.
+var dctMatrix [blockSize][blockSize]float64
+
+func init() {
+	n := float64(blockSize)
+	for u := 0; u < blockSize; u++ {
+		cu := 1.0
+		if u == 0 {
+			cu = 1 / math.Sqrt2
+		}
+		for x := 0; x < blockSize; x++ {
+			dctMatrix[u][x] = math.Sqrt(2/n) * cu * math.Cos((2*float64(x)+1)*float64(u)*math.Pi/(2*n))
+		}
+	}
+}
+
+// forwardDCT computes the 2D DCT-II of the 8x8 block in src into dst.
+// Both are length-64 row-major slices.
+func forwardDCT(src *[blockSize * blockSize]float64, dst *[blockSize * blockSize]float64) {
+	var tmp [blockSize * blockSize]float64
+	// Rows: tmp = src · C^T  (tmp[y][u] = Σ_x src[y][x]·C[u][x])
+	for y := 0; y < blockSize; y++ {
+		row := src[y*blockSize:]
+		for u := 0; u < blockSize; u++ {
+			var s float64
+			c := &dctMatrix[u]
+			for x := 0; x < blockSize; x++ {
+				s += row[x] * c[x]
+			}
+			tmp[y*blockSize+u] = s
+		}
+	}
+	// Columns: dst = C · tmp  (dst[v][u] = Σ_y C[v][y]·tmp[y][u])
+	for v := 0; v < blockSize; v++ {
+		c := &dctMatrix[v]
+		for u := 0; u < blockSize; u++ {
+			var s float64
+			for y := 0; y < blockSize; y++ {
+				s += c[y] * tmp[y*blockSize+u]
+			}
+			dst[v*blockSize+u] = s
+		}
+	}
+}
+
+// inverseDCT computes the 2D inverse DCT (DCT-III) of src into dst.
+func inverseDCT(src *[blockSize * blockSize]float64, dst *[blockSize * blockSize]float64) {
+	var tmp [blockSize * blockSize]float64
+	// Rows: tmp[v][x] = Σ_u src[v][u]·C[u][x]
+	for v := 0; v < blockSize; v++ {
+		row := src[v*blockSize:]
+		for x := 0; x < blockSize; x++ {
+			var s float64
+			for u := 0; u < blockSize; u++ {
+				s += row[u] * dctMatrix[u][x]
+			}
+			tmp[v*blockSize+x] = s
+		}
+	}
+	// Columns: dst[y][x] = Σ_v C[v][y]·tmp[v][x]
+	for y := 0; y < blockSize; y++ {
+		for x := 0; x < blockSize; x++ {
+			var s float64
+			for v := 0; v < blockSize; v++ {
+				s += dctMatrix[v][y] * tmp[v*blockSize+x]
+			}
+			dst[y*blockSize+x] = s
+		}
+	}
+}
+
+// zigzag maps scan order -> raster index, the classic 8x8 diagonal scan used
+// to cluster the low-frequency coefficients in front of runs of zeros.
+var zigzag = buildZigzag()
+
+func buildZigzag() [blockSize * blockSize]int {
+	var order [blockSize * blockSize]int
+	idx := 0
+	for d := 0; d < 2*blockSize-1; d++ {
+		if d%2 == 0 { // walk up-right
+			for y := min(d, blockSize-1); y >= 0 && d-y < blockSize; y-- {
+				order[idx] = y*blockSize + (d - y)
+				idx++
+			}
+		} else { // walk down-left
+			for x := min(d, blockSize-1); x >= 0 && d-x < blockSize; x-- {
+				order[idx] = (d-x)*blockSize + x
+				idx++
+			}
+		}
+	}
+	return order
+}

@@ -1,0 +1,144 @@
+package vcodec
+
+import "github.com/tasm-repro/tasm/internal/geom"
+
+// Motion estimation and compensation. One integer-pel motion vector per
+// 16×16 luma macroblock; chroma planes reuse the vector halved. References
+// never cross the stream boundary (samples are edge-clamped), which is what
+// makes each tile stream independently decodable.
+
+func frameRect(w, h int) geom.Rect { return geom.R(0, 0, w, h) }
+
+// samp reads p(x, y) with edge clamping.
+func (p *plane) samp(x, y int) byte {
+	if x < 0 {
+		x = 0
+	} else if x >= p.w {
+		x = p.w - 1
+	}
+	if y < 0 {
+		y = 0
+	} else if y >= p.h {
+		y = p.h - 1
+	}
+	return p.pix[y*p.w+x]
+}
+
+// sad computes the sum of absolute differences between the size×size block
+// of cur at (x0, y0) and the block of ref at (x0+dx, y0+dy), early-exiting
+// once the running total exceeds best.
+func sad(cur, ref *plane, x0, y0, dx, dy, size int, best int) int {
+	total := 0
+	for y := 0; y < size; y++ {
+		cy := y0 + y
+		ry := cy + dy
+		for x := 0; x < size; x++ {
+			d := int(cur.pix[cy*cur.w+x0+x]) - int(ref.samp(x0+x+dx, ry))
+			if d < 0 {
+				d = -d
+			}
+			total += d
+		}
+		if total >= best {
+			return total
+		}
+	}
+	return total
+}
+
+// estimateMotion returns one motion vector per macroblock of cur (the padded
+// luma plane) against the encoder's reconstructed reference. It uses a small
+// diamond search seeded with the zero vector and the left/top neighbor
+// predictors — a few dozen SADs per macroblock, which keeps the pure-Go
+// encoder usable while still tracking real object motion.
+func (e *Encoder) estimateMotion(cur *plane) []mv {
+	ref := e.recon[0]
+	cols, rows := e.mbCols(), e.mbRows()
+	mvs := make([]mv, cols*rows)
+	r := e.params.SearchRange
+	for my := 0; my < rows; my++ {
+		for mx := 0; mx < cols; mx++ {
+			x0, y0 := mx*mbSize, my*mbSize
+			bestDX, bestDY := 0, 0
+			best := sad(cur, ref, x0, y0, 0, 0, mbSize, 1<<30)
+			try := func(dx, dy int) {
+				if dx < -r || dx > r || dy < -r || dy > r {
+					return
+				}
+				if dx == bestDX && dy == bestDY {
+					return
+				}
+				if s := sad(cur, ref, x0, y0, dx, dy, mbSize, best); s < best {
+					best, bestDX, bestDY = s, dx, dy
+				}
+			}
+			// Neighbor predictors.
+			if mx > 0 {
+				p := mvs[my*cols+mx-1]
+				try(int(p.dx), int(p.dy))
+			}
+			if my > 0 {
+				p := mvs[(my-1)*cols+mx]
+				try(int(p.dx), int(p.dy))
+			}
+			// Diamond refinement around the best candidate.
+			for step := r; step >= 1; step /= 2 {
+				improved := true
+				for improved {
+					improved = false
+					cx, cy := bestDX, bestDY
+					for _, d := range [4][2]int{{step, 0}, {-step, 0}, {0, step}, {0, -step}} {
+						prev := best
+						try(cx+d[0], cy+d[1])
+						if best < prev {
+							improved = true
+						}
+					}
+				}
+			}
+			mvs[my*cols+mx] = mv{dx: int8(bestDX), dy: int8(bestDY)}
+		}
+	}
+	return mvs
+}
+
+// motionCompensate builds the prediction plane for one plane of a P frame.
+// mvs may be nil (no motion data), in which case the reference is copied.
+// For chroma planes the vectors are halved and the macroblock grid shrinks
+// to 8×8.
+func motionCompensate(ref *plane, mvs []mv, mbCols int, chroma bool) *plane {
+	out := newPlane(ref.w, ref.h)
+	if mvs == nil {
+		copy(out.pix, ref.pix)
+		return out
+	}
+	size := mbSize
+	if chroma {
+		size = mbSize / 2
+	}
+	rows := ref.h / size
+	for my := 0; my < rows; my++ {
+		for mx := 0; mx < mbCols; mx++ {
+			v := mvs[my*mbCols+mx]
+			dx, dy := int(v.dx), int(v.dy)
+			if chroma {
+				dx, dy = dx/2, dy/2
+			}
+			x0, y0 := mx*size, my*size
+			for y := 0; y < size; y++ {
+				sy := y0 + y + dy
+				dst := (y0+y)*out.w + x0
+				if sy >= 0 && sy < ref.h && x0+dx >= 0 && x0+size+dx <= ref.w {
+					// Fast path: whole row in bounds.
+					src := sy*ref.w + x0 + dx
+					copy(out.pix[dst:dst+size], ref.pix[src:src+size])
+					continue
+				}
+				for x := 0; x < size; x++ {
+					out.pix[dst+x] = ref.samp(x0+x+dx, sy)
+				}
+			}
+		}
+	}
+	return out
+}

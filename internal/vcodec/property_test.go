@@ -1,0 +1,174 @@
+package vcodec
+
+import (
+	"testing"
+
+	"github.com/tasm-repro/tasm/internal/frame"
+	"github.com/tasm-repro/tasm/internal/stats"
+)
+
+// randomFrame fills a frame with seeded noise plus a smooth component, the
+// worst and best cases for a transform codec mixed together.
+func randomFrame(w, h int, seed uint64) *frame.Frame {
+	f := frame.New(w, h)
+	rng := stats.NewRNG(seed)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			smooth := byte((x*2 + y*3) % 200)
+			noise := byte(rng.Intn(32))
+			f.Y[y*w+x] = smooth/2 + noise
+		}
+	}
+	for i := range f.Cb {
+		f.Cb[i] = byte(100 + rng.Intn(56))
+		f.Cr[i] = byte(100 + rng.Intn(56))
+	}
+	return f
+}
+
+// Property: any frame round-trips within the quantizer's error bound, for
+// many sizes and QPs.
+func TestRoundTripPropertyAcrossSizesAndQPs(t *testing.T) {
+	cases := []struct {
+		w, h, qp int
+		minPSNR  float64
+	}{
+		{16, 16, 10, 38},
+		{48, 32, 18, 34},
+		{64, 64, 22, 31},
+		{80, 48, 30, 26},
+		{128, 96, 38, 22},
+		{34, 18, 22, 28}, // non-aligned dims
+	}
+	for _, tc := range cases {
+		p := DefaultParams()
+		p.QP = tc.qp
+		enc, err := NewEncoder(tc.w, tc.h, p)
+		if err != nil {
+			t.Fatalf("%dx%d: %v", tc.w, tc.h, err)
+		}
+		dec, _ := NewDecoder(tc.w, tc.h)
+		for i := 0; i < 4; i++ {
+			src := randomFrame(tc.w, tc.h, uint64(i)*7+1)
+			pkt, _, err := enc.Encode(src, false)
+			if err != nil {
+				t.Fatalf("%dx%d qp%d frame %d: %v", tc.w, tc.h, tc.qp, i, err)
+			}
+			got, err := dec.Decode(pkt)
+			if err != nil {
+				t.Fatalf("%dx%d qp%d frame %d: %v", tc.w, tc.h, tc.qp, i, err)
+			}
+			if psnr := frame.PSNR(src, got); psnr < tc.minPSNR {
+				t.Errorf("%dx%d qp%d frame %d: PSNR %.1f < %.1f", tc.w, tc.h, tc.qp, i, psnr, tc.minPSNR)
+			}
+		}
+	}
+}
+
+// Property: encoding is deterministic — same input produces identical
+// bitstreams.
+func TestEncodeDeterministic(t *testing.T) {
+	run := func() [][]byte {
+		enc, _ := NewEncoder(48, 48, DefaultParams())
+		var pkts [][]byte
+		for i := 0; i < 5; i++ {
+			pkt, _, _ := enc.Encode(randomFrame(48, 48, uint64(i)), false)
+			pkts = append(pkts, pkt)
+		}
+		return pkts
+	}
+	a, b := run(), run()
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatalf("frame %d: nondeterministic length", i)
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("frame %d: nondeterministic byte %d", i, j)
+			}
+		}
+	}
+}
+
+// Property: a keyframe resets all decoder state — decoding a GOP never
+// depends on packets before its keyframe.
+func TestGOPIndependence(t *testing.T) {
+	p := DefaultParams()
+	p.GOPLength = 4
+	enc, _ := NewEncoder(48, 48, p)
+	var pkts [][]byte
+	var srcs []*frame.Frame
+	for i := 0; i < 12; i++ {
+		src := randomFrame(48, 48, uint64(i)*3)
+		srcs = append(srcs, src)
+		pkt, isKey, _ := enc.Encode(src, false)
+		if isKey != (i%4 == 0) {
+			t.Fatalf("frame %d key=%v", i, isKey)
+		}
+		pkts = append(pkts, pkt)
+	}
+	// Decode only the second GOP (packets 4..7) with a fresh decoder.
+	dec, _ := NewDecoder(48, 48)
+	for i := 4; i < 8; i++ {
+		got, err := dec.Decode(pkts[i])
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if psnr := frame.PSNR(srcs[i], got); psnr < 26 {
+			t.Errorf("frame %d decoded from mid-stream keyframe: PSNR %.1f", i, psnr)
+		}
+	}
+}
+
+// Property: truncating a packet at any byte boundary yields an error, not
+// a crash or silent success.
+func TestTruncationFuzz(t *testing.T) {
+	enc, _ := NewEncoder(32, 32, DefaultParams())
+	pkt, _, _ := enc.Encode(randomFrame(32, 32, 9), false)
+	for cut := 0; cut < len(pkt)-1; cut += 7 {
+		dec, _ := NewDecoder(32, 32)
+		if _, err := dec.Decode(pkt[:cut]); err == nil {
+			// Some truncations can still parse if the lost bits were
+			// trailing padding; require that at least early cuts fail.
+			if cut < len(pkt)/2 {
+				t.Errorf("truncation at %d/%d decoded without error", cut, len(pkt))
+			}
+		}
+	}
+}
+
+// Property: bit-flipping a packet must never panic (errors are fine; some
+// flips decode to garbage, which is also fine for a codec without CRCs).
+func TestBitFlipNoPanic(t *testing.T) {
+	enc, _ := NewEncoder(32, 32, DefaultParams())
+	pkt, _, _ := enc.Encode(randomFrame(32, 32, 11), false)
+	rng := stats.NewRNG(5)
+	for trial := 0; trial < 200; trial++ {
+		corrupt := append([]byte(nil), pkt...)
+		pos := rng.Intn(len(corrupt))
+		corrupt[pos] ^= byte(1 << rng.Intn(8))
+		dec, _ := NewDecoder(32, 32)
+		dec.Decode(corrupt) // must not panic
+	}
+}
+
+// Property: P frames never exceed the size of an equivalent I frame by a
+// large factor, and a static scene compresses P frames near zero.
+func TestStaticSceneCompression(t *testing.T) {
+	p := DefaultParams()
+	p.GOPLength = 10
+	enc, _ := NewEncoder(64, 64, p)
+	src := randomFrame(64, 64, 42)
+	keyPkt, _, _ := enc.Encode(src, false)
+	var pSizes int
+	for i := 0; i < 5; i++ {
+		pkt, isKey, _ := enc.Encode(src, false) // identical frame
+		if isKey {
+			t.Fatal("unexpected keyframe")
+		}
+		pSizes += len(pkt)
+	}
+	if pSizes/5 > len(keyPkt)/4 {
+		t.Errorf("static P frames average %d bytes vs keyframe %d; expected large skip savings", pSizes/5, len(keyPkt))
+	}
+}

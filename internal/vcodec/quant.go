@@ -1,0 +1,60 @@
+package vcodec
+
+import "math"
+
+// Quantization: each DCT coefficient is divided by a step size that grows
+// with QP (≈2× every 6 steps, as in H.264/HEVC) and with spatial frequency
+// (a mild perceptual weighting). Levels are rounded to the nearest integer;
+// dequantization multiplies back. This is the codec's only source of loss.
+
+// maxQP bounds the quantization parameter range.
+const maxQP = 51
+
+// quantTable returns the 64 step sizes for a given QP.
+func quantTable(qp int) *[blockSize * blockSize]float64 {
+	if qp < 0 {
+		qp = 0
+	}
+	if qp > maxQP {
+		qp = maxQP
+	}
+	return &quantTables[qp]
+}
+
+var quantTables = buildQuantTables()
+
+func buildQuantTables() [maxQP + 1][blockSize * blockSize]float64 {
+	var tables [maxQP + 1][blockSize * blockSize]float64
+	for qp := 0; qp <= maxQP; qp++ {
+		base := 0.625 * math.Pow(2, float64(qp)/6.0)
+		for v := 0; v < blockSize; v++ {
+			for u := 0; u < blockSize; u++ {
+				// Frequency weighting: high-frequency coefficients are
+				// quantized more coarsely (perceptually flat-ish ramp).
+				w := 1.0 + 0.18*float64(u+v)
+				step := base * w
+				if step < 1 {
+					step = 1
+				}
+				tables[qp][v*blockSize+u] = step
+			}
+		}
+	}
+	return tables
+}
+
+// quantize converts DCT coefficients to integer levels.
+func quantize(coefs *[blockSize * blockSize]float64, levels *[blockSize * blockSize]int32, qp int) {
+	tbl := quantTable(qp)
+	for i := range coefs {
+		levels[i] = int32(math.Round(coefs[i] / tbl[i]))
+	}
+}
+
+// dequantize reconstructs approximate coefficients from levels.
+func dequantize(levels *[blockSize * blockSize]int32, coefs *[blockSize * blockSize]float64, qp int) {
+	tbl := quantTable(qp)
+	for i := range levels {
+		coefs[i] = float64(levels[i]) * tbl[i]
+	}
+}

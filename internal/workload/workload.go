@@ -1,0 +1,251 @@
+// Package workload generates the six query workloads of the paper's
+// incremental-tiling evaluation (§5.3, Figure 11, Table 2). Each workload
+// is a deterministic stream of single-object queries with a temporal
+// window; the distribution of start frames (uniform or Zipfian), the label
+// mix, and the query count follow the paper's descriptions, with window
+// lengths scaled to the generated videos ("one-minute queries" over a
+// 540–900 s video become proportional windows over our scaled videos).
+package workload
+
+import (
+	"fmt"
+
+	"github.com/tasm-repro/tasm/internal/query"
+	"github.com/tasm-repro/tasm/internal/scene"
+	"github.com/tasm-repro/tasm/internal/stats"
+)
+
+// Query is one workload query: a single-label selection over a frame range.
+type Query struct {
+	Video string
+	Label string
+	From  int
+	To    int
+}
+
+// ToQuery converts to the query package's representation.
+func (q Query) ToQuery() query.Query {
+	return query.Query{Video: q.Video, Pred: query.Single(q.Label), From: q.From, To: q.To}
+}
+
+// SQL renders the query in the evaluation's SELECT form.
+func (q Query) SQL() string {
+	return fmt.Sprintf("SELECT %s FROM %s WHERE %d <= t < %d", q.Label, q.Video, q.From, q.To)
+}
+
+// Workload is a named stream of queries over one video.
+type Workload struct {
+	Name    string
+	Desc    string
+	Queries []Query
+}
+
+// VideoInfo carries what the generators need to know about a video.
+type VideoInfo struct {
+	Name      string
+	NumFrames int
+	FPS       int
+	// Classes are the video's primary object classes, most frequent first.
+	Classes []string
+}
+
+// Info extracts VideoInfo from a scene preset.
+func Info(p scene.Preset) VideoInfo {
+	return VideoInfo{
+		Name:      p.Spec.Name,
+		NumFrames: p.Spec.NumFrames(),
+		FPS:       p.Spec.FPS,
+		Classes:   p.QueryClasses,
+	}
+}
+
+// windowFrames scales the paper's one-minute query window: one minute of a
+// ~9-minute video is ~11% of its length; we use max(1 s, ~11% of frames).
+func windowFrames(v VideoInfo) int {
+	w := v.NumFrames / 9
+	if min := v.FPS; w < min {
+		w = min
+	}
+	if w > v.NumFrames {
+		w = v.NumFrames
+	}
+	return w
+}
+
+// clampStart keeps a window inside the video.
+func clampStart(start, window, numFrames int) int {
+	if start+window > numFrames {
+		start = numFrames - window
+	}
+	if start < 0 {
+		start = 0
+	}
+	return start
+}
+
+// W1 — 100 queries for cars, uniformly distributed over the entire video
+// (Figure 11(a)).
+func W1(v VideoInfo, seed uint64) Workload {
+	rng := stats.NewRNG(seed ^ seedW1)
+	win := windowFrames(v)
+	wl := Workload{Name: "W1", Desc: "100 uniform car queries"}
+	for i := 0; i < 100; i++ {
+		start := clampStart(rng.Intn(v.NumFrames), win, v.NumFrames)
+		wl.Queries = append(wl.Queries, Query{Video: v.Name, Label: scene.Car, From: start, To: start + win})
+	}
+	return wl
+}
+
+// W2 — 100 queries, 50% cars / 50% people, restricted to the first 25% of
+// the video (Figure 11(b)).
+func W2(v VideoInfo, seed uint64) Workload {
+	rng := stats.NewRNG(seed ^ seedW2)
+	win := windowFrames(v)
+	limit := v.NumFrames / 4
+	if limit < win {
+		limit = win
+	}
+	wl := Workload{Name: "W2", Desc: "100 car/person queries over first 25%"}
+	for i := 0; i < 100; i++ {
+		label := scene.Car
+		if rng.Float64() < 0.5 {
+			label = scene.Person
+		}
+		start := clampStart(rng.Intn(limit), win, limit)
+		wl.Queries = append(wl.Queries, Query{Video: v.Name, Label: label, From: start, To: start + win})
+	}
+	return wl
+}
+
+// W3 — 100 queries: 47.5% cars, 47.5% people, 5% traffic lights, Zipfian
+// start frames biased to the beginning of the video (Figure 11(c)).
+func W3(v VideoInfo, seed uint64) Workload {
+	rng := stats.NewRNG(seed ^ seedW3)
+	win := windowFrames(v)
+	zipf := stats.NewZipf(rng, maxInt(v.NumFrames-win, 1), 1.0)
+	wl := Workload{Name: "W3", Desc: "100 Zipf queries, 47.5/47.5/5 car/person/traffic_light"}
+	for i := 0; i < 100; i++ {
+		r := rng.Float64()
+		label := scene.Car
+		switch {
+		case r < 0.475:
+			label = scene.Car
+		case r < 0.95:
+			label = scene.Person
+		default:
+			label = scene.TrafficLight
+		}
+		start := clampStart(zipf.Next(), win, v.NumFrames)
+		wl.Queries = append(wl.Queries, Query{Video: v.Name, Label: label, From: start, To: start + win})
+	}
+	return wl
+}
+
+// W4 — 200 queries whose target object changes over time: cars, then
+// people, then cars again; Zipfian starts (Figure 11(d)).
+func W4(v VideoInfo, seed uint64) Workload {
+	rng := stats.NewRNG(seed ^ seedW4)
+	win := windowFrames(v)
+	zipf := stats.NewZipf(rng, maxInt(v.NumFrames-win, 1), 1.0)
+	wl := Workload{Name: "W4", Desc: "200 Zipf queries, car -> person -> car"}
+	for i := 0; i < 200; i++ {
+		label := scene.Car
+		if i >= 66 && i < 133 {
+			label = scene.Person
+		}
+		start := clampStart(zipf.Next(), win, v.NumFrames)
+		wl.Queries = append(wl.Queries, Query{Video: v.Name, Label: label, From: start, To: start + win})
+	}
+	return wl
+}
+
+// W5 — 200 one-second queries over dense, diverse scenes, each targeting a
+// randomly chosen primary class; uniform starts (Figure 11(e)). Tiling is
+// expected not to help here.
+func W5(v VideoInfo, seed uint64) Workload {
+	rng := stats.NewRNG(seed ^ seedW5)
+	win := minInt(v.FPS, v.NumFrames) // one-second segments
+	wl := Workload{Name: "W5", Desc: "200 uniform 1s queries over primary classes (dense)"}
+	for i := 0; i < 200; i++ {
+		label := v.Classes[rng.Intn(len(v.Classes))]
+		start := clampStart(rng.Intn(v.NumFrames), win, v.NumFrames)
+		wl.Queries = append(wl.Queries, Query{Video: v.Name, Label: label, From: start, To: start + win})
+	}
+	return wl
+}
+
+// W6 — 200 one-second queries all targeting the same (most frequent)
+// class; uniform starts; videos where tiling around the query object helps
+// but tiling around all objects hurts (Figure 11(f)).
+func W6(v VideoInfo, seed uint64) Workload {
+	rng := stats.NewRNG(seed ^ seedW6)
+	win := minInt(v.FPS, v.NumFrames)
+	wl := Workload{Name: "W6", Desc: "200 uniform 1s queries, single class (dense)"}
+	for i := 0; i < 200; i++ {
+		start := clampStart(rng.Intn(v.NumFrames), win, v.NumFrames)
+		wl.Queries = append(wl.Queries, Query{Video: v.Name, Label: v.Classes[0], From: start, To: start + win})
+	}
+	return wl
+}
+
+// Generator builds a workload for a video.
+type Generator func(v VideoInfo, seed uint64) Workload
+
+// ByName returns the generator for a workload name ("W1".."W6").
+func ByName(name string) (Generator, bool) {
+	switch name {
+	case "W1":
+		return W1, true
+	case "W2":
+		return W2, true
+	case "W3":
+		return W3, true
+	case "W4":
+		return W4, true
+	case "W5":
+		return W5, true
+	case "W6":
+		return W6, true
+	}
+	return nil, false
+}
+
+// Names lists the workloads in paper order.
+func Names() []string { return []string{"W1", "W2", "W3", "W4", "W5", "W6"} }
+
+// Labels returns the distinct labels a workload queries.
+func (w Workload) Labels() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, q := range w.Queries {
+		if !seen[q.Label] {
+			seen[q.Label] = true
+			out = append(out, q.Label)
+		}
+	}
+	return out
+}
+
+// Per-workload seed salts keep each workload's RNG stream distinct.
+const (
+	seedW1 uint64 = 0xA1A1A1A1
+	seedW2 uint64 = 0xB2B2B2B2
+	seedW3 uint64 = 0xC3C3C3C3
+	seedW4 uint64 = 0xD4D4D4D4
+	seedW5 uint64 = 0xE5E5E5E5
+	seedW6 uint64 = 0xF6F6F6F6
+)
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

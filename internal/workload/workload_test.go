@@ -1,0 +1,185 @@
+package workload
+
+import (
+	"testing"
+
+	"github.com/tasm-repro/tasm/internal/scene"
+)
+
+func info() VideoInfo {
+	return VideoInfo{Name: "v", NumFrames: 480, FPS: 30, Classes: []string{scene.Car, scene.Person}}
+}
+
+func checkBounds(t *testing.T, wl Workload, numFrames int) {
+	t.Helper()
+	for i, q := range wl.Queries {
+		if q.From < 0 || q.To > numFrames || q.From >= q.To {
+			t.Errorf("%s query %d: invalid range [%d,%d)", wl.Name, i, q.From, q.To)
+		}
+		if q.Video != "v" {
+			t.Errorf("%s query %d: video %q", wl.Name, i, q.Video)
+		}
+	}
+}
+
+func TestW1(t *testing.T) {
+	wl := W1(info(), 7)
+	if len(wl.Queries) != 100 {
+		t.Fatalf("W1 has %d queries", len(wl.Queries))
+	}
+	checkBounds(t, wl, 480)
+	for _, q := range wl.Queries {
+		if q.Label != scene.Car {
+			t.Fatalf("W1 queried %q", q.Label)
+		}
+	}
+	// Uniform: starts should span most of the video.
+	lo, hi := 480, 0
+	for _, q := range wl.Queries {
+		if q.From < lo {
+			lo = q.From
+		}
+		if q.From > hi {
+			hi = q.From
+		}
+	}
+	if hi-lo < 200 {
+		t.Errorf("W1 starts span only [%d,%d]", lo, hi)
+	}
+}
+
+func TestW2RestrictedToFirstQuarter(t *testing.T) {
+	wl := W2(info(), 7)
+	if len(wl.Queries) != 100 {
+		t.Fatalf("W2 has %d queries", len(wl.Queries))
+	}
+	checkBounds(t, wl, 480)
+	labels := map[string]int{}
+	for _, q := range wl.Queries {
+		labels[q.Label]++
+		if q.From >= 480/4 {
+			t.Errorf("W2 start %d outside first quarter", q.From)
+		}
+	}
+	if labels[scene.Car] < 30 || labels[scene.Person] < 30 {
+		t.Errorf("W2 label mix = %v", labels)
+	}
+}
+
+func TestW3LabelMixAndSkew(t *testing.T) {
+	wl := W3(info(), 7)
+	checkBounds(t, wl, 480)
+	labels := map[string]int{}
+	early := 0
+	for _, q := range wl.Queries {
+		labels[q.Label]++
+		if q.From < 480/4 {
+			early++
+		}
+	}
+	if labels[scene.TrafficLight] == 0 || labels[scene.TrafficLight] > 20 {
+		t.Errorf("traffic light count = %d", labels[scene.TrafficLight])
+	}
+	if labels[scene.Car] < 30 || labels[scene.Person] < 30 {
+		t.Errorf("label mix = %v", labels)
+	}
+	// Zipf bias: more than half the queries start in the first quarter.
+	if early < 50 {
+		t.Errorf("only %d/100 queries start early; expected Zipf bias", early)
+	}
+}
+
+func TestW4PhaseStructure(t *testing.T) {
+	wl := W4(info(), 7)
+	if len(wl.Queries) != 200 {
+		t.Fatalf("W4 has %d queries", len(wl.Queries))
+	}
+	checkBounds(t, wl, 480)
+	if wl.Queries[0].Label != scene.Car || wl.Queries[100].Label != scene.Person || wl.Queries[199].Label != scene.Car {
+		t.Error("W4 phases wrong")
+	}
+}
+
+func TestW5W6OneSecondWindows(t *testing.T) {
+	for _, gen := range []Generator{W5, W6} {
+		wl := gen(info(), 7)
+		if len(wl.Queries) != 200 {
+			t.Fatalf("%s has %d queries", wl.Name, len(wl.Queries))
+		}
+		checkBounds(t, wl, 480)
+		for _, q := range wl.Queries {
+			if q.To-q.From != 30 {
+				t.Fatalf("%s window = %d frames, want 30 (1s)", wl.Name, q.To-q.From)
+			}
+		}
+	}
+	// W6 targets a single class.
+	wl := W6(info(), 7)
+	for _, q := range wl.Queries {
+		if q.Label != scene.Car {
+			t.Fatalf("W6 queried %q", q.Label)
+		}
+	}
+	// W5 mixes classes.
+	wl = W5(info(), 7)
+	if len(wl.Labels()) < 2 {
+		t.Error("W5 did not mix classes")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, b := W3(info(), 42), W3(info(), 42)
+	for i := range a.Queries {
+		if a.Queries[i] != b.Queries[i] {
+			t.Fatal("same seed produced different workloads")
+		}
+	}
+	c := W3(info(), 43)
+	same := true
+	for i := range a.Queries {
+		if a.Queries[i] != c.Queries[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical workloads")
+	}
+}
+
+func TestByNameAndNames(t *testing.T) {
+	for _, name := range Names() {
+		gen, ok := ByName(name)
+		if !ok || gen == nil {
+			t.Errorf("ByName(%s) failed", name)
+		}
+	}
+	if _, ok := ByName("W9"); ok {
+		t.Error("ByName(W9) succeeded")
+	}
+	if len(Names()) != 6 {
+		t.Errorf("Names() = %v", Names())
+	}
+}
+
+func TestToQueryAndSQL(t *testing.T) {
+	q := Query{Video: "v", Label: "car", From: 10, To: 20}
+	qq := q.ToQuery()
+	if qq.Video != "v" || qq.From != 10 || qq.To != 20 {
+		t.Errorf("ToQuery = %+v", qq)
+	}
+	if got := qq.Pred.Labels(); len(got) != 1 || got[0] != "car" {
+		t.Errorf("labels = %v", got)
+	}
+	if q.SQL() != "SELECT car FROM v WHERE 10 <= t < 20" {
+		t.Errorf("SQL = %q", q.SQL())
+	}
+}
+
+func TestShortVideoClamping(t *testing.T) {
+	short := VideoInfo{Name: "v", NumFrames: 20, FPS: 30, Classes: []string{scene.Car}}
+	for _, gen := range []Generator{W1, W2, W3, W4, W5, W6} {
+		wl := gen(short, 1)
+		checkBounds(t, wl, 20)
+	}
+}

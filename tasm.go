@@ -1,0 +1,408 @@
+// Package tasm is a tile-based storage manager for video analytics, a
+// from-scratch Go reproduction of "TASM: A Tile-Based Storage Manager for
+// Video Analytics" (Daum et al., ICDE 2021).
+//
+// TASM stores video as independently decodable spatial tiles, maintains a
+// semantic index of object detections (label + bounding box, clustered on
+// (video, label, time)), and physically tunes each video's tile layout to
+// the query workload so that object-retrieval queries decode only the
+// pixels they need. Layouts can be chosen up front when the workload is
+// known (KQKO), evolve lazily as detections arrive, or adapt online with
+// the paper's regret-based policy.
+//
+// Basic usage:
+//
+//	sm, err := tasm.Open(dir)            // tile store + semantic index
+//	sm.Ingest("traffic", frames, 30)     // untiled, one SOT per GOP
+//	sm.AddMetadata("traffic", f, "car", x1, y1, x2, y2)
+//	res, stats, err := sm.ScanSQL("SELECT car FROM traffic WHERE 30 <= t < 90")
+//
+// Enable adaptive tiling to let the storage manager re-tile itself as it
+// observes queries:
+//
+//	sm, _ := tasm.Open(dir, tasm.WithAdaptiveTiling())
+package tasm
+
+import (
+	"fmt"
+
+	"github.com/tasm-repro/tasm/internal/container"
+	"github.com/tasm-repro/tasm/internal/core"
+	"github.com/tasm-repro/tasm/internal/costmodel"
+	"github.com/tasm-repro/tasm/internal/frame"
+	"github.com/tasm-repro/tasm/internal/geom"
+	"github.com/tasm-repro/tasm/internal/layout"
+	"github.com/tasm-repro/tasm/internal/policy"
+	"github.com/tasm-repro/tasm/internal/query"
+	"github.com/tasm-repro/tasm/internal/semindex"
+	"github.com/tasm-repro/tasm/internal/tilestore"
+)
+
+// Re-exported building blocks. These are aliases so values returned by the
+// storage manager interoperate with user code without conversion.
+type (
+	// Frame is a planar YCbCr 4:2:0 video frame.
+	Frame = frame.Frame
+	// Rect is a half-open pixel rectangle.
+	Rect = geom.Rect
+	// Detection is a labeled bounding box on one frame.
+	Detection = semindex.Detection
+	// Layout is a tile layout: rows and columns spanning the frame.
+	Layout = layout.Layout
+	// Query is a parsed Scan request.
+	Query = query.Query
+	// Predicate is a CNF label predicate.
+	Predicate = query.Predicate
+	// RegionResult is one retrieved pixel region.
+	RegionResult = core.RegionResult
+	// ScanStats reports the work a Scan performed.
+	ScanStats = core.ScanStats
+	// RetileStats reports the work of a re-tiling operation.
+	RetileStats = core.RetileStats
+	// IngestStats reports the work of an ingest.
+	IngestStats = core.IngestStats
+	// VideoMeta is a stored video's catalog record.
+	VideoMeta = tilestore.VideoMeta
+	// SOTMeta describes one sequence of tiles.
+	SOTMeta = tilestore.SOTMeta
+)
+
+// NewFrame allocates a zeroed frame with even dimensions.
+func NewFrame(w, h int) *Frame { return frame.New(w, h) }
+
+// R constructs a rectangle covering [x0,x1) x [y0,y1).
+func R(x0, y0, x1, y1 int) Rect { return geom.R(x0, y0, x1, y1) }
+
+// PSNR returns the luma peak signal-to-noise ratio between two frames.
+func PSNR(a, b *Frame) float64 { return frame.PSNR(a, b) }
+
+// SequencePSNR returns the PSNR over two equal-length frame sequences.
+func SequencePSNR(a, b []*Frame) float64 { return frame.SequencePSNR(a, b) }
+
+// ParseQuery parses "SELECT <predicate> FROM <video> [WHERE <time>]".
+func ParseQuery(s string) (Query, error) { return query.Parse(s) }
+
+// ParsePredicate parses a CNF label predicate such as
+// "(car OR bicycle) AND red".
+func ParsePredicate(s string) (Predicate, error) { return query.ParsePredicate(s) }
+
+// Granularity selects fine- or coarse-grained non-uniform layouts.
+type Granularity = layout.Granularity
+
+// Granularity values.
+const (
+	Fine   = layout.Fine
+	Coarse = layout.Coarse
+)
+
+// Option configures a storage manager.
+type Option func(*settings)
+
+type settings struct {
+	cfg      core.Config
+	adaptive bool
+}
+
+// WithQP sets the codec quantization parameter (default 22; higher is
+// smaller and lossier).
+func WithQP(qp int) Option {
+	return func(s *settings) { s.cfg.Codec.QP = qp }
+}
+
+// WithGOPLength sets the keyframe interval in frames; SOTs span one GOP.
+func WithGOPLength(frames int) Option {
+	return func(s *settings) { s.cfg.Codec.GOPLength = frames }
+}
+
+// WithAlpha sets the do-not-tile threshold on P(L)/P(ω) (default 0.8).
+func WithAlpha(alpha float64) Option {
+	return func(s *settings) { s.cfg.Alpha = alpha }
+}
+
+// WithEta sets the regret policy's retile threshold multiplier (default 1).
+func WithEta(eta float64) Option {
+	return func(s *settings) { s.cfg.Eta = eta }
+}
+
+// WithGranularity selects fine or coarse non-uniform layouts (default
+// Fine).
+func WithGranularity(g Granularity) Option {
+	return func(s *settings) { s.cfg.Granularity = g }
+}
+
+// WithMinTileSize sets the smallest legal tile (default 64×64).
+func WithMinTileSize(w, h int) Option {
+	return func(s *settings) { s.cfg.MinTileW, s.cfg.MinTileH = w, h }
+}
+
+// WithParallelism bounds concurrent tile decodes within one Scan. The
+// paper's prototype decodes tiles sequentially (the default, 1); higher
+// values are an extension of this reproduction.
+func WithParallelism(n int) Option {
+	return func(s *settings) { s.cfg.Parallelism = n }
+}
+
+// WithAdaptiveTiling makes every Scan feed the regret-based online tiling
+// policy (paper §4.4) and apply any retile decisions immediately after
+// answering the query.
+func WithAdaptiveTiling() Option {
+	return func(s *settings) { s.adaptive = true }
+}
+
+// StorageManager is TASM: the tile-aware bottom layer of a VDBMS.
+type StorageManager struct {
+	m        *core.Manager
+	adaptive *policy.Regret
+}
+
+// Open creates or opens a storage manager rooted at dir.
+func Open(dir string, opts ...Option) (*StorageManager, error) {
+	s := settings{cfg: core.DefaultConfig()}
+	for _, opt := range opts {
+		opt(&s)
+	}
+	m, err := core.Open(dir, s.cfg)
+	if err != nil {
+		return nil, err
+	}
+	sm := &StorageManager{m: m}
+	if s.adaptive {
+		sm.adaptive = policy.NewRegret(s.cfg.Model)
+		sm.adaptive.Eta = s.cfg.Eta
+		sm.adaptive.Alpha = s.cfg.Alpha
+		sm.adaptive.Granularity = s.cfg.Granularity
+	}
+	return sm, nil
+}
+
+// Close flushes and closes the semantic index.
+func (s *StorageManager) Close() error { return s.m.Close() }
+
+// Ingest stores frames as a new untiled video (one SOT per GOP).
+func (s *StorageManager) Ingest(video string, frames []*Frame, fps int) (IngestStats, error) {
+	return s.m.Ingest(video, frames, fps)
+}
+
+// IngestTiled stores frames with caller-chosen per-SOT layouts, the edge
+// camera upload path.
+func (s *StorageManager) IngestTiled(video string, frames []*Frame, fps int, layouts []Layout) (IngestStats, error) {
+	return s.m.IngestTiled(video, frames, fps, layouts)
+}
+
+// AddMetadata records an object detection produced during query processing
+// (the paper's AddMetadata(video, frame, label, x1, y1, x2, y2)).
+func (s *StorageManager) AddMetadata(video string, frameIdx int, label string, x1, y1, x2, y2 int) error {
+	return s.m.AddMetadata(video, frameIdx, label, x1, y1, x2, y2)
+}
+
+// AddDetections records a batch of detections.
+func (s *StorageManager) AddDetections(video string, ds []Detection) error {
+	return s.m.AddDetections(video, ds)
+}
+
+// MarkDetected records that frames [from, to) of video have been fully
+// processed by an object detector for label, so absence of detections
+// there is definitive. The lazy tiling policy relies on this.
+func (s *StorageManager) MarkDetected(video, label string, from, to int) error {
+	return s.m.Index().MarkDetected(video, label, from, to)
+}
+
+// Scan answers a query: it returns the pixel regions matching the query's
+// label predicate within its time range, decoding only the tiles that
+// contain them. With adaptive tiling enabled, the query also feeds the
+// online tiling policy.
+func (s *StorageManager) Scan(q Query) ([]RegionResult, ScanStats, error) {
+	res, st, err := s.m.Scan(q)
+	if err != nil {
+		return res, st, err
+	}
+	if s.adaptive != nil {
+		actions, aerr := s.adaptive.ObserveQuery(s.m, q)
+		if aerr != nil {
+			return res, st, fmt.Errorf("tasm: adaptive tiling: %w", aerr)
+		}
+		if len(actions) > 0 {
+			if _, aerr := policy.Apply(s.m, actions); aerr != nil {
+				return res, st, fmt.Errorf("tasm: adaptive tiling: %w", aerr)
+			}
+		}
+	}
+	return res, st, nil
+}
+
+// ScanSQL parses and executes a query in the evaluation's SELECT form.
+func (s *StorageManager) ScanSQL(sql string) ([]RegionResult, ScanStats, error) {
+	q, err := query.Parse(sql)
+	if err != nil {
+		return nil, ScanStats{}, err
+	}
+	return s.Scan(q)
+}
+
+// DecodeFrames decodes and reassembles whole frames [from, to), regardless
+// of tiling — the path object detectors run on.
+func (s *StorageManager) DecodeFrames(video string, from, to int) ([]*Frame, ScanStats, error) {
+	return s.m.DecodeFrames(video, from, to)
+}
+
+// Meta returns a stored video's catalog record (frame count, SOTs, current
+// layouts).
+func (s *StorageManager) Meta(video string) (VideoMeta, error) { return s.m.Meta(video) }
+
+// Videos lists stored video names.
+func (s *StorageManager) Videos() ([]string, error) { return s.m.Store().ListVideos() }
+
+// VideoBytes returns a video's total storage footprint in bytes.
+func (s *StorageManager) VideoBytes(video string) (int64, error) { return s.m.VideoBytes(video) }
+
+// Labels returns the distinct labels indexed for a video.
+func (s *StorageManager) Labels(video string) ([]string, error) { return s.m.Index().Labels(video) }
+
+// LookupDetections returns indexed detections for (video, label) within
+// [fromFrame, toFrame).
+func (s *StorageManager) LookupDetections(video, label string, fromFrame, toFrame int) ([]Detection, error) {
+	entries, err := s.m.Index().Lookup(video, label, fromFrame, toFrame)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Detection, len(entries))
+	for i, e := range entries {
+		out[i] = e.Detection
+	}
+	return out, nil
+}
+
+// RetileSOT re-encodes one SOT with the given layout.
+func (s *StorageManager) RetileSOT(video string, sotID int, l Layout) (RetileStats, error) {
+	return s.m.RetileSOT(video, sotID, l)
+}
+
+// DesignLayout partitions a SOT around the indexed boxes of the given
+// labels (fine- or coarse-grained per the manager's configuration),
+// returning the untiled layout when tiling cannot help.
+func (s *StorageManager) DesignLayout(video string, sotID int, labels []string) (Layout, error) {
+	meta, err := s.m.Meta(video)
+	if err != nil {
+		return Layout{}, err
+	}
+	for _, sot := range meta.SOTs {
+		if sot.ID != sotID {
+			continue
+		}
+		var boxes []Rect
+		for _, label := range labels {
+			bs, err := s.m.Index().LookupBoxes(video, label, sot.From, sot.To)
+			if err != nil {
+				return Layout{}, err
+			}
+			boxes = append(boxes, bs...)
+		}
+		cfg := s.m.Config()
+		return layout.Partition(boxes, cfg.Granularity, cfg.Constraints(meta.W, meta.H))
+	}
+	return Layout{}, fmt.Errorf("tasm: video %q has no SOT %d", video, sotID)
+}
+
+// PlanKQKO computes the known-queries/known-objects plan for a workload
+// and applies it (paper §4.2). It returns the number of SOTs re-tiled.
+func (s *StorageManager) PlanKQKO(video string, workload []Query) (int, error) {
+	k := policy.NewKQKO()
+	cfg := s.m.Config()
+	k.Granularity = cfg.Granularity
+	k.Alpha = cfg.Alpha
+	actions, err := k.Plan(s.m, video, workload)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := policy.Apply(s.m, actions); err != nil {
+		return 0, err
+	}
+	return len(actions), nil
+}
+
+// PretileAllObjects tiles every SOT around all indexed objects (the
+// paper's "all objects" baseline). It returns the number of SOTs re-tiled.
+func (s *StorageManager) PretileAllObjects(video string) (int, error) {
+	actions, err := policy.AllObjects(s.m, video, s.m.Config().Granularity)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := policy.Apply(s.m, actions); err != nil {
+		return 0, err
+	}
+	return len(actions), nil
+}
+
+// Detected reports whether frames [from, to) of video have been fully
+// processed by a detector for label (see MarkDetected).
+func (s *StorageManager) Detected(video, label string, from, to int) (bool, error) {
+	return s.m.Index().DetectedAll(video, label, from, to)
+}
+
+// LazyTiler drives the paper's lazy-detection tiling strategy (§4.3): the
+// query classes OQ are known upfront, and each SOT is tiled with KQKO as
+// soon as the semantic index holds complete locations for OQ in its range.
+type LazyTiler struct {
+	p *policy.LazyKnownQueries
+	m *core.Manager
+}
+
+// NewLazyTiler returns a lazy tiler for the known query classes.
+func (s *StorageManager) NewLazyTiler(queryClasses []string) *LazyTiler {
+	p := policy.NewLazyKnownQueries(queryClasses)
+	cfg := s.m.Config()
+	p.Granularity = cfg.Granularity
+	p.Alpha = cfg.Alpha
+	return &LazyTiler{p: p, m: s.m}
+}
+
+// ObserveQuery is called after a query's detections have been indexed; it
+// re-tiles any SOTs whose object locations have become fully known and
+// returns how many were re-tiled.
+func (lt *LazyTiler) ObserveQuery(q Query) (int, error) {
+	actions, err := lt.p.ObserveQuery(lt.m, q)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := policy.Apply(lt.m, actions); err != nil {
+		return 0, err
+	}
+	return len(actions), nil
+}
+
+// UniformLayout builds an aligned rows×cols layout for a stored video.
+func (s *StorageManager) UniformLayout(video string, rows, cols int) (Layout, error) {
+	meta, err := s.m.Meta(video)
+	if err != nil {
+		return Layout{}, err
+	}
+	cfg := s.m.Config()
+	return layout.Uniform(rows, cols, cfg.Constraints(meta.W, meta.H))
+}
+
+// ExportStitched homomorphically stitches one SOT's tiles into a single
+// serialized video stream without transcoding.
+func (s *StorageManager) ExportStitched(video string, sotID int) ([]byte, error) {
+	st, err := s.m.StitchSOT(video, sotID)
+	if err != nil {
+		return nil, err
+	}
+	return st.Bytes(), nil
+}
+
+// DecodeStitched decodes a stream produced by ExportStitched back into
+// full frames.
+func DecodeStitched(data []byte) ([]*Frame, error) {
+	st, err := container.ParseStitched(data)
+	if err != nil {
+		return nil, err
+	}
+	frames, _, err := st.DecodeRange(0, st.FrameCount())
+	return frames, err
+}
+
+// CostModel exposes the calibrated decode cost model C = β·P + γ·T.
+type CostModel = costmodel.Model
+
+// DefaultCostModel returns the default cost coefficients.
+func DefaultCostModel() CostModel { return costmodel.Default() }
