@@ -7,12 +7,16 @@
 //	tasm-bench -exp all                 # everything, full scale (minutes)
 //	tasm-bench -exp fig6,fig7 -quick    # selected experiments, reduced scale
 //	tasm-bench -exp fig11 -workloads W1,W5
+//	tasm-bench -exp perf -json BENCH_1.json   # scan fast path, JSON record
 //
 // Results print as aligned text tables with the paper's reference values in
-// the notes; EXPERIMENTS.md records a full run.
+// the notes; EXPERIMENTS.md records a full run. The perf experiment
+// additionally writes a machine-readable JSON file (-json) so the
+// performance trajectory can be tracked across PRs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,7 +28,8 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "comma-separated experiments: table1,fig6,fig7,fig8,fig9,fig10,fig11,fig12,edge,costfit,alpha,eta,all")
+		exp       = flag.String("exp", "all", "comma-separated experiments: table1,fig6,fig7,fig8,fig9,fig10,fig11,fig12,edge,costfit,alpha,eta,perf,all")
+		jsonOut   = flag.String("json", "", "path for the perf experiment's machine-readable results, e.g. BENCH_1.json (empty = print table only)")
 		quick     = flag.Bool("quick", false, "reduced-scale run (smaller videos, fewer queries)")
 		width     = flag.Int("w", 0, "video width (default 320; quick 256)")
 		height    = flag.Int("h", 0, "video height (default 180; quick 144)")
@@ -178,6 +183,25 @@ func main() {
 			t.Render(os.Stdout)
 		}
 		return err
+	})
+	run("perf", func() error {
+		res, t, err := bench.RunScanPerf(opt)
+		if err != nil {
+			return err
+		}
+		t.Render(os.Stdout)
+		if *jsonOut == "" {
+			return nil
+		}
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("perf results written to %s\n", *jsonOut)
+		return nil
 	})
 
 	if ran == 0 {

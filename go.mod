@@ -1,0 +1,3 @@
+module github.com/tasm-repro/tasm
+
+go 1.24

@@ -1,0 +1,43 @@
+package bench
+
+import "testing"
+
+// TestScanPerfFastPath runs the PR-1 perf experiment at reduced scale and
+// asserts the headline wins hold: warm (cached) repeated scans at least 5x
+// faster than cold, full hit rate, and the codec's decode hot path below
+// the seed's 13 allocs/op.
+func TestScanPerfFastPath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("perf experiment in -short mode")
+	}
+	opt := Quick()
+	opt.Seed = 7
+	res, table, err := RunScanPerf(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table == nil || len(table.Rows) == 0 {
+		t.Fatal("empty table")
+	}
+	if res.WarmSpeedup < 5 {
+		t.Errorf("warm speedup %.1fx, want >= 5x (cold %d ns, warm %d ns)",
+			res.WarmSpeedup, res.ColdScanNsOp, res.WarmScanNsOp)
+	}
+	if res.WarmHitRate != 1 {
+		t.Errorf("warm hit rate %.2f, want 1.0", res.WarmHitRate)
+	}
+	if res.DecodeGOPFrames <= 0 {
+		t.Fatal("missing decode GOP frame count")
+	}
+	// The seed decoder allocated 13 times per frame; the pooled decoder
+	// should be well under half that.
+	if res.DecodeAllocsOp >= int64(13*res.DecodeGOPFrames) {
+		t.Errorf("decode allocs/op = %d over %d frames, not below seed's 13/frame",
+			res.DecodeAllocsOp, res.DecodeGOPFrames)
+	}
+	for _, k := range []string{"p1", "p2", "p4"} {
+		if res.MultiSOTNsOp[k] <= 0 {
+			t.Errorf("missing multi-SOT measurement %s", k)
+		}
+	}
+}

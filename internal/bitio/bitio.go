@@ -96,6 +96,14 @@ type Reader struct {
 // reading.
 func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
 
+// Reset repositions the reader at the start of buf, reusing the Reader
+// value so per-packet decode loops allocate nothing. The caller must not
+// mutate buf while reading.
+func (r *Reader) Reset(buf []byte) {
+	r.buf = buf
+	r.pos = 0
+}
+
 // ReadBit returns the next bit.
 func (r *Reader) ReadBit() (uint, error) {
 	byteIdx := r.pos >> 3

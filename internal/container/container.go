@@ -178,16 +178,24 @@ func (v *Video) DecodeRange(from, to int) ([]*frame.Frame, vcodec.DecodeStats, e
 	if err != nil {
 		return nil, vcodec.DecodeStats{}, err
 	}
+	defer dec.Release()
 	start := v.KeyframeBefore(from)
 	out := make([]*frame.Frame, 0, to-from)
 	for i := start; i < to; i++ {
+		// Warm-up frames advance the reference planes (and are charged to
+		// the decode stats, the cost TASM's layouts exist to avoid) but
+		// are never materialized as frames.
+		if i < from {
+			if err := dec.DecodeDiscard(v.Packet(i)); err != nil {
+				return nil, dec.Stats(), fmt.Errorf("container: frame %d: %w", i, err)
+			}
+			continue
+		}
 		f, err := dec.Decode(v.Packet(i))
 		if err != nil {
 			return nil, dec.Stats(), fmt.Errorf("container: frame %d: %w", i, err)
 		}
-		if i >= from {
-			out = append(out, f)
-		}
+		out = append(out, f)
 	}
 	return out, dec.Stats(), nil
 }
@@ -207,6 +215,7 @@ func EncodeVideo(frames []*frame.Frame, fps int, p vcodec.Params) (*Video, error
 	if err != nil {
 		return nil, err
 	}
+	defer enc.Release()
 	out := NewWriter(w, h, fps, enc.GOPLength(), p.QP)
 	for i, f := range frames {
 		pkt, isKey, err := enc.Encode(f, false)
@@ -250,10 +259,12 @@ func EncodeTiled(frames []*frame.Frame, l layout.Layout, fps int, p vcodec.Param
 		for fi, f := range frames {
 			pkt, isKey, err := enc.Encode(f.Crop(rect), false)
 			if err != nil {
+				enc.Release()
 				return nil, fmt.Errorf("container: tile %d frame %d: %w", ti, fi, err)
 			}
 			w.Append(pkt, isKey)
 		}
+		enc.Release()
 		videos[ti] = w.Video()
 	}
 	return videos, nil

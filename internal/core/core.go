@@ -8,7 +8,9 @@ package core
 import (
 	"fmt"
 	"path/filepath"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/tasm-repro/tasm/internal/container"
@@ -18,6 +20,7 @@ import (
 	"github.com/tasm-repro/tasm/internal/layout"
 	"github.com/tasm-repro/tasm/internal/query"
 	"github.com/tasm-repro/tasm/internal/semindex"
+	"github.com/tasm-repro/tasm/internal/tilecache"
 	"github.com/tasm-repro/tasm/internal/tilestore"
 	"github.com/tasm-repro/tasm/internal/vcodec"
 )
@@ -37,11 +40,17 @@ type Config struct {
 	Granularity layout.Granularity
 	// Align, MinTileW, MinTileH are the codec's layout constraints.
 	Align, MinTileW, MinTileH int
-	// Parallelism bounds concurrent tile decodes within one Scan. The
-	// paper's prototype "does not parallelize encoding or decoding
-	// multiple tiles at once", so the default is 1; higher values are an
-	// extension this reproduction adds.
+	// Parallelism bounds concurrent tile decodes within one Scan or
+	// DecodeFrames call. Decode jobs fan out across every (SOT, tile)
+	// pair the request touches, so a query spanning many SOTs scales even
+	// when each SOT needs a single tile. The paper's prototype "does not
+	// parallelize encoding or decoding multiple tiles at once", so the
+	// default is 1; higher values are an extension this reproduction adds.
 	Parallelism int
+	// CacheBudget bounds the in-memory cache of decoded tile GOPs in
+	// bytes. 0 disables caching (every scan decodes from disk, the
+	// paper's behavior).
+	CacheBudget int64
 }
 
 // DefaultConfig returns the configuration used throughout the evaluation.
@@ -69,6 +78,7 @@ type Manager struct {
 	cfg   Config
 	store *tilestore.Store
 	index *semindex.Index
+	cache *tilecache.Cache // nil when Config.CacheBudget <= 0
 }
 
 // Open creates or opens a storage manager rooted at dir (tiles under
@@ -82,7 +92,7 @@ func Open(dir string, cfg Config) (*Manager, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Manager{cfg: cfg, store: st, index: ix}, nil
+	return &Manager{cfg: cfg, store: st, index: ix, cache: tilecache.New(cfg.CacheBudget)}, nil
 }
 
 // Close flushes and closes the semantic index.
@@ -206,6 +216,15 @@ type ScanStats struct {
 	FramesDecoded   int64
 	RegionsReturned int
 	SOTsTouched     int
+	// CacheHits counts (SOT, tile) decode requests served from the
+	// decoded-tile cache; CacheMisses counts the ones that had to decode
+	// from disk; CacheEvictions counts entries evicted to make room for
+	// this request's decodes. All zero when the cache is disabled (then
+	// every request is a disk decode, but not a "miss" of a cache that
+	// does not exist).
+	CacheHits      int
+	CacheMisses    int
+	CacheEvictions int
 }
 
 // Scan implements the paper's Scan(video, L, T) access method: it consults
@@ -238,8 +257,9 @@ func (m *Manager) Scan(q query.Query) ([]RegionResult, ScanStats, error) {
 		return nil, st, nil
 	}
 
-	var out []RegionResult
-	decodeStart := time.Now()
+	// Plan every touched SOT up front: which frame offsets it must serve
+	// and which tiles (decoded through which offset) it needs.
+	var plans []*sotPlan
 	for _, sot := range meta.SOTsInRange(from, to) {
 		qf := costmodel.QueryFrames{}
 		for f := max(from, sot.From); f < min(to, sot.To); f++ {
@@ -250,16 +270,225 @@ func (m *Manager) Scan(q query.Query) ([]RegionResult, ScanStats, error) {
 		if len(qf) == 0 {
 			continue
 		}
-		st.SOTsTouched++
-		results, err := m.scanSOT(q.Video, sot, qf, &st)
-		if err != nil {
-			return nil, st, err
-		}
-		out = append(out, results...)
+		plans = append(plans, planSOT(sot, qf))
+	}
+	st.SOTsTouched = len(plans)
+	if len(plans) == 0 {
+		return nil, st, nil
+	}
+
+	// Fan the (SOT, tile) decode jobs of the whole query range across a
+	// bounded worker pool. Flattening across SOTs is what lets a query
+	// spanning many SOTs with one needed tile each still use all workers.
+	decodeStart := time.Now()
+	if err := m.decodePlans(q.Video, plans, &st); err != nil {
+		return nil, st, err
+	}
+
+	// Assemble results in deterministic order: SOTs ascending (as stored
+	// in the catalog), frame offsets ascending within each SOT.
+	var out []RegionResult
+	for _, p := range plans {
+		out = append(out, assembleSOT(p)...)
 	}
 	st.DecodeWall = time.Since(decodeStart)
 	st.RegionsReturned = len(out)
 	return out, st, nil
+}
+
+// sotPlan is the decode plan for one SOT of a Scan: the regions requested
+// per frame offset, the sorted offsets, and the tiles that must be decoded
+// (each through its last needed offset).
+type sotPlan struct {
+	sot  tilestore.SOTMeta
+	qf   costmodel.QueryFrames
+	offs []int // sorted frame offsets with requests
+	tids []int // sorted tile indices needed
+	need []int // per tids entry: frames to decode from the SOT keyframe
+	// decoded[k] receives tile tids[k]'s frames; slots are written by
+	// exactly one decode job each, so no lock is needed.
+	decoded [][]*frame.Frame
+}
+
+func planSOT(sot tilestore.SOTMeta, qf costmodel.QueryFrames) *sotPlan {
+	p := &sotPlan{sot: sot, qf: qf}
+	lastNeeded := map[int]int{}
+	for off, rs := range qf {
+		p.offs = append(p.offs, off)
+		for _, r := range rs {
+			for _, ti := range sot.L.TilesIntersecting(r) {
+				if cur, ok := lastNeeded[ti]; !ok || off > cur {
+					lastNeeded[ti] = off
+				}
+			}
+		}
+	}
+	sort.Ints(p.offs)
+	for ti := range lastNeeded {
+		p.tids = append(p.tids, ti)
+	}
+	sort.Ints(p.tids)
+	p.need = make([]int, len(p.tids))
+	for k, ti := range p.tids {
+		p.need[k] = lastNeeded[ti] + 1
+	}
+	p.decoded = make([][]*frame.Frame, len(p.tids))
+	return p
+}
+
+// decodePlans runs every (SOT, tile) decode job of a scan with bounded
+// parallelism, filling each plan's decoded slots and accumulating stats
+// race-free (each job writes only its own result slot; totals are summed
+// after the pool drains).
+func (m *Manager) decodePlans(video string, plans []*sotPlan, st *ScanStats) error {
+	type jobRef struct {
+		p *sotPlan
+		k int
+	}
+	var jobs []jobRef
+	for _, p := range plans {
+		for k := range p.tids {
+			jobs = append(jobs, jobRef{p, k})
+		}
+	}
+	results := make([]tileDecodeResult, len(jobs))
+	runJobs(len(jobs), m.cfg.Parallelism, func(i int) {
+		j := jobs[i]
+		frames, r := m.decodeTilePrefix(video, j.p.sot, j.p.tids[j.k], j.p.need[j.k])
+		j.p.decoded[j.k] = frames
+		results[i] = r
+	})
+	var firstErr error
+	for _, r := range results {
+		if err := m.applyDecodeResult(st, r); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// applyDecodeResult folds one decode job's outcome into st and returns
+// the job's error, if any. Shared by Scan and DecodeFrames so their
+// accounting cannot diverge.
+func (m *Manager) applyDecodeResult(st *ScanStats, r tileDecodeResult) error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.hit {
+		st.CacheHits++
+	} else {
+		if m.cache != nil {
+			st.CacheMisses++
+		}
+		st.TilesDecoded++
+	}
+	st.CacheEvictions += r.evicted
+	st.FramesDecoded += r.ds.FramesDecoded
+	st.PixelsDecoded += r.ds.PixelsDecoded
+	return nil
+}
+
+// runJobs invokes fn(0..n-1) with at most workers goroutines. fn must only
+// write state private to its index.
+func runJobs(n, workers int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// tileDecodeResult carries one decode job's outcome.
+type tileDecodeResult struct {
+	ds      vcodec.DecodeStats
+	hit     bool
+	evicted int
+	err     error
+}
+
+// decodeTilePrefix returns the first n decoded frames of one tile of a
+// SOT, serving from the decoded-tile cache when a long-enough prefix is
+// cached. SOTs are single GOPs, so every decode starts at the frame-0
+// keyframe and a cached prefix is reusable by any shorter request. The
+// returned frames are shared with the cache and must not be mutated.
+func (m *Manager) decodeTilePrefix(video string, sot tilestore.SOTMeta, ti, n int) ([]*frame.Frame, tileDecodeResult) {
+	var r tileDecodeResult
+	var k tilecache.Key
+	if m.cache != nil {
+		k = tilecache.Key{
+			Video: video, SOT: sot.ID, Tile: ti,
+			Retiles: sot.Retiles,
+			// Capture the generation before touching disk: if the SOT is
+			// invalidated while we decode, our Put lands under the stale
+			// generation and is never served.
+			Gen: m.cache.Gen(video, sot.ID),
+		}
+		if fs, ok := m.cache.Get(k, n); ok {
+			r.hit = true
+			return fs, r
+		}
+	}
+	tv, err := m.store.ReadTile(video, sot, ti)
+	if err != nil {
+		r.err = err
+		return nil, r
+	}
+	frames, ds, err := tv.DecodeRange(0, n)
+	if err != nil {
+		r.err = fmt.Errorf("core: %s SOT %d tile %d: %w", video, sot.ID, ti, err)
+		return nil, r
+	}
+	r.ds = ds
+	r.evicted = m.cache.Put(k, frames) // nil-safe no-op when disabled
+	return frames, r
+}
+
+// assembleSOT crops and blits the requested regions of one SOT from its
+// decoded tiles, in ascending frame order.
+func assembleSOT(p *sotPlan) []RegionResult {
+	frameRect := geom.R(0, 0, p.sot.L.Width(), p.sot.L.Height())
+	var out []RegionResult
+	for _, off := range p.offs {
+		for _, r := range p.qf[off] {
+			region := snapEven(r).Clamp(frameRect)
+			if region.Empty() {
+				continue
+			}
+			pix := frame.New(region.Width(), region.Height())
+			for k, ti := range p.tids {
+				frames := p.decoded[k]
+				tileRect := p.sot.L.TileRectByIndex(ti)
+				inter := region.Intersect(tileRect)
+				if inter.Empty() || off >= len(frames) {
+					continue
+				}
+				crop := frames[off].Crop(inter.Translate(-tileRect.X0, -tileRect.Y0))
+				pix.Blit(crop, inter.X0-region.X0, inter.Y0-region.Y0)
+			}
+			out = append(out, RegionResult{Frame: p.sot.From + off, Region: region, Pixels: pix})
+		}
+	}
+	return out
 }
 
 // regionsForQuery evaluates the label predicate against the semantic index,
@@ -296,121 +525,6 @@ func (m *Manager) regionsForQuery(q query.Query, from, to int) (map[int][]geom.R
 		}
 	}
 	return regions, time.Since(start), nil
-}
-
-// scanSOT decodes the needed tiles of one SOT and assembles region pixels.
-func (m *Manager) scanSOT(video string, sot tilestore.SOTMeta, qf costmodel.QueryFrames, st *ScanStats) ([]RegionResult, error) {
-	// Which tiles are needed, and through which frame offset.
-	lastNeeded := map[int]int{}
-	for off, rs := range qf {
-		for _, r := range rs {
-			for _, ti := range sot.L.TilesIntersecting(r) {
-				if cur, ok := lastNeeded[ti]; !ok || off > cur {
-					lastNeeded[ti] = off
-				}
-			}
-		}
-	}
-	// Decode each needed tile once, from the SOT keyframe.
-	decoded, err := m.decodeTiles(video, sot, lastNeeded, st)
-	if err != nil {
-		return nil, err
-	}
-	// Assemble each requested region from the decoded tiles.
-	frameRect := geom.R(0, 0, sot.L.Width(), sot.L.Height())
-	var out []RegionResult
-	for off, rs := range qf {
-		for _, r := range rs {
-			region := snapEven(r).Clamp(frameRect)
-			if region.Empty() {
-				continue
-			}
-			pix := frame.New(region.Width(), region.Height())
-			for ti, frames := range decoded {
-				tileRect := sot.L.TileRectByIndex(ti)
-				inter := region.Intersect(tileRect)
-				if inter.Empty() || off >= len(frames) {
-					continue
-				}
-				crop := frames[off].Crop(inter.Translate(-tileRect.X0, -tileRect.Y0))
-				pix.Blit(crop, inter.X0-region.X0, inter.Y0-region.Y0)
-			}
-			out = append(out, RegionResult{Frame: sot.From + off, Region: region, Pixels: pix})
-		}
-	}
-	return out, nil
-}
-
-// decodeTiles decodes the needed tiles of a SOT, each from its keyframe
-// through the last needed frame offset, sequentially or with bounded
-// parallelism per Config.Parallelism.
-func (m *Manager) decodeTiles(video string, sot tilestore.SOTMeta, lastNeeded map[int]int, st *ScanStats) (map[int][]*frame.Frame, error) {
-	decoded := make(map[int][]*frame.Frame, len(lastNeeded))
-	workers := m.cfg.Parallelism
-	if workers <= 1 || len(lastNeeded) <= 1 {
-		for ti, last := range lastNeeded {
-			tv, err := m.store.ReadTile(video, sot, ti)
-			if err != nil {
-				return nil, err
-			}
-			frames, ds, err := tv.DecodeRange(0, last+1)
-			if err != nil {
-				return nil, fmt.Errorf("core: %s SOT %d tile %d: %w", video, sot.ID, ti, err)
-			}
-			decoded[ti] = frames
-			st.TilesDecoded++
-			st.FramesDecoded += ds.FramesDecoded
-			st.PixelsDecoded += ds.PixelsDecoded
-		}
-		return decoded, nil
-	}
-	type job struct{ ti, last int }
-	jobs := make(chan job, len(lastNeeded))
-	for ti, last := range lastNeeded {
-		jobs <- job{ti, last}
-	}
-	close(jobs)
-	var (
-		mu       sync.Mutex
-		wg       sync.WaitGroup
-		firstErr error
-	)
-	if workers > len(lastNeeded) {
-		workers = len(lastNeeded)
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				tv, err := m.store.ReadTile(video, sot, j.ti)
-				if err == nil {
-					var frames []*frame.Frame
-					var ds vcodec.DecodeStats
-					frames, ds, err = tv.DecodeRange(0, j.last+1)
-					if err == nil {
-						mu.Lock()
-						decoded[j.ti] = frames
-						st.TilesDecoded++
-						st.FramesDecoded += ds.FramesDecoded
-						st.PixelsDecoded += ds.PixelsDecoded
-						mu.Unlock()
-						continue
-					}
-				}
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = fmt.Errorf("core: %s SOT %d tile %d: %w", video, sot.ID, j.ti, err)
-				}
-				mu.Unlock()
-			}
-		}()
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return decoded, nil
 }
 
 func snapEven(r geom.Rect) geom.Rect {
@@ -463,7 +577,9 @@ func (m *Manager) QueryDemand(q query.Query) (map[int]costmodel.QueryFrames, map
 
 // DecodeFrames decodes and reassembles full frames [from, to), regardless
 // of layout. This is the path detection runs on (a detector needs whole
-// frames).
+// frames). Tile decodes across all touched SOTs share the scan pipeline:
+// they are served from the decoded-tile cache when possible and fan out
+// over Config.Parallelism workers.
 func (m *Manager) DecodeFrames(video string, from, to int) ([]*frame.Frame, ScanStats, error) {
 	var st ScanStats
 	meta, err := m.store.Meta(video)
@@ -473,29 +589,74 @@ func (m *Manager) DecodeFrames(video string, from, to int) ([]*frame.Frame, Scan
 	if from < 0 || to > meta.FrameCount || from >= to {
 		return nil, st, fmt.Errorf("core: invalid range [%d,%d)", from, to)
 	}
-	out := make([]*frame.Frame, 0, to-from)
+	sots := meta.SOTsInRange(from, to)
+	st.SOTsTouched = len(sots)
 	start := time.Now()
-	for _, sot := range meta.SOTsInRange(from, to) {
-		lo, hi := max(from, sot.From), min(to, sot.To)
-		full := make([]*frame.Frame, hi-lo)
+
+	// One decode job per (SOT, tile), grouped by SOT so assembly never
+	// depends on a positional cursor. When the cache is enabled each job
+	// decodes the prefix [0, hi) so the result is reusable by later
+	// scans; the warm-up frames before lo are decoded either way
+	// (DecodeRange must start at the keyframe), so caching them is free.
+	type dfJob struct {
+		sot    tilestore.SOTMeta
+		ti     int
+		lo, hi int // frame range within the SOT
+		frames []*frame.Frame
+		res    tileDecodeResult
+	}
+	var jobs []*dfJob
+	sotJobs := make([][]*dfJob, len(sots))
+	for si, sot := range sots {
+		lo, hi := max(from, sot.From)-sot.From, min(to, sot.To)-sot.From
+		for ti := 0; ti < sot.L.NumTiles(); ti++ {
+			j := &dfJob{sot: sot, ti: ti, lo: lo, hi: hi}
+			jobs = append(jobs, j)
+			sotJobs[si] = append(sotJobs[si], j)
+		}
+	}
+	runJobs(len(jobs), m.cfg.Parallelism, func(i int) {
+		j := jobs[i]
+		if m.cache != nil {
+			frames, r := m.decodeTilePrefix(video, j.sot, j.ti, j.hi)
+			if r.err == nil {
+				frames = frames[j.lo:j.hi]
+			}
+			j.frames, j.res = frames, r
+			return
+		}
+		tv, err := m.store.ReadTile(video, j.sot, j.ti)
+		if err != nil {
+			j.res.err = err
+			return
+		}
+		j.frames, j.res.ds, j.res.err = tv.DecodeRange(j.lo, j.hi)
+	})
+
+	var firstErr error
+	for _, j := range jobs {
+		if err := m.applyDecodeResult(&st, j.res); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return nil, st, firstErr
+	}
+
+	// Assemble full frames in order, blitting each tile at its layout
+	// offset.
+	out := make([]*frame.Frame, 0, to-from)
+	for _, js := range sotJobs {
+		if len(js) == 0 {
+			continue
+		}
+		full := make([]*frame.Frame, js[0].hi-js[0].lo)
 		for i := range full {
 			full[i] = frame.New(meta.W, meta.H)
 		}
-		st.SOTsTouched++
-		for ti := 0; ti < sot.L.NumTiles(); ti++ {
-			tv, err := m.store.ReadTile(video, sot, ti)
-			if err != nil {
-				return nil, st, err
-			}
-			frames, ds, err := tv.DecodeRange(lo-sot.From, hi-sot.From)
-			if err != nil {
-				return nil, st, err
-			}
-			st.TilesDecoded++
-			st.FramesDecoded += ds.FramesDecoded
-			st.PixelsDecoded += ds.PixelsDecoded
-			rect := sot.L.TileRectByIndex(ti)
-			for i, tf := range frames {
+		for _, j := range js {
+			rect := j.sot.L.TileRectByIndex(j.ti)
+			for i, tf := range j.frames {
 				full[i].Blit(tf, rect.X0, rect.Y0)
 			}
 		}
@@ -554,6 +715,11 @@ func (m *Manager) RetileSOT(video string, sotID int, l layout.Layout) (RetileSta
 	if err := m.store.ReplaceSOT(video, sotID, l, tiles); err != nil {
 		return rs, err
 	}
+	// Cached decodes of the old physical layout must never be served
+	// again. (Scans holding the new catalog snapshot are already safe —
+	// the bumped Retiles counter is part of the cache key — but the sweep
+	// frees their memory immediately.)
+	m.cache.InvalidateSOT(video, sotID)
 	for _, tv := range tiles {
 		rs.Bytes += tv.SizeBytes()
 	}
@@ -611,3 +777,27 @@ func (m *Manager) StitchSOT(video string, sotID int) (*container.Stitched, error
 
 // VideoBytes returns the video's total storage footprint.
 func (m *Manager) VideoBytes(video string) (int64, error) { return m.store.VideoBytes(video) }
+
+// DeleteVideo removes a stored video: its tiles, its semantic-index
+// records (so a later re-ingest under the same name is not scanned with
+// the deleted video's detections), and every cached decode. The index is
+// cleaned before the tiles are removed: if the index delete fails the
+// video remains intact and scannable, whereas the reverse order could
+// leave stale detections pointing at a re-ingested video's pixels.
+func (m *Manager) DeleteVideo(video string) error {
+	if _, err := m.store.Meta(video); err != nil {
+		return err
+	}
+	if err := m.index.DeleteVideo(video); err != nil {
+		return err
+	}
+	if err := m.store.DeleteVideo(video); err != nil {
+		return err
+	}
+	m.cache.InvalidateVideo(video)
+	return nil
+}
+
+// CacheStats snapshots the decoded-tile cache's global counters (all zero
+// when the cache is disabled).
+func (m *Manager) CacheStats() tilecache.Stats { return m.cache.Stats() }

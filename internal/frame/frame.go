@@ -158,6 +158,20 @@ func (f *Frame) PadTo(w, h int) *Frame {
 		panic("frame: PadTo target smaller than frame")
 	}
 	out := New(w, h)
+	f.PadInto(out)
+	return out
+}
+
+// PadInto writes f's content into out (which must be at least as large in
+// both dimensions) with edge samples replicated into the padding, reusing
+// out's allocation. Every sample of out is overwritten. This is the
+// steady-state encoder path: one padded scratch frame per encoder instead
+// of one allocation per encoded frame.
+func (f *Frame) PadInto(out *Frame) {
+	w, h := out.W, out.H
+	if w < f.W || h < f.H {
+		panic("frame: PadInto target smaller than frame")
+	}
 	out.Blit(f, 0, 0)
 	// Replicate right edge.
 	for y := 0; y < f.H; y++ {
@@ -184,7 +198,6 @@ func (f *Frame) PadTo(w, h int) *Frame {
 	}
 	padChroma(out.Cb, f.Cb, f.W/2, f.H/2, w/2, h/2)
 	padChroma(out.Cr, f.Cr, f.W/2, f.H/2, w/2, h/2)
-	return out
 }
 
 // snapEven expands r outward so all coordinates are even.

@@ -280,6 +280,35 @@ func upperBound(prefix []byte) []byte {
 	return nil
 }
 
+// DeleteVideo removes every record stored for a video: detections (with
+// their tile pointers) and coverage markers. The storage manager calls
+// this when a video's tiles are deleted, so a later re-ingest under the
+// same name starts with a clean index instead of inheriting the deleted
+// video's object locations.
+func (ix *Index) DeleteVideo(video string) error {
+	if err := validName(video); err != nil {
+		return err
+	}
+	for _, kind := range []byte{prefixDetection, prefixCoverage} {
+		prefix := append(append([]byte{kind}, video...), 0)
+		// Collect first, then delete: Delete rebalances leaves, which
+		// must not happen under a live Scan.
+		var keys [][]byte
+		if err := ix.tree.Scan(prefix, upperBound(prefix), func(k, v []byte) bool {
+			keys = append(keys, append([]byte(nil), k...))
+			return true
+		}); err != nil {
+			return err
+		}
+		for _, k := range keys {
+			if _, err := ix.tree.Delete(k); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // MarkDetected records that a detector has fully processed frames
 // [fromFrame, toFrame) of video for the given label, meaning the absence of
 // index entries there is definitive.

@@ -253,3 +253,38 @@ func TestEmptyRangeLookup(t *testing.T) {
 		t.Errorf("inverted range lookup: %v %v", got, err)
 	}
 }
+
+func TestDeleteVideo(t *testing.T) {
+	ix := OpenMemory()
+	for f := 0; f < 5; f++ {
+		if err := ix.Add("a", Detection{Frame: f, Label: "car", Box: geom.R(0, 0, 8, 8)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := ix.Add("b", Detection{Frame: f, Label: "car", Box: geom.R(0, 0, 8, 8)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ix.MarkDetected("a", "car", 0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.DeleteVideo("a"); err != nil {
+		t.Fatal(err)
+	}
+	if labels, _ := ix.Labels("a"); len(labels) != 0 {
+		t.Fatalf("labels(a) = %v after delete", labels)
+	}
+	if got, _ := ix.Lookup("a", "car", 0, 5); len(got) != 0 {
+		t.Fatalf("%d detections survive delete", len(got))
+	}
+	if ok, _ := ix.DetectedAll("a", "car", 0, 5); ok {
+		t.Fatal("coverage markers survive delete")
+	}
+	// Video "b" is untouched.
+	if got, _ := ix.Lookup("b", "car", 0, 5); len(got) != 5 {
+		t.Fatalf("lookup(b) = %d, want 5", len(got))
+	}
+	// Deleting a video with no records is a no-op, not an error.
+	if err := ix.DeleteVideo("ghost"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -10,11 +10,17 @@
 // per-pixel inverse-transform work plus per-stream setup overhead, giving
 // the linear cost structure C = β·pixels + γ·tiles that the paper's cost
 // model captures.
+//
+// The hot paths are allocation-free in steady state: encoders and decoders
+// ping-pong between preallocated reconstruction planes, draw scratch planes
+// from a shared sync.Pool (returned via Release), and reuse their bitstream
+// reader/writer buffers across packets.
 package vcodec
 
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"github.com/tasm-repro/tasm/internal/bitio"
 	"github.com/tasm-repro/tasm/internal/frame"
@@ -88,7 +94,31 @@ type plane struct {
 	pix  []byte
 }
 
-func newPlane(w, h int) *plane { return &plane{w: w, h: h, pix: make([]byte, w*h)} }
+// planePool recycles plane backing stores across encoder/decoder lifetimes.
+// Scan decodes one short-lived decoder per (SOT, tile) job, so without the
+// pool every tile decode pays ~11 plane allocations before the first packet.
+// Pooled planes are NOT zeroed: every codec path fully overwrites a plane
+// before reading it (keyframes predict from the constant plane, P frames
+// from the previous reconstruction).
+var planePool = sync.Pool{New: func() any { return new(plane) }}
+
+// getPlane returns a w×h plane with undefined contents.
+func getPlane(w, h int) *plane {
+	p := planePool.Get().(*plane)
+	if cap(p.pix) < w*h {
+		p.pix = make([]byte, w*h)
+	} else {
+		p.pix = p.pix[:w*h]
+	}
+	p.w, p.h = w, h
+	return p
+}
+
+func putPlane(p *plane) {
+	if p != nil {
+		planePool.Put(p)
+	}
+}
 
 // padUp rounds v up to a multiple of m.
 func padUp(v, m int) int { return (v + m - 1) / m * m }
@@ -103,21 +133,60 @@ type Encoder struct {
 	pw, ph   int // padded luma dimensions (multiple of mbSize)
 	frameIdx int
 	recon    [3]*plane // reconstructed reference (Y, Cb, Cr)
+	spare    [3]*plane // next reconstruction target (ping-pong with recon)
+	predBuf  [3]*plane // motion-compensation scratch
+	flat     [3]*plane // constant-128 keyframe predictors
+	padBuf   *frame.Frame
+	mvs      []mv
+	released bool
 	// scratch
 	bw bitio.Writer
 }
 
-// NewEncoder creates an encoder for frames of the given display size.
+// NewEncoder creates an encoder for frames of the given display size. Call
+// Release when done to return its scratch planes to the shared pool.
 func NewEncoder(w, h int, p Params) (*Encoder, error) {
 	if w <= 0 || h <= 0 || w%2 != 0 || h%2 != 0 {
 		return nil, fmt.Errorf("vcodec: invalid dimensions %dx%d", w, h)
 	}
 	p = p.withDefaults()
 	e := &Encoder{params: p, w: w, h: h, pw: padUp(w, mbSize), ph: padUp(h, mbSize)}
-	e.recon[0] = newPlane(e.pw, e.ph)
-	e.recon[1] = newPlane(e.pw/2, e.ph/2)
-	e.recon[2] = newPlane(e.pw/2, e.ph/2)
+	allocPlaneSets(e.pw, e.ph, &e.recon, &e.spare, &e.predBuf, &e.flat)
+	fillFlat(&e.flat)
 	return e, nil
+}
+
+// allocPlaneSets draws Y + half-resolution Cb/Cr planes from the pool for
+// each of the given sets.
+func allocPlaneSets(pw, ph int, sets ...*[3]*plane) {
+	for _, s := range sets {
+		s[0] = getPlane(pw, ph)
+		s[1] = getPlane(pw/2, ph/2)
+		s[2] = getPlane(pw/2, ph/2)
+	}
+}
+
+func fillFlat(s *[3]*plane) {
+	for _, p := range s {
+		for i := range p.pix {
+			p.pix[i] = 128
+		}
+	}
+}
+
+// Release returns the encoder's planes to the shared pool. The encoder must
+// not be used afterwards. Release is idempotent and nil-safe.
+func (e *Encoder) Release() {
+	if e == nil || e.released {
+		return
+	}
+	e.released = true
+	for _, s := range []*[3]*plane{&e.recon, &e.spare, &e.predBuf, &e.flat} {
+		for i, p := range s {
+			putPlane(p)
+			s[i] = nil
+		}
+	}
 }
 
 // GOPLength returns the configured keyframe interval.
@@ -131,8 +200,15 @@ func (e *Encoder) Encode(f *frame.Frame, forceKey bool) (packet []byte, isKey bo
 		return nil, false, fmt.Errorf("vcodec: frame %dx%d does not match encoder %dx%d", f.W, f.H, e.w, e.h)
 	}
 	isKey = forceKey || e.frameIdx%e.params.GOPLength == 0
-	padded := f.PadTo(e.pw, e.ph)
-	cur := [3]*plane{
+	padded := f
+	if e.pw != e.w || e.ph != e.h {
+		if e.padBuf == nil {
+			e.padBuf = frame.New(e.pw, e.ph)
+		}
+		f.PadInto(e.padBuf)
+		padded = e.padBuf
+	}
+	cur := [3]plane{
 		{w: e.pw, h: e.ph, pix: padded.Y},
 		{w: e.pw / 2, h: e.ph / 2, pix: padded.Cb},
 		{w: e.pw / 2, h: e.ph / 2, pix: padded.Cr},
@@ -151,7 +227,7 @@ func (e *Encoder) Encode(f *frame.Frame, forceKey bool) (packet []byte, isKey bo
 		hasMV := e.params.MotionSearch
 		if hasMV {
 			e.bw.WriteBit(1)
-			mvs = e.estimateMotion(cur[0])
+			mvs = e.estimateMotion(&cur[0])
 			for _, v := range mvs {
 				e.bw.WriteSE(int32(v.dx))
 				e.bw.WriteSE(int32(v.dy))
@@ -164,13 +240,14 @@ func (e *Encoder) Encode(f *frame.Frame, forceKey bool) (packet []byte, isKey bo
 	for pi := 0; pi < 3; pi++ {
 		var pred *plane
 		if isKey {
-			pred = flatPlane(cur[pi].w, cur[pi].h, 128)
+			pred = e.flat[pi]
 		} else {
-			pred = motionCompensate(e.recon[pi], mvs, e.mbCols(), pi > 0)
+			motionCompensateInto(e.predBuf[pi], e.recon[pi], mvs, e.mbCols(), pi > 0)
+			pred = e.predBuf[pi]
 		}
-		newRecon := newPlane(cur[pi].w, cur[pi].h)
-		e.codePlane(&e.bw, cur[pi], pred, newRecon)
-		e.recon[pi] = newRecon
+		newRecon := e.spare[pi]
+		e.codePlane(&e.bw, &cur[pi], pred, newRecon)
+		e.recon[pi], e.spare[pi] = newRecon, e.recon[pi]
 	}
 
 	e.frameIdx++
@@ -288,14 +365,6 @@ func readBlock(r *bitio.Reader, levels *[blockSize * blockSize]int32, prevDC int
 	return levels[0], int(q), nil
 }
 
-func flatPlane(w, h int, v byte) *plane {
-	p := newPlane(w, h)
-	for i := range p.pix {
-		p.pix[i] = v
-	}
-	return p
-}
-
 func clampByte(v float64) byte {
 	if v < 0 {
 		return 0
@@ -315,37 +384,85 @@ type DecodeStats struct {
 
 // Decoder decodes a stream produced by Encoder with the same dimensions.
 type Decoder struct {
-	w, h   int
-	pw, ph int
-	recon  [3]*plane
-	stats  DecodeStats
+	w, h     int
+	pw, ph   int
+	recon    [3]*plane
+	spare    [3]*plane
+	predBuf  [3]*plane
+	flat     [3]*plane
+	mvs      []mv
+	r        bitio.Reader
+	stats    DecodeStats
+	released bool
 }
 
-// NewDecoder creates a decoder for a stream of the given display size.
+// NewDecoder creates a decoder for a stream of the given display size. Call
+// Release when done to return its planes to the shared pool.
 func NewDecoder(w, h int) (*Decoder, error) {
 	if w <= 0 || h <= 0 || w%2 != 0 || h%2 != 0 {
 		return nil, fmt.Errorf("vcodec: invalid dimensions %dx%d", w, h)
 	}
 	d := &Decoder{w: w, h: h, pw: padUp(w, mbSize), ph: padUp(h, mbSize)}
-	d.recon[0] = newPlane(d.pw, d.ph)
-	d.recon[1] = newPlane(d.pw/2, d.ph/2)
-	d.recon[2] = newPlane(d.pw/2, d.ph/2)
+	allocPlaneSets(d.pw, d.ph, &d.recon, &d.spare, &d.predBuf, &d.flat)
+	fillFlat(&d.flat)
+	// A well-formed stream starts with a keyframe, which overwrites every
+	// reference sample before it is read. But a corrupt stream whose first
+	// packet claims to be a P-frame predicts from the initial reference —
+	// zero it so such streams produce deterministic black, never pixels
+	// recycled from an earlier decode's pooled planes.
+	for _, p := range d.recon {
+		clear(p.pix)
+	}
 	return d, nil
+}
+
+// Release returns the decoder's planes to the shared pool. The decoder (and
+// any plane state, not frames it returned) must not be used afterwards.
+// Release is idempotent and nil-safe.
+func (d *Decoder) Release() {
+	if d == nil || d.released {
+		return
+	}
+	d.released = true
+	for _, s := range []*[3]*plane{&d.recon, &d.spare, &d.predBuf, &d.flat} {
+		for i, p := range s {
+			putPlane(p)
+			s[i] = nil
+		}
+	}
 }
 
 // Stats returns the accumulated decode statistics.
 func (d *Decoder) Stats() DecodeStats { return d.stats }
 
 // Decode decompresses one packet. P-frame packets must be decoded in stream
-// order following their keyframe.
+// order following their keyframe. The returned frame owns its pixel data.
 func (d *Decoder) Decode(packet []byte) (*frame.Frame, error) {
-	r := bitio.NewReader(packet)
-	keyBit, err := r.ReadBit()
-	if err != nil {
+	if err := d.decode(packet); err != nil {
 		return nil, err
 	}
+	out := frame.New(d.w, d.h)
+	copyPlanePrefix(out.Y, d.w, d.h, d.recon[0])
+	copyPlanePrefix(out.Cb, d.w/2, d.h/2, d.recon[1])
+	copyPlanePrefix(out.Cr, d.w/2, d.h/2, d.recon[2])
+	return out, nil
+}
+
+// DecodeDiscard decompresses one packet, updating the reference planes and
+// decode statistics without materializing an output frame. Decoding the
+// warm-up frames between a GOP's keyframe and the first requested frame
+// this way skips one full-frame allocation and copy per skipped frame.
+func (d *Decoder) DecodeDiscard(packet []byte) error { return d.decode(packet) }
+
+func (d *Decoder) decode(packet []byte) error {
+	d.r.Reset(packet)
+	r := &d.r
+	keyBit, err := r.ReadBit()
+	if err != nil {
+		return err
+	}
 	if _, err := r.ReadBits(6); err != nil { // frame QP (informational)
-		return nil, err
+		return err
 	}
 	isKey := keyBit == 1
 
@@ -353,19 +470,22 @@ func (d *Decoder) Decode(packet []byte) (*frame.Frame, error) {
 	if !isKey {
 		hasMV, err := r.ReadBit()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if hasMV == 1 {
 			n := (d.pw / mbSize) * (d.ph / mbSize)
-			mvs = make([]mv, n)
+			if cap(d.mvs) < n {
+				d.mvs = make([]mv, n)
+			}
+			mvs = d.mvs[:n]
 			for i := range mvs {
 				dx, err := r.ReadSE()
 				if err != nil {
-					return nil, err
+					return err
 				}
 				dy, err := r.ReadSE()
 				if err != nil {
-					return nil, err
+					return err
 				}
 				mvs[i] = mv{dx: int8(dx), dy: int8(dy)}
 			}
@@ -375,28 +495,33 @@ func (d *Decoder) Decode(packet []byte) (*frame.Frame, error) {
 	for pi := 0; pi < 3; pi++ {
 		var pred *plane
 		if isKey {
-			pred = flatPlane(d.recon[pi].w, d.recon[pi].h, 128)
+			pred = d.flat[pi]
 		} else {
-			pred = motionCompensate(d.recon[pi], mvs, d.pw/mbSize, pi > 0)
+			motionCompensateInto(d.predBuf[pi], d.recon[pi], mvs, d.pw/mbSize, pi > 0)
+			pred = d.predBuf[pi]
 		}
-		out := newPlane(d.recon[pi].w, d.recon[pi].h)
+		out := d.spare[pi]
 		if err := decodePlane(r, pred, out); err != nil {
-			return nil, fmt.Errorf("vcodec: plane %d: %w", pi, err)
+			return fmt.Errorf("vcodec: plane %d: %w", pi, err)
 		}
-		d.recon[pi] = out
+		d.recon[pi], d.spare[pi] = out, d.recon[pi]
 	}
 
 	d.stats.FramesDecoded++
 	d.stats.PixelsDecoded += int64(d.w) * int64(d.h)
+	return nil
+}
 
-	out := frame.New(d.pw, d.ph)
-	copy(out.Y, d.recon[0].pix)
-	copy(out.Cb, d.recon[1].pix)
-	copy(out.Cr, d.recon[2].pix)
-	if d.pw == d.w && d.ph == d.h {
-		return out, nil
+// copyPlanePrefix copies the top-left w×h window of src into dst, dropping
+// the codec's alignment padding without an intermediate frame.
+func copyPlanePrefix(dst []byte, w, h int, src *plane) {
+	if src.w == w {
+		copy(dst, src.pix[:w*h])
+		return
 	}
-	return out.Crop(frameRect(d.w, d.h)), nil
+	for y := 0; y < h; y++ {
+		copy(dst[y*w:(y+1)*w], src.pix[y*src.w:y*src.w+w])
+	}
 }
 
 func decodePlane(r *bitio.Reader, pred, out *plane) error {

@@ -1,13 +1,9 @@
 package vcodec
 
-import "github.com/tasm-repro/tasm/internal/geom"
-
 // Motion estimation and compensation. One integer-pel motion vector per
 // 16×16 luma macroblock; chroma planes reuse the vector halved. References
 // never cross the stream boundary (samples are edge-clamped), which is what
 // makes each tile stream independently decodable.
-
-func frameRect(w, h int) geom.Rect { return geom.R(0, 0, w, h) }
 
 // samp reads p(x, y) with edge clamping.
 func (p *plane) samp(x, y int) byte {
@@ -54,7 +50,10 @@ func sad(cur, ref *plane, x0, y0, dx, dy, size int, best int) int {
 func (e *Encoder) estimateMotion(cur *plane) []mv {
 	ref := e.recon[0]
 	cols, rows := e.mbCols(), e.mbRows()
-	mvs := make([]mv, cols*rows)
+	if cap(e.mvs) < cols*rows {
+		e.mvs = make([]mv, cols*rows)
+	}
+	mvs := e.mvs[:cols*rows]
 	r := e.params.SearchRange
 	for my := 0; my < rows; my++ {
 		for mx := 0; mx < cols; mx++ {
@@ -102,15 +101,15 @@ func (e *Encoder) estimateMotion(cur *plane) []mv {
 	return mvs
 }
 
-// motionCompensate builds the prediction plane for one plane of a P frame.
-// mvs may be nil (no motion data), in which case the reference is copied.
-// For chroma planes the vectors are halved and the macroblock grid shrinks
-// to 8×8.
-func motionCompensate(ref *plane, mvs []mv, mbCols int, chroma bool) *plane {
-	out := newPlane(ref.w, ref.h)
+// motionCompensateInto builds the prediction plane for one plane of a P
+// frame into out, which must match ref's dimensions (its prior contents are
+// fully overwritten). mvs may be nil (no motion data), in which case the
+// reference is copied. For chroma planes the vectors are halved and the
+// macroblock grid shrinks to 8×8.
+func motionCompensateInto(out, ref *plane, mvs []mv, mbCols int, chroma bool) {
 	if mvs == nil {
 		copy(out.pix, ref.pix)
-		return out
+		return
 	}
 	size := mbSize
 	if chroma {
@@ -140,5 +139,4 @@ func motionCompensate(ref *plane, mvs []mv, mbCols int, chroma bool) *plane {
 			}
 		}
 	}
-	return out
 }

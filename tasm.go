@@ -35,6 +35,7 @@ import (
 	"github.com/tasm-repro/tasm/internal/policy"
 	"github.com/tasm-repro/tasm/internal/query"
 	"github.com/tasm-repro/tasm/internal/semindex"
+	"github.com/tasm-repro/tasm/internal/tilecache"
 	"github.com/tasm-repro/tasm/internal/tilestore"
 )
 
@@ -135,11 +136,23 @@ func WithMinTileSize(w, h int) Option {
 	return func(s *settings) { s.cfg.MinTileW, s.cfg.MinTileH = w, h }
 }
 
-// WithParallelism bounds concurrent tile decodes within one Scan. The
-// paper's prototype decodes tiles sequentially (the default, 1); higher
-// values are an extension of this reproduction.
+// WithParallelism bounds concurrent tile decodes within one Scan or
+// DecodeFrames call. Decode jobs fan out across every (SOT, tile) pair the
+// request touches, so long time ranges scale even when each SOT needs only
+// one tile. The paper's prototype decodes tiles sequentially (the default,
+// 1); higher values are an extension of this reproduction.
 func WithParallelism(n int) Option {
 	return func(s *settings) { s.cfg.Parallelism = n }
+}
+
+// WithCacheBudget enables the in-memory cache of decoded tile GOPs,
+// bounded to the given number of bytes. Repeated scans over the same
+// regions (the dominant pattern in analytics workloads) then skip the
+// decode entirely and pay only pixel assembly. The cache is invalidated
+// automatically when a SOT is re-tiled or a video deleted. A budget of 0
+// (the default) disables caching, matching the paper's prototype.
+func WithCacheBudget(bytes int64) Option {
+	return func(s *settings) { s.cfg.CacheBudget = bytes }
 }
 
 // WithAdaptiveTiling makes every Scan feed the regret-based online tiling
@@ -254,6 +267,18 @@ func (s *StorageManager) Videos() ([]string, error) { return s.m.Store().ListVid
 
 // VideoBytes returns a video's total storage footprint in bytes.
 func (s *StorageManager) VideoBytes(video string) (int64, error) { return s.m.VideoBytes(video) }
+
+// DeleteVideo removes a stored video: its tiles, its semantic-index
+// records, and any cached decodes. A video later ingested under the same
+// name starts completely fresh.
+func (s *StorageManager) DeleteVideo(video string) error { return s.m.DeleteVideo(video) }
+
+// CacheStats reports the decoded-tile cache's cumulative counters (all
+// zero unless WithCacheBudget enabled the cache).
+type CacheStats = tilecache.Stats
+
+// CacheStats snapshots the decoded-tile cache counters.
+func (s *StorageManager) CacheStats() CacheStats { return s.m.CacheStats() }
 
 // Labels returns the distinct labels indexed for a video.
 func (s *StorageManager) Labels(video string) ([]string, error) { return s.m.Index().Labels(video) }

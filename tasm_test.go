@@ -217,3 +217,38 @@ func TestIngestTiledAPI(t *testing.T) {
 		t.Errorf("tiles = %d", meta.SOTs[0].L.NumTiles())
 	}
 }
+
+func TestCacheBudgetAPI(t *testing.T) {
+	sm, _ := openManager(t, WithCacheBudget(64<<20), WithParallelism(2))
+	const sql = "SELECT car FROM traffic WHERE 0 <= t < 30"
+	cold, cs, err := sm.ScanSQL(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.CacheMisses == 0 || cs.CacheHits != 0 {
+		t.Errorf("cold scan stats = %+v", cs)
+	}
+	warm, ws, err := sm.ScanSQL(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.CacheHits == 0 || ws.TilesDecoded != 0 {
+		t.Errorf("warm scan stats = %+v", ws)
+	}
+	if len(warm) != len(cold) {
+		t.Fatalf("warm returned %d regions, cold %d", len(warm), len(cold))
+	}
+	g := sm.CacheStats()
+	if g.Hits == 0 || g.Entries == 0 || g.BytesCached == 0 {
+		t.Errorf("global cache stats = %+v", g)
+	}
+	if err := sm.DeleteVideo("traffic"); err != nil {
+		t.Fatal(err)
+	}
+	if g := sm.CacheStats(); g.Entries != 0 {
+		t.Errorf("cache not emptied by DeleteVideo: %+v", g)
+	}
+	if _, _, err := sm.ScanSQL(sql); err == nil {
+		t.Fatal("scan of deleted video succeeded")
+	}
+}
