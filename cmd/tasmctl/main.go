@@ -9,6 +9,8 @@
 //	tasmctl query  -dir db "SELECT car FROM visualroad-2k-a WHERE 0 <= t < 60"
 //	tasmctl info   -dir db
 //	tasmctl retile -dir db -video visualroad-2k-a -sot 0 -labels car,person
+//	tasmctl fsck   -dir db
+//	tasmctl gc     -dir db
 package main
 
 import (
@@ -41,6 +43,10 @@ func main() {
 		err = cmdInfo(args)
 	case "retile":
 		err = cmdRetile(args)
+	case "gc":
+		err = cmdGC(args)
+	case "fsck":
+		err = cmdFsck(args)
 	default:
 		usage()
 	}
@@ -58,7 +64,9 @@ commands:
   detect  -dir D -video V [-detector yolo|tiny|bgsub|yolo-every5] [-from N -to N]
   query   -dir D "SELECT <pred> FROM <video> [WHERE a <= t < b]"
   info    -dir D [-video V]
-  retile  -dir D -video V -sot N -labels a,b`)
+  retile  -dir D -video V -sot N -labels a,b
+  gc      -dir D            reclaim dead SOT versions and staging debris
+  fsck    -dir D [-repair]  verify manifests against tile files on disk`)
 	os.Exit(2)
 }
 
@@ -213,9 +221,72 @@ func cmdQuery(args []string) error {
 		return err
 	}
 	fmt.Printf("regions: %d  frames touched: %d  SOTs: %d\n", len(res), countFrames(res), st.SOTsTouched)
-	fmt.Printf("decode: %s (%d tiles, %d frames, %.2f Mpx)  index: %s\n",
+	fmt.Printf("decode: %s (%d tiles, %d frames, %.2f Mpx)  assemble: %s  index: %s\n",
 		st.DecodeWall.Round(1e4), st.TilesDecoded, st.FramesDecoded,
-		float64(st.PixelsDecoded)/1e6, st.IndexWall.Round(1e4))
+		float64(st.PixelsDecoded)/1e6, st.AssembleWall.Round(1e4), st.IndexWall.Round(1e4))
+	return nil
+}
+
+func cmdGC(args []string) error {
+	fs := flag.NewFlagSet("gc", flag.ExitOnError)
+	dir := fs.String("dir", "tasmdb", "storage directory")
+	fs.Parse(args)
+	sm, err := openSM(*dir)
+	if err != nil {
+		return err
+	}
+	defer sm.Close()
+	rep, err := sm.GC()
+	if err != nil {
+		return err
+	}
+	for _, p := range rep.Removed {
+		fmt.Printf("removed  %s\n", p)
+	}
+	for _, p := range rep.Deferred {
+		fmt.Printf("deferred %s (pinned by a read lease)\n", p)
+	}
+	fmt.Printf("gc: %d removed, %d deferred\n", len(rep.Removed), len(rep.Deferred))
+	return nil
+}
+
+func cmdFsck(args []string) error {
+	fs := flag.NewFlagSet("fsck", flag.ExitOnError)
+	dir := fs.String("dir", "tasmdb", "storage directory")
+	repair := fs.Bool("repair", false, "re-materialize box→tile index pointers from live layouts")
+	fs.Parse(args)
+	sm, err := openSM(*dir)
+	if err != nil {
+		return err
+	}
+	defer sm.Close()
+	if *repair {
+		videos, err := sm.Videos()
+		if err != nil {
+			return err
+		}
+		for _, v := range videos {
+			if err := sm.RepairPointers(v); err != nil {
+				return err
+			}
+			fmt.Printf("repaired pointers: %s\n", v)
+		}
+	}
+	rep, err := sm.FSCK()
+	if err != nil {
+		return err
+	}
+	for _, p := range rep.Problems {
+		fmt.Printf("PROBLEM  %s\n", p)
+	}
+	for _, p := range rep.Orphans {
+		fmt.Printf("orphan   %s (gc will reclaim)\n", p)
+	}
+	fmt.Printf("fsck: %d videos, %d SOTs, %d tiles, %d leases, %d problems, %d orphans\n",
+		rep.Videos, rep.SOTs, rep.Tiles, rep.Leases, len(rep.Problems), len(rep.Orphans))
+	if !rep.OK() {
+		return fmt.Errorf("%d integrity problems", len(rep.Problems))
+	}
 	return nil
 }
 

@@ -73,12 +73,25 @@ func (c Config) Constraints(w, h int) layout.Constraints {
 	return layout.Constraints{FrameW: w, FrameH: h, Align: c.Align, MinWidth: c.MinTileW, MinHeight: c.MinTileH}
 }
 
-// Manager is the tile-aware storage manager.
+// Manager is the tile-aware storage manager. Reads (Scan, DecodeFrames,
+// StitchSOT, VideoBytes) pin the SOT versions of their catalog snapshot
+// with store read leases, so they run fully concurrent with RetileSOT:
+// the store keeps a superseded version's tile files on disk until the
+// last lease on it drops (MVCC; see internal/tilestore).
 type Manager struct {
 	cfg   Config
 	store *tilestore.Store
 	index *semindex.Index
 	cache *tilecache.Cache // nil when Config.CacheBudget <= 0
+
+	// retileMu serializes RetileSOT per video (map[string]*sync.Mutex):
+	// concurrent retiles of one video would base their re-encodes on each
+	// other's uncommitted state. Readers never take these locks.
+	retileMu sync.Map
+
+	// refreshHook, when set by tests, is consulted before each
+	// refreshPointers attempt to inject failures.
+	refreshHook func(video string) error
 }
 
 // Open creates or opens a storage manager rooted at dir (tiles under
@@ -207,10 +220,14 @@ type RegionResult struct {
 }
 
 // ScanStats reports the work a Scan performed. DecodeWall is the measured
-// decode time — the quantity every figure in the paper's evaluation plots.
+// decode time — the quantity every figure in the paper's evaluation plots —
+// and covers only draining the tile-decode pool; cropping and blitting the
+// decoded tiles into result pixels is reported separately as AssembleWall,
+// so the paper's metric is not inflated by assembly.
 type ScanStats struct {
 	IndexWall       time.Duration
 	DecodeWall      time.Duration
+	AssembleWall    time.Duration
 	PixelsDecoded   int64
 	TilesDecoded    int
 	FramesDecoded   int64
@@ -227,25 +244,46 @@ type ScanStats struct {
 	CacheEvictions int
 }
 
+// clampRange applies the storage manager's shared frame-range semantics,
+// used identically by Scan, DecodeFrames, and QueryDemand: first clamp the
+// request to the video (from < 0 becomes 0; to < 0 — the "to the end"
+// sentinel — or to > frameCount becomes frameCount), then validate — a
+// range that is empty or inverted after clamping is an error, never a
+// silent empty result.
+func clampRange(video string, from, to, frameCount int) (int, int, error) {
+	cf, ct := from, to
+	if cf < 0 {
+		cf = 0
+	}
+	if ct < 0 || ct > frameCount {
+		ct = frameCount
+	}
+	if cf >= ct {
+		return 0, 0, fmt.Errorf("core: video %q: empty frame range [%d,%d) after clamping to %d frames", video, from, to, frameCount)
+	}
+	return cf, ct, nil
+}
+
 // Scan implements the paper's Scan(video, L, T) access method: it consults
 // the semantic index for the boxes matching the label predicate within the
 // time range, determines which tiles contain them, decodes only those
 // tiles, and returns the matching pixel regions.
+//
+// The whole request runs under a store snapshot lease: the tile files of
+// every SOT version the catalog snapshot names stay on disk until Scan
+// finishes, even if a concurrent RetileSOT swaps the live layout. The
+// request's frame range follows the clamp-then-validate semantics of
+// clampRange.
 func (m *Manager) Scan(q query.Query) ([]RegionResult, ScanStats, error) {
 	var st ScanStats
-	meta, err := m.store.Meta(q.Video)
+	meta, lease, err := m.store.SnapshotRange(q.Video, q.From, q.To)
 	if err != nil {
 		return nil, st, err
 	}
-	from, to := q.From, q.To
-	if to < 0 || to > meta.FrameCount {
-		to = meta.FrameCount
-	}
-	if from < 0 {
-		from = 0
-	}
-	if from >= to {
-		return nil, st, nil
+	defer lease.Release()
+	from, to, err := clampRange(q.Video, q.From, q.To, meta.FrameCount)
+	if err != nil {
+		return nil, st, err
 	}
 
 	regions, indexWall, err := m.regionsForQuery(q, from, to)
@@ -281,17 +319,20 @@ func (m *Manager) Scan(q query.Query) ([]RegionResult, ScanStats, error) {
 	// bounded worker pool. Flattening across SOTs is what lets a query
 	// spanning many SOTs with one needed tile each still use all workers.
 	decodeStart := time.Now()
-	if err := m.decodePlans(q.Video, plans, &st); err != nil {
+	if err := m.decodePlans(q.Video, lease, plans, &st); err != nil {
 		return nil, st, err
 	}
+	st.DecodeWall = time.Since(decodeStart)
 
 	// Assemble results in deterministic order: SOTs ascending (as stored
-	// in the catalog), frame offsets ascending within each SOT.
+	// in the catalog), frame offsets ascending within each SOT. Assembly is
+	// pure pixel blitting and is timed separately from the decode.
+	assembleStart := time.Now()
 	var out []RegionResult
 	for _, p := range plans {
 		out = append(out, assembleSOT(p)...)
 	}
-	st.DecodeWall = time.Since(decodeStart)
+	st.AssembleWall = time.Since(assembleStart)
 	st.RegionsReturned = len(out)
 	return out, st, nil
 }
@@ -340,7 +381,7 @@ func planSOT(sot tilestore.SOTMeta, qf costmodel.QueryFrames) *sotPlan {
 // parallelism, filling each plan's decoded slots and accumulating stats
 // race-free (each job writes only its own result slot; totals are summed
 // after the pool drains).
-func (m *Manager) decodePlans(video string, plans []*sotPlan, st *ScanStats) error {
+func (m *Manager) decodePlans(video string, lease *tilestore.Lease, plans []*sotPlan, st *ScanStats) error {
 	type jobRef struct {
 		p *sotPlan
 		k int
@@ -354,7 +395,7 @@ func (m *Manager) decodePlans(video string, plans []*sotPlan, st *ScanStats) err
 	results := make([]tileDecodeResult, len(jobs))
 	runJobs(len(jobs), m.cfg.Parallelism, func(i int) {
 		j := jobs[i]
-		frames, r := m.decodeTilePrefix(video, j.p.sot, j.p.tids[j.k], j.p.need[j.k])
+		frames, r := m.decodeTilePrefix(video, lease, j.p.sot, j.p.tids[j.k], j.p.need[j.k])
 		j.p.decoded[j.k] = frames
 		results[i] = r
 	})
@@ -428,10 +469,12 @@ type tileDecodeResult struct {
 
 // decodeTilePrefix returns the first n decoded frames of one tile of a
 // SOT, serving from the decoded-tile cache when a long-enough prefix is
-// cached. SOTs are single GOPs, so every decode starts at the frame-0
-// keyframe and a cached prefix is reusable by any shorter request. The
-// returned frames are shared with the cache and must not be mutated.
-func (m *Manager) decodeTilePrefix(video string, sot tilestore.SOTMeta, ti, n int) ([]*frame.Frame, tileDecodeResult) {
+// cached. The tile is read through the caller's lease, pinning the exact
+// version the catalog snapshot names. SOTs are single GOPs, so every
+// decode starts at the frame-0 keyframe and a cached prefix is reusable
+// by any shorter request. The returned frames are shared with the cache
+// and must not be mutated.
+func (m *Manager) decodeTilePrefix(video string, lease *tilestore.Lease, sot tilestore.SOTMeta, ti, n int) ([]*frame.Frame, tileDecodeResult) {
 	var r tileDecodeResult
 	var k tilecache.Key
 	if m.cache != nil {
@@ -448,7 +491,7 @@ func (m *Manager) decodeTilePrefix(video string, sot tilestore.SOTMeta, ti, n in
 			return fs, r
 		}
 	}
-	tv, err := m.store.ReadTile(video, sot, ti)
+	tv, err := lease.ReadTile(sot, ti)
 	if err != nil {
 		r.err = err
 		return nil, r
@@ -547,12 +590,13 @@ func (m *Manager) QueryDemand(q query.Query) (map[int]costmodel.QueryFrames, map
 	if err != nil {
 		return nil, nil, err
 	}
-	from, to := q.From, q.To
-	if to < 0 || to > meta.FrameCount {
-		to = meta.FrameCount
-	}
-	if from < 0 {
-		from = 0
+	from, to, err := clampRange(q.Video, q.From, q.To, meta.FrameCount)
+	if err != nil {
+		// The what-if analysis replays recorded workloads; a query whose
+		// range has since become degenerate (e.g. the video was truncated)
+		// simply contributes no demand rather than aborting the whole
+		// planning pass — unlike Scan/DecodeFrames, which reject it.
+		return map[int]costmodel.QueryFrames{}, map[int]tilestore.SOTMeta{}, nil
 	}
 	regions, _, err := m.regionsForQuery(q, from, to)
 	if err != nil {
@@ -579,16 +623,29 @@ func (m *Manager) QueryDemand(q query.Query) (map[int]costmodel.QueryFrames, map
 // of layout. This is the path detection runs on (a detector needs whole
 // frames). Tile decodes across all touched SOTs share the scan pipeline:
 // they are served from the decoded-tile cache when possible and fan out
-// over Config.Parallelism workers.
+// over Config.Parallelism workers. Like Scan, the request runs under a
+// store snapshot lease and applies the clamp-then-validate range
+// semantics of clampRange.
 func (m *Manager) DecodeFrames(video string, from, to int) ([]*frame.Frame, ScanStats, error) {
 	var st ScanStats
-	meta, err := m.store.Meta(video)
+	meta, lease, err := m.store.SnapshotRange(video, from, to)
 	if err != nil {
 		return nil, st, err
 	}
-	if from < 0 || to > meta.FrameCount || from >= to {
-		return nil, st, fmt.Errorf("core: invalid range [%d,%d)", from, to)
+	defer lease.Release()
+	from, to, err = clampRange(video, from, to, meta.FrameCount)
+	if err != nil {
+		return nil, st, err
 	}
+	return m.decodeFramesLeased(video, meta, lease, from, to)
+}
+
+// decodeFramesLeased is DecodeFrames' engine, reading every tile through
+// the caller's snapshot lease; from/to must already be clamped and valid.
+// RetileSOT shares it so its decode runs under the same lease its commit
+// is validated against.
+func (m *Manager) decodeFramesLeased(video string, meta tilestore.VideoMeta, lease *tilestore.Lease, from, to int) ([]*frame.Frame, ScanStats, error) {
+	var st ScanStats
 	sots := meta.SOTsInRange(from, to)
 	st.SOTsTouched = len(sots)
 	start := time.Now()
@@ -618,20 +675,22 @@ func (m *Manager) DecodeFrames(video string, from, to int) ([]*frame.Frame, Scan
 	runJobs(len(jobs), m.cfg.Parallelism, func(i int) {
 		j := jobs[i]
 		if m.cache != nil {
-			frames, r := m.decodeTilePrefix(video, j.sot, j.ti, j.hi)
+			frames, r := m.decodeTilePrefix(video, lease, j.sot, j.ti, j.hi)
 			if r.err == nil {
 				frames = frames[j.lo:j.hi]
 			}
 			j.frames, j.res = frames, r
 			return
 		}
-		tv, err := m.store.ReadTile(video, j.sot, j.ti)
+		tv, err := lease.ReadTile(j.sot, j.ti)
 		if err != nil {
 			j.res.err = err
 			return
 		}
 		j.frames, j.res.ds, j.res.err = tv.DecodeRange(j.lo, j.hi)
 	})
+
+	st.DecodeWall = time.Since(start)
 
 	var firstErr error
 	for _, j := range jobs {
@@ -644,7 +703,8 @@ func (m *Manager) DecodeFrames(video string, from, to int) ([]*frame.Frame, Scan
 	}
 
 	// Assemble full frames in order, blitting each tile at its layout
-	// offset.
+	// offset; pure pixel work, timed apart from the decode.
+	assembleStart := time.Now()
 	out := make([]*frame.Frame, 0, to-from)
 	for _, js := range sotJobs {
 		if len(js) == 0 {
@@ -662,7 +722,7 @@ func (m *Manager) DecodeFrames(video string, from, to int) ([]*frame.Frame, Scan
 		}
 		out = append(out, full...)
 	}
-	st.DecodeWall = time.Since(start)
+	st.AssembleWall = time.Since(assembleStart)
 	return out, st, nil
 }
 
@@ -673,15 +733,57 @@ type RetileStats struct {
 	Bytes      int64
 }
 
+// PointerRefreshError reports that a re-tile committed its tile swap but
+// could not refresh the semantic index's box→tile pointers afterwards. The
+// store is consistent — the new layout is live and scans plan tiles from
+// the layout itself, not the pointers — but the denormalized pointers are
+// stale until RepairPointers succeeds.
+type PointerRefreshError struct {
+	Video string
+	SOT   int
+	Err   error
+}
+
+func (e *PointerRefreshError) Error() string {
+	return fmt.Sprintf("core: %s SOT %d: tile swap committed but box→tile pointer refresh failed (run RepairPointers): %v", e.Video, e.SOT, e.Err)
+}
+
+func (e *PointerRefreshError) Unwrap() error { return e.Err }
+
+// retileLock returns the mutex serializing re-tiles of one video.
+func (m *Manager) retileLock(video string) *sync.Mutex {
+	mu, _ := m.retileMu.LoadOrStore(video, &sync.Mutex{})
+	return mu.(*sync.Mutex)
+}
+
 // RetileSOT re-encodes one SOT under a new layout: decode all current
-// tiles, reassemble frames, encode with the new layout, atomically swap,
-// and refresh the semantic index's tile pointers for boxes in the range.
+// tiles, reassemble frames, encode with the new layout, commit a new
+// version directory, and refresh the semantic index's tile pointers for
+// boxes in the range. Scans concurrent with the re-tile are unaffected:
+// they hold leases on the version their snapshot names, and the old
+// version's files survive until the last lease drops. Re-tiles of one
+// video are serialized against each other.
+//
+// If the pointer refresh fails after the swap has committed, RetileSOT
+// retries it once and then returns a *PointerRefreshError — distinct from
+// a failed re-tile — so the caller knows the new layout is live and can
+// run RepairPointers.
 func (m *Manager) RetileSOT(video string, sotID int, l layout.Layout) (RetileStats, error) {
+	mu := m.retileLock(video)
+	mu.Lock()
+	defer mu.Unlock()
+
 	var rs RetileStats
-	meta, err := m.store.Meta(video)
+	// One snapshot lease covers the whole decode→encode→commit sequence,
+	// and the commit is validated against it: if the video is deleted (and
+	// possibly re-ingested under the same name) mid-retile, the store
+	// refuses to install tiles encoded from the deleted generation's
+	// frames.
+	meta, lease, err := m.store.Snapshot(video)
 	if err != nil {
 		return rs, err
 	}
+	defer lease.Release()
 	var sot tilestore.SOTMeta
 	found := false
 	for _, s := range meta.SOTs {
@@ -700,7 +802,7 @@ func (m *Manager) RetileSOT(video string, sotID int, l layout.Layout) (RetileSta
 		return rs, nil // already in the requested layout
 	}
 
-	frames, st, err := m.DecodeFrames(video, sot.From, sot.To)
+	frames, st, err := m.decodeFramesLeased(video, meta, lease, sot.From, sot.To)
 	if err != nil {
 		return rs, err
 	}
@@ -712,7 +814,7 @@ func (m *Manager) RetileSOT(video string, sotID int, l layout.Layout) (RetileSta
 		return rs, err
 	}
 	rs.EncodeWall = time.Since(encStart)
-	if err := m.store.ReplaceSOT(video, sotID, l, tiles); err != nil {
+	if err := m.store.ReplaceSOTLeased(lease, video, sotID, l, tiles); err != nil {
 		return rs, err
 	}
 	// Cached decodes of the old physical layout must never be served
@@ -724,14 +826,40 @@ func (m *Manager) RetileSOT(video string, sotID int, l layout.Layout) (RetileSta
 		rs.Bytes += tv.SizeBytes()
 	}
 	if err := m.refreshPointers(video, sot, l); err != nil {
-		return rs, err
+		// The swap is already live; retry once, then surface a distinct
+		// error so the caller can repair instead of assuming the re-tile
+		// itself failed.
+		if err = m.refreshPointers(video, sot, l); err != nil {
+			return rs, &PointerRefreshError{Video: video, SOT: sotID, Err: err}
+		}
 	}
 	return rs, nil
+}
+
+// RepairPointers re-materializes the box→tile pointers of every SOT of a
+// video from its live layout — the recovery path after a
+// *PointerRefreshError, and the repair half of fsck.
+func (m *Manager) RepairPointers(video string) error {
+	meta, err := m.store.Meta(video)
+	if err != nil {
+		return err
+	}
+	for _, sot := range meta.SOTs {
+		if err := m.refreshPointers(video, sot, sot.L); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // refreshPointers re-materializes box→tile pointers for all detections in
 // the SOT's frame range under the new layout.
 func (m *Manager) refreshPointers(video string, sot tilestore.SOTMeta, l layout.Layout) error {
+	if m.refreshHook != nil {
+		if err := m.refreshHook(video); err != nil {
+			return err
+		}
+	}
 	labels, err := m.index.Labels(video)
 	if err != nil {
 		return err
@@ -756,17 +884,20 @@ func (m *Manager) refreshPointers(video string, sot tilestore.SOTMeta, l layout.
 }
 
 // StitchSOT performs homomorphic stitching of a SOT's tiles into a single
-// stream (paper §3.4.5: queries for whole frames).
+// stream (paper §3.4.5: queries for whole frames). The tile reads run
+// under a snapshot lease, so a concurrent re-tile cannot swap the files
+// mid-stitch.
 func (m *Manager) StitchSOT(video string, sotID int) (*container.Stitched, error) {
-	meta, err := m.store.Meta(video)
+	meta, lease, err := m.store.Snapshot(video)
 	if err != nil {
 		return nil, err
 	}
+	defer lease.Release()
 	for _, sot := range meta.SOTs {
 		if sot.ID != sotID {
 			continue
 		}
-		tiles, err := m.store.ReadAllTiles(video, sot)
+		tiles, err := lease.ReadAllTiles(sot)
 		if err != nil {
 			return nil, err
 		}
@@ -795,6 +926,10 @@ func (m *Manager) DeleteVideo(video string) error {
 		return err
 	}
 	m.cache.InvalidateVideo(video)
+	// Drop the per-video retile mutex so long-lived managers cycling many
+	// video names don't accumulate one forever. A retile already holding
+	// the old mutex is safe: its commit is lease-validated by the store.
+	m.retileMu.Delete(video)
 	return nil
 }
 

@@ -283,52 +283,22 @@ func TestCachedDecodeFramesMatchesUncached(t *testing.T) {
 }
 
 // TestConcurrentCachedScans hammers the cached, parallel scan path from
-// many goroutines, re-tiles, then hammers it again; run with -race. (Scans
-// truly concurrent with a re-tile can observe a catalog snapshot whose
-// tile files were already swapped — a store-level limitation predating the
-// cache, tracked in ROADMAP — so the re-tile runs between the two phases.)
+// many goroutines while a re-tile commits concurrently — no phase
+// serialization; run with -race. Each scan pins its catalog snapshot with
+// a store lease (MVCC version dirs), so every result must be
+// byte-identical to either the pre-retile or the post-retile
+// single-threaded reference.
 func TestConcurrentCachedScans(t *testing.T) {
 	m := newCachedManager(t, 32<<20, 4)
 	q := mustQuery(t, "SELECT car FROM traffic WHERE 0 <= t < 30")
 
-	hammer := func(want int) {
-		t.Helper()
-		var wg sync.WaitGroup
-		errs := make(chan error, 32)
-		counts := make(chan int, 32)
-		for w := 0; w < 6; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := 0; i < 4; i++ {
-					res, _, err := m.Scan(q)
-					if err != nil {
-						errs <- err
-						return
-					}
-					counts <- len(res)
-				}
-			}()
-		}
-		wg.Wait()
-		close(errs)
-		close(counts)
-		for err := range errs {
-			t.Fatal(err)
-		}
-		for c := range counts {
-			if c != want {
-				t.Fatalf("concurrent scan returned %d regions, want %d", c, want)
-			}
-		}
-	}
-
-	ref, _, err := m.Scan(q)
+	ref0, _, err := m.Scan(q)
 	if err != nil {
 		t.Fatal(err)
 	}
-	hammer(len(ref))
-
+	if len(ref0) == 0 {
+		t.Fatal("no reference results")
+	}
 	meta, err := m.Meta("traffic")
 	if err != nil {
 		t.Fatal(err)
@@ -337,8 +307,50 @@ func TestConcurrentCachedScans(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.RetileSOT("traffic", 0, l); err != nil {
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	var mu sync.Mutex
+	var results [][]RegionResult
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				res, _, err := m.Scan(q)
+				if err != nil {
+					errs <- err
+					return
+				}
+				mu.Lock()
+				results = append(results, res)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := m.RetileSOT("traffic", 0, l); err != nil {
+			errs <- err
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
 		t.Fatal(err)
 	}
-	hammer(len(ref))
+
+	// The post-retile reference is computable after the fact: decoding is
+	// deterministic and the cache is keyed by (SOT, retile count).
+	ref1, _, err := m.Scan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := [][]RegionResult{ref0, ref1}
+	for i, res := range results {
+		if !matchesAnyResult(res, refs) {
+			t.Fatalf("concurrent scan %d (%d regions) matches neither the pre- nor post-retile reference", i, len(res))
+		}
+	}
 }

@@ -1,0 +1,282 @@
+package tilestore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+)
+
+// sotDirPattern matches version directories (frames_<a>-<b> or
+// frames_<a>-<b>.r<N>) and their .staging working copies.
+var sotDirPattern = regexp.MustCompile(`^frames_(\d+)-(\d+)(\.r(\d+))?(\.staging)?$`)
+
+// GCReport describes what one GC pass reclaimed.
+type GCReport struct {
+	// Removed lists the paths deleted: dead version directories, staging
+	// debris, stray manifest temp files, and orphan video directories left
+	// by a crashed ingest.
+	Removed []string
+	// Deferred lists dead version directories still pinned by read leases;
+	// they are reclaimed automatically when the last lease drops.
+	Deferred []string
+}
+
+// GC reclaims storage that no catalog record references: version
+// directories superseded by a re-tile, .staging debris from interrupted
+// writes, manifest temp files, and video directories with no manifest.
+// Directories pinned by a read lease are left alone and reported as
+// deferred. GC runs under the store's write lock, so it cannot race an
+// in-flight ingest or re-tile.
+func (s *Store) GC() (GCReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var rep GCReport
+	videos, err := os.ReadDir(s.root)
+	if err != nil {
+		return rep, err
+	}
+	for _, v := range videos {
+		if !v.IsDir() {
+			continue
+		}
+		name := v.Name()
+		if name == trashDirName {
+			if err := s.gcTrashLocked(&rep); err != nil {
+				return rep, err
+			}
+			continue
+		}
+		vdir := filepath.Join(s.root, name)
+		meta, metaErr := s.metaLocked(name)
+		if metaErr != nil {
+			if _, err := os.Stat(filepath.Join(vdir, "manifest.json")); err == nil {
+				// Manifest present but unreadable: an integrity problem for
+				// fsck and the operator, not debris for GC to erase.
+				continue
+			}
+		}
+
+		live := map[string]bool{}
+		if metaErr == nil {
+			for _, sot := range meta.SOTs {
+				if dir, err := s.resolveSOTDir(name, sot); err == nil {
+					live[filepath.Base(dir)] = true
+				}
+			}
+		}
+		leased := map[string]bool{}
+		for k, e := range s.leases {
+			if k.video == name && e.refs > 0 {
+				leased[filepath.Base(e.dir)] = true
+			}
+		}
+
+		entries, err := os.ReadDir(vdir)
+		if err != nil {
+			return rep, err
+		}
+		removable := 0
+		for _, ent := range entries {
+			base := ent.Name()
+			p := filepath.Join(vdir, base)
+			switch {
+			case base == "manifest.json" && metaErr == nil:
+				continue
+			case live[base]:
+				continue
+			case leased[base]:
+				rep.Deferred = append(rep.Deferred, p)
+				continue
+			case !sotDirPattern.MatchString(base) && base != "manifest.json.tmp" && base != "manifest.json":
+				// Not something this store wrote; fsck flags it, GC leaves
+				// it alone.
+				continue
+			}
+			if err := os.RemoveAll(p); err != nil {
+				return rep, err
+			}
+			rep.Removed = append(rep.Removed, p)
+			removable++
+		}
+		// A video directory holding nothing live (no manifest survived and
+		// nothing is leased) is itself debris from a crashed ingest.
+		if metaErr != nil && removable == len(entries) {
+			if err := os.Remove(vdir); err == nil {
+				rep.Removed = append(rep.Removed, vdir)
+			}
+		}
+	}
+	sort.Strings(rep.Removed)
+	sort.Strings(rep.Deferred)
+	return rep, nil
+}
+
+// gcTrashLocked reclaims tombstoned version directories of deleted videos
+// (.trash/<video>.e<epoch>/frames_…) that no lease still pins — the
+// normal case only after a crash, since releases reap their own
+// tombstones.
+func (s *Store) gcTrashLocked(rep *GCReport) error {
+	trash := filepath.Join(s.root, trashDirName)
+	pinned := map[string]bool{}
+	for _, e := range s.leases {
+		if e.refs > 0 {
+			pinned[e.dir] = true
+		}
+	}
+	epochs, err := os.ReadDir(trash)
+	if err != nil {
+		return err
+	}
+	for _, ep := range epochs {
+		edir := filepath.Join(trash, ep.Name())
+		entries, err := os.ReadDir(edir)
+		if err != nil {
+			return err
+		}
+		kept := 0
+		for _, ent := range entries {
+			p := filepath.Join(edir, ent.Name())
+			if pinned[p] {
+				rep.Deferred = append(rep.Deferred, p)
+				kept++
+				continue
+			}
+			if err := os.RemoveAll(p); err != nil {
+				return err
+			}
+			rep.Removed = append(rep.Removed, p)
+		}
+		if kept == 0 {
+			if err := os.Remove(edir); err == nil {
+				rep.Removed = append(rep.Removed, edir)
+			}
+		}
+	}
+	os.Remove(trash) // gone once empty
+	return nil
+}
+
+// FsckReport summarizes a store consistency check.
+type FsckReport struct {
+	Videos int
+	SOTs   int
+	Tiles  int
+	// Leases is the number of distinct SOT versions currently pinned by
+	// readers.
+	Leases int
+	// Problems are integrity violations: unreadable manifests, missing
+	// version directories or tile files, and tiles whose frame count or
+	// dimensions contradict the manifest's layout.
+	Problems []string
+	// Orphans are paths GC would reclaim (dead versions, staging debris);
+	// they are not integrity violations.
+	Orphans []string
+}
+
+// OK reports whether the check found no integrity problems.
+func (r FsckReport) OK() bool { return len(r.Problems) == 0 }
+
+// FSCK verifies every video's manifest against the bytes on disk: the
+// live version directory of each SOT must exist and hold one decodable
+// tile file per layout tile, with the frame count and dimensions the
+// manifest promises. Unreferenced directories are reported as orphans for
+// GC. FSCK only reads; it never repairs.
+func (s *Store) FSCK() (FsckReport, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rep := FsckReport{Leases: len(s.leases)}
+	problemf := func(format string, args ...any) {
+		rep.Problems = append(rep.Problems, fmt.Sprintf(format, args...))
+	}
+	videos, err := os.ReadDir(s.root)
+	if err != nil {
+		return rep, err
+	}
+	for _, v := range videos {
+		if !v.IsDir() {
+			continue
+		}
+		name := v.Name()
+		vdir := filepath.Join(s.root, name)
+		if name == trashDirName {
+			// Tombstones of deleted videos; unpinned ones are GC's to
+			// reclaim.
+			pinned := map[string]bool{}
+			for _, e := range s.leases {
+				if e.refs > 0 {
+					pinned[e.dir] = true
+				}
+			}
+			filepath.Walk(vdir, func(p string, info os.FileInfo, err error) error {
+				if err == nil && info.IsDir() && p != vdir && !pinned[p] && sotDirPattern.MatchString(filepath.Base(p)) {
+					rep.Orphans = append(rep.Orphans, p)
+				}
+				return nil
+			})
+			continue
+		}
+		meta, metaErr := s.metaLocked(name)
+		if metaErr != nil {
+			if _, err := os.Stat(filepath.Join(vdir, "manifest.json")); err == nil {
+				problemf("video %s: %v", name, metaErr)
+			} else {
+				rep.Orphans = append(rep.Orphans, vdir)
+			}
+			continue
+		}
+		rep.Videos++
+		live := map[string]bool{}
+		covered := 0
+		for _, sot := range meta.SOTs {
+			rep.SOTs++
+			if sot.From != covered || sot.To <= sot.From {
+				problemf("video %s SOT %d: frame range [%d,%d) does not continue at frame %d", name, sot.ID, sot.From, sot.To, covered)
+			}
+			covered = sot.To
+			dir, err := s.resolveSOTDir(name, sot)
+			if err != nil {
+				problemf("video %s SOT %d: missing version directory %s", name, sot.ID, sotDirName(sot))
+				continue
+			}
+			live[filepath.Base(dir)] = true
+			for i := 0; i < sot.L.NumTiles(); i++ {
+				path := filepath.Join(dir, tileFileName(i))
+				tv, err := s.ReadTile(name, sot, i)
+				if err != nil {
+					problemf("video %s SOT %d: %s: %v", name, sot.ID, path, err)
+					continue
+				}
+				rep.Tiles++
+				if tv.FrameCount() != sot.NumFrames() {
+					problemf("video %s SOT %d: %s has %d frames, manifest says %d", name, sot.ID, path, tv.FrameCount(), sot.NumFrames())
+				}
+				if r := sot.L.TileRectByIndex(i); tv.W != r.Width() || tv.H != r.Height() {
+					problemf("video %s SOT %d: %s is %dx%d, layout says %dx%d", name, sot.ID, path, tv.W, tv.H, r.Width(), r.Height())
+				}
+			}
+		}
+		if covered != meta.FrameCount {
+			problemf("video %s: SOTs cover %d frames, manifest says %d", name, covered, meta.FrameCount)
+		}
+		entries, err := os.ReadDir(vdir)
+		if err != nil {
+			return rep, err
+		}
+		for _, ent := range entries {
+			base := ent.Name()
+			if base == "manifest.json" || live[base] {
+				continue
+			}
+			if sotDirPattern.MatchString(base) || base == "manifest.json.tmp" {
+				rep.Orphans = append(rep.Orphans, filepath.Join(vdir, base))
+			} else {
+				problemf("video %s: unrecognized entry %s", name, base)
+			}
+		}
+	}
+	sort.Strings(rep.Problems)
+	sort.Strings(rep.Orphans)
+	return rep, nil
+}

@@ -1,16 +1,28 @@
 // Package tilestore manages TASM's physical video storage (paper §3.4.5):
 // each tile is a separate, independently decodable video file, grouped into
-// per-SOT directories named frames_<from>-<to> exactly as the paper's
-// Figure 1 shows:
+// per-SOT directories named after the paper's Figure 1 frames_<a>-<b>
+// convention, with a .r<N> version suffix once a SOT has been re-tiled:
 //
 //	root/
 //	  traffic/
 //	    manifest.json
-//	    frames_0-29/tile0.tsv
-//	    frames_30-59/tile0.tsv tile1.tsv ...
+//	    frames_0-29/tile0.tsv            (version 0, as ingested)
+//	    frames_30-59.r2/tile0.tsv ...    (version 2, after two re-tiles)
 //
-// Re-tiling a SOT writes the new tiles into a staging directory and renames
-// it into place, so readers never observe a half-written layout.
+// The store is multi-version (MVCC): a SOT's physical layout is immutable
+// per version. Re-tiling writes the new tiles into a fresh version
+// directory and flips the manifest; it never overwrites tile files in
+// place. Readers pin the exact versions their catalog snapshot names by
+// holding read leases (Snapshot / AcquireSOT), and a superseded version's
+// directory is garbage-collected only once the last lease on it is
+// released. This is what lets Scan run truly concurrently with RetileSOT:
+// a scan holding a lease always reads the tile files of the layout it
+// planned against, no matter how many re-tiles commit underneath it.
+//
+// Stores written before directories were versioned (every version named
+// frames_<a>-<b> regardless of the manifest's retile counter) remain
+// readable: version resolution falls back to the unversioned name, and the
+// first re-tile of such a SOT migrates it to a versioned directory.
 package tilestore
 
 import (
@@ -20,6 +32,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 
 	"github.com/tasm-repro/tasm/internal/container"
@@ -32,7 +45,9 @@ type SOTMeta struct {
 	From int           `json:"from"` // first frame (inclusive)
 	To   int           `json:"to"`   // last frame (exclusive)
 	L    layout.Layout `json:"layout"`
-	// Retiles counts how many times this SOT has been re-encoded.
+	// Retiles counts how many times this SOT has been re-encoded. It is
+	// also the SOT's storage version: tiles live in frames_<a>-<b> when 0
+	// and frames_<a>-<b>.r<Retiles> afterwards.
 	Retiles int `json:"retiles"`
 }
 
@@ -70,11 +85,109 @@ func (m *VideoMeta) SOTsInRange(from, to int) []SOTMeta {
 	return out
 }
 
+// leaseKey identifies one leased SOT version. The epoch distinguishes
+// same-named videos across DeleteVideo/re-ingest cycles, so a lease taken
+// on a deleted video can never pin (or worse, reap) its successor's files.
+type leaseKey struct {
+	video   string
+	epoch   uint64
+	sot     int
+	retiles int
+}
+
+// leaseEntry is the refcount for one leased version directory. dead marks
+// versions superseded by a re-tile (or orphaned by DeleteVideo) whose
+// directory must be removed when the last reference drops.
+type leaseEntry struct {
+	refs int
+	dir  string
+	dead bool
+}
+
+// Lease pins a set of SOT version directories against garbage collection.
+// Release is idempotent and safe to defer; a nil *Lease releases nothing.
+type Lease struct {
+	s    *Store
+	keys []leaseKey
+	once sync.Once
+}
+
+// Release drops the lease's references. Any version directory the lease
+// was the last reader of, and that has since been superseded, is removed.
+func (l *Lease) Release() {
+	if l == nil {
+		return
+	}
+	l.once.Do(func() {
+		l.s.mu.Lock()
+		defer l.s.mu.Unlock()
+		l.s.releaseLocked(l.keys)
+	})
+}
+
+// sotDir resolves the directory currently backing a leased SOT version,
+// through the live lease table — not by path probing — so it stays
+// correct even after DeleteVideo tombstones the directory into .trash.
+func (l *Lease) sotDir(sot SOTMeta) (string, error) {
+	if l == nil {
+		return "", errors.New("tilestore: nil lease")
+	}
+	l.s.mu.RLock()
+	defer l.s.mu.RUnlock()
+	for _, k := range l.keys {
+		if k.sot != sot.ID || k.retiles != sot.Retiles {
+			continue
+		}
+		if e := l.s.leases[k]; e != nil {
+			return e.dir, nil
+		}
+	}
+	return "", fmt.Errorf("tilestore: lease does not pin SOT %d version %d", sot.ID, sot.Retiles)
+}
+
+// ReadTile loads one tile stream of a leased SOT version. Unlike
+// Store.ReadTile it cannot be redirected by concurrent re-tiles, deletes,
+// or re-ingests: the lease pins the exact files of the caller's catalog
+// snapshot.
+func (l *Lease) ReadTile(sot SOTMeta, tileIdx int) (*container.Video, error) {
+	if tileIdx < 0 || tileIdx >= sot.L.NumTiles() {
+		return nil, fmt.Errorf("tilestore: tile %d out of range for SOT %d", tileIdx, sot.ID)
+	}
+	// DeleteVideo may tombstone-rename the directory between the path
+	// lookup and the open; one retry re-reads the moved location.
+	for attempt := 0; ; attempt++ {
+		dir, err := l.sotDir(sot)
+		if err != nil {
+			return nil, err
+		}
+		tv, err := container.Open(filepath.Join(dir, tileFileName(tileIdx)))
+		if err == nil || attempt > 0 || !errors.Is(err, os.ErrNotExist) {
+			return tv, err
+		}
+	}
+}
+
+// ReadAllTiles loads every tile stream of a leased SOT in layout order.
+func (l *Lease) ReadAllTiles(sot SOTMeta) ([]*container.Video, error) {
+	out := make([]*container.Video, sot.L.NumTiles())
+	for i := range out {
+		tv, err := l.ReadTile(sot, i)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = tv
+	}
+	return out, nil
+}
+
 // Store is a directory of stored videos. Methods are safe for concurrent
-// use.
+// use; readers that must observe a frozen physical layout across multiple
+// calls hold a Lease (see Snapshot).
 type Store struct {
-	mu   sync.RWMutex
-	root string
+	mu     sync.RWMutex
+	root   string
+	leases map[leaseKey]*leaseEntry
+	epochs map[string]uint64 // bumped by DeleteVideo; never reset
 }
 
 // Open creates (if needed) and opens a store rooted at dir.
@@ -82,7 +195,11 @@ func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	return &Store{root: dir}, nil
+	return &Store{
+		root:   dir,
+		leases: map[leaseKey]*leaseEntry{},
+		epochs: map[string]uint64{},
+	}, nil
 }
 
 // Root returns the store's root directory.
@@ -90,17 +207,50 @@ func (s *Store) Root() string { return s.root }
 
 func (s *Store) videoDir(name string) string { return filepath.Join(s.root, name) }
 
-func sotDirName(m SOTMeta) string { return fmt.Sprintf("frames_%d-%d", m.From, m.To-1) }
+// sotDirName is the canonical directory name for a SOT version: the
+// paper's frames_<a>-<b> for version 0, frames_<a>-<b>.r<N> afterwards.
+func sotDirName(m SOTMeta) string {
+	if m.Retiles == 0 {
+		return fmt.Sprintf("frames_%d-%d", m.From, m.To-1)
+	}
+	return fmt.Sprintf("frames_%d-%d.r%d", m.From, m.To-1, m.Retiles)
+}
+
+func legacyDirName(m SOTMeta) string { return fmt.Sprintf("frames_%d-%d", m.From, m.To-1) }
 
 func (s *Store) sotDir(video string, m SOTMeta) string {
 	return filepath.Join(s.videoDir(video), sotDirName(m))
 }
 
+// resolveSOTDir locates the directory holding a SOT version's tiles,
+// falling back to the legacy unversioned name for stores written before
+// directories were versioned (manifest says Retiles > 0 but the tiles
+// still live under frames_<a>-<b>).
+func (s *Store) resolveSOTDir(video string, m SOTMeta) (string, error) {
+	dir := s.sotDir(video, m)
+	if _, err := os.Stat(dir); err == nil {
+		return dir, nil
+	}
+	if m.Retiles > 0 {
+		legacy := filepath.Join(s.videoDir(video), legacyDirName(m))
+		if _, err := os.Stat(legacy); err == nil {
+			return legacy, nil
+		}
+	}
+	return "", fmt.Errorf("tilestore: video %q SOT %d version %d: no tile directory", video, m.ID, m.Retiles)
+}
+
 func tileFileName(i int) string { return fmt.Sprintf("tile%d.tsv", i) }
 
-// validName rejects names that would escape the store directory.
+// trashDirName holds tombstoned version directories: files of deleted
+// videos still pinned by read leases, moved out of the video directory so
+// a re-ingest under the same name can never collide with them.
+const trashDirName = ".trash"
+
+// validName rejects names that would escape the store directory or
+// collide with the store's own bookkeeping entries.
 func validName(name string) error {
-	if name == "" || name == "." || name == ".." {
+	if name == "" || name == "." || name == ".." || name[0] == '.' {
 		return fmt.Errorf("tilestore: invalid video name %q", name)
 	}
 	if filepath.Base(name) != name {
@@ -111,8 +261,10 @@ func validName(name string) error {
 
 // CreateVideo registers a new video and writes the tiles of each SOT. The
 // lengths of sotTiles must match meta.SOTs, and each inner slice must match
-// the SOT's layout tile count.
-func (s *Store) CreateVideo(meta VideoMeta, sotTiles [][]*container.Video) error {
+// the SOT's layout tile count. On failure the video's directory is removed
+// so a retried ingest starts fresh instead of tripping over half-written
+// SOT directories or staging debris.
+func (s *Store) CreateVideo(meta VideoMeta, sotTiles [][]*container.Video) (err error) {
 	if err := validName(meta.Name); err != nil {
 		return err
 	}
@@ -125,6 +277,11 @@ func (s *Store) CreateVideo(meta VideoMeta, sotTiles [][]*container.Video) error
 	if _, err := os.Stat(filepath.Join(dir, "manifest.json")); err == nil {
 		return fmt.Errorf("tilestore: video %q already exists", meta.Name)
 	}
+	defer func() {
+		if err != nil {
+			os.RemoveAll(dir)
+		}
+	}()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -150,9 +307,11 @@ func (s *Store) writeSOTDir(video string, sot SOTMeta, tiles []*container.Video)
 	}
 	for i, tv := range tiles {
 		if tv.FrameCount() != sot.NumFrames() {
+			os.RemoveAll(staging)
 			return fmt.Errorf("tilestore: SOT %d tile %d has %d frames, want %d", sot.ID, i, tv.FrameCount(), sot.NumFrames())
 		}
 		if err := tv.Save(filepath.Join(staging, tileFileName(i))); err != nil {
+			os.RemoveAll(staging)
 			return err
 		}
 	}
@@ -175,7 +334,8 @@ func (s *Store) writeManifest(meta VideoMeta) error {
 	return os.Rename(tmp, path)
 }
 
-// Meta returns the catalog record for a video.
+// Meta returns the catalog record for a video. The record is a snapshot:
+// to also pin the physical files it names, use Snapshot instead.
 func (s *Store) Meta(video string) (VideoMeta, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -195,6 +355,114 @@ func (s *Store) metaLocked(video string) (VideoMeta, error) {
 		return meta, fmt.Errorf("tilestore: video %q: corrupt manifest: %w", video, err)
 	}
 	return meta, nil
+}
+
+// Snapshot atomically reads a video's catalog record and acquires read
+// leases on the live version of every SOT it names. Until the lease is
+// released, those versions' tile files stay on disk even if the SOTs are
+// re-tiled or the video deleted, so the caller reads exactly the layout
+// the snapshot describes.
+func (s *Store) Snapshot(video string) (VideoMeta, *Lease, error) {
+	return s.snapshot(video, 0, -1)
+}
+
+// SnapshotRange is Snapshot restricted to the SOTs overlapping the frame
+// range [from, to) after clamping it to the video (from < 0 becomes 0;
+// to < 0 or past the end becomes the frame count) — what Scan and
+// DecodeFrames use so a narrow query does not pin (or pay a stat for)
+// every SOT of a long video.
+func (s *Store) SnapshotRange(video string, from, to int) (VideoMeta, *Lease, error) {
+	return s.snapshot(video, from, to)
+}
+
+func (s *Store) snapshot(video string, from, to int) (VideoMeta, *Lease, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	meta, err := s.metaLocked(video)
+	if err != nil {
+		return meta, nil, err
+	}
+	if from < 0 {
+		from = 0
+	}
+	if to < 0 || to > meta.FrameCount {
+		to = meta.FrameCount
+	}
+	l := &Lease{s: s}
+	for _, sot := range meta.SOTs {
+		if sot.From >= to || from >= sot.To {
+			continue
+		}
+		k, err := s.acquireLocked(video, sot)
+		if err != nil {
+			s.releaseLocked(l.keys)
+			return meta, nil, err
+		}
+		l.keys = append(l.keys, k)
+	}
+	return meta, l, nil
+}
+
+// AcquireSOT pins a single SOT version. The SOTMeta must come from a
+// current catalog read; acquiring a version that has already been
+// superseded and reaped returns an error (the caller should re-Snapshot).
+func (s *Store) AcquireSOT(video string, sot SOTMeta) (*Lease, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k, err := s.acquireLocked(video, sot)
+	if err != nil {
+		return nil, err
+	}
+	return &Lease{s: s, keys: []leaseKey{k}}, nil
+}
+
+func (s *Store) acquireLocked(video string, sot SOTMeta) (leaseKey, error) {
+	k := leaseKey{video: video, epoch: s.epochs[video], sot: sot.ID, retiles: sot.Retiles}
+	if e := s.leases[k]; e != nil {
+		if e.dead {
+			return k, fmt.Errorf("tilestore: video %q SOT %d version %d was superseded", video, sot.ID, sot.Retiles)
+		}
+		e.refs++
+		return k, nil
+	}
+	dir, err := s.resolveSOTDir(video, sot)
+	if err != nil {
+		return k, err
+	}
+	s.leases[k] = &leaseEntry{refs: 1, dir: dir}
+	return k, nil
+}
+
+func (s *Store) releaseLocked(keys []leaseKey) {
+	for _, k := range keys {
+		e := s.leases[k]
+		if e == nil {
+			continue
+		}
+		if e.refs--; e.refs > 0 {
+			continue
+		}
+		delete(s.leases, k)
+		if e.dead {
+			s.removeDeadDirLocked(k, e.dir)
+		}
+	}
+}
+
+// removeDeadDirLocked reaps a superseded version directory. Dead dirs
+// never collide with live data: a retired version keeps a name no future
+// write reuses (retile counters only grow), and DeleteVideo tombstones
+// leased dirs into .trash before the name can be re-ingested.
+func (s *Store) removeDeadDirLocked(k leaseKey, dir string) {
+	os.RemoveAll(dir)
+	// Reap the enclosing .trash/<video>.e<epoch>/ dir — and .trash itself
+	// — once empty; Remove fails harmlessly while non-empty, and a
+	// retired-in-place dir's parent (the video dir) still holds the
+	// manifest.
+	parent := filepath.Dir(dir)
+	if os.Remove(parent) == nil && filepath.Base(filepath.Dir(parent)) == trashDirName {
+		os.Remove(filepath.Dir(parent))
+	}
 }
 
 // ListVideos returns the names of all stored videos, sorted.
@@ -218,14 +486,18 @@ func (s *Store) ListVideos() ([]string, error) {
 	return out, nil
 }
 
-// ReadTile loads one tile stream of a SOT.
+// ReadTile loads one tile stream of a SOT version. Tile files are never
+// rewritten in place, so the read needs no lock; callers that must keep
+// the version on disk across several reads hold a Lease on it.
 func (s *Store) ReadTile(video string, sot SOTMeta, tileIdx int) (*container.Video, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	if tileIdx < 0 || tileIdx >= sot.L.NumTiles() {
 		return nil, fmt.Errorf("tilestore: tile %d out of range for SOT %d", tileIdx, sot.ID)
 	}
-	return container.Open(filepath.Join(s.sotDir(video, sot), tileFileName(tileIdx)))
+	dir, err := s.resolveSOTDir(video, sot)
+	if err != nil {
+		return nil, err
+	}
+	return container.Open(filepath.Join(dir, tileFileName(tileIdx)))
 }
 
 // ReadAllTiles loads every tile stream of a SOT in layout order.
@@ -241,9 +513,27 @@ func (s *Store) ReadAllTiles(video string, sot SOTMeta) ([]*container.Video, err
 	return out, nil
 }
 
-// ReplaceSOT atomically swaps a SOT's tiles for a new layout, updating the
-// manifest. The new tiles must match newLayout and the SOT's frame count.
+// ReplaceSOT swaps a SOT's tiles for a new layout by writing a fresh
+// version directory and flipping the manifest; the old version's files are
+// untouched until every lease on them is released, then reaped. The new
+// tiles must match newLayout and the SOT's frame count.
 func (s *Store) ReplaceSOT(video string, sotID int, newLayout layout.Layout, tiles []*container.Video) error {
+	return s.replaceSOT(video, sotID, newLayout, tiles, nil)
+}
+
+// ReplaceSOTLeased is ReplaceSOT with a write-time validity check against
+// the snapshot the new tiles were produced from: if the video was deleted
+// (and possibly re-ingested) or the SOT re-tiled since the lease was
+// taken, the replace is refused instead of committing tiles encoded from
+// a stale — or entirely different — video's frames.
+func (s *Store) ReplaceSOTLeased(lease *Lease, video string, sotID int, newLayout layout.Layout, tiles []*container.Video) error {
+	if lease == nil {
+		return errors.New("tilestore: ReplaceSOTLeased requires a lease")
+	}
+	return s.replaceSOT(video, sotID, newLayout, tiles, lease)
+}
+
+func (s *Store) replaceSOT(video string, sotID int, newLayout layout.Layout, tiles []*container.Video, lease *Lease) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	meta, err := s.metaLocked(video)
@@ -260,30 +550,73 @@ func (s *Store) ReplaceSOT(video string, sotID int, newLayout layout.Layout, til
 	if idx < 0 {
 		return fmt.Errorf("tilestore: video %q has no SOT %d", video, sotID)
 	}
-	newSOT := meta.SOTs[idx]
+	oldSOT := meta.SOTs[idx]
+	if lease != nil {
+		pinned := false
+		for _, k := range lease.keys {
+			if k.sot == sotID {
+				pinned = k.epoch == s.epochs[video] && k.retiles == oldSOT.Retiles
+				break
+			}
+		}
+		if !pinned {
+			return fmt.Errorf("tilestore: video %q SOT %d changed since the snapshot was taken (deleted, re-ingested, or re-tiled); not replacing", video, sotID)
+		}
+	}
+	oldDir, oldDirErr := s.resolveSOTDir(video, oldSOT)
+	newSOT := oldSOT
 	newSOT.L = newLayout
 	newSOT.Retiles++
 	if err := s.writeSOTDir(video, newSOT, tiles); err != nil {
 		return err
 	}
 	meta.SOTs[idx] = newSOT
-	return s.writeManifest(meta)
+	if err := s.writeManifest(meta); err != nil {
+		return err
+	}
+	if oldDirErr == nil {
+		s.retireLocked(video, oldSOT, oldDir)
+	}
+	return nil
 }
 
-// VideoBytes returns the total on-disk size of a video's tile files, the
-// storage-cost metric in Figure 9.
+// retireLocked schedules a superseded version directory for removal: now
+// if no reader holds a lease on it, otherwise when the last lease drops.
+func (s *Store) retireLocked(video string, sot SOTMeta, dir string) {
+	k := leaseKey{video: video, epoch: s.epochs[video], sot: sot.ID, retiles: sot.Retiles}
+	if e := s.leases[k]; e != nil && e.refs > 0 {
+		e.dead = true
+		e.dir = dir
+		return
+	}
+	os.RemoveAll(dir)
+}
+
+// VideoBytes returns the total on-disk size of a video's live tile files,
+// the storage-cost metric in Figure 9. The walk runs under a snapshot
+// lease, so a concurrent re-tile can neither skew the sum nor pull files
+// out from under it.
 func (s *Store) VideoBytes(video string) (int64, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	meta, err := s.metaLocked(video)
+	meta, lease, err := s.Snapshot(video)
 	if err != nil {
 		return 0, err
 	}
+	defer lease.Release()
 	var total int64
 	for _, sot := range meta.SOTs {
-		dir := s.sotDir(video, sot)
+		dir, err := lease.sotDir(sot)
+		if err != nil {
+			return 0, err
+		}
 		for i := 0; i < sot.L.NumTiles(); i++ {
 			st, err := os.Stat(filepath.Join(dir, tileFileName(i)))
+			if errors.Is(err, os.ErrNotExist) {
+				// A concurrent DeleteVideo may have tombstone-renamed the
+				// leased dir; re-resolve through the lease table and retry.
+				if dir, err = lease.sotDir(sot); err == nil {
+					st, err = os.Stat(filepath.Join(dir, tileFileName(i)))
+				}
+			}
 			if err != nil {
 				return 0, err
 			}
@@ -293,7 +626,13 @@ func (s *Store) VideoBytes(video string) (int64, error) {
 	return total, nil
 }
 
-// DeleteVideo removes a video and all its tiles.
+// DeleteVideo removes a video: its manifest and every version directory
+// no reader is leasing, immediately. Leased version directories are
+// tombstoned — moved into .trash/<video>.e<epoch>/ — so in-flight scans
+// finish reading the exact files they pinned while the video's directory
+// becomes immediately reusable: a re-ingest under the same name can never
+// collide with (or be clobbered into) the deleted generation's files.
+// Tombstones are reaped when their leases drop, or by GC after a crash.
 func (s *Store) DeleteVideo(video string) error {
 	if err := validName(video); err != nil {
 		return err
@@ -304,5 +643,44 @@ func (s *Store) DeleteVideo(video string) error {
 	if _, err := os.Stat(dir); errors.Is(err, os.ErrNotExist) {
 		return fmt.Errorf("tilestore: video %q does not exist", video)
 	}
+	// Phase 1: move every leased version dir into the tombstone area. Only
+	// after all renames succeed is anything marked dead or the epoch
+	// bumped, so a failed rename rolls back to a fully live video instead
+	// of leaving some versions doomed to be reaped on lease release.
+	trash := filepath.Join(s.root, trashDirName, fmt.Sprintf("%s.e%d", video, s.epochs[video]))
+	type move struct {
+		e        *leaseEntry
+		from, to string
+	}
+	var moves []move
+	rollback := func() {
+		for _, mv := range moves {
+			os.Rename(mv.to, mv.from)
+		}
+		os.Remove(trash)
+		os.Remove(filepath.Dir(trash))
+	}
+	for k, e := range s.leases {
+		if k.video != video || e.refs == 0 || !strings.HasPrefix(e.dir, dir+string(filepath.Separator)) {
+			continue
+		}
+		if err := os.MkdirAll(trash, 0o755); err != nil {
+			rollback()
+			return err
+		}
+		moved := filepath.Join(trash, filepath.Base(e.dir))
+		if err := os.Rename(e.dir, moved); err != nil {
+			rollback()
+			return err
+		}
+		moves = append(moves, move{e, e.dir, moved})
+	}
+	// Phase 2: commit — retarget the leases at the tombstones, mark them
+	// dead, retire the name.
+	for _, mv := range moves {
+		mv.e.dir = mv.to
+		mv.e.dead = true
+	}
+	s.epochs[video]++
 	return os.RemoveAll(dir)
 }

@@ -190,14 +190,18 @@ func TestReplaceSOT(t *testing.T) {
 	if got.SOTs[0].Retiles != 1 {
 		t.Errorf("Retiles = %d, want 1", got.SOTs[0].Retiles)
 	}
-	// New tiles readable; old single tile gone.
+	// New tiles readable from the new version dir; old version dir reaped
+	// (no reader held a lease on it).
 	if _, err := s.ReadTile("v", got.SOTs[0], 3); err != nil {
 		t.Errorf("new tile unreadable: %v", err)
 	}
-	dir := filepath.Join(s.Root(), "v", "frames_0-9")
+	dir := filepath.Join(s.Root(), "v", "frames_0-9.r1")
 	entries, _ := os.ReadDir(dir)
 	if len(entries) != 4 {
-		t.Errorf("SOT dir has %d entries, want 4", len(entries))
+		t.Errorf("SOT version dir has %d entries, want 4", len(entries))
+	}
+	if _, err := os.Stat(filepath.Join(s.Root(), "v", "frames_0-9")); !os.IsNotExist(err) {
+		t.Errorf("superseded version dir not reaped: %v", err)
 	}
 	if err := s.ReplaceSOT("v", 42, l22, newTiles); err == nil {
 		t.Error("replace of absent SOT succeeded")

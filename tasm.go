@@ -280,6 +280,28 @@ type CacheStats = tilecache.Stats
 // CacheStats snapshots the decoded-tile cache counters.
 func (s *StorageManager) CacheStats() CacheStats { return s.m.CacheStats() }
 
+// GCReport describes what one storage GC pass reclaimed.
+type GCReport = tilestore.GCReport
+
+// FsckReport summarizes a store consistency check.
+type FsckReport = tilestore.FsckReport
+
+// GC reclaims dead storage: SOT version directories superseded by a
+// re-tile, staging debris from interrupted writes, and orphan directories
+// left by a crashed ingest. Versions still pinned by in-flight reads are
+// reported as deferred and reclaimed when those reads finish.
+func (s *StorageManager) GC() (GCReport, error) { return s.m.Store().GC() }
+
+// FSCK verifies every stored video's manifest against the tile files on
+// disk (existence, decodability, frame counts, dimensions) and reports
+// orphan directories that GC would reclaim. It never repairs.
+func (s *StorageManager) FSCK() (FsckReport, error) { return s.m.Store().FSCK() }
+
+// RepairPointers re-materializes the semantic index's box→tile pointers
+// from a video's live layouts — the recovery path after a re-tile whose
+// pointer refresh failed (see core.PointerRefreshError).
+func (s *StorageManager) RepairPointers(video string) error { return s.m.RepairPointers(video) }
+
 // Labels returns the distinct labels indexed for a video.
 func (s *StorageManager) Labels(video string) ([]string, error) { return s.m.Index().Labels(video) }
 
