@@ -28,7 +28,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "comma-separated experiments: table1,fig6,fig7,fig8,fig9,fig10,fig11,fig12,edge,costfit,alpha,eta,perf,all")
+		exp       = flag.String("exp", "all", "comma-separated experiments: table1,fig6,fig7,fig8,fig9,fig10,fig11,fig12,edge,costfit,alpha,eta,perf,stream,all")
 		jsonOut   = flag.String("json", "", "path for the perf experiment's machine-readable results, e.g. BENCH_1.json (empty = print table only)")
 		quick     = flag.Bool("quick", false, "reduced-scale run (smaller videos, fewer queries)")
 		width     = flag.Int("w", 0, "video width (default 320; quick 256)")
@@ -190,18 +190,15 @@ func main() {
 			return err
 		}
 		t.Render(os.Stdout)
-		if *jsonOut == "" {
-			return nil
-		}
-		data, err := json.MarshalIndent(res, "", "  ")
+		return writeJSON(*jsonOut, "perf", res)
+	})
+	run("stream", func() error {
+		res, t, err := bench.RunStreamPerf(opt)
 		if err != nil {
 			return err
 		}
-		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("perf results written to %s\n", *jsonOut)
-		return nil
+		t.Render(os.Stdout)
+		return writeJSON(*jsonOut, "stream", res)
 	})
 
 	if ran == 0 {
@@ -209,4 +206,21 @@ func main() {
 		os.Exit(2)
 	}
 	fmt.Printf("\n%d experiment(s) in %s\n", ran, time.Since(start).Round(time.Millisecond))
+}
+
+// writeJSON records an experiment's machine-readable results (no-op when
+// -json was not given).
+func writeJSON(path, name string, res any) error {
+	if path == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("%s results written to %s\n", name, path)
+	return nil
 }

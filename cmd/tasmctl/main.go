@@ -14,12 +14,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 
 	"github.com/tasm-repro/tasm"
 	"github.com/tasm-repro/tasm/internal/detect"
@@ -30,27 +34,42 @@ func main() {
 	if len(os.Args) < 2 {
 		usage()
 	}
+	// Long-running subcommands honor SIGINT/SIGTERM through the context:
+	// the first signal cancels in-flight decodes/encodes at a frame
+	// boundary (no mid-write corpses, leases released). Once the context
+	// is down, default signal handling is restored, so a second signal
+	// kills a command stuck in a non-cancellable section the usual way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
 	cmd, args := os.Args[1], os.Args[2:]
 	var err error
 	switch cmd {
 	case "ingest":
-		err = cmdIngest(args)
+		err = cmdIngest(ctx, args)
 	case "detect":
-		err = cmdDetect(args)
+		err = cmdDetect(ctx, args)
 	case "query":
-		err = cmdQuery(args)
+		err = cmdQuery(ctx, args)
 	case "info":
 		err = cmdInfo(args)
 	case "retile":
-		err = cmdRetile(args)
+		err = cmdRetile(ctx, args)
 	case "gc":
-		err = cmdGC(args)
+		err = cmdGC(ctx, args)
 	case "fsck":
-		err = cmdFsck(args)
+		err = cmdFsck(ctx, args)
 	default:
 		usage()
 	}
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintf(os.Stderr, "tasmctl %s: interrupted (state is consistent; partial work was rolled back or left committed per operation)\n", cmd)
+			os.Exit(130)
+		}
 		fmt.Fprintf(os.Stderr, "tasmctl %s: %v\n", cmd, err)
 		os.Exit(1)
 	}
@@ -80,7 +99,7 @@ func openSM(dir string) (*tasm.StorageManager, error) {
 	return tasm.Open(dir, tasm.WithMinTileSize(32, 32))
 }
 
-func cmdIngest(args []string) error {
+func cmdIngest(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("ingest", flag.ExitOnError)
 	dir := fs.String("dir", "tasmdb", "storage directory")
 	preset := fs.String("preset", "", "scene preset name (see tasm-datagen)")
@@ -119,7 +138,7 @@ func cmdIngest(args []string) error {
 		return err
 	}
 	defer sm.Close()
-	st, err := sm.Ingest(spec.Name, v.Frames(0, spec.NumFrames()), spec.FPS)
+	st, err := sm.IngestContext(ctx, spec.Name, v.Frames(0, spec.NumFrames()), spec.FPS)
 	if err != nil {
 		return err
 	}
@@ -135,7 +154,7 @@ func cmdIngest(args []string) error {
 	return nil
 }
 
-func cmdDetect(args []string) error {
+func cmdDetect(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("detect", flag.ExitOnError)
 	dir := fs.String("dir", "tasmdb", "storage directory")
 	video := fs.String("video", "", "video name")
@@ -176,6 +195,11 @@ func cmdDetect(args []string) error {
 		return fmt.Errorf("unknown detector %q", *detName)
 	}
 	ds, simLat := detect.Run(det, v, *from, *to)
+	// Honor a signal before touching the index: the batch insert plus the
+	// MarkDetected records below are one logical write.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	sm, err := openSM(*dir)
 	if err != nil {
 		return err
@@ -198,7 +222,7 @@ func cmdDetect(args []string) error {
 	return nil
 }
 
-func cmdQuery(args []string) error {
+func cmdQuery(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("query", flag.ExitOnError)
 	dir := fs.String("dir", "tasmdb", "storage directory")
 	adaptive := fs.Bool("adaptive", false, "enable regret-based adaptive tiling")
@@ -216,7 +240,7 @@ func cmdQuery(args []string) error {
 		return err
 	}
 	defer sm.Close()
-	res, st, err := sm.ScanSQL(fs.Arg(0))
+	res, st, err := sm.ScanSQLContext(ctx, fs.Arg(0))
 	if err != nil {
 		return err
 	}
@@ -227,7 +251,7 @@ func cmdQuery(args []string) error {
 	return nil
 }
 
-func cmdGC(args []string) error {
+func cmdGC(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("gc", flag.ExitOnError)
 	dir := fs.String("dir", "tasmdb", "storage directory")
 	fs.Parse(args)
@@ -236,6 +260,11 @@ func cmdGC(args []string) error {
 		return err
 	}
 	defer sm.Close()
+	// The sweep itself is atomic under the store lock; honor a signal
+	// that arrived before it started rather than beginning new work.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	rep, err := sm.GC()
 	if err != nil {
 		return err
@@ -250,7 +279,7 @@ func cmdGC(args []string) error {
 	return nil
 }
 
-func cmdFsck(args []string) error {
+func cmdFsck(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("fsck", flag.ExitOnError)
 	dir := fs.String("dir", "tasmdb", "storage directory")
 	repair := fs.Bool("repair", false, "re-materialize box→tile index pointers from live layouts")
@@ -266,11 +295,19 @@ func cmdFsck(args []string) error {
 			return err
 		}
 		for _, v := range videos {
+			// Each repair is atomic per video; stop between videos on a
+			// signal instead of mid-store.
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := sm.RepairPointers(v); err != nil {
 				return err
 			}
 			fmt.Printf("repaired pointers: %s\n", v)
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	rep, err := sm.FSCK()
 	if err != nil {
@@ -340,7 +377,7 @@ func cmdInfo(args []string) error {
 	return nil
 }
 
-func cmdRetile(args []string) error {
+func cmdRetile(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("retile", flag.ExitOnError)
 	dir := fs.String("dir", "tasmdb", "storage directory")
 	video := fs.String("video", "", "video name")
@@ -363,7 +400,7 @@ func cmdRetile(args []string) error {
 		fmt.Println("no beneficial layout for those labels (staying untiled)")
 		return nil
 	}
-	rs, err := sm.RetileSOT(*video, *sot, l)
+	rs, err := sm.RetileSOTContext(ctx, *video, *sot, l)
 	if err != nil {
 		return err
 	}

@@ -1,18 +1,24 @@
 // Quickstart: ingest a synthetic traffic video, index object detections,
 // run a Scan for cars, re-tile around them, and run the same Scan again to
-// see the decode savings — the core TASM loop in ~80 lines.
+// see the decode savings — the core TASM loop in ~80 lines, in the ctx-first
+// API v2 form (every call is cancellable; ctrl-C mid-run tears down cleanly).
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 
 	"github.com/tasm-repro/tasm"
 	"github.com/tasm-repro/tasm/internal/scene"
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	dir, err := os.MkdirTemp("", "tasm-quickstart-*")
 	if err != nil {
 		log.Fatal(err)
@@ -40,7 +46,7 @@ func main() {
 
 	// 1. Ingest: the video is stored untiled, one SOT per one-second GOP.
 	n := video.Spec.NumFrames()
-	ist, err := sm.Ingest("traffic", video.Frames(0, n), video.Spec.FPS)
+	ist, err := sm.IngestContext(ctx, "traffic", video.Frames(0, n), video.Spec.FPS)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -58,7 +64,7 @@ func main() {
 
 	// 3. Scan for cars on the untiled video.
 	const sql = "SELECT car FROM traffic WHERE 0 <= t < 45"
-	res, before, err := sm.ScanSQL(sql)
+	res, before, err := sm.ScanSQLContext(ctx, sql)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -79,18 +85,33 @@ func main() {
 		if l.IsSingle() {
 			continue
 		}
-		if _, err := sm.RetileSOT("traffic", sot.ID, l); err != nil {
+		if _, err := sm.RetileSOTContext(ctx, "traffic", sot.ID, l); err != nil {
 			log.Fatal(err)
 		}
 		retiled++
 	}
 	fmt.Printf("re-tiled %d SOTs around cars\n", retiled)
 
-	// 5. Same scan, now decoding only the tiles containing cars.
-	res2, after, err := sm.ScanSQL(sql)
+	// 5. Same scan, now decoding only the tiles containing cars — this
+	//    time streamed through a cursor: regions arrive in frame order as
+	//    each SOT's tiles decode, instead of all at once at the end.
+	cur, err := sm.ScanSQLCursor(ctx, sql)
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer cur.Close()
+	var res2 []tasm.RegionResult
+	for cur.Next() {
+		if len(res2) == 0 {
+			r := cur.Result()
+			fmt.Printf("first streamed region: frame %d %v (scan still running)\n", r.Frame, r.Region)
+		}
+		res2 = append(res2, cur.Result())
+	}
+	if err := cur.Err(); err != nil {
+		log.Fatal(err)
+	}
+	after := cur.Stats()
 	imp := 100 * (1 - float64(after.DecodeWall)/float64(before.DecodeWall))
 	fmt.Printf("tiled scan:   %d regions, %.2f Mpx decoded in %s (%.0f%% faster)\n",
 		len(res2), float64(after.PixelsDecoded)/1e6, after.DecodeWall.Round(1e5), imp)

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"time"
@@ -348,7 +349,7 @@ func runRegretWithEta(o Options, m *micro, queries []workload.Query, eta float64
 		}
 		if len(actions) > 0 {
 			retiles += len(actions)
-			rs, err := policy.Apply(mgr, actions)
+			rs, err := policy.Apply(context.Background(), mgr, actions)
 			if err != nil {
 				return nil, 0, err
 			}

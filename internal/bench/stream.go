@@ -1,0 +1,190 @@
+// Streaming API benchmark: the PR-3 experiment measuring time-to-first-
+// result of cursor scans against full-materialization wall time on a long
+// multi-SOT query, plus how quickly a cancelled cursor tears down. Like
+// the scan fast-path experiment it runs through the real storage manager
+// over an on-disk store. Results serialize to the BENCH_<n>.json
+// trajectory tracked across PRs (BENCH_2.json for this experiment).
+package bench
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"github.com/tasm-repro/tasm/internal/core"
+	"github.com/tasm-repro/tasm/internal/query"
+	"github.com/tasm-repro/tasm/internal/scene"
+)
+
+// StreamPerfResult is the machine-readable streaming-scan measurement.
+type StreamPerfResult struct {
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	CPUs        int    `json:"cpus"`
+	GeneratedAt string `json:"generated_at"`
+
+	// The query shape: one cold scan spanning every SOT of the video.
+	SOTs    int `json:"sots"`
+	Regions int `json:"regions"`
+
+	// FullScanNs is the wall time of the materializing Scan (the v1 API
+	// shape: nothing is returned until everything is decoded).
+	FullScanNs int64 `json:"full_scan_ns"`
+	// StreamFirstResultNs is the wall time until a ScanCursor yields its
+	// first result — the latency a streaming consumer actually observes.
+	StreamFirstResultNs int64 `json:"stream_first_result_ns"`
+	// StreamDrainNs is the wall time to drain the cursor completely; the
+	// streaming overhead is StreamDrainNs vs FullScanNs.
+	StreamDrainNs int64 `json:"stream_drain_ns"`
+	// FirstResultFrac = StreamFirstResultNs / FullScanNs (the acceptance
+	// target is < 0.25 on a >= 8-SOT query).
+	FirstResultFrac float64 `json:"first_result_frac"`
+	// CancelAfterFirstNs is how long Close takes after consuming one
+	// result: the teardown cost of abandoning a long scan early
+	// (cancellation propagation + worker exit + lease release).
+	CancelAfterFirstNs int64 `json:"cancel_after_first_ns"`
+}
+
+// streamPerfRuns averages the wall-clock measurements over a few runs;
+// first-result latencies on small stores are microseconds-scale and
+// noisy.
+const streamPerfRuns = 5
+
+// RunStreamPerf measures streaming scans end to end: it ingests one
+// synthetic multi-SOT video (short GOPs so the query spans many SOTs),
+// then compares the materializing Scan against a drained ScanCursor and
+// an early-cancelled ScanCursor, cache disabled throughout (every run
+// decodes from disk, the cold path where streaming matters).
+func RunStreamPerf(o Options) (StreamPerfResult, *Table, error) {
+	o = o.withDefaults()
+	res := StreamPerfResult{
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		CPUs:        runtime.GOMAXPROCS(0),
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+	}
+
+	dir, err := os.MkdirTemp("", "tasm-stream-*")
+	if err != nil {
+		return res, nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	cfg := core.DefaultConfig()
+	cfg.Codec = o.codecParams()
+	cfg.Codec.GOPLength = max(2, o.FPS/2) // short GOPs => many SOTs
+	cfg.MinTileW, cfg.MinTileH = o.MinTileW, o.MinTileH
+
+	durationSec := max(4, int(8*o.DurationScale))
+	v, err := scene.Generate(scene.Spec{
+		Name: "stream", W: o.Width, H: o.Height, FPS: o.FPS, DurationSec: durationSec,
+		Classes: []scene.ClassMix{
+			{Class: scene.Car, Count: 2, SizeFrac: 0.18},
+			{Class: scene.Person, Count: 1, SizeFrac: 0.3},
+		},
+		Seed: o.Seed,
+	})
+	if err != nil {
+		return res, nil, err
+	}
+	frames := v.Frames(0, v.Spec.NumFrames())
+
+	m, err := core.Open(dir, cfg)
+	if err != nil {
+		return res, nil, err
+	}
+	defer m.Close()
+	if _, err := m.Ingest("stream", frames, v.Spec.FPS); err != nil {
+		return res, nil, err
+	}
+	for f := 0; f < v.Spec.NumFrames(); f++ {
+		for _, tr := range v.GroundTruth(f) {
+			if err := m.AddMetadata("stream", f, tr.Label, tr.Box.X0, tr.Box.Y0, tr.Box.X1, tr.Box.Y1); err != nil {
+				return res, nil, err
+			}
+		}
+	}
+	q, err := query.Parse(fmt.Sprintf("SELECT car FROM stream WHERE 0 <= t < %d", v.Spec.NumFrames()))
+	if err != nil {
+		return res, nil, err
+	}
+	ctx := context.Background()
+
+	// One untimed warm-up pass (file cache, allocator) so the compared
+	// runs see the same conditions.
+	if _, st, err := m.Scan(q); err != nil {
+		return res, nil, err
+	} else {
+		res.SOTs = st.SOTsTouched
+		res.Regions = st.RegionsReturned
+	}
+
+	var fullNs, firstNs, drainNs, cancelNs int64
+	for run := 0; run < streamPerfRuns; run++ {
+		o.progressf("stream: run %d/%d\n", run+1, streamPerfRuns)
+
+		start := time.Now()
+		if _, _, err := m.ScanContext(ctx, q); err != nil {
+			return res, nil, err
+		}
+		fullNs += time.Since(start).Nanoseconds()
+
+		start = time.Now()
+		cur, err := m.ScanCursor(ctx, q)
+		if err != nil {
+			return res, nil, err
+		}
+		if !cur.Next() {
+			return res, nil, fmt.Errorf("bench: streaming scan yielded nothing: %v", cur.Err())
+		}
+		firstNs += time.Since(start).Nanoseconds()
+		n := 1
+		for cur.Next() {
+			n++
+		}
+		if err := cur.Err(); err != nil {
+			return res, nil, err
+		}
+		drainNs += time.Since(start).Nanoseconds()
+		if n != res.Regions {
+			return res, nil, fmt.Errorf("bench: cursor yielded %d regions, Scan returned %d", n, res.Regions)
+		}
+
+		cur, err = m.ScanCursor(ctx, q)
+		if err != nil {
+			return res, nil, err
+		}
+		if !cur.Next() {
+			return res, nil, fmt.Errorf("bench: streaming scan yielded nothing: %v", cur.Err())
+		}
+		start = time.Now()
+		cur.Close()
+		cancelNs += time.Since(start).Nanoseconds()
+	}
+	res.FullScanNs = fullNs / streamPerfRuns
+	res.StreamFirstResultNs = firstNs / streamPerfRuns
+	res.StreamDrainNs = drainNs / streamPerfRuns
+	res.CancelAfterFirstNs = cancelNs / streamPerfRuns
+	if res.FullScanNs > 0 {
+		res.FirstResultFrac = float64(res.StreamFirstResultNs) / float64(res.FullScanNs)
+	}
+
+	t := &Table{
+		Title:   "Streaming scans (PR 3): time-to-first-result vs full materialization",
+		Columns: []string{"measurement", "value"},
+		Rows: [][]string{
+			{"query span", fmt.Sprintf("%d SOTs, %d regions", res.SOTs, res.Regions)},
+			{"full scan (materialize)", fmt.Sprintf("%.3f ms", float64(res.FullScanNs)/1e6)},
+			{"stream first result", fmt.Sprintf("%.3f ms (%.1f%% of full)", float64(res.StreamFirstResultNs)/1e6, 100*res.FirstResultFrac)},
+			{"stream full drain", fmt.Sprintf("%.3f ms", float64(res.StreamDrainNs)/1e6)},
+			{"cancel after first result", fmt.Sprintf("%.3f ms", float64(res.CancelAfterFirstNs)/1e6)},
+		},
+		Notes: []string{
+			fmt.Sprintf("%d CPUs, cache disabled, parallelism %d", res.CPUs, cfg.Parallelism),
+			"target: first result < 25% of full-scan wall on a >= 8-SOT query",
+		},
+	}
+	return res, t, nil
+}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -181,7 +182,7 @@ func runStrategy(o Options, m *micro, queries []workload.Query, strategy string,
 		if err != nil {
 			return nil, 0, err
 		}
-		rs, err := policy.Apply(mgr, actions)
+		rs, err := policy.Apply(context.Background(), mgr, actions)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -213,7 +214,7 @@ func runStrategy(o Options, m *micro, queries []workload.Query, strategy string,
 				return nil, 0, err
 			}
 			if len(actions) > 0 {
-				rs, err := policy.Apply(mgr, actions)
+				rs, err := policy.Apply(context.Background(), mgr, actions)
 				if err != nil {
 					return nil, 0, err
 				}
@@ -522,7 +523,7 @@ func runPreTile(o Options, m *micro, queries []workload.Query, strat, root strin
 			return nil, 0, err
 		}
 		if len(actions) > 0 {
-			rs, err := policy.Apply(mgr, actions)
+			rs, err := policy.Apply(context.Background(), mgr, actions)
 			if err != nil {
 				return nil, 0, err
 			}

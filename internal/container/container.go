@@ -6,6 +6,7 @@
 package container
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -171,6 +172,14 @@ func (v *Video) KeyframeBefore(i int) int {
 // real decoder must; the warm-up frames are counted in the stats (that cost
 // is exactly what TASM's layouts are designed to avoid) but not returned.
 func (v *Video) DecodeRange(from, to int) ([]*frame.Frame, vcodec.DecodeStats, error) {
+	return v.DecodeRangeContext(context.Background(), from, to)
+}
+
+// DecodeRangeContext is DecodeRange under a context: cancellation or
+// deadline expiry is checked before every frame, so an in-flight tile
+// decode stops within one frame's work instead of running the GOP to the
+// end. The returned error wraps ctx.Err(), matchable with errors.Is.
+func (v *Video) DecodeRangeContext(ctx context.Context, from, to int) ([]*frame.Frame, vcodec.DecodeStats, error) {
 	if from < 0 || to > v.FrameCount() || from >= to {
 		return nil, vcodec.DecodeStats{}, fmt.Errorf("container: invalid range [%d,%d) of %d frames", from, to, v.FrameCount())
 	}
@@ -182,6 +191,9 @@ func (v *Video) DecodeRange(from, to int) ([]*frame.Frame, vcodec.DecodeStats, e
 	start := v.KeyframeBefore(from)
 	out := make([]*frame.Frame, 0, to-from)
 	for i := start; i < to; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, dec.Stats(), fmt.Errorf("container: decode stopped at frame %d: %w", i, err)
+		}
 		// Warm-up frames advance the reference planes (and are charged to
 		// the decode stats, the cost TASM's layouts exist to avoid) but
 		// are never materialized as frames.
@@ -232,6 +244,13 @@ func EncodeVideo(frames []*frame.Frame, fps int, p vcodec.Params) (*Video, error
 // edges are flagged so the codec applies its boundary treatment, the source
 // of tiling's quality cost.
 func EncodeTiled(frames []*frame.Frame, l layout.Layout, fps int, p vcodec.Params) ([]*Video, error) {
+	return EncodeTiledContext(context.Background(), frames, l, fps, p)
+}
+
+// EncodeTiledContext is EncodeTiled under a context, checked before every
+// frame encode so an ingest or re-tile aborts within one frame's work of a
+// cancellation. The returned error wraps ctx.Err().
+func EncodeTiledContext(ctx context.Context, frames []*frame.Frame, l layout.Layout, fps int, p vcodec.Params) ([]*Video, error) {
 	if len(frames) == 0 {
 		return nil, errors.New("container: no frames")
 	}
@@ -257,6 +276,10 @@ func EncodeTiled(frames []*frame.Frame, l layout.Layout, fps int, p vcodec.Param
 		}
 		w := NewWriter(rect.Width(), rect.Height(), fps, enc.GOPLength(), p.QP)
 		for fi, f := range frames {
+			if err := ctx.Err(); err != nil {
+				enc.Release()
+				return nil, fmt.Errorf("container: encode stopped at tile %d frame %d: %w", ti, fi, err)
+			}
 			pkt, isKey, err := enc.Encode(f.Crop(rect), false)
 			if err != nil {
 				enc.Release()

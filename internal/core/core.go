@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"sort"
@@ -20,6 +21,7 @@ import (
 	"github.com/tasm-repro/tasm/internal/layout"
 	"github.com/tasm-repro/tasm/internal/query"
 	"github.com/tasm-repro/tasm/internal/semindex"
+	"github.com/tasm-repro/tasm/internal/tasmerr"
 	"github.com/tasm-repro/tasm/internal/tilecache"
 	"github.com/tasm-repro/tasm/internal/tilestore"
 	"github.com/tasm-repro/tasm/internal/vcodec"
@@ -89,6 +91,11 @@ type Manager struct {
 	// other's uncommitted state. Readers never take these locks.
 	retileMu sync.Map
 
+	// flights deduplicates concurrent decodes of the same (SOT, tile) when
+	// the decoded-tile cache is enabled: N scans of one region pay one
+	// disk decode.
+	flights flightGroup
+
 	// refreshHook, when set by tests, is consulted before each
 	// refreshPointers attempt to inject failures.
 	refreshHook func(video string) error
@@ -133,9 +140,15 @@ type IngestStats struct {
 // Ingest stores frames as an untiled video: one SOT per GOP, each with the
 // 1×1 layout ω, so later re-tiling of any SOT is independent of the others.
 func (m *Manager) Ingest(video string, frames []*frame.Frame, fps int) (IngestStats, error) {
+	return m.IngestContext(context.Background(), video, frames, fps)
+}
+
+// IngestContext is Ingest under a context: cancellation aborts the encode
+// within one frame's work and leaves no partial video behind.
+func (m *Manager) IngestContext(ctx context.Context, video string, frames []*frame.Frame, fps int) (IngestStats, error) {
 	n := len(frames)
 	if n == 0 {
-		return IngestStats{}, fmt.Errorf("core: no frames")
+		return IngestStats{}, fmt.Errorf("core: %w", tasmerr.ErrNoFrames)
 	}
 	gop := m.cfg.Codec.GOPLength
 	if gop <= 0 {
@@ -146,16 +159,23 @@ func (m *Manager) Ingest(video string, frames []*frame.Frame, fps int) (IngestSt
 	for from := 0; from < n; from += gop {
 		layouts = append(layouts, layout.Single(w, h))
 	}
-	return m.IngestTiled(video, frames, fps, layouts)
+	return m.IngestTiledContext(ctx, video, frames, fps, layouts)
 }
 
 // IngestTiled stores frames with a caller-chosen layout per SOT (SOTs are
 // GOP-length chunks). This is the path edge cameras use to upload pre-tiled
 // video (paper §4.3, "Edge tiling").
 func (m *Manager) IngestTiled(video string, frames []*frame.Frame, fps int, layouts []layout.Layout) (IngestStats, error) {
+	return m.IngestTiledContext(context.Background(), video, frames, fps, layouts)
+}
+
+// IngestTiledContext is IngestTiled under a context. The encode — the
+// expensive phase — checks the context every frame; the final catalog
+// commit is atomic and is not interrupted once entered.
+func (m *Manager) IngestTiledContext(ctx context.Context, video string, frames []*frame.Frame, fps int, layouts []layout.Layout) (IngestStats, error) {
 	n := len(frames)
 	if n == 0 {
-		return IngestStats{}, fmt.Errorf("core: no frames")
+		return IngestStats{}, fmt.Errorf("core: %w", tasmerr.ErrNoFrames)
 	}
 	w, h := frames[0].W, frames[0].H
 	gop := m.cfg.Codec.GOPLength
@@ -179,7 +199,7 @@ func (m *Manager) IngestTiled(video string, frames []*frame.Frame, fps int, layo
 		if err := l.Validate(cons); err != nil {
 			return IngestStats{}, fmt.Errorf("core: SOT %d: %w", si, err)
 		}
-		tiles, err := container.EncodeTiled(frames[from:to], l, fps, m.cfg.Codec)
+		tiles, err := container.EncodeTiledContext(ctx, frames[from:to], l, fps, m.cfg.Codec)
 		if err != nil {
 			return IngestStats{}, fmt.Errorf("core: SOT %d: %w", si, err)
 		}
@@ -259,7 +279,7 @@ func clampRange(video string, from, to, frameCount int) (int, int, error) {
 		ct = frameCount
 	}
 	if cf >= ct {
-		return 0, 0, fmt.Errorf("core: video %q: empty frame range [%d,%d) after clamping to %d frames", video, from, to, frameCount)
+		return 0, 0, fmt.Errorf("core: video %q: %w: empty frame range [%d,%d) after clamping to %d frames", video, tasmerr.ErrInvalidRange, from, to, frameCount)
 	}
 	return cf, ct, nil
 }
@@ -268,73 +288,41 @@ func clampRange(video string, from, to, frameCount int) (int, int, error) {
 // the semantic index for the boxes matching the label predicate within the
 // time range, determines which tiles contain them, decodes only those
 // tiles, and returns the matching pixel regions.
+func (m *Manager) Scan(q query.Query) ([]RegionResult, ScanStats, error) {
+	return m.ScanContext(context.Background(), q)
+}
+
+// unboundedWindow admits every SOT to the decode pipeline at once — the
+// materializing wrappers' setting, preserving the pre-cursor batch
+// behavior of flattening all (SOT, tile) jobs across the worker pool.
+const unboundedWindow = 1 << 30
+
+// ScanContext is Scan under a context: cancellation or deadline expiry
+// stops in-flight tile decodes within one frame's work, releases the
+// request's read leases, and returns an error wrapping ctx.Err().
 //
 // The whole request runs under a store snapshot lease: the tile files of
 // every SOT version the catalog snapshot names stay on disk until Scan
 // finishes, even if a concurrent RetileSOT swaps the live layout. The
 // request's frame range follows the clamp-then-validate semantics of
-// clampRange.
-func (m *Manager) Scan(q query.Query) ([]RegionResult, ScanStats, error) {
-	var st ScanStats
-	meta, lease, err := m.store.SnapshotRange(q.Video, q.From, q.To)
+// clampRange. Results are produced by draining a ScanCursor (with an
+// unbounded decode-ahead window, since everything is materialized
+// anyway), so the streaming and materializing paths cannot diverge;
+// order is deterministic — SOTs ascending, frame offsets ascending
+// within each SOT.
+func (m *Manager) ScanContext(ctx context.Context, q query.Query) ([]RegionResult, ScanStats, error) {
+	c, err := m.scanCursor(ctx, q, unboundedWindow)
 	if err != nil {
-		return nil, st, err
+		return nil, ScanStats{}, err
 	}
-	defer lease.Release()
-	from, to, err := clampRange(q.Video, q.From, q.To, meta.FrameCount)
-	if err != nil {
-		return nil, st, err
-	}
-
-	regions, indexWall, err := m.regionsForQuery(q, from, to)
-	if err != nil {
-		return nil, st, err
-	}
-	st.IndexWall = indexWall
-	if len(regions) == 0 {
-		return nil, st, nil
-	}
-
-	// Plan every touched SOT up front: which frame offsets it must serve
-	// and which tiles (decoded through which offset) it needs.
-	var plans []*sotPlan
-	for _, sot := range meta.SOTsInRange(from, to) {
-		qf := costmodel.QueryFrames{}
-		for f := max(from, sot.From); f < min(to, sot.To); f++ {
-			if rs := regions[f]; len(rs) > 0 {
-				qf[f-sot.From] = rs
-			}
-		}
-		if len(qf) == 0 {
-			continue
-		}
-		plans = append(plans, planSOT(sot, qf))
-	}
-	st.SOTsTouched = len(plans)
-	if len(plans) == 0 {
-		return nil, st, nil
-	}
-
-	// Fan the (SOT, tile) decode jobs of the whole query range across a
-	// bounded worker pool. Flattening across SOTs is what lets a query
-	// spanning many SOTs with one needed tile each still use all workers.
-	decodeStart := time.Now()
-	if err := m.decodePlans(q.Video, lease, plans, &st); err != nil {
-		return nil, st, err
-	}
-	st.DecodeWall = time.Since(decodeStart)
-
-	// Assemble results in deterministic order: SOTs ascending (as stored
-	// in the catalog), frame offsets ascending within each SOT. Assembly is
-	// pure pixel blitting and is timed separately from the decode.
-	assembleStart := time.Now()
 	var out []RegionResult
-	for _, p := range plans {
-		out = append(out, assembleSOT(p)...)
+	for c.Next() {
+		out = append(out, c.Result())
 	}
-	st.AssembleWall = time.Since(assembleStart)
-	st.RegionsReturned = len(out)
-	return out, st, nil
+	if err := c.Err(); err != nil {
+		return nil, c.Stats(), err
+	}
+	return out, c.Stats(), nil
 }
 
 // sotPlan is the decode plan for one SOT of a Scan: the regions requested
@@ -346,9 +334,11 @@ type sotPlan struct {
 	offs []int // sorted frame offsets with requests
 	tids []int // sorted tile indices needed
 	need []int // per tids entry: frames to decode from the SOT keyframe
-	// decoded[k] receives tile tids[k]'s frames; slots are written by
-	// exactly one decode job each, so no lock is needed.
+	// decoded[k] receives tile tids[k]'s frames and results[k] that
+	// decode's outcome; slots are written by exactly one decode job each,
+	// so no lock is needed.
 	decoded [][]*frame.Frame
+	results []tileDecodeResult
 }
 
 func planSOT(sot tilestore.SOTMeta, qf costmodel.QueryFrames) *sotPlan {
@@ -374,46 +364,26 @@ func planSOT(sot tilestore.SOTMeta, qf costmodel.QueryFrames) *sotPlan {
 		p.need[k] = lastNeeded[ti] + 1
 	}
 	p.decoded = make([][]*frame.Frame, len(p.tids))
+	p.results = make([]tileDecodeResult, len(p.tids))
 	return p
 }
 
-// decodePlans runs every (SOT, tile) decode job of a scan with bounded
-// parallelism, filling each plan's decoded slots and accumulating stats
-// race-free (each job writes only its own result slot; totals are summed
-// after the pool drains).
-func (m *Manager) decodePlans(video string, lease *tilestore.Lease, plans []*sotPlan, st *ScanStats) error {
-	type jobRef struct {
-		p *sotPlan
-		k int
-	}
-	var jobs []jobRef
-	for _, p := range plans {
-		for k := range p.tids {
-			jobs = append(jobs, jobRef{p, k})
-		}
-	}
-	results := make([]tileDecodeResult, len(jobs))
-	runJobs(len(jobs), m.cfg.Parallelism, func(i int) {
-		j := jobs[i]
-		frames, r := m.decodeTilePrefix(video, lease, j.p.sot, j.p.tids[j.k], j.p.need[j.k])
-		j.p.decoded[j.k] = frames
-		results[i] = r
-	})
-	var firstErr error
-	for _, r := range results {
-		if err := m.applyDecodeResult(st, r); err != nil && firstErr == nil {
-			firstErr = err
-		}
-	}
-	return firstErr
-}
-
 // applyDecodeResult folds one decode job's outcome into st and returns
-// the job's error, if any. Shared by Scan and DecodeFrames so their
-// accounting cannot diverge.
+// the job's error, if any. Shared by the batch and streaming paths so
+// their accounting cannot diverge.
 func (m *Manager) applyDecodeResult(st *ScanStats, r tileDecodeResult) error {
 	if r.err != nil {
 		return r.err
+	}
+	m.foldDecodeStats(st, r)
+	return nil
+}
+
+// foldDecodeStats folds a successful decode job's counters into st;
+// errored jobs contribute nothing (their error is surfaced separately).
+func (m *Manager) foldDecodeStats(st *ScanStats, r tileDecodeResult) {
+	if r.err != nil {
+		return
 	}
 	if r.hit {
 		st.CacheHits++
@@ -426,17 +396,21 @@ func (m *Manager) applyDecodeResult(st *ScanStats, r tileDecodeResult) error {
 	st.CacheEvictions += r.evicted
 	st.FramesDecoded += r.ds.FramesDecoded
 	st.PixelsDecoded += r.ds.PixelsDecoded
-	return nil
 }
 
-// runJobs invokes fn(0..n-1) with at most workers goroutines. fn must only
-// write state private to its index.
-func runJobs(n, workers int, fn func(int)) {
+// runJobs invokes fn(0..n-1) with at most workers goroutines, stopping
+// the dispatch of further jobs once ctx is done (fn itself is expected to
+// observe ctx for prompt in-job cancellation). fn must only write state
+// private to its index.
+func runJobs(ctx context.Context, n, workers int, fn func(int)) {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return
+			}
 			fn(i)
 		}
 		return
@@ -447,7 +421,7 @@ func runJobs(n, workers int, fn func(int)) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -474,35 +448,81 @@ type tileDecodeResult struct {
 // decode starts at the frame-0 keyframe and a cached prefix is reusable
 // by any shorter request. The returned frames are shared with the cache
 // and must not be mutated.
-func (m *Manager) decodeTilePrefix(video string, lease *tilestore.Lease, sot tilestore.SOTMeta, ti, n int) ([]*frame.Frame, tileDecodeResult) {
+//
+// When the cache is enabled, concurrent requests for the same key are
+// singleflighted: one leader decodes from disk, the rest wait and share
+// its frames (reported as cache hits — the frames were served from
+// memory, not re-decoded). A waiter whose own ctx expires stops waiting;
+// a leader's failure is never shared, the waiters decode for themselves.
+func (m *Manager) decodeTilePrefix(ctx context.Context, video string, lease *tilestore.Lease, sot tilestore.SOTMeta, ti, n int) ([]*frame.Frame, tileDecodeResult) {
 	var r tileDecodeResult
-	var k tilecache.Key
-	if m.cache != nil {
-		k = tilecache.Key{
-			Video: video, SOT: sot.ID, Tile: ti,
-			Retiles: sot.Retiles,
-			// Capture the generation before touching disk: if the SOT is
-			// invalidated while we decode, our Put lands under the stale
-			// generation and is never served.
-			Gen: m.cache.Gen(video, sot.ID),
-		}
+	if err := ctx.Err(); err != nil {
+		r.err = fmt.Errorf("core: %s SOT %d tile %d: %w", video, sot.ID, ti, err)
+		return nil, r
+	}
+	if m.cache == nil {
+		return m.decodeTileFromDisk(ctx, video, lease, sot, ti, n, tilecache.Key{})
+	}
+	k := tilecache.Key{
+		Video: video, SOT: sot.ID, Tile: ti,
+		Retiles: sot.Retiles,
+		// Capture the generation before touching disk: if the SOT is
+		// invalidated while we decode, our Put lands under the stale
+		// generation and is never served.
+		Gen: m.cache.Gen(video, sot.ID),
+	}
+	for {
 		if fs, ok := m.cache.Get(k, n); ok {
 			r.hit = true
 			return fs, r
 		}
+		f, leader := m.flights.join(k, n)
+		if leader {
+			frames, r := m.decodeTileFromDisk(ctx, video, lease, sot, ti, n, k)
+			m.flights.finish(k, f, frames, r.err)
+			return frames, r
+		}
+		select {
+		case <-f.done:
+			if f.err == nil && len(f.frames) >= n {
+				r.hit = true
+				return f.frames[:n:n], r
+			}
+			// The leader failed (possibly on its own cancelled context) or
+			// delivered a shorter prefix than promised. Loop: re-check the
+			// cache and re-join, so the waiters elect exactly one new
+			// leader per round instead of stampeding the disk together.
+			// Each round's leader returns (success or its own error), so
+			// every caller terminates within len(waiters) rounds.
+			if err := ctx.Err(); err != nil {
+				r.err = fmt.Errorf("core: %s SOT %d tile %d: %w", video, sot.ID, ti, err)
+				return nil, r
+			}
+		case <-ctx.Done():
+			r.err = fmt.Errorf("core: %s SOT %d tile %d: %w", video, sot.ID, ti, ctx.Err())
+			return nil, r
+		}
 	}
+}
+
+// decodeTileFromDisk reads and decodes the tile prefix through the lease,
+// populating the cache when enabled (k is ignored otherwise).
+func (m *Manager) decodeTileFromDisk(ctx context.Context, video string, lease *tilestore.Lease, sot tilestore.SOTMeta, ti, n int, k tilecache.Key) ([]*frame.Frame, tileDecodeResult) {
+	var r tileDecodeResult
 	tv, err := lease.ReadTile(sot, ti)
 	if err != nil {
 		r.err = err
 		return nil, r
 	}
-	frames, ds, err := tv.DecodeRange(0, n)
+	frames, ds, err := tv.DecodeRangeContext(ctx, 0, n)
 	if err != nil {
 		r.err = fmt.Errorf("core: %s SOT %d tile %d: %w", video, sot.ID, ti, err)
 		return nil, r
 	}
 	r.ds = ds
-	r.evicted = m.cache.Put(k, frames) // nil-safe no-op when disabled
+	if m.cache != nil {
+		r.evicted = m.cache.Put(k, frames)
+	}
 	return frames, r
 }
 
@@ -627,71 +647,120 @@ func (m *Manager) QueryDemand(q query.Query) (map[int]costmodel.QueryFrames, map
 // store snapshot lease and applies the clamp-then-validate range
 // semantics of clampRange.
 func (m *Manager) DecodeFrames(video string, from, to int) ([]*frame.Frame, ScanStats, error) {
-	var st ScanStats
-	meta, lease, err := m.store.SnapshotRange(video, from, to)
-	if err != nil {
-		return nil, st, err
-	}
-	defer lease.Release()
-	from, to, err = clampRange(video, from, to, meta.FrameCount)
-	if err != nil {
-		return nil, st, err
-	}
-	return m.decodeFramesLeased(video, meta, lease, from, to)
+	return m.DecodeFramesContext(context.Background(), video, from, to)
 }
 
-// decodeFramesLeased is DecodeFrames' engine, reading every tile through
-// the caller's snapshot lease; from/to must already be clamped and valid.
-// RetileSOT shares it so its decode runs under the same lease its commit
-// is validated against.
-func (m *Manager) decodeFramesLeased(video string, meta tilestore.VideoMeta, lease *tilestore.Lease, from, to int) ([]*frame.Frame, ScanStats, error) {
+// DecodeFramesContext is DecodeFrames under a context; like ScanContext
+// it is a thin wrapper draining a FrameCursor (unbounded decode-ahead
+// window), so cancellation stops in-flight decodes promptly and
+// releases the read leases.
+func (m *Manager) DecodeFramesContext(ctx context.Context, video string, from, to int) ([]*frame.Frame, ScanStats, error) {
+	c, err := m.frameCursor(ctx, video, from, to, unboundedWindow)
+	if err != nil {
+		return nil, ScanStats{}, err
+	}
+	var out []*frame.Frame
+	for c.Next() {
+		out = append(out, c.Result().Pixels)
+	}
+	if err := c.Err(); err != nil {
+		return nil, c.Stats(), err
+	}
+	return out, c.Stats(), nil
+}
+
+// dfJob is one (SOT, tile) decode of a whole-frame request.
+type dfJob struct {
+	sot    tilestore.SOTMeta
+	ti     int
+	lo, hi int // frame range within the SOT
+	frames []*frame.Frame
+	res    tileDecodeResult
+}
+
+// planFrameJobs builds the per-SOT decode jobs of a whole-frame request:
+// one job per (SOT, tile), grouped by SOT so assembly never depends on a
+// positional cursor.
+func planFrameJobs(sots []tilestore.SOTMeta, from, to int) [][]*dfJob {
+	sotJobs := make([][]*dfJob, len(sots))
+	for si, sot := range sots {
+		lo, hi := max(from, sot.From)-sot.From, min(to, sot.To)-sot.From
+		for ti := 0; ti < sot.L.NumTiles(); ti++ {
+			sotJobs[si] = append(sotJobs[si], &dfJob{sot: sot, ti: ti, lo: lo, hi: hi})
+		}
+	}
+	return sotJobs
+}
+
+// runFrameJob decodes one (SOT, tile) job. When the cache is enabled the
+// job decodes the prefix [0, hi) so the result is reusable by later
+// scans; the warm-up frames before lo are decoded either way (decoding
+// must start at the keyframe), so caching them is free.
+func (m *Manager) runFrameJob(ctx context.Context, video string, lease *tilestore.Lease, j *dfJob) {
+	if m.cache != nil {
+		frames, r := m.decodeTilePrefix(ctx, video, lease, j.sot, j.ti, j.hi)
+		if r.err == nil {
+			frames = frames[j.lo:j.hi]
+		}
+		j.frames, j.res = frames, r
+		return
+	}
+	if err := ctx.Err(); err != nil {
+		j.res.err = fmt.Errorf("core: %s SOT %d tile %d: %w", video, j.sot.ID, j.ti, err)
+		return
+	}
+	tv, err := lease.ReadTile(j.sot, j.ti)
+	if err != nil {
+		j.res.err = err
+		return
+	}
+	j.frames, j.res.ds, j.res.err = tv.DecodeRangeContext(ctx, j.lo, j.hi)
+}
+
+// assembleFrameSOT blits one SOT's decoded tiles into full frames, in
+// ascending frame order.
+func assembleFrameSOT(w, h int, js []*dfJob) []*frame.Frame {
+	if len(js) == 0 {
+		return nil
+	}
+	full := make([]*frame.Frame, js[0].hi-js[0].lo)
+	for i := range full {
+		full[i] = frame.New(w, h)
+	}
+	for _, j := range js {
+		rect := j.sot.L.TileRectByIndex(j.ti)
+		for i, tf := range j.frames {
+			full[i].Blit(tf, rect.X0, rect.Y0)
+		}
+	}
+	return full
+}
+
+// decodeFramesLeased is the batch whole-frame engine, reading every tile
+// through the caller's snapshot lease; from/to must already be clamped
+// and valid. RetileSOT uses it so its decode runs under the same lease
+// its commit is validated against (the public DecodeFrames path streams
+// through FrameCursor instead).
+func (m *Manager) decodeFramesLeased(ctx context.Context, video string, meta tilestore.VideoMeta, lease *tilestore.Lease, from, to int) ([]*frame.Frame, ScanStats, error) {
 	var st ScanStats
 	sots := meta.SOTsInRange(from, to)
 	st.SOTsTouched = len(sots)
 	start := time.Now()
 
-	// One decode job per (SOT, tile), grouped by SOT so assembly never
-	// depends on a positional cursor. When the cache is enabled each job
-	// decodes the prefix [0, hi) so the result is reusable by later
-	// scans; the warm-up frames before lo are decoded either way
-	// (DecodeRange must start at the keyframe), so caching them is free.
-	type dfJob struct {
-		sot    tilestore.SOTMeta
-		ti     int
-		lo, hi int // frame range within the SOT
-		frames []*frame.Frame
-		res    tileDecodeResult
-	}
+	sotJobs := planFrameJobs(sots, from, to)
 	var jobs []*dfJob
-	sotJobs := make([][]*dfJob, len(sots))
-	for si, sot := range sots {
-		lo, hi := max(from, sot.From)-sot.From, min(to, sot.To)-sot.From
-		for ti := 0; ti < sot.L.NumTiles(); ti++ {
-			j := &dfJob{sot: sot, ti: ti, lo: lo, hi: hi}
-			jobs = append(jobs, j)
-			sotJobs[si] = append(sotJobs[si], j)
-		}
+	for _, js := range sotJobs {
+		jobs = append(jobs, js...)
 	}
-	runJobs(len(jobs), m.cfg.Parallelism, func(i int) {
-		j := jobs[i]
-		if m.cache != nil {
-			frames, r := m.decodeTilePrefix(video, lease, j.sot, j.ti, j.hi)
-			if r.err == nil {
-				frames = frames[j.lo:j.hi]
-			}
-			j.frames, j.res = frames, r
-			return
-		}
-		tv, err := lease.ReadTile(j.sot, j.ti)
-		if err != nil {
-			j.res.err = err
-			return
-		}
-		j.frames, j.res.ds, j.res.err = tv.DecodeRange(j.lo, j.hi)
+	runJobs(ctx, len(jobs), m.cfg.Parallelism, func(i int) {
+		m.runFrameJob(ctx, video, lease, jobs[i])
 	})
 
 	st.DecodeWall = time.Since(start)
 
+	if err := ctx.Err(); err != nil {
+		return nil, st, fmt.Errorf("core: decode frames %s [%d,%d): %w", video, from, to, err)
+	}
 	var firstErr error
 	for _, j := range jobs {
 		if err := m.applyDecodeResult(&st, j.res); err != nil && firstErr == nil {
@@ -707,20 +776,7 @@ func (m *Manager) decodeFramesLeased(video string, meta tilestore.VideoMeta, lea
 	assembleStart := time.Now()
 	out := make([]*frame.Frame, 0, to-from)
 	for _, js := range sotJobs {
-		if len(js) == 0 {
-			continue
-		}
-		full := make([]*frame.Frame, js[0].hi-js[0].lo)
-		for i := range full {
-			full[i] = frame.New(meta.W, meta.H)
-		}
-		for _, j := range js {
-			rect := j.sot.L.TileRectByIndex(j.ti)
-			for i, tf := range j.frames {
-				full[i].Blit(tf, rect.X0, rect.Y0)
-			}
-		}
-		out = append(out, full...)
+		out = append(out, assembleFrameSOT(meta.W, meta.H, js)...)
 	}
 	st.AssembleWall = time.Since(assembleStart)
 	return out, st, nil
@@ -769,6 +825,14 @@ func (m *Manager) retileLock(video string) *sync.Mutex {
 // a failed re-tile — so the caller knows the new layout is live and can
 // run RepairPointers.
 func (m *Manager) RetileSOT(video string, sotID int, l layout.Layout) (RetileStats, error) {
+	return m.RetileSOTContext(context.Background(), video, sotID, l)
+}
+
+// RetileSOTContext is RetileSOT under a context: the decode and re-encode
+// phases abort within one frame's work of a cancellation and nothing is
+// committed; once the tile swap starts committing it is not interrupted
+// (the commit itself is atomic under the store's catalog lock).
+func (m *Manager) RetileSOTContext(ctx context.Context, video string, sotID int, l layout.Layout) (RetileStats, error) {
 	mu := m.retileLock(video)
 	mu.Lock()
 	defer mu.Unlock()
@@ -779,7 +843,7 @@ func (m *Manager) RetileSOT(video string, sotID int, l layout.Layout) (RetileSta
 	// possibly re-ingested under the same name) mid-retile, the store
 	// refuses to install tiles encoded from the deleted generation's
 	// frames.
-	meta, lease, err := m.store.Snapshot(video)
+	meta, lease, err := m.store.SnapshotContext(ctx, video)
 	if err != nil {
 		return rs, err
 	}
@@ -793,7 +857,7 @@ func (m *Manager) RetileSOT(video string, sotID int, l layout.Layout) (RetileSta
 		}
 	}
 	if !found {
-		return rs, fmt.Errorf("core: video %q has no SOT %d", video, sotID)
+		return rs, fmt.Errorf("core: %w: video %q has no SOT %d", tasmerr.ErrSOTNotFound, video, sotID)
 	}
 	if err := l.Validate(m.cfg.Constraints(meta.W, meta.H)); err != nil {
 		return rs, err
@@ -802,14 +866,14 @@ func (m *Manager) RetileSOT(video string, sotID int, l layout.Layout) (RetileSta
 		return rs, nil // already in the requested layout
 	}
 
-	frames, st, err := m.decodeFramesLeased(video, meta, lease, sot.From, sot.To)
+	frames, st, err := m.decodeFramesLeased(ctx, video, meta, lease, sot.From, sot.To)
 	if err != nil {
 		return rs, err
 	}
 	rs.DecodeWall = st.DecodeWall
 
 	encStart := time.Now()
-	tiles, err := container.EncodeTiled(frames, l, meta.FPS, m.cfg.Codec)
+	tiles, err := container.EncodeTiledContext(ctx, frames, l, meta.FPS, m.cfg.Codec)
 	if err != nil {
 		return rs, err
 	}
@@ -888,7 +952,13 @@ func (m *Manager) refreshPointers(video string, sot tilestore.SOTMeta, l layout.
 // under a snapshot lease, so a concurrent re-tile cannot swap the files
 // mid-stitch.
 func (m *Manager) StitchSOT(video string, sotID int) (*container.Stitched, error) {
-	meta, lease, err := m.store.Snapshot(video)
+	return m.StitchSOTContext(context.Background(), video, sotID)
+}
+
+// StitchSOTContext is StitchSOT under a context, checked before the
+// snapshot and between tile reads.
+func (m *Manager) StitchSOTContext(ctx context.Context, video string, sotID int) (*container.Stitched, error) {
+	meta, lease, err := m.store.SnapshotContext(ctx, video)
 	if err != nil {
 		return nil, err
 	}
@@ -897,13 +967,13 @@ func (m *Manager) StitchSOT(video string, sotID int) (*container.Stitched, error
 		if sot.ID != sotID {
 			continue
 		}
-		tiles, err := lease.ReadAllTiles(sot)
+		tiles, err := lease.ReadAllTiles(ctx, sot)
 		if err != nil {
 			return nil, err
 		}
 		return container.Stitch(sot.L, tiles)
 	}
-	return nil, fmt.Errorf("core: video %q has no SOT %d", video, sotID)
+	return nil, fmt.Errorf("core: %w: video %q has no SOT %d", tasmerr.ErrSOTNotFound, video, sotID)
 }
 
 // VideoBytes returns the video's total storage footprint.

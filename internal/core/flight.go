@@ -1,0 +1,68 @@
+package core
+
+import (
+	"sync"
+
+	"github.com/tasm-repro/tasm/internal/frame"
+	"github.com/tasm-repro/tasm/internal/tilecache"
+)
+
+// flightGroup deduplicates concurrent decodes of the same (video, SOT,
+// tile, version, generation): when N scans miss the decoded-tile cache on
+// the same key at once, one becomes the leader and decodes from disk while
+// the rest wait and share its frames — N concurrent scans of a region pay
+// one decode, not N. Keys reuse tilecache.Key, so a re-tile or delete
+// (which bumps the generation) can never hand a waiter frames of a stale
+// physical layout.
+//
+// Error handling is deliberately conservative: a leader's failure —
+// including a cancellation of the leader's own context — is never shared.
+// Waiters fall back to decoding themselves under their own context, so one
+// cancelled request cannot poison the requests that piggybacked on it.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[tilecache.Key]*flight
+}
+
+// flight is one in-progress decode: the prefix length being decoded and
+// the channel closed when frames/err are published.
+type flight struct {
+	n      int
+	done   chan struct{}
+	frames []*frame.Frame
+	err    error
+}
+
+// join returns the flight for key and whether the caller is its leader.
+// A caller needing at most the in-progress prefix length joins as a
+// follower; otherwise it leads its own flight (registered only if no
+// flight is in progress — a longer request racing a shorter one decodes
+// independently rather than stacking).
+func (g *flightGroup) join(k tilecache.Key, n int) (*flight, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.m == nil {
+		g.m = map[tilecache.Key]*flight{}
+	}
+	if f := g.m[k]; f != nil && f.n >= n {
+		return f, false
+	}
+	f := &flight{n: n, done: make(chan struct{})}
+	if g.m[k] == nil {
+		g.m[k] = f
+	}
+	return f, true
+}
+
+// finish publishes the leader's outcome and wakes the followers. Only the
+// registered flight is deregistered; an unregistered leader (see join)
+// just closes its private channel.
+func (g *flightGroup) finish(k tilecache.Key, f *flight, frames []*frame.Frame, err error) {
+	g.mu.Lock()
+	if g.m[k] == f {
+		delete(g.m, k)
+	}
+	g.mu.Unlock()
+	f.frames, f.err = frames, err
+	close(f.done)
+}

@@ -17,6 +17,7 @@
 package policy
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -43,11 +44,14 @@ type Action struct {
 }
 
 // Apply executes actions against the manager, returning the cumulative
-// retile statistics.
-func Apply(m *core.Manager, actions []Action) (core.RetileStats, error) {
+// retile statistics. The context is threaded into every re-tile:
+// cancellation aborts the in-progress re-encode within one frame's work
+// and skips the remaining actions (already-committed re-tiles stay
+// committed — each action is atomic).
+func Apply(ctx context.Context, m *core.Manager, actions []Action) (core.RetileStats, error) {
 	var total core.RetileStats
 	for _, a := range actions {
-		rs, err := m.RetileSOT(a.Video, a.SOTID, a.Layout)
+		rs, err := m.RetileSOTContext(ctx, a.Video, a.SOTID, a.Layout)
 		if err != nil {
 			return total, fmt.Errorf("policy: retile %s/%d: %w", a.Video, a.SOTID, err)
 		}

@@ -1,6 +1,7 @@
 package policy
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -95,7 +96,7 @@ func TestKQKOPlansQueriedSOTsOnly(t *testing.T) {
 	// Applying the plan speeds up the query.
 	q := workload[0]
 	_, before, _ := m.Scan(q)
-	if _, err := Apply(m, actions); err != nil {
+	if _, err := Apply(context.Background(), m, actions); err != nil {
 		t.Fatal(err)
 	}
 	_, after, _ := m.Scan(q)
@@ -195,7 +196,7 @@ func TestIncrementalMoreGrowsLabelSet(t *testing.T) {
 	if !strings.HasSuffix(actions[0].Reason, "car") {
 		t.Errorf("first layout reason = %q", actions[0].Reason)
 	}
-	if _, err := Apply(m, actions); err != nil {
+	if _, err := Apply(context.Background(), m, actions); err != nil {
 		t.Fatal(err)
 	}
 	// Same query again: no new actions.
@@ -351,7 +352,7 @@ func TestEdgeLayouts(t *testing.T) {
 func TestApplyPropagatesErrors(t *testing.T) {
 	m, _ := fixture(t)
 	bad := []Action{{Video: "traffic", SOTID: 77, Layout: layout.Single(192, 96)}}
-	if _, err := Apply(m, bad); err == nil {
+	if _, err := Apply(context.Background(), m, bad); err == nil {
 		t.Error("Apply of bad action succeeded")
 	}
 }

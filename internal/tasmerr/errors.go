@@ -1,0 +1,51 @@
+// Package tasmerr defines the storage manager's error taxonomy: the small
+// set of sentinel errors every layer (tilestore, core, the public tasm
+// package) wraps with %w so callers classify failures with errors.Is
+// instead of matching message strings. This is the contract a network
+// front end will map onto RPC status codes: each sentinel corresponds to
+// one externally meaningful failure class, while the wrapping text keeps
+// the operator-facing detail (video name, SOT id, frame range).
+//
+// The sentinels live in their own leaf package because both the physical
+// layer (internal/tilestore) and the engine (internal/core) return them,
+// and the public package re-exports them; any other home would cycle.
+package tasmerr
+
+import "errors"
+
+var (
+	// ErrVideoNotFound reports an operation on a video name the catalog
+	// does not hold (never ingested, or deleted and not re-ingested).
+	ErrVideoNotFound = errors.New("video not found")
+
+	// ErrVideoExists reports an ingest under a name that already exists.
+	ErrVideoExists = errors.New("video already exists")
+
+	// ErrInvalidName reports a video name the store refuses: empty,
+	// dot-prefixed, or containing a path separator.
+	ErrInvalidName = errors.New("invalid video name")
+
+	// ErrInvalidRange reports a frame range that is empty or inverted
+	// after clamping to the video's frame count.
+	ErrInvalidRange = errors.New("invalid frame range")
+
+	// ErrSOTNotFound reports an operation addressing a SOT id the video's
+	// catalog record does not contain.
+	ErrSOTNotFound = errors.New("SOT not found")
+
+	// ErrVideoDeleted reports an operation that lost a race with
+	// DeleteVideo: the video (or the generation of it the caller was
+	// working against) was deleted mid-operation.
+	ErrVideoDeleted = errors.New("video deleted")
+
+	// ErrRetileConflict reports a re-tile that lost a race with another
+	// re-tile of the same SOT: the version the caller's snapshot pinned
+	// was superseded before its commit (or acquisition) could land.
+	ErrRetileConflict = errors.New("retile conflict")
+
+	// ErrCursorClosed reports a read from a result cursor after Close.
+	ErrCursorClosed = errors.New("cursor closed")
+
+	// ErrNoFrames reports an ingest of an empty frame sequence.
+	ErrNoFrames = errors.New("no frames")
+)

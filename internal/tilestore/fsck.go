@@ -49,8 +49,12 @@ func (s *Store) GC() (GCReport, error) {
 			continue
 		}
 		vdir := filepath.Join(s.root, name)
-		meta, metaErr := s.metaLocked(name)
+		meta, metaErr := s.metaFromDisk(name)
 		if metaErr != nil {
+			// Whatever the parsed-manifest cache believes about this video,
+			// the disk no longer backs it; drop the entry so reads report
+			// the video's true state instead of a phantom catalog record.
+			s.invalidateManifest(name)
 			if _, err := os.Stat(filepath.Join(vdir, "manifest.json")); err == nil {
 				// Manifest present but unreadable: an integrity problem for
 				// fsck and the operator, not debris for GC to erase.
@@ -67,11 +71,13 @@ func (s *Store) GC() (GCReport, error) {
 			}
 		}
 		leased := map[string]bool{}
+		s.leaseMu.Lock()
 		for k, e := range s.leases {
 			if k.video == name && e.refs > 0 {
 				leased[filepath.Base(e.dir)] = true
 			}
 		}
+		s.leaseMu.Unlock()
 
 		entries, err := os.ReadDir(vdir)
 		if err != nil {
@@ -120,11 +126,13 @@ func (s *Store) GC() (GCReport, error) {
 func (s *Store) gcTrashLocked(rep *GCReport) error {
 	trash := filepath.Join(s.root, trashDirName)
 	pinned := map[string]bool{}
+	s.leaseMu.Lock()
 	for _, e := range s.leases {
 		if e.refs > 0 {
 			pinned[e.dir] = true
 		}
 	}
+	s.leaseMu.Unlock()
 	epochs, err := os.ReadDir(trash)
 	if err != nil {
 		return err
@@ -186,7 +194,9 @@ func (r FsckReport) OK() bool { return len(r.Problems) == 0 }
 func (s *Store) FSCK() (FsckReport, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	s.leaseMu.Lock()
 	rep := FsckReport{Leases: len(s.leases)}
+	s.leaseMu.Unlock()
 	problemf := func(format string, args ...any) {
 		rep.Problems = append(rep.Problems, fmt.Sprintf(format, args...))
 	}
@@ -204,11 +214,13 @@ func (s *Store) FSCK() (FsckReport, error) {
 			// Tombstones of deleted videos; unpinned ones are GC's to
 			// reclaim.
 			pinned := map[string]bool{}
+			s.leaseMu.Lock()
 			for _, e := range s.leases {
 				if e.refs > 0 {
 					pinned[e.dir] = true
 				}
 			}
+			s.leaseMu.Unlock()
 			filepath.Walk(vdir, func(p string, info os.FileInfo, err error) error {
 				if err == nil && info.IsDir() && p != vdir && !pinned[p] && sotDirPattern.MatchString(filepath.Base(p)) {
 					rep.Orphans = append(rep.Orphans, p)
@@ -217,7 +229,7 @@ func (s *Store) FSCK() (FsckReport, error) {
 			})
 			continue
 		}
-		meta, metaErr := s.metaLocked(name)
+		meta, metaErr := s.metaFromDisk(name)
 		if metaErr != nil {
 			if _, err := os.Stat(filepath.Join(vdir, "manifest.json")); err == nil {
 				problemf("video %s: %v", name, metaErr)

@@ -1,0 +1,218 @@
+package tilestore
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"github.com/tasm-repro/tasm/internal/container"
+	"github.com/tasm-repro/tasm/internal/layout"
+	"github.com/tasm-repro/tasm/internal/tasmerr"
+)
+
+// encodeTiles produces a fresh tile set for a SOT re-tile in tests.
+func encodeTiles(t *testing.T, w, h, n int, l layout.Layout) []*container.Video {
+	t.Helper()
+	tiles, err := container.EncodeTiled(makeFrames(w, h, n, 12), l, 10, params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tiles
+}
+
+// TestManifestCacheCoherence asserts the in-memory manifest cache is
+// invalidated (or refreshed) by every writer: a re-tile is visible in the
+// next Meta, a delete makes the video unknown, and a re-ingest under the
+// same name serves the new catalog record.
+func TestManifestCacheCoherence(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := buildVideo(t, s, "v")
+
+	// Warm the cache.
+	got, err := s.Meta("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SOTs[0].Retiles != 0 {
+		t.Fatalf("fresh video has retiles = %d", got.SOTs[0].Retiles)
+	}
+
+	// Re-tile SOT 0 and require the next read to see the bump.
+	tiles := encodeTiles(t, meta.W, meta.H, meta.SOTs[0].NumFrames(), meta.SOTs[0].L)
+	if err := s.ReplaceSOT("v", 0, meta.SOTs[0].L, tiles); err != nil {
+		// The same layout is fine for the cache test; the store does not
+		// compare layouts, only versions.
+		t.Fatal(err)
+	}
+	got, err = s.Meta("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SOTs[0].Retiles != 1 {
+		t.Fatalf("Meta after ReplaceSOT: retiles = %d, want 1 (stale cache?)", got.SOTs[0].Retiles)
+	}
+
+	// Mutating the returned record must not corrupt the cached copy.
+	got.SOTs[0].Retiles = 99
+	again, err := s.Meta("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.SOTs[0].Retiles != 1 {
+		t.Fatalf("caller mutation leaked into the cache: retiles = %d", again.SOTs[0].Retiles)
+	}
+
+	// Delete: the cache must not resurrect the video.
+	if err := s.DeleteVideo("v"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Meta("v"); !errors.Is(err, tasmerr.ErrVideoNotFound) {
+		t.Fatalf("Meta after delete: %v, want ErrVideoNotFound", err)
+	}
+
+	// Re-ingest under the same name: the new record is served.
+	meta2 := buildVideo(t, s, "v")
+	got, err = s.Meta("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FrameCount != meta2.FrameCount || got.SOTs[0].Retiles != 0 {
+		t.Fatalf("Meta after re-ingest = %+v", got)
+	}
+}
+
+// TestGCDropsStaleManifestCache asserts a GC pass that finds a video's
+// manifest gone from disk also drops the cached catalog record, so reads
+// stop serving a phantom video.
+func TestGCDropsStaleManifestCache(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	buildVideo(t, s, "v")
+	if _, err := s.Meta("v"); err != nil { // warm the cache
+		t.Fatal(err)
+	}
+	// Simulate external loss of the manifest (crash, operator mistake).
+	if err := os.Remove(filepath.Join(s.Root(), "v", "manifest.json")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.GC(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Meta("v"); !errors.Is(err, tasmerr.ErrVideoNotFound) {
+		t.Fatalf("Meta after GC of manifest-less video: %v, want ErrVideoNotFound (stale cache?)", err)
+	}
+}
+
+// TestSnapshotTypedErrors pins the store-level taxonomy.
+func TestSnapshotTypedErrors(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Snapshot("nosuch"); !errors.Is(err, tasmerr.ErrVideoNotFound) {
+		t.Errorf("snapshot of missing video: %v", err)
+	}
+	if _, _, err := s.Snapshot("../escape"); !errors.Is(err, tasmerr.ErrInvalidName) {
+		t.Errorf("snapshot of invalid name: %v", err)
+	}
+	buildVideo(t, s, "v")
+	if err := s.CreateVideo(VideoMeta{Name: "v"}, nil); !errors.Is(err, tasmerr.ErrVideoExists) {
+		t.Errorf("duplicate create: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := s.SnapshotContext(ctx, "v"); !errors.Is(err, context.Canceled) {
+		t.Errorf("snapshot under cancelled ctx: %v", err)
+	}
+	// A stale lease must classify its conflict: re-tile vs delete.
+	m1, lease, err := s.Snapshot("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiles := encodeTiles(t, m1.W, m1.H, m1.SOTs[0].NumFrames(), m1.SOTs[0].L)
+	if err := s.ReplaceSOT("v", 0, m1.SOTs[0].L, tiles); err != nil {
+		t.Fatal(err)
+	}
+	tiles2 := encodeTiles(t, m1.W, m1.H, m1.SOTs[0].NumFrames(), m1.SOTs[0].L)
+	if err := s.ReplaceSOTLeased(lease, "v", 0, m1.SOTs[0].L, tiles2); !errors.Is(err, tasmerr.ErrRetileConflict) {
+		t.Errorf("commit from superseded snapshot: %v, want ErrRetileConflict", err)
+	}
+	lease.Release()
+
+	_, lease2, err := s.Snapshot("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DeleteVideo("v"); err != nil {
+		t.Fatal(err)
+	}
+	buildVideo(t, s, "v")
+	if err := s.ReplaceSOTLeased(lease2, "v", 0, m1.SOTs[0].L, tiles2); !errors.Is(err, tasmerr.ErrVideoDeleted) {
+		t.Errorf("commit across delete/re-ingest: %v, want ErrVideoDeleted", err)
+	}
+	lease2.Release()
+}
+
+// TestConcurrentSnapshotsDontSerialize exercises the read-lock snapshot
+// path under race: many snapshot/release cycles concurrent with re-tiles
+// and a delete/re-ingest, all against the cached manifest.
+func TestConcurrentSnapshotsDontSerialize(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	buildVideo(t, s, "v")
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				m, lease, err := s.Snapshot("v")
+				if err != nil {
+					continue // deleted mid-cycle; the next ingest revives it
+				}
+				if _, err := lease.ReadTile(m.SOTs[0], 0); err != nil {
+					t.Error(err)
+				}
+				lease.Release()
+			}
+		}()
+	}
+	for i := 0; i < 5; i++ {
+		cur, err := s.Meta("v")
+		if err != nil {
+			t.Fatal(err)
+		}
+		tiles := encodeTiles(t, cur.W, cur.H, cur.SOTs[0].NumFrames(), cur.SOTs[0].L)
+		if err := s.ReplaceSOT("v", 0, cur.SOTs[0].L, tiles); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.DeleteVideo("v"); err != nil {
+		t.Fatal(err)
+	}
+	buildVideo(t, s, "v")
+	close(stop)
+	wg.Wait()
+	if rep, err := s.GC(); err != nil || len(rep.Deferred) != 0 {
+		t.Fatalf("GC after quiesce: %+v (err %v)", rep, err)
+	}
+	if fr, err := s.FSCK(); err != nil || !fr.OK() || fr.Leases != 0 {
+		t.Fatalf("FSCK after quiesce: %+v (err %v)", fr, err)
+	}
+}

@@ -26,6 +26,7 @@
 package tilestore
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -37,6 +38,7 @@ import (
 
 	"github.com/tasm-repro/tasm/internal/container"
 	"github.com/tasm-repro/tasm/internal/layout"
+	"github.com/tasm-repro/tasm/internal/tasmerr"
 )
 
 // SOTMeta describes one sequence of tiles: a frame range sharing a layout.
@@ -119,8 +121,8 @@ func (l *Lease) Release() {
 		return
 	}
 	l.once.Do(func() {
-		l.s.mu.Lock()
-		defer l.s.mu.Unlock()
+		l.s.leaseMu.Lock()
+		defer l.s.leaseMu.Unlock()
 		l.s.releaseLocked(l.keys)
 	})
 }
@@ -132,8 +134,8 @@ func (l *Lease) sotDir(sot SOTMeta) (string, error) {
 	if l == nil {
 		return "", errors.New("tilestore: nil lease")
 	}
-	l.s.mu.RLock()
-	defer l.s.mu.RUnlock()
+	l.s.leaseMu.Lock()
+	defer l.s.leaseMu.Unlock()
 	for _, k := range l.keys {
 		if k.sot != sot.ID || k.retiles != sot.Retiles {
 			continue
@@ -167,10 +169,14 @@ func (l *Lease) ReadTile(sot SOTMeta, tileIdx int) (*container.Video, error) {
 	}
 }
 
-// ReadAllTiles loads every tile stream of a leased SOT in layout order.
-func (l *Lease) ReadAllTiles(sot SOTMeta) ([]*container.Video, error) {
+// ReadAllTiles loads every tile stream of a leased SOT in layout order,
+// honoring ctx between tile reads.
+func (l *Lease) ReadAllTiles(ctx context.Context, sot SOTMeta) ([]*container.Video, error) {
 	out := make([]*container.Video, sot.L.NumTiles())
 	for i := range out {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("tilestore: read SOT %d tiles: %w", sot.ID, err)
+		}
 		tv, err := l.ReadTile(sot, i)
 		if err != nil {
 			return nil, err
@@ -183,11 +189,26 @@ func (l *Lease) ReadAllTiles(sot SOTMeta) ([]*container.Video, error) {
 // Store is a directory of stored videos. Methods are safe for concurrent
 // use; readers that must observe a frozen physical layout across multiple
 // calls hold a Lease (see Snapshot).
+//
+// Locking: mu is the catalog lock — writers (CreateVideo, ReplaceSOT,
+// DeleteVideo, GC) hold it exclusively, snapshot/lease acquisition holds it
+// shared, so concurrent scan starts no longer serialize on each other.
+// leaseMu guards the lease refcount table and delete epochs and nests
+// inside mu (mu → leaseMu, never the reverse); Lease.Release takes only
+// leaseMu, so dropping a lease never contends with the catalog. manMu
+// guards the parsed-manifest cache, which turns the per-snapshot
+// manifest.json read — previously a file read and JSON parse under the
+// exclusive lock on every request — into a map lookup.
 type Store struct {
-	mu     sync.RWMutex
-	root   string
-	leases map[leaseKey]*leaseEntry
-	epochs map[string]uint64 // bumped by DeleteVideo; never reset
+	mu   sync.RWMutex
+	root string
+
+	leaseMu sync.Mutex
+	leases  map[leaseKey]*leaseEntry
+	epochs  map[string]uint64 // bumped by DeleteVideo; never reset
+
+	manMu     sync.Mutex
+	manifests map[string]VideoMeta // parsed manifest.json cache
 }
 
 // Open creates (if needed) and opens a store rooted at dir.
@@ -196,9 +217,10 @@ func Open(dir string) (*Store, error) {
 		return nil, err
 	}
 	return &Store{
-		root:   dir,
-		leases: map[leaseKey]*leaseEntry{},
-		epochs: map[string]uint64{},
+		root:      dir,
+		leases:    map[leaseKey]*leaseEntry{},
+		epochs:    map[string]uint64{},
+		manifests: map[string]VideoMeta{},
 	}, nil
 }
 
@@ -251,10 +273,10 @@ const trashDirName = ".trash"
 // collide with the store's own bookkeeping entries.
 func validName(name string) error {
 	if name == "" || name == "." || name == ".." || name[0] == '.' {
-		return fmt.Errorf("tilestore: invalid video name %q", name)
+		return fmt.Errorf("tilestore: %w: %q", tasmerr.ErrInvalidName, name)
 	}
 	if filepath.Base(name) != name {
-		return fmt.Errorf("tilestore: video name %q contains a path separator", name)
+		return fmt.Errorf("tilestore: %w: %q contains a path separator", tasmerr.ErrInvalidName, name)
 	}
 	return nil
 }
@@ -275,7 +297,7 @@ func (s *Store) CreateVideo(meta VideoMeta, sotTiles [][]*container.Video) (err 
 	defer s.mu.Unlock()
 	dir := s.videoDir(meta.Name)
 	if _, err := os.Stat(filepath.Join(dir, "manifest.json")); err == nil {
-		return fmt.Errorf("tilestore: video %q already exists", meta.Name)
+		return fmt.Errorf("tilestore: %w: %q", tasmerr.ErrVideoExists, meta.Name)
 	}
 	defer func() {
 		if err != nil {
@@ -331,7 +353,29 @@ func (s *Store) writeManifest(meta VideoMeta) error {
 	if err := os.WriteFile(tmp, data, 0o644); err != nil {
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	s.cacheManifest(meta)
+	return nil
+}
+
+// cacheManifest installs a private copy of meta in the parsed-manifest
+// cache (the SOT slice is copied; Layout internals are shared but never
+// mutated in place — re-tiles replace whole SOTMeta values).
+func (s *Store) cacheManifest(meta VideoMeta) {
+	meta.SOTs = append([]SOTMeta(nil), meta.SOTs...)
+	s.manMu.Lock()
+	s.manifests[meta.Name] = meta
+	s.manMu.Unlock()
+}
+
+// invalidateManifest drops a video's cached catalog record; the next read
+// re-parses manifest.json (or reports the video gone).
+func (s *Store) invalidateManifest(video string) {
+	s.manMu.Lock()
+	delete(s.manifests, video)
+	s.manMu.Unlock()
 }
 
 // Meta returns the catalog record for a video. The record is a snapshot:
@@ -342,13 +386,40 @@ func (s *Store) Meta(video string) (VideoMeta, error) {
 	return s.metaLocked(video)
 }
 
+// metaLocked returns the catalog record, serving from the in-memory
+// manifest cache on the hot path. Callers hold mu (shared or exclusive),
+// which orders reads against the writers that refresh or invalidate the
+// cache. The returned record's SOT slice is a private copy.
 func (s *Store) metaLocked(video string) (VideoMeta, error) {
 	var meta VideoMeta
 	if err := validName(video); err != nil {
 		return meta, err
 	}
+	s.manMu.Lock()
+	cached, ok := s.manifests[video]
+	s.manMu.Unlock()
+	if ok {
+		cached.SOTs = append([]SOTMeta(nil), cached.SOTs...)
+		return cached, nil
+	}
+	meta, err := s.metaFromDisk(video)
+	if err != nil {
+		return meta, err
+	}
+	s.cacheManifest(meta)
+	return meta, nil
+}
+
+// metaFromDisk reads and parses manifest.json, bypassing the cache — the
+// read GC and FSCK use, so an externally corrupted or deleted manifest is
+// seen as it is on disk rather than masked by a cached copy.
+func (s *Store) metaFromDisk(video string) (VideoMeta, error) {
+	var meta VideoMeta
 	data, err := os.ReadFile(filepath.Join(s.videoDir(video), "manifest.json"))
 	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return meta, fmt.Errorf("tilestore: %w: %q", tasmerr.ErrVideoNotFound, video)
+		}
 		return meta, fmt.Errorf("tilestore: video %q: %w", video, err)
 	}
 	if err := json.Unmarshal(data, &meta); err != nil {
@@ -363,7 +434,13 @@ func (s *Store) metaLocked(video string) (VideoMeta, error) {
 // re-tiled or the video deleted, so the caller reads exactly the layout
 // the snapshot describes.
 func (s *Store) Snapshot(video string) (VideoMeta, *Lease, error) {
-	return s.snapshot(video, 0, -1)
+	return s.snapshot(context.Background(), video, 0, -1)
+}
+
+// SnapshotContext is Snapshot under a context: a done context fails the
+// acquisition before any lease is taken, so no release is owed.
+func (s *Store) SnapshotContext(ctx context.Context, video string) (VideoMeta, *Lease, error) {
+	return s.snapshot(ctx, video, 0, -1)
 }
 
 // SnapshotRange is Snapshot restricted to the SOTs overlapping the frame
@@ -372,12 +449,25 @@ func (s *Store) Snapshot(video string) (VideoMeta, *Lease, error) {
 // DecodeFrames use so a narrow query does not pin (or pay a stat for)
 // every SOT of a long video.
 func (s *Store) SnapshotRange(video string, from, to int) (VideoMeta, *Lease, error) {
-	return s.snapshot(video, from, to)
+	return s.snapshot(context.Background(), video, from, to)
 }
 
-func (s *Store) snapshot(video string, from, to int) (VideoMeta, *Lease, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+// SnapshotRangeContext is SnapshotRange under a context.
+func (s *Store) SnapshotRangeContext(ctx context.Context, video string, from, to int) (VideoMeta, *Lease, error) {
+	return s.snapshot(ctx, video, from, to)
+}
+
+// snapshot runs under the shared catalog lock: concurrent snapshots
+// proceed in parallel (the manifest comes from the in-memory cache and the
+// lease table has its own mutex), while the exclusive writers —
+// ReplaceSOT, DeleteVideo, CreateVideo, GC — are excluded, which is what
+// makes the meta read plus lease acquisition atomic.
+func (s *Store) snapshot(ctx context.Context, video string, from, to int) (VideoMeta, *Lease, error) {
+	if err := ctx.Err(); err != nil {
+		return VideoMeta{}, nil, fmt.Errorf("tilestore: snapshot %q: %w", video, err)
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	meta, err := s.metaLocked(video)
 	if err != nil {
 		return meta, nil, err
@@ -389,6 +479,8 @@ func (s *Store) snapshot(video string, from, to int) (VideoMeta, *Lease, error) 
 		to = meta.FrameCount
 	}
 	l := &Lease{s: s}
+	s.leaseMu.Lock()
+	defer s.leaseMu.Unlock()
 	for _, sot := range meta.SOTs {
 		if sot.From >= to || from >= sot.To {
 			continue
@@ -407,8 +499,10 @@ func (s *Store) snapshot(video string, from, to int) (VideoMeta, *Lease, error) 
 // current catalog read; acquiring a version that has already been
 // superseded and reaped returns an error (the caller should re-Snapshot).
 func (s *Store) AcquireSOT(video string, sot SOTMeta) (*Lease, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.leaseMu.Lock()
+	defer s.leaseMu.Unlock()
 	k, err := s.acquireLocked(video, sot)
 	if err != nil {
 		return nil, err
@@ -416,11 +510,13 @@ func (s *Store) AcquireSOT(video string, sot SOTMeta) (*Lease, error) {
 	return &Lease{s: s, keys: []leaseKey{k}}, nil
 }
 
+// acquireLocked takes one read-lease reference; the caller holds leaseMu
+// (and mu shared, to exclude the writers that retire versions).
 func (s *Store) acquireLocked(video string, sot SOTMeta) (leaseKey, error) {
 	k := leaseKey{video: video, epoch: s.epochs[video], sot: sot.ID, retiles: sot.Retiles}
 	if e := s.leases[k]; e != nil {
 		if e.dead {
-			return k, fmt.Errorf("tilestore: video %q SOT %d version %d was superseded", video, sot.ID, sot.Retiles)
+			return k, fmt.Errorf("tilestore: %w: video %q SOT %d version %d was superseded", tasmerr.ErrRetileConflict, video, sot.ID, sot.Retiles)
 		}
 		e.refs++
 		return k, nil
@@ -433,6 +529,7 @@ func (s *Store) acquireLocked(video string, sot SOTMeta) (leaseKey, error) {
 	return k, nil
 }
 
+// releaseLocked drops lease references; the caller holds leaseMu.
 func (s *Store) releaseLocked(keys []leaseKey) {
 	for _, k := range keys {
 		e := s.leases[k]
@@ -548,19 +645,12 @@ func (s *Store) replaceSOT(video string, sotID int, newLayout layout.Layout, til
 		}
 	}
 	if idx < 0 {
-		return fmt.Errorf("tilestore: video %q has no SOT %d", video, sotID)
+		return fmt.Errorf("tilestore: %w: video %q has no SOT %d", tasmerr.ErrSOTNotFound, video, sotID)
 	}
 	oldSOT := meta.SOTs[idx]
 	if lease != nil {
-		pinned := false
-		for _, k := range lease.keys {
-			if k.sot == sotID {
-				pinned = k.epoch == s.epochs[video] && k.retiles == oldSOT.Retiles
-				break
-			}
-		}
-		if !pinned {
-			return fmt.Errorf("tilestore: video %q SOT %d changed since the snapshot was taken (deleted, re-ingested, or re-tiled); not replacing", video, sotID)
+		if err := s.validateLeasePin(lease, video, sotID, oldSOT.Retiles); err != nil {
+			return err
 		}
 	}
 	oldDir, oldDirErr := s.resolveSOTDir(video, oldSOT)
@@ -580,15 +670,42 @@ func (s *Store) replaceSOT(video string, sotID int, newLayout layout.Layout, til
 	return nil
 }
 
+// validateLeasePin checks that a commit's snapshot lease still pins the
+// SOT version the live catalog names, classifying the mismatch: the video
+// was deleted/re-ingested (epoch moved), the SOT was re-tiled by someone
+// else (version moved), or the snapshot never pinned the SOT at all.
+func (s *Store) validateLeasePin(lease *Lease, video string, sotID, retiles int) error {
+	s.leaseMu.Lock()
+	epoch := s.epochs[video]
+	s.leaseMu.Unlock()
+	for _, k := range lease.keys {
+		if k.sot != sotID {
+			continue
+		}
+		if k.epoch != epoch {
+			return fmt.Errorf("tilestore: %w: video %q was deleted (and possibly re-ingested) since the snapshot was taken; not replacing SOT %d", tasmerr.ErrVideoDeleted, video, sotID)
+		}
+		if k.retiles != retiles {
+			return fmt.Errorf("tilestore: %w: video %q SOT %d was re-tiled since the snapshot was taken; not replacing", tasmerr.ErrRetileConflict, video, sotID)
+		}
+		return nil
+	}
+	return fmt.Errorf("tilestore: %w: the snapshot does not pin video %q SOT %d; not replacing", tasmerr.ErrRetileConflict, video, sotID)
+}
+
 // retireLocked schedules a superseded version directory for removal: now
 // if no reader holds a lease on it, otherwise when the last lease drops.
+// The caller holds mu exclusively.
 func (s *Store) retireLocked(video string, sot SOTMeta, dir string) {
+	s.leaseMu.Lock()
 	k := leaseKey{video: video, epoch: s.epochs[video], sot: sot.ID, retiles: sot.Retiles}
 	if e := s.leases[k]; e != nil && e.refs > 0 {
 		e.dead = true
 		e.dir = dir
+		s.leaseMu.Unlock()
 		return
 	}
+	s.leaseMu.Unlock()
 	os.RemoveAll(dir)
 }
 
@@ -641,8 +758,11 @@ func (s *Store) DeleteVideo(video string) error {
 	defer s.mu.Unlock()
 	dir := s.videoDir(video)
 	if _, err := os.Stat(dir); errors.Is(err, os.ErrNotExist) {
-		return fmt.Errorf("tilestore: video %q does not exist", video)
+		return fmt.Errorf("tilestore: %w: %q", tasmerr.ErrVideoNotFound, video)
 	}
+	s.invalidateManifest(video)
+	s.leaseMu.Lock()
+	defer s.leaseMu.Unlock()
 	// Phase 1: move every leased version dir into the tombstone area. Only
 	// after all renames succeed is anything marked dead or the epoch
 	// bumped, so a failed rename rolls back to a fully live video instead

@@ -10,12 +10,28 @@
 // known (KQKO), evolve lazily as detections arrive, or adapt online with
 // the paper's regret-based policy.
 //
-// Basic usage:
+// Basic usage (API v2: context-first, streaming):
 //
-//	sm, err := tasm.Open(dir)            // tile store + semantic index
-//	sm.Ingest("traffic", frames, 30)     // untiled, one SOT per GOP
+//	sm, err := tasm.Open(dir)                        // tile store + semantic index
+//	sm.IngestContext(ctx, "traffic", frames, 30)     // untiled, one SOT per GOP
 //	sm.AddMetadata("traffic", f, "car", x1, y1, x2, y2)
-//	res, stats, err := sm.ScanSQL("SELECT car FROM traffic WHERE 30 <= t < 90")
+//	res, stats, err := sm.ScanSQLContext(ctx, "SELECT car FROM traffic WHERE 30 <= t < 90")
+//
+// Long scans should stream instead of materializing: a cursor yields each
+// pixel region in frame order as its tiles decode, with bounded buffering,
+// and cancelling ctx stops the decode work and releases every read lease:
+//
+//	cur, err := sm.ScanCursor(ctx, q)
+//	defer cur.Close()
+//	for cur.Next() {
+//	    consume(cur.Result())
+//	}
+//	if err := cur.Err(); err != nil { ... }
+//
+// Failures are classified by exported sentinel errors — ErrVideoNotFound,
+// ErrInvalidRange, ErrRetileConflict, … — matchable with errors.Is across
+// every layer. The context-free forms (Scan, DecodeFrames, Ingest, …)
+// remain as thin wrappers over the context-first ones.
 //
 // Enable adaptive tiling to let the storage manager re-tile itself as it
 // observes queries:
@@ -24,6 +40,7 @@
 package tasm
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/tasm-repro/tasm/internal/container"
@@ -35,8 +52,34 @@ import (
 	"github.com/tasm-repro/tasm/internal/policy"
 	"github.com/tasm-repro/tasm/internal/query"
 	"github.com/tasm-repro/tasm/internal/semindex"
+	"github.com/tasm-repro/tasm/internal/tasmerr"
 	"github.com/tasm-repro/tasm/internal/tilecache"
 	"github.com/tasm-repro/tasm/internal/tilestore"
+)
+
+// The error taxonomy: every failure the storage manager reports wraps one
+// of these sentinels (use errors.Is to classify, errors.As for rich types
+// like *core.PointerRefreshError). This is the stable contract an RPC
+// front end maps onto status codes.
+var (
+	// ErrVideoNotFound: the named video is not in the catalog.
+	ErrVideoNotFound = tasmerr.ErrVideoNotFound
+	// ErrVideoExists: an ingest under a name that is already stored.
+	ErrVideoExists = tasmerr.ErrVideoExists
+	// ErrInvalidName: a video name the store refuses.
+	ErrInvalidName = tasmerr.ErrInvalidName
+	// ErrInvalidRange: a frame range empty or inverted after clamping.
+	ErrInvalidRange = tasmerr.ErrInvalidRange
+	// ErrSOTNotFound: an operation addressed a SOT id the video lacks.
+	ErrSOTNotFound = tasmerr.ErrSOTNotFound
+	// ErrVideoDeleted: the operation lost a race with DeleteVideo.
+	ErrVideoDeleted = tasmerr.ErrVideoDeleted
+	// ErrRetileConflict: a re-tile lost a race with another re-tile.
+	ErrRetileConflict = tasmerr.ErrRetileConflict
+	// ErrCursorClosed: a cursor was closed before exhaustion.
+	ErrCursorClosed = tasmerr.ErrCursorClosed
+	// ErrNoFrames: an ingest of an empty frame sequence.
+	ErrNoFrames = tasmerr.ErrNoFrames
 )
 
 // Re-exported building blocks. These are aliases so values returned by the
@@ -62,6 +105,14 @@ type (
 	RetileStats = core.RetileStats
 	// IngestStats reports the work of an ingest.
 	IngestStats = core.IngestStats
+	// Cursor streams a Scan's pixel regions in frame order as they
+	// decode (see StorageManager.ScanCursor).
+	Cursor = core.ScanCursor
+	// FrameCursor streams whole reassembled frames in order (see
+	// StorageManager.DecodeFramesCursor).
+	FrameCursor = core.FrameCursor
+	// FrameResult is one streamed whole frame: absolute index + pixels.
+	FrameResult = core.FrameResult
 	// VideoMeta is a stored video's catalog record.
 	VideoMeta = tilestore.VideoMeta
 	// SOTMeta describes one sequence of tiles.
@@ -196,10 +247,21 @@ func (s *StorageManager) Ingest(video string, frames []*Frame, fps int) (IngestS
 	return s.m.Ingest(video, frames, fps)
 }
 
+// IngestContext is Ingest under a context: cancellation aborts the
+// encode within one frame's work and leaves no partial video behind.
+func (s *StorageManager) IngestContext(ctx context.Context, video string, frames []*Frame, fps int) (IngestStats, error) {
+	return s.m.IngestContext(ctx, video, frames, fps)
+}
+
 // IngestTiled stores frames with caller-chosen per-SOT layouts, the edge
 // camera upload path.
 func (s *StorageManager) IngestTiled(video string, frames []*Frame, fps int, layouts []Layout) (IngestStats, error) {
 	return s.m.IngestTiled(video, frames, fps, layouts)
+}
+
+// IngestTiledContext is IngestTiled under a context.
+func (s *StorageManager) IngestTiledContext(ctx context.Context, video string, frames []*Frame, fps int, layouts []Layout) (IngestStats, error) {
+	return s.m.IngestTiledContext(ctx, video, frames, fps, layouts)
 }
 
 // AddMetadata records an object detection produced during query processing
@@ -225,7 +287,16 @@ func (s *StorageManager) MarkDetected(video, label string, from, to int) error {
 // contain them. With adaptive tiling enabled, the query also feeds the
 // online tiling policy.
 func (s *StorageManager) Scan(q Query) ([]RegionResult, ScanStats, error) {
-	res, st, err := s.m.Scan(q)
+	return s.ScanContext(context.Background(), q)
+}
+
+// ScanContext is Scan under a context: cancellation or deadline expiry
+// stops in-flight tile decodes within one frame's work, releases every
+// read lease the request holds, and returns an error wrapping ctx.Err().
+// With adaptive tiling enabled, the query also feeds the online tiling
+// policy (and any resulting re-tile honors the same context).
+func (s *StorageManager) ScanContext(ctx context.Context, q Query) ([]RegionResult, ScanStats, error) {
+	res, st, err := s.m.ScanContext(ctx, q)
 	if err != nil {
 		return res, st, err
 	}
@@ -235,7 +306,7 @@ func (s *StorageManager) Scan(q Query) ([]RegionResult, ScanStats, error) {
 			return res, st, fmt.Errorf("tasm: adaptive tiling: %w", aerr)
 		}
 		if len(actions) > 0 {
-			if _, aerr := policy.Apply(s.m, actions); aerr != nil {
+			if _, aerr := policy.Apply(ctx, s.m, actions); aerr != nil {
 				return res, st, fmt.Errorf("tasm: adaptive tiling: %w", aerr)
 			}
 		}
@@ -243,19 +314,57 @@ func (s *StorageManager) Scan(q Query) ([]RegionResult, ScanStats, error) {
 	return res, st, nil
 }
 
+// ScanCursor starts a streaming Scan: pixel regions are yielded in frame
+// order as each SOT's tiles decode, with bounded buffering for
+// backpressure, instead of materializing every region up front. The
+// caller must drain the cursor or Close it; either way all read leases
+// are released by the time Next reports false (or Close returns).
+// Streaming scans do not feed the adaptive tiling policy — use
+// ScanContext when adaptive observation matters.
+func (s *StorageManager) ScanCursor(ctx context.Context, q Query) (*Cursor, error) {
+	return s.m.ScanCursor(ctx, q)
+}
+
 // ScanSQL parses and executes a query in the evaluation's SELECT form.
 func (s *StorageManager) ScanSQL(sql string) ([]RegionResult, ScanStats, error) {
+	return s.ScanSQLContext(context.Background(), sql)
+}
+
+// ScanSQLContext is ScanSQL under a context.
+func (s *StorageManager) ScanSQLContext(ctx context.Context, sql string) ([]RegionResult, ScanStats, error) {
 	q, err := query.Parse(sql)
 	if err != nil {
 		return nil, ScanStats{}, err
 	}
-	return s.Scan(q)
+	return s.ScanContext(ctx, q)
+}
+
+// ScanSQLCursor parses a SELECT query and starts a streaming Scan.
+func (s *StorageManager) ScanSQLCursor(ctx context.Context, sql string) (*Cursor, error) {
+	q, err := query.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return s.ScanCursor(ctx, q)
 }
 
 // DecodeFrames decodes and reassembles whole frames [from, to), regardless
 // of tiling — the path object detectors run on.
 func (s *StorageManager) DecodeFrames(video string, from, to int) ([]*Frame, ScanStats, error) {
 	return s.m.DecodeFrames(video, from, to)
+}
+
+// DecodeFramesContext is DecodeFrames under a context.
+func (s *StorageManager) DecodeFramesContext(ctx context.Context, video string, from, to int) ([]*Frame, ScanStats, error) {
+	return s.m.DecodeFramesContext(ctx, video, from, to)
+}
+
+// DecodeFramesCursor streams whole reassembled frames in order as each
+// SOT's tiles decode — the path a detector pipelines on, consuming frame
+// k while frame k+GOP is still decoding. The caller must drain the
+// cursor or Close it.
+func (s *StorageManager) DecodeFramesCursor(ctx context.Context, video string, from, to int) (*FrameCursor, error) {
+	return s.m.FrameCursor(ctx, video, from, to)
 }
 
 // Meta returns a stored video's catalog record (frame count, SOTs, current
@@ -324,6 +433,13 @@ func (s *StorageManager) RetileSOT(video string, sotID int, l Layout) (RetileSta
 	return s.m.RetileSOT(video, sotID, l)
 }
 
+// RetileSOTContext is RetileSOT under a context: cancellation aborts the
+// decode/re-encode with nothing committed; once the atomic tile swap
+// begins it completes.
+func (s *StorageManager) RetileSOTContext(ctx context.Context, video string, sotID int, l Layout) (RetileStats, error) {
+	return s.m.RetileSOTContext(ctx, video, sotID, l)
+}
+
 // DesignLayout partitions a SOT around the indexed boxes of the given
 // labels (fine- or coarse-grained per the manager's configuration),
 // returning the untiled layout when tiling cannot help.
@@ -347,12 +463,18 @@ func (s *StorageManager) DesignLayout(video string, sotID int, labels []string) 
 		cfg := s.m.Config()
 		return layout.Partition(boxes, cfg.Granularity, cfg.Constraints(meta.W, meta.H))
 	}
-	return Layout{}, fmt.Errorf("tasm: video %q has no SOT %d", video, sotID)
+	return Layout{}, fmt.Errorf("tasm: %w: video %q has no SOT %d", ErrSOTNotFound, video, sotID)
 }
 
 // PlanKQKO computes the known-queries/known-objects plan for a workload
 // and applies it (paper §4.2). It returns the number of SOTs re-tiled.
 func (s *StorageManager) PlanKQKO(video string, workload []Query) (int, error) {
+	return s.PlanKQKOContext(context.Background(), video, workload)
+}
+
+// PlanKQKOContext is PlanKQKO under a context; cancellation stops between
+// (or within) re-tiles, leaving completed ones committed.
+func (s *StorageManager) PlanKQKOContext(ctx context.Context, video string, workload []Query) (int, error) {
 	k := policy.NewKQKO()
 	cfg := s.m.Config()
 	k.Granularity = cfg.Granularity
@@ -361,7 +483,7 @@ func (s *StorageManager) PlanKQKO(video string, workload []Query) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	if _, err := policy.Apply(s.m, actions); err != nil {
+	if _, err := policy.Apply(ctx, s.m, actions); err != nil {
 		return 0, err
 	}
 	return len(actions), nil
@@ -370,11 +492,16 @@ func (s *StorageManager) PlanKQKO(video string, workload []Query) (int, error) {
 // PretileAllObjects tiles every SOT around all indexed objects (the
 // paper's "all objects" baseline). It returns the number of SOTs re-tiled.
 func (s *StorageManager) PretileAllObjects(video string) (int, error) {
+	return s.PretileAllObjectsContext(context.Background(), video)
+}
+
+// PretileAllObjectsContext is PretileAllObjects under a context.
+func (s *StorageManager) PretileAllObjectsContext(ctx context.Context, video string) (int, error) {
 	actions, err := policy.AllObjects(s.m, video, s.m.Config().Granularity)
 	if err != nil {
 		return 0, err
 	}
-	if _, err := policy.Apply(s.m, actions); err != nil {
+	if _, err := policy.Apply(ctx, s.m, actions); err != nil {
 		return 0, err
 	}
 	return len(actions), nil
@@ -407,11 +534,16 @@ func (s *StorageManager) NewLazyTiler(queryClasses []string) *LazyTiler {
 // re-tiles any SOTs whose object locations have become fully known and
 // returns how many were re-tiled.
 func (lt *LazyTiler) ObserveQuery(q Query) (int, error) {
+	return lt.ObserveQueryContext(context.Background(), q)
+}
+
+// ObserveQueryContext is ObserveQuery under a context.
+func (lt *LazyTiler) ObserveQueryContext(ctx context.Context, q Query) (int, error) {
 	actions, err := lt.p.ObserveQuery(lt.m, q)
 	if err != nil {
 		return 0, err
 	}
-	if _, err := policy.Apply(lt.m, actions); err != nil {
+	if _, err := policy.Apply(ctx, lt.m, actions); err != nil {
 		return 0, err
 	}
 	return len(actions), nil
@@ -430,7 +562,12 @@ func (s *StorageManager) UniformLayout(video string, rows, cols int) (Layout, er
 // ExportStitched homomorphically stitches one SOT's tiles into a single
 // serialized video stream without transcoding.
 func (s *StorageManager) ExportStitched(video string, sotID int) ([]byte, error) {
-	st, err := s.m.StitchSOT(video, sotID)
+	return s.ExportStitchedContext(context.Background(), video, sotID)
+}
+
+// ExportStitchedContext is ExportStitched under a context.
+func (s *StorageManager) ExportStitchedContext(ctx context.Context, video string, sotID int) ([]byte, error) {
+	st, err := s.m.StitchSOTContext(ctx, video, sotID)
 	if err != nil {
 		return nil, err
 	}
