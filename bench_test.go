@@ -2,7 +2,11 @@
 // one per artifact, using reduced-scale inputs so `go test -bench=.` stays
 // tractable. The full-scale runs live in cmd/tasm-bench (see EXPERIMENTS.md
 // for recorded paper-vs-measured numbers).
-package tasm
+//
+// External test package: internal/bench links the public tasm package
+// (its serve experiment drives the real server handler), so an
+// in-package test file here would form a test import cycle.
+package tasm_test
 
 import (
 	"math"

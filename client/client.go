@@ -1,0 +1,534 @@
+// Package client is the Go client for tasmd, the TASM network front
+// end. A Client mirrors the tasm.StorageManager surface — the same
+// method names, the same types, and the same error taxonomy: failures
+// reconstruct the exact tasm.Err* sentinel the server classified, so
+//
+//	errors.Is(err, tasm.ErrVideoNotFound)
+//
+// holds for a remote miss exactly as it does in-process, and context
+// deadline/cancellation errors round-trip as context.DeadlineExceeded
+// and context.Canceled. The streaming reads — ScanCursor,
+// ScanSQLCursor, DecodeFramesCursor — decode the server's NDJSON
+// stream incrementally: the first result is available as soon as the
+// server flushes its first line, while later SOTs are still decoding.
+//
+//	c, err := client.Dial("localhost:7878")
+//	cur, err := c.ScanSQLCursor(ctx, "SELECT car FROM traffic")
+//	defer cur.Close()
+//	for cur.Next() { consume(cur.Result()) }
+//	if err := cur.Err(); err != nil { ... }
+//
+// A context deadline travels with every request (the Tasm-Deadline-Ms
+// header), so the server bounds its own work instead of discovering
+// the timeout only when the client hangs up.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/tasm-repro/tasm"
+	"github.com/tasm-repro/tasm/internal/rpcwire"
+)
+
+// Serving-layer sentinels, re-exported for callers that classify remote
+// failures without importing the wire package.
+var (
+	// ErrBadRequest: the server could not interpret the request
+	// (malformed body, unparseable SQL, bad header).
+	ErrBadRequest = rpcwire.ErrBadRequest
+	// ErrOverloaded: the daemon's concurrent-request limit was hit; the
+	// request did no work and is safe to retry.
+	ErrOverloaded = rpcwire.ErrOverloaded
+)
+
+// Client talks to one tasmd. It is safe for concurrent use; streams
+// opened from it are independent requests.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the transport (timeouts, TLS, proxies).
+// The default client has no overall timeout — streaming scans are
+// long-lived by design; bound them with a context instead.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// Dial returns a client for the daemon at addr ("host:port" or a full
+// http:// URL). It does not touch the network; use Ping to probe.
+func Dial(addr string, opts ...Option) (*Client, error) {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	u, err := url.Parse(addr)
+	if err != nil || u.Host == "" {
+		return nil, fmt.Errorf("client: invalid address %q", addr)
+	}
+	c := &Client{base: strings.TrimSuffix(u.String(), "/"), hc: &http.Client{}}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c, nil
+}
+
+// Close releases idle connections. Open cursors are unaffected; close
+// them individually.
+func (c *Client) Close() error {
+	c.hc.CloseIdleConnections()
+	return nil
+}
+
+// Ping checks the daemon is up and speaking the v1 protocol.
+func (c *Client) Ping(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/v1/healthz", nil, nil)
+}
+
+// ---- catalog ----
+//
+// Every unary operation has a Context form; the context-free names are
+// thin wrappers over them, mirroring the StorageManager surface. Use
+// the Context forms anywhere a hung daemon must not hang the caller —
+// the default transport deliberately has no timeout (streams are
+// long-lived), so the context is the only cancellation lever.
+
+// Videos lists stored video names.
+func (c *Client) Videos() ([]string, error) { return c.VideosContext(context.Background()) }
+
+// VideosContext lists stored video names under a context.
+func (c *Client) VideosContext(ctx context.Context) ([]string, error) {
+	var resp rpcwire.VideosResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/videos", nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Videos, nil
+}
+
+// VideoInfo fetches one video's combined catalog record — meta, byte
+// footprint, and indexed labels — in a single round trip. Meta,
+// VideoBytes, and Labels are single-field views of the same endpoint;
+// prefer VideoInfo when more than one is needed (a remote listing
+// otherwise pays three requests per video, and the server recomputes
+// the on-disk byte walk each time).
+func (c *Client) VideoInfo(video string) (tasm.VideoMeta, int64, []string, error) {
+	return c.VideoInfoContext(context.Background(), video)
+}
+
+// VideoInfoContext is VideoInfo under a context.
+func (c *Client) VideoInfoContext(ctx context.Context, video string) (tasm.VideoMeta, int64, []string, error) {
+	info, err := c.videoInfo(ctx, video)
+	return info.Meta, info.Bytes, info.Labels, err
+}
+
+// videoInfo fetches the combined catalog record.
+func (c *Client) videoInfo(ctx context.Context, video string) (rpcwire.VideoInfo, error) {
+	var resp rpcwire.VideoInfo
+	err := c.do(ctx, http.MethodGet, "/v1/videos/"+url.PathEscape(video), nil, &resp)
+	return resp, err
+}
+
+// Meta returns a stored video's catalog record.
+func (c *Client) Meta(video string) (tasm.VideoMeta, error) {
+	return c.MetaContext(context.Background(), video)
+}
+
+// MetaContext is Meta under a context.
+func (c *Client) MetaContext(ctx context.Context, video string) (tasm.VideoMeta, error) {
+	info, err := c.videoInfo(ctx, video)
+	return info.Meta, err
+}
+
+// VideoBytes returns a video's total storage footprint in bytes.
+func (c *Client) VideoBytes(video string) (int64, error) {
+	info, err := c.videoInfo(context.Background(), video)
+	return info.Bytes, err
+}
+
+// Labels returns the distinct labels indexed for a video.
+func (c *Client) Labels(video string) ([]string, error) {
+	info, err := c.videoInfo(context.Background(), video)
+	return info.Labels, err
+}
+
+// DeleteVideo removes a stored video, its index records, and any
+// server-side cached decodes.
+func (c *Client) DeleteVideo(video string) error {
+	return c.DeleteVideoContext(context.Background(), video)
+}
+
+// DeleteVideoContext is DeleteVideo under a context.
+func (c *Client) DeleteVideoContext(ctx context.Context, video string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/videos/"+url.PathEscape(video), nil, nil)
+}
+
+// ---- ingest ----
+
+// Ingest stores frames as a new untiled video (one SOT per GOP).
+func (c *Client) Ingest(video string, frames []*tasm.Frame, fps int) (tasm.IngestStats, error) {
+	return c.IngestContext(context.Background(), video, frames, fps)
+}
+
+// IngestContext uploads frames and stores them as a new untiled video.
+func (c *Client) IngestContext(ctx context.Context, video string, frames []*tasm.Frame, fps int) (tasm.IngestStats, error) {
+	return c.ingest(ctx, video, frames, fps, nil)
+}
+
+// IngestTiled stores frames with caller-chosen per-SOT layouts.
+func (c *Client) IngestTiled(video string, frames []*tasm.Frame, fps int, layouts []tasm.Layout) (tasm.IngestStats, error) {
+	return c.IngestTiledContext(context.Background(), video, frames, fps, layouts)
+}
+
+// IngestTiledContext uploads frames with caller-chosen per-SOT layouts
+// (the edge-camera upload path).
+func (c *Client) IngestTiledContext(ctx context.Context, video string, frames []*tasm.Frame, fps int, layouts []tasm.Layout) (tasm.IngestStats, error) {
+	return c.ingest(ctx, video, frames, fps, layouts)
+}
+
+func (c *Client) ingest(ctx context.Context, video string, frames []*tasm.Frame, fps int, layouts []tasm.Layout) (tasm.IngestStats, error) {
+	req := rpcwire.IngestRequest{Video: video, FPS: fps, Frames: make([]rpcwire.Frame, len(frames))}
+	for i, f := range frames {
+		req.Frames[i] = rpcwire.FromFrame(f)
+	}
+	for _, l := range layouts {
+		req.Layouts = append(req.Layouts, rpcwire.FromLayout(l))
+	}
+	var resp rpcwire.IngestStats
+	if err := c.do(ctx, http.MethodPost, "/v1/ingest", req, &resp); err != nil {
+		return tasm.IngestStats{}, err
+	}
+	return resp.ToIngestStats(), nil
+}
+
+// ---- semantic index ----
+
+// AddMetadata records one object detection.
+func (c *Client) AddMetadata(video string, frameIdx int, label string, x1, y1, x2, y2 int) error {
+	return c.AddDetections(video, []tasm.Detection{{Frame: frameIdx, Label: label, Box: tasm.R(x1, y1, x2, y2)}})
+}
+
+// AddDetections records a batch of detections.
+func (c *Client) AddDetections(video string, ds []tasm.Detection) error {
+	return c.AddDetectionsContext(context.Background(), video, ds)
+}
+
+// AddDetectionsContext is AddDetections under a context (detection
+// batches can be large; the upload honors cancellation).
+func (c *Client) AddDetectionsContext(ctx context.Context, video string, ds []tasm.Detection) error {
+	req := rpcwire.MetadataRequest{Video: video, Detections: make([]rpcwire.Detection, len(ds))}
+	for i, d := range ds {
+		req.Detections[i] = rpcwire.FromDetection(d)
+	}
+	return c.do(ctx, http.MethodPost, "/v1/metadata", req, nil)
+}
+
+// MarkDetected records that frames [from, to) were fully processed by a
+// detector for label.
+func (c *Client) MarkDetected(video, label string, from, to int) error {
+	return c.MarkDetectedContext(context.Background(), video, label, from, to)
+}
+
+// MarkDetectedContext is MarkDetected under a context.
+func (c *Client) MarkDetectedContext(ctx context.Context, video, label string, from, to int) error {
+	req := rpcwire.MarkDetectedRequest{Video: video, Label: label, From: from, To: to}
+	return c.do(ctx, http.MethodPost, "/v1/markdetected", req, nil)
+}
+
+// LookupDetections returns indexed detections for (video, label) within
+// [fromFrame, toFrame).
+func (c *Client) LookupDetections(video, label string, fromFrame, toFrame int) ([]tasm.Detection, error) {
+	return c.LookupDetectionsContext(context.Background(), video, label, fromFrame, toFrame)
+}
+
+// LookupDetectionsContext is LookupDetections under a context.
+func (c *Client) LookupDetectionsContext(ctx context.Context, video, label string, fromFrame, toFrame int) ([]tasm.Detection, error) {
+	q := url.Values{}
+	q.Set("video", video)
+	q.Set("label", label)
+	q.Set("from", strconv.Itoa(fromFrame))
+	q.Set("to", strconv.Itoa(toFrame))
+	var resp rpcwire.DetectionsResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/detections?"+q.Encode(), nil, &resp); err != nil {
+		return nil, err
+	}
+	out := make([]tasm.Detection, len(resp.Detections))
+	for i, d := range resp.Detections {
+		out[i] = d.ToDetection()
+	}
+	return out, nil
+}
+
+// ---- scans ----
+
+// Scan materializes a remote Scan (a cursor drain, like the in-process
+// slice API).
+func (c *Client) Scan(q tasm.Query) ([]tasm.RegionResult, tasm.ScanStats, error) {
+	return c.ScanContext(context.Background(), q)
+}
+
+// ScanContext materializes a remote Scan under a context.
+func (c *Client) ScanContext(ctx context.Context, q tasm.Query) ([]tasm.RegionResult, tasm.ScanStats, error) {
+	cur, err := c.ScanCursor(ctx, q)
+	if err != nil {
+		return nil, tasm.ScanStats{}, err
+	}
+	return drainScan(cur)
+}
+
+// ScanSQL materializes a remote Scan in the SELECT form.
+func (c *Client) ScanSQL(sql string) ([]tasm.RegionResult, tasm.ScanStats, error) {
+	return c.ScanSQLContext(context.Background(), sql)
+}
+
+// ScanSQLContext materializes a remote Scan in the SELECT form.
+func (c *Client) ScanSQLContext(ctx context.Context, sql string) ([]tasm.RegionResult, tasm.ScanStats, error) {
+	cur, err := c.ScanSQLCursor(ctx, sql)
+	if err != nil {
+		return nil, tasm.ScanStats{}, err
+	}
+	return drainScan(cur)
+}
+
+func drainScan(cur *ScanCursor) ([]tasm.RegionResult, tasm.ScanStats, error) {
+	defer cur.Close()
+	var out []tasm.RegionResult
+	for cur.Next() {
+		out = append(out, cur.Result())
+	}
+	if err := cur.Err(); err != nil {
+		return nil, cur.Stats(), err
+	}
+	return out, cur.Stats(), nil
+}
+
+// ScanCursor starts a remote streaming Scan: results decode off the
+// NDJSON stream incrementally, in frame order. The caller must drain
+// the cursor or Close it; Close cancels the request, which makes the
+// server release its read leases.
+func (c *Client) ScanCursor(ctx context.Context, q tasm.Query) (*ScanCursor, error) {
+	wq := rpcwire.FromQuery(q)
+	return c.scanCursor(ctx, rpcwire.ScanRequest{Query: &wq})
+}
+
+// ScanSQLCursor starts a remote streaming Scan from a SELECT string
+// (parsed server-side).
+func (c *Client) ScanSQLCursor(ctx context.Context, sql string) (*ScanCursor, error) {
+	return c.scanCursor(ctx, rpcwire.ScanRequest{SQL: sql})
+}
+
+func (c *Client) scanCursor(ctx context.Context, req rpcwire.ScanRequest) (*ScanCursor, error) {
+	s, err := c.startStream(ctx, "/v1/scan", req)
+	if err != nil {
+		return nil, err
+	}
+	return &ScanCursor{s: s}, nil
+}
+
+// DecodeFrames materializes whole reassembled frames [from, to).
+func (c *Client) DecodeFrames(video string, from, to int) ([]*tasm.Frame, tasm.ScanStats, error) {
+	return c.DecodeFramesContext(context.Background(), video, from, to)
+}
+
+// DecodeFramesContext materializes whole reassembled frames [from, to)
+// under a context.
+func (c *Client) DecodeFramesContext(ctx context.Context, video string, from, to int) ([]*tasm.Frame, tasm.ScanStats, error) {
+	cur, err := c.DecodeFramesCursor(ctx, video, from, to)
+	if err != nil {
+		return nil, tasm.ScanStats{}, err
+	}
+	defer cur.Close()
+	var out []*tasm.Frame
+	for cur.Next() {
+		out = append(out, cur.Result().Pixels)
+	}
+	if err := cur.Err(); err != nil {
+		return nil, cur.Stats(), err
+	}
+	return out, cur.Stats(), nil
+}
+
+// DecodeFramesCursor starts a remote streaming whole-frame decode;
+// frames arrive in order as each SOT's tiles decode server-side.
+func (c *Client) DecodeFramesCursor(ctx context.Context, video string, from, to int) (*FrameCursor, error) {
+	s, err := c.startStream(ctx, "/v1/decodeframes", rpcwire.DecodeFramesRequest{Video: video, From: from, To: to})
+	if err != nil {
+		return nil, err
+	}
+	return &FrameCursor{s: s}, nil
+}
+
+// ---- layout tuning ----
+
+// DesignLayout asks the server to partition a SOT around the indexed
+// boxes of the given labels.
+func (c *Client) DesignLayout(video string, sotID int, labels []string) (tasm.Layout, error) {
+	return c.DesignLayoutContext(context.Background(), video, sotID, labels)
+}
+
+// DesignLayoutContext is DesignLayout under a context.
+func (c *Client) DesignLayoutContext(ctx context.Context, video string, sotID int, labels []string) (tasm.Layout, error) {
+	req := rpcwire.DesignLayoutRequest{Video: video, SOT: sotID, Labels: labels}
+	var resp rpcwire.DesignLayoutResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/designlayout", req, &resp); err != nil {
+		return tasm.Layout{}, err
+	}
+	return resp.Layout.ToLayout(), nil
+}
+
+// RetileSOT re-encodes one SOT with the given layout.
+func (c *Client) RetileSOT(video string, sotID int, l tasm.Layout) (tasm.RetileStats, error) {
+	return c.RetileSOTContext(context.Background(), video, sotID, l)
+}
+
+// RetileSOTContext re-encodes one SOT with the given layout under a
+// context.
+func (c *Client) RetileSOTContext(ctx context.Context, video string, sotID int, l tasm.Layout) (tasm.RetileStats, error) {
+	req := rpcwire.RetileRequest{Video: video, SOT: sotID, Layout: rpcwire.FromLayout(l)}
+	var resp rpcwire.RetileStats
+	if err := c.do(ctx, http.MethodPost, "/v1/retile", req, &resp); err != nil {
+		return tasm.RetileStats{}, err
+	}
+	return resp.ToRetileStats(), nil
+}
+
+// ---- maintenance ----
+
+// GC reclaims dead storage server-side.
+func (c *Client) GC() (tasm.GCReport, error) { return c.GCContext(context.Background()) }
+
+// GCContext is GC under a context.
+func (c *Client) GCContext(ctx context.Context) (tasm.GCReport, error) {
+	var resp rpcwire.GCReport
+	if err := c.do(ctx, http.MethodPost, "/v1/gc", nil, &resp); err != nil {
+		return tasm.GCReport{}, err
+	}
+	return resp.ToGCReport(), nil
+}
+
+// FSCK verifies the server's store against the bytes on disk.
+func (c *Client) FSCK() (tasm.FsckReport, error) { return c.FSCKContext(context.Background()) }
+
+// FSCKContext is FSCK under a context.
+func (c *Client) FSCKContext(ctx context.Context) (tasm.FsckReport, error) {
+	var resp rpcwire.FsckReport
+	if err := c.do(ctx, http.MethodPost, "/v1/fsck", nil, &resp); err != nil {
+		return tasm.FsckReport{}, err
+	}
+	return resp.ToFsckReport(), nil
+}
+
+// RepairPointers re-materializes one video's box→tile index pointers
+// server-side.
+func (c *Client) RepairPointers(video string) error {
+	return c.RepairPointersContext(context.Background(), video)
+}
+
+// RepairPointersContext is RepairPointers under a context.
+func (c *Client) RepairPointersContext(ctx context.Context, video string) error {
+	return c.do(ctx, http.MethodPost, "/v1/repair", rpcwire.RepairRequest{Video: video}, nil)
+}
+
+// CacheStats snapshots the daemon's decoded-tile cache counters.
+// Unlike the in-process form this can fail (the daemon may be down).
+func (c *Client) CacheStats() (tasm.CacheStats, error) {
+	return c.CacheStatsContext(context.Background())
+}
+
+// CacheStatsContext is CacheStats under a context.
+func (c *Client) CacheStatsContext(ctx context.Context) (tasm.CacheStats, error) {
+	var resp rpcwire.CacheStats
+	if err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &resp); err != nil {
+		return tasm.CacheStats{}, err
+	}
+	return resp.ToCacheStats(), nil
+}
+
+// ---- transport ----
+
+// setDeadline forwards a context deadline as the Tasm-Deadline-Ms
+// header so the server bounds its own work.
+func setDeadline(r *http.Request, ctx context.Context) {
+	if d, ok := ctx.Deadline(); ok {
+		ms := int64(math.Ceil(float64(time.Until(d)) / float64(time.Millisecond)))
+		if ms < 1 {
+			ms = 1
+		}
+		r.Header.Set(rpcwire.DeadlineHeader, strconv.FormatInt(ms, 10))
+	}
+}
+
+// do runs one unary request. A non-200 response decodes through the
+// error envelope into a sentinel-wrapping error.
+func (c *Client) do(ctx context.Context, method, path string, req, resp any) error {
+	var body io.Reader
+	if req != nil {
+		data, err := json.Marshal(req)
+		if err != nil {
+			return fmt.Errorf("client: encoding request: %w", err)
+		}
+		body = bytes.NewReader(data)
+	}
+	hr, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	if req != nil {
+		hr.Header.Set("Content-Type", "application/json")
+	}
+	setDeadline(hr, ctx)
+	res, err := c.hc.Do(hr)
+	if err != nil {
+		return transportError(ctx, err)
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(res.Body, 1<<20)) //nolint:errcheck // keep-alive best effort
+		res.Body.Close()
+	}()
+	if res.StatusCode != http.StatusOK {
+		return decodeErrorResponse(res)
+	}
+	if resp != nil {
+		if err := json.NewDecoder(res.Body).Decode(resp); err != nil {
+			return fmt.Errorf("client: decoding response: %w", err)
+		}
+	}
+	return nil
+}
+
+// transportError classifies a failed round trip: a context the caller
+// cancelled (or whose deadline passed) surfaces as that context error
+// so errors.Is matches, anything else is a transport failure.
+func transportError(ctx context.Context, err error) error {
+	if ctx.Err() != nil {
+		return fmt.Errorf("client: %v: %w", err, ctx.Err())
+	}
+	return fmt.Errorf("client: %w", err)
+}
+
+// decodeErrorResponse turns a non-200 response into the reconstructed
+// sentinel-wrapping error.
+func decodeErrorResponse(res *http.Response) error {
+	data, err := io.ReadAll(io.LimitReader(res.Body, 1<<20))
+	if err != nil {
+		return fmt.Errorf("client: HTTP %d (unreadable body: %v)", res.StatusCode, err)
+	}
+	var envelope struct {
+		Error rpcwire.ErrorBody `json:"error"`
+	}
+	if err := json.Unmarshal(data, &envelope); err != nil || envelope.Error.Code == "" {
+		return fmt.Errorf("client: HTTP %d: %s", res.StatusCode, strings.TrimSpace(string(data)))
+	}
+	return rpcwire.DecodeError(envelope.Error)
+}

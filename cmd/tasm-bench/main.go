@@ -16,11 +16,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"github.com/tasm-repro/tasm/internal/bench"
@@ -28,8 +32,8 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "comma-separated experiments: table1,fig6,fig7,fig8,fig9,fig10,fig11,fig12,edge,costfit,alpha,eta,perf,stream,all")
-		jsonOut   = flag.String("json", "", "path for the perf experiment's machine-readable results, e.g. BENCH_1.json (empty = print table only)")
+		exp       = flag.String("exp", "all", "comma-separated experiments: table1,fig6,fig7,fig8,fig9,fig10,fig11,fig12,edge,costfit,alpha,eta,perf,stream,serve,all")
+		jsonOut   = flag.String("json", "", "path for machine-readable results of the perf/stream/serve experiments, e.g. BENCH_1.json; when more than one of them runs, the experiment name is inserted before the extension (empty = print tables only)")
 		quick     = flag.Bool("quick", false, "reduced-scale run (smaller videos, fewer queries)")
 		width     = flag.Int("w", 0, "video width (default 320; quick 256)")
 		height    = flag.Int("h", 0, "video height (default 180; quick 144)")
@@ -42,6 +46,18 @@ func main() {
 		verbose   = flag.Bool("v", false, "progress output")
 	)
 	flag.Parse()
+
+	// The same SIGINT/SIGTERM wiring tasmctl has, honored at experiment
+	// boundaries: each experiment works in its own temp store, so the
+	// first signal stops cleanly before the next one starts (the
+	// experiments themselves run to completion — bench.Options carries
+	// no context). A second signal kills the process the usual way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
 
 	opt := bench.Options{Seed: *seed, Verbose: *verbose, Out: os.Stderr}
 	if *quick {
@@ -81,11 +97,33 @@ func main() {
 	all := selected["all"]
 	want := func(name string) bool { return all || selected[name] }
 
+	// Several experiments emit JSON; if more than one runs with a single
+	// -json path they must not overwrite each other, so the experiment
+	// name is spliced in (BENCH.json -> BENCH.perf.json, ...). A single
+	// JSON-writing experiment keeps the exact path (the CI shape).
+	jsonWriters := 0
+	for _, name := range []string{"perf", "stream", "serve"} {
+		if want(name) {
+			jsonWriters++
+		}
+	}
+	jsonPath := func(name string) string {
+		if *jsonOut == "" || jsonWriters <= 1 {
+			return *jsonOut
+		}
+		ext := filepath.Ext(*jsonOut)
+		return strings.TrimSuffix(*jsonOut, ext) + "." + name + ext
+	}
+
 	start := time.Now()
 	ran := 0
 	run := func(name string, fn func() error) {
 		if !want(name) {
 			return
+		}
+		if err := ctx.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "tasm-bench: interrupted before %s (completed experiments are already printed)\n", name)
+			os.Exit(130)
 		}
 		ran++
 		t0 := time.Now()
@@ -190,7 +228,7 @@ func main() {
 			return err
 		}
 		t.Render(os.Stdout)
-		return writeJSON(*jsonOut, "perf", res)
+		return writeJSON(jsonPath("perf"), "perf", res)
 	})
 	run("stream", func() error {
 		res, t, err := bench.RunStreamPerf(opt)
@@ -198,7 +236,15 @@ func main() {
 			return err
 		}
 		t.Render(os.Stdout)
-		return writeJSON(*jsonOut, "stream", res)
+		return writeJSON(jsonPath("stream"), "stream", res)
+	})
+	run("serve", func() error {
+		res, t, err := bench.RunServePerf(opt)
+		if err != nil {
+			return err
+		}
+		t.Render(os.Stdout)
+		return writeJSON(jsonPath("serve"), "serve", res)
 	})
 
 	if ran == 0 {

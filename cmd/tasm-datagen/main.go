@@ -9,11 +9,14 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
 	"github.com/tasm-repro/tasm/internal/container"
 	"github.com/tasm-repro/tasm/internal/scene"
@@ -51,6 +54,16 @@ func main() {
 	)
 	flag.Parse()
 
+	// The same SIGINT/SIGTERM handling tasmctl has: each preset's three
+	// files are written whole, so the first signal stops cleanly between
+	// presets; a second signal kills the process the usual way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
 	}
@@ -59,6 +72,10 @@ func main() {
 	for _, p := range scene.Presets(opts) {
 		if *preset != "all" && p.Spec.Name != *preset {
 			continue
+		}
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "tasm-datagen: interrupted (completed presets are intact)")
+			os.Exit(130)
 		}
 		found = true
 		if err := generate(*out, p, *qp); err != nil {

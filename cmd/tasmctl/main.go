@@ -1,6 +1,7 @@
-// Command tasmctl operates a TASM storage directory: ingest synthetic
-// videos, run (simulated) object detection to populate the semantic index,
-// execute Scan queries, inspect the catalog, and re-tile SOTs.
+// Command tasmctl operates a TASM store — a local directory, or a
+// remote tasmd daemon when -addr is given: ingest synthetic videos, run
+// (simulated) object detection to populate the semantic index, execute
+// Scan queries, inspect the catalog and cache, and re-tile SOTs.
 //
 // Usage:
 //
@@ -8,9 +9,17 @@
 //	tasmctl detect -dir db -video visualroad-2k-a -detector yolo
 //	tasmctl query  -dir db "SELECT car FROM visualroad-2k-a WHERE 0 <= t < 60"
 //	tasmctl info   -dir db
+//	tasmctl stats  -dir db
 //	tasmctl retile -dir db -video visualroad-2k-a -sot 0 -labels car,person
 //	tasmctl fsck   -dir db
 //	tasmctl gc     -dir db
+//
+//	tasmctl -addr localhost:7878 query "SELECT car FROM visualroad-2k-a"
+//	tasmctl query -addr localhost:7878 "..."      # same; flag position is free
+//
+// Every subcommand accepts -addr host:port to run against a remote
+// tasmd through the Go client instead of opening -dir; typed failures
+// map to distinct exit codes either way (see -h).
 package main
 
 import (
@@ -19,6 +28,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -26,12 +36,51 @@ import (
 	"syscall"
 
 	"github.com/tasm-repro/tasm"
+	"github.com/tasm-repro/tasm/client"
 	"github.com/tasm-repro/tasm/internal/detect"
 	"github.com/tasm-repro/tasm/internal/scene"
 )
 
+// Exit codes: scripts branch on the failure class without parsing
+// error text. The mapping rides the same typed-error taxonomy locally
+// and remotely (the client reconstructs the sentinels from the wire).
+const (
+	exitOK          = 0
+	exitFailure     = 1 // unclassified error (I/O, integrity problems, transport)
+	exitNotFound    = 2 // video or SOT not found
+	exitInvalid     = 3 // invalid input: bad flags/usage, name, range, empty ingest, bad request
+	exitConflict    = 4 // already exists, retile conflict, lost race with delete
+	exitInterrupted = 130
+)
+
+// globalAddr is the optional leading "-addr host:port" (also settable
+// per subcommand).
+var globalAddr string
+
 func main() {
-	if len(os.Args) < 2 {
+	args := os.Args[1:]
+	// Accept -addr before the subcommand too: `tasmctl -addr X query …`.
+	for len(args) > 0 {
+		switch {
+		case args[0] == "-addr" || args[0] == "--addr":
+			if len(args) < 2 {
+				usage()
+			}
+			globalAddr = args[1]
+			args = args[2:]
+		case strings.HasPrefix(args[0], "-addr="), strings.HasPrefix(args[0], "--addr="):
+			globalAddr = args[0][strings.Index(args[0], "=")+1:]
+			args = args[1:]
+		case args[0] == "-h" || args[0] == "--help" || args[0] == "help":
+			// An explicit help request is a success, not invalid input.
+			printUsage(os.Stdout)
+			os.Exit(exitOK)
+		default:
+			goto parsed
+		}
+	}
+parsed:
+	if len(args) == 0 {
 		usage()
 	}
 	// Long-running subcommands honor SIGINT/SIGTERM through the context:
@@ -45,48 +94,106 @@ func main() {
 		<-ctx.Done()
 		stop()
 	}()
-	cmd, args := os.Args[1], os.Args[2:]
+	cmd, cmdArgs := args[0], args[1:]
 	var err error
 	switch cmd {
 	case "ingest":
-		err = cmdIngest(ctx, args)
+		err = cmdIngest(ctx, cmdArgs)
 	case "detect":
-		err = cmdDetect(ctx, args)
+		err = cmdDetect(ctx, cmdArgs)
 	case "query":
-		err = cmdQuery(ctx, args)
+		err = cmdQuery(ctx, cmdArgs)
 	case "info":
-		err = cmdInfo(args)
+		err = cmdInfo(ctx, cmdArgs)
+	case "stats":
+		err = cmdStats(ctx, cmdArgs)
 	case "retile":
-		err = cmdRetile(ctx, args)
+		err = cmdRetile(ctx, cmdArgs)
 	case "gc":
-		err = cmdGC(ctx, args)
+		err = cmdGC(ctx, cmdArgs)
 	case "fsck":
-		err = cmdFsck(ctx, args)
+		err = cmdFsck(ctx, cmdArgs)
 	default:
 		usage()
 	}
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
 			fmt.Fprintf(os.Stderr, "tasmctl %s: interrupted (state is consistent; partial work was rolled back or left committed per operation)\n", cmd)
-			os.Exit(130)
+			os.Exit(exitInterrupted)
 		}
 		fmt.Fprintf(os.Stderr, "tasmctl %s: %v\n", cmd, err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
 }
 
+// exitCode classifies a failure through the typed-error taxonomy.
+func exitCode(err error) int {
+	switch {
+	case err == nil:
+		return exitOK
+	case errors.Is(err, tasm.ErrVideoNotFound), errors.Is(err, tasm.ErrSOTNotFound):
+		return exitNotFound
+	case errors.Is(err, tasm.ErrInvalidName), errors.Is(err, tasm.ErrInvalidRange),
+		errors.Is(err, tasm.ErrNoFrames), errors.Is(err, client.ErrBadRequest),
+		errors.Is(err, errUsage):
+		return exitInvalid
+	case errors.Is(err, tasm.ErrVideoExists), errors.Is(err, tasm.ErrRetileConflict),
+		errors.Is(err, tasm.ErrVideoDeleted):
+		return exitConflict
+	default:
+		return exitFailure
+	}
+}
+
+// errUsage marks bad command-line input so it exits with exitInvalid.
+var errUsage = errors.New("invalid usage")
+
+// parseFlags parses a subcommand's flags with the exit-code contract:
+// an explicit -h exits 0, a malformed flag exits 3 (flag.ExitOnError
+// would exit 2, colliding with "not found"). The flag package already
+// printed the details and defaults to stderr.
+func parseFlags(fs *flag.FlagSet, args []string) error {
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(exitOK)
+		}
+		return fmt.Errorf("%w: %v", errUsage, err)
+	}
+	return nil
+}
+
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: tasmctl <command> [flags]
+	printUsage(os.Stderr)
+	os.Exit(exitInvalid)
+}
+
+func printUsage(w io.Writer) {
+	fmt.Fprintln(w, `usage: tasmctl [-addr HOST:PORT] <command> [flags]
 
 commands:
   ingest  -dir D -preset P [-video NAME] [-w -h -fps -scale -seed]
   detect  -dir D -video V [-detector yolo|tiny|bgsub|yolo-every5] [-from N -to N]
   query   -dir D "SELECT <pred> FROM <video> [WHERE a <= t < b]"
   info    -dir D [-video V]
+  stats   -dir D            decoded-tile cache counters (eviction pressure)
   retile  -dir D -video V -sot N -labels a,b
   gc      -dir D            reclaim dead SOT versions and staging debris
-  fsck    -dir D [-repair]  verify manifests against tile files on disk`)
-	os.Exit(2)
+  fsck    -dir D [-repair]  verify manifests against tile files on disk
+
+remote mode:
+  every command accepts -addr HOST:PORT (before or after the command
+  name) to operate a running tasmd instead of opening -dir. ingest
+  still writes the scene spec next to -dir locally so a later detect
+  can regenerate ground truth; the daemon's codec settings govern the
+  stored GOP length.
+
+exit codes:
+  0  success
+  1  unclassified failure (I/O, integrity problems, transport)
+  2  not found (video, SOT)
+  3  invalid input (usage, name, frame range, empty ingest, bad request)
+  4  conflict (already exists, concurrent retile, deleted mid-operation)
+  130  interrupted by SIGINT/SIGTERM`)
 }
 
 // specPath stores the generating scene spec beside the database so detect
@@ -95,13 +202,140 @@ func specPath(dir, video string) string {
 	return filepath.Join(dir, video+".spec.json")
 }
 
-func openSM(dir string) (*tasm.StorageManager, error) {
-	return tasm.Open(dir, tasm.WithMinTileSize(32, 32))
+// backend is the slice of the StorageManager surface tasmctl drives,
+// satisfied by both the in-process manager (wrapped) and the remote
+// client — the reason every subcommand works identically with -addr.
+// Every method is context-first: remotely these are HTTP round trips
+// against a daemon that may hang, and the signal context must be able
+// to abandon them (the client transport deliberately has no timeout).
+type backend interface {
+	Close() error
+	IngestContext(ctx context.Context, video string, frames []*tasm.Frame, fps int) (tasm.IngestStats, error)
+	AddDetectionsContext(ctx context.Context, video string, ds []tasm.Detection) error
+	MarkDetectedContext(ctx context.Context, video, label string, from, to int) error
+	ScanSQLContext(ctx context.Context, sql string) ([]tasm.RegionResult, tasm.ScanStats, error)
+	VideosContext(ctx context.Context) ([]string, error)
+	MetaContext(ctx context.Context, video string) (tasm.VideoMeta, error)
+	// VideoInfoContext returns meta + byte footprint + labels in one
+	// call: one HTTP round trip (and one server-side byte walk) per
+	// video remotely.
+	VideoInfoContext(ctx context.Context, video string) (tasm.VideoMeta, int64, []string, error)
+	DesignLayoutContext(ctx context.Context, video string, sotID int, labels []string) (tasm.Layout, error)
+	RetileSOTContext(ctx context.Context, video string, sotID int, l tasm.Layout) (tasm.RetileStats, error)
+	GCContext(ctx context.Context) (tasm.GCReport, error)
+	FSCKContext(ctx context.Context) (tasm.FsckReport, error)
+	RepairPointersContext(ctx context.Context, video string) error
+	CacheStatsContext(ctx context.Context) (tasm.CacheStats, error)
+}
+
+// localBackend adapts *tasm.StorageManager to the backend interface.
+// The manager has no ctx form for these fast local operations, so each
+// adapter honors a signal that already arrived before starting — the
+// same "stop at the operation boundary" behavior the subcommands had.
+type localBackend struct{ *tasm.StorageManager }
+
+func (l localBackend) AddDetectionsContext(ctx context.Context, video string, ds []tasm.Detection) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return l.AddDetections(video, ds)
+}
+
+func (l localBackend) MarkDetectedContext(ctx context.Context, video, label string, from, to int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return l.MarkDetected(video, label, from, to)
+}
+
+func (l localBackend) VideosContext(ctx context.Context) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return l.Videos()
+}
+
+func (l localBackend) MetaContext(ctx context.Context, video string) (tasm.VideoMeta, error) {
+	if err := ctx.Err(); err != nil {
+		return tasm.VideoMeta{}, err
+	}
+	return l.Meta(video)
+}
+
+func (l localBackend) VideoInfoContext(ctx context.Context, video string) (tasm.VideoMeta, int64, []string, error) {
+	meta, err := l.MetaContext(ctx, video)
+	if err != nil {
+		return tasm.VideoMeta{}, 0, nil, err
+	}
+	bytes, err := l.VideoBytes(video)
+	if err != nil {
+		return tasm.VideoMeta{}, 0, nil, err
+	}
+	labels, err := l.Labels(video)
+	return meta, bytes, labels, err
+}
+
+func (l localBackend) DesignLayoutContext(ctx context.Context, video string, sotID int, labels []string) (tasm.Layout, error) {
+	if err := ctx.Err(); err != nil {
+		return tasm.Layout{}, err
+	}
+	return l.DesignLayout(video, sotID, labels)
+}
+
+func (l localBackend) GCContext(ctx context.Context) (tasm.GCReport, error) {
+	// The sweep itself is atomic under the store lock; honor a signal
+	// that arrived before it started rather than beginning new work.
+	if err := ctx.Err(); err != nil {
+		return tasm.GCReport{}, err
+	}
+	return l.GC()
+}
+
+func (l localBackend) FSCKContext(ctx context.Context) (tasm.FsckReport, error) {
+	if err := ctx.Err(); err != nil {
+		return tasm.FsckReport{}, err
+	}
+	return l.FSCK()
+}
+
+func (l localBackend) RepairPointersContext(ctx context.Context, video string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return l.RepairPointers(video)
+}
+
+func (l localBackend) CacheStatsContext(ctx context.Context) (tasm.CacheStats, error) {
+	if err := ctx.Err(); err != nil {
+		return tasm.CacheStats{}, err
+	}
+	return l.CacheStats(), nil
+}
+
+// openBackend connects to tasmd when addr is set, else opens dir
+// locally with the given extra options.
+func openBackend(dir, addr string, opts ...tasm.Option) (backend, error) {
+	if addr != "" {
+		return client.Dial(addr)
+	}
+	opts = append([]tasm.Option{tasm.WithMinTileSize(32, 32)}, opts...)
+	sm, err := tasm.Open(dir, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return localBackend{sm}, nil
+}
+
+// addrFlag registers the per-subcommand -addr (defaulting to a global
+// leading -addr).
+func addrFlag(fs *flag.FlagSet) *string {
+	return fs.String("addr", globalAddr, "remote tasmd address (host:port); empty = local -dir")
 }
 
 func cmdIngest(ctx context.Context, args []string) error {
-	fs := flag.NewFlagSet("ingest", flag.ExitOnError)
+	fs := flag.NewFlagSet("ingest", flag.ContinueOnError)
 	dir := fs.String("dir", "tasmdb", "storage directory")
+	addr := addrFlag(fs)
 	preset := fs.String("preset", "", "scene preset name (see tasm-datagen)")
 	name := fs.String("video", "", "stored video name (default preset name)")
 	width := fs.Int("w", 320, "width")
@@ -109,9 +343,11 @@ func cmdIngest(ctx context.Context, args []string) error {
 	fps := fs.Int("fps", 30, "frames per second")
 	scaleF := fs.Float64("scale", 1.0, "duration scale")
 	seed := fs.Uint64("seed", 42, "seed")
-	fs.Parse(args)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 	if *preset == "" {
-		return fmt.Errorf("missing -preset")
+		return fmt.Errorf("%w: missing -preset", errUsage)
 	}
 	opts := scene.Options{Width: *width, Height: *height, FPS: *fps, DurationScale: *scaleF, Seed: *seed}
 	var spec *scene.Spec
@@ -123,7 +359,7 @@ func cmdIngest(ctx context.Context, args []string) error {
 		}
 	}
 	if spec == nil {
-		return fmt.Errorf("unknown preset %q", *preset)
+		return fmt.Errorf("%w: unknown preset %q", errUsage, *preset)
 	}
 	if *name != "" {
 		spec.Name = *name
@@ -133,17 +369,24 @@ func cmdIngest(ctx context.Context, args []string) error {
 		return err
 	}
 	// One-second GOPs (and thus SOTs), the default in most encoders.
-	sm, err := tasm.Open(*dir, tasm.WithMinTileSize(32, 32), tasm.WithGOPLength(spec.FPS))
+	// Remotely the daemon's codec configuration governs GOP length.
+	b, err := openBackend(*dir, *addr, tasm.WithGOPLength(spec.FPS))
 	if err != nil {
 		return err
 	}
-	defer sm.Close()
-	st, err := sm.IngestContext(ctx, spec.Name, v.Frames(0, spec.NumFrames()), spec.FPS)
+	defer b.Close()
+	st, err := b.IngestContext(ctx, spec.Name, v.Frames(0, spec.NumFrames()), spec.FPS)
 	if err != nil {
 		return err
 	}
 	data, err := json.MarshalIndent(spec, "", "  ")
 	if err != nil {
+		return err
+	}
+	// The spec lands beside -dir even in remote mode: it is client-side
+	// provenance that a later `tasmctl detect` needs to regenerate the
+	// ground truth, not server state.
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
 		return err
 	}
 	if err := os.WriteFile(specPath(*dir, spec.Name), data, 0o644); err != nil {
@@ -155,15 +398,18 @@ func cmdIngest(ctx context.Context, args []string) error {
 }
 
 func cmdDetect(ctx context.Context, args []string) error {
-	fs := flag.NewFlagSet("detect", flag.ExitOnError)
+	fs := flag.NewFlagSet("detect", flag.ContinueOnError)
 	dir := fs.String("dir", "tasmdb", "storage directory")
+	addr := addrFlag(fs)
 	video := fs.String("video", "", "video name")
 	detName := fs.String("detector", "yolo", "yolo | tiny | bgsub | yolo-every5")
 	from := fs.Int("from", 0, "first frame")
 	to := fs.Int("to", -1, "end frame (exclusive; -1 = all)")
-	fs.Parse(args)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 	if *video == "" {
-		return fmt.Errorf("missing -video")
+		return fmt.Errorf("%w: missing -video", errUsage)
 	}
 	data, err := os.ReadFile(specPath(*dir, *video))
 	if err != nil {
@@ -192,7 +438,7 @@ func cmdDetect(ctx context.Context, args []string) error {
 	case "yolo-every5":
 		det = &detect.EveryN{Inner: &detect.Oracle{Lat: lat}, N: 5}
 	default:
-		return fmt.Errorf("unknown detector %q", *detName)
+		return fmt.Errorf("%w: unknown detector %q", errUsage, *detName)
 	}
 	ds, simLat := detect.Run(det, v, *from, *to)
 	// Honor a signal before touching the index: the batch insert plus the
@@ -200,12 +446,12 @@ func cmdDetect(ctx context.Context, args []string) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	sm, err := openSM(*dir)
+	b, err := openBackend(*dir, *addr)
 	if err != nil {
 		return err
 	}
-	defer sm.Close()
-	if err := sm.AddDetections(*video, ds); err != nil {
+	defer b.Close()
+	if err := b.AddDetectionsContext(ctx, *video, ds); err != nil {
 		return err
 	}
 	labels := map[string]bool{}
@@ -213,7 +459,7 @@ func cmdDetect(ctx context.Context, args []string) error {
 		labels[d.Label] = true
 	}
 	for label := range labels {
-		if err := sm.MarkDetected(*video, label, *from, *to); err != nil {
+		if err := b.MarkDetectedContext(ctx, *video, label, *from, *to); err != nil {
 			return err
 		}
 	}
@@ -223,24 +469,35 @@ func cmdDetect(ctx context.Context, args []string) error {
 }
 
 func cmdQuery(ctx context.Context, args []string) error {
-	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	fs := flag.NewFlagSet("query", flag.ContinueOnError)
 	dir := fs.String("dir", "tasmdb", "storage directory")
-	adaptive := fs.Bool("adaptive", false, "enable regret-based adaptive tiling")
-	fs.Parse(args)
+	addr := addrFlag(fs)
+	adaptive := fs.Bool("adaptive", false, "enable regret-based adaptive tiling (local mode only)")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("expected one SQL argument")
+		return fmt.Errorf("%w: expected one SQL argument", errUsage)
+	}
+	if *adaptive && *addr != "" {
+		return fmt.Errorf("%w: -adaptive is local-only (the daemon owns its tiling policy)", errUsage)
+	}
+	// Pre-parse with the same parser both the local manager and the
+	// server use, so a SQL typo exits 3 identically in both modes
+	// (locally the parse error wraps no sentinel and would fall to 1).
+	if _, err := tasm.ParseQuery(fs.Arg(0)); err != nil {
+		return fmt.Errorf("%w: %v", errUsage, err)
 	}
 	var opts []tasm.Option
-	opts = append(opts, tasm.WithMinTileSize(32, 32))
 	if *adaptive {
 		opts = append(opts, tasm.WithAdaptiveTiling())
 	}
-	sm, err := tasm.Open(*dir, opts...)
+	b, err := openBackend(*dir, *addr, opts...)
 	if err != nil {
 		return err
 	}
-	defer sm.Close()
-	res, st, err := sm.ScanSQLContext(ctx, fs.Arg(0))
+	defer b.Close()
+	res, st, err := b.ScanSQLContext(ctx, fs.Arg(0))
 	if err != nil {
 		return err
 	}
@@ -251,21 +508,53 @@ func cmdQuery(ctx context.Context, args []string) error {
 	return nil
 }
 
-func cmdGC(ctx context.Context, args []string) error {
-	fs := flag.NewFlagSet("gc", flag.ExitOnError)
+func cmdStats(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
 	dir := fs.String("dir", "tasmdb", "storage directory")
-	fs.Parse(args)
-	sm, err := openSM(*dir)
+	addr := addrFlag(fs)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	b, err := openBackend(*dir, *addr)
 	if err != nil {
 		return err
 	}
-	defer sm.Close()
-	// The sweep itself is atomic under the store lock; honor a signal
-	// that arrived before it started rather than beginning new work.
-	if err := ctx.Err(); err != nil {
+	defer b.Close()
+	st, err := b.CacheStatsContext(ctx)
+	if err != nil {
 		return err
 	}
-	rep, err := sm.GC()
+	// Eviction pressure is the ratio operators watch: evictions per
+	// miss says whether the budget is churning.
+	fmt.Printf("decoded-tile cache: budget %d B, cached %d B in %d entries\n", st.Budget, st.BytesCached, st.Entries)
+	fmt.Printf("hits %d  misses %d  evictions %d  invalidations %d\n", st.Hits, st.Misses, st.Evictions, st.Invalidations)
+	if st.Budget == 0 {
+		fmt.Println("cache disabled (budget 0); enable with tasm.WithCacheBudget / tasmd -cache")
+		return nil
+	}
+	if lookups := st.Hits + st.Misses; lookups > 0 {
+		fmt.Printf("hit rate %.1f%%", 100*float64(st.Hits)/float64(lookups))
+		if st.Misses > 0 {
+			fmt.Printf("  eviction pressure %.2f evictions/miss", float64(st.Evictions)/float64(st.Misses))
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func cmdGC(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("gc", flag.ContinueOnError)
+	dir := fs.String("dir", "tasmdb", "storage directory")
+	addr := addrFlag(fs)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	b, err := openBackend(*dir, *addr)
+	if err != nil {
+		return err
+	}
+	defer b.Close()
+	rep, err := b.GCContext(ctx)
 	if err != nil {
 		return err
 	}
@@ -280,36 +569,33 @@ func cmdGC(ctx context.Context, args []string) error {
 }
 
 func cmdFsck(ctx context.Context, args []string) error {
-	fs := flag.NewFlagSet("fsck", flag.ExitOnError)
+	fs := flag.NewFlagSet("fsck", flag.ContinueOnError)
 	dir := fs.String("dir", "tasmdb", "storage directory")
+	addr := addrFlag(fs)
 	repair := fs.Bool("repair", false, "re-materialize box→tile index pointers from live layouts")
-	fs.Parse(args)
-	sm, err := openSM(*dir)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	b, err := openBackend(*dir, *addr)
 	if err != nil {
 		return err
 	}
-	defer sm.Close()
+	defer b.Close()
 	if *repair {
-		videos, err := sm.Videos()
+		videos, err := b.VideosContext(ctx)
 		if err != nil {
 			return err
 		}
 		for _, v := range videos {
-			// Each repair is atomic per video; stop between videos on a
-			// signal instead of mid-store.
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			if err := sm.RepairPointers(v); err != nil {
+			// Each repair is atomic per video; a signal stops between
+			// videos (the backend checks the ctx before each one).
+			if err := b.RepairPointersContext(ctx, v); err != nil {
 				return err
 			}
 			fmt.Printf("repaired pointers: %s\n", v)
 		}
 	}
-	if err := ctx.Err(); err != nil {
-		return err
-	}
-	rep, err := sm.FSCK()
+	rep, err := b.FSCKContext(ctx)
 	if err != nil {
 		return err
 	}
@@ -335,34 +621,35 @@ func countFrames(res []tasm.RegionResult) int {
 	return len(frames)
 }
 
-func cmdInfo(args []string) error {
-	fs := flag.NewFlagSet("info", flag.ExitOnError)
+func cmdInfo(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("info", flag.ContinueOnError)
 	dir := fs.String("dir", "tasmdb", "storage directory")
+	addr := addrFlag(fs)
 	video := fs.String("video", "", "show one video in detail")
-	fs.Parse(args)
-	sm, err := openSM(*dir)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	b, err := openBackend(*dir, *addr)
 	if err != nil {
 		return err
 	}
-	defer sm.Close()
+	defer b.Close()
 	if *video == "" {
-		videos, err := sm.Videos()
+		videos, err := b.VideosContext(ctx)
 		if err != nil {
 			return err
 		}
 		for _, name := range videos {
-			meta, err := sm.Meta(name)
+			meta, bytes, labels, err := b.VideoInfoContext(ctx, name)
 			if err != nil {
 				return err
 			}
-			bytes, _ := sm.VideoBytes(name)
-			labels, _ := sm.Labels(name)
 			fmt.Printf("%-24s %dx%d @%dfps  %d frames  %d SOTs  %d KiB  labels=%v\n",
 				name, meta.W, meta.H, meta.FPS, meta.FrameCount, len(meta.SOTs), bytes/1024, labels)
 		}
 		return nil
 	}
-	meta, err := sm.Meta(*video)
+	meta, err := b.MetaContext(ctx, *video)
 	if err != nil {
 		return err
 	}
@@ -378,21 +665,24 @@ func cmdInfo(args []string) error {
 }
 
 func cmdRetile(ctx context.Context, args []string) error {
-	fs := flag.NewFlagSet("retile", flag.ExitOnError)
+	fs := flag.NewFlagSet("retile", flag.ContinueOnError)
 	dir := fs.String("dir", "tasmdb", "storage directory")
+	addr := addrFlag(fs)
 	video := fs.String("video", "", "video name")
 	sot := fs.Int("sot", -1, "SOT id")
 	labels := fs.String("labels", "", "comma-separated labels to tile around")
-	fs.Parse(args)
-	if *video == "" || *sot < 0 || *labels == "" {
-		return fmt.Errorf("need -video, -sot and -labels")
+	if err := parseFlags(fs, args); err != nil {
+		return err
 	}
-	sm, err := openSM(*dir)
+	if *video == "" || *sot < 0 || *labels == "" {
+		return fmt.Errorf("%w: need -video, -sot and -labels", errUsage)
+	}
+	b, err := openBackend(*dir, *addr)
 	if err != nil {
 		return err
 	}
-	defer sm.Close()
-	l, err := sm.DesignLayout(*video, *sot, strings.Split(*labels, ","))
+	defer b.Close()
+	l, err := b.DesignLayoutContext(ctx, *video, *sot, strings.Split(*labels, ","))
 	if err != nil {
 		return err
 	}
@@ -400,7 +690,7 @@ func cmdRetile(ctx context.Context, args []string) error {
 		fmt.Println("no beneficial layout for those labels (staying untiled)")
 		return nil
 	}
-	rs, err := sm.RetileSOTContext(ctx, *video, *sot, l)
+	rs, err := b.RetileSOTContext(ctx, *video, *sot, l)
 	if err != nil {
 		return err
 	}

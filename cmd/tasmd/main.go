@@ -1,0 +1,135 @@
+// Command tasmd serves a TASM storage directory over HTTP: the unary
+// operations (ingest, retile, delete, gc, fsck, catalog, stats) as
+// JSON endpoints and Scan/ScanSQL/DecodeFrames as NDJSON streams that
+// flush per result — the network face of the storage manager, speaking
+// the wire contract in internal/rpcwire.
+//
+// Usage:
+//
+//	tasmd -dir db                      # serve db on :7878
+//	tasmd -dir db -addr 127.0.0.1:9000 -cache 268435456 -parallelism 4
+//
+// SIGINT/SIGTERM starts a graceful drain: the listener closes, in-
+// flight requests (including streams) get -drain to finish, then the
+// store closes. A second signal kills the process the usual way.
+//
+// The daemon must own its storage directory exclusively. The store has
+// no cross-process locking (its caches — parsed manifests, decoded
+// tiles, the semantic index's B-tree — live in one process), so while
+// tasmd is running, operate the directory only through the daemon
+// (`tasmctl -addr …`); a concurrent `tasmctl -dir` against the same
+// directory reads stale state and its writes corrupt the daemon's
+// caches.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/tasm-repro/tasm"
+	"github.com/tasm-repro/tasm/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":7878", "listen address (host:port)")
+		dir         = flag.String("dir", "", "storage directory (required)")
+		cache       = flag.Int64("cache", 0, "decoded-tile cache budget in bytes (0 = disabled)")
+		parallelism = flag.Int("parallelism", 0, "concurrent tile decodes per request (0 = sequential, the paper's default)")
+		maxInflight = flag.Int("max-inflight", server.DefaultMaxInflight, "concurrent requests before 503 overloaded")
+		drain       = flag.Duration("drain", 15*time.Second, "graceful-shutdown budget for in-flight requests")
+		quiet       = flag.Bool("quiet", false, "suppress access logs")
+	)
+	flag.Parse()
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "tasmd: missing -dir")
+		flag.Usage()
+		os.Exit(3)
+	}
+
+	// -quiet silences only the per-request access lines; diagnostics
+	// (recovered panics, handler errors) always reach stderr.
+	logger := log.New(os.Stderr, "tasmd ", log.LstdFlags|log.Lmsgprefix)
+	accessLogger := logger
+	if *quiet {
+		accessLogger = log.New(io.Discard, "", 0)
+	}
+
+	opts := []tasm.Option{tasm.WithMinTileSize(32, 32)}
+	if *cache > 0 {
+		opts = append(opts, tasm.WithCacheBudget(*cache))
+	}
+	if *parallelism > 0 {
+		opts = append(opts, tasm.WithParallelism(*parallelism))
+	}
+	sm, err := tasm.Open(*dir, opts...)
+	if err != nil {
+		logger.Fatalf("open %s: %v", *dir, err)
+	}
+
+	// The same signal pattern as tasmctl: the first SIGINT/SIGTERM
+	// cancels the context (starting the drain), then default handling
+	// is restored so a second signal kills a wedged process.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	handler := server.New(sm, server.Config{Logger: logger, AccessLogger: accessLogger, MaxInflight: *maxInflight})
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: handler,
+		// Streaming scans are long-lived on purpose: no write timeout.
+		// Headers and idle connections still get bounds.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		BaseContext:       func(net.Listener) context.Context { return context.Background() },
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		sm.Close()
+		logger.Fatalf("listen %s: %v", *addr, err)
+	}
+	logger.Printf("serving %s on http://%s (cache %d B, parallelism %d, max-inflight %d)",
+		*dir, ln.Addr(), *cache, *parallelism, *maxInflight)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	exit := 0
+	select {
+	case err := <-serveErr:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Printf("serve: %v", err)
+			exit = 1
+		}
+	case <-ctx.Done():
+		stop() // restore default handling: a second signal force-kills
+		logger.Printf("signal received; draining for up to %s", *drain)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		err := srv.Shutdown(shutdownCtx)
+		cancel()
+		if err != nil {
+			// Streams that outlived the budget: close their
+			// connections — the request contexts cancel, cursors
+			// release their leases on the way down.
+			logger.Printf("drain budget exceeded (%v); closing connections", err)
+			srv.Close()
+		}
+	}
+	if err := sm.Close(); err != nil {
+		logger.Printf("close store: %v", err)
+		exit = 1
+	}
+	logger.Printf("stopped")
+	os.Exit(exit)
+}

@@ -1,0 +1,236 @@
+// Serving benchmark: the PR-4 experiment measuring what the network
+// front end costs. It stands up a real tasmd handler on a loopback
+// listener, runs the same multi-SOT scan in-process and through the Go
+// client's NDJSON cursor, and reports time-to-first-result and drain
+// wall for both plus the per-region serving overhead. Results
+// serialize to the BENCH_<n>.json trajectory (BENCH_3.json here).
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"time"
+
+	"github.com/tasm-repro/tasm"
+	"github.com/tasm-repro/tasm/client"
+	"github.com/tasm-repro/tasm/internal/scene"
+	"github.com/tasm-repro/tasm/internal/server"
+)
+
+// ServePerfResult is the machine-readable serving measurement.
+type ServePerfResult struct {
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	CPUs        int    `json:"cpus"`
+	GeneratedAt string `json:"generated_at"`
+
+	// The query shape: one cold scan spanning every SOT of the video.
+	SOTs    int `json:"sots"`
+	Regions int `json:"regions"`
+
+	// PingNs is a unary /v1/healthz round trip over loopback: the
+	// protocol floor any remote operation pays.
+	PingNs int64 `json:"ping_ns"`
+
+	// In-process baseline: a drained ScanCursor (the BENCH_2 shape).
+	InprocFirstResultNs int64 `json:"inproc_first_result_ns"`
+	InprocDrainNs       int64 `json:"inproc_drain_ns"`
+
+	// Remote: the same scan through tasmd's NDJSON stream and the Go
+	// client cursor.
+	RemoteFirstResultNs int64 `json:"remote_first_result_ns"`
+	RemoteDrainNs       int64 `json:"remote_drain_ns"`
+
+	// RemoteFirstResultFrac = RemoteFirstResultNs / RemoteDrainNs: the
+	// streaming property, observed remotely — a first region lands
+	// well before the scan finishes (acceptance: < 0.5; in-process
+	// BENCH_2 holds < 0.25 and the wire adds encode+flush cost).
+	RemoteFirstResultFrac float64 `json:"remote_first_result_frac"`
+	// RemoteOverheadPerRegionNs = (RemoteDrainNs - InprocDrainNs) /
+	// Regions: what serialization + HTTP + decode costs per streamed
+	// region.
+	RemoteOverheadPerRegionNs int64 `json:"remote_overhead_per_region_ns"`
+	// RemoteDrainRatio = RemoteDrainNs / InprocDrainNs.
+	RemoteDrainRatio float64 `json:"remote_drain_ratio"`
+}
+
+// servePerfRuns averages the wall measurements over a few runs.
+const servePerfRuns = 5
+
+// RunServePerf measures the serving subsystem end to end: one
+// synthetic multi-SOT video (short GOPs so the scan spans many SOTs),
+// served by the real handler stack over loopback TCP, scanned through
+// the real client, cache disabled throughout (the cold path where
+// streaming TTFB matters).
+func RunServePerf(o Options) (ServePerfResult, *Table, error) {
+	o = o.withDefaults()
+	res := ServePerfResult{
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		CPUs:        runtime.GOMAXPROCS(0),
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+	}
+
+	dir, err := os.MkdirTemp("", "tasm-serve-*")
+	if err != nil {
+		return res, nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	gop := max(2, o.FPS/2) // short GOPs => many SOTs
+	sm, err := tasm.Open(dir,
+		tasm.WithGOPLength(gop),
+		tasm.WithMinTileSize(o.MinTileW, o.MinTileH),
+		tasm.WithQP(o.QP))
+	if err != nil {
+		return res, nil, err
+	}
+	defer sm.Close()
+
+	durationSec := max(4, int(8*o.DurationScale))
+	v, err := scene.Generate(scene.Spec{
+		Name: "serve", W: o.Width, H: o.Height, FPS: o.FPS, DurationSec: durationSec,
+		Classes: []scene.ClassMix{
+			{Class: scene.Car, Count: 2, SizeFrac: 0.18},
+			{Class: scene.Person, Count: 1, SizeFrac: 0.3},
+		},
+		Seed: o.Seed,
+	})
+	if err != nil {
+		return res, nil, err
+	}
+	n := v.Spec.NumFrames()
+	if _, err := sm.Ingest("serve", v.Frames(0, n), v.Spec.FPS); err != nil {
+		return res, nil, err
+	}
+	var ds []tasm.Detection
+	for f := 0; f < n; f++ {
+		for _, tr := range v.GroundTruth(f) {
+			ds = append(ds, tasm.Detection{Frame: f, Label: tr.Label, Box: tr.Box})
+		}
+	}
+	if err := sm.AddDetections("serve", ds); err != nil {
+		return res, nil, err
+	}
+
+	// The daemon's handler on a real loopback socket: the remote path
+	// includes TCP, HTTP chunking, and both JSON codecs.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return res, nil, err
+	}
+	srv := &http.Server{Handler: server.New(sm, server.Config{})}
+	go srv.Serve(ln) //nolint:errcheck // closed via Shutdown below
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx) //nolint:errcheck // bench teardown
+	}()
+	c, err := client.Dial(ln.Addr().String())
+	if err != nil {
+		return res, nil, err
+	}
+	defer c.Close()
+
+	ctx := context.Background()
+	sql := fmt.Sprintf("SELECT car FROM serve WHERE 0 <= t < %d", n)
+
+	// Untimed warm-up (file cache, allocator, HTTP connection) so the
+	// compared runs see the same conditions.
+	if _, st, err := sm.ScanSQL(sql); err != nil {
+		return res, nil, err
+	} else {
+		res.SOTs = st.SOTsTouched
+		res.Regions = st.RegionsReturned
+	}
+	if _, _, err := c.ScanSQLContext(ctx, sql); err != nil {
+		return res, nil, err
+	}
+
+	var pingNs, inFirst, inDrain, remFirst, remDrain int64
+	for run := 0; run < servePerfRuns; run++ {
+		o.progressf("serve: run %d/%d\n", run+1, servePerfRuns)
+
+		start := time.Now()
+		if err := c.Ping(ctx); err != nil {
+			return res, nil, err
+		}
+		pingNs += time.Since(start).Nanoseconds()
+
+		// In-process streaming baseline.
+		start = time.Now()
+		cur, err := sm.ScanSQLCursor(ctx, sql)
+		if err != nil {
+			return res, nil, err
+		}
+		if !cur.Next() {
+			return res, nil, fmt.Errorf("bench: in-process scan yielded nothing: %v", cur.Err())
+		}
+		inFirst += time.Since(start).Nanoseconds()
+		for cur.Next() {
+		}
+		if err := cur.Err(); err != nil {
+			return res, nil, err
+		}
+		inDrain += time.Since(start).Nanoseconds()
+
+		// Remote: same scan through the NDJSON stream.
+		start = time.Now()
+		rcur, err := c.ScanSQLCursor(ctx, sql)
+		if err != nil {
+			return res, nil, err
+		}
+		if !rcur.Next() {
+			return res, nil, fmt.Errorf("bench: remote scan yielded nothing: %v", rcur.Err())
+		}
+		remFirst += time.Since(start).Nanoseconds()
+		nRemote := 1
+		for rcur.Next() {
+			nRemote++
+		}
+		if err := rcur.Err(); err != nil {
+			return res, nil, err
+		}
+		remDrain += time.Since(start).Nanoseconds()
+		if nRemote != res.Regions {
+			return res, nil, fmt.Errorf("bench: remote cursor yielded %d regions, Scan returned %d", nRemote, res.Regions)
+		}
+	}
+	res.PingNs = pingNs / servePerfRuns
+	res.InprocFirstResultNs = inFirst / servePerfRuns
+	res.InprocDrainNs = inDrain / servePerfRuns
+	res.RemoteFirstResultNs = remFirst / servePerfRuns
+	res.RemoteDrainNs = remDrain / servePerfRuns
+	if res.RemoteDrainNs > 0 {
+		res.RemoteFirstResultFrac = float64(res.RemoteFirstResultNs) / float64(res.RemoteDrainNs)
+	}
+	if res.Regions > 0 {
+		res.RemoteOverheadPerRegionNs = (res.RemoteDrainNs - res.InprocDrainNs) / int64(res.Regions)
+	}
+	if res.InprocDrainNs > 0 {
+		res.RemoteDrainRatio = float64(res.RemoteDrainNs) / float64(res.InprocDrainNs)
+	}
+
+	t := &Table{
+		Title:   "Serving (PR 4): remote NDJSON streaming vs in-process cursors",
+		Columns: []string{"measurement", "value"},
+		Rows: [][]string{
+			{"query span", fmt.Sprintf("%d SOTs, %d regions", res.SOTs, res.Regions)},
+			{"unary ping", fmt.Sprintf("%.3f ms", float64(res.PingNs)/1e6)},
+			{"in-process first result", fmt.Sprintf("%.3f ms", float64(res.InprocFirstResultNs)/1e6)},
+			{"in-process full drain", fmt.Sprintf("%.3f ms", float64(res.InprocDrainNs)/1e6)},
+			{"remote first result", fmt.Sprintf("%.3f ms (%.1f%% of remote drain)", float64(res.RemoteFirstResultNs)/1e6, 100*res.RemoteFirstResultFrac)},
+			{"remote full drain", fmt.Sprintf("%.3f ms (%.2fx in-process)", float64(res.RemoteDrainNs)/1e6, res.RemoteDrainRatio)},
+			{"serving overhead / region", fmt.Sprintf("%.1f µs", float64(res.RemoteOverheadPerRegionNs)/1e3)},
+		},
+		Notes: []string{
+			fmt.Sprintf("%d CPUs, cache disabled, loopback TCP, flush per region", res.CPUs),
+			"target: remote first result < 50% of remote drain on a >= 8-SOT query",
+		},
+	}
+	return res, t, nil
+}

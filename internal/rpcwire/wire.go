@@ -1,0 +1,543 @@
+// Package rpcwire defines the versioned JSON wire format the tasmd
+// network front end speaks: request and response bodies for the unary
+// endpoints, the NDJSON line envelope the streaming endpoints emit, and
+// the canonical error envelope with its bidirectional mapping between
+// the tasmerr sentinel taxonomy and HTTP status + machine-readable code.
+//
+// Everything here is plain data with explicit JSON tags — the wire
+// contract — plus the conversions to and from the in-process types. The
+// format is versioned by URL prefix (/v1/); additive changes (new
+// optional fields, new codes) do not bump the version.
+//
+// Error contract: a failed unary request carries `{"error": {"code",
+// "message"}}` with the mapped HTTP status; a streaming request that
+// fails after the 200 header carries the same envelope as its final
+// NDJSON line. DecodeError reconstructs an error that wraps the exact
+// sentinel EncodeError classified, so errors.Is behaves identically
+// in-process and across the wire.
+package rpcwire
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"github.com/tasm-repro/tasm/internal/core"
+	"github.com/tasm-repro/tasm/internal/frame"
+	"github.com/tasm-repro/tasm/internal/geom"
+	"github.com/tasm-repro/tasm/internal/layout"
+	"github.com/tasm-repro/tasm/internal/query"
+	"github.com/tasm-repro/tasm/internal/semindex"
+	"github.com/tasm-repro/tasm/internal/tasmerr"
+	"github.com/tasm-repro/tasm/internal/tilecache"
+	"github.com/tasm-repro/tasm/internal/tilestore"
+)
+
+// Serving-layer sentinels: failures that originate at the network
+// boundary rather than in the storage manager, given the same errors.Is
+// treatment as the tasmerr taxonomy.
+var (
+	// ErrBadRequest reports a request the server could not interpret:
+	// malformed JSON, an unparseable SQL string, an invalid header.
+	ErrBadRequest = errors.New("bad request")
+
+	// ErrOverloaded reports that the server's concurrent-request limit
+	// was reached; the request was rejected before any work started and
+	// is safe to retry.
+	ErrOverloaded = errors.New("server overloaded")
+)
+
+// ErrorBody is the canonical error envelope.
+type ErrorBody struct {
+	// Code is the machine-readable failure class, stable across
+	// releases (the strings in the mapping table below).
+	Code string `json:"code"`
+	// Message is the full operator-facing error text from the server.
+	Message string `json:"message"`
+}
+
+// errorMapping is one row of the bidirectional sentinel ⇄ (status, code)
+// table. Codes are unique; statuses may repeat (e.g. both invalid_name
+// and invalid_range are 400), so decoding keys on the code.
+type errorMapping struct {
+	sentinel error
+	code     string
+	status   int
+}
+
+// wireErrors is the canonical mapping. Order matters for EncodeError:
+// the first sentinel errors.Is matches wins, so the storage-manager
+// taxonomy precedes the context errors (a scan cancelled mid-decode
+// wraps both ErrCursorClosed and context.Canceled — the more specific
+// classification is kept).
+var wireErrors = []errorMapping{
+	{tasmerr.ErrVideoNotFound, "video_not_found", http.StatusNotFound},
+	{tasmerr.ErrSOTNotFound, "sot_not_found", http.StatusNotFound},
+	{tasmerr.ErrVideoExists, "video_exists", http.StatusConflict},
+	{tasmerr.ErrRetileConflict, "retile_conflict", http.StatusConflict},
+	{tasmerr.ErrVideoDeleted, "video_deleted", http.StatusGone},
+	{tasmerr.ErrInvalidName, "invalid_name", http.StatusBadRequest},
+	{tasmerr.ErrInvalidRange, "invalid_range", http.StatusBadRequest},
+	{tasmerr.ErrNoFrames, "no_frames", http.StatusBadRequest},
+	{tasmerr.ErrCursorClosed, "cursor_closed", statusClientClosedRequest},
+	{ErrBadRequest, "bad_request", http.StatusBadRequest},
+	{ErrOverloaded, "overloaded", http.StatusServiceUnavailable},
+	{context.Canceled, "canceled", statusClientClosedRequest},
+	{context.DeadlineExceeded, "deadline_exceeded", http.StatusGatewayTimeout},
+}
+
+// statusClientClosedRequest is nginx's convention for "the client went
+// away"; there is no standard HTTP status for it.
+const statusClientClosedRequest = 499
+
+// codeInternal classifies errors outside the taxonomy (bugs, I/O
+// failures). It decodes to a *RemoteError with no sentinel.
+const codeInternal = "internal"
+
+// EncodeError maps an error to the HTTP status and envelope to send.
+// Unknown errors become ("internal", 500) with the message preserved.
+func EncodeError(err error) (int, ErrorBody) {
+	for _, m := range wireErrors {
+		if errors.Is(err, m.sentinel) {
+			return m.status, ErrorBody{Code: m.code, Message: err.Error()}
+		}
+	}
+	return http.StatusInternalServerError, ErrorBody{Code: codeInternal, Message: err.Error()}
+}
+
+// RemoteError is a server failure reconstructed client-side: it keeps
+// the wire code and the server's message, and unwraps to the sentinel
+// the code names, so errors.Is(err, tasm.ErrVideoNotFound) (or
+// context.DeadlineExceeded, …) holds for remote failures exactly as it
+// does in-process.
+type RemoteError struct {
+	Code     string
+	Message  string
+	sentinel error // nil for codes outside the taxonomy
+}
+
+func (e *RemoteError) Error() string { return "remote: " + e.Message }
+
+func (e *RemoteError) Unwrap() error { return e.sentinel }
+
+// DecodeError reconstructs the error a wire envelope describes. The
+// result always has type *RemoteError; when the code is in the mapping
+// table it additionally wraps that sentinel.
+func DecodeError(body ErrorBody) error {
+	e := &RemoteError{Code: body.Code, Message: body.Message}
+	for _, m := range wireErrors {
+		if m.code == body.Code {
+			e.sentinel = m.sentinel
+			break
+		}
+	}
+	return e
+}
+
+// Sentinels returns every error in the bidirectional mapping (the
+// round-trip test iterates it so a sentinel added to the table can
+// never silently lose its mapping).
+func Sentinels() []error {
+	out := make([]error, len(wireErrors))
+	for i, m := range wireErrors {
+		out[i] = m.sentinel
+	}
+	return out
+}
+
+// DeadlineHeader carries the client's remaining budget in integer
+// milliseconds; the server turns it into a context deadline so a remote
+// request honors the caller's timeout even when the TCP stream stays
+// healthy.
+const DeadlineHeader = "Tasm-Deadline-Ms"
+
+// ---- geometry, layouts, frames ----
+
+// Rect is a half-open pixel rectangle on the wire.
+type Rect struct {
+	X0 int `json:"x0"`
+	Y0 int `json:"y0"`
+	X1 int `json:"x1"`
+	Y1 int `json:"y1"`
+}
+
+// FromRect converts an in-process rectangle.
+func FromRect(r geom.Rect) Rect { return Rect{X0: r.X0, Y0: r.Y0, X1: r.X1, Y1: r.Y1} }
+
+// ToRect converts back to the in-process type.
+func (r Rect) ToRect() geom.Rect { return geom.R(r.X0, r.Y0, r.X1, r.Y1) }
+
+// Layout is a tile layout on the wire: row heights and column widths
+// spanning the frame.
+type Layout struct {
+	RowHeights []int `json:"row_heights"`
+	ColWidths  []int `json:"col_widths"`
+}
+
+// FromLayout converts an in-process layout.
+func FromLayout(l layout.Layout) Layout {
+	return Layout{RowHeights: l.RowHeights, ColWidths: l.ColWidths}
+}
+
+// ToLayout converts back to the in-process type.
+func (l Layout) ToLayout() layout.Layout {
+	return layout.Layout{RowHeights: l.RowHeights, ColWidths: l.ColWidths}
+}
+
+// Frame is a planar YCbCr 4:2:0 frame on the wire; the planes travel
+// base64-encoded (encoding/json's []byte representation).
+type Frame struct {
+	W  int    `json:"w"`
+	H  int    `json:"h"`
+	Y  []byte `json:"y"`
+	Cb []byte `json:"cb"`
+	Cr []byte `json:"cr"`
+}
+
+// FromFrame converts an in-process frame. The planes are referenced,
+// not copied: wire values are encoded immediately, never mutated.
+func FromFrame(f *frame.Frame) Frame {
+	return Frame{W: f.W, H: f.H, Y: f.Y, Cb: f.Cb, Cr: f.Cr}
+}
+
+// ToFrame validates plane sizes against the declared dimensions and
+// converts back to the in-process type.
+func (f Frame) ToFrame() (*frame.Frame, error) {
+	if f.W <= 0 || f.H <= 0 || f.W%2 != 0 || f.H%2 != 0 {
+		return nil, fmt.Errorf("%w: frame dimensions %dx%d", ErrBadRequest, f.W, f.H)
+	}
+	if len(f.Y) != f.W*f.H || len(f.Cb) != (f.W/2)*(f.H/2) || len(f.Cr) != (f.W/2)*(f.H/2) {
+		return nil, fmt.Errorf("%w: frame plane sizes do not match %dx%d", ErrBadRequest, f.W, f.H)
+	}
+	return &frame.Frame{W: f.W, H: f.H, Y: f.Y, Cb: f.Cb, Cr: f.Cr}, nil
+}
+
+// ---- queries ----
+
+// Query is a parsed Scan request on the wire.
+type Query struct {
+	Video string `json:"video"`
+	// Clauses is the CNF label predicate: OR within a clause, AND
+	// between clauses.
+	Clauses [][]string `json:"clauses"`
+	From    int        `json:"from"`
+	// To is exclusive; -1 means "to the end of the video".
+	To int `json:"to"`
+}
+
+// FromQuery converts an in-process query.
+func FromQuery(q query.Query) Query {
+	return Query{Video: q.Video, Clauses: q.Pred.Clauses, From: q.From, To: q.To}
+}
+
+// ToQuery converts back to the in-process type.
+func (q Query) ToQuery() query.Query {
+	return query.Query{Video: q.Video, Pred: query.Predicate{Clauses: q.Clauses}, From: q.From, To: q.To}
+}
+
+// ---- unary requests and responses ----
+
+// IngestRequest stores frames as a new video. Layouts, when present,
+// select the tiled ingest path (one layout per SOT, the edge-camera
+// upload shape); otherwise the video is stored untiled, one SOT per GOP.
+type IngestRequest struct {
+	Video   string   `json:"video"`
+	FPS     int      `json:"fps"`
+	Frames  []Frame  `json:"frames"`
+	Layouts []Layout `json:"layouts,omitempty"`
+}
+
+// IngestStats mirrors core.IngestStats with explicit-unit fields.
+type IngestStats struct {
+	EncodeWallNs int64 `json:"encode_wall_ns"`
+	Bytes        int64 `json:"bytes"`
+	SOTs         int   `json:"sots"`
+}
+
+// FromIngestStats converts an in-process stats record.
+func FromIngestStats(s core.IngestStats) IngestStats {
+	return IngestStats{EncodeWallNs: s.EncodeWall.Nanoseconds(), Bytes: s.Bytes, SOTs: s.SOTs}
+}
+
+// ToIngestStats converts back to the in-process type.
+func (s IngestStats) ToIngestStats() core.IngestStats {
+	return core.IngestStats{EncodeWall: nsDuration(s.EncodeWallNs), Bytes: s.Bytes, SOTs: s.SOTs}
+}
+
+// RetileRequest re-encodes one SOT under a new layout.
+type RetileRequest struct {
+	Video  string `json:"video"`
+	SOT    int    `json:"sot"`
+	Layout Layout `json:"layout"`
+}
+
+// RetileStats mirrors core.RetileStats.
+type RetileStats struct {
+	DecodeWallNs int64 `json:"decode_wall_ns"`
+	EncodeWallNs int64 `json:"encode_wall_ns"`
+	Bytes        int64 `json:"bytes"`
+}
+
+// FromRetileStats converts an in-process stats record.
+func FromRetileStats(s core.RetileStats) RetileStats {
+	return RetileStats{DecodeWallNs: s.DecodeWall.Nanoseconds(), EncodeWallNs: s.EncodeWall.Nanoseconds(), Bytes: s.Bytes}
+}
+
+// ToRetileStats converts back to the in-process type.
+func (s RetileStats) ToRetileStats() core.RetileStats {
+	return core.RetileStats{DecodeWall: nsDuration(s.DecodeWallNs), EncodeWall: nsDuration(s.EncodeWallNs), Bytes: s.Bytes}
+}
+
+// DesignLayoutRequest asks the server to partition a SOT around the
+// indexed boxes of the given labels.
+type DesignLayoutRequest struct {
+	Video  string   `json:"video"`
+	SOT    int      `json:"sot"`
+	Labels []string `json:"labels"`
+}
+
+// DesignLayoutResponse carries the designed layout (the untiled layout
+// when tiling cannot help).
+type DesignLayoutResponse struct {
+	Layout Layout `json:"layout"`
+}
+
+// Detection is one labeled bounding box on the wire.
+type Detection struct {
+	Frame int    `json:"frame"`
+	Label string `json:"label"`
+	Box   Rect   `json:"box"`
+}
+
+// FromDetection converts an in-process detection.
+func FromDetection(d semindex.Detection) Detection {
+	return Detection{Frame: d.Frame, Label: d.Label, Box: FromRect(d.Box)}
+}
+
+// ToDetection converts back to the in-process type.
+func (d Detection) ToDetection() semindex.Detection {
+	return semindex.Detection{Frame: d.Frame, Label: d.Label, Box: d.Box.ToRect()}
+}
+
+// MetadataRequest records a batch of detections (AddMetadata sends one).
+type MetadataRequest struct {
+	Video      string      `json:"video"`
+	Detections []Detection `json:"detections"`
+}
+
+// MarkDetectedRequest records that frames [From, To) were fully
+// processed by a detector for Label.
+type MarkDetectedRequest struct {
+	Video string `json:"video"`
+	Label string `json:"label"`
+	From  int    `json:"from"`
+	To    int    `json:"to"`
+}
+
+// DetectionsResponse carries indexed detections for a lookup.
+type DetectionsResponse struct {
+	Detections []Detection `json:"detections"`
+}
+
+// VideosResponse lists stored video names.
+type VideosResponse struct {
+	Videos []string `json:"videos"`
+}
+
+// VideoInfo is one video's catalog record plus derived inventory. Meta
+// reuses the manifest's own JSON encoding (tilestore.VideoMeta).
+type VideoInfo struct {
+	Meta   tilestore.VideoMeta `json:"meta"`
+	Bytes  int64               `json:"bytes"`
+	Labels []string            `json:"labels"`
+}
+
+// GCReport mirrors tilestore.GCReport.
+type GCReport struct {
+	Removed  []string `json:"removed"`
+	Deferred []string `json:"deferred"`
+}
+
+// FromGCReport converts an in-process report.
+func FromGCReport(r tilestore.GCReport) GCReport {
+	return GCReport{Removed: r.Removed, Deferred: r.Deferred}
+}
+
+// ToGCReport converts back to the in-process type.
+func (r GCReport) ToGCReport() tilestore.GCReport {
+	return tilestore.GCReport{Removed: r.Removed, Deferred: r.Deferred}
+}
+
+// FsckReport mirrors tilestore.FsckReport.
+type FsckReport struct {
+	Videos   int      `json:"videos"`
+	SOTs     int      `json:"sots"`
+	Tiles    int      `json:"tiles"`
+	Leases   int      `json:"leases"`
+	Problems []string `json:"problems"`
+	Orphans  []string `json:"orphans"`
+}
+
+// FromFsckReport converts an in-process report.
+func FromFsckReport(r tilestore.FsckReport) FsckReport {
+	return FsckReport{Videos: r.Videos, SOTs: r.SOTs, Tiles: r.Tiles, Leases: r.Leases, Problems: r.Problems, Orphans: r.Orphans}
+}
+
+// ToFsckReport converts back to the in-process type.
+func (r FsckReport) ToFsckReport() tilestore.FsckReport {
+	return tilestore.FsckReport{Videos: r.Videos, SOTs: r.SOTs, Tiles: r.Tiles, Leases: r.Leases, Problems: r.Problems, Orphans: r.Orphans}
+}
+
+// CacheStats mirrors tilecache.Stats.
+type CacheStats struct {
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Evictions     int64 `json:"evictions"`
+	Invalidations int64 `json:"invalidations"`
+	BytesCached   int64 `json:"bytes_cached"`
+	Entries       int   `json:"entries"`
+	Budget        int64 `json:"budget"`
+}
+
+// FromCacheStats converts an in-process stats snapshot.
+func FromCacheStats(s tilecache.Stats) CacheStats {
+	return CacheStats{Hits: s.Hits, Misses: s.Misses, Evictions: s.Evictions,
+		Invalidations: s.Invalidations, BytesCached: s.BytesCached, Entries: s.Entries, Budget: s.Budget}
+}
+
+// ToCacheStats converts back to the in-process type.
+func (s CacheStats) ToCacheStats() tilecache.Stats {
+	return tilecache.Stats{Hits: s.Hits, Misses: s.Misses, Evictions: s.Evictions,
+		Invalidations: s.Invalidations, BytesCached: s.BytesCached, Entries: s.Entries, Budget: s.Budget}
+}
+
+// RepairRequest re-materializes one video's box→tile pointers.
+type RepairRequest struct {
+	Video string `json:"video"`
+}
+
+// nsDuration converts a wire nanosecond count to a time.Duration.
+func nsDuration(ns int64) time.Duration { return time.Duration(ns) * time.Nanosecond }
+
+// ---- streaming requests and the NDJSON line envelope ----
+
+// ScanRequest starts a streaming Scan. Exactly one of SQL and Query is
+// set: SQL is parsed server-side (parse failures are bad_request),
+// Query is the pre-parsed form.
+type ScanRequest struct {
+	SQL   string `json:"sql,omitempty"`
+	Query *Query `json:"query,omitempty"`
+}
+
+// DecodeFramesRequest starts a streaming whole-frame decode of
+// [From, To); To == -1 means "to the end of the video".
+type DecodeFramesRequest struct {
+	Video string `json:"video"`
+	From  int    `json:"from"`
+	To    int    `json:"to"`
+}
+
+// ScanStats mirrors core.ScanStats with explicit-unit duration fields.
+type ScanStats struct {
+	IndexWallNs     int64 `json:"index_wall_ns"`
+	DecodeWallNs    int64 `json:"decode_wall_ns"`
+	AssembleWallNs  int64 `json:"assemble_wall_ns"`
+	PixelsDecoded   int64 `json:"pixels_decoded"`
+	TilesDecoded    int   `json:"tiles_decoded"`
+	FramesDecoded   int64 `json:"frames_decoded"`
+	RegionsReturned int   `json:"regions_returned"`
+	SOTsTouched     int   `json:"sots_touched"`
+	CacheHits       int   `json:"cache_hits"`
+	CacheMisses     int   `json:"cache_misses"`
+	CacheEvictions  int   `json:"cache_evictions"`
+}
+
+// FromScanStats converts an in-process stats record.
+func FromScanStats(s core.ScanStats) ScanStats {
+	return ScanStats{
+		IndexWallNs:     s.IndexWall.Nanoseconds(),
+		DecodeWallNs:    s.DecodeWall.Nanoseconds(),
+		AssembleWallNs:  s.AssembleWall.Nanoseconds(),
+		PixelsDecoded:   s.PixelsDecoded,
+		TilesDecoded:    s.TilesDecoded,
+		FramesDecoded:   s.FramesDecoded,
+		RegionsReturned: s.RegionsReturned,
+		SOTsTouched:     s.SOTsTouched,
+		CacheHits:       s.CacheHits,
+		CacheMisses:     s.CacheMisses,
+		CacheEvictions:  s.CacheEvictions,
+	}
+}
+
+// ToScanStats converts back to the in-process type.
+func (s ScanStats) ToScanStats() core.ScanStats {
+	return core.ScanStats{
+		IndexWall:       nsDuration(s.IndexWallNs),
+		DecodeWall:      nsDuration(s.DecodeWallNs),
+		AssembleWall:    nsDuration(s.AssembleWallNs),
+		PixelsDecoded:   s.PixelsDecoded,
+		TilesDecoded:    s.TilesDecoded,
+		FramesDecoded:   s.FramesDecoded,
+		RegionsReturned: s.RegionsReturned,
+		SOTsTouched:     s.SOTsTouched,
+		CacheHits:       s.CacheHits,
+		CacheMisses:     s.CacheMisses,
+		CacheEvictions:  s.CacheEvictions,
+	}
+}
+
+// Region is one streamed Scan result: a pixel region on one frame.
+type Region struct {
+	Frame  int   `json:"frame"`
+	Region Rect  `json:"region"`
+	Pixels Frame `json:"pixels"`
+}
+
+// FromRegion converts an in-process scan result.
+func FromRegion(r core.RegionResult) Region {
+	return Region{Frame: r.Frame, Region: FromRect(r.Region), Pixels: FromFrame(r.Pixels)}
+}
+
+// ToRegion converts back to the in-process type.
+func (r Region) ToRegion() (core.RegionResult, error) {
+	f, err := r.Pixels.ToFrame()
+	if err != nil {
+		return core.RegionResult{}, err
+	}
+	return core.RegionResult{Frame: r.Frame, Region: r.Region.ToRect(), Pixels: f}, nil
+}
+
+// FrameLine is one streamed whole-frame result.
+type FrameLine struct {
+	Index  int   `json:"index"`
+	Pixels Frame `json:"pixels"`
+}
+
+// FromFrameResult converts an in-process frame result.
+func FromFrameResult(r core.FrameResult) FrameLine {
+	return FrameLine{Index: r.Index, Pixels: FromFrame(r.Pixels)}
+}
+
+// ToFrameResult converts back to the in-process type.
+func (l FrameLine) ToFrameResult() (core.FrameResult, error) {
+	f, err := l.Pixels.ToFrame()
+	if err != nil {
+		return core.FrameResult{}, err
+	}
+	return core.FrameResult{Index: l.Index, Pixels: f}, nil
+}
+
+// StreamLine is the NDJSON envelope every streaming endpoint emits, one
+// JSON object per line, flushed per line. Exactly one field is set:
+// Region (scan results), Frame (whole-frame decodes), Stats (the final
+// line of a successful stream — its presence is the client's
+// end-of-stream marker, so a torn TCP stream is never mistaken for
+// clean exhaustion), or Error (the final line of a failed stream).
+type StreamLine struct {
+	Region *Region    `json:"region,omitempty"`
+	Frame  *FrameLine `json:"frame,omitempty"`
+	Stats  *ScanStats `json:"stats,omitempty"`
+	Error  *ErrorBody `json:"error,omitempty"`
+}

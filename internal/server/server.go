@@ -1,0 +1,586 @@
+// Package server is tasmd's HTTP front end: an http.Handler exposing a
+// *tasm.StorageManager over the versioned JSON wire format in
+// internal/rpcwire.
+//
+// Unary operations (ingest, retile, delete, gc, fsck, catalog reads,
+// metadata writes) are plain request/response JSON. The read paths that
+// stream in-process — Scan, ScanSQL, DecodeFrames — stream over the
+// network too: the handler drains a tasm cursor directly into the
+// chunked response as NDJSON, flushing per result line, so a remote
+// consumer's time-to-first-byte inherits the cursor pipeline's
+// time-to-first-result instead of waiting for full materialization.
+//
+// Request contexts do real work here. Every handler derives its
+// operation context from the request context, so a client disconnect
+// cancels the cursor — which stops in-flight decodes and releases every
+// read lease before teardown completes (the PR-3 guarantee). The
+// Tasm-Deadline-Ms header bounds the whole operation server-side with a
+// context deadline, mapped back to the client as deadline_exceeded/504.
+//
+// The handler stack adds, outermost first: panic recovery (a handler
+// bug becomes a logged 500, not a dead daemon), a concurrent-request
+// limiter (excess load is rejected early with overloaded/503 rather
+// than queued into memory), and per-request access logs.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"time"
+
+	"github.com/tasm-repro/tasm"
+	"github.com/tasm-repro/tasm/internal/rpcwire"
+)
+
+// Config tunes the handler stack.
+type Config struct {
+	// Logger receives diagnostics — recovered panics and handler
+	// errors; nil discards. Keep this on even when access logs are off:
+	// it speaks exactly when something is wrong.
+	Logger *log.Logger
+	// AccessLogger receives the per-request access lines; nil falls
+	// back to Logger (set it to a discarding logger to silence access
+	// logs without losing diagnostics).
+	AccessLogger *log.Logger
+	// MaxInflight bounds concurrently served requests (excluding
+	// /v1/healthz); requests beyond it get 503 overloaded. <= 0 means
+	// DefaultMaxInflight.
+	MaxInflight int
+	// MaxBodyBytes bounds a request body (ingest bodies carry raw
+	// frames). <= 0 means DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+}
+
+// DefaultMaxInflight is the concurrent-request bound when Config leaves
+// it zero: enough for every decode worker to stay busy behind a handful
+// of streaming consumers, small enough that overload degrades into fast
+// 503s instead of memory growth.
+const DefaultMaxInflight = 64
+
+// DefaultMaxBodyBytes bounds request bodies (1 GiB: a few minutes of
+// raw 4:2:0 frames, the largest legitimate ingest this toy codec
+// should see in one call).
+const DefaultMaxBodyBytes = 1 << 30
+
+// New returns the tasmd handler serving sm.
+func New(sm *tasm.StorageManager, cfg Config) http.Handler {
+	if cfg.Logger == nil {
+		cfg.Logger = log.New(io.Discard, "", 0)
+	}
+	if cfg.AccessLogger == nil {
+		cfg.AccessLogger = cfg.Logger
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = DefaultMaxInflight
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	s := &server{sm: sm, cfg: cfg, inflight: make(chan struct{}, cfg.MaxInflight)}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/videos", s.handleVideos)
+	mux.HandleFunc("GET /v1/videos/{video}", s.handleVideoInfo)
+	mux.HandleFunc("DELETE /v1/videos/{video}", s.handleDeleteVideo)
+	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	mux.HandleFunc("POST /v1/metadata", s.handleMetadata)
+	mux.HandleFunc("POST /v1/markdetected", s.handleMarkDetected)
+	mux.HandleFunc("GET /v1/detections", s.handleDetections)
+	mux.HandleFunc("POST /v1/scan", s.handleScan)
+	mux.HandleFunc("POST /v1/decodeframes", s.handleDecodeFrames)
+	mux.HandleFunc("POST /v1/retile", s.handleRetile)
+	mux.HandleFunc("POST /v1/designlayout", s.handleDesignLayout)
+	mux.HandleFunc("POST /v1/gc", s.handleGC)
+	mux.HandleFunc("POST /v1/fsck", s.handleFsck)
+	mux.HandleFunc("POST /v1/repair", s.handleRepair)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux = mux
+	return s
+}
+
+type server struct {
+	sm       *tasm.StorageManager
+	cfg      Config
+	mux      *http.ServeMux
+	inflight chan struct{}
+}
+
+// ServeHTTP is the middleware stack: recover → limit → log → route.
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	lw := &logWriter{ResponseWriter: w}
+	start := time.Now()
+	defer func() {
+		if p := recover(); p != nil {
+			s.cfg.Logger.Printf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+			if !lw.wrote {
+				writeError(lw, fmt.Errorf("internal panic: %v", p))
+			}
+		}
+		s.cfg.AccessLogger.Printf("%s %s %d %dB %s %s",
+			r.Method, r.URL.Path, lw.status(), lw.bytes, time.Since(start).Round(time.Microsecond), r.RemoteAddr)
+	}()
+
+	// Health checks bypass the limiter: an overloaded daemon is still
+	// alive, and the probe must say so.
+	if r.URL.Path == "/v1/healthz" {
+		s.mux.ServeHTTP(lw, r)
+		return
+	}
+	select {
+	case s.inflight <- struct{}{}:
+		defer func() { <-s.inflight }()
+	default:
+		lw.Header().Set("Retry-After", "1")
+		writeError(lw, fmt.Errorf("%w: %d requests in flight", rpcwire.ErrOverloaded, s.cfg.MaxInflight))
+		return
+	}
+	r.Body = http.MaxBytesReader(lw, r.Body, s.cfg.MaxBodyBytes)
+	s.mux.ServeHTTP(lw, r)
+}
+
+// logWriter captures status and byte counts for the access log and
+// keeps http.Flusher reachable through the wrap (the streaming
+// endpoints depend on per-line flushes).
+type logWriter struct {
+	http.ResponseWriter
+	code  int
+	bytes int64
+	wrote bool
+}
+
+func (w *logWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.wrote, w.code = true, code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *logWriter) Write(p []byte) (int, error) {
+	if !w.wrote {
+		w.wrote, w.code = true, http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *logWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (w *logWriter) status() int {
+	if !w.wrote {
+		return http.StatusOK
+	}
+	return w.code
+}
+
+// requestContext derives the operation context: the request context
+// (cancelled on client disconnect) optionally bounded by the
+// Tasm-Deadline-Ms header.
+func requestContext(r *http.Request) (ctx context.Context, cancel context.CancelFunc, err error) {
+	ctx = r.Context()
+	h := r.Header.Get(rpcwire.DeadlineHeader)
+	if h == "" {
+		ctx, cancel = context.WithCancel(ctx)
+		return ctx, cancel, nil
+	}
+	ms, perr := strconv.ParseInt(h, 10, 64)
+	if perr != nil || ms <= 0 {
+		return nil, nil, fmt.Errorf("%w: header %s=%q", rpcwire.ErrBadRequest, rpcwire.DeadlineHeader, h)
+	}
+	ctx, cancel = context.WithTimeout(ctx, time.Duration(ms)*time.Millisecond)
+	return ctx, cancel, nil
+}
+
+// unaryBoundary enforces the request context on unary operations whose
+// manager forms take no context (GC, FSCK, catalog reads, index
+// writes): the Tasm-Deadline-Ms header and a client disconnect are
+// honored at the operation's start boundary — an already-dead request
+// is answered with its context error instead of doing the work (and
+// holding a limiter slot) for a caller that is gone. It reports false
+// after writing the error response.
+func unaryBoundary(w http.ResponseWriter, r *http.Request) bool {
+	ctx, cancel, err := requestContext(r)
+	if err != nil {
+		writeError(w, err)
+		return false
+	}
+	defer cancel()
+	if err := ctx.Err(); err != nil {
+		writeError(w, fmt.Errorf("server: %w", err))
+		return false
+	}
+	return true
+}
+
+// readJSON decodes a request body, classifying malformed input as
+// bad_request.
+func readJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("%w: decoding body: %v", rpcwire.ErrBadRequest, err)
+	}
+	return nil
+}
+
+// writeJSON sends a unary 200 response.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v) // past the header there is no better channel than the connection itself
+}
+
+// writeError sends the mapped status and error envelope (unary shape).
+func writeError(w http.ResponseWriter, err error) {
+	status, body := rpcwire.EncodeError(err)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(struct {
+		Error rpcwire.ErrorBody `json:"error"`
+	}{body})
+}
+
+// ---- unary handlers ----
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, struct {
+		OK bool `json:"ok"`
+	}{true})
+}
+
+func (s *server) handleVideos(w http.ResponseWriter, r *http.Request) {
+	videos, err := s.sm.Videos()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, rpcwire.VideosResponse{Videos: videos})
+}
+
+func (s *server) handleVideoInfo(w http.ResponseWriter, r *http.Request) {
+	if !unaryBoundary(w, r) {
+		return
+	}
+	video := r.PathValue("video")
+	meta, err := s.sm.Meta(video)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	bytes, err := s.sm.VideoBytes(video)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	labels, err := s.sm.Labels(video)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, rpcwire.VideoInfo{Meta: meta, Bytes: bytes, Labels: labels})
+}
+
+func (s *server) handleDeleteVideo(w http.ResponseWriter, r *http.Request) {
+	if !unaryBoundary(w, r) {
+		return
+	}
+	if err := s.sm.DeleteVideo(r.PathValue("video")); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, struct{}{})
+}
+
+func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req rpcwire.IngestRequest
+	if err := readJSON(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	ctx, cancel, err := requestContext(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer cancel()
+	frames := make([]*tasm.Frame, len(req.Frames))
+	for i, wf := range req.Frames {
+		if frames[i], err = wf.ToFrame(); err != nil {
+			writeError(w, fmt.Errorf("frame %d: %w", i, err))
+			return
+		}
+	}
+	var st tasm.IngestStats
+	if len(req.Layouts) > 0 {
+		layouts := make([]tasm.Layout, len(req.Layouts))
+		for i, wl := range req.Layouts {
+			layouts[i] = wl.ToLayout()
+		}
+		st, err = s.sm.IngestTiledContext(ctx, req.Video, frames, req.FPS, layouts)
+	} else {
+		st, err = s.sm.IngestContext(ctx, req.Video, frames, req.FPS)
+	}
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, rpcwire.FromIngestStats(st))
+}
+
+func (s *server) handleMetadata(w http.ResponseWriter, r *http.Request) {
+	var req rpcwire.MetadataRequest
+	if err := readJSON(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if !unaryBoundary(w, r) {
+		return
+	}
+	ds := make([]tasm.Detection, len(req.Detections))
+	for i, d := range req.Detections {
+		ds[i] = d.ToDetection()
+	}
+	if err := s.sm.AddDetections(req.Video, ds); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, struct{}{})
+}
+
+func (s *server) handleMarkDetected(w http.ResponseWriter, r *http.Request) {
+	var req rpcwire.MarkDetectedRequest
+	if err := readJSON(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := s.sm.MarkDetected(req.Video, req.Label, req.From, req.To); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, struct{}{})
+}
+
+func (s *server) handleDetections(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	video, label := q.Get("video"), q.Get("label")
+	from, err1 := strconv.Atoi(q.Get("from"))
+	to, err2 := strconv.Atoi(q.Get("to"))
+	if video == "" || label == "" || err1 != nil || err2 != nil {
+		writeError(w, fmt.Errorf("%w: need video, label, from, to", rpcwire.ErrBadRequest))
+		return
+	}
+	ds, err := s.sm.LookupDetections(video, label, from, to)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	resp := rpcwire.DetectionsResponse{Detections: make([]rpcwire.Detection, len(ds))}
+	for i, d := range ds {
+		resp.Detections[i] = rpcwire.FromDetection(d)
+	}
+	writeJSON(w, resp)
+}
+
+func (s *server) handleRetile(w http.ResponseWriter, r *http.Request) {
+	var req rpcwire.RetileRequest
+	if err := readJSON(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	ctx, cancel, err := requestContext(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer cancel()
+	st, err := s.sm.RetileSOTContext(ctx, req.Video, req.SOT, req.Layout.ToLayout())
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, rpcwire.FromRetileStats(st))
+}
+
+func (s *server) handleDesignLayout(w http.ResponseWriter, r *http.Request) {
+	var req rpcwire.DesignLayoutRequest
+	if err := readJSON(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if !unaryBoundary(w, r) {
+		return
+	}
+	l, err := s.sm.DesignLayout(req.Video, req.SOT, req.Labels)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, rpcwire.DesignLayoutResponse{Layout: rpcwire.FromLayout(l)})
+}
+
+func (s *server) handleGC(w http.ResponseWriter, r *http.Request) {
+	if !unaryBoundary(w, r) {
+		return
+	}
+	rep, err := s.sm.GC()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, rpcwire.FromGCReport(rep))
+}
+
+// handleFsck verifies only; pointer repair is its own endpoint
+// (/v1/repair, per video), which keeps the expensive repair loop under
+// the client's control — it can stop between videos on cancellation
+// and report per-video progress, exactly like local tasmctl.
+func (s *server) handleFsck(w http.ResponseWriter, r *http.Request) {
+	if !unaryBoundary(w, r) {
+		return
+	}
+	rep, err := s.sm.FSCK()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, rpcwire.FromFsckReport(rep))
+}
+
+func (s *server) handleRepair(w http.ResponseWriter, r *http.Request) {
+	var req rpcwire.RepairRequest
+	if err := readJSON(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if !unaryBoundary(w, r) {
+		return
+	}
+	if err := s.sm.RepairPointers(req.Video); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, struct{}{})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, rpcwire.FromCacheStats(s.sm.CacheStats()))
+}
+
+// ---- streaming handlers ----
+
+func (s *server) handleScan(w http.ResponseWriter, r *http.Request) {
+	var req rpcwire.ScanRequest
+	if err := readJSON(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if (req.SQL == "") == (req.Query == nil) {
+		writeError(w, fmt.Errorf("%w: exactly one of sql and query must be set", rpcwire.ErrBadRequest))
+		return
+	}
+	ctx, cancel, err := requestContext(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer cancel()
+	q := tasm.Query{}
+	if req.SQL != "" {
+		// Parse here rather than via ScanSQLCursor so that only a
+		// genuine parse failure is classified as the client's bad
+		// request; constructor errors below (unknown video, invalid
+		// range, store I/O) keep their own classification.
+		if q, err = tasm.ParseQuery(req.SQL); err != nil {
+			writeError(w, fmt.Errorf("%w: %v", rpcwire.ErrBadRequest, err))
+			return
+		}
+	} else {
+		q = req.Query.ToQuery()
+	}
+	cur, err := s.sm.ScanCursor(ctx, q)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer cur.Close()
+	stream(w, cur, func(c *tasm.Cursor) rpcwire.StreamLine {
+		return rpcwire.StreamLine{Region: ptr(rpcwire.FromRegion(c.Result()))}
+	})
+}
+
+func (s *server) handleDecodeFrames(w http.ResponseWriter, r *http.Request) {
+	var req rpcwire.DecodeFramesRequest
+	if err := readJSON(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	ctx, cancel, err := requestContext(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer cancel()
+	cur, err := s.sm.DecodeFramesCursor(ctx, req.Video, req.From, req.To)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer cur.Close()
+	stream(w, cur, func(c *tasm.FrameCursor) rpcwire.StreamLine {
+		return rpcwire.StreamLine{Frame: ptr(rpcwire.FromFrameResult(c.Result()))}
+	})
+}
+
+// streamCursor is the cursor shape both streaming endpoints drain.
+type streamCursor interface {
+	Next() bool
+	Err() error
+	Stats() tasm.ScanStats
+}
+
+// stream drains cur into w as NDJSON, one line per result, flushed per
+// line so TTFB tracks the pipeline's time-to-first-result. A successful
+// stream ends with a stats line — the client's end-of-stream marker —
+// and a failed one with an error-envelope line. Write failures mean the
+// client went away: the cursor's context (derived from the request
+// context) is already cancelled or about to be, so the deferred Close
+// releases leases; nothing useful can be sent, so stream just returns.
+func stream[C streamCursor](w http.ResponseWriter, cur C, line func(C) rpcwire.StreamLine) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Accel-Buffering", "no") // defeat proxy buffering; streaming is the point
+	w.WriteHeader(http.StatusOK)
+	flush := func() {
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+	}
+	flush() // commit the header before the first (possibly slow) decode
+	enc := json.NewEncoder(w)
+	for cur.Next() {
+		if err := enc.Encode(line(cur)); err != nil {
+			return
+		}
+		flush()
+	}
+	var final rpcwire.StreamLine
+	if err := cur.Err(); err != nil {
+		_, body := rpcwire.EncodeError(err)
+		final.Error = &body
+	} else {
+		final.Stats = ptr(rpcwire.FromScanStats(cur.Stats()))
+	}
+	_ = enc.Encode(final)
+	flush()
+}
+
+func ptr[T any](v T) *T { return &v }
