@@ -7,16 +7,28 @@
 //
 // holds for a remote miss exactly as it does in-process, and context
 // deadline/cancellation errors round-trip as context.DeadlineExceeded
-// and context.Canceled. The streaming reads — ScanCursor,
-// ScanSQLCursor, DecodeFramesCursor — decode the server's NDJSON
-// stream incrementally: the first result is available as soon as the
-// server flushes its first line, while later SOTs are still decoding.
+// and context.Canceled.
 //
-//	c, err := client.Dial("localhost:7878")
+// Clients are built with functional options:
+//
+//	c, err := client.New("tasmd.example:7878",
+//	    client.WithEncoding(client.Binary),   // raw-plane wire framing
+//	    client.WithToken(token),              // bearer auth (tasmd -token-file)
+//	    client.WithTLS(tlsCfg),               // https transport
+//	    client.WithRetry(client.RetryPolicy{MaxAttempts: 4}),
+//	)
 //	cur, err := c.ScanSQLCursor(ctx, "SELECT car FROM traffic")
 //	defer cur.Close()
 //	for cur.Next() { consume(cur.Result()) }
 //	if err := cur.Err(); err != nil { ... }
+//
+// The streaming reads — ScanCursor, ScanSQLCursor, DecodeFramesCursor
+// — decode the server's stream incrementally (the first result is
+// available as soon as the server flushes its first record, while
+// later SOTs are still decoding) and handle either wire framing
+// transparently: WithEncoding only changes what the client *asks* for;
+// what arrives is decoded by the response's Content-Type, so a v1
+// daemon answering a v2 client still works.
 //
 // A context deadline travels with every request (the Tasm-Deadline-Ms
 // header), so the server bounds its own work instead of discovering
@@ -26,7 +38,9 @@ package client
 import (
 	"bytes"
 	"context"
+	"crypto/tls"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -46,43 +60,208 @@ var (
 	// ErrBadRequest: the server could not interpret the request
 	// (malformed body, unparseable SQL, bad header).
 	ErrBadRequest = rpcwire.ErrBadRequest
-	// ErrOverloaded: the daemon's concurrent-request limit was hit; the
-	// request did no work and is safe to retry.
+	// ErrOverloaded: the daemon's concurrent-request limit (global or
+	// tenant quota) was hit; the request did no work and is safe to
+	// retry — Retryable reports true and RetryAfter carries the
+	// server's requested backoff. WithRetry retries it automatically.
 	ErrOverloaded = rpcwire.ErrOverloaded
+	// ErrUnauthorized: a token-protected daemon refused the request
+	// (missing or unknown bearer token). Not retryable.
+	ErrUnauthorized = rpcwire.ErrUnauthorized
 )
+
+// Encoding selects the wire framing the client asks the server for on
+// streaming reads.
+type Encoding int
+
+const (
+	// NDJSON is wire protocol v1: one JSON object per line, pixel
+	// planes base64-encoded. The server default — curl-able.
+	NDJSON Encoding = iota
+	// Binary is wire protocol v2 (application/x-tasm-frames):
+	// length-prefixed records with raw pixel planes — ~25-30% fewer
+	// bytes per region. Decoded output is byte-identical to NDJSON.
+	Binary
+)
+
+// RetryPolicy drives automatic retries of safely retryable failures —
+// today exactly the limiter's 503 overloaded rejections, which the
+// server guarantees did no work. The backoff doubles per attempt from
+// BaseDelay up to MaxDelay, and a server Retry-After longer than the
+// computed backoff wins.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first;
+	// <= 1 disables retries.
+	MaxAttempts int
+	// BaseDelay is the wait before the first retry (default 100ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential backoff (default 2s).
+	MaxDelay time.Duration
+}
 
 // Client talks to one tasmd. It is safe for concurrent use; streams
 // opened from it are independent requests.
 type Client struct {
-	base string
-	hc   *http.Client
+	base        string
+	hc          *http.Client
+	customHC    bool
+	enc         Encoding
+	token       string
+	tlsCfg      *tls.Config
+	retry       RetryPolicy
+	cacheBudget int64 // -1 = unset
 }
 
 // Option configures a Client.
 type Option func(*Client)
 
-// WithHTTPClient substitutes the transport (timeouts, TLS, proxies).
-// The default client has no overall timeout — streaming scans are
-// long-lived by design; bound them with a context instead.
+// WithHTTPClient substitutes the transport (timeouts, proxies, custom
+// TLS dialing). The default client has no overall timeout — streaming
+// scans are long-lived by design; bound them with a context instead.
+// Mutually exclusive with WithTLS (configure the transport yourself).
 func WithHTTPClient(hc *http.Client) Option {
-	return func(c *Client) { c.hc = hc }
+	return func(c *Client) { c.hc, c.customHC = hc, true }
 }
 
-// Dial returns a client for the daemon at addr ("host:port" or a full
-// http:// URL). It does not touch the network; use Ping to probe.
-func Dial(addr string, opts ...Option) (*Client, error) {
+// WithEncoding selects the stream framing to request (default NDJSON).
+// Decoding always follows the response's Content-Type, so the option
+// never changes what results look like — only how many bytes they cost
+// on the wire.
+func WithEncoding(e Encoding) Option {
+	return func(c *Client) { c.enc = e }
+}
+
+// WithToken attaches a bearer token to every request — the credential
+// a tasmd -token-file daemon maps to this client's tenant.
+func WithToken(token string) Option {
+	return func(c *Client) { c.token = token }
+}
+
+// WithTLS dials the daemon over HTTPS with the given configuration
+// (nil uses the defaults). An addr without an explicit scheme then
+// defaults to https://.
+func WithTLS(cfg *tls.Config) Option {
+	return func(c *Client) {
+		if cfg == nil {
+			cfg = &tls.Config{}
+		}
+		c.tlsCfg = cfg
+	}
+}
+
+// WithRetry enables automatic retries per the policy.
+func WithRetry(p RetryPolicy) Option {
+	return func(c *Client) { c.retry = p }
+}
+
+// WithCacheBudget caps, per request, how many bytes of newly decoded
+// tiles this client's requests may insert into the daemon's shared
+// decoded-tile cache (the Tasm-Cache-Budget header; 0 = insert
+// nothing). Use it on clients running one-off sweeps so they cannot
+// evict the working set of the daemon's repeated queries.
+func WithCacheBudget(bytes int64) Option {
+	return func(c *Client) {
+		if bytes < 0 {
+			bytes = 0
+		}
+		c.cacheBudget = bytes
+	}
+}
+
+// New returns a client for the daemon at addr ("host:port" or a full
+// http:// / https:// URL), configured by the options. It does not
+// touch the network; use Ping to probe.
+func New(addr string, opts ...Option) (*Client, error) {
+	c := &Client{cacheBudget: -1}
+	for _, opt := range opts {
+		opt(c)
+	}
+	if c.tlsCfg != nil && c.customHC {
+		return nil, fmt.Errorf("client: WithTLS and WithHTTPClient are mutually exclusive; set TLSClientConfig on your transport")
+	}
 	if !strings.Contains(addr, "://") {
-		addr = "http://" + addr
+		if c.tlsCfg != nil {
+			addr = "https://" + addr
+		} else {
+			addr = "http://" + addr
+		}
 	}
 	u, err := url.Parse(addr)
 	if err != nil || u.Host == "" {
 		return nil, fmt.Errorf("client: invalid address %q", addr)
 	}
-	c := &Client{base: strings.TrimSuffix(u.String(), "/"), hc: &http.Client{}}
-	for _, opt := range opts {
-		opt(c)
+	if c.tlsCfg != nil && u.Scheme != "https" {
+		return nil, fmt.Errorf("client: WithTLS requires an https address, got %q", addr)
+	}
+	c.base = strings.TrimSuffix(u.String(), "/")
+	if c.hc == nil {
+		c.hc = &http.Client{}
+		if c.tlsCfg != nil {
+			tr := http.DefaultTransport.(*http.Transport).Clone()
+			tr.TLSClientConfig = c.tlsCfg
+			c.hc = &http.Client{Transport: tr}
+		}
+	}
+	if c.retry.MaxAttempts > 1 {
+		if c.retry.BaseDelay <= 0 {
+			c.retry.BaseDelay = 100 * time.Millisecond
+		}
+		if c.retry.MaxDelay <= 0 {
+			c.retry.MaxDelay = 2 * time.Second
+		}
 	}
 	return c, nil
+}
+
+// Dial returns a client for the daemon at addr.
+//
+// Deprecated: Dial is the v1 constructor name, kept so existing
+// callers compile unchanged. Use New; the options are identical.
+func Dial(addr string, opts ...Option) (*Client, error) { return New(addr, opts...) }
+
+// Retryable reports whether err is safe to retry as-is: the server
+// rejected the request before doing any work (limiter 503s). Auth
+// failures, bad requests, and storage-manager errors are not.
+func Retryable(err error) bool { return errors.Is(err, ErrOverloaded) }
+
+// RetryAfter returns the backoff the server requested alongside err
+// (the Retry-After header on a 503), when it named one.
+func RetryAfter(err error) (time.Duration, bool) {
+	var re *rpcwire.RemoteError
+	if errors.As(err, &re) && re.RetryAfter > 0 {
+		return re.RetryAfter, true
+	}
+	return 0, false
+}
+
+// withRetry runs op under the client's retry policy: retryable
+// failures back off (honoring a longer server Retry-After) and try
+// again; everything else returns immediately.
+func (c *Client) withRetry(ctx context.Context, op func() error) error {
+	if c.retry.MaxAttempts <= 1 {
+		return op()
+	}
+	delay := c.retry.BaseDelay
+	var err error
+	for attempt := 1; ; attempt++ {
+		if err = op(); err == nil || !Retryable(err) || attempt >= c.retry.MaxAttempts {
+			return err
+		}
+		wait := delay
+		if ra, ok := RetryAfter(err); ok && ra > wait {
+			wait = ra
+		}
+		timer := time.NewTimer(wait)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return fmt.Errorf("client: %v: %w", err, ctx.Err())
+		}
+		if delay *= 2; delay > c.retry.MaxDelay {
+			delay = c.retry.MaxDelay
+		}
+	}
 }
 
 // Close releases idle connections. Open cursors are unaffected; close
@@ -469,42 +648,60 @@ func setDeadline(r *http.Request, ctx context.Context) {
 	}
 }
 
-// do runs one unary request. A non-200 response decodes through the
-// error envelope into a sentinel-wrapping error.
+// applyHeaders attaches the client-level contract headers: the context
+// deadline, the bearer token, and the cache admission budget.
+func (c *Client) applyHeaders(hr *http.Request, ctx context.Context) {
+	setDeadline(hr, ctx)
+	if c.token != "" {
+		hr.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	if c.cacheBudget >= 0 {
+		hr.Header.Set(rpcwire.CacheBudgetHeader, strconv.FormatInt(c.cacheBudget, 10))
+	}
+}
+
+// do runs one unary request (under the retry policy). A non-200
+// response decodes through the error envelope into a sentinel-wrapping
+// error.
 func (c *Client) do(ctx context.Context, method, path string, req, resp any) error {
-	var body io.Reader
+	var data []byte
 	if req != nil {
-		data, err := json.Marshal(req)
-		if err != nil {
+		var err error
+		if data, err = json.Marshal(req); err != nil {
 			return fmt.Errorf("client: encoding request: %w", err)
 		}
-		body = bytes.NewReader(data)
 	}
-	hr, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
-	if err != nil {
-		return fmt.Errorf("client: %w", err)
-	}
-	if req != nil {
-		hr.Header.Set("Content-Type", "application/json")
-	}
-	setDeadline(hr, ctx)
-	res, err := c.hc.Do(hr)
-	if err != nil {
-		return transportError(ctx, err)
-	}
-	defer func() {
-		io.Copy(io.Discard, io.LimitReader(res.Body, 1<<20)) //nolint:errcheck // keep-alive best effort
-		res.Body.Close()
-	}()
-	if res.StatusCode != http.StatusOK {
-		return decodeErrorResponse(res)
-	}
-	if resp != nil {
-		if err := json.NewDecoder(res.Body).Decode(resp); err != nil {
-			return fmt.Errorf("client: decoding response: %w", err)
+	return c.withRetry(ctx, func() error {
+		var body io.Reader
+		if req != nil {
+			body = bytes.NewReader(data)
 		}
-	}
-	return nil
+		hr, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+		if err != nil {
+			return fmt.Errorf("client: %w", err)
+		}
+		if req != nil {
+			hr.Header.Set("Content-Type", "application/json")
+		}
+		c.applyHeaders(hr, ctx)
+		res, err := c.hc.Do(hr)
+		if err != nil {
+			return transportError(ctx, err)
+		}
+		defer func() {
+			io.Copy(io.Discard, io.LimitReader(res.Body, 1<<20)) //nolint:errcheck // keep-alive best effort
+			res.Body.Close()
+		}()
+		if res.StatusCode != http.StatusOK {
+			return decodeErrorResponse(res)
+		}
+		if resp != nil {
+			if err := json.NewDecoder(res.Body).Decode(resp); err != nil {
+				return fmt.Errorf("client: decoding response: %w", err)
+			}
+		}
+		return nil
+	})
 }
 
 // transportError classifies a failed round trip: a context the caller
@@ -518,7 +715,8 @@ func transportError(ctx context.Context, err error) error {
 }
 
 // decodeErrorResponse turns a non-200 response into the reconstructed
-// sentinel-wrapping error.
+// sentinel-wrapping error, carrying along any Retry-After the server
+// sent (surfaced via RetryAfter and honored by WithRetry).
 func decodeErrorResponse(res *http.Response) error {
 	data, err := io.ReadAll(io.LimitReader(res.Body, 1<<20))
 	if err != nil {
@@ -530,5 +728,12 @@ func decodeErrorResponse(res *http.Response) error {
 	if err := json.Unmarshal(data, &envelope); err != nil || envelope.Error.Code == "" {
 		return fmt.Errorf("client: HTTP %d: %s", res.StatusCode, strings.TrimSpace(string(data)))
 	}
-	return rpcwire.DecodeError(envelope.Error)
+	derr := rpcwire.DecodeError(envelope.Error)
+	if secs, err := strconv.Atoi(res.Header.Get("Retry-After")); err == nil && secs >= 0 {
+		var re *rpcwire.RemoteError
+		if errors.As(derr, &re) {
+			re.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return derr
 }

@@ -9,76 +9,132 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 
 	"github.com/tasm-repro/tasm"
 	"github.com/tasm-repro/tasm/internal/rpcwire"
 )
 
-// stream is one open NDJSON response: the shared machinery under
+// stream is one open streaming response: the shared machinery under
 // ScanCursor and FrameCursor. It decodes the stream incrementally —
-// one line per Next — and enforces the end-of-stream contract: a clean
-// stream ends with a stats line; an EOF before one means the server or
-// the network died mid-stream and is an error, never silent truncation.
+// one record per Next, through whichever framing the server chose
+// (the response Content-Type decides: v1 NDJSON lines or v2 binary
+// frame records) — and enforces the end-of-stream contract: a clean
+// stream ends with a stats record; an EOF before one means the server
+// or the network died mid-stream and is an error, never silent
+// truncation.
 type stream struct {
 	cancel context.CancelFunc
 	ctx    context.Context
 	resp   *http.Response
-	br     *bufio.Reader
+	lr     lineReader
 
 	stats  tasm.ScanStats
 	err    error
-	done   bool // saw the stats line: clean exhaustion
+	done   bool // saw the stats record: clean exhaustion
 	closed bool
 }
 
-// startStream issues a streaming POST. A non-200 response (constructor
-// errors: unknown video, invalid range, bad SQL) decodes through the
-// error envelope before any cursor exists.
+// lineReader is one stream framing's decoder: it yields StreamLine
+// records and io.EOF at a clean record boundary; a torn or malformed
+// stream is any other error.
+type lineReader interface {
+	readLine() (rpcwire.StreamLine, error)
+}
+
+// ndjsonLineReader decodes the v1 framing: one JSON object per line.
+type ndjsonLineReader struct{ br *bufio.Reader }
+
+func (r *ndjsonLineReader) readLine() (rpcwire.StreamLine, error) {
+	// A final line without a trailing newline (err == io.EOF with bytes
+	// in hand) still parses; an empty read is a clean EOF.
+	raw, err := r.br.ReadBytes('\n')
+	if err != nil && (len(raw) == 0 || err != io.EOF) {
+		return rpcwire.StreamLine{}, err
+	}
+	var line rpcwire.StreamLine
+	if err := json.Unmarshal(raw, &line); err != nil {
+		return rpcwire.StreamLine{}, fmt.Errorf("malformed stream line: %w", err)
+	}
+	return line, nil
+}
+
+// binaryLineReader decodes the v2 framing through rpcwire's record
+// reader.
+type binaryLineReader struct{ fr *rpcwire.FrameStreamReader }
+
+func (r binaryLineReader) readLine() (rpcwire.StreamLine, error) { return r.fr.ReadLine() }
+
+// startStream issues a streaming POST (under the retry policy — a
+// limiter rejection happens before the server does any work). A
+// non-200 response (constructor errors: unknown video, invalid range,
+// bad SQL) decodes through the error envelope before any cursor
+// exists. The decoder is chosen by the response's Content-Type, so the
+// cursor handles either framing no matter what the client requested.
 func (c *Client) startStream(ctx context.Context, path string, req any) (*stream, error) {
 	data, err := json.Marshal(req)
 	if err != nil {
 		return nil, fmt.Errorf("client: encoding request: %w", err)
 	}
-	sctx, cancel := context.WithCancel(ctx)
-	hr, err := http.NewRequestWithContext(sctx, http.MethodPost, c.base+path, bytes.NewReader(data))
+	var s *stream
+	err = c.withRetry(ctx, func() error {
+		sctx, cancel := context.WithCancel(ctx)
+		hr, err := http.NewRequestWithContext(sctx, http.MethodPost, c.base+path, bytes.NewReader(data))
+		if err != nil {
+			cancel()
+			return fmt.Errorf("client: %w", err)
+		}
+		hr.Header.Set("Content-Type", "application/json")
+		if c.enc == Binary {
+			hr.Header.Set("Accept", rpcwire.ContentTypeBinary)
+		} else {
+			hr.Header.Set("Accept", rpcwire.ContentTypeNDJSON)
+		}
+		c.applyHeaders(hr, ctx)
+		res, err := c.hc.Do(hr)
+		if err != nil {
+			cancel()
+			return transportError(ctx, err)
+		}
+		if res.StatusCode != http.StatusOK {
+			defer cancel()
+			defer func() {
+				// Drain before close (as do() does) so a retried 503
+				// reuses the pooled connection instead of redialing.
+				io.Copy(io.Discard, io.LimitReader(res.Body, 1<<20)) //nolint:errcheck // keep-alive best effort
+				res.Body.Close()
+			}()
+			return decodeErrorResponse(res)
+		}
+		var lr lineReader
+		if ct, _, _ := strings.Cut(res.Header.Get("Content-Type"), ";"); strings.TrimSpace(ct) == rpcwire.ContentTypeBinary {
+			lr = binaryLineReader{rpcwire.NewFrameStreamReader(res.Body)}
+		} else {
+			lr = &ndjsonLineReader{bufio.NewReaderSize(res.Body, 64<<10)}
+		}
+		s = &stream{cancel: cancel, ctx: sctx, resp: res, lr: lr}
+		return nil
+	})
 	if err != nil {
-		cancel()
-		return nil, fmt.Errorf("client: %w", err)
+		return nil, err
 	}
-	hr.Header.Set("Content-Type", "application/json")
-	setDeadline(hr, ctx)
-	res, err := c.hc.Do(hr)
-	if err != nil {
-		cancel()
-		return nil, transportError(ctx, err)
-	}
-	if res.StatusCode != http.StatusOK {
-		defer cancel()
-		defer res.Body.Close()
-		return nil, decodeErrorResponse(res)
-	}
-	return &stream{cancel: cancel, ctx: sctx, resp: res, br: bufio.NewReaderSize(res.Body, 64<<10)}, nil
+	return s, nil
 }
 
-// next reads and decodes one line. It returns (line, true) for a
-// payload line and (zero, false) at end of stream — clean or failed;
+// next reads and decodes one record. It returns (line, true) for a
+// payload record and (zero, false) at end of stream — clean or failed;
 // s.err distinguishes.
 func (s *stream) next() (rpcwire.StreamLine, bool) {
 	if s.done || s.closed || s.err != nil {
 		return rpcwire.StreamLine{}, false
 	}
-	raw, err := s.br.ReadBytes('\n')
-	if err != nil && (len(raw) == 0 || err != io.EOF) {
-		s.fail(fmt.Errorf("client: reading stream: %w", err))
-		return rpcwire.StreamLine{}, false
-	}
-	if len(raw) == 0 {
+	line, err := s.lr.readLine()
+	if err == io.EOF {
 		s.fail(fmt.Errorf("client: stream ended without a stats or error line: %w", io.ErrUnexpectedEOF))
 		return rpcwire.StreamLine{}, false
 	}
-	var line rpcwire.StreamLine
-	if err := json.Unmarshal(raw, &line); err != nil {
-		s.fail(fmt.Errorf("client: malformed stream line: %w", err))
+	if err != nil {
+		s.fail(fmt.Errorf("client: reading stream: %w", err))
 		return rpcwire.StreamLine{}, false
 	}
 	switch {

@@ -8,18 +8,24 @@
 //
 //	tasmd -dir db                      # serve db on :7878
 //	tasmd -dir db -addr 127.0.0.1:9000 -cache 268435456 -parallelism 4
+//	tasmd -dir db -token-file tokens -tenant-inflight 16   # multi-tenant
+//	tasmd -dir db -tls-cert cert.pem -tls-key key.pem      # HTTPS
 //
 // SIGINT/SIGTERM starts a graceful drain: the listener closes, in-
 // flight requests (including streams) get -drain to finish, then the
 // store closes. A second signal kills the process the usual way.
 //
-// The daemon must own its storage directory exclusively. The store has
-// no cross-process locking (its caches — parsed manifests, decoded
-// tiles, the semantic index's B-tree — live in one process), so while
-// tasmd is running, operate the directory only through the daemon
-// (`tasmctl -addr …`); a concurrent `tasmctl -dir` against the same
-// directory reads stale state and its writes corrupt the daemon's
-// caches.
+// The daemon owns its storage directory exclusively, and that
+// ownership is enforced: opening the store takes an flock lease on it,
+// so a concurrent `tasmctl -dir` against a live daemon (whose caches —
+// parsed manifests, decoded tiles, the semantic index's B-tree — live
+// in this process) fails fast with a store-locked error instead of
+// reading stale state. Operate a served directory through the daemon
+// (`tasmctl -addr …`); `-force` bypasses the lease for recovery only.
+//
+// With -token-file the daemon requires bearer-token auth and carves
+// the inflight limit into per-tenant quotas (-tenant-inflight), so one
+// tenant's burst cannot starve the rest.
 package main
 
 import (
@@ -42,13 +48,17 @@ import (
 
 func main() {
 	var (
-		addr        = flag.String("addr", ":7878", "listen address (host:port)")
-		dir         = flag.String("dir", "", "storage directory (required)")
-		cache       = flag.Int64("cache", 0, "decoded-tile cache budget in bytes (0 = disabled)")
-		parallelism = flag.Int("parallelism", 0, "concurrent tile decodes per request (0 = sequential, the paper's default)")
-		maxInflight = flag.Int("max-inflight", server.DefaultMaxInflight, "concurrent requests before 503 overloaded")
-		drain       = flag.Duration("drain", 15*time.Second, "graceful-shutdown budget for in-flight requests")
-		quiet       = flag.Bool("quiet", false, "suppress access logs")
+		addr           = flag.String("addr", ":7878", "listen address (host:port)")
+		dir            = flag.String("dir", "", "storage directory (required)")
+		cache          = flag.Int64("cache", 0, "decoded-tile cache budget in bytes (0 = disabled)")
+		parallelism    = flag.Int("parallelism", 0, "concurrent tile decodes per request (0 = sequential, the paper's default)")
+		maxInflight    = flag.Int("max-inflight", server.DefaultMaxInflight, "concurrent requests before 503 overloaded")
+		tokenFile      = flag.String("token-file", "", "tenant table (one tenant:token per line); empty = open daemon, no auth")
+		tenantInflight = flag.Int("tenant-inflight", 0, "per-tenant concurrent requests before 503 (0 = max-inflight/4; requires -token-file)")
+		tlsCert        = flag.String("tls-cert", "", "TLS certificate file (PEM); with -tls-key, serve HTTPS")
+		tlsKey         = flag.String("tls-key", "", "TLS private key file (PEM)")
+		drain          = flag.Duration("drain", 15*time.Second, "graceful-shutdown budget for in-flight requests")
+		quiet          = flag.Bool("quiet", false, "suppress access logs")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -65,6 +75,20 @@ func main() {
 		accessLogger = log.New(io.Discard, "", 0)
 	}
 
+	if (*tlsCert == "") != (*tlsKey == "") {
+		logger.Fatalf("-tls-cert and -tls-key must be set together")
+	}
+
+	var tenants map[string]string
+	if *tokenFile != "" {
+		var err error
+		if tenants, err = server.ParseTokenFile(*tokenFile); err != nil {
+			logger.Fatalf("%v", err)
+		}
+	} else if *tenantInflight > 0 {
+		logger.Fatalf("-tenant-inflight requires -token-file (quotas are per tenant)")
+	}
+
 	opts := []tasm.Option{tasm.WithMinTileSize(32, 32)}
 	if *cache > 0 {
 		opts = append(opts, tasm.WithCacheBudget(*cache))
@@ -72,6 +96,9 @@ func main() {
 	if *parallelism > 0 {
 		opts = append(opts, tasm.WithParallelism(*parallelism))
 	}
+	// Open takes the store's ownership lease; a tasmctl -dir (or second
+	// tasmd) already holding it fails here with ErrStoreLocked naming
+	// the owner.
 	sm, err := tasm.Open(*dir, opts...)
 	if err != nil {
 		logger.Fatalf("open %s: %v", *dir, err)
@@ -83,7 +110,11 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	handler := server.New(sm, server.Config{Logger: logger, AccessLogger: accessLogger, MaxInflight: *maxInflight})
+	handler := server.New(sm, server.Config{
+		Logger: logger, AccessLogger: accessLogger,
+		MaxInflight: *maxInflight,
+		Tenants:     tenants, TenantMaxInflight: *tenantInflight,
+	})
 	srv := &http.Server{
 		Addr:    *addr,
 		Handler: handler,
@@ -99,11 +130,29 @@ func main() {
 		sm.Close()
 		logger.Fatalf("listen %s: %v", *addr, err)
 	}
-	logger.Printf("serving %s on http://%s (cache %d B, parallelism %d, max-inflight %d)",
-		*dir, ln.Addr(), *cache, *parallelism, *maxInflight)
+	authMode := "open (no auth)"
+	if len(tenants) > 0 {
+		distinct := map[string]bool{}
+		for _, t := range tenants {
+			distinct[t] = true
+		}
+		authMode = fmt.Sprintf("bearer auth: %d tokens, %d tenants", len(tenants), len(distinct))
+	}
+	scheme := "http"
+	if *tlsCert != "" {
+		scheme = "https"
+	}
+	logger.Printf("serving %s on %s://%s (cache %d B, parallelism %d, max-inflight %d, %s)",
+		*dir, scheme, ln.Addr(), *cache, *parallelism, *maxInflight, authMode)
 
 	serveErr := make(chan error, 1)
-	go func() { serveErr <- srv.Serve(ln) }()
+	go func() {
+		if *tlsCert != "" {
+			serveErr <- srv.ServeTLS(ln, *tlsCert, *tlsKey)
+		} else {
+			serveErr <- srv.Serve(ln)
+		}
+	}()
 
 	exit := 0
 	select {

@@ -1,22 +1,27 @@
-// Serving benchmark: the PR-4 experiment measuring what the network
-// front end costs. It stands up a real tasmd handler on a loopback
-// listener, runs the same multi-SOT scan in-process and through the Go
-// client's NDJSON cursor, and reports time-to-first-result and drain
-// wall for both plus the per-region serving overhead. Results
-// serialize to the BENCH_<n>.json trajectory (BENCH_3.json here).
+// Serving benchmark: the experiment measuring what the network front
+// end costs. It stands up a real tasmd handler on a loopback listener,
+// runs the same multi-SOT scan in-process and through the Go client
+// under BOTH wire framings — v1 NDJSON and the v2 binary frame
+// encoding — and reports time-to-first-result, drain wall, and the
+// bytes each framing ships per region. Results serialize to the
+// BENCH_<n>.json trajectory (BENCH_3.json measured the NDJSON-only
+// serving stack; BENCH_4.json adds the encoding comparison).
 package bench
 
 import (
 	"context"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"github.com/tasm-repro/tasm"
 	"github.com/tasm-repro/tasm/client"
+	"github.com/tasm-repro/tasm/internal/rpcwire"
 	"github.com/tasm-repro/tasm/internal/scene"
 	"github.com/tasm-repro/tasm/internal/server"
 )
@@ -44,6 +49,21 @@ type ServePerfResult struct {
 	// client cursor.
 	RemoteFirstResultNs int64 `json:"remote_first_result_ns"`
 	RemoteDrainNs       int64 `json:"remote_drain_ns"`
+
+	// Remote again through the v2 binary frame encoding
+	// (application/x-tasm-frames): raw planes, no base64, no per-region
+	// JSON.
+	RemoteBinaryFirstResultNs int64 `json:"remote_binary_first_result_ns"`
+	RemoteBinaryDrainNs       int64 `json:"remote_binary_drain_ns"`
+	// RemoteBinaryDrainRatio = RemoteBinaryDrainNs / InprocDrainNs.
+	RemoteBinaryDrainRatio float64 `json:"remote_binary_drain_ratio"`
+
+	// Wire cost: the full response body of the same scan under each
+	// framing, divided by its region count. BinaryWireSavings =
+	// 1 - binary/ndjson — the acceptance gate holds it ≥ 0.25.
+	NDJSONBytesPerRegion int64   `json:"ndjson_bytes_per_region"`
+	BinaryBytesPerRegion int64   `json:"binary_bytes_per_region"`
+	BinaryWireSavings    float64 `json:"binary_wire_savings"`
 
 	// RemoteFirstResultFrac = RemoteFirstResultNs / RemoteDrainNs: the
 	// streaming property, observed remotely — a first region lands
@@ -130,11 +150,17 @@ func RunServePerf(o Options) (ServePerfResult, *Table, error) {
 		defer cancel()
 		srv.Shutdown(ctx) //nolint:errcheck // bench teardown
 	}()
-	c, err := client.Dial(ln.Addr().String())
+	c, err := client.New(ln.Addr().String())
 	if err != nil {
 		return res, nil, err
 	}
 	defer c.Close()
+	// A second client asking for the v2 framing; same daemon, same scan.
+	cBin, err := client.New(ln.Addr().String(), client.WithEncoding(client.Binary))
+	if err != nil {
+		return res, nil, err
+	}
+	defer cBin.Close()
 
 	ctx := context.Background()
 	sql := fmt.Sprintf("SELECT car FROM serve WHERE 0 <= t < %d", n)
@@ -150,8 +176,45 @@ func RunServePerf(o Options) (ServePerfResult, *Table, error) {
 	if _, _, err := c.ScanSQLContext(ctx, sql); err != nil {
 		return res, nil, err
 	}
+	if _, _, err := cBin.ScanSQLContext(ctx, sql); err != nil {
+		return res, nil, err
+	}
 
-	var pingNs, inFirst, inDrain, remFirst, remDrain int64
+	if res.Regions == 0 {
+		return res, nil, fmt.Errorf("bench: serve scan returned no regions")
+	}
+
+	// Wire cost per framing: drain the raw response bodies once and
+	// count bytes (untimed — this measures size, not speed).
+	for _, enc := range []struct {
+		accept string
+		out    *int64
+	}{
+		{rpcwire.ContentTypeNDJSON, &res.NDJSONBytesPerRegion},
+		{rpcwire.ContentTypeBinary, &res.BinaryBytesPerRegion},
+	} {
+		req, err := http.NewRequest(http.MethodPost, "http://"+ln.Addr().String()+"/v1/scan",
+			strings.NewReader(fmt.Sprintf(`{"sql":%q}`, sql)))
+		if err != nil {
+			return res, nil, err
+		}
+		req.Header.Set("Accept", enc.accept)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return res, nil, err
+		}
+		nb, err := io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			return res, nil, fmt.Errorf("bench: raw %s scan: status %d, %v", enc.accept, resp.StatusCode, err)
+		}
+		*enc.out = nb / int64(res.Regions)
+	}
+	if res.NDJSONBytesPerRegion > 0 {
+		res.BinaryWireSavings = 1 - float64(res.BinaryBytesPerRegion)/float64(res.NDJSONBytesPerRegion)
+	}
+
+	var pingNs, inFirst, inDrain, remFirst, remDrain, binFirst, binDrain int64
 	for run := 0; run < servePerfRuns; run++ {
 		o.progressf("serve: run %d/%d\n", run+1, servePerfRuns)
 
@@ -199,12 +262,36 @@ func RunServePerf(o Options) (ServePerfResult, *Table, error) {
 		if nRemote != res.Regions {
 			return res, nil, fmt.Errorf("bench: remote cursor yielded %d regions, Scan returned %d", nRemote, res.Regions)
 		}
+
+		// Remote again, binary framing.
+		start = time.Now()
+		bcur, err := cBin.ScanSQLCursor(ctx, sql)
+		if err != nil {
+			return res, nil, err
+		}
+		if !bcur.Next() {
+			return res, nil, fmt.Errorf("bench: binary remote scan yielded nothing: %v", bcur.Err())
+		}
+		binFirst += time.Since(start).Nanoseconds()
+		nBinary := 1
+		for bcur.Next() {
+			nBinary++
+		}
+		if err := bcur.Err(); err != nil {
+			return res, nil, err
+		}
+		binDrain += time.Since(start).Nanoseconds()
+		if nBinary != res.Regions {
+			return res, nil, fmt.Errorf("bench: binary cursor yielded %d regions, Scan returned %d", nBinary, res.Regions)
+		}
 	}
 	res.PingNs = pingNs / servePerfRuns
 	res.InprocFirstResultNs = inFirst / servePerfRuns
 	res.InprocDrainNs = inDrain / servePerfRuns
 	res.RemoteFirstResultNs = remFirst / servePerfRuns
 	res.RemoteDrainNs = remDrain / servePerfRuns
+	res.RemoteBinaryFirstResultNs = binFirst / servePerfRuns
+	res.RemoteBinaryDrainNs = binDrain / servePerfRuns
 	if res.RemoteDrainNs > 0 {
 		res.RemoteFirstResultFrac = float64(res.RemoteFirstResultNs) / float64(res.RemoteDrainNs)
 	}
@@ -213,23 +300,28 @@ func RunServePerf(o Options) (ServePerfResult, *Table, error) {
 	}
 	if res.InprocDrainNs > 0 {
 		res.RemoteDrainRatio = float64(res.RemoteDrainNs) / float64(res.InprocDrainNs)
+		res.RemoteBinaryDrainRatio = float64(res.RemoteBinaryDrainNs) / float64(res.InprocDrainNs)
 	}
 
 	t := &Table{
-		Title:   "Serving (PR 4): remote NDJSON streaming vs in-process cursors",
+		Title:   "Serving: remote streaming vs in-process, NDJSON vs binary framing",
 		Columns: []string{"measurement", "value"},
 		Rows: [][]string{
 			{"query span", fmt.Sprintf("%d SOTs, %d regions", res.SOTs, res.Regions)},
 			{"unary ping", fmt.Sprintf("%.3f ms", float64(res.PingNs)/1e6)},
 			{"in-process first result", fmt.Sprintf("%.3f ms", float64(res.InprocFirstResultNs)/1e6)},
 			{"in-process full drain", fmt.Sprintf("%.3f ms", float64(res.InprocDrainNs)/1e6)},
-			{"remote first result", fmt.Sprintf("%.3f ms (%.1f%% of remote drain)", float64(res.RemoteFirstResultNs)/1e6, 100*res.RemoteFirstResultFrac)},
-			{"remote full drain", fmt.Sprintf("%.3f ms (%.2fx in-process)", float64(res.RemoteDrainNs)/1e6, res.RemoteDrainRatio)},
+			{"remote first result (ndjson)", fmt.Sprintf("%.3f ms (%.1f%% of remote drain)", float64(res.RemoteFirstResultNs)/1e6, 100*res.RemoteFirstResultFrac)},
+			{"remote full drain (ndjson)", fmt.Sprintf("%.3f ms (%.2fx in-process)", float64(res.RemoteDrainNs)/1e6, res.RemoteDrainRatio)},
+			{"remote full drain (binary)", fmt.Sprintf("%.3f ms (%.2fx in-process)", float64(res.RemoteBinaryDrainNs)/1e6, res.RemoteBinaryDrainRatio)},
 			{"serving overhead / region", fmt.Sprintf("%.1f µs", float64(res.RemoteOverheadPerRegionNs)/1e3)},
+			{"wire bytes / region (ndjson)", fmt.Sprintf("%d B", res.NDJSONBytesPerRegion)},
+			{"wire bytes / region (binary)", fmt.Sprintf("%d B (%.1f%% smaller)", res.BinaryBytesPerRegion, 100*res.BinaryWireSavings)},
 		},
 		Notes: []string{
 			fmt.Sprintf("%d CPUs, cache disabled, loopback TCP, flush per region", res.CPUs),
 			"target: remote first result < 50% of remote drain on a >= 8-SOT query",
+			"target: binary framing ships >= 25% fewer bytes/region than NDJSON",
 		},
 	}
 	return res, t, nil

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"context"
+	"sync/atomic"
+
+	"github.com/tasm-repro/tasm/internal/frame"
+)
+
+// Request-scoped cache admission budgets.
+//
+// The decoded-tile cache is a shared resource: one tenant's cold
+// sequential sweep can evict the working set every other tenant's
+// repeated queries depend on. A request-scoped admission budget bounds
+// the damage: the request still *reads* the cache freely (a hit is pure
+// win for everyone), but the bytes of newly decoded tiles it may
+// *insert* are capped. A budget of zero makes the request
+// cache-transparent — it pollutes nothing. The knob travels on the
+// context so it crosses the serving boundary as a header without
+// widening any API: tasmd maps Tasm-Cache-Budget onto it per request.
+
+type cacheBudgetKey struct{}
+
+// WithCacheAdmissionBudget returns a context capping how many bytes of
+// newly decoded tiles operations under it may insert into the shared
+// decoded-tile cache. The budget is debited as decodes complete;
+// exhausted, further decodes skip admission (and are not reported as
+// evictions they never caused). Contexts without the knob admit freely.
+func WithCacheAdmissionBudget(ctx context.Context, bytes int64) context.Context {
+	if bytes < 0 {
+		bytes = 0
+	}
+	b := &atomic.Int64{}
+	b.Store(bytes)
+	return context.WithValue(ctx, cacheBudgetKey{}, b)
+}
+
+// hasCacheBudget reports whether ctx carries an admission budget.
+func hasCacheBudget(ctx context.Context) bool {
+	_, ok := ctx.Value(cacheBudgetKey{}).(*atomic.Int64)
+	return ok
+}
+
+// admitCacheBytes reports whether a decode of size bytes may be
+// admitted under ctx's budget, debiting it when so. No budget on the
+// context means unlimited admission.
+func admitCacheBytes(ctx context.Context, bytes int64) bool {
+	b, ok := ctx.Value(cacheBudgetKey{}).(*atomic.Int64)
+	if !ok {
+		return true
+	}
+	for {
+		cur := b.Load()
+		if cur < bytes {
+			return false
+		}
+		if b.CompareAndSwap(cur, cur-bytes) {
+			return true
+		}
+	}
+}
+
+// framesBytes is the admission size of a decoded tile prefix: the sum
+// of its plane footprints, matching the cache's own accounting.
+func framesBytes(fs []*frame.Frame) int64 {
+	var n int64
+	for _, f := range fs {
+		n += int64(len(f.Y) + len(f.Cb) + len(f.Cr))
+	}
+	return n
+}

@@ -53,6 +53,11 @@ type Config struct {
 	// bytes. 0 disables caching (every scan decodes from disk, the
 	// paper's behavior).
 	CacheBudget int64
+	// ForceOpen skips the store's cross-process ownership lease — the
+	// tasmctl -force escape hatch for recovering a directory whose lock
+	// holder is unreachable. Unsafe against a live owner: both processes
+	// then serve from caches the other invalidates.
+	ForceOpen bool
 }
 
 // DefaultConfig returns the configuration used throughout the evaluation.
@@ -102,21 +107,37 @@ type Manager struct {
 }
 
 // Open creates or opens a storage manager rooted at dir (tiles under
-// dir/tiles, semantic index at dir/semindex.bt).
+// dir/tiles, semantic index at dir/semindex.bt). It takes the store's
+// cross-process ownership lease: a second Open of the same directory —
+// tasmctl -dir against a live tasmd, say — fails fast with
+// tasmerr.ErrStoreLocked instead of reading stale caches. Config.ForceOpen
+// skips the lease for recovery.
 func Open(dir string, cfg Config) (*Manager, error) {
-	st, err := tilestore.Open(filepath.Join(dir, "tiles"))
+	var sopts []tilestore.OpenOption
+	if !cfg.ForceOpen {
+		sopts = append(sopts, tilestore.WithLock())
+	}
+	st, err := tilestore.Open(filepath.Join(dir, "tiles"), sopts...)
 	if err != nil {
 		return nil, err
 	}
 	ix, err := semindex.Open(filepath.Join(dir, "semindex.bt"))
 	if err != nil {
+		st.Close()
 		return nil, err
 	}
 	return &Manager{cfg: cfg, store: st, index: ix, cache: tilecache.New(cfg.CacheBudget)}, nil
 }
 
-// Close flushes and closes the semantic index.
-func (m *Manager) Close() error { return m.index.Close() }
+// Close flushes and closes the semantic index and releases the store's
+// ownership lease.
+func (m *Manager) Close() error {
+	err := m.index.Close()
+	if serr := m.store.Close(); err == nil {
+		err = serr
+	}
+	return err
+}
 
 // Config returns the manager's configuration.
 func (m *Manager) Config() Config { return m.cfg }
@@ -471,6 +492,19 @@ func (m *Manager) decodeTilePrefix(ctx context.Context, video string, lease *til
 		// generation and is never served.
 		Gen: m.cache.Gen(video, sot.ID),
 	}
+	// A budget-capped request never leads a singleflight: its admission
+	// decision (possibly "insert nothing") would bind every unbudgeted
+	// waiter sharing the decode, suppressing caching of exactly the
+	// working set the budget exists to protect. It still reads Get hits
+	// above and still Puts within its own budget; it just decodes
+	// privately.
+	if hasCacheBudget(ctx) {
+		if fs, ok := m.cache.Get(k, n); ok {
+			r.hit = true
+			return fs, r
+		}
+		return m.decodeTileFromDisk(ctx, video, lease, sot, ti, n, k)
+	}
 	for {
 		if fs, ok := m.cache.Get(k, n); ok {
 			r.hit = true
@@ -520,7 +554,11 @@ func (m *Manager) decodeTileFromDisk(ctx context.Context, video string, lease *t
 		return nil, r
 	}
 	r.ds = ds
-	if m.cache != nil {
+	// Admission is gated by the request's cache budget (when one rides
+	// the context): a capped request still reads the cache but stops
+	// inserting once its budget is spent, so a one-off sweep cannot
+	// evict every other request's working set.
+	if m.cache != nil && admitCacheBytes(ctx, framesBytes(frames)) {
 		r.evicted = m.cache.Put(k, frames)
 	}
 	return frames, r

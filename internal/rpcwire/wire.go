@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
 	"time"
 
 	"github.com/tasm-repro/tasm/internal/core"
@@ -44,9 +45,16 @@ var (
 	ErrBadRequest = errors.New("bad request")
 
 	// ErrOverloaded reports that the server's concurrent-request limit
-	// was reached; the request was rejected before any work started and
-	// is safe to retry.
+	// (global, or the caller's tenant quota) was reached; the request
+	// was rejected before any work started and is safe to retry. The
+	// response carries a Retry-After header; the client surfaces it via
+	// RemoteError.RetryAfter.
 	ErrOverloaded = errors.New("server overloaded")
+
+	// ErrUnauthorized reports a request a token-protected daemon
+	// refused: no Authorization header, or a bearer token outside the
+	// tenant table. Retrying without new credentials cannot succeed.
+	ErrUnauthorized = errors.New("unauthorized")
 )
 
 // ErrorBody is the canonical error envelope.
@@ -82,7 +90,9 @@ var wireErrors = []errorMapping{
 	{tasmerr.ErrInvalidRange, "invalid_range", http.StatusBadRequest},
 	{tasmerr.ErrNoFrames, "no_frames", http.StatusBadRequest},
 	{tasmerr.ErrCursorClosed, "cursor_closed", statusClientClosedRequest},
+	{tasmerr.ErrStoreLocked, "store_locked", http.StatusConflict},
 	{ErrBadRequest, "bad_request", http.StatusBadRequest},
+	{ErrUnauthorized, "unauthorized", http.StatusUnauthorized},
 	{ErrOverloaded, "overloaded", http.StatusServiceUnavailable},
 	{context.Canceled, "canceled", statusClientClosedRequest},
 	{context.DeadlineExceeded, "deadline_exceeded", http.StatusGatewayTimeout},
@@ -113,9 +123,13 @@ func EncodeError(err error) (int, ErrorBody) {
 // context.DeadlineExceeded, …) holds for remote failures exactly as it
 // does in-process.
 type RemoteError struct {
-	Code     string
-	Message  string
-	sentinel error // nil for codes outside the taxonomy
+	Code    string
+	Message string
+	// RetryAfter is the server's requested backoff before retrying
+	// (from the Retry-After header on limiter rejections); zero when
+	// the server named none.
+	RetryAfter time.Duration
+	sentinel   error // nil for codes outside the taxonomy
 }
 
 func (e *RemoteError) Error() string { return "remote: " + e.Message }
@@ -152,6 +166,24 @@ func Sentinels() []error {
 // request honors the caller's timeout even when the TCP stream stays
 // healthy.
 const DeadlineHeader = "Tasm-Deadline-Ms"
+
+// NegotiateStreamEncoding picks the stream framing for a request:
+// ContentTypeBinary when the Accept header lists it (q-parameters are
+// ignored — listing it at all means the client can decode it) or when
+// Tasm-Api-Version selects v2; ContentTypeNDJSON otherwise, so a bare
+// curl keeps getting line-delimited JSON.
+func NegotiateStreamEncoding(r *http.Request) string {
+	if r.Header.Get(APIVersionHeader) == APIVersionBinary {
+		return ContentTypeBinary
+	}
+	for _, part := range strings.Split(r.Header.Get("Accept"), ",") {
+		mediaType, _, _ := strings.Cut(part, ";")
+		if strings.EqualFold(strings.TrimSpace(mediaType), ContentTypeBinary) {
+			return ContentTypeBinary
+		}
+	}
+	return ContentTypeNDJSON
+}
 
 // ---- geometry, layouts, frames ----
 

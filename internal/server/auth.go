@@ -1,0 +1,108 @@
+package server
+
+// Tenancy: bearer-token authentication and per-tenant admission.
+//
+// A token-protected daemon (tasmd -token-file) maps every request's
+// bearer token to a tenant id. Tenants are the serving contract's unit
+// of isolation: each gets its own inflight quota carved out of the
+// global limit, so one tenant saturating its streams degrades into 503s
+// for that tenant while the others keep their full budget. The health
+// probe stays unauthenticated — an overloaded or misconfigured daemon
+// must still say it is alive.
+
+import (
+	"bufio"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+
+	"github.com/tasm-repro/tasm/internal/rpcwire"
+)
+
+// ParseTokenFile reads a tenant table: one "tenant:token" per line,
+// blank lines and #-comments ignored. Tokens must be unique (a shared
+// token would silently merge two tenants' quotas); tenant ids may
+// repeat (one tenant, several tokens — rotation without downtime).
+// The returned map is keyed by token.
+func ParseTokenFile(path string) (map[string]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("server: token file: %w", err)
+	}
+	defer f.Close()
+	tenants := map[string]string{}
+	sc := bufio.NewScanner(f)
+	for lineNo := 1; sc.Scan(); lineNo++ {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		tenant, token, ok := strings.Cut(line, ":")
+		tenant, token = strings.TrimSpace(tenant), strings.TrimSpace(token)
+		if !ok || tenant == "" || token == "" {
+			return nil, fmt.Errorf("server: token file %s:%d: want tenant:token", path, lineNo)
+		}
+		if prev, dup := tenants[token]; dup {
+			return nil, fmt.Errorf("server: token file %s:%d: token already assigned to tenant %q", path, lineNo, prev)
+		}
+		tenants[token] = tenant
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("server: token file: %w", err)
+	}
+	if len(tenants) == 0 {
+		return nil, fmt.Errorf("server: token file %s holds no tokens", path)
+	}
+	return tenants, nil
+}
+
+// authenticate resolves the request's tenant. With no tenant table the
+// daemon is open and all traffic is the anonymous tenant "". With one,
+// a missing or unknown bearer token is refused with ErrUnauthorized
+// before any work (or limiter slot) is spent on it.
+func (s *server) authenticate(r *http.Request) (string, error) {
+	if len(s.cfg.Tenants) == 0 {
+		return "", nil
+	}
+	auth := r.Header.Get("Authorization")
+	// Auth schemes are case-insensitive (RFC 7235); some proxies
+	// normalize to lowercase "bearer".
+	const scheme = "bearer "
+	if len(auth) < len(scheme) || !strings.EqualFold(auth[:len(scheme)], scheme) {
+		return "", fmt.Errorf("%w: missing bearer token", rpcwire.ErrUnauthorized)
+	}
+	token := strings.TrimSpace(auth[len(scheme):])
+	if token == "" {
+		return "", fmt.Errorf("%w: missing bearer token", rpcwire.ErrUnauthorized)
+	}
+	tenant, known := s.cfg.Tenants[token]
+	if !known {
+		return "", fmt.Errorf("%w: unknown token", rpcwire.ErrUnauthorized)
+	}
+	return tenant, nil
+}
+
+// admit takes an inflight slot for the tenant: first the global bound
+// (protecting the process), then the tenant's quota (protecting the
+// other tenants). Both rejections are the same typed, retryable
+// overloaded error; the caller adds Retry-After. The returned release
+// returns both slots.
+func (s *server) admit(tenant string) (release func(), err error) {
+	select {
+	case s.inflight <- struct{}{}:
+	default:
+		return nil, fmt.Errorf("%w: %d requests in flight", rpcwire.ErrOverloaded, s.cfg.MaxInflight)
+	}
+	ch := s.tenantInflight[tenant]
+	if ch == nil {
+		return func() { <-s.inflight }, nil
+	}
+	select {
+	case ch <- struct{}{}:
+	default:
+		<-s.inflight
+		return nil, fmt.Errorf("%w: tenant %q at %d requests in flight", rpcwire.ErrOverloaded, tenant, cap(ch))
+	}
+	return func() { <-ch; <-s.inflight }, nil
+}

@@ -1,0 +1,169 @@
+package server
+
+// Tenancy tests: the token-file format, the auth matrix (no token /
+// bad token / wrong tenant / valid), and per-tenant quota isolation —
+// one tenant exhausting its inflight quota must not spend another's.
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/tasm-repro/tasm"
+	"github.com/tasm-repro/tasm/internal/rpcwire"
+)
+
+func TestParseTokenFile(t *testing.T) {
+	dir := t.TempDir()
+	write := func(content string) string {
+		t.Helper()
+		p := filepath.Join(dir, "tokens")
+		if err := os.WriteFile(p, []byte(content), 0o600); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	tenants, err := ParseTokenFile(write("# staff\nalpha: sek-a1 \nalpha:sek-a2\n\nbeta:sek-b\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{"sek-a1": "alpha", "sek-a2": "alpha", "sek-b": "beta"}
+	if len(tenants) != len(want) {
+		t.Fatalf("parsed %v", tenants)
+	}
+	for token, tenant := range want {
+		if tenants[token] != tenant {
+			t.Errorf("token %q -> %q, want %q", token, tenants[token], tenant)
+		}
+	}
+
+	for name, content := range map[string]string{
+		"missing separator": "alpha\n",
+		"empty token":       "alpha:\n",
+		"empty tenant":      ":sek\n",
+		"duplicate token":   "alpha:sek\nbeta:sek\n",
+		"only comments":     "# nothing\n",
+	} {
+		if _, err := ParseTokenFile(write(content)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if _, err := ParseTokenFile(filepath.Join(dir, "absent")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+// authedServer builds a handler with two tenants and tiny quotas,
+// returning the internal type so tests can saturate quotas
+// deterministically (the same technique as the limiter test).
+func authedServer(t *testing.T) *server {
+	t.Helper()
+	sm, err := tasm.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sm.Close() })
+	h := New(sm, Config{
+		Tenants:           map[string]string{"sek-a": "alpha", "sek-a2": "alpha", "sek-b": "beta"},
+		TenantMaxInflight: 1,
+		MaxInflight:       8,
+	}).(*server)
+	return h
+}
+
+func get(h http.Handler, path, token string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// TestAuthMatrix is the satellite's matrix: no token and bad token are
+// 401 unauthorized (decoding to the typed sentinel); any listed token
+// works; the health probe never needs one.
+func TestAuthMatrix(t *testing.T) {
+	h := authedServer(t)
+	for name, token := range map[string]string{"no token": "", "bad token": "sek-wrong"} {
+		rec := get(h, "/v1/videos", token)
+		if rec.Code != http.StatusUnauthorized {
+			t.Fatalf("%s: status %d, want 401", name, rec.Code)
+		}
+		var envelope struct {
+			Error rpcwire.ErrorBody `json:"error"`
+		}
+		if err := json.NewDecoder(rec.Body).Decode(&envelope); err != nil {
+			t.Fatal(err)
+		}
+		if !errors.Is(rpcwire.DecodeError(envelope.Error), rpcwire.ErrUnauthorized) {
+			t.Fatalf("%s: envelope %+v does not decode to ErrUnauthorized", name, envelope.Error)
+		}
+	}
+	for _, token := range []string{"sek-a", "sek-a2", "sek-b"} {
+		if rec := get(h, "/v1/videos", token); rec.Code != http.StatusOK {
+			t.Fatalf("valid token %q: status %d", token, rec.Code)
+		}
+	}
+	// Auth schemes are case-insensitive (RFC 7235): a proxy-lowercased
+	// "bearer" must still authenticate.
+	req := httptest.NewRequest(http.MethodGet, "/v1/videos", nil)
+	req.Header.Set("Authorization", "bearer sek-a")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("lowercase bearer scheme: status %d", rec.Code)
+	}
+	if rec := get(h, "/v1/healthz", ""); rec.Code != http.StatusOK {
+		t.Fatalf("healthz requires auth: %d", rec.Code)
+	}
+}
+
+// TestTenantQuotaIsolation: with tenant alpha's quota saturated, alpha
+// is rejected 503 (Retry-After + typed envelope) through EVERY of its
+// tokens — a second token grants no extra quota — while tenant beta's
+// requests still succeed and the global limit stays unspent.
+func TestTenantQuotaIsolation(t *testing.T) {
+	h := authedServer(t)
+	h.tenantInflight["alpha"] <- struct{}{} // saturate alpha (quota 1)
+
+	for _, token := range []string{"sek-a", "sek-a2"} {
+		rec := get(h, "/v1/videos", token)
+		if rec.Code != http.StatusServiceUnavailable {
+			t.Fatalf("saturated tenant via %q: status %d, want 503", token, rec.Code)
+		}
+		if rec.Header().Get("Retry-After") == "" {
+			t.Fatal("tenant 503 without Retry-After")
+		}
+		var envelope struct {
+			Error rpcwire.ErrorBody `json:"error"`
+		}
+		if err := json.NewDecoder(rec.Body).Decode(&envelope); err != nil {
+			t.Fatal(err)
+		}
+		if !errors.Is(rpcwire.DecodeError(envelope.Error), rpcwire.ErrOverloaded) {
+			t.Fatalf("tenant 503 envelope %+v does not decode to ErrOverloaded", envelope.Error)
+		}
+	}
+
+	// The other tenant is untouched.
+	if rec := get(h, "/v1/videos", "sek-b"); rec.Code != http.StatusOK {
+		t.Fatalf("beta under alpha's saturation: status %d", rec.Code)
+	}
+	// A rejected tenant request must have returned its global slot.
+	if used := len(h.inflight); used != 0 {
+		t.Fatalf("%d global slots leaked by tenant rejections", used)
+	}
+
+	// Freeing alpha's quota readmits it.
+	<-h.tenantInflight["alpha"]
+	if rec := get(h, "/v1/videos", "sek-a"); rec.Code != http.StatusOK {
+		t.Fatalf("after freeing quota: status %d", rec.Code)
+	}
+}

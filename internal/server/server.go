@@ -49,12 +49,24 @@ type Config struct {
 	// logs without losing diagnostics).
 	AccessLogger *log.Logger
 	// MaxInflight bounds concurrently served requests (excluding
-	// /v1/healthz); requests beyond it get 503 overloaded. <= 0 means
-	// DefaultMaxInflight.
+	// /v1/healthz); requests beyond it get 503 overloaded with a
+	// Retry-After header. <= 0 means DefaultMaxInflight.
 	MaxInflight int
 	// MaxBodyBytes bounds a request body (ingest bodies carry raw
 	// frames). <= 0 means DefaultMaxBodyBytes.
 	MaxBodyBytes int64
+	// Tenants maps bearer tokens to tenant ids (see ParseTokenFile).
+	// Empty leaves the daemon open: no Authorization required, all
+	// traffic shares the global limit. Non-empty, every request except
+	// /v1/healthz must carry a listed token or is refused with 401
+	// unauthorized.
+	Tenants map[string]string
+	// TenantMaxInflight bounds concurrently served requests per tenant
+	// when Tenants is set, so one tenant's burst degrades into that
+	// tenant's 503s instead of starving the rest. <= 0 means a quarter
+	// of the resolved global MaxInflight (at least 1); it is
+	// additionally capped by MaxInflight.
+	TenantMaxInflight int
 }
 
 // DefaultMaxInflight is the concurrent-request bound when Config leaves
@@ -67,6 +79,11 @@ const DefaultMaxInflight = 64
 // raw 4:2:0 frames, the largest legitimate ingest this toy codec
 // should see in one call).
 const DefaultMaxBodyBytes = 1 << 30
+
+// A tenant table configured without an explicit per-tenant quota
+// defaults to a quarter of the (resolved) global bound, so a single
+// tenant cannot monopolize the daemon even before the operator tunes
+// anything.
 
 // New returns the tasmd handler serving sm.
 func New(sm *tasm.StorageManager, cfg Config) http.Handler {
@@ -82,7 +99,21 @@ func New(sm *tasm.StorageManager, cfg Config) http.Handler {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = DefaultMaxBodyBytes
 	}
+	if cfg.TenantMaxInflight <= 0 {
+		cfg.TenantMaxInflight = max(1, cfg.MaxInflight/4)
+	}
+	if cfg.TenantMaxInflight > cfg.MaxInflight {
+		cfg.TenantMaxInflight = cfg.MaxInflight
+	}
 	s := &server{sm: sm, cfg: cfg, inflight: make(chan struct{}, cfg.MaxInflight)}
+	if len(cfg.Tenants) > 0 {
+		s.tenantInflight = make(map[string]chan struct{})
+		for _, tenant := range cfg.Tenants {
+			if s.tenantInflight[tenant] == nil {
+				s.tenantInflight[tenant] = make(chan struct{}, cfg.TenantMaxInflight)
+			}
+		}
+	}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
@@ -110,12 +141,17 @@ type server struct {
 	cfg      Config
 	mux      *http.ServeMux
 	inflight chan struct{}
+	// tenantInflight is the per-tenant admission quota, one channel per
+	// distinct tenant id; nil when the daemon is open (no tenant table).
+	tenantInflight map[string]chan struct{}
 }
 
-// ServeHTTP is the middleware stack: recover → limit → log → route.
+// ServeHTTP is the middleware stack: recover → authenticate → limit
+// (global, then tenant quota) → log → route.
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	lw := &logWriter{ResponseWriter: w}
 	start := time.Now()
+	tenant := "-"
 	defer func() {
 		if p := recover(); p != nil {
 			s.cfg.Logger.Printf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
@@ -123,24 +159,34 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 				writeError(lw, fmt.Errorf("internal panic: %v", p))
 			}
 		}
-		s.cfg.AccessLogger.Printf("%s %s %d %dB %s %s",
-			r.Method, r.URL.Path, lw.status(), lw.bytes, time.Since(start).Round(time.Microsecond), r.RemoteAddr)
+		s.cfg.AccessLogger.Printf("%s %s %d %dB %s %s tenant=%s",
+			r.Method, r.URL.Path, lw.status(), lw.bytes, time.Since(start).Round(time.Microsecond), r.RemoteAddr, tenant)
 	}()
 
-	// Health checks bypass the limiter: an overloaded daemon is still
-	// alive, and the probe must say so.
+	// Health checks bypass auth and the limiter: an overloaded or
+	// locked-down daemon is still alive, and the probe must say so.
 	if r.URL.Path == "/v1/healthz" {
 		s.mux.ServeHTTP(lw, r)
 		return
 	}
-	select {
-	case s.inflight <- struct{}{}:
-		defer func() { <-s.inflight }()
-	default:
-		lw.Header().Set("Retry-After", "1")
-		writeError(lw, fmt.Errorf("%w: %d requests in flight", rpcwire.ErrOverloaded, s.cfg.MaxInflight))
+	tn, err := s.authenticate(r)
+	if err != nil {
+		writeError(lw, err)
 		return
 	}
+	if tn != "" {
+		tenant = tn
+	}
+	release, err := s.admit(tn)
+	if err != nil {
+		// The limiter's politeness contract: a 503 carries both the
+		// canonical envelope (typed, retryable client-side) and a
+		// Retry-After the client's backoff honors.
+		lw.Header().Set("Retry-After", "1")
+		writeError(lw, err)
+		return
+	}
+	defer release()
 	r.Body = http.MaxBytesReader(lw, r.Body, s.cfg.MaxBodyBytes)
 	s.mux.ServeHTTP(lw, r)
 }
@@ -185,10 +231,18 @@ func (w *logWriter) status() int {
 }
 
 // requestContext derives the operation context: the request context
-// (cancelled on client disconnect) optionally bounded by the
-// Tasm-Deadline-Ms header.
+// (cancelled on client disconnect), optionally bounded by the
+// Tasm-Deadline-Ms header, optionally carrying the Tasm-Cache-Budget
+// admission cap — the per-request knobs of the serving contract.
 func requestContext(r *http.Request) (ctx context.Context, cancel context.CancelFunc, err error) {
 	ctx = r.Context()
+	if h := r.Header.Get(rpcwire.CacheBudgetHeader); h != "" {
+		budget, perr := strconv.ParseInt(h, 10, 64)
+		if perr != nil || budget < 0 {
+			return nil, nil, fmt.Errorf("%w: header %s=%q", rpcwire.ErrBadRequest, rpcwire.CacheBudgetHeader, h)
+		}
+		ctx = tasm.WithRequestCacheBudget(ctx, budget)
+	}
 	h := r.Header.Get(rpcwire.DeadlineHeader)
 	if h == "" {
 		ctx, cancel = context.WithCancel(ctx)
@@ -513,7 +567,7 @@ func (s *server) handleScan(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer cur.Close()
-	stream(w, cur, func(c *tasm.Cursor) rpcwire.StreamLine {
+	stream(w, r, cur, func(c *tasm.Cursor) rpcwire.StreamLine {
 		return rpcwire.StreamLine{Region: ptr(rpcwire.FromRegion(c.Result()))}
 	})
 }
@@ -536,7 +590,7 @@ func (s *server) handleDecodeFrames(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer cur.Close()
-	stream(w, cur, func(c *tasm.FrameCursor) rpcwire.StreamLine {
+	stream(w, r, cur, func(c *tasm.FrameCursor) rpcwire.StreamLine {
 		return rpcwire.StreamLine{Frame: ptr(rpcwire.FromFrameResult(c.Result()))}
 	})
 }
@@ -548,26 +602,58 @@ type streamCursor interface {
 	Stats() tasm.ScanStats
 }
 
-// stream drains cur into w as NDJSON, one line per result, flushed per
-// line so TTFB tracks the pipeline's time-to-first-result. A successful
-// stream ends with a stats line — the client's end-of-stream marker —
-// and a failed one with an error-envelope line. Write failures mean the
-// client went away: the cursor's context (derived from the request
-// context) is already cancelled or about to be, so the deferred Close
-// releases leases; nothing useful can be sent, so stream just returns.
-func stream[C streamCursor](w http.ResponseWriter, cur C, line func(C) rpcwire.StreamLine) {
-	w.Header().Set("Content-Type", "application/x-ndjson")
+// lineEncoder is one stream framing: v1 NDJSON or the v2 binary frame
+// encoding, chosen per request by content negotiation. Both carry the
+// same StreamLine records and share the error-envelope trailer, so
+// everything above this seam is encoding-agnostic.
+type lineEncoder interface {
+	encode(rpcwire.StreamLine) error
+	// flush pushes any buffering between the encoder and the network.
+	flush() error
+}
+
+type ndjsonEncoder struct{ enc *json.Encoder }
+
+func (e ndjsonEncoder) encode(l rpcwire.StreamLine) error { return e.enc.Encode(l) }
+func (e ndjsonEncoder) flush() error                      { return nil }
+
+type binaryEncoder struct{ w *rpcwire.FrameStreamWriter }
+
+func (e binaryEncoder) encode(l rpcwire.StreamLine) error { return e.w.WriteLine(l) }
+func (e binaryEncoder) flush() error                      { return e.w.Flush() }
+
+// stream drains cur into w in the negotiated framing, one record per
+// result, flushed per record so TTFB tracks the pipeline's
+// time-to-first-result. A successful stream ends with a stats record —
+// the client's end-of-stream marker — and a failed one with an
+// error-envelope record (the envelope both framings share, so
+// mid-stream failures reconstruct the same sentinels either way).
+// Write failures mean the client went away: the cursor's context
+// (derived from the request context) is already cancelled or about to
+// be, so the deferred Close releases leases; nothing useful can be
+// sent, so stream just returns.
+func stream[C streamCursor](w http.ResponseWriter, r *http.Request, cur C, line func(C) rpcwire.StreamLine) {
+	ct := rpcwire.NegotiateStreamEncoding(r)
+	w.Header().Set("Content-Type", ct)
 	w.Header().Set("X-Accel-Buffering", "no") // defeat proxy buffering; streaming is the point
 	w.WriteHeader(http.StatusOK)
+	var enc lineEncoder
+	if ct == rpcwire.ContentTypeBinary {
+		enc = binaryEncoder{rpcwire.NewFrameStreamWriter(w)}
+	} else {
+		enc = ndjsonEncoder{json.NewEncoder(w)}
+	}
 	flush := func() {
+		if err := enc.flush(); err != nil {
+			return
+		}
 		if f, ok := w.(http.Flusher); ok {
 			f.Flush()
 		}
 	}
 	flush() // commit the header before the first (possibly slow) decode
-	enc := json.NewEncoder(w)
 	for cur.Next() {
-		if err := enc.Encode(line(cur)); err != nil {
+		if err := enc.encode(line(cur)); err != nil {
 			return
 		}
 		flush()
@@ -579,7 +665,7 @@ func stream[C streamCursor](w http.ResponseWriter, cur C, line func(C) rpcwire.S
 	} else {
 		final.Stats = ptr(rpcwire.FromScanStats(cur.Stats()))
 	}
-	_ = enc.Encode(final)
+	_ = enc.encode(final)
 	flush()
 }
 

@@ -30,9 +30,10 @@ type harness struct {
 // ("traffic", cars + people, 40 frames of 192x96), the shape every
 // streaming test wants: enough SOTs that a scan is genuinely in flight
 // when the client walks away.
-func newHarness(t *testing.T, cfg server.Config) *harness {
+func newHarness(t *testing.T, cfg server.Config, opts ...tasm.Option) *harness {
 	t.Helper()
-	sm, err := tasm.Open(t.TempDir(), tasm.WithGOPLength(5), tasm.WithMinTileSize(32, 32))
+	opts = append([]tasm.Option{tasm.WithGOPLength(5), tasm.WithMinTileSize(32, 32)}, opts...)
+	sm, err := tasm.Open(t.TempDir(), opts...)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -48,4 +48,11 @@ var (
 
 	// ErrNoFrames reports an ingest of an empty frame sequence.
 	ErrNoFrames = errors.New("no frames")
+
+	// ErrStoreLocked reports an attempt to open a storage directory whose
+	// cross-process ownership lease another process holds (typically a
+	// live tasmd). Opening anyway would read stale caches and corrupt the
+	// owner's view of the store; the -force escape hatch exists for
+	// recovery, not routine use.
+	ErrStoreLocked = errors.New("store locked by another process")
 )

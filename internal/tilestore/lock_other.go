@@ -1,0 +1,9 @@
+//go:build !unix
+
+package tilestore
+
+// acquireLock is a no-op where flock is unavailable: the store falls
+// back to the pre-lease, single-owner-by-convention behavior.
+func acquireLock(root string) (release func() error, err error) {
+	return func() error { return nil }, nil
+}

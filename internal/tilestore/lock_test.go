@@ -1,0 +1,70 @@
+//go:build unix
+
+package tilestore
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/tasm-repro/tasm/internal/tasmerr"
+)
+
+// TestStoreLockExcludesSecondOpener is the single-owner guarantee: a
+// locked store refuses a second locked Open with the typed sentinel
+// (flock conflicts hold across processes and across opens within one),
+// an unlocked Open — the -force escape hatch — still succeeds, and
+// Close releases the lease for the next owner.
+func TestStoreLockExcludesSecondOpener(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, WithLock())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = Open(dir, WithLock())
+	if !errors.Is(err, tasmerr.ErrStoreLocked) {
+		t.Fatalf("second locked open: got %v, want ErrStoreLocked", err)
+	}
+	// The refusal names the owner (pid) so the operator knows what to
+	// kill before reaching for -force.
+	if !strings.Contains(err.Error(), "pid ") {
+		t.Errorf("lock error %q does not name the owner", err)
+	}
+
+	// The escape hatch: an unlocked open ignores the lease.
+	forced, err := Open(dir)
+	if err != nil {
+		t.Fatalf("unlocked open against a held lease: %v", err)
+	}
+	if err := forced.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Release and re-acquire.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close is not idempotent: %v", err)
+	}
+	s2, err := Open(dir, WithLock())
+	if err != nil {
+		t.Fatalf("open after release: %v", err)
+	}
+	defer s2.Close()
+
+	// The lock file is a plain dotfile: the catalog must not list it.
+	if _, err := os.Stat(filepath.Join(dir, lockFileName)); err != nil {
+		t.Fatalf("lock file missing: %v", err)
+	}
+	videos, err := s2.ListVideos()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(videos) != 0 {
+		t.Fatalf("lock file leaked into the catalog: %v", videos)
+	}
+}

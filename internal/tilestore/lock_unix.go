@@ -1,0 +1,55 @@
+//go:build unix
+
+package tilestore
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+
+	"github.com/tasm-repro/tasm/internal/tasmerr"
+)
+
+// acquireLock takes the store's cross-process ownership lease: an
+// exclusive, non-blocking flock on <root>/.lock. The lease is advisory
+// but every path into the store that caches state (tasmd, tasmctl -dir,
+// the library's core.Open) takes it, so a second opener fails fast with
+// tasmerr.ErrStoreLocked instead of reading caches the owner is about
+// to invalidate. The file records the owner's pid and host purely for
+// the error message on the losing side; the kernel drops the lock when
+// the owning process exits, so a crashed owner never wedges the store.
+//
+// The lock file is never removed on release: unlinking a locked-over
+// file races a concurrent opener onto a deleted inode, silently
+// granting two "exclusive" leases on different files.
+func acquireLock(root string) (release func() error, err error) {
+	path := filepath.Join(root, lockFileName)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("tilestore: opening lock file: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		owner, _ := io.ReadAll(io.LimitReader(f, 256))
+		f.Close()
+		if errors.Is(err, syscall.EWOULDBLOCK) || errors.Is(err, syscall.EAGAIN) {
+			msg := strings.TrimSpace(string(owner))
+			if msg == "" {
+				msg = "unknown owner"
+			}
+			return nil, fmt.Errorf("tilestore: %s held by %s: %w", root, msg, tasmerr.ErrStoreLocked)
+		}
+		return nil, fmt.Errorf("tilestore: locking %s: %w", path, err)
+	}
+	host, _ := os.Hostname()
+	if err := f.Truncate(0); err == nil {
+		if _, err := f.Seek(0, io.SeekStart); err == nil {
+			fmt.Fprintf(f, "pid %d on %s", os.Getpid(), host)
+			f.Sync()
+		}
+	}
+	return f.Close, nil
+}

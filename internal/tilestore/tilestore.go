@@ -203,6 +203,11 @@ type Store struct {
 	mu   sync.RWMutex
 	root string
 
+	// unlock releases the cross-process ownership lease; nil when the
+	// store was opened without one (the default for direct library use —
+	// core.Open passes WithLock).
+	unlock func() error
+
 	leaseMu sync.Mutex
 	leases  map[leaseKey]*leaseEntry
 	epochs  map[string]uint64 // bumped by DeleteVideo; never reset
@@ -211,17 +216,60 @@ type Store struct {
 	manifests map[string]VideoMeta // parsed manifest.json cache
 }
 
+// lockFileName is the cross-process ownership lease file under the
+// store root. It is a regular file, so the catalog walk (which skips
+// non-directories) and fsck never mistake it for a video.
+const lockFileName = ".lock"
+
+// OpenOption configures Open.
+type OpenOption func(*openConfig)
+
+type openConfig struct{ lock bool }
+
+// WithLock makes Open acquire the store's cross-process ownership
+// lease (an exclusive flock on <root>/.lock). A second locked Open of
+// the same directory — another process, or even this one — fails fast
+// with tasmerr.ErrStoreLocked instead of reading caches the owner is
+// about to invalidate. Release it with Close.
+func WithLock() OpenOption {
+	return func(c *openConfig) { c.lock = true }
+}
+
 // Open creates (if needed) and opens a store rooted at dir.
-func Open(dir string) (*Store, error) {
+func Open(dir string, opts ...OpenOption) (*Store, error) {
+	var cfg openConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	return &Store{
+	s := &Store{
 		root:      dir,
 		leases:    map[leaseKey]*leaseEntry{},
 		epochs:    map[string]uint64{},
 		manifests: map[string]VideoMeta{},
-	}, nil
+	}
+	if cfg.lock {
+		release, err := acquireLock(dir)
+		if err != nil {
+			return nil, err
+		}
+		s.unlock = release
+	}
+	return s, nil
+}
+
+// Close releases the store's cross-process ownership lease (when one
+// was taken). It does not wait for read leases: callers above this
+// layer stop serving before closing. Close is idempotent.
+func (s *Store) Close() error {
+	if s.unlock == nil {
+		return nil
+	}
+	unlock := s.unlock
+	s.unlock = nil
+	return unlock()
 }
 
 // Root returns the store's root directory.

@@ -80,6 +80,10 @@ var (
 	ErrCursorClosed = tasmerr.ErrCursorClosed
 	// ErrNoFrames: an ingest of an empty frame sequence.
 	ErrNoFrames = tasmerr.ErrNoFrames
+	// ErrStoreLocked: the storage directory's cross-process ownership
+	// lease is held by another process (typically a live tasmd). Open
+	// with WithForceOpen only to recover a store whose owner is gone.
+	ErrStoreLocked = tasmerr.ErrStoreLocked
 )
 
 // Re-exported building blocks. These are aliases so values returned by the
@@ -211,6 +215,28 @@ func WithCacheBudget(bytes int64) Option {
 // answering the query.
 func WithAdaptiveTiling() Option {
 	return func(s *settings) { s.adaptive = true }
+}
+
+// WithForceOpen skips the storage directory's cross-process ownership
+// lease. By default Open takes an exclusive flock on the store, so a
+// second opener — a tasmctl -dir pointed at a live tasmd's directory —
+// fails fast with ErrStoreLocked instead of reading stale caches. Force
+// is the recovery escape hatch (lock holder unreachable, say a hung
+// process on a shared mount); against a live owner it reintroduces
+// exactly the stale-cache corruption the lease exists to prevent.
+func WithForceOpen() Option {
+	return func(s *settings) { s.cfg.ForceOpen = true }
+}
+
+// WithRequestCacheBudget returns a context capping how many bytes of
+// newly decoded tiles the operations run under it may insert into the
+// shared decoded-tile cache (0 = insert nothing). Reads still hit the
+// cache — the budget bounds pollution, not reuse: a one-off sequential
+// sweep run under a zero budget cannot evict the working set repeated
+// queries depend on. Remote callers set the same knob per request with
+// the Tasm-Cache-Budget header (client.WithCacheBudget).
+func WithRequestCacheBudget(ctx context.Context, bytes int64) context.Context {
+	return core.WithCacheAdmissionBudget(ctx, bytes)
 }
 
 // StorageManager is TASM: the tile-aware bottom layer of a VDBMS.
