@@ -608,6 +608,22 @@ func (c *Client) FSCKContext(ctx context.Context) (tasm.FsckReport, error) {
 	return resp.ToFsckReport(), nil
 }
 
+// RepairStore quarantines corrupt tile versions server-side and falls
+// back to the newest intact earlier version of each — the storage half
+// of `tasmctl fsck -repair`, run against a remote daemon.
+func (c *Client) RepairStore() (tasm.RepairReport, error) {
+	return c.RepairStoreContext(context.Background())
+}
+
+// RepairStoreContext is RepairStore under a context.
+func (c *Client) RepairStoreContext(ctx context.Context) (tasm.RepairReport, error) {
+	var resp rpcwire.StoreRepairReport
+	if err := c.do(ctx, http.MethodPost, "/v1/repairstore", nil, &resp); err != nil {
+		return tasm.RepairReport{}, err
+	}
+	return resp.ToStoreRepairReport(), nil
+}
+
 // RepairPointers re-materializes one video's box→tile index pointers
 // server-side.
 func (c *Client) RepairPointers(video string) error {

@@ -56,6 +56,7 @@ const (
 	exitInvalid     = 3 // invalid input: bad flags/usage, name, range, empty ingest, bad request
 	exitConflict    = 4 // already exists, retile conflict, lost race with delete, store locked
 	exitDenied      = 5 // unauthorized: missing or unknown bearer token
+	exitCorrupt     = 6 // stored bytes failed integrity verification (checksum mismatch)
 	exitInterrupted = 130
 )
 
@@ -169,6 +170,8 @@ func exitCode(err error) int {
 		return exitConflict
 	case errors.Is(err, client.ErrUnauthorized):
 		return exitDenied
+	case errors.Is(err, tasm.ErrTileCorrupt):
+		return exitCorrupt
 	default:
 		return exitFailure
 	}
@@ -233,6 +236,7 @@ exit codes:
   4  conflict (already exists, concurrent retile, deleted mid-operation,
      store locked by another process)
   5  unauthorized (missing or unknown bearer token)
+  6  corrupt (stored tiles failed checksum verification; try fsck -repair)
   130  interrupted by SIGINT/SIGTERM`)
 }
 
@@ -264,6 +268,7 @@ type backend interface {
 	RetileSOTContext(ctx context.Context, video string, sotID int, l tasm.Layout) (tasm.RetileStats, error)
 	GCContext(ctx context.Context) (tasm.GCReport, error)
 	FSCKContext(ctx context.Context) (tasm.FsckReport, error)
+	RepairStoreContext(ctx context.Context) (tasm.RepairReport, error)
 	RepairPointersContext(ctx context.Context, video string) error
 	CacheStatsContext(ctx context.Context) (tasm.CacheStats, error)
 }
@@ -647,7 +652,7 @@ func cmdFsck(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("fsck", flag.ContinueOnError)
 	dir := fs.String("dir", "tasmdb", "storage directory")
 	addr := addrFlag(fs)
-	repair := fs.Bool("repair", false, "re-materialize box→tile index pointers from live layouts")
+	repair := fs.Bool("repair", false, "quarantine corrupt tile versions (falling back to intact earlier ones) and re-materialize box→tile index pointers")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -657,6 +662,19 @@ func cmdFsck(ctx context.Context, args []string) error {
 	}
 	defer b.Close()
 	if *repair {
+		// Storage first: a corrupt version quarantined here may flip a
+		// video back to an earlier layout, and the pointer pass below
+		// must re-materialize against the layout that will be served.
+		srep, err := b.RepairStoreContext(ctx)
+		if err != nil {
+			return err
+		}
+		for _, q := range srep.Quarantined {
+			fmt.Printf("quarantined %s\n", q)
+		}
+		for _, r := range srep.Reverted {
+			fmt.Printf("reverted    %s\n", r)
+		}
 		videos, err := b.VideosContext(ctx)
 		if err != nil {
 			return err

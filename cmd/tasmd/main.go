@@ -115,6 +115,30 @@ func main() {
 		MaxInflight: *maxInflight,
 		Tenants:     tenants, TenantMaxInflight: *tenantInflight,
 	})
+
+	// SIGHUP re-reads the token file and swaps the tenant table in place:
+	// tokens rotate without dropping in-flight streams or restarting the
+	// daemon. A parse failure keeps the current table — a daemon serving
+	// with yesterday's tokens beats one that locked everyone out over a
+	// typo.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			if *tokenFile == "" {
+				logger.Printf("SIGHUP ignored: no -token-file to reload")
+				continue
+			}
+			reloaded, err := server.ParseTokenFile(*tokenFile)
+			if err != nil {
+				logger.Printf("SIGHUP reload failed, keeping current tenant table: %v", err)
+				continue
+			}
+			handler.SetTenants(reloaded)
+			logger.Printf("SIGHUP: reloaded %s (%d tokens)", *tokenFile, len(reloaded))
+		}
+	}()
+
 	srv := &http.Server{
 		Addr:    *addr,
 		Handler: handler,

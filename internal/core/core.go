@@ -954,6 +954,27 @@ func (m *Manager) RepairPointers(video string) error {
 	return nil
 }
 
+// RepairStore validates every SOT's live version against the checksums
+// sealed into the catalog, quarantines corrupt version directories into
+// .trash, and falls back to earlier intact versions where the store
+// still holds one (tilestore.Store.Repair). Because a fallback changes
+// a video's live layout, the repaired videos' cached decodes are
+// dropped and their box→tile pointers re-materialized, so scans after a
+// repair address the adopted layout, not the quarantined one.
+func (m *Manager) RepairStore() (tilestore.RepairReport, error) {
+	rep, err := m.store.Repair()
+	if err != nil {
+		return rep, err
+	}
+	for _, video := range rep.Videos {
+		m.cache.InvalidateVideo(video)
+		if perr := m.RepairPointers(video); perr != nil && err == nil {
+			err = fmt.Errorf("core: repair store: refresh pointers for %q: %w", video, perr)
+		}
+	}
+	return rep, err
+}
+
 // refreshPointers re-materializes box→tile pointers for all detections in
 // the SOT's frame range under the new layout.
 func (m *Manager) refreshPointers(video string, sot tilestore.SOTMeta, l layout.Layout) error {

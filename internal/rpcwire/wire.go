@@ -91,6 +91,7 @@ var wireErrors = []errorMapping{
 	{tasmerr.ErrNoFrames, "no_frames", http.StatusBadRequest},
 	{tasmerr.ErrCursorClosed, "cursor_closed", statusClientClosedRequest},
 	{tasmerr.ErrStoreLocked, "store_locked", http.StatusConflict},
+	{tasmerr.ErrTileCorrupt, "tile_corrupt", http.StatusInternalServerError},
 	{ErrBadRequest, "bad_request", http.StatusBadRequest},
 	{ErrUnauthorized, "unauthorized", http.StatusUnauthorized},
 	{ErrOverloaded, "overloaded", http.StatusServiceUnavailable},
@@ -448,6 +449,23 @@ func (s CacheStats) ToCacheStats() tilecache.Stats {
 // RepairRequest re-materializes one video's box→tile pointers.
 type RepairRequest struct {
 	Video string `json:"video"`
+}
+
+// StoreRepairReport mirrors tilestore.RepairReport.
+type StoreRepairReport struct {
+	Quarantined []string `json:"quarantined"`
+	Reverted    []string `json:"reverted"`
+	Videos      []string `json:"videos"`
+}
+
+// FromStoreRepairReport converts an in-process report.
+func FromStoreRepairReport(r tilestore.RepairReport) StoreRepairReport {
+	return StoreRepairReport{Quarantined: r.Quarantined, Reverted: r.Reverted, Videos: r.Videos}
+}
+
+// ToStoreRepairReport converts back to the in-process type.
+func (r StoreRepairReport) ToStoreRepairReport() tilestore.RepairReport {
+	return tilestore.RepairReport{Quarantined: r.Quarantined, Reverted: r.Reverted, Videos: r.Videos}
 }
 
 // nsDuration converts a wire nanosecond count to a time.Duration.

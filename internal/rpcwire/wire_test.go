@@ -31,7 +31,12 @@ func TestErrorRoundTripAllSentinels(t *testing.T) {
 		// with operator-facing detail.
 		wrapped := fmt.Errorf("core: scan %q SOT %d: %w", "traffic", 3, sentinel)
 		status, body := EncodeError(wrapped)
-		if status == http.StatusInternalServerError {
+		// tile_corrupt is the one sentinel legitimately on 500: stored
+		// data failing verification IS a server-side fault, and its
+		// distinct code keeps it decodable. Every other sentinel stays
+		// off 500 so status alone separates mapped failures from the
+		// internal catch-all.
+		if status == http.StatusInternalServerError && !errors.Is(sentinel, tasmerr.ErrTileCorrupt) {
 			t.Errorf("%v encoded as internal/500", sentinel)
 		}
 		if body.Code == "" || body.Code == codeInternal {

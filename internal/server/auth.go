@@ -57,12 +57,18 @@ func ParseTokenFile(path string) (map[string]string, error) {
 	return tenants, nil
 }
 
-// authenticate resolves the request's tenant. With no tenant table the
-// daemon is open and all traffic is the anonymous tenant "". With one,
-// a missing or unknown bearer token is refused with ErrUnauthorized
-// before any work (or limiter slot) is spent on it.
-func (s *server) authenticate(r *http.Request) (string, error) {
-	if len(s.cfg.Tenants) == 0 {
+// authenticate resolves the request's tenant against the live tenant
+// table (loaded once, so a concurrent SetTenants swap cannot tear this
+// request's view). With no table the daemon is open and all traffic is
+// the anonymous tenant "". With one, a missing or unknown bearer token
+// is refused with ErrUnauthorized before any work (or limiter slot) is
+// spent on it.
+func (s *Server) authenticate(r *http.Request) (string, error) {
+	var tenants map[string]string
+	if p := s.tenants.Load(); p != nil {
+		tenants = *p
+	}
+	if len(tenants) == 0 {
 		return "", nil
 	}
 	auth := r.Header.Get("Authorization")
@@ -76,7 +82,7 @@ func (s *server) authenticate(r *http.Request) (string, error) {
 	if token == "" {
 		return "", fmt.Errorf("%w: missing bearer token", rpcwire.ErrUnauthorized)
 	}
-	tenant, known := s.cfg.Tenants[token]
+	tenant, known := tenants[token]
 	if !known {
 		return "", fmt.Errorf("%w: unknown token", rpcwire.ErrUnauthorized)
 	}
@@ -88,13 +94,13 @@ func (s *server) authenticate(r *http.Request) (string, error) {
 // other tenants). Both rejections are the same typed, retryable
 // overloaded error; the caller adds Retry-After. The returned release
 // returns both slots.
-func (s *server) admit(tenant string) (release func(), err error) {
+func (s *Server) admit(tenant string) (release func(), err error) {
 	select {
 	case s.inflight <- struct{}{}:
 	default:
 		return nil, fmt.Errorf("%w: %d requests in flight", rpcwire.ErrOverloaded, s.cfg.MaxInflight)
 	}
-	ch := s.tenantInflight[tenant]
+	ch := s.tenantQuota(tenant)
 	if ch == nil {
 		return func() { <-s.inflight }, nil
 	}
@@ -105,4 +111,24 @@ func (s *server) admit(tenant string) (release func(), err error) {
 		return nil, fmt.Errorf("%w: tenant %q at %d requests in flight", rpcwire.ErrOverloaded, tenant, cap(ch))
 	}
 	return func() { <-ch; <-s.inflight }, nil
+}
+
+// tenantQuota returns the tenant's admission channel, creating it on
+// first use (tenant ids appear at runtime via SetTenants, so quotas
+// cannot be pre-built at New). The anonymous tenant of an open daemon
+// has no per-tenant quota — the global bound is the only limit, as
+// before tenancy existed. Channels are never removed: a token rotation
+// must not orphan slots held by in-flight requests of a renamed tenant.
+func (s *Server) tenantQuota(tenant string) chan struct{} {
+	if tenant == "" {
+		return nil
+	}
+	s.tenantMu.Lock()
+	defer s.tenantMu.Unlock()
+	ch := s.tenantInflight[tenant]
+	if ch == nil {
+		ch = make(chan struct{}, s.cfg.TenantMaxInflight)
+		s.tenantInflight[tenant] = ch
+	}
+	return ch
 }

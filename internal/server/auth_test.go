@@ -61,7 +61,7 @@ func TestParseTokenFile(t *testing.T) {
 // authedServer builds a handler with two tenants and tiny quotas,
 // returning the internal type so tests can saturate quotas
 // deterministically (the same technique as the limiter test).
-func authedServer(t *testing.T) *server {
+func authedServer(t *testing.T) *Server {
 	t.Helper()
 	sm, err := tasm.Open(t.TempDir())
 	if err != nil {
@@ -72,7 +72,7 @@ func authedServer(t *testing.T) *server {
 		Tenants:           map[string]string{"sek-a": "alpha", "sek-a2": "alpha", "sek-b": "beta"},
 		TenantMaxInflight: 1,
 		MaxInflight:       8,
-	}).(*server)
+	})
 	return h
 }
 
@@ -131,7 +131,7 @@ func TestAuthMatrix(t *testing.T) {
 // requests still succeed and the global limit stays unspent.
 func TestTenantQuotaIsolation(t *testing.T) {
 	h := authedServer(t)
-	h.tenantInflight["alpha"] <- struct{}{} // saturate alpha (quota 1)
+	h.tenantQuota("alpha") <- struct{}{} // saturate alpha (quota 1)
 
 	for _, token := range []string{"sek-a", "sek-a2"} {
 		rec := get(h, "/v1/videos", token)
@@ -162,7 +162,7 @@ func TestTenantQuotaIsolation(t *testing.T) {
 	}
 
 	// Freeing alpha's quota readmits it.
-	<-h.tenantInflight["alpha"]
+	<-h.tenantQuota("alpha")
 	if rec := get(h, "/v1/videos", "sek-a"); rec.Code != http.StatusOK {
 		t.Fatalf("after freeing quota: status %d", rec.Code)
 	}

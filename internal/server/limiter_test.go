@@ -21,7 +21,7 @@ func TestLimiterRejectsWhenFull(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer sm.Close()
-	h := New(sm, Config{MaxInflight: 2}).(*server)
+	h := New(sm, Config{MaxInflight: 2})
 	h.inflight <- struct{}{}
 	h.inflight <- struct{}{}
 
@@ -67,7 +67,7 @@ func TestPanicRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer sm.Close()
-	h := New(sm, Config{}).(*server)
+	h := New(sm, Config{})
 	h.mux.HandleFunc("GET /v1/boom", func(http.ResponseWriter, *http.Request) { panic("kaboom") })
 
 	rec := httptest.NewRecorder()

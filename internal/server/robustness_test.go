@@ -1,0 +1,217 @@
+package server_test
+
+// Durability-facing serving tests: the Prometheus metrics endpoint, live
+// token-table reload (SIGHUP's mechanism) leaving in-flight streams
+// untouched, and the corruption contract across the wire — a flipped
+// bit on the server's disk must classify as tasm.ErrTileCorrupt through
+// the HTTP client, and /v1/repairstore must quarantine it.
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/tasm-repro/tasm"
+	"github.com/tasm-repro/tasm/client"
+	"github.com/tasm-repro/tasm/internal/server"
+)
+
+// metricValue fetches /metrics and returns the value of the first
+// series line whose name (with any label set) matches prefix.
+func metricValue(t *testing.T, url, token, prefix string) (int64, bool) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url+"/metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content type %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") || !strings.HasPrefix(line, prefix) {
+			continue
+		}
+		_, val, ok := strings.Cut(line, " ")
+		if !ok {
+			continue
+		}
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			t.Fatalf("metrics line %q: %v", line, err)
+		}
+		return n, true
+	}
+	return 0, false
+}
+
+// TestMetricsEndpoint: the text exposition carries per-tenant serving
+// counters and the store's durability counters, and the endpoint sits
+// behind auth like everything but the health probe.
+func TestMetricsEndpoint(t *testing.T) {
+	h := newHarness(t, server.Config{})
+	if _, err := h.c.Videos(); err != nil {
+		t.Fatal(err)
+	}
+	if n, ok := metricValue(t, h.ts.URL, "", `tasm_requests_total{tenant="-"}`); !ok || n < 1 {
+		t.Fatalf("tasm_requests_total for the anonymous tenant = %d, %v", n, ok)
+	}
+	// The store opened cleanly exactly once, verified nothing corrupt.
+	if n, ok := metricValue(t, h.ts.URL, "", "tasm_store_recovery_sweeps_total"); !ok || n != 1 {
+		t.Fatalf("tasm_store_recovery_sweeps_total = %d, %v, want 1", n, ok)
+	}
+	if n, ok := metricValue(t, h.ts.URL, "", "tasm_store_corrupt_tiles_total"); !ok || n != 0 {
+		t.Fatalf("tasm_store_corrupt_tiles_total = %d, %v, want 0", n, ok)
+	}
+
+	// Token-protected daemon: /metrics is operator data, not public.
+	h2 := newHarness(t, server.Config{Tenants: map[string]string{"sek": "ops"}})
+	resp, err := http.Get(h2.ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated /metrics: status %d, want 401", resp.StatusCode)
+	}
+	// Counters record when a request finishes, so give ops a completed
+	// request before scraping (the scrape itself is still in flight).
+	opsClient, err := client.Dial(h2.ts.URL, client.WithToken("sek"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer opsClient.Close()
+	if _, err := opsClient.Videos(); err != nil {
+		t.Fatal(err)
+	}
+	if n, ok := metricValue(t, h2.ts.URL, "sek", `tasm_requests_total{tenant="ops"}`); !ok || n < 1 {
+		t.Fatalf("authed tasm_requests_total{ops} = %d, %v", n, ok)
+	}
+}
+
+// TestTokenReloadKeepsInflightStreams is the SIGHUP contract: swapping
+// the tenant table revokes old tokens for NEW requests immediately, but
+// a stream already in flight — authenticated against the old table —
+// drains to completion untouched.
+func TestTokenReloadKeepsInflightStreams(t *testing.T) {
+	h := newHarness(t, server.Config{Tenants: map[string]string{"tok-old": "alpha"}})
+	ref, _, err := h.sm.ScanSQL(trafficSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref) == 0 {
+		t.Fatal("reference scan returned nothing")
+	}
+
+	old, err := client.Dial(h.ts.URL, client.WithToken("tok-old"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer old.Close()
+	cur, err := old.ScanSQLCursor(context.Background(), trafficSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	// The stream is live: pull one result, then rotate the tokens.
+	if !cur.Next() {
+		t.Fatalf("no first result: %v", cur.Err())
+	}
+	got := 1
+
+	h.srv.SetTenants(map[string]string{"tok-new": "alpha"})
+
+	// New request with the revoked token is refused...
+	if _, err := old.Videos(); !errors.Is(err, client.ErrUnauthorized) {
+		t.Fatalf("revoked token accepted for a new request: %v", err)
+	}
+	// ...the rotated token works...
+	fresh, err := client.Dial(h.ts.URL, client.WithToken("tok-new"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Close()
+	if _, err := fresh.Videos(); err != nil {
+		t.Fatalf("rotated token refused: %v", err)
+	}
+	// ...and the in-flight stream still drains completely.
+	for cur.Next() {
+		got++
+	}
+	if err := cur.Err(); err != nil {
+		t.Fatalf("in-flight stream broken by token reload: %v", err)
+	}
+	if got != len(ref) {
+		t.Fatalf("stream yielded %d regions across the reload, want %d", got, len(ref))
+	}
+}
+
+// TestCorruptTileOverHTTP: a bit flipped in a stored tile file on the
+// server classifies as tasm.ErrTileCorrupt through the remote client
+// (errors.Is across the wire), shows up in the corruption counter, and
+// /v1/repairstore quarantines the damaged version.
+func TestCorruptTileOverHTTP(t *testing.T) {
+	h := newHarness(t, server.Config{})
+	tiles, err := filepath.Glob(filepath.Join(h.dir, "tiles", "traffic", "frames_*", "*.tsv"))
+	if err != nil || len(tiles) == 0 {
+		t.Fatalf("no tile files found: %v", err)
+	}
+	for _, p := range tiles {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)/2] ^= 0x40
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	_, _, err = h.c.ScanSQLContext(context.Background(), trafficSQL)
+	if !errors.Is(err, tasm.ErrTileCorrupt) {
+		t.Fatalf("remote scan over corrupt tiles: %v (want tasm.ErrTileCorrupt)", err)
+	}
+	if n, ok := metricValue(t, h.ts.URL, "", "tasm_store_corrupt_tiles_total"); !ok || n == 0 {
+		t.Fatalf("tasm_store_corrupt_tiles_total = %d, %v, want > 0", n, ok)
+	}
+
+	rep, err := h.c.RepairStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Quarantined) == 0 || len(rep.Videos) != 1 || rep.Videos[0] != "traffic" {
+		t.Fatalf("repair report %+v: want quarantines for traffic", rep)
+	}
+	// Every version was corrupt, so there was nothing to fall back to:
+	// the loss stays visible through fsck instead of being erased.
+	if len(rep.Reverted) != 0 {
+		t.Fatalf("reverted %v with no intact fallback", rep.Reverted)
+	}
+	fr, err := h.c.FSCK()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.OK() {
+		t.Fatal("fsck clean while the manifest references quarantined versions")
+	}
+}

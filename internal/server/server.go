@@ -31,7 +31,11 @@ import (
 	"log"
 	"net/http"
 	"runtime/debug"
+	"sort"
 	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/tasm-repro/tasm"
@@ -59,7 +63,8 @@ type Config struct {
 	// Empty leaves the daemon open: no Authorization required, all
 	// traffic shares the global limit. Non-empty, every request except
 	// /v1/healthz must carry a listed token or is refused with 401
-	// unauthorized.
+	// unauthorized. The table can be swapped at runtime with
+	// Server.SetTenants (tasmd does so on SIGHUP).
 	Tenants map[string]string
 	// TenantMaxInflight bounds concurrently served requests per tenant
 	// when Tenants is set, so one tenant's burst degrades into that
@@ -85,8 +90,9 @@ const DefaultMaxBodyBytes = 1 << 30
 // tenant cannot monopolize the daemon even before the operator tunes
 // anything.
 
-// New returns the tasmd handler serving sm.
-func New(sm *tasm.StorageManager, cfg Config) http.Handler {
+// New returns the tasmd server for sm; *Server is the http.Handler to
+// mount, and its methods (SetTenants) are the daemon's runtime controls.
+func New(sm *tasm.StorageManager, cfg Config) *Server {
 	if cfg.Logger == nil {
 		cfg.Logger = log.New(io.Discard, "", 0)
 	}
@@ -105,15 +111,14 @@ func New(sm *tasm.StorageManager, cfg Config) http.Handler {
 	if cfg.TenantMaxInflight > cfg.MaxInflight {
 		cfg.TenantMaxInflight = cfg.MaxInflight
 	}
-	s := &server{sm: sm, cfg: cfg, inflight: make(chan struct{}, cfg.MaxInflight)}
-	if len(cfg.Tenants) > 0 {
-		s.tenantInflight = make(map[string]chan struct{})
-		for _, tenant := range cfg.Tenants {
-			if s.tenantInflight[tenant] == nil {
-				s.tenantInflight[tenant] = make(chan struct{}, cfg.TenantMaxInflight)
-			}
-		}
+	s := &Server{
+		sm:             sm,
+		cfg:            cfg,
+		inflight:       make(chan struct{}, cfg.MaxInflight),
+		tenantInflight: make(map[string]chan struct{}),
+		tenantStats:    make(map[string]*tenantCounters),
 	}
+	s.SetTenants(cfg.Tenants)
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
@@ -131,24 +136,65 @@ func New(sm *tasm.StorageManager, cfg Config) http.Handler {
 	mux.HandleFunc("POST /v1/gc", s.handleGC)
 	mux.HandleFunc("POST /v1/fsck", s.handleFsck)
 	mux.HandleFunc("POST /v1/repair", s.handleRepair)
+	mux.HandleFunc("POST /v1/repairstore", s.handleRepairStore)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux = mux
 	return s
 }
 
-type server struct {
+// Server is the tasmd handler plus its runtime controls.
+type Server struct {
 	sm       *tasm.StorageManager
 	cfg      Config
 	mux      *http.ServeMux
 	inflight chan struct{}
-	// tenantInflight is the per-tenant admission quota, one channel per
-	// distinct tenant id; nil when the daemon is open (no tenant table).
+
+	// tenants is the live token→tenant table, swapped atomically by
+	// SetTenants; requests load it once at authentication, so a reload
+	// never tears a request's view of the table.
+	tenants atomic.Pointer[map[string]string]
+
+	// tenantMu guards the lazily created per-tenant quota channels and
+	// the per-tenant metric counters. Quota channels persist across
+	// SetTenants reloads: an in-flight request's release closure must
+	// return its slot to the same channel it took it from.
+	tenantMu       sync.Mutex
 	tenantInflight map[string]chan struct{}
+	tenantStats    map[string]*tenantCounters
+}
+
+// tenantCounters accumulates one tenant's serving totals for /metrics.
+type tenantCounters struct {
+	requests atomic.Int64 // responses sent, any status
+	rejected atomic.Int64 // 503 overloaded rejections
+	bytes    atomic.Int64 // response body bytes written
+}
+
+// SetTenants atomically replaces the token→tenant table (nil or empty
+// opens the daemon). In-flight requests are untouched: they
+// authenticated against the table current at their arrival and keep
+// their admission slots, so rotating tokens never drops a live stream.
+func (s *Server) SetTenants(tenants map[string]string) {
+	s.tenants.Store(&tenants)
+}
+
+// counters returns the tenant's metric counters, creating them on first
+// use.
+func (s *Server) counters(tenant string) *tenantCounters {
+	s.tenantMu.Lock()
+	defer s.tenantMu.Unlock()
+	c := s.tenantStats[tenant]
+	if c == nil {
+		c = &tenantCounters{}
+		s.tenantStats[tenant] = c
+	}
+	return c
 }
 
 // ServeHTTP is the middleware stack: recover → authenticate → limit
 // (global, then tenant quota) → log → route.
-func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	lw := &logWriter{ResponseWriter: w}
 	start := time.Now()
 	tenant := "-"
@@ -158,6 +204,12 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			if !lw.wrote {
 				writeError(lw, fmt.Errorf("internal panic: %v", p))
 			}
+		}
+		c := s.counters(tenant)
+		c.requests.Add(1)
+		c.bytes.Add(lw.bytes)
+		if lw.status() == http.StatusServiceUnavailable {
+			c.rejected.Add(1)
 		}
 		s.cfg.AccessLogger.Printf("%s %s %d %dB %s %s tenant=%s",
 			r.Method, r.URL.Path, lw.status(), lw.bytes, time.Since(start).Round(time.Microsecond), r.RemoteAddr, tenant)
@@ -306,13 +358,13 @@ func writeError(w http.ResponseWriter, err error) {
 
 // ---- unary handlers ----
 
-func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, struct {
 		OK bool `json:"ok"`
 	}{true})
 }
 
-func (s *server) handleVideos(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleVideos(w http.ResponseWriter, r *http.Request) {
 	videos, err := s.sm.Videos()
 	if err != nil {
 		writeError(w, err)
@@ -321,7 +373,7 @@ func (s *server) handleVideos(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, rpcwire.VideosResponse{Videos: videos})
 }
 
-func (s *server) handleVideoInfo(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleVideoInfo(w http.ResponseWriter, r *http.Request) {
 	if !unaryBoundary(w, r) {
 		return
 	}
@@ -344,7 +396,7 @@ func (s *server) handleVideoInfo(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, rpcwire.VideoInfo{Meta: meta, Bytes: bytes, Labels: labels})
 }
 
-func (s *server) handleDeleteVideo(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleDeleteVideo(w http.ResponseWriter, r *http.Request) {
 	if !unaryBoundary(w, r) {
 		return
 	}
@@ -355,7 +407,7 @@ func (s *server) handleDeleteVideo(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, struct{}{})
 }
 
-func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	var req rpcwire.IngestRequest
 	if err := readJSON(r, &req); err != nil {
 		writeError(w, err)
@@ -391,7 +443,7 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, rpcwire.FromIngestStats(st))
 }
 
-func (s *server) handleMetadata(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleMetadata(w http.ResponseWriter, r *http.Request) {
 	var req rpcwire.MetadataRequest
 	if err := readJSON(r, &req); err != nil {
 		writeError(w, err)
@@ -411,7 +463,7 @@ func (s *server) handleMetadata(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, struct{}{})
 }
 
-func (s *server) handleMarkDetected(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleMarkDetected(w http.ResponseWriter, r *http.Request) {
 	var req rpcwire.MarkDetectedRequest
 	if err := readJSON(r, &req); err != nil {
 		writeError(w, err)
@@ -424,7 +476,7 @@ func (s *server) handleMarkDetected(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, struct{}{})
 }
 
-func (s *server) handleDetections(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleDetections(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	video, label := q.Get("video"), q.Get("label")
 	from, err1 := strconv.Atoi(q.Get("from"))
@@ -445,7 +497,7 @@ func (s *server) handleDetections(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
-func (s *server) handleRetile(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleRetile(w http.ResponseWriter, r *http.Request) {
 	var req rpcwire.RetileRequest
 	if err := readJSON(r, &req); err != nil {
 		writeError(w, err)
@@ -465,7 +517,7 @@ func (s *server) handleRetile(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, rpcwire.FromRetileStats(st))
 }
 
-func (s *server) handleDesignLayout(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleDesignLayout(w http.ResponseWriter, r *http.Request) {
 	var req rpcwire.DesignLayoutRequest
 	if err := readJSON(r, &req); err != nil {
 		writeError(w, err)
@@ -482,7 +534,7 @@ func (s *server) handleDesignLayout(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, rpcwire.DesignLayoutResponse{Layout: rpcwire.FromLayout(l)})
 }
 
-func (s *server) handleGC(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleGC(w http.ResponseWriter, r *http.Request) {
 	if !unaryBoundary(w, r) {
 		return
 	}
@@ -498,7 +550,7 @@ func (s *server) handleGC(w http.ResponseWriter, r *http.Request) {
 // (/v1/repair, per video), which keeps the expensive repair loop under
 // the client's control — it can stop between videos on cancellation
 // and report per-video progress, exactly like local tasmctl.
-func (s *server) handleFsck(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleFsck(w http.ResponseWriter, r *http.Request) {
 	if !unaryBoundary(w, r) {
 		return
 	}
@@ -510,7 +562,7 @@ func (s *server) handleFsck(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, rpcwire.FromFsckReport(rep))
 }
 
-func (s *server) handleRepair(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 	var req rpcwire.RepairRequest
 	if err := readJSON(r, &req); err != nil {
 		writeError(w, err)
@@ -526,13 +578,73 @@ func (s *server) handleRepair(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, struct{}{})
 }
 
-func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+// handleRepairStore quarantines corrupt tile versions and falls back to
+// intact earlier ones — the network form of `tasmctl fsck -repair`'s
+// storage half. Unlike /v1/repair it is store-wide: the repair pass is
+// one critical section, so there is no per-video progress to stream.
+func (s *Server) handleRepairStore(w http.ResponseWriter, r *http.Request) {
+	if !unaryBoundary(w, r) {
+		return
+	}
+	rep, err := s.sm.RepairStore()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, rpcwire.FromStoreRepairReport(rep))
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, rpcwire.FromCacheStats(s.sm.CacheStats()))
+}
+
+// handleMetrics serves the Prometheus text exposition format (hand
+// rolled — counters and gauges with labels need no client library).
+// Like every endpoint but the health probe it sits behind auth: serving
+// totals per tenant are operator data, not public data.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+	s.tenantMu.Lock()
+	tenants := make([]string, 0, len(s.tenantStats))
+	for tenant := range s.tenantStats {
+		tenants = append(tenants, tenant)
+	}
+	sort.Strings(tenants)
+	type row struct {
+		tenant                     string
+		requests, rejected, bytes_ int64
+	}
+	rows := make([]row, 0, len(tenants))
+	for _, tenant := range tenants {
+		c := s.tenantStats[tenant]
+		rows = append(rows, row{tenant, c.requests.Load(), c.rejected.Load(), c.bytes.Load()})
+	}
+	s.tenantMu.Unlock()
+
+	series := func(name, help string, value func(row) int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		// %q yields exactly the \\ \" \n escapes the text format
+		// defines (tenant ids are single token-file line fragments, so
+		// no other control characters can appear).
+		for _, r := range rows {
+			fmt.Fprintf(&b, "%s{tenant=%q} %d\n", name, r.tenant, value(r))
+		}
+	}
+	series("tasm_requests_total", "Responses sent, by tenant (\"-\" is unauthenticated).", func(r row) int64 { return r.requests })
+	series("tasm_requests_rejected_total", "503 overloaded rejections, by tenant.", func(r row) int64 { return r.rejected })
+	series("tasm_response_bytes_total", "Response body bytes written, by tenant.", func(r row) int64 { return r.bytes_ })
+
+	st := s.sm.StoreMetrics()
+	fmt.Fprintf(&b, "# HELP tasm_store_corrupt_tiles_total Tile reads that failed integrity verification since open.\n# TYPE tasm_store_corrupt_tiles_total counter\ntasm_store_corrupt_tiles_total %d\n", st.CorruptTiles)
+	fmt.Fprintf(&b, "# HELP tasm_store_recovery_sweeps_total Crash-recovery sweeps run when opening the store.\n# TYPE tasm_store_recovery_sweeps_total counter\ntasm_store_recovery_sweeps_total %d\n", st.RecoverySweeps)
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = io.WriteString(w, b.String())
 }
 
 // ---- streaming handlers ----
 
-func (s *server) handleScan(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 	var req rpcwire.ScanRequest
 	if err := readJSON(r, &req); err != nil {
 		writeError(w, err)
@@ -572,7 +684,7 @@ func (s *server) handleScan(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *server) handleDecodeFrames(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleDecodeFrames(w http.ResponseWriter, r *http.Request) {
 	var req rpcwire.DecodeFramesRequest
 	if err := readJSON(r, &req); err != nil {
 		writeError(w, err)

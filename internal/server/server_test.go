@@ -21,9 +21,11 @@ import (
 // harness is one served store: the in-process manager (for state
 // assertions), the HTTP server, and a connected client.
 type harness struct {
-	sm *tasm.StorageManager
-	ts *httptest.Server
-	c  *client.Client
+	sm  *tasm.StorageManager
+	srv *server.Server
+	ts  *httptest.Server
+	c   *client.Client
+	dir string
 }
 
 // newHarness serves a fresh store holding one indexed 8-SOT video
@@ -33,7 +35,8 @@ type harness struct {
 func newHarness(t *testing.T, cfg server.Config, opts ...tasm.Option) *harness {
 	t.Helper()
 	opts = append([]tasm.Option{tasm.WithGOPLength(5), tasm.WithMinTileSize(32, 32)}, opts...)
-	sm, err := tasm.Open(t.TempDir(), opts...)
+	dir := t.TempDir()
+	sm, err := tasm.Open(dir, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,14 +65,15 @@ func newHarness(t *testing.T, cfg server.Config, opts ...tasm.Option) *harness {
 	if err := sm.AddDetections("traffic", ds); err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(server.New(sm, cfg))
+	srv := server.New(sm, cfg)
+	ts := httptest.NewServer(srv)
 	t.Cleanup(ts.Close)
 	c, err := client.Dial(ts.URL)
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { c.Close() })
-	return &harness{sm: sm, ts: ts, c: c}
+	return &harness{sm: sm, srv: srv, ts: ts, c: c, dir: dir}
 }
 
 const trafficSQL = "SELECT car FROM traffic WHERE 0 <= t < 40"

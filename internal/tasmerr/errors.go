@@ -55,4 +55,14 @@ var (
 	// owner's view of the store; the -force escape hatch exists for
 	// recovery, not routine use.
 	ErrStoreLocked = errors.New("store locked by another process")
+
+	// ErrTileCorrupt reports stored bytes that failed integrity
+	// verification: a tile file whose CRC32C no longer matches the
+	// checksum sealed into the catalog record when it was written, or
+	// one that no longer parses. The data on disk changed after commit
+	// — bit rot, a torn write that survived a crash, or external
+	// tampering. `tasmctl fsck -repair` quarantines the corrupt version
+	// and falls back to an earlier intact one when the store still
+	// holds it.
+	ErrTileCorrupt = errors.New("tile corrupt")
 )

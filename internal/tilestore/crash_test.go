@@ -1,0 +1,531 @@
+package tilestore
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/tasm-repro/tasm/internal/container"
+	"github.com/tasm-repro/tasm/internal/fsio"
+	"github.com/tasm-repro/tasm/internal/layout"
+	"github.com/tasm-repro/tasm/internal/tasmerr"
+	"github.com/tasm-repro/tasm/internal/vcodec"
+)
+
+// memStore opens a store on a fresh fault-injectable in-memory
+// filesystem. The store is rooted at the MemFS root, which is durable
+// by construction — it models the pre-existing mount point a real
+// store directory lives on.
+func memStore(t *testing.T) (*Store, *fsio.MemFS) {
+	t.Helper()
+	fs := fsio.NewMemFS()
+	s, err := Open("/", WithFS(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, fs
+}
+
+func crashParams() vcodec.Params {
+	p := vcodec.DefaultParams()
+	p.GOPLength = 4
+	return p
+}
+
+// encodeSOT encodes n small frames under the given layout, for cheap
+// schedules in the exhaustive crashpoint sweep.
+func encodeSOT(t *testing.T, w, h, n, shift int, l layout.Layout) []*container.Video {
+	t.Helper()
+	tiles, err := container.EncodeTiled(makeFrames(w, h, n, shift), l, 10, crashParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tiles
+}
+
+// storeState captures the complete committed, readable state of a
+// store: every video's SOT lineup (id, version, layout size) and a
+// checksum of every tile's bytes. Two states are equal iff every
+// committed frame reads back byte-identical.
+func storeState(t *testing.T, s *Store) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	names, err := s.ListVideos()
+	if err != nil {
+		t.Fatalf("ListVideos: %v", err)
+	}
+	for _, name := range names {
+		meta, err := s.Meta(name)
+		if err != nil {
+			t.Fatalf("Meta(%s): %v", name, err)
+		}
+		for _, sot := range meta.SOTs {
+			key := fmt.Sprintf("%s/sot%d.r%d.t%d", name, sot.ID, sot.Retiles, sot.L.NumTiles())
+			sum := crc32.NewIEEE()
+			for i := 0; i < sot.L.NumTiles(); i++ {
+				tv, err := s.ReadTile(name, sot, i)
+				if err != nil {
+					t.Fatalf("ReadTile(%s, %d, %d): %v", name, sot.ID, i, err)
+				}
+				sum.Write(tv.Bytes())
+			}
+			out[key] = fmt.Sprintf("%08x", sum.Sum32())
+		}
+	}
+	return out
+}
+
+// TestPowerCutEveryCrashpoint is the power-cut property test: an
+// ingest → retile → ingest → delete → retile schedule is crashed at
+// every mutating filesystem operation index, the store reopened
+// (running its recovery sweep), and the surviving state must be
+// FSCK-clean and byte-identical to the state after the last schedule
+// step whose commit landed — never a torn hybrid.
+func TestPowerCutEveryCrashpoint(t *testing.T) {
+	w, h := 64, 48
+	single := layout.Single(w, h)
+	l12, err := layout.Uniform(1, 2, cons(w, h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	metaA := VideoMeta{
+		Name: "a", W: w, H: h, FPS: 10, GOPLength: 4, FrameCount: 16,
+		SOTs: []SOTMeta{
+			{ID: 0, From: 0, To: 8, L: single},
+			{ID: 1, From: 8, To: 16, L: l12},
+		},
+	}
+	metaB := VideoMeta{
+		Name: "b", W: w, H: h, FPS: 10, GOPLength: 4, FrameCount: 8,
+		SOTs: []SOTMeta{{ID: 0, From: 0, To: 8, L: single}},
+	}
+	a0 := encodeSOT(t, w, h, 8, 0, single)
+	a1 := encodeSOT(t, w, h, 8, 30, l12)
+	a0r := encodeSOT(t, w, h, 8, 0, l12)
+	b0 := encodeSOT(t, w, h, 8, 50, single)
+	b0r := encodeSOT(t, w, h, 8, 50, l12)
+
+	steps := []func(s *Store) error{
+		func(s *Store) error { return s.CreateVideo(metaA, [][]*container.Video{a0, a1}) },
+		func(s *Store) error { return s.ReplaceSOT("a", 0, l12, a0r) },
+		func(s *Store) error { return s.CreateVideo(metaB, [][]*container.Video{b0}) },
+		func(s *Store) error { return s.DeleteVideo("a") },
+		func(s *Store) error { return s.ReplaceSOT("b", 0, l12, b0r) },
+	}
+
+	// Reference run: record the op count and the committed state after
+	// every step.
+	ref := fsio.NewMemFS()
+	s, err := Open("/", WithFS(ref))
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := []map[string]string{storeState(t, s)}
+	for i, step := range steps {
+		if err := step(s); err != nil {
+			t.Fatalf("reference run step %d: %v", i, err)
+		}
+		states = append(states, storeState(t, s))
+	}
+	n := ref.Ops()
+	if n < len(steps) {
+		t.Fatalf("schedule performed only %d mutations", n)
+	}
+	t.Logf("schedule: %d steps, %d crashpoints", len(steps), n)
+
+	for k := 1; k <= n; k++ {
+		fs := fsio.NewMemFS()
+		fs.CrashAt(k)
+		completed := 0
+		s, err := Open("/", WithFS(fs))
+		if err == nil {
+			for _, step := range steps {
+				if step(s) != nil {
+					break
+				}
+				completed++
+			}
+		}
+		// A crash in a best-effort cleanup op (retiring a superseded
+		// version, say) is invisible to the schedule — every step can
+		// complete; the recovered state must then match the final one.
+
+		// Power back on: recover the durable state and reopen.
+		fs.Recover()
+		s2, err := Open("/", WithFS(fs))
+		if err != nil {
+			t.Fatalf("crashpoint %d: reopen: %v", k, err)
+		}
+		rep, err := s2.FSCK()
+		if err != nil {
+			t.Fatalf("crashpoint %d: fsck: %v", k, err)
+		}
+		if !rep.OK() {
+			t.Errorf("crashpoint %d: store not FSCK-clean after recovery: %v", k, rep.Problems)
+			continue
+		}
+		got := storeState(t, s2)
+		ok := reflect.DeepEqual(got, states[completed])
+		if !ok && completed+1 < len(states) {
+			// The in-flight step's commit may have landed just before
+			// the cut; all-or-nothing is the property under test.
+			ok = reflect.DeepEqual(got, states[completed+1])
+		}
+		if !ok {
+			t.Errorf("crashpoint %d (after step %d): recovered state %v,\nwant %v\nor   %v",
+				k, completed, got, states[completed], states[completed+1])
+		}
+	}
+}
+
+// A flipped bit in a committed tile file is detected at decode as
+// tasmerr.ErrTileCorrupt — on the real filesystem, exactly as served.
+func TestCorruptTileDetected(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	buildVideo(t, s, "v")
+	meta, err := s.Meta("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(meta.SOTs[1].TileCRCs) != 4 {
+		t.Fatalf("manifest carries %d tile CRCs, want 4", len(meta.SOTs[1].TileCRCs))
+	}
+	path := filepath.Join(s.Root(), "v", "frames_10-19", "tile2.tsv")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := s.ReadTile("v", meta.SOTs[1], 2); !errors.Is(err, tasmerr.ErrTileCorrupt) {
+		t.Errorf("ReadTile on flipped bit = %v, want ErrTileCorrupt", err)
+	}
+	if _, err := s.ReadTile("v", meta.SOTs[1], 1); err != nil {
+		t.Errorf("intact sibling tile: %v", err)
+	}
+	rep, err := s.FSCK()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Error("FSCK clean despite corrupt tile")
+	}
+	if m := s.Metrics(); m.CorruptTiles == 0 {
+		t.Error("corrupt-tile counter not bumped")
+	}
+
+	// The same read through a snapshot lease fails identically.
+	meta2, lease, err := s.Snapshot("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lease.Release()
+	if _, err := lease.ReadTile(meta2.SOTs[1], 2); !errors.Is(err, tasmerr.ErrTileCorrupt) {
+		t.Errorf("leased ReadTile = %v, want ErrTileCorrupt", err)
+	}
+}
+
+// Repair quarantines a corrupt version and falls back to the previous
+// MVCC version when one still exists on disk.
+func TestRepairFallsBackToPreviousVersion(t *testing.T) {
+	s, fs := memStore(t)
+	meta := buildVideo(t, s, "v")
+	w, h := meta.W, meta.H
+
+	// Pin version 0 of SOT 0 so the re-tile below retires it without
+	// reaping: the previous version stays on disk.
+	_, lease, err := s.Snapshot("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l22, _ := layout.Uniform(2, 2, cons(w, h))
+	newTiles, err := container.EncodeTiled(makeFrames(w, h, 10, 0), l22, 10, params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ReplaceSOT("v", 0, l22, newTiles); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip a bit in the live version's tile.
+	path := filepath.Join(s.Root(), "v", "frames_0-9.r1", "tile0.tsv")
+	data, err := fs.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := fs.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := s.Repair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Quarantined) != 1 || !strings.Contains(rep.Quarantined[0], trashDirName) {
+		t.Errorf("Quarantined = %v, want one path under .trash", rep.Quarantined)
+	}
+	if len(rep.Reverted) != 1 || !strings.Contains(rep.Reverted[0], "frames_0-9") {
+		t.Errorf("Reverted = %v", rep.Reverted)
+	}
+	if len(rep.Videos) != 1 || rep.Videos[0] != "v" {
+		t.Errorf("Videos = %v", rep.Videos)
+	}
+
+	got, err := s.Meta("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SOTs[0].Retiles != 0 || !got.SOTs[0].L.Equal(layout.Single(w, h)) {
+		t.Errorf("manifest not reverted: retiles=%d layout=%dx%d tiles", got.SOTs[0].Retiles, got.SOTs[0].L.Rows(), got.SOTs[0].L.Cols())
+	}
+	if _, err := s.ReadTile("v", got.SOTs[0], 0); err != nil {
+		t.Errorf("reverted version unreadable: %v", err)
+	}
+	if fr, err := s.FSCK(); err != nil || !fr.OK() {
+		t.Errorf("FSCK after repair: %v %v", fr.Problems, err)
+	}
+
+	// Releasing the old lease must not reap the re-adopted version.
+	lease.Release()
+	if _, err := s.ReadTile("v", got.SOTs[0], 0); err != nil {
+		t.Errorf("adopted version reaped by lease release: %v", err)
+	}
+}
+
+// Without an intact earlier version, Repair still quarantines the
+// corrupt directory but leaves the catalog record pointing at it, so
+// FSCK keeps reporting the loss instead of silently erasing it.
+func TestRepairQuarantineWithoutFallback(t *testing.T) {
+	s, fs := memStore(t)
+	buildVideo(t, s, "v")
+	path := filepath.Join(s.Root(), "v", "frames_0-9", "tile0.tsv")
+	data, _ := fs.ReadFile(path)
+	data[len(data)/2] ^= 0x01
+	fs.WriteFile(path, data, 0o644)
+
+	rep, err := s.Repair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Quarantined) != 1 || len(rep.Reverted) != 0 {
+		t.Errorf("report = %+v, want one quarantine, no revert", rep)
+	}
+	if fr, _ := s.FSCK(); fr.OK() {
+		t.Error("FSCK clean despite unrepairable SOT")
+	}
+	if _, err := s.ReadTile("v", SOTMeta{ID: 0, From: 0, To: 10, L: layout.Single(128, 96)}, 0); err == nil {
+		t.Error("quarantined version still readable in place")
+	}
+}
+
+// A failed tombstone rename during DeleteVideo rolls the video back to
+// fully live, and the error is surfaced; a failed rollback is reported
+// too instead of being silently swallowed.
+func TestDeleteRollbackSurfacesErrors(t *testing.T) {
+	s, fs := memStore(t)
+	buildVideo(t, s, "v")
+	_, lease, err := s.Snapshot("v") // pins both SOT dirs → two tombstone moves
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lease.Release()
+
+	// Ops during DeleteVideo with two leased dirs:
+	// 1 MkdirAll, 2 Rename, 3 MkdirAll, 4 Rename, then rollback Rename.
+	fs.FailOp(4, nil)
+	if err := s.DeleteVideo("v"); err == nil {
+		t.Fatal("DeleteVideo succeeded despite failed tombstone rename")
+	} else if strings.Contains(err.Error(), "rollback failed") {
+		t.Errorf("rollback should have succeeded: %v", err)
+	}
+	// Rolled back: the video is fully live and consistent.
+	if _, err := s.Meta("v"); err != nil {
+		t.Errorf("video not live after rollback: %v", err)
+	}
+	if fr, _ := s.FSCK(); !fr.OK() {
+		t.Errorf("FSCK after rollback: %v", fr.Problems)
+	}
+
+	// Now fail the second tombstone rename AND the rollback of the
+	// first: the error must say the rollback failed and where the
+	// stranded files are.
+	fs.FailOp(4, nil)
+	fs.FailOp(5, nil)
+	err = s.DeleteVideo("v")
+	if err == nil || !strings.Contains(err.Error(), "rollback failed") {
+		t.Fatalf("DeleteVideo = %v, want surfaced rollback failure", err)
+	}
+	if !strings.Contains(err.Error(), trashDirName) {
+		t.Errorf("error does not locate stranded tombstones: %v", err)
+	}
+}
+
+// FSCK and GC on damaged stores, exercised through the fault-injection
+// filesystem: a deleted manifest, a dangling version directory, and
+// lease-pinned tombstones in .trash.
+func TestFsckGCRepairPathsUnderFaultFS(t *testing.T) {
+	t.Run("missing-manifest", func(t *testing.T) {
+		s, fs := memStore(t)
+		buildVideo(t, s, "v")
+		if err := fs.Remove(filepath.Join(s.Root(), "v", "manifest.json")); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := s.FSCK()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.OK() || len(rep.Orphans) == 0 {
+			t.Errorf("FSCK = problems %v orphans %v; want orphaned video dir", rep.Problems, rep.Orphans)
+		}
+		gc, err := s.GC()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(gc.Removed) == 0 {
+			t.Error("GC removed nothing")
+		}
+		if _, err := fs.Stat(filepath.Join(s.Root(), "v")); !errors.Is(err, os.ErrNotExist) {
+			t.Errorf("manifest-less video dir survived GC: %v", err)
+		}
+	})
+
+	t.Run("dangling-version-dir", func(t *testing.T) {
+		s, fs := memStore(t)
+		buildVideo(t, s, "v")
+		dangling := filepath.Join(s.Root(), "v", "frames_0-9.r7")
+		if err := fs.MkdirAll(dangling, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		rep, _ := s.FSCK()
+		if !rep.OK() {
+			t.Errorf("dangling version dir should be an orphan, not a problem: %v", rep.Problems)
+		}
+		found := false
+		for _, o := range rep.Orphans {
+			if o == dangling {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("orphans %v missing %s", rep.Orphans, dangling)
+		}
+		if _, err := s.GC(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fs.Stat(dangling); !errors.Is(err, os.ErrNotExist) {
+			t.Errorf("dangling dir survived GC: %v", err)
+		}
+	})
+
+	t.Run("lease-pinned-trash", func(t *testing.T) {
+		s, fs := memStore(t)
+		meta := buildVideo(t, s, "v")
+		meta2, lease, err := s.Snapshot("v")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.DeleteVideo("v"); err != nil {
+			t.Fatal(err)
+		}
+		// The pinned tombstones are deferred, not reclaimed.
+		gc, err := s.GC()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(gc.Deferred) != len(meta.SOTs) {
+			t.Errorf("GC deferred %v, want %d pinned tombstones", gc.Deferred, len(meta.SOTs))
+		}
+		// Pinned files still read intact through the lease.
+		if _, err := lease.ReadTile(meta2.SOTs[0], 0); err != nil {
+			t.Errorf("pinned tombstone unreadable: %v", err)
+		}
+		rep, _ := s.FSCK()
+		if !rep.OK() {
+			t.Errorf("FSCK problems on pinned trash: %v", rep.Problems)
+		}
+		// Released, the next GC pass reclaims everything.
+		lease.Release()
+		if _, err := s.GC(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fs.Stat(filepath.Join(s.Root(), trashDirName)); !errors.Is(err, os.ErrNotExist) {
+			t.Errorf(".trash survived release+GC: %v", err)
+		}
+	})
+}
+
+// Open's recovery sweep clears staging debris, manifest temp files,
+// and stale tombstones.
+func TestRecoverySweepOnOpen(t *testing.T) {
+	s, fs := memStore(t)
+	buildVideo(t, s, "v")
+	root := s.Root()
+	staging := filepath.Join(root, "v", "frames_20-29.staging")
+	tmp := filepath.Join(root, "v", "manifest.json.tmp")
+	stale := filepath.Join(root, trashDirName, "old.e0", "frames_0-9")
+	for _, dir := range []string{staging, stale} {
+		if err := fs.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fs.WriteFile(tmp, []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(root, WithFS(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{staging, tmp, filepath.Join(root, trashDirName)} {
+		if _, err := fs.Stat(p); !errors.Is(err, os.ErrNotExist) {
+			t.Errorf("debris %s survived recovery sweep: %v", p, err)
+		}
+	}
+	if _, err := s2.Meta("v"); err != nil {
+		t.Errorf("live video damaged by sweep: %v", err)
+	}
+	if m := s2.Metrics(); m.RecoverySweeps != 1 {
+		t.Errorf("RecoverySweeps = %d, want 1", m.RecoverySweeps)
+	}
+	if rep, _ := s2.FSCK(); !rep.OK() {
+		t.Errorf("FSCK after sweep: %v", rep.Problems)
+	}
+}
+
+// A manifest whose bytes were altered after commit fails its own
+// checksum and is reported corrupt rather than trusted.
+func TestManifestChecksumDetectsTampering(t *testing.T) {
+	s, fs := memStore(t)
+	buildVideo(t, s, "v")
+	path := filepath.Join(s.Root(), "v", "manifest.json")
+	data, err := fs.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(string(data), `"frame_count": 20`, `"frame_count": 21`, 1)
+	if tampered == string(data) {
+		t.Fatal("tampering had no effect; test fixture drifted")
+	}
+	if err := fs.WriteFile(path, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s.invalidateManifest("v")
+	if _, err := s.Meta("v"); err == nil || !strings.Contains(err.Error(), "corrupt manifest") {
+		t.Errorf("tampered manifest read = %v, want corrupt-manifest error", err)
+	}
+	if rep, _ := s.FSCK(); rep.OK() {
+		t.Error("FSCK clean despite tampered manifest")
+	}
+}

@@ -2,7 +2,6 @@ package tilestore
 
 import (
 	"fmt"
-	"os"
 	"path/filepath"
 	"regexp"
 	"sort"
@@ -33,7 +32,7 @@ func (s *Store) GC() (GCReport, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var rep GCReport
-	videos, err := os.ReadDir(s.root)
+	videos, err := s.fs.ReadDir(s.root)
 	if err != nil {
 		return rep, err
 	}
@@ -55,7 +54,7 @@ func (s *Store) GC() (GCReport, error) {
 			// the disk no longer backs it; drop the entry so reads report
 			// the video's true state instead of a phantom catalog record.
 			s.invalidateManifest(name)
-			if _, err := os.Stat(filepath.Join(vdir, "manifest.json")); err == nil {
+			if _, err := s.fs.Stat(filepath.Join(vdir, "manifest.json")); err == nil {
 				// Manifest present but unreadable: an integrity problem for
 				// fsck and the operator, not debris for GC to erase.
 				continue
@@ -79,7 +78,7 @@ func (s *Store) GC() (GCReport, error) {
 		}
 		s.leaseMu.Unlock()
 
-		entries, err := os.ReadDir(vdir)
+		entries, err := s.fs.ReadDir(vdir)
 		if err != nil {
 			return rep, err
 		}
@@ -100,7 +99,7 @@ func (s *Store) GC() (GCReport, error) {
 				// it alone.
 				continue
 			}
-			if err := os.RemoveAll(p); err != nil {
+			if err := s.fs.RemoveAll(p); err != nil {
 				return rep, err
 			}
 			rep.Removed = append(rep.Removed, p)
@@ -109,7 +108,7 @@ func (s *Store) GC() (GCReport, error) {
 		// A video directory holding nothing live (no manifest survived and
 		// nothing is leased) is itself debris from a crashed ingest.
 		if metaErr != nil && removable == len(entries) {
-			if err := os.Remove(vdir); err == nil {
+			if err := s.fs.Remove(vdir); err == nil {
 				rep.Removed = append(rep.Removed, vdir)
 			}
 		}
@@ -133,13 +132,13 @@ func (s *Store) gcTrashLocked(rep *GCReport) error {
 		}
 	}
 	s.leaseMu.Unlock()
-	epochs, err := os.ReadDir(trash)
+	epochs, err := s.fs.ReadDir(trash)
 	if err != nil {
 		return err
 	}
 	for _, ep := range epochs {
 		edir := filepath.Join(trash, ep.Name())
-		entries, err := os.ReadDir(edir)
+		entries, err := s.fs.ReadDir(edir)
 		if err != nil {
 			return err
 		}
@@ -151,18 +150,18 @@ func (s *Store) gcTrashLocked(rep *GCReport) error {
 				kept++
 				continue
 			}
-			if err := os.RemoveAll(p); err != nil {
+			if err := s.fs.RemoveAll(p); err != nil {
 				return err
 			}
 			rep.Removed = append(rep.Removed, p)
 		}
 		if kept == 0 {
-			if err := os.Remove(edir); err == nil {
+			if err := s.fs.Remove(edir); err == nil {
 				rep.Removed = append(rep.Removed, edir)
 			}
 		}
 	}
-	os.Remove(trash) // gone once empty
+	s.fs.Remove(trash) // gone once empty
 	return nil
 }
 
@@ -200,7 +199,7 @@ func (s *Store) FSCK() (FsckReport, error) {
 	problemf := func(format string, args ...any) {
 		rep.Problems = append(rep.Problems, fmt.Sprintf(format, args...))
 	}
-	videos, err := os.ReadDir(s.root)
+	videos, err := s.fs.ReadDir(s.root)
 	if err != nil {
 		return rep, err
 	}
@@ -221,17 +220,31 @@ func (s *Store) FSCK() (FsckReport, error) {
 				}
 			}
 			s.leaseMu.Unlock()
-			filepath.Walk(vdir, func(p string, info os.FileInfo, err error) error {
-				if err == nil && info.IsDir() && p != vdir && !pinned[p] && sotDirPattern.MatchString(filepath.Base(p)) {
-					rep.Orphans = append(rep.Orphans, p)
+			// .trash/<video>.e<epoch>/<version dir>: every unpinned
+			// entry — tombstones and quarantined versions alike — is an
+			// orphan for GC.
+			if eps, err := s.fs.ReadDir(vdir); err == nil {
+				for _, ep := range eps {
+					if !ep.IsDir() {
+						continue
+					}
+					edir := filepath.Join(vdir, ep.Name())
+					ents, err := s.fs.ReadDir(edir)
+					if err != nil {
+						continue
+					}
+					for _, ent := range ents {
+						if p := filepath.Join(edir, ent.Name()); ent.IsDir() && !pinned[p] {
+							rep.Orphans = append(rep.Orphans, p)
+						}
+					}
 				}
-				return nil
-			})
+			}
 			continue
 		}
 		meta, metaErr := s.metaFromDisk(name)
 		if metaErr != nil {
-			if _, err := os.Stat(filepath.Join(vdir, "manifest.json")); err == nil {
+			if _, err := s.fs.Stat(filepath.Join(vdir, "manifest.json")); err == nil {
 				problemf("video %s: %v", name, metaErr)
 			} else {
 				rep.Orphans = append(rep.Orphans, vdir)
@@ -272,7 +285,7 @@ func (s *Store) FSCK() (FsckReport, error) {
 		if covered != meta.FrameCount {
 			problemf("video %s: SOTs cover %d frames, manifest says %d", name, covered, meta.FrameCount)
 		}
-		entries, err := os.ReadDir(vdir)
+		entries, err := s.fs.ReadDir(vdir)
 		if err != nil {
 			return rep, err
 		}

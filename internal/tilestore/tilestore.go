@@ -30,16 +30,23 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"github.com/tasm-repro/tasm/internal/container"
+	"github.com/tasm-repro/tasm/internal/fsio"
 	"github.com/tasm-repro/tasm/internal/layout"
 	"github.com/tasm-repro/tasm/internal/tasmerr"
 )
+
+// castagnoli is the CRC32C polynomial table used for every integrity
+// checksum the store writes (tile files, manifests, version sidecars).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // SOTMeta describes one sequence of tiles: a frame range sharing a layout.
 type SOTMeta struct {
@@ -51,6 +58,11 @@ type SOTMeta struct {
 	// also the SOT's storage version: tiles live in frames_<a>-<b> when 0
 	// and frames_<a>-<b>.r<Retiles> afterwards.
 	Retiles int `json:"retiles"`
+	// TileCRCs holds the CRC32C of each tile file's bytes, in layout
+	// order, computed when the version was written. Reads verify a
+	// tile against its checksum before decoding; nil (a store written
+	// before checksums existed) skips verification.
+	TileCRCs []uint32 `json:"tile_crcs,omitempty"`
 }
 
 // NumFrames returns the SOT's frame count.
@@ -65,6 +77,12 @@ type VideoMeta struct {
 	GOPLength  int       `json:"gop_length"`
 	FrameCount int       `json:"frame_count"`
 	SOTs       []SOTMeta `json:"sots"`
+	// Checksum is the manifest's own integrity seal: "crc32c:<hex>" of
+	// the manifest JSON marshaled with this field empty. A manifest
+	// whose bytes do not match its seal is reported corrupt instead of
+	// silently driving reads with a torn catalog record. Empty on
+	// stores written before checksums existed.
+	Checksum string `json:"checksum,omitempty"`
 }
 
 // SOTForFrame returns the SOT containing the given frame index.
@@ -162,7 +180,7 @@ func (l *Lease) ReadTile(sot SOTMeta, tileIdx int) (*container.Video, error) {
 		if err != nil {
 			return nil, err
 		}
-		tv, err := container.Open(filepath.Join(dir, tileFileName(tileIdx)))
+		tv, err := l.s.loadTile(dir, sot, tileIdx)
 		if err == nil || attempt > 0 || !errors.Is(err, os.ErrNotExist) {
 			return tv, err
 		}
@@ -203,10 +221,21 @@ type Store struct {
 	mu   sync.RWMutex
 	root string
 
+	// fs is the filesystem seam every store mutation and read goes
+	// through: the real filesystem with fsync discipline by default,
+	// or a fault-injecting fsio.MemFS under crash tests (WithFS).
+	fs fsio.FS
+
 	// unlock releases the cross-process ownership lease; nil when the
 	// store was opened without one (the default for direct library use —
 	// core.Open passes WithLock).
 	unlock func() error
+
+	// corruptTiles counts tile reads that failed checksum or parse
+	// verification; recoverySweeps counts crash-recovery sweeps run by
+	// Open. Both feed tasmd's /metrics endpoint.
+	corruptTiles   atomic.Uint64
+	recoverySweeps atomic.Uint64
 
 	leaseMu sync.Mutex
 	leases  map[leaseKey]*leaseEntry
@@ -224,7 +253,10 @@ const lockFileName = ".lock"
 // OpenOption configures Open.
 type OpenOption func(*openConfig)
 
-type openConfig struct{ lock bool }
+type openConfig struct {
+	lock bool
+	fs   fsio.FS
+}
 
 // WithLock makes Open acquire the store's cross-process ownership
 // lease (an exclusive flock on <root>/.lock). A second locked Open of
@@ -235,20 +267,32 @@ func WithLock() OpenOption {
 	return func(c *openConfig) { c.lock = true }
 }
 
-// Open creates (if needed) and opens a store rooted at dir.
+// WithFS routes every filesystem operation of the store through fs
+// instead of the real filesystem — the seam crash tests use to open a
+// store on a fault-injecting fsio.MemFS. Incompatible with WithLock,
+// whose flock is inherently an OS-level construct.
+func WithFS(fs fsio.FS) OpenOption {
+	return func(c *openConfig) { c.fs = fs }
+}
+
+// Open creates (if needed) and opens a store rooted at dir, then runs
+// a crash-recovery sweep: staging directories, manifest temp files,
+// tombstones, and manifest-less video directories left by a crash are
+// removed, so a store that lost power mid-write comes back FSCK-clean.
 func Open(dir string, opts ...OpenOption) (*Store, error) {
-	var cfg openConfig
+	cfg := openConfig{fs: fsio.OS{}}
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, err
-	}
 	s := &Store{
 		root:      dir,
+		fs:        cfg.fs,
 		leases:    map[leaseKey]*leaseEntry{},
 		epochs:    map[string]uint64{},
 		manifests: map[string]VideoMeta{},
+	}
+	if err := s.fs.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
 	}
 	if cfg.lock {
 		release, err := acquireLock(dir)
@@ -257,7 +301,100 @@ func Open(dir string, opts ...OpenOption) (*Store, error) {
 		}
 		s.unlock = release
 	}
+	if err := s.recoverSweep(); err != nil {
+		s.Close()
+		return nil, fmt.Errorf("tilestore: recovery sweep: %w", err)
+	}
 	return s, nil
+}
+
+// recoverSweep removes debris a crash can leave behind: .staging
+// working copies and manifest.json.tmp files whose commit never
+// happened, tombstoned version directories in .trash (no lease can
+// outlive the process that held it), and video directories without a
+// manifest — a CreateVideo that never reached its commit point, or a
+// DeleteVideo that passed it. It runs once per Open, before any reads,
+// and is deliberately conservative: directories holding anything the
+// store did not write are left alone.
+func (s *Store) recoverSweep() error {
+	entries, err := s.fs.ReadDir(s.root)
+	if err != nil {
+		return err
+	}
+	swept := false
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		p := filepath.Join(s.root, name)
+		if name == trashDirName {
+			if err := s.fs.RemoveAll(p); err != nil {
+				return err
+			}
+			swept = true
+			continue
+		}
+		vents, err := s.fs.ReadDir(p)
+		if err != nil {
+			return err
+		}
+		hasManifest, foreign := false, false
+		for _, ve := range vents {
+			base := ve.Name()
+			vp := filepath.Join(p, base)
+			switch {
+			case base == "manifest.json":
+				hasManifest = true
+			case base == "manifest.json.tmp":
+				if err := s.fs.Remove(vp); err != nil {
+					return err
+				}
+				swept = true
+			case strings.HasSuffix(base, ".staging") && sotDirPattern.MatchString(base):
+				if err := s.fs.RemoveAll(vp); err != nil {
+					return err
+				}
+				swept = true
+			case sotDirPattern.MatchString(base):
+				// A committed or half-flipped version directory; keep it.
+				// If the manifest references it, it is live; otherwise it
+				// is an orphan for GC (and a fallback for Repair).
+			default:
+				foreign = true
+			}
+		}
+		if !hasManifest && !foreign {
+			if err := s.fs.RemoveAll(p); err != nil {
+				return err
+			}
+			swept = true
+		}
+	}
+	if swept {
+		if err := s.fs.SyncDir(s.root); err != nil {
+			return err
+		}
+	}
+	s.recoverySweeps.Add(1)
+	return nil
+}
+
+// Metrics is a snapshot of the store's durability counters.
+type Metrics struct {
+	// CorruptTiles counts tile reads rejected by checksum or parse
+	// verification since the store was opened.
+	CorruptTiles uint64
+	// RecoverySweeps counts crash-recovery sweeps run by Open.
+	RecoverySweeps uint64
+}
+
+// Metrics returns the store's durability counters.
+func (s *Store) Metrics() Metrics {
+	return Metrics{
+		CorruptTiles:   s.corruptTiles.Load(),
+		RecoverySweeps: s.recoverySweeps.Load(),
+	}
 }
 
 // Close releases the store's cross-process ownership lease (when one
@@ -298,12 +435,12 @@ func (s *Store) sotDir(video string, m SOTMeta) string {
 // still live under frames_<a>-<b>).
 func (s *Store) resolveSOTDir(video string, m SOTMeta) (string, error) {
 	dir := s.sotDir(video, m)
-	if _, err := os.Stat(dir); err == nil {
+	if _, err := s.fs.Stat(dir); err == nil {
 		return dir, nil
 	}
 	if m.Retiles > 0 {
 		legacy := filepath.Join(s.videoDir(video), legacyDirName(m))
-		if _, err := os.Stat(legacy); err == nil {
+		if _, err := s.fs.Stat(legacy); err == nil {
 			return legacy, nil
 		}
 	}
@@ -344,64 +481,156 @@ func (s *Store) CreateVideo(meta VideoMeta, sotTiles [][]*container.Video) (err 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	dir := s.videoDir(meta.Name)
-	if _, err := os.Stat(filepath.Join(dir, "manifest.json")); err == nil {
+	if _, err := s.fs.Stat(filepath.Join(dir, "manifest.json")); err == nil {
 		return fmt.Errorf("tilestore: %w: %q", tasmerr.ErrVideoExists, meta.Name)
 	}
 	defer func() {
 		if err != nil {
-			os.RemoveAll(dir)
+			s.fs.RemoveAll(dir)
 		}
 	}()
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := s.fs.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
+	// Work on a private SOT slice: the tile checksums computed below
+	// belong to the committed catalog record, not the caller's copy.
+	meta.SOTs = append([]SOTMeta(nil), meta.SOTs...)
 	for i, sot := range meta.SOTs {
-		if err := s.writeSOTDir(meta.Name, sot, sotTiles[i]); err != nil {
+		crcs, err := s.writeSOTDir(meta.Name, sot, sotTiles[i])
+		if err != nil {
 			return err
 		}
+		meta.SOTs[i].TileCRCs = crcs
 	}
-	return s.writeManifest(meta)
+	if err := s.writeManifest(meta); err != nil {
+		return err
+	}
+	// Commit point: the video directory entry itself becomes durable.
+	return s.fs.SyncDir(s.root)
 }
 
-func (s *Store) writeSOTDir(video string, sot SOTMeta, tiles []*container.Video) error {
+// tileSidecar records a version directory's own description —
+// enough for Repair to re-adopt the version after the manifest moved
+// on — and is written into every version directory as tiles.json.
+type tileSidecar struct {
+	From     int           `json:"from"`
+	To       int           `json:"to"`
+	L        layout.Layout `json:"layout"`
+	TileCRCs []uint32      `json:"tile_crcs"`
+}
+
+// sidecarFileName is the per-version sidecar within a version dir.
+const sidecarFileName = "tiles.json"
+
+func (s *Store) readSidecar(dir string) (tileSidecar, error) {
+	var side tileSidecar
+	data, err := s.fs.ReadFile(filepath.Join(dir, sidecarFileName))
+	if err != nil {
+		return side, err
+	}
+	if err := json.Unmarshal(data, &side); err != nil {
+		return side, fmt.Errorf("tilestore: %s: corrupt sidecar: %w", dir, err)
+	}
+	return side, nil
+}
+
+// writeSOTDir writes a SOT version directory with full commit
+// discipline — every tile and the sidecar written and synced into a
+// .staging copy, the staging directory synced, renamed over the final
+// name, and the parent directory synced — and returns the CRC32C of
+// each tile file for the manifest. A crash at any point leaves either
+// the previous state or the complete new version, never a torn one.
+func (s *Store) writeSOTDir(video string, sot SOTMeta, tiles []*container.Video) ([]uint32, error) {
 	if len(tiles) != sot.L.NumTiles() {
-		return fmt.Errorf("tilestore: SOT %d has %d tiles for a %d-tile layout", sot.ID, len(tiles), sot.L.NumTiles())
+		return nil, fmt.Errorf("tilestore: SOT %d has %d tiles for a %d-tile layout", sot.ID, len(tiles), sot.L.NumTiles())
 	}
 	dir := s.sotDir(video, sot)
 	staging := dir + ".staging"
-	if err := os.RemoveAll(staging); err != nil {
-		return err
+	if err := s.fs.RemoveAll(staging); err != nil {
+		return nil, err
 	}
-	if err := os.MkdirAll(staging, 0o755); err != nil {
-		return err
+	if err := s.fs.MkdirAll(staging, 0o755); err != nil {
+		return nil, err
 	}
+	crcs := make([]uint32, len(tiles))
 	for i, tv := range tiles {
 		if tv.FrameCount() != sot.NumFrames() {
-			os.RemoveAll(staging)
-			return fmt.Errorf("tilestore: SOT %d tile %d has %d frames, want %d", sot.ID, i, tv.FrameCount(), sot.NumFrames())
+			s.fs.RemoveAll(staging)
+			return nil, fmt.Errorf("tilestore: SOT %d tile %d has %d frames, want %d", sot.ID, i, tv.FrameCount(), sot.NumFrames())
 		}
-		if err := tv.Save(filepath.Join(staging, tileFileName(i))); err != nil {
-			os.RemoveAll(staging)
-			return err
+		data := tv.Bytes()
+		crcs[i] = crc32.Checksum(data, castagnoli)
+		path := filepath.Join(staging, tileFileName(i))
+		if err := s.fs.WriteFile(path, data, 0o644); err != nil {
+			s.fs.RemoveAll(staging)
+			return nil, err
+		}
+		if err := s.fs.SyncFile(path); err != nil {
+			s.fs.RemoveAll(staging)
+			return nil, err
 		}
 	}
-	if err := os.RemoveAll(dir); err != nil {
-		return err
+	side := tileSidecar{From: sot.From, To: sot.To, L: sot.L, TileCRCs: crcs}
+	data, err := json.MarshalIndent(&side, "", "  ")
+	if err != nil {
+		s.fs.RemoveAll(staging)
+		return nil, err
 	}
-	return os.Rename(staging, dir)
+	sidePath := filepath.Join(staging, sidecarFileName)
+	if err := s.fs.WriteFile(sidePath, data, 0o644); err != nil {
+		s.fs.RemoveAll(staging)
+		return nil, err
+	}
+	if err := s.fs.SyncFile(sidePath); err != nil {
+		s.fs.RemoveAll(staging)
+		return nil, err
+	}
+	if err := s.fs.SyncDir(staging); err != nil {
+		s.fs.RemoveAll(staging)
+		return nil, err
+	}
+	if err := s.fs.RemoveAll(dir); err != nil {
+		return nil, err
+	}
+	if err := s.fs.Rename(staging, dir); err != nil {
+		return nil, err
+	}
+	return crcs, s.fs.SyncDir(s.videoDir(video))
+}
+
+// manifestChecksum seals a catalog record: the CRC32C of the manifest
+// marshaled with its Checksum field empty.
+func manifestChecksum(meta VideoMeta) (string, error) {
+	meta.Checksum = ""
+	data, err := json.MarshalIndent(&meta, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("crc32c:%08x", crc32.Checksum(data, castagnoli)), nil
 }
 
 func (s *Store) writeManifest(meta VideoMeta) error {
+	sum, err := manifestChecksum(meta)
+	if err != nil {
+		return err
+	}
+	meta.Checksum = sum
 	data, err := json.MarshalIndent(&meta, "", "  ")
 	if err != nil {
 		return err
 	}
 	path := filepath.Join(s.videoDir(meta.Name), "manifest.json")
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	if err := s.fs.WriteFile(tmp, data, 0o644); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := s.fs.SyncFile(tmp); err != nil {
+		return err
+	}
+	if err := s.fs.Rename(tmp, path); err != nil {
+		return err
+	}
+	if err := s.fs.SyncDir(s.videoDir(meta.Name)); err != nil {
 		return err
 	}
 	s.cacheManifest(meta)
@@ -463,7 +692,7 @@ func (s *Store) metaLocked(video string) (VideoMeta, error) {
 // seen as it is on disk rather than masked by a cached copy.
 func (s *Store) metaFromDisk(video string) (VideoMeta, error) {
 	var meta VideoMeta
-	data, err := os.ReadFile(filepath.Join(s.videoDir(video), "manifest.json"))
+	data, err := s.fs.ReadFile(filepath.Join(s.videoDir(video), "manifest.json"))
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
 			return meta, fmt.Errorf("tilestore: %w: %q", tasmerr.ErrVideoNotFound, video)
@@ -472,6 +701,15 @@ func (s *Store) metaFromDisk(video string) (VideoMeta, error) {
 	}
 	if err := json.Unmarshal(data, &meta); err != nil {
 		return meta, fmt.Errorf("tilestore: video %q: corrupt manifest: %w", video, err)
+	}
+	if meta.Checksum != "" {
+		sum, err := manifestChecksum(meta)
+		if err != nil {
+			return meta, err
+		}
+		if sum != meta.Checksum {
+			return VideoMeta{}, fmt.Errorf("tilestore: video %q: corrupt manifest: checksum %s, sealed %s", video, sum, meta.Checksum)
+		}
 	}
 	return meta, nil
 }
@@ -599,14 +837,14 @@ func (s *Store) releaseLocked(keys []leaseKey) {
 // write reuses (retile counters only grow), and DeleteVideo tombstones
 // leased dirs into .trash before the name can be re-ingested.
 func (s *Store) removeDeadDirLocked(k leaseKey, dir string) {
-	os.RemoveAll(dir)
+	s.fs.RemoveAll(dir)
 	// Reap the enclosing .trash/<video>.e<epoch>/ dir — and .trash itself
 	// — once empty; Remove fails harmlessly while non-empty, and a
 	// retired-in-place dir's parent (the video dir) still holds the
 	// manifest.
 	parent := filepath.Dir(dir)
-	if os.Remove(parent) == nil && filepath.Base(filepath.Dir(parent)) == trashDirName {
-		os.Remove(filepath.Dir(parent))
+	if s.fs.Remove(parent) == nil && filepath.Base(filepath.Dir(parent)) == trashDirName {
+		s.fs.Remove(filepath.Dir(parent))
 	}
 }
 
@@ -614,7 +852,7 @@ func (s *Store) removeDeadDirLocked(k leaseKey, dir string) {
 func (s *Store) ListVideos() ([]string, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	entries, err := os.ReadDir(s.root)
+	entries, err := s.fs.ReadDir(s.root)
 	if err != nil {
 		return nil, err
 	}
@@ -623,7 +861,7 @@ func (s *Store) ListVideos() ([]string, error) {
 		if !e.IsDir() {
 			continue
 		}
-		if _, err := os.Stat(filepath.Join(s.root, e.Name(), "manifest.json")); err == nil {
+		if _, err := s.fs.Stat(filepath.Join(s.root, e.Name(), "manifest.json")); err == nil {
 			out = append(out, e.Name())
 		}
 	}
@@ -631,7 +869,33 @@ func (s *Store) ListVideos() ([]string, error) {
 	return out, nil
 }
 
-// ReadTile loads one tile stream of a SOT version. Tile files are never
+// loadTile reads, verifies, and parses one tile file of a version
+// directory. A checksum mismatch or unparseable tile surfaces
+// tasmerr.ErrTileCorrupt (and bumps the corrupt-tile counter); a
+// missing file keeps wrapping os.ErrNotExist so lease retry logic and
+// not-found classification still work.
+func (s *Store) loadTile(dir string, sot SOTMeta, tileIdx int) (*container.Video, error) {
+	path := filepath.Join(dir, tileFileName(tileIdx))
+	data, err := s.fs.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if tileIdx < len(sot.TileCRCs) {
+		if got := crc32.Checksum(data, castagnoli); got != sot.TileCRCs[tileIdx] {
+			s.corruptTiles.Add(1)
+			return nil, fmt.Errorf("tilestore: %w: %s: crc32c %08x, manifest says %08x", tasmerr.ErrTileCorrupt, path, got, sot.TileCRCs[tileIdx])
+		}
+	}
+	tv, err := container.Parse(data)
+	if err != nil {
+		s.corruptTiles.Add(1)
+		return nil, fmt.Errorf("tilestore: %w: %s: %v", tasmerr.ErrTileCorrupt, path, err)
+	}
+	return tv, nil
+}
+
+// ReadTile loads one tile stream of a SOT version, verifying its
+// checksum when the catalog record carries one. Tile files are never
 // rewritten in place, so the read needs no lock; callers that must keep
 // the version on disk across several reads hold a Lease on it.
 func (s *Store) ReadTile(video string, sot SOTMeta, tileIdx int) (*container.Video, error) {
@@ -642,7 +906,7 @@ func (s *Store) ReadTile(video string, sot SOTMeta, tileIdx int) (*container.Vid
 	if err != nil {
 		return nil, err
 	}
-	return container.Open(filepath.Join(dir, tileFileName(tileIdx)))
+	return s.loadTile(dir, sot, tileIdx)
 }
 
 // ReadAllTiles loads every tile stream of a SOT in layout order.
@@ -705,9 +969,11 @@ func (s *Store) replaceSOT(video string, sotID int, newLayout layout.Layout, til
 	newSOT := oldSOT
 	newSOT.L = newLayout
 	newSOT.Retiles++
-	if err := s.writeSOTDir(video, newSOT, tiles); err != nil {
+	crcs, err := s.writeSOTDir(video, newSOT, tiles)
+	if err != nil {
 		return err
 	}
+	newSOT.TileCRCs = crcs
 	meta.SOTs[idx] = newSOT
 	if err := s.writeManifest(meta); err != nil {
 		return err
@@ -754,7 +1020,7 @@ func (s *Store) retireLocked(video string, sot SOTMeta, dir string) {
 		return
 	}
 	s.leaseMu.Unlock()
-	os.RemoveAll(dir)
+	s.fs.RemoveAll(dir)
 }
 
 // VideoBytes returns the total on-disk size of a video's live tile files,
@@ -774,12 +1040,12 @@ func (s *Store) VideoBytes(video string) (int64, error) {
 			return 0, err
 		}
 		for i := 0; i < sot.L.NumTiles(); i++ {
-			st, err := os.Stat(filepath.Join(dir, tileFileName(i)))
+			st, err := s.fs.Stat(filepath.Join(dir, tileFileName(i)))
 			if errors.Is(err, os.ErrNotExist) {
 				// A concurrent DeleteVideo may have tombstone-renamed the
 				// leased dir; re-resolve through the lease table and retry.
 				if dir, err = lease.sotDir(sot); err == nil {
-					st, err = os.Stat(filepath.Join(dir, tileFileName(i)))
+					st, err = s.fs.Stat(filepath.Join(dir, tileFileName(i)))
 				}
 			}
 			if err != nil {
@@ -805,7 +1071,7 @@ func (s *Store) DeleteVideo(video string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	dir := s.videoDir(video)
-	if _, err := os.Stat(dir); errors.Is(err, os.ErrNotExist) {
+	if _, err := s.fs.Stat(dir); errors.Is(err, os.ErrNotExist) {
 		return fmt.Errorf("tilestore: %w: %q", tasmerr.ErrVideoNotFound, video)
 	}
 	s.invalidateManifest(video)
@@ -821,34 +1087,75 @@ func (s *Store) DeleteVideo(video string) error {
 		from, to string
 	}
 	var moves []move
-	rollback := func() {
+	// rollback restores the tombstoned dirs; its own failures are
+	// collected and surfaced, not swallowed — a half-renamed video is an
+	// integrity event the caller must hear about, because until the
+	// leases drop those versions read from .trash and GC will not
+	// reclaim them.
+	rollback := func() error {
+		var errs []error
 		for _, mv := range moves {
-			os.Rename(mv.to, mv.from)
+			if err := s.fs.Rename(mv.to, mv.from); err != nil {
+				errs = append(errs, fmt.Errorf("restore %s: %w", mv.from, err))
+			}
 		}
-		os.Remove(trash)
-		os.Remove(filepath.Dir(trash))
+		s.fs.Remove(trash)
+		s.fs.Remove(filepath.Dir(trash))
+		return errors.Join(errs...)
+	}
+	fail := func(err error) error {
+		if rbErr := rollback(); rbErr != nil {
+			return fmt.Errorf("tilestore: delete %q: %w (rollback failed, tombstoned versions left under %s: %v)", video, err, trash, rbErr)
+		}
+		return err
 	}
 	for k, e := range s.leases {
 		if k.video != video || e.refs == 0 || !strings.HasPrefix(e.dir, dir+string(filepath.Separator)) {
 			continue
 		}
-		if err := os.MkdirAll(trash, 0o755); err != nil {
-			rollback()
-			return err
+		if err := s.fs.MkdirAll(trash, 0o755); err != nil {
+			return fail(err)
 		}
 		moved := filepath.Join(trash, filepath.Base(e.dir))
-		if err := os.Rename(e.dir, moved); err != nil {
-			rollback()
-			return err
+		if err := s.fs.Rename(e.dir, moved); err != nil {
+			return fail(err)
 		}
 		moves = append(moves, move{e, e.dir, moved})
 	}
-	// Phase 2: commit — retarget the leases at the tombstones, mark them
-	// dead, retire the name.
+	// Make the tombstones durable before the commit point, so a crash
+	// between the two cannot lose leased version directories: until the
+	// manifest removal below is synced, the renames revert on power
+	// loss and the video comes back fully live.
+	if len(moves) > 0 {
+		for _, p := range []string{trash, filepath.Dir(trash), s.root} {
+			if err := s.fs.SyncDir(p); err != nil {
+				return fail(err)
+			}
+		}
+	}
+	// Phase 2: commit — durably retire the catalog record FIRST, so no
+	// crash can leave a manifest naming version directories that were
+	// already removed. Then retarget the leases at the tombstones, mark
+	// them dead, retire the name, and remove the rest.
+	if err := s.fs.Remove(filepath.Join(dir, "manifest.json")); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fail(err)
+	}
 	for _, mv := range moves {
 		mv.e.dir = mv.to
 		mv.e.dead = true
 	}
 	s.epochs[video]++
-	return os.RemoveAll(dir)
+	var errs []error
+	// Syncing the video dir commits both the manifest removal and the
+	// tombstone renames out of it in one step.
+	if err := s.fs.SyncDir(dir); err != nil {
+		errs = append(errs, err)
+	}
+	if err := s.fs.RemoveAll(dir); err != nil {
+		errs = append(errs, err)
+	}
+	if err := s.fs.SyncDir(s.root); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
 }

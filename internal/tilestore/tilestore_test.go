@@ -197,8 +197,14 @@ func TestReplaceSOT(t *testing.T) {
 	}
 	dir := filepath.Join(s.Root(), "v", "frames_0-9.r1")
 	entries, _ := os.ReadDir(dir)
-	if len(entries) != 4 {
-		t.Errorf("SOT version dir has %d entries, want 4", len(entries))
+	tsv := 0
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".tsv" {
+			tsv++
+		}
+	}
+	if tsv != 4 {
+		t.Errorf("SOT version dir has %d tile files, want 4", tsv)
 	}
 	if _, err := os.Stat(filepath.Join(s.Root(), "v", "frames_0-9")); !os.IsNotExist(err) {
 		t.Errorf("superseded version dir not reaped: %v", err)

@@ -84,6 +84,12 @@ var (
 	// lease is held by another process (typically a live tasmd). Open
 	// with WithForceOpen only to recover a store whose owner is gone.
 	ErrStoreLocked = tasmerr.ErrStoreLocked
+	// ErrTileCorrupt: stored bytes failed integrity verification — a
+	// tile file no longer matches the CRC32C sealed into the catalog
+	// when it was written, or no longer parses. RepairStore (or
+	// `tasmctl fsck -repair`) quarantines the damaged version and falls
+	// back to an earlier intact one when the store still holds it.
+	ErrTileCorrupt = tasmerr.ErrTileCorrupt
 )
 
 // Re-exported building blocks. These are aliases so values returned by the
@@ -436,6 +442,35 @@ func (s *StorageManager) FSCK() (FsckReport, error) { return s.m.Store().FSCK() 
 // from a video's live layouts — the recovery path after a re-tile whose
 // pointer refresh failed (see core.PointerRefreshError).
 func (s *StorageManager) RepairPointers(video string) error { return s.m.RepairPointers(video) }
+
+// RepairReport describes what one RepairStore pass changed.
+type RepairReport = tilestore.RepairReport
+
+// RepairStore validates every SOT's live tiles against the checksums
+// sealed into the catalog, quarantines corrupt version directories into
+// the tombstone area, and falls back to the newest earlier version that
+// still verifies, re-aiming caches and box→tile pointers at the adopted
+// layout. SOTs with no intact fallback stay referenced (and keep
+// failing FSCK) so data loss stays visible. This is the repair half of
+// `tasmctl fsck -repair`.
+func (s *StorageManager) RepairStore() (RepairReport, error) { return s.m.RepairStore() }
+
+// RepairStoreContext is RepairStore under a context, checked before the
+// pass starts (the pass itself is a single store-wide critical section).
+func (s *StorageManager) RepairStoreContext(ctx context.Context) (RepairReport, error) {
+	if err := ctx.Err(); err != nil {
+		return RepairReport{}, err
+	}
+	return s.m.RepairStore()
+}
+
+// StoreMetrics is a snapshot of the store's durability counters.
+type StoreMetrics = tilestore.Metrics
+
+// StoreMetrics snapshots the tile store's durability counters: tiles
+// that failed integrity verification since open, and recovery sweeps
+// run at open.
+func (s *StorageManager) StoreMetrics() StoreMetrics { return s.m.Store().Metrics() }
 
 // Labels returns the distinct labels indexed for a video.
 func (s *StorageManager) Labels(video string) ([]string, error) { return s.m.Index().Labels(video) }
