@@ -650,6 +650,45 @@ func (c *Client) CacheStatsContext(ctx context.Context) (tasm.CacheStats, error)
 	return resp.ToCacheStats(), nil
 }
 
+// AutotileStatus snapshots the daemon's background adaptive-tiling
+// subsystem; Enabled false means the daemon runs without -autotile.
+func (c *Client) AutotileStatus() (tasm.AutotileStatus, error) {
+	return c.AutotileStatusContext(context.Background())
+}
+
+// AutotileStatusContext is AutotileStatus under a context.
+func (c *Client) AutotileStatusContext(ctx context.Context) (tasm.AutotileStatus, error) {
+	var resp rpcwire.AutotileStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/autotile/status", nil, &resp); err != nil {
+		return tasm.AutotileStatus{}, err
+	}
+	return resp.ToAutotileStatus(), nil
+}
+
+// AutotilePause suspends the daemon's background re-tiling; observation
+// continues, so evidence keeps accumulating for when it resumes. reason
+// (optional) is surfaced in the status. Fails with ErrAutotileDisabled
+// on a daemon without -autotile.
+func (c *Client) AutotilePause(reason string) error {
+	return c.AutotilePauseContext(context.Background(), reason)
+}
+
+// AutotilePauseContext is AutotilePause under a context.
+func (c *Client) AutotilePauseContext(ctx context.Context, reason string) error {
+	return c.do(ctx, http.MethodPost, "/v1/autotile/pause", rpcwire.AutotilePauseRequest{Reason: reason}, nil)
+}
+
+// AutotileResume lifts a pause — operator-initiated or the loop's own
+// pause-on-error — and kicks a decision cycle.
+func (c *Client) AutotileResume() error {
+	return c.AutotileResumeContext(context.Background())
+}
+
+// AutotileResumeContext is AutotileResume under a context.
+func (c *Client) AutotileResumeContext(ctx context.Context) error {
+	return c.do(ctx, http.MethodPost, "/v1/autotile/resume", nil, nil)
+}
+
 // ---- transport ----
 
 // setDeadline forwards a context deadline as the Tasm-Deadline-Ms

@@ -141,6 +141,8 @@ func main() {
 		err = cmdGC(ctx, cmdArgs)
 	case "fsck":
 		err = cmdFsck(ctx, cmdArgs)
+	case "autotile":
+		err = cmdAutotile(ctx, cmdArgs)
 	default:
 		usage()
 	}
@@ -163,7 +165,7 @@ func exitCode(err error) int {
 		return exitNotFound
 	case errors.Is(err, tasm.ErrInvalidName), errors.Is(err, tasm.ErrInvalidRange),
 		errors.Is(err, tasm.ErrNoFrames), errors.Is(err, client.ErrBadRequest),
-		errors.Is(err, errUsage):
+		errors.Is(err, tasm.ErrAutotileDisabled), errors.Is(err, errUsage):
 		return exitInvalid
 	case errors.Is(err, tasm.ErrVideoExists), errors.Is(err, tasm.ErrRetileConflict),
 		errors.Is(err, tasm.ErrVideoDeleted), errors.Is(err, tasm.ErrStoreLocked):
@@ -211,6 +213,8 @@ commands:
   retile  -dir D -video V -sot N -labels a,b
   gc      -dir D            reclaim dead SOT versions and staging debris
   fsck    -dir D [-repair]  verify manifests against tile files on disk
+  autotile status|pause|resume  [-dir D] [-reason R]
+          inspect or gate the background workload-adaptive re-tiler
 
 remote mode:
   every command accepts -addr HOST:PORT (before or after the command
@@ -271,6 +275,9 @@ type backend interface {
 	RepairStoreContext(ctx context.Context) (tasm.RepairReport, error)
 	RepairPointersContext(ctx context.Context, video string) error
 	CacheStatsContext(ctx context.Context) (tasm.CacheStats, error)
+	AutotileStatusContext(ctx context.Context) (tasm.AutotileStatus, error)
+	AutotilePauseContext(ctx context.Context, reason string) error
+	AutotileResumeContext(ctx context.Context) error
 }
 
 // localBackend adapts *tasm.StorageManager to the backend interface.
@@ -355,6 +362,27 @@ func (l localBackend) CacheStatsContext(ctx context.Context) (tasm.CacheStats, e
 		return tasm.CacheStats{}, err
 	}
 	return l.CacheStats(), nil
+}
+
+func (l localBackend) AutotileStatusContext(ctx context.Context) (tasm.AutotileStatus, error) {
+	if err := ctx.Err(); err != nil {
+		return tasm.AutotileStatus{}, err
+	}
+	return l.AutotileStatus(), nil
+}
+
+func (l localBackend) AutotilePauseContext(ctx context.Context, reason string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return l.AutotilePause(reason)
+}
+
+func (l localBackend) AutotileResumeContext(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return l.AutotileResume()
 }
 
 // connFlags is the connection contract every subcommand shares:
@@ -620,6 +648,73 @@ func cmdStats(ctx context.Context, args []string) error {
 		fmt.Println()
 	}
 	return nil
+}
+
+func cmdAutotile(ctx context.Context, args []string) error {
+	if len(args) == 0 || strings.HasPrefix(args[0], "-") {
+		return fmt.Errorf("%w: autotile needs a verb: status, pause, or resume", errUsage)
+	}
+	verb, rest := args[0], args[1:]
+	fs := flag.NewFlagSet("autotile "+verb, flag.ContinueOnError)
+	dir := fs.String("dir", "tasmdb", "storage directory")
+	addr := addrFlag(fs)
+	reason := fs.String("reason", "", "why the retiler is being paused (pause only; shown in status)")
+	if err := parseFlags(fs, rest); err != nil {
+		return err
+	}
+	b, err := addr.openBackend(*dir)
+	if err != nil {
+		return err
+	}
+	defer b.Close()
+	switch verb {
+	case "status":
+		st, err := b.AutotileStatusContext(ctx)
+		if err != nil {
+			return err
+		}
+		if !st.Enabled {
+			fmt.Println("autotile: disabled (start tasmd with -autotile, or open with tasm.WithAdaptiveTiling)")
+			return nil
+		}
+		state := "running"
+		if st.Paused {
+			state = "paused"
+			if st.PauseReason != "" {
+				state += " (" + st.PauseReason + ")"
+			}
+		}
+		fmt.Printf("autotile: %s\n", state)
+		fmt.Printf("queries: %d observed, %d pending, %d dropped\n", st.QueriesObserved, st.QueriesPending, st.QueriesDropped)
+		fmt.Printf("actions: %d applied, %d failed\n", st.ActionsApplied, st.ActionsFailed)
+		if st.IOBudget > 0 {
+			fmt.Printf("retile I/O: %d B spent (budget %d B/s)\n", st.BytesSpent, st.IOBudget)
+		} else {
+			fmt.Printf("retile I/O: %d B spent (unthrottled)\n", st.BytesSpent)
+		}
+		fmt.Printf("accumulated regret: %.3f\n", st.Regret)
+		if st.LastAction != "" {
+			fmt.Printf("last action: %s\n", st.LastAction)
+		}
+		if st.LastError != "" {
+			fmt.Printf("last error: %s\n", st.LastError)
+		}
+		return nil
+	case "pause":
+		if err := b.AutotilePauseContext(ctx, *reason); err != nil {
+			return err
+		}
+		fmt.Println("autotile paused")
+		return nil
+	case "resume":
+		if err := b.AutotileResumeContext(ctx); err != nil {
+			return err
+		}
+		fmt.Println("autotile resumed")
+		return nil
+	default:
+		return fmt.Errorf("%w: unknown autotile verb %q (want status, pause, or resume)", errUsage, verb)
+	}
 }
 
 func cmdGC(ctx context.Context, args []string) error {

@@ -10,6 +10,13 @@
 //	tasmd -dir db -addr 127.0.0.1:9000 -cache 268435456 -parallelism 4
 //	tasmd -dir db -token-file tokens -tenant-inflight 16   # multi-tenant
 //	tasmd -dir db -tls-cert cert.pem -tls-key key.pem      # HTTPS
+//	tasmd -dir db -autotile -retile-io-budget 8388608      # background re-tiler
+//
+// With -autotile every served scan feeds the workload observer and a
+// background goroutine re-tiles hot SOTs toward the observed query
+// distribution (TASM §4.4), throttled to -retile-io-budget bytes/sec.
+// Inspect and gate it at runtime via GET /v1/autotile/status and POST
+// /v1/autotile/{pause,resume} (tasmctl autotile status|pause|resume).
 //
 // SIGINT/SIGTERM starts a graceful drain: the listener closes, in-
 // flight requests (including streams) get -drain to finish, then the
@@ -59,6 +66,8 @@ func main() {
 		tlsKey         = flag.String("tls-key", "", "TLS private key file (PEM)")
 		drain          = flag.Duration("drain", 15*time.Second, "graceful-shutdown budget for in-flight requests")
 		quiet          = flag.Bool("quiet", false, "suppress access logs")
+		autotile       = flag.Bool("autotile", false, "run the background workload-adaptive re-tiler")
+		retileIOBudget = flag.Int64("retile-io-budget", 0, "re-tile I/O throttle in bytes/sec (0 = unthrottled; requires -autotile)")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -89,12 +98,22 @@ func main() {
 		logger.Fatalf("-tenant-inflight requires -token-file (quotas are per tenant)")
 	}
 
+	if *retileIOBudget > 0 && !*autotile {
+		logger.Fatalf("-retile-io-budget requires -autotile (there is no re-tiler to throttle)")
+	}
+
 	opts := []tasm.Option{tasm.WithMinTileSize(32, 32)}
 	if *cache > 0 {
 		opts = append(opts, tasm.WithCacheBudget(*cache))
 	}
 	if *parallelism > 0 {
 		opts = append(opts, tasm.WithParallelism(*parallelism))
+	}
+	if *autotile {
+		opts = append(opts,
+			tasm.WithAdaptiveTiling(),
+			tasm.WithRetileIOBudget(*retileIOBudget),
+			tasm.WithAutotileLogger(logger))
 	}
 	// Open takes the store's ownership lease; a tasmctl -dir (or second
 	// tasmd) already holding it fails here with ErrStoreLocked naming
@@ -166,8 +185,15 @@ func main() {
 	if *tlsCert != "" {
 		scheme = "https"
 	}
-	logger.Printf("serving %s on %s://%s (cache %d B, parallelism %d, max-inflight %d, %s)",
-		*dir, scheme, ln.Addr(), *cache, *parallelism, *maxInflight, authMode)
+	tileMode := "manual tiling"
+	if *autotile {
+		tileMode = "autotile"
+		if *retileIOBudget > 0 {
+			tileMode = fmt.Sprintf("autotile @ %d B/s", *retileIOBudget)
+		}
+	}
+	logger.Printf("serving %s on %s://%s (cache %d B, parallelism %d, max-inflight %d, %s, %s)",
+		*dir, scheme, ln.Addr(), *cache, *parallelism, *maxInflight, authMode, tileMode)
 
 	serveErr := make(chan error, 1)
 	go func() {

@@ -1,6 +1,7 @@
 package tasm
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -49,6 +50,9 @@ func TestLifecycleAcrossRestart(t *testing.T) {
 	}
 	if len(res1) == 0 {
 		t.Fatal("no results in session 1")
+	}
+	if _, err := sm.AutotileKick(context.Background()); err != nil {
+		t.Fatal(err)
 	}
 	meta, _ := sm.Meta("cam")
 	tiledBefore := 0

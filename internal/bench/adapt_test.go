@@ -1,0 +1,32 @@
+package bench
+
+import "testing"
+
+// TestAdaptPerf runs the PR-7 adaptive-tiling experiment at reduced scale
+// and asserts the loop actually closes: the re-tiler applies actions
+// during the replay and the adaptive run's decode wall does not exceed
+// the untiled baseline.
+func TestAdaptPerf(t *testing.T) {
+	if testing.Short() {
+		t.Skip("adapt experiment in -short mode")
+	}
+	opt := Quick()
+	opt.Seed = 7
+	res, table, err := RunAdaptPerf(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table == nil || len(table.Rows) == 0 {
+		t.Fatal("empty table")
+	}
+	if res.ActionsApplied == 0 {
+		t.Fatal("re-tiler applied no actions during the Zipfian replay")
+	}
+	if res.RetileBytes <= 0 {
+		t.Errorf("actions applied but retile_bytes = %d", res.RetileBytes)
+	}
+	if res.AdaptiveDecodeNs > res.UntiledDecodeNs {
+		t.Errorf("adaptive decode wall %d ns exceeds untiled baseline %d ns",
+			res.AdaptiveDecodeNs, res.UntiledDecodeNs)
+	}
+}

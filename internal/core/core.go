@@ -104,6 +104,10 @@ type Manager struct {
 	// refreshHook, when set by tests, is consulted before each
 	// refreshPointers attempt to inject failures.
 	refreshHook func(video string) error
+
+	// observer, when installed via SetQueryObserver, receives every
+	// query-path request and informs cache admission (see observer.go).
+	observer QueryObserver
 }
 
 // Open creates or opens a storage manager rooted at dir (tiles under
@@ -234,6 +238,12 @@ func (m *Manager) IngestTiledContext(ctx context.Context, video string, frames [
 	bytes, err := m.store.VideoBytes(video)
 	if err != nil {
 		return IngestStats{}, err
+	}
+	// A fresh ingest starts with a clean observation slate — relevant when
+	// a name is reused after DeleteVideo (belt and braces; deletion already
+	// forgets) or when an observer was installed over a prior generation.
+	if m.observer != nil {
+		m.observer.ForgetVideo(video)
 	}
 	return IngestStats{EncodeWall: encodeWall, Bytes: bytes, SOTs: numSOTs}, nil
 }
@@ -554,11 +564,13 @@ func (m *Manager) decodeTileFromDisk(ctx context.Context, video string, lease *t
 		return nil, r
 	}
 	r.ds = ds
-	// Admission is gated by the request's cache budget (when one rides
+	// Admission is gated twice: by the observed workload (with an observer
+	// installed, ranges never queried twice do not earn cache residency —
+	// see admitObserved) and by the request's cache budget (when one rides
 	// the context): a capped request still reads the cache but stops
 	// inserting once its budget is spent, so a one-off sweep cannot
 	// evict every other request's working set.
-	if m.cache != nil && admitCacheBytes(ctx, framesBytes(frames)) {
+	if m.cache != nil && m.admitObserved(ctx, video, sot) && admitCacheBytes(ctx, framesBytes(frames)) {
 		r.evicted = m.cache.Put(k, frames)
 	}
 	return frames, r
@@ -1059,6 +1071,12 @@ func (m *Manager) DeleteVideo(video string) error {
 	// video names don't accumulate one forever. A retile already holding
 	// the old mutex is safe: its commit is lease-validated by the store.
 	m.retileMu.Delete(video)
+	// Observation state for the deleted video is evidence about frames
+	// that no longer exist; drop it so the background re-tiler cannot act
+	// on a deleted (or later re-ingested) video's history.
+	if m.observer != nil {
+		m.observer.ForgetVideo(video)
+	}
 	return nil
 }
 

@@ -380,6 +380,11 @@ func (m *Manager) scanCursor(ctx context.Context, q query.Query, window int) (*S
 		plans = append(plans, planSOT(sot, qf))
 	}
 	c.stats.SOTsTouched = len(plans)
+	// Every scan path funnels through here — streaming cursors, the
+	// materializing ScanContext draining one, and remote requests served
+	// over either — so this single hook is the cursor-observation
+	// guarantee: no query escapes the adaptive-tiling observer.
+	m.observeScan(q, from, to, len(plans))
 	sc := &ScanCursor{cursor: c}
 	if len(plans) == 0 {
 		c.finishEmpty(lease)
@@ -459,6 +464,9 @@ func (m *Manager) frameCursor(ctx context.Context, video string, from, to, windo
 	}
 	sotMetas := meta.SOTsInRange(from, to)
 	c.stats.SOTsTouched = len(sotMetas)
+	// Whole-frame requests carry no label predicate: they feed range heat
+	// to the observer (for cache admission) but no re-tiling evidence.
+	m.observeScan(query.Query{Video: video}, from, to, len(sotMetas))
 	fc := &FrameCursor{cursor: c}
 	sotJobs := planFrameJobs(sotMetas, from, to)
 	if len(sotJobs) == 0 {

@@ -1,0 +1,106 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/tasm-repro/tasm/internal/stats"
+)
+
+// plantSamples synthesizes decode timings from known coefficients with a
+// small multiplicative noise term, mimicking the paper's calibration sweep.
+func plantSamples(rng *stats.RNG, beta, gamma, noise float64, n int) []Sample {
+	samples := make([]Sample, 0, n)
+	for i := 0; i < n; i++ {
+		px := int64(50_000 + rng.Intn(8_000_000))
+		tl := 1 + rng.Intn(40)
+		sec := beta*float64(px) + gamma*float64(tl)
+		sec *= 1 + noise*(rng.Float64()-0.5)
+		samples = append(samples, Sample{Pixels: px, Tiles: tl, Elapsed: time.Duration(sec * 1e9)})
+	}
+	return samples
+}
+
+// TestCalibrateRecoversPlantedCoefficients is a property test: for many
+// randomly drawn (β, γ) pairs spanning two orders of magnitude, OLS over
+// noisy synthetic timings must recover both coefficients within tolerance
+// and report R² near 1 (the paper reports 0.996 over 1,400 combinations).
+func TestCalibrateRecoversPlantedCoefficients(t *testing.T) {
+	for seed := uint64(1); seed <= 25; seed++ {
+		rng := stats.NewRNG(seed)
+		trueBeta := 5e-9 * math.Pow(10, 1.5*rng.Float64())   // 5–158 ns/pixel
+		trueGamma := 20e-6 * math.Pow(10, 1.5*rng.Float64()) // 20–632 µs/tile
+		samples := plantSamples(rng, trueBeta, trueGamma, 0.01, 400)
+
+		m, rep := Calibrate(samples)
+		if rep.Samples != len(samples) {
+			t.Fatalf("seed %d: Samples = %d, want %d", seed, rep.Samples, len(samples))
+		}
+		if rep.R2 < 0.99 || m.R2 != rep.R2 {
+			t.Errorf("seed %d: R2 = %f, want > 0.99", seed, rep.R2)
+		}
+		if rel := math.Abs(m.Beta-trueBeta) / trueBeta; rel > 0.1 {
+			t.Errorf("seed %d: Beta = %g, want ~%g (off %.1f%%)", seed, m.Beta, trueBeta, 100*rel)
+		}
+		if rel := math.Abs(m.Gamma-trueGamma) / trueGamma; rel > 0.25 {
+			t.Errorf("seed %d: Gamma = %g, want ~%g (off %.1f%%)", seed, m.Gamma, trueGamma, 100*rel)
+		}
+		if m.EncPerPixel != Default().EncPerPixel {
+			t.Errorf("seed %d: Calibrate must preserve the encode rate", seed)
+		}
+	}
+}
+
+// TestCalibrateNoiseDegradesR2 checks the R² report is honest: heavy noise
+// must lower it relative to a clean fit on the same coefficient pair.
+func TestCalibrateNoiseDegradesR2(t *testing.T) {
+	clean, cleanRep := Calibrate(plantSamples(stats.NewRNG(3), 40e-9, 100e-6, 0.001, 200))
+	_, noisyRep := Calibrate(plantSamples(stats.NewRNG(3), 40e-9, 100e-6, 0.8, 200))
+	if cleanRep.R2 <= noisyRep.R2 {
+		t.Errorf("clean R2 %f should exceed noisy R2 %f", cleanRep.R2, noisyRep.R2)
+	}
+	if cleanRep.R2 < 0.999 {
+		t.Errorf("near-noiseless fit R2 = %f, want ~1", cleanRep.R2)
+	}
+	if clean.Beta <= 0 || clean.Gamma < 0 {
+		t.Errorf("fit produced non-physical coefficients: β=%g γ=%g", clean.Beta, clean.Gamma)
+	}
+}
+
+// TestCalibrateConstantPredictor is the degenerate case: every sample has
+// identical predictors, the normal-equation matrix is singular, and
+// Calibrate must fall back to the default model instead of producing
+// garbage coefficients.
+func TestCalibrateConstantPredictor(t *testing.T) {
+	rng := stats.NewRNG(9)
+	var samples []Sample
+	for i := 0; i < 50; i++ {
+		samples = append(samples, Sample{
+			Pixels:  1_000_000,
+			Tiles:   4,
+			Elapsed: time.Duration(float64(time.Millisecond) * (40 + 10*rng.Float64())),
+		})
+	}
+	m, rep := Calibrate(samples)
+	if m != Default() {
+		t.Errorf("constant-predictor calibration must keep defaults, got %+v", m)
+	}
+	if rep.Samples != 50 {
+		t.Errorf("Samples = %d, want 50", rep.Samples)
+	}
+
+	// Collinear predictors (tiles exactly proportional to pixels) are just
+	// as singular and must also be rejected.
+	var collinear []Sample
+	for i := 1; i <= 50; i++ {
+		collinear = append(collinear, Sample{
+			Pixels:  int64(i) * 100_000,
+			Tiles:   i,
+			Elapsed: time.Duration(i) * time.Millisecond,
+		})
+	}
+	if m, _ := Calibrate(collinear); m != Default() {
+		t.Errorf("collinear calibration must keep defaults, got %+v", m)
+	}
+}

@@ -165,6 +165,14 @@ func (m Model) Fit(samples []Sample) (Model, FitReport) {
 	return out, FitReport{Samples: len(samples), R2: fit.R2}
 }
 
+// Calibrate fits β and γ from scratch against measured decode timings: the
+// default coefficients refined by OLS over the samples. It is the entry
+// point the paper's §5 calibration uses (1,400 combinations, R² = 0.996);
+// Model.Fit refines an existing model instead of the defaults.
+func Calibrate(samples []Sample) (Model, FitReport) {
+	return Default().Fit(samples)
+}
+
 // FitEncode refits the per-pixel encode rate from (pixels, elapsed) pairs.
 func (m Model) FitEncode(pixels []int64, elapsed []time.Duration) Model {
 	if len(pixels) == 0 || len(pixels) != len(elapsed) {

@@ -425,6 +425,35 @@ func (p *Regret) ObserveQuery(m *core.Manager, q query.Query) ([]Action, error) 
 	return actions, nil
 }
 
+// Forget drops all accumulated state for a video: its seen-label set and
+// every SOT's regret ledger. Called when the video is deleted or re-ingested
+// under the same name, so stale evidence cannot justify re-tiling frames
+// that no longer exist.
+func (p *Regret) Forget(video string) {
+	delete(p.seen, video)
+	delete(p.state, video)
+}
+
+// TotalRegret sums the accumulated regret of the best (non-hurt) candidate
+// per SOT across all tracked videos — the "pressure" the policy has built up
+// toward re-tiling, in model seconds. Exposed as the tasm_autotile_regret
+// gauge.
+func (p *Regret) TotalRegret() float64 {
+	var total float64
+	for _, vstate := range p.state {
+		for _, ss := range vstate {
+			best := 0.0
+			for key, r := range ss.regret {
+				if !ss.hurt[key] && r > best {
+					best = r
+				}
+			}
+			total += best
+		}
+	}
+	return total
+}
+
 // labelSubsets enumerates the non-empty subsets of seen labels (the
 // alternative-layout space Lalt). For more than 6 labels it falls back to
 // singletons plus the full set to bound the candidate count.

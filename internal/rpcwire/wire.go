@@ -25,6 +25,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/tasm-repro/tasm/internal/adapt"
 	"github.com/tasm-repro/tasm/internal/core"
 	"github.com/tasm-repro/tasm/internal/frame"
 	"github.com/tasm-repro/tasm/internal/geom"
@@ -89,6 +90,7 @@ var wireErrors = []errorMapping{
 	{tasmerr.ErrInvalidName, "invalid_name", http.StatusBadRequest},
 	{tasmerr.ErrInvalidRange, "invalid_range", http.StatusBadRequest},
 	{tasmerr.ErrNoFrames, "no_frames", http.StatusBadRequest},
+	{tasmerr.ErrAutotileDisabled, "autotile_disabled", http.StatusBadRequest},
 	{tasmerr.ErrCursorClosed, "cursor_closed", statusClientClosedRequest},
 	{tasmerr.ErrStoreLocked, "store_locked", http.StatusConflict},
 	{tasmerr.ErrTileCorrupt, "tile_corrupt", http.StatusInternalServerError},
@@ -444,6 +446,69 @@ func FromCacheStats(s tilecache.Stats) CacheStats {
 func (s CacheStats) ToCacheStats() tilecache.Stats {
 	return tilecache.Stats{Hits: s.Hits, Misses: s.Misses, Evictions: s.Evictions,
 		Invalidations: s.Invalidations, BytesCached: s.BytesCached, Entries: s.Entries, Budget: s.Budget}
+}
+
+// AutotileStatus is the background adaptive-tiling subsystem's snapshot
+// on the wire, mirroring adapt.Status field for field. Enabled false
+// means the daemon runs without -autotile (every other field is zero).
+type AutotileStatus struct {
+	Enabled         bool    `json:"enabled"`
+	Paused          bool    `json:"paused"`
+	PauseReason     string  `json:"pause_reason,omitempty"`
+	QueriesObserved int64   `json:"queries_observed"`
+	QueriesPending  int     `json:"queries_pending"`
+	QueriesDropped  int64   `json:"queries_dropped"`
+	ActionsApplied  int64   `json:"actions_applied"`
+	ActionsFailed   int64   `json:"actions_failed"`
+	BytesSpent      int64   `json:"bytes_spent"`
+	IOBudget        int64   `json:"io_budget"`
+	Regret          float64 `json:"regret"`
+	LastAction      string  `json:"last_action,omitempty"`
+	LastError       string  `json:"last_error,omitempty"`
+}
+
+// FromAutotileStatus converts an in-process snapshot.
+func FromAutotileStatus(s adapt.Status) AutotileStatus {
+	return AutotileStatus{
+		Enabled:         s.Enabled,
+		Paused:          s.Paused,
+		PauseReason:     s.PauseReason,
+		QueriesObserved: s.QueriesObserved,
+		QueriesPending:  s.QueriesPending,
+		QueriesDropped:  s.QueriesDropped,
+		ActionsApplied:  s.ActionsApplied,
+		ActionsFailed:   s.ActionsFailed,
+		BytesSpent:      s.BytesSpent,
+		IOBudget:        s.IOBudget,
+		Regret:          s.Regret,
+		LastAction:      s.LastAction,
+		LastError:       s.LastError,
+	}
+}
+
+// ToAutotileStatus converts back to the in-process type.
+func (s AutotileStatus) ToAutotileStatus() adapt.Status {
+	return adapt.Status{
+		Enabled:         s.Enabled,
+		Paused:          s.Paused,
+		PauseReason:     s.PauseReason,
+		QueriesObserved: s.QueriesObserved,
+		QueriesPending:  s.QueriesPending,
+		QueriesDropped:  s.QueriesDropped,
+		ActionsApplied:  s.ActionsApplied,
+		ActionsFailed:   s.ActionsFailed,
+		BytesSpent:      s.BytesSpent,
+		IOBudget:        s.IOBudget,
+		Regret:          s.Regret,
+		LastAction:      s.LastAction,
+		LastError:       s.LastError,
+	}
+}
+
+// AutotilePauseRequest suspends background re-tiling; Reason (optional)
+// is surfaced in the status for the operator who finds it paused later.
+type AutotilePauseRequest struct {
+	Reason string `json:"reason,omitempty"`
 }
 
 // RepairRequest re-materializes one video's box→tile pointers.

@@ -138,6 +138,9 @@ func New(sm *tasm.StorageManager, cfg Config) *Server {
 	mux.HandleFunc("POST /v1/repair", s.handleRepair)
 	mux.HandleFunc("POST /v1/repairstore", s.handleRepairStore)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/autotile/status", s.handleAutotileStatus)
+	mux.HandleFunc("POST /v1/autotile/pause", s.handleAutotilePause)
+	mux.HandleFunc("POST /v1/autotile/resume", s.handleAutotileResume)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux = mux
 	return s
@@ -598,6 +601,47 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, rpcwire.FromCacheStats(s.sm.CacheStats()))
 }
 
+// handleAutotileStatus reports the background re-tiler's snapshot; with
+// -autotile off it answers 200 with Enabled false (observability of a
+// disabled subsystem is not an error).
+func (s *Server) handleAutotileStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, rpcwire.FromAutotileStatus(s.sm.AutotileStatus()))
+}
+
+// handleAutotilePause suspends background re-tiling. The body is an
+// optional AutotilePauseRequest carrying the operator's reason; on a
+// daemon without -autotile the call is autotile_disabled/400.
+func (s *Server) handleAutotilePause(w http.ResponseWriter, r *http.Request) {
+	var req rpcwire.AutotilePauseRequest
+	if r.ContentLength != 0 {
+		if err := readJSON(r, &req); err != nil {
+			writeError(w, err)
+			return
+		}
+	}
+	if !unaryBoundary(w, r) {
+		return
+	}
+	if err := s.sm.AutotilePause(req.Reason); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, struct{}{})
+}
+
+// handleAutotileResume lifts a pause (operator- or error-initiated) and
+// kicks a decision cycle.
+func (s *Server) handleAutotileResume(w http.ResponseWriter, r *http.Request) {
+	if !unaryBoundary(w, r) {
+		return
+	}
+	if err := s.sm.AutotileResume(); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, struct{}{})
+}
+
 // handleMetrics serves the Prometheus text exposition format (hand
 // rolled — counters and gauges with labels need no client library).
 // Like every endpoint but the health probe it sits behind auth: serving
@@ -637,6 +681,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	st := s.sm.StoreMetrics()
 	fmt.Fprintf(&b, "# HELP tasm_store_corrupt_tiles_total Tile reads that failed integrity verification since open.\n# TYPE tasm_store_corrupt_tiles_total counter\ntasm_store_corrupt_tiles_total %d\n", st.CorruptTiles)
 	fmt.Fprintf(&b, "# HELP tasm_store_recovery_sweeps_total Crash-recovery sweeps run when opening the store.\n# TYPE tasm_store_recovery_sweeps_total counter\ntasm_store_recovery_sweeps_total %d\n", st.RecoverySweeps)
+
+	at := s.sm.AutotileStatus()
+	b01 := func(v bool) int {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	fmt.Fprintf(&b, "# HELP tasm_autotile_enabled Whether the background adaptive-tiling subsystem is enabled.\n# TYPE tasm_autotile_enabled gauge\ntasm_autotile_enabled %d\n", b01(at.Enabled))
+	fmt.Fprintf(&b, "# HELP tasm_autotile_paused Whether background re-tiling is currently paused.\n# TYPE tasm_autotile_paused gauge\ntasm_autotile_paused %d\n", b01(at.Paused))
+	fmt.Fprintf(&b, "# HELP tasm_autotile_actions_total Background re-tile actions applied since open.\n# TYPE tasm_autotile_actions_total counter\ntasm_autotile_actions_total %d\n", at.ActionsApplied)
+	fmt.Fprintf(&b, "# HELP tasm_autotile_actions_failed_total Background re-tile actions that failed since open.\n# TYPE tasm_autotile_actions_failed_total counter\ntasm_autotile_actions_failed_total %d\n", at.ActionsFailed)
+	fmt.Fprintf(&b, "# HELP tasm_autotile_bytes_total Bytes written by background re-tiles since open.\n# TYPE tasm_autotile_bytes_total counter\ntasm_autotile_bytes_total %d\n", at.BytesSpent)
+	fmt.Fprintf(&b, "# HELP tasm_autotile_queries_observed_total Queries observed by the adaptive-tiling subsystem since open.\n# TYPE tasm_autotile_queries_observed_total counter\ntasm_autotile_queries_observed_total %d\n", at.QueriesObserved)
+	fmt.Fprintf(&b, "# HELP tasm_autotile_regret Accumulated re-tiling pressure in model seconds (paper section 4.4 delta).\n# TYPE tasm_autotile_regret gauge\ntasm_autotile_regret %g\n", at.Regret)
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = io.WriteString(w, b.String())

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"runtime"
@@ -461,5 +462,93 @@ func TestStreamContentType(t *testing.T) {
 	defer res.Body.Close()
 	if ct := res.Header.Get("Content-Type"); ct != "application/x-ndjson" {
 		t.Fatalf("content type %q, want application/x-ndjson", ct)
+	}
+}
+
+// TestRemoteAutotile drives the whole adaptive loop over the wire:
+// remote scans feed the daemon's observer, the background loop applies a
+// re-tile, and the status/pause/resume endpoints control and reflect it.
+func TestRemoteAutotile(t *testing.T) {
+	h := newHarness(t, server.Config{},
+		tasm.WithAdaptiveTiling(), tasm.WithEta(0), tasm.WithAutotileInterval(20*time.Millisecond))
+
+	st, err := h.c.AutotileStatus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Enabled || st.ActionsApplied != 0 {
+		t.Fatalf("fresh status %+v", st)
+	}
+
+	// Pause first so the test controls when actions land.
+	if err := h.c.AutotilePause("test hold"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := h.c.ScanSQLContext(context.Background(), trafficSQL); err != nil {
+		t.Fatal(err)
+	}
+	st, _ = h.c.AutotileStatus()
+	if !st.Paused || st.PauseReason != "test hold" {
+		t.Fatalf("paused status %+v", st)
+	}
+	if st.QueriesObserved == 0 || st.QueriesPending == 0 {
+		t.Fatalf("remote scan did not reach the observer: %+v", st)
+	}
+
+	if err := h.c.AutotileResume(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "a background re-tile", func() bool {
+		st, err := h.c.AutotileStatus()
+		return err == nil && st.ActionsApplied >= 1
+	})
+	meta, err := h.sm.Meta("traffic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiled := false
+	for _, sot := range meta.SOTs {
+		if !sot.L.IsSingle() {
+			tiled = true
+		}
+	}
+	if !tiled {
+		t.Fatal("no SOT re-tiled despite applied actions")
+	}
+
+	// /metrics reflects the subsystem.
+	res, err := http.Get(h.ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var body strings.Builder
+	if _, err := io.Copy(&body, res.Body); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"tasm_autotile_enabled 1", "tasm_autotile_actions_total", "tasm_autotile_regret"} {
+		if !strings.Contains(body.String(), want) {
+			t.Fatalf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestAutotileDisabledOverWire pins the contract for a daemon without
+// -autotile: status reports Enabled false with 200, while pause and
+// resume fail with the typed sentinel.
+func TestAutotileDisabledOverWire(t *testing.T) {
+	h := newHarness(t, server.Config{})
+	st, err := h.c.AutotileStatus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Enabled {
+		t.Fatal("autotile reported enabled without WithAdaptiveTiling")
+	}
+	if err := h.c.AutotilePause(""); !errors.Is(err, tasm.ErrAutotileDisabled) {
+		t.Fatalf("pause error = %v, want ErrAutotileDisabled", err)
+	}
+	if err := h.c.AutotileResume(); !errors.Is(err, tasm.ErrAutotileDisabled) {
+		t.Fatalf("resume error = %v, want ErrAutotileDisabled", err)
 	}
 }

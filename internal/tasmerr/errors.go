@@ -56,6 +56,11 @@ var (
 	// recovery, not routine use.
 	ErrStoreLocked = errors.New("store locked by another process")
 
+	// ErrAutotileDisabled reports an autotile control operation (pause,
+	// resume, kick) against a storage manager whose background re-tiler
+	// was not enabled at open.
+	ErrAutotileDisabled = errors.New("adaptive tiling not enabled")
+
 	// ErrTileCorrupt reports stored bytes that failed integrity
 	// verification: a tile file whose CRC32C no longer matches the
 	// checksum sealed into the catalog record when it was written, or

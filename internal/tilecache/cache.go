@@ -57,6 +57,8 @@ type Stats struct {
 	BytesCached   int64
 	Entries       int
 	Budget        int64
+	// Pinned counts (video, SOT) pairs currently pinned against eviction.
+	Pinned int
 }
 
 type entry struct {
@@ -87,6 +89,14 @@ type Cache struct {
 	gens   map[string]map[int]uint64
 	epochs map[string]uint64 // never reset, so a re-created video starts fresh
 
+	// pinMu guards pins, the (video, SOT) pairs eviction passes over —
+	// the re-tiler pins a freshly re-tiled hot SOT so the warm decode it
+	// just paid for is not the next eviction victim. pinMu is a leaf
+	// lock: it is taken under shard locks (isPinned during eviction) and
+	// never the other way around.
+	pinMu sync.Mutex
+	pins  map[string]map[int]bool
+
 	hits, misses, evictions, invalidations atomic.Int64
 }
 
@@ -101,6 +111,7 @@ func New(budget int64) *Cache {
 		budget: budget,
 		gens:   map[string]map[int]uint64{},
 		epochs: map[string]uint64{},
+		pins:   map[string]map[int]bool{},
 	}
 	for i := range c.shards {
 		c.shards[i].items = map[Key]*entry{}
@@ -201,25 +212,44 @@ func (c *Cache) Put(k Key, frames []*frame.Frame) (evicted int) {
 		s.pushFront(e)
 	}
 	// Evict from this shard first (its lock is already held), never the
-	// entry just inserted.
-	for c.bytes.Load() > c.budget && s.tail != nil && s.tail.key != k {
-		c.bytes.Add(-s.tail.bytes)
-		s.remove(s.tail)
-		evicted++
-	}
+	// entry just inserted and passing over pinned SOTs' entries.
+	evicted += c.evictShardLocked(s, k, true)
 	s.mu.Unlock()
 	if c.bytes.Load() > c.budget {
-		evicted += c.evictAcrossShards(k)
+		evicted += c.evictAcrossShards(k, true)
+	}
+	// If pins alone hold the cache over budget, evict pinned entries
+	// rather than letting the cache grow without bound: a pin is a
+	// priority, not a leak.
+	if c.bytes.Load() > c.budget {
+		evicted += c.evictAcrossShards(k, false)
 	}
 	c.evictions.Add(int64(evicted))
 	return evicted
 }
 
+// evictShardLocked drops entries from the shard's LRU tail (skipping keep
+// and, when skipPinned, pinned SOTs) until the cache is within budget or
+// the shard has no victim left. The shard lock must be held.
+func (c *Cache) evictShardLocked(s *shard, keep Key, skipPinned bool) (evicted int) {
+	e := s.tail
+	for c.bytes.Load() > c.budget && e != nil {
+		prev := e.prev
+		if e.key != keep && !(skipPinned && c.isPinned(e.key)) {
+			c.bytes.Add(-e.bytes)
+			s.remove(e)
+			evicted++
+		}
+		e = prev
+	}
+	return evicted
+}
+
 // evictAcrossShards drops LRU tails shard by shard until the cache is
-// within budget, sparing keep. Locks are taken one shard at a time, so
-// concurrent Puts may interleave; the loop is best-effort and terminates
-// once a full pass makes no progress.
-func (c *Cache) evictAcrossShards(keep Key) (evicted int) {
+// within budget, sparing keep (and pinned SOTs when skipPinned). Locks are
+// taken one shard at a time, so concurrent Puts may interleave; the loop
+// is best-effort and terminates once a full pass makes no progress.
+func (c *Cache) evictAcrossShards(keep Key, skipPinned bool) (evicted int) {
 	for pass := 0; c.bytes.Load() > c.budget; pass++ {
 		progressed := false
 		for i := range c.shards {
@@ -228,11 +258,16 @@ func (c *Cache) evictAcrossShards(keep Key) (evicted int) {
 			}
 			s := &c.shards[i]
 			s.mu.Lock()
-			if s.tail != nil && s.tail.key != keep {
-				c.bytes.Add(-s.tail.bytes)
-				s.remove(s.tail)
-				evicted++
-				progressed = true
+			e := s.tail
+			for e != nil {
+				if e.key != keep && !(skipPinned && c.isPinned(e.key)) {
+					c.bytes.Add(-e.bytes)
+					s.remove(e)
+					evicted++
+					progressed = true
+					break
+				}
+				e = e.prev
 			}
 			s.mu.Unlock()
 		}
@@ -241,6 +276,45 @@ func (c *Cache) evictAcrossShards(keep Key) (evicted int) {
 		}
 	}
 	return evicted
+}
+
+// Pin marks (video, sot) as eviction-protected: its cached decodes are
+// passed over by LRU eviction (unless pins alone exceed the budget). The
+// re-tiler pins the hot SOT it just re-tiled and warmed; callers are
+// expected to keep the pinned set small and Unpin as interest moves on.
+func (c *Cache) Pin(video string, sot int) {
+	if c == nil {
+		return
+	}
+	c.pinMu.Lock()
+	m := c.pins[video]
+	if m == nil {
+		m = map[int]bool{}
+		c.pins[video] = m
+	}
+	m[sot] = true
+	c.pinMu.Unlock()
+}
+
+// Unpin removes the eviction protection of (video, sot).
+func (c *Cache) Unpin(video string, sot int) {
+	if c == nil {
+		return
+	}
+	c.pinMu.Lock()
+	if m := c.pins[video]; m != nil {
+		delete(m, sot)
+		if len(m) == 0 {
+			delete(c.pins, video)
+		}
+	}
+	c.pinMu.Unlock()
+}
+
+func (c *Cache) isPinned(k Key) bool {
+	c.pinMu.Lock()
+	defer c.pinMu.Unlock()
+	return c.pins[k.Video][k.SOT]
 }
 
 // InvalidateSOT bumps the SOT's generation and frees every cached entry
@@ -273,6 +347,9 @@ func (c *Cache) InvalidateVideo(video string) {
 	c.epochs[video]++
 	delete(c.gens, video)
 	c.genMu.Unlock()
+	c.pinMu.Lock()
+	delete(c.pins, video)
+	c.pinMu.Unlock()
 	c.sweep(func(k Key) bool { return k.Video == video })
 }
 
@@ -310,6 +387,11 @@ func (c *Cache) Stats() Stats {
 		st.Entries += len(s.items)
 		s.mu.Unlock()
 	}
+	c.pinMu.Lock()
+	for _, m := range c.pins {
+		st.Pinned += len(m)
+	}
+	c.pinMu.Unlock()
 	return st
 }
 

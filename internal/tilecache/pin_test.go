@@ -1,0 +1,66 @@
+package tilecache
+
+import "testing"
+
+// 16x16 frames are 384 bytes each; a 4-frame entry is 1536 bytes.
+const entryBytes = 4 * 384
+
+func TestPinnedEntriesSurviveEviction(t *testing.T) {
+	c := New(3 * entryBytes)
+	kPinned := Key{Video: "v", SOT: 0, Tile: 0}
+	c.Put(kPinned, mkFrames(4, 0))
+	c.Pin("v", 0)
+
+	// Fill past the budget: the pinned entry is LRU but must be spared.
+	for sot := 1; sot <= 5; sot++ {
+		c.Put(Key{Video: "v", SOT: sot, Tile: 0}, mkFrames(4, byte(sot)))
+	}
+	if _, ok := c.Get(kPinned, 4); !ok {
+		t.Fatal("pinned entry was evicted")
+	}
+	if st := c.Stats(); st.Pinned != 1 {
+		t.Fatalf("Pinned = %d, want 1", st.Pinned)
+	}
+	if st := c.Stats(); st.BytesCached > st.Budget {
+		t.Fatalf("cache over budget: %d > %d", st.BytesCached, st.Budget)
+	}
+
+	// Unpinned, the same access pattern evicts it.
+	c.Unpin("v", 0)
+	if st := c.Stats(); st.Pinned != 0 {
+		t.Fatalf("Pinned = %d after Unpin, want 0", st.Pinned)
+	}
+	for sot := 6; sot <= 10; sot++ {
+		c.Put(Key{Video: "v", SOT: sot, Tile: 0}, mkFrames(4, byte(sot)))
+	}
+	if _, ok := c.Get(kPinned, 4); ok {
+		t.Fatal("unpinned LRU entry survived eviction pressure")
+	}
+}
+
+func TestAllPinnedStillBoundsBudget(t *testing.T) {
+	// Pins are priorities, not leaks: when pinned entries alone exceed the
+	// budget, eviction falls back to evicting pinned entries too.
+	c := New(2 * entryBytes)
+	for sot := 0; sot < 5; sot++ {
+		c.Pin("v", sot)
+		c.Put(Key{Video: "v", SOT: sot, Tile: 0}, mkFrames(4, byte(sot)))
+	}
+	if st := c.Stats(); st.BytesCached > st.Budget {
+		t.Fatalf("all-pinned cache over budget: %d > %d", st.BytesCached, st.Budget)
+	}
+}
+
+func TestInvalidateVideoDropsPins(t *testing.T) {
+	c := New(1 << 20)
+	c.Pin("v", 0)
+	c.Pin("w", 3)
+	c.InvalidateVideo("v")
+	if st := c.Stats(); st.Pinned != 1 {
+		t.Fatalf("Pinned = %d after InvalidateVideo, want 1 (w/3)", st.Pinned)
+	}
+	// Pin/Unpin on a nil cache are no-ops.
+	var nc *Cache
+	nc.Pin("v", 0)
+	nc.Unpin("v", 0)
+}

@@ -33,8 +33,10 @@
 // every layer. The context-free forms (Scan, DecodeFrames, Ingest, …)
 // remain as thin wrappers over the context-first ones.
 //
-// Enable adaptive tiling to let the storage manager re-tile itself as it
-// observes queries:
+// Enable adaptive tiling to let the storage manager re-tile itself in the
+// background as it observes queries — every query path (blocking,
+// streaming, remote) feeds the observer, and a background goroutine
+// applies re-tile decisions under MVCC without blocking queries:
 //
 //	sm, _ := tasm.Open(dir, tasm.WithAdaptiveTiling())
 package tasm
@@ -42,7 +44,10 @@ package tasm
 import (
 	"context"
 	"fmt"
+	"log"
+	"time"
 
+	"github.com/tasm-repro/tasm/internal/adapt"
 	"github.com/tasm-repro/tasm/internal/container"
 	"github.com/tasm-repro/tasm/internal/core"
 	"github.com/tasm-repro/tasm/internal/costmodel"
@@ -84,6 +89,9 @@ var (
 	// lease is held by another process (typically a live tasmd). Open
 	// with WithForceOpen only to recover a store whose owner is gone.
 	ErrStoreLocked = tasmerr.ErrStoreLocked
+	// ErrAutotileDisabled: an autotile control call (pause, resume, kick)
+	// on a storage manager opened without WithAdaptiveTiling.
+	ErrAutotileDisabled = tasmerr.ErrAutotileDisabled
 	// ErrTileCorrupt: stored bytes failed integrity verification — a
 	// tile file no longer matches the CRC32C sealed into the catalog
 	// when it was written, or no longer parses. RepairStore (or
@@ -163,6 +171,7 @@ type Option func(*settings)
 type settings struct {
 	cfg      core.Config
 	adaptive bool
+	autotile adapt.Config
 }
 
 // WithQP sets the codec quantization parameter (default 22; higher is
@@ -216,11 +225,39 @@ func WithCacheBudget(bytes int64) Option {
 	return func(s *settings) { s.cfg.CacheBudget = bytes }
 }
 
-// WithAdaptiveTiling makes every Scan feed the regret-based online tiling
-// policy (paper §4.4) and apply any retile decisions immediately after
-// answering the query.
+// WithAdaptiveTiling enables the background adaptive-tiling subsystem
+// (paper §4.4): every query — blocking, streaming, or served remotely —
+// feeds a lock-cheap observer, and a background goroutine folds the
+// observations into the regret policy and applies its re-tile decisions
+// under MVCC. Queries never wait on re-tiling; in-flight scans keep
+// reading their snapshots while layouts change underneath. Control and
+// inspect the subsystem with AutotileStatus, AutotilePause,
+// AutotileResume, and AutotileKick (or their tasmctl / HTTP
+// counterparts).
 func WithAdaptiveTiling() Option {
 	return func(s *settings) { s.adaptive = true }
+}
+
+// WithRetileIOBudget caps the background re-tiler's sustained write rate
+// in bytes per second: after committing a re-tile the loop idles long
+// enough that, on average, committed bytes stay at or below the budget,
+// keeping background churn from starving foreground I/O. 0 (the default)
+// is unthrottled. Implies nothing unless WithAdaptiveTiling is also set.
+func WithRetileIOBudget(bytesPerSec int64) Option {
+	return func(s *settings) { s.autotile.IOBudget = bytesPerSec }
+}
+
+// WithAutotileInterval sets the background re-tiler's poll cadence
+// (default 500ms). Shorter reacts faster; longer batches more
+// observations per decision cycle.
+func WithAutotileInterval(d time.Duration) Option {
+	return func(s *settings) { s.autotile.Interval = d }
+}
+
+// WithAutotileLogger directs the background re-tiler's action and pause
+// diagnostics to logger (default: silent).
+func WithAutotileLogger(logger *log.Logger) Option {
+	return func(s *settings) { s.autotile.Logger = logger }
 }
 
 // WithForceOpen skips the storage directory's cross-process ownership
@@ -247,8 +284,8 @@ func WithRequestCacheBudget(ctx context.Context, bytes int64) context.Context {
 
 // StorageManager is TASM: the tile-aware bottom layer of a VDBMS.
 type StorageManager struct {
-	m        *core.Manager
-	adaptive *policy.Regret
+	m       *core.Manager
+	retiler *adapt.Retiler // nil unless WithAdaptiveTiling
 }
 
 // Open creates or opens a storage manager rooted at dir.
@@ -263,16 +300,68 @@ func Open(dir string, opts ...Option) (*StorageManager, error) {
 	}
 	sm := &StorageManager{m: m}
 	if s.adaptive {
-		sm.adaptive = policy.NewRegret(s.cfg.Model)
-		sm.adaptive.Eta = s.cfg.Eta
-		sm.adaptive.Alpha = s.cfg.Alpha
-		sm.adaptive.Granularity = s.cfg.Granularity
+		// Warm-and-pin only pays off when there is a cache to warm.
+		s.autotile.Warm = s.cfg.CacheBudget > 0
+		sm.retiler = adapt.NewRetiler(m, nil, s.autotile)
+		m.SetQueryObserver(sm.retiler)
+		sm.retiler.Start()
 	}
 	return sm, nil
 }
 
-// Close flushes and closes the semantic index.
-func (s *StorageManager) Close() error { return s.m.Close() }
+// Close stops the background re-tiler (waiting out any in-flight re-tile's
+// atomic commit), then flushes and closes the semantic index.
+func (s *StorageManager) Close() error {
+	if s.retiler != nil {
+		s.retiler.Close()
+	}
+	return s.m.Close()
+}
+
+// AutotileStatus is a point-in-time snapshot of the background
+// adaptive-tiling subsystem.
+type AutotileStatus = adapt.Status
+
+// AutotileStatus snapshots the background re-tiler. With adaptive tiling
+// disabled it returns the zero Status (Enabled false).
+func (s *StorageManager) AutotileStatus() AutotileStatus {
+	if s.retiler == nil {
+		return AutotileStatus{}
+	}
+	return s.retiler.Status()
+}
+
+// AutotilePause suspends background re-tiling; observation continues, so
+// evidence keeps accumulating for when it resumes. reason is surfaced in
+// AutotileStatus (empty = a generic operator message).
+func (s *StorageManager) AutotilePause(reason string) error {
+	if s.retiler == nil {
+		return fmt.Errorf("tasm: %w", ErrAutotileDisabled)
+	}
+	s.retiler.Pause(reason)
+	return nil
+}
+
+// AutotileResume lifts a pause — operator-initiated or the loop's own
+// pause-on-error — and immediately kicks a decision cycle.
+func (s *StorageManager) AutotileResume() error {
+	if s.retiler == nil {
+		return fmt.Errorf("tasm: %w", ErrAutotileDisabled)
+	}
+	s.retiler.Resume()
+	return nil
+}
+
+// AutotileKick synchronously drains all pending observations through the
+// decision layer and applies the resulting re-tiles, returning how many
+// were applied. The background loop does the same on its own clock; Kick
+// exists for tests, benchmarks, and one-shot tools that need determinism.
+func (s *StorageManager) AutotileKick(ctx context.Context) (int, error) {
+	if s.retiler == nil {
+		return 0, fmt.Errorf("tasm: %w", ErrAutotileDisabled)
+	}
+	return s.retiler.Kick(ctx)
+}
 
 // Ingest stores frames as a new untiled video (one SOT per GOP).
 func (s *StorageManager) Ingest(video string, frames []*Frame, fps int) (IngestStats, error) {
@@ -316,8 +405,9 @@ func (s *StorageManager) MarkDetected(video, label string, from, to int) error {
 
 // Scan answers a query: it returns the pixel regions matching the query's
 // label predicate within its time range, decoding only the tiles that
-// contain them. With adaptive tiling enabled, the query also feeds the
-// online tiling policy.
+// contain them. With adaptive tiling enabled, the query feeds the
+// background observer; re-tiling happens asynchronously, never on the
+// query path.
 func (s *StorageManager) Scan(q Query) ([]RegionResult, ScanStats, error) {
 	return s.ScanContext(context.Background(), q)
 }
@@ -325,25 +415,8 @@ func (s *StorageManager) Scan(q Query) ([]RegionResult, ScanStats, error) {
 // ScanContext is Scan under a context: cancellation or deadline expiry
 // stops in-flight tile decodes within one frame's work, releases every
 // read lease the request holds, and returns an error wrapping ctx.Err().
-// With adaptive tiling enabled, the query also feeds the online tiling
-// policy (and any resulting re-tile honors the same context).
 func (s *StorageManager) ScanContext(ctx context.Context, q Query) ([]RegionResult, ScanStats, error) {
-	res, st, err := s.m.ScanContext(ctx, q)
-	if err != nil {
-		return res, st, err
-	}
-	if s.adaptive != nil {
-		actions, aerr := s.adaptive.ObserveQuery(s.m, q)
-		if aerr != nil {
-			return res, st, fmt.Errorf("tasm: adaptive tiling: %w", aerr)
-		}
-		if len(actions) > 0 {
-			if _, aerr := policy.Apply(ctx, s.m, actions); aerr != nil {
-				return res, st, fmt.Errorf("tasm: adaptive tiling: %w", aerr)
-			}
-		}
-	}
-	return res, st, nil
+	return s.m.ScanContext(ctx, q)
 }
 
 // ScanCursor starts a streaming Scan: pixel regions are yielded in frame
@@ -351,8 +424,8 @@ func (s *StorageManager) ScanContext(ctx context.Context, q Query) ([]RegionResu
 // backpressure, instead of materializing every region up front. The
 // caller must drain the cursor or Close it; either way all read leases
 // are released by the time Next reports false (or Close returns).
-// Streaming scans do not feed the adaptive tiling policy — use
-// ScanContext when adaptive observation matters.
+// Streaming scans feed the adaptive-tiling observer exactly like blocking
+// ones: every query path funnels through the same cursor construction.
 func (s *StorageManager) ScanCursor(ctx context.Context, q Query) (*Cursor, error) {
 	return s.m.ScanCursor(ctx, q)
 }

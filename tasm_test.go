@@ -1,6 +1,7 @@
 package tasm
 
 import (
+	"context"
 	"testing"
 
 	"github.com/tasm-repro/tasm/internal/scene"
@@ -125,9 +126,15 @@ func TestPretileAllObjects(t *testing.T) {
 
 func TestAdaptiveTiling(t *testing.T) {
 	sm, _ := openManager(t, WithAdaptiveTiling(), WithEta(0))
-	// With η=0, the first query triggers a retile of the touched SOT.
+	// With η=0, the first query is evidence enough to retile the touched
+	// SOT; Kick runs the background decision cycle synchronously.
 	if _, _, err := sm.ScanSQL("SELECT car FROM traffic WHERE 0 <= t < 10"); err != nil {
 		t.Fatal(err)
+	}
+	if n, err := sm.AutotileKick(context.Background()); err != nil {
+		t.Fatal(err)
+	} else if n == 0 {
+		t.Fatal("AutotileKick applied nothing with eta=0")
 	}
 	meta, _ := sm.Meta("traffic")
 	if meta.SOTs[0].L.IsSingle() {
