@@ -48,6 +48,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"github.com/tasm-repro/tasm"
@@ -68,6 +69,11 @@ var (
 	// ErrUnauthorized: a token-protected daemon refused the request
 	// (missing or unknown bearer token). Not retryable.
 	ErrUnauthorized = rpcwire.ErrUnauthorized
+	// ErrShardUnavailable: a tasm-router could not reach the shard
+	// owning the requested video (breaker open, or the shard died
+	// mid-request). Other shards keep serving; retry once the shard
+	// recovers or the map is updated.
+	ErrShardUnavailable = tasm.ErrShardUnavailable
 )
 
 // Encoding selects the wire framing the client asks the server for on
@@ -220,9 +226,28 @@ func New(addr string, opts ...Option) (*Client, error) {
 func Dial(addr string, opts ...Option) (*Client, error) { return New(addr, opts...) }
 
 // Retryable reports whether err is safe to retry as-is: the server
-// rejected the request before doing any work (limiter 503s). Auth
-// failures, bad requests, and storage-manager errors are not.
-func Retryable(err error) bool { return errors.Is(err, ErrOverloaded) }
+// rejected the request before doing any work (limiter 503s), or the
+// connection died before the request could have reached a handler —
+// dial refused (daemon restarting, LB flap) and connection reset on
+// send. Auth failures, bad requests, storage-manager errors, and
+// failures after a response started are not.
+func Retryable(err error) bool {
+	if errors.Is(err, ErrOverloaded) {
+		return true
+	}
+	var te *transientError
+	return errors.As(err, &te)
+}
+
+// transientError marks a transport failure that happened before the
+// server could have done any work, making the request safe to repeat.
+// transportError applies it to connection-refused and connection-reset
+// dial failures so WithRetry (and the router's shard calls) ride the
+// same backoff as limiter rejections.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
 
 // RetryAfter returns the backoff the server requested alongside err
 // (the Retry-After header on a 503), when it named one.
@@ -650,6 +675,37 @@ func (c *Client) CacheStatsContext(ctx context.Context) (tasm.CacheStats, error)
 	return resp.ToCacheStats(), nil
 }
 
+// ShardStats is one shard's contribution to a tasm-router's stats
+// aggregation, as reported by ShardCacheStats.
+type ShardStats struct {
+	// Shard and Addr identify the shard in the router's map.
+	Shard string
+	Addr  string
+	// Healthy is the router's breaker view of the shard.
+	Healthy bool
+	// Err is the router's fetch failure for this shard's snapshot,
+	// empty on success (Stats is then zero).
+	Err   string
+	Stats tasm.CacheStats
+}
+
+// ShardCacheStats fetches cache stats together with the per-shard
+// breakdown a tasm-router includes in its aggregation. Against a plain
+// tasmd the breakdown is nil and the stats are the daemon's own —
+// callers distinguish a router by a non-nil breakdown, which is how
+// `tasmctl stats` decides whether to print the per-shard table.
+func (c *Client) ShardCacheStats(ctx context.Context) (tasm.CacheStats, []ShardStats, error) {
+	var resp rpcwire.ShardedCacheStats
+	if err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &resp); err != nil {
+		return tasm.CacheStats{}, nil, err
+	}
+	var shards []ShardStats
+	for _, s := range resp.Shards {
+		shards = append(shards, ShardStats{Shard: s.Shard, Addr: s.Addr, Healthy: s.Healthy, Err: s.Error, Stats: s.Stats.ToCacheStats()})
+	}
+	return resp.ToCacheStats(), shards, nil
+}
+
 // AutotileStatus snapshots the daemon's background adaptive-tiling
 // subsystem; Enabled false means the daemon runs without -autotile.
 func (c *Client) AutotileStatus() (tasm.AutotileStatus, error) {
@@ -761,10 +817,15 @@ func (c *Client) do(ctx context.Context, method, path string, req, resp any) err
 
 // transportError classifies a failed round trip: a context the caller
 // cancelled (or whose deadline passed) surfaces as that context error
-// so errors.Is matches, anything else is a transport failure.
+// so errors.Is matches; connection-refused and connection-reset are
+// marked transient (Retryable reports true — the request never reached
+// a handler); anything else is a plain transport failure.
 func transportError(ctx context.Context, err error) error {
 	if ctx.Err() != nil {
 		return fmt.Errorf("client: %v: %w", err, ctx.Err())
+	}
+	if errors.Is(err, syscall.ECONNREFUSED) || errors.Is(err, syscall.ECONNRESET) {
+		return fmt.Errorf("client: %w", &transientError{err})
 	}
 	return fmt.Errorf("client: %w", err)
 }

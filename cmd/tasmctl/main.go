@@ -57,6 +57,7 @@ const (
 	exitConflict    = 4 // already exists, retile conflict, lost race with delete, store locked
 	exitDenied      = 5 // unauthorized: missing or unknown bearer token
 	exitCorrupt     = 6 // stored bytes failed integrity verification (checksum mismatch)
+	exitShardDown   = 7 // a tasm-router could not reach the shard owning the video
 	exitInterrupted = 130
 )
 
@@ -174,6 +175,8 @@ func exitCode(err error) int {
 		return exitDenied
 	case errors.Is(err, tasm.ErrTileCorrupt):
 		return exitCorrupt
+	case errors.Is(err, client.ErrShardUnavailable):
+		return exitShardDown
 	default:
 		return exitFailure
 	}
@@ -241,6 +244,8 @@ exit codes:
      store locked by another process)
   5  unauthorized (missing or unknown bearer token)
   6  corrupt (stored tiles failed checksum verification; try fsck -repair)
+  7  shard unavailable (a tasm-router's breaker is open for the owning
+     shard, or the shard died mid-stream; the rest of the fleet serves)
   130  interrupted by SIGINT/SIGTERM`)
 }
 
@@ -628,8 +633,31 @@ func cmdStats(ctx context.Context, args []string) error {
 		return err
 	}
 	defer b.Close()
-	st, err := b.CacheStatsContext(ctx)
-	if err != nil {
+	var st tasm.CacheStats
+	if rc, ok := b.(*client.Client); ok {
+		// Against a tasm-router the response carries a per-shard
+		// breakdown; against a plain tasmd the shard list is empty and
+		// only the totals print. One code path serves both.
+		var shards []client.ShardStats
+		if st, shards, err = rc.ShardCacheStats(ctx); err != nil {
+			return err
+		}
+		for _, s := range shards {
+			health := "up"
+			if !s.Healthy {
+				health = "DOWN"
+			}
+			if s.Err != "" {
+				fmt.Printf("shard %-12s %-21s %-4s unreachable: %s\n", s.Shard, s.Addr, health, s.Err)
+				continue
+			}
+			fmt.Printf("shard %-12s %-21s %-4s hits %d  misses %d  evictions %d  cached %d B in %d entries\n",
+				s.Shard, s.Addr, health, s.Stats.Hits, s.Stats.Misses, s.Stats.Evictions, s.Stats.BytesCached, s.Stats.Entries)
+		}
+		if len(shards) > 0 {
+			fmt.Println("merged totals:")
+		}
+	} else if st, err = b.CacheStatsContext(ctx); err != nil {
 		return err
 	}
 	// Eviction pressure is the ratio operators watch: evictions per

@@ -1,0 +1,340 @@
+// Shard benchmark: what the scale-out tier costs and buys. It stands
+// up three real tasmd handlers on loopback listeners, a tasm-router in
+// front of them, and a single tasmd holding the same videos, then
+// drains the same multi-video scatter-gather scan through both paths
+// in the binary framing — per-region wall, time-to-first-result, and
+// the bytes each path ships. Results serialize to BENCH_6.json.
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"github.com/tasm-repro/tasm"
+	"github.com/tasm-repro/tasm/client"
+	"github.com/tasm-repro/tasm/internal/rpcwire"
+	"github.com/tasm-repro/tasm/internal/scene"
+	"github.com/tasm-repro/tasm/internal/server"
+	"github.com/tasm-repro/tasm/internal/shard"
+)
+
+// ShardPerfResult is the machine-readable scale-out measurement.
+type ShardPerfResult struct {
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	CPUs        int    `json:"cpus"`
+	GeneratedAt string `json:"generated_at"`
+
+	// The workload: one scan naming every video, spread over the ring.
+	Shards  int `json:"shards"`
+	Videos  int `json:"videos"`
+	Regions int `json:"regions"`
+
+	// Single node: all videos on one tasmd, the local merge doing the
+	// frame-ordering (the pre-router baseline).
+	SingleFirstResultNs int64 `json:"single_first_result_ns"`
+	SingleDrainNs       int64 `json:"single_drain_ns"`
+
+	// Router: one remote cursor per video against the owning shard,
+	// gathered through the k-way merge, re-encoded for the caller.
+	RouterFirstResultNs int64 `json:"router_first_result_ns"`
+	RouterDrainNs       int64 `json:"router_drain_ns"`
+
+	// RouterDrainRatio = RouterDrainNs / SingleDrainNs: < 1 means the
+	// shards' parallel decode beat the extra hop; > 1 is the relay tax.
+	RouterDrainRatio float64 `json:"router_drain_ratio"`
+	// RouterOverheadPerRegionNs = (RouterDrainNs - SingleDrainNs) /
+	// Regions: the per-region cost (negative when the fleet wins).
+	RouterOverheadPerRegionNs int64 `json:"router_overhead_per_region_ns"`
+
+	// Wire bytes per region on the caller-facing hop, both paths in
+	// the binary framing. The router re-encodes rather than splices, so
+	// equality here is the "no inflation" check.
+	SingleBytesPerRegion int64 `json:"single_bytes_per_region"`
+	RouterBytesPerRegion int64 `json:"router_bytes_per_region"`
+}
+
+// shardPerfRuns averages the wall measurements over a few runs.
+const shardPerfRuns = 5
+
+// shardPerfShards and shardPerfVideos shape the fleet: 4 videos over 3
+// shards means at least one shard serves two cursors — the merge is
+// genuinely k-way, not a relay.
+const (
+	shardPerfShards = 3
+	shardPerfVideos = 4
+)
+
+// RunShardPerf measures scatter-gather against the single-node
+// baseline: same videos, same query, same framing, cache disabled
+// everywhere, everything on loopback TCP.
+func RunShardPerf(o Options) (ShardPerfResult, *Table, error) {
+	o = o.withDefaults()
+	res := ShardPerfResult{
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		CPUs:        runtime.GOMAXPROCS(0),
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Shards:      shardPerfShards,
+		Videos:      shardPerfVideos,
+	}
+
+	gop := max(2, o.FPS/2)
+	openStore := func(tag string) (*tasm.StorageManager, func(), error) {
+		dir, err := os.MkdirTemp("", "tasm-shard-"+tag+"-*")
+		if err != nil {
+			return nil, nil, err
+		}
+		sm, err := tasm.Open(dir,
+			tasm.WithGOPLength(gop),
+			tasm.WithMinTileSize(o.MinTileW, o.MinTileH),
+			tasm.WithQP(o.QP))
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, nil, err
+		}
+		return sm, func() { sm.Close(); os.RemoveAll(dir) }, nil
+	}
+
+	serveSM := func(sm *tasm.StorageManager) (string, func(), error) {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return "", nil, err
+		}
+		srv := &http.Server{Handler: server.New(sm, server.Config{})}
+		go srv.Serve(ln) //nolint:errcheck // closed via Shutdown below
+		stop := func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx) //nolint:errcheck // bench teardown
+		}
+		return ln.Addr().String(), stop, nil
+	}
+
+	// The single-node baseline and the shard fleet.
+	single, closeSingle, err := openStore("single")
+	if err != nil {
+		return res, nil, err
+	}
+	defer closeSingle()
+	var (
+		shardSMs []*tasm.StorageManager
+		entries  []shard.MapEntry
+	)
+	for i := 0; i < shardPerfShards; i++ {
+		sm, closeSM, err := openStore(fmt.Sprintf("s%d", i))
+		if err != nil {
+			return res, nil, err
+		}
+		defer closeSM()
+		addr, stop, err := serveSM(sm)
+		if err != nil {
+			return res, nil, err
+		}
+		defer stop()
+		shardSMs = append(shardSMs, sm)
+		entries = append(entries, shard.MapEntry{Name: fmt.Sprintf("s%d", i), Addr: addr})
+	}
+	ring, err := shard.NewMap(entries, 0)
+	if err != nil {
+		return res, nil, err
+	}
+
+	// Videos land on their ring owner and, identically, on the single
+	// node — the two paths must serve the same bytes.
+	durationSec := max(4, int(6*o.DurationScale))
+	var names []string
+	for i := 0; i < shardPerfVideos; i++ {
+		name := fmt.Sprintf("shardcam%d", i)
+		names = append(names, name)
+		v, err := scene.Generate(scene.Spec{
+			Name: name, W: o.Width, H: o.Height, FPS: o.FPS, DurationSec: durationSec,
+			Classes: []scene.ClassMix{
+				{Class: scene.Car, Count: 2, SizeFrac: 0.18},
+				{Class: scene.Person, Count: 1, SizeFrac: 0.3},
+			},
+			Seed: o.Seed + uint64(i),
+		})
+		if err != nil {
+			return res, nil, err
+		}
+		n := v.Spec.NumFrames()
+		var ds []tasm.Detection
+		for f := 0; f < n; f++ {
+			for _, tr := range v.GroundTruth(f) {
+				ds = append(ds, tasm.Detection{Frame: f, Label: tr.Label, Box: tr.Box})
+			}
+		}
+		var ownerSM *tasm.StorageManager
+		for i, e := range entries {
+			if e.Name == ring.Owner(name).Name {
+				ownerSM = shardSMs[i]
+			}
+		}
+		for _, sm := range []*tasm.StorageManager{ownerSM, single} {
+			if _, err := sm.Ingest(name, v.Frames(0, n), v.Spec.FPS); err != nil {
+				return res, nil, err
+			}
+			if err := sm.AddDetections(name, ds); err != nil {
+				return res, nil, err
+			}
+		}
+	}
+
+	// The router in front of the fleet, and a tasmd face on the single
+	// node, both on loopback.
+	rt, err := shard.NewRouter(ring, shard.RouterConfig{})
+	if err != nil {
+		return res, nil, err
+	}
+	defer rt.Close()
+	rln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return res, nil, err
+	}
+	rsrv := &http.Server{Handler: rt}
+	go rsrv.Serve(rln) //nolint:errcheck // closed via Shutdown below
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		rsrv.Shutdown(ctx) //nolint:errcheck // bench teardown
+	}()
+	singleAddr, stopSingle, err := serveSM(single)
+	if err != nil {
+		return res, nil, err
+	}
+	defer stopSingle()
+
+	cSingle, err := client.New(singleAddr, client.WithEncoding(client.Binary))
+	if err != nil {
+		return res, nil, err
+	}
+	defer cSingle.Close()
+	cRouter, err := client.New(rln.Addr().String(), client.WithEncoding(client.Binary))
+	if err != nil {
+		return res, nil, err
+	}
+	defer cRouter.Close()
+
+	ctx := context.Background()
+	sql := "SELECT car FROM " + strings.Join(names, ",")
+
+	// Warm both paths untimed, and pin the region counts equal — a
+	// scatter-gather that returns different results is not a benchmark,
+	// it is a bug.
+	_, stSingle, err := cSingle.ScanSQLContext(ctx, sql)
+	if err != nil {
+		return res, nil, err
+	}
+	_, stRouter, err := cRouter.ScanSQLContext(ctx, sql)
+	if err != nil {
+		return res, nil, err
+	}
+	if stSingle.RegionsReturned != stRouter.RegionsReturned || stRouter.RegionsReturned == 0 {
+		return res, nil, fmt.Errorf("bench: router returned %d regions, single node %d",
+			stRouter.RegionsReturned, stSingle.RegionsReturned)
+	}
+	res.Regions = stRouter.RegionsReturned
+
+	// Caller-facing wire bytes per region, both paths (untimed).
+	for _, p := range []struct {
+		addr string
+		out  *int64
+	}{
+		{singleAddr, &res.SingleBytesPerRegion},
+		{rln.Addr().String(), &res.RouterBytesPerRegion},
+	} {
+		req, err := http.NewRequest(http.MethodPost, "http://"+p.addr+"/v1/scan",
+			strings.NewReader(fmt.Sprintf(`{"sql":%q}`, sql)))
+		if err != nil {
+			return res, nil, err
+		}
+		req.Header.Set("Accept", rpcwire.ContentTypeBinary)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return res, nil, err
+		}
+		nb, err := io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			return res, nil, fmt.Errorf("bench: raw scan via %s: status %d, %v", p.addr, resp.StatusCode, err)
+		}
+		*p.out = nb / int64(res.Regions)
+	}
+
+	drain := func(c *client.Client) (firstNs, drainNs int64, n int, err error) {
+		start := time.Now()
+		cur, err := c.ScanSQLCursor(ctx, sql)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		if !cur.Next() {
+			return 0, 0, 0, fmt.Errorf("bench: scan yielded nothing: %v", cur.Err())
+		}
+		firstNs = time.Since(start).Nanoseconds()
+		n = 1
+		for cur.Next() {
+			n++
+		}
+		if err := cur.Err(); err != nil {
+			return 0, 0, 0, err
+		}
+		return firstNs, time.Since(start).Nanoseconds(), n, nil
+	}
+
+	var sFirst, sDrain, rFirst, rDrain int64
+	for run := 0; run < shardPerfRuns; run++ {
+		o.progressf("shard: run %d/%d\n", run+1, shardPerfRuns)
+		f1, d1, n1, err := drain(cSingle)
+		if err != nil {
+			return res, nil, err
+		}
+		f2, d2, n2, err := drain(cRouter)
+		if err != nil {
+			return res, nil, err
+		}
+		if n1 != res.Regions || n2 != res.Regions {
+			return res, nil, fmt.Errorf("bench: drained %d/%d regions, want %d", n1, n2, res.Regions)
+		}
+		sFirst, sDrain = sFirst+f1, sDrain+d1
+		rFirst, rDrain = rFirst+f2, rDrain+d2
+	}
+	res.SingleFirstResultNs = sFirst / shardPerfRuns
+	res.SingleDrainNs = sDrain / shardPerfRuns
+	res.RouterFirstResultNs = rFirst / shardPerfRuns
+	res.RouterDrainNs = rDrain / shardPerfRuns
+	if res.SingleDrainNs > 0 {
+		res.RouterDrainRatio = float64(res.RouterDrainNs) / float64(res.SingleDrainNs)
+	}
+	if res.Regions > 0 {
+		res.RouterOverheadPerRegionNs = (res.RouterDrainNs - res.SingleDrainNs) / int64(res.Regions)
+	}
+
+	t := &Table{
+		Title:   "Scale-out: scatter-gather through tasm-router vs a single tasmd",
+		Columns: []string{"measurement", "value"},
+		Rows: [][]string{
+			{"fleet", fmt.Sprintf("%d shards, %d videos, %d regions", res.Shards, res.Videos, res.Regions)},
+			{"single-node first result", fmt.Sprintf("%.3f ms", float64(res.SingleFirstResultNs)/1e6)},
+			{"single-node full drain", fmt.Sprintf("%.3f ms", float64(res.SingleDrainNs)/1e6)},
+			{"router first result", fmt.Sprintf("%.3f ms", float64(res.RouterFirstResultNs)/1e6)},
+			{"router full drain", fmt.Sprintf("%.3f ms (%.2fx single node)", float64(res.RouterDrainNs)/1e6, res.RouterDrainRatio)},
+			{"router overhead / region", fmt.Sprintf("%.1f µs", float64(res.RouterOverheadPerRegionNs)/1e3)},
+			{"wire bytes / region (single)", fmt.Sprintf("%d B", res.SingleBytesPerRegion)},
+			{"wire bytes / region (router)", fmt.Sprintf("%d B", res.RouterBytesPerRegion)},
+		},
+		Notes: []string{
+			fmt.Sprintf("%d CPUs, binary framing both paths, cache disabled, loopback TCP", res.CPUs),
+			"router path decodes on 3 processes' worth of stores but pays a second hop per region",
+			"wire bytes should match: the router re-encodes the same framing, adding nothing",
+		},
+	}
+	return res, t, nil
+}

@@ -131,23 +131,42 @@ func dedupeRects(rs []geom.Rect) []geom.Rect {
 	return out
 }
 
-// Query is a parsed TASM query: a label predicate over one video with an
-// optional frame range. To == -1 means "to the end of the video".
+// Query is a parsed TASM query: a label predicate over one or more videos
+// with an optional frame range. To == -1 means "to the end of the video".
+//
+// Video is always the first (usually only) target; Videos is non-nil only
+// for multi-video queries ("FROM a,b"), where it holds the full target
+// list with Video == Videos[0]. The engine scans one video at a time —
+// multi-video queries are split and merged above it (tasm.ScanContext, the
+// serving layer's frame-order merge) — so code holding a Query bound for
+// the engine may assume a single video; use VideoList to handle both
+// shapes uniformly.
 type Query struct {
-	Video string
-	Pred  Predicate
-	From  int
-	To    int
+	Video  string
+	Videos []string
+	Pred   Predicate
+	From   int
+	To     int
+}
+
+// VideoList returns the query's target videos: Videos when the query names
+// several, else the single Video.
+func (q Query) VideoList() []string {
+	if len(q.Videos) > 0 {
+		return q.Videos
+	}
+	return []string{q.Video}
 }
 
 // Parse parses a query of the form
 //
-//	SELECT <predicate> FROM <video> [WHERE <time predicate>]
+//	SELECT <predicate> FROM <video>[,<video>...] [WHERE <time predicate>]
 //
 // Predicates use labels combined with OR/| inside clauses and AND/& between
 // clauses, with optional parentheses and label='x' equality syntax. Time
 // predicates accept "a <= t < b", "t >= a AND t < b", "t = n", "t < b",
-// and "t >= a" over frame numbers.
+// and "t >= a" over frame numbers. A comma-separated FROM list scans every
+// named video (duplicates collapse to one occurrence, order preserved).
 func Parse(s string) (Query, error) {
 	toks, err := tokenize(s)
 	if err != nil {
@@ -165,10 +184,30 @@ func Parse(s string) (Query, error) {
 		return Query{}, fmt.Errorf("query: expected FROM, got %q", p.peek())
 	}
 	video := p.next()
-	if video == "" {
+	if video == "" || video == "," {
 		return Query{}, fmt.Errorf("query: missing video name")
 	}
+	videos := []string{video}
+	for p.eat(",") {
+		v := p.next()
+		if v == "" || v == "," {
+			return Query{}, fmt.Errorf("query: missing video name after comma")
+		}
+		dup := false
+		for _, seen := range videos {
+			if seen == v {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			videos = append(videos, v)
+		}
+	}
 	q := Query{Video: video, Pred: pred, From: 0, To: -1}
+	if len(videos) > 1 {
+		q.Videos = videos
+	}
 	if p.eatWord("where") {
 		if err := p.parseTime(&q); err != nil {
 			return Query{}, err

@@ -271,3 +271,70 @@ func TestRegionsLargeConjunction(t *testing.T) {
 		}
 	}
 }
+
+func TestParseMultiVideoFrom(t *testing.T) {
+	q, err := Parse("SELECT car FROM a, b, c WHERE 0 <= t < 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(q.Videos, []string{"a", "b", "c"}) {
+		t.Errorf("videos = %v", q.Videos)
+	}
+	// The invariant every single-video consumer relies on: Video is the
+	// first entry, so code unaware of Videos still sees a valid query.
+	if q.Video != "a" {
+		t.Errorf("video = %q, want first of the list", q.Video)
+	}
+	if !reflect.DeepEqual(q.VideoList(), []string{"a", "b", "c"}) {
+		t.Errorf("VideoList = %v", q.VideoList())
+	}
+	if q.From != 0 || q.To != 10 {
+		t.Errorf("range [%d,%d)", q.From, q.To)
+	}
+}
+
+func TestParseSingleVideoLeavesVideosNil(t *testing.T) {
+	q, err := Parse("SELECT car FROM only")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Videos != nil {
+		t.Errorf("single-video parse set Videos = %v", q.Videos)
+	}
+	if !reflect.DeepEqual(q.VideoList(), []string{"only"}) {
+		t.Errorf("VideoList = %v", q.VideoList())
+	}
+}
+
+func TestParseMultiVideoDedupes(t *testing.T) {
+	q, err := Parse("SELECT car FROM a, b, a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(q.Videos, []string{"a", "b"}) {
+		t.Errorf("videos = %v, want duplicates dropped order-preserving", q.Videos)
+	}
+	// Deduping all the way back down to one video restores the plain
+	// single-video shape.
+	q, err = Parse("SELECT car FROM a, a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Videos != nil || q.Video != "a" {
+		t.Errorf("a,a: video=%q videos=%v", q.Video, q.Videos)
+	}
+}
+
+func TestParseMultiVideoErrors(t *testing.T) {
+	bad := []string{
+		"SELECT car FROM a,",
+		"SELECT car FROM ,a",
+		"SELECT car FROM a,,b",
+		"SELECT car FROM a, WHERE t < 5",
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("%q: expected error", s)
+		}
+	}
+}

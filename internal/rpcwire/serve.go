@@ -1,0 +1,172 @@
+// Serving-side helpers shared by every process that speaks this wire
+// format from the server end — tasmd (internal/server) and tasm-router
+// (internal/shard). They were extracted from the tasmd handler stack
+// when the router grew the same HTTP surface: both daemons must parse
+// the same per-request headers, emit the same unary error envelope, and
+// drain cursors through the same stream framing with the same trailer
+// contract, or the "client/ and tasmctl work against either unchanged"
+// promise quietly rots.
+
+package rpcwire
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/tasm-repro/tasm/internal/core"
+)
+
+// RequestContext derives the operation context from a request: the
+// request context (cancelled on client disconnect), optionally bounded
+// by the Tasm-Deadline-Ms header, optionally carrying the
+// Tasm-Cache-Budget admission cap — the per-request knobs of the
+// serving contract.
+func RequestContext(r *http.Request) (ctx context.Context, cancel context.CancelFunc, err error) {
+	ctx = r.Context()
+	if h := r.Header.Get(CacheBudgetHeader); h != "" {
+		budget, perr := strconv.ParseInt(h, 10, 64)
+		if perr != nil || budget < 0 {
+			return nil, nil, fmt.Errorf("%w: header %s=%q", ErrBadRequest, CacheBudgetHeader, h)
+		}
+		ctx = core.WithCacheAdmissionBudget(ctx, budget)
+	}
+	h := r.Header.Get(DeadlineHeader)
+	if h == "" {
+		ctx, cancel = context.WithCancel(ctx)
+		return ctx, cancel, nil
+	}
+	ms, perr := strconv.ParseInt(h, 10, 64)
+	if perr != nil || ms <= 0 {
+		return nil, nil, fmt.Errorf("%w: header %s=%q", ErrBadRequest, DeadlineHeader, h)
+	}
+	ctx, cancel = context.WithTimeout(ctx, time.Duration(ms)*time.Millisecond)
+	return ctx, cancel, nil
+}
+
+// UnaryBoundary enforces the request context on unary operations whose
+// underlying forms take no context: the Tasm-Deadline-Ms header and a
+// client disconnect are honored at the operation's start boundary — an
+// already-dead request is answered with its context error instead of
+// doing the work for a caller that is gone. It reports false after
+// writing the error response.
+func UnaryBoundary(w http.ResponseWriter, r *http.Request) bool {
+	ctx, cancel, err := RequestContext(r)
+	if err != nil {
+		WriteError(w, err)
+		return false
+	}
+	defer cancel()
+	if err := ctx.Err(); err != nil {
+		WriteError(w, fmt.Errorf("server: %w", err))
+		return false
+	}
+	return true
+}
+
+// ReadJSON decodes a request body, classifying malformed input as
+// bad_request.
+func ReadJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("%w: decoding body: %v", ErrBadRequest, err)
+	}
+	return nil
+}
+
+// WriteJSON sends a unary 200 response.
+func WriteJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v) // past the header there is no better channel than the connection itself
+}
+
+// WriteError sends the mapped status and error envelope (unary shape).
+func WriteError(w http.ResponseWriter, err error) {
+	status, body := EncodeError(err)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(struct {
+		Error ErrorBody `json:"error"`
+	}{body})
+}
+
+// StreamSource is the cursor shape the streaming endpoints drain: local
+// tasm cursors, remote client cursors, and the scatter-gather merge all
+// satisfy it.
+type StreamSource interface {
+	Next() bool
+	Err() error
+	Stats() core.ScanStats
+}
+
+// lineEncoder is one stream framing: v1 NDJSON or the v2 binary frame
+// encoding, chosen per request by content negotiation. Both carry the
+// same StreamLine records and share the error-envelope trailer, so
+// everything above this seam is encoding-agnostic.
+type lineEncoder interface {
+	encode(StreamLine) error
+	// flush pushes any buffering between the encoder and the network.
+	flush() error
+}
+
+type ndjsonEncoder struct{ enc *json.Encoder }
+
+func (e ndjsonEncoder) encode(l StreamLine) error { return e.enc.Encode(l) }
+func (e ndjsonEncoder) flush() error              { return nil }
+
+type binaryEncoder struct{ w *FrameStreamWriter }
+
+func (e binaryEncoder) encode(l StreamLine) error { return e.w.WriteLine(l) }
+func (e binaryEncoder) flush() error              { return e.w.Flush() }
+
+// ServeStream drains cur into w in the negotiated framing, one record
+// per result, flushed per record so TTFB tracks the pipeline's
+// time-to-first-result. A successful stream ends with a stats record —
+// the client's end-of-stream marker — and a failed one with an
+// error-envelope record (the envelope both framings share, so
+// mid-stream failures reconstruct the same sentinels either way).
+// Write failures mean the client went away: the cursor's context
+// (derived from the request context) is already cancelled or about to
+// be, so the caller's deferred Close releases leases; nothing useful
+// can be sent, so ServeStream just returns.
+func ServeStream[C StreamSource](w http.ResponseWriter, r *http.Request, cur C, line func(C) StreamLine) {
+	ct := NegotiateStreamEncoding(r)
+	w.Header().Set("Content-Type", ct)
+	w.Header().Set("X-Accel-Buffering", "no") // defeat proxy buffering; streaming is the point
+	w.WriteHeader(http.StatusOK)
+	var enc lineEncoder
+	if ct == ContentTypeBinary {
+		enc = binaryEncoder{NewFrameStreamWriter(w)}
+	} else {
+		enc = ndjsonEncoder{json.NewEncoder(w)}
+	}
+	flush := func() {
+		if err := enc.flush(); err != nil {
+			return
+		}
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+	}
+	flush() // commit the header before the first (possibly slow) decode
+	for cur.Next() {
+		if err := enc.encode(line(cur)); err != nil {
+			return
+		}
+		flush()
+	}
+	var final StreamLine
+	if err := cur.Err(); err != nil {
+		_, body := EncodeError(err)
+		final.Error = &body
+	} else {
+		stats := FromScanStats(cur.Stats())
+		final.Stats = &stats
+	}
+	_ = enc.encode(final)
+	flush()
+}

@@ -94,6 +94,10 @@ var wireErrors = []errorMapping{
 	{tasmerr.ErrCursorClosed, "cursor_closed", statusClientClosedRequest},
 	{tasmerr.ErrStoreLocked, "store_locked", http.StatusConflict},
 	{tasmerr.ErrTileCorrupt, "tile_corrupt", http.StatusInternalServerError},
+	// 502, not 503: overloaded means "this server is alive, back off and
+	// retry"; shard_unavailable means a router could not reach the data
+	// plane at all — retrying against the same dead shard cannot help.
+	{tasmerr.ErrShardUnavailable, "shard_unavailable", http.StatusBadGateway},
 	{ErrBadRequest, "bad_request", http.StatusBadRequest},
 	{ErrUnauthorized, "unauthorized", http.StatusUnauthorized},
 	{ErrOverloaded, "overloaded", http.StatusServiceUnavailable},
@@ -254,6 +258,10 @@ func (f Frame) ToFrame() (*frame.Frame, error) {
 // Query is a parsed Scan request on the wire.
 type Query struct {
 	Video string `json:"video"`
+	// Videos carries the full target list of a multi-video query
+	// ("FROM a,b"); empty for the ordinary single-video case, where
+	// Video alone names the target. When set, Video == Videos[0].
+	Videos []string `json:"videos,omitempty"`
 	// Clauses is the CNF label predicate: OR within a clause, AND
 	// between clauses.
 	Clauses [][]string `json:"clauses"`
@@ -264,12 +272,16 @@ type Query struct {
 
 // FromQuery converts an in-process query.
 func FromQuery(q query.Query) Query {
-	return Query{Video: q.Video, Clauses: q.Pred.Clauses, From: q.From, To: q.To}
+	return Query{Video: q.Video, Videos: q.Videos, Clauses: q.Pred.Clauses, From: q.From, To: q.To}
 }
 
 // ToQuery converts back to the in-process type.
 func (q Query) ToQuery() query.Query {
-	return query.Query{Video: q.Video, Pred: query.Predicate{Clauses: q.Clauses}, From: q.From, To: q.To}
+	out := query.Query{Video: q.Video, Videos: q.Videos, Pred: query.Predicate{Clauses: q.Clauses}, From: q.From, To: q.To}
+	if len(out.Videos) > 0 {
+		out.Video = out.Videos[0]
+	}
+	return out
 }
 
 // ---- unary requests and responses ----
@@ -531,6 +543,48 @@ func FromStoreRepairReport(r tilestore.RepairReport) StoreRepairReport {
 // ToStoreRepairReport converts back to the in-process type.
 func (r StoreRepairReport) ToStoreRepairReport() tilestore.RepairReport {
 	return tilestore.RepairReport{Quarantined: r.Quarantined, Reverted: r.Reverted, Videos: r.Videos}
+}
+
+// ---- scale-out (tasm-router) ----
+
+// ShardInfo is one shard's identity and health as a router sees it.
+type ShardInfo struct {
+	Name string `json:"name"`
+	Addr string `json:"addr"`
+	// Healthy reflects the router's breaker state, not the shard's own
+	// opinion: false once ConsecutiveFailures reached the breaker
+	// threshold, true again after the next successful probe.
+	Healthy bool `json:"healthy"`
+	// ConsecutiveFailures counts probe and request failures since the
+	// shard's last success.
+	ConsecutiveFailures int `json:"consecutive_failures,omitempty"`
+}
+
+// ShardsResponse is GET /v1/shards on a router: the live shard map and
+// per-shard health.
+type ShardsResponse struct {
+	Replicas int         `json:"replicas"`
+	Shards   []ShardInfo `json:"shards"`
+}
+
+// ShardCacheStats is one shard's contribution to a router's stats
+// aggregation. Error is set (and Stats zero) when the shard could not
+// be reached for the snapshot.
+type ShardCacheStats struct {
+	Shard   string     `json:"shard"`
+	Addr    string     `json:"addr"`
+	Healthy bool       `json:"healthy"`
+	Error   string     `json:"error,omitempty"`
+	Stats   CacheStats `json:"stats"`
+}
+
+// ShardedCacheStats is a router's GET /v1/stats body: the merged totals
+// inline — so a plain client decodes it as an ordinary CacheStats
+// unchanged — plus the per-shard breakdown. A single tasmd never sets
+// Shards, which is how callers tell the two apart.
+type ShardedCacheStats struct {
+	CacheStats
+	Shards []ShardCacheStats `json:"shards,omitempty"`
 }
 
 // nsDuration converts a wire nanosecond count to a time.Duration.

@@ -25,7 +25,6 @@ package server
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"io"
 	"log"
@@ -39,7 +38,9 @@ import (
 	"time"
 
 	"github.com/tasm-repro/tasm"
+	"github.com/tasm-repro/tasm/internal/core"
 	"github.com/tasm-repro/tasm/internal/rpcwire"
+	"github.com/tasm-repro/tasm/internal/shard"
 )
 
 // Config tunes the handler stack.
@@ -285,79 +286,22 @@ func (w *logWriter) status() int {
 	return w.code
 }
 
-// requestContext derives the operation context: the request context
-// (cancelled on client disconnect), optionally bounded by the
-// Tasm-Deadline-Ms header, optionally carrying the Tasm-Cache-Budget
-// admission cap — the per-request knobs of the serving contract.
-func requestContext(r *http.Request) (ctx context.Context, cancel context.CancelFunc, err error) {
-	ctx = r.Context()
-	if h := r.Header.Get(rpcwire.CacheBudgetHeader); h != "" {
-		budget, perr := strconv.ParseInt(h, 10, 64)
-		if perr != nil || budget < 0 {
-			return nil, nil, fmt.Errorf("%w: header %s=%q", rpcwire.ErrBadRequest, rpcwire.CacheBudgetHeader, h)
-		}
-		ctx = tasm.WithRequestCacheBudget(ctx, budget)
-	}
-	h := r.Header.Get(rpcwire.DeadlineHeader)
-	if h == "" {
-		ctx, cancel = context.WithCancel(ctx)
-		return ctx, cancel, nil
-	}
-	ms, perr := strconv.ParseInt(h, 10, 64)
-	if perr != nil || ms <= 0 {
-		return nil, nil, fmt.Errorf("%w: header %s=%q", rpcwire.ErrBadRequest, rpcwire.DeadlineHeader, h)
-	}
-	ctx, cancel = context.WithTimeout(ctx, time.Duration(ms)*time.Millisecond)
-	return ctx, cancel, nil
+// The request-context parsing, error/JSON writers, and stream framing
+// live in rpcwire (serve.go), shared with tasm-router so both daemons
+// present the identical HTTP surface; these aliases keep the handler
+// bodies terse.
+
+func requestContext(r *http.Request) (context.Context, context.CancelFunc, error) {
+	return rpcwire.RequestContext(r)
 }
 
-// unaryBoundary enforces the request context on unary operations whose
-// manager forms take no context (GC, FSCK, catalog reads, index
-// writes): the Tasm-Deadline-Ms header and a client disconnect are
-// honored at the operation's start boundary — an already-dead request
-// is answered with its context error instead of doing the work (and
-// holding a limiter slot) for a caller that is gone. It reports false
-// after writing the error response.
-func unaryBoundary(w http.ResponseWriter, r *http.Request) bool {
-	ctx, cancel, err := requestContext(r)
-	if err != nil {
-		writeError(w, err)
-		return false
-	}
-	defer cancel()
-	if err := ctx.Err(); err != nil {
-		writeError(w, fmt.Errorf("server: %w", err))
-		return false
-	}
-	return true
-}
+func unaryBoundary(w http.ResponseWriter, r *http.Request) bool { return rpcwire.UnaryBoundary(w, r) }
 
-// readJSON decodes a request body, classifying malformed input as
-// bad_request.
-func readJSON(r *http.Request, v any) error {
-	dec := json.NewDecoder(r.Body)
-	if err := dec.Decode(v); err != nil {
-		return fmt.Errorf("%w: decoding body: %v", rpcwire.ErrBadRequest, err)
-	}
-	return nil
-}
+func readJSON(r *http.Request, v any) error { return rpcwire.ReadJSON(r, v) }
 
-// writeJSON sends a unary 200 response.
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	_ = enc.Encode(v) // past the header there is no better channel than the connection itself
-}
+func writeJSON(w http.ResponseWriter, v any) { rpcwire.WriteJSON(w, v) }
 
-// writeError sends the mapped status and error envelope (unary shape).
-func writeError(w http.ResponseWriter, err error) {
-	status, body := rpcwire.EncodeError(err)
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(struct {
-		Error rpcwire.ErrorBody `json:"error"`
-	}{body})
-}
+func writeError(w http.ResponseWriter, err error) { rpcwire.WriteError(w, err) }
 
 // ---- unary handlers ----
 
@@ -732,13 +676,39 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 	} else {
 		q = req.Query.ToQuery()
 	}
+	// A multi-video query scatters locally: one engine cursor per video,
+	// merged into a single frame-ordered stream — the same merge the
+	// router runs over remote cursors, so a scan through tasmd and one
+	// scattered across shards produce identical bytes.
+	if vids := q.VideoList(); len(vids) > 1 {
+		srcs := make([]shard.Source[core.RegionResult], 0, len(vids))
+		for _, v := range vids {
+			sq := q
+			sq.Video, sq.Videos = v, nil
+			cur, err := s.sm.ScanCursor(ctx, sq)
+			if err != nil {
+				for _, src := range srcs {
+					_ = src.Close()
+				}
+				writeError(w, err)
+				return
+			}
+			srcs = append(srcs, cur)
+		}
+		merged := shard.NewRegionMerge(srcs...)
+		defer merged.Close()
+		rpcwire.ServeStream(w, r, merged, func(m *shard.Merge[core.RegionResult]) rpcwire.StreamLine {
+			return rpcwire.StreamLine{Region: ptr(rpcwire.FromRegion(m.Result()))}
+		})
+		return
+	}
 	cur, err := s.sm.ScanCursor(ctx, q)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
 	defer cur.Close()
-	stream(w, r, cur, func(c *tasm.Cursor) rpcwire.StreamLine {
+	rpcwire.ServeStream(w, r, cur, func(c *tasm.Cursor) rpcwire.StreamLine {
 		return rpcwire.StreamLine{Region: ptr(rpcwire.FromRegion(c.Result()))}
 	})
 }
@@ -761,83 +731,9 @@ func (s *Server) handleDecodeFrames(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer cur.Close()
-	stream(w, r, cur, func(c *tasm.FrameCursor) rpcwire.StreamLine {
+	rpcwire.ServeStream(w, r, cur, func(c *tasm.FrameCursor) rpcwire.StreamLine {
 		return rpcwire.StreamLine{Frame: ptr(rpcwire.FromFrameResult(c.Result()))}
 	})
-}
-
-// streamCursor is the cursor shape both streaming endpoints drain.
-type streamCursor interface {
-	Next() bool
-	Err() error
-	Stats() tasm.ScanStats
-}
-
-// lineEncoder is one stream framing: v1 NDJSON or the v2 binary frame
-// encoding, chosen per request by content negotiation. Both carry the
-// same StreamLine records and share the error-envelope trailer, so
-// everything above this seam is encoding-agnostic.
-type lineEncoder interface {
-	encode(rpcwire.StreamLine) error
-	// flush pushes any buffering between the encoder and the network.
-	flush() error
-}
-
-type ndjsonEncoder struct{ enc *json.Encoder }
-
-func (e ndjsonEncoder) encode(l rpcwire.StreamLine) error { return e.enc.Encode(l) }
-func (e ndjsonEncoder) flush() error                      { return nil }
-
-type binaryEncoder struct{ w *rpcwire.FrameStreamWriter }
-
-func (e binaryEncoder) encode(l rpcwire.StreamLine) error { return e.w.WriteLine(l) }
-func (e binaryEncoder) flush() error                      { return e.w.Flush() }
-
-// stream drains cur into w in the negotiated framing, one record per
-// result, flushed per record so TTFB tracks the pipeline's
-// time-to-first-result. A successful stream ends with a stats record —
-// the client's end-of-stream marker — and a failed one with an
-// error-envelope record (the envelope both framings share, so
-// mid-stream failures reconstruct the same sentinels either way).
-// Write failures mean the client went away: the cursor's context
-// (derived from the request context) is already cancelled or about to
-// be, so the deferred Close releases leases; nothing useful can be
-// sent, so stream just returns.
-func stream[C streamCursor](w http.ResponseWriter, r *http.Request, cur C, line func(C) rpcwire.StreamLine) {
-	ct := rpcwire.NegotiateStreamEncoding(r)
-	w.Header().Set("Content-Type", ct)
-	w.Header().Set("X-Accel-Buffering", "no") // defeat proxy buffering; streaming is the point
-	w.WriteHeader(http.StatusOK)
-	var enc lineEncoder
-	if ct == rpcwire.ContentTypeBinary {
-		enc = binaryEncoder{rpcwire.NewFrameStreamWriter(w)}
-	} else {
-		enc = ndjsonEncoder{json.NewEncoder(w)}
-	}
-	flush := func() {
-		if err := enc.flush(); err != nil {
-			return
-		}
-		if f, ok := w.(http.Flusher); ok {
-			f.Flush()
-		}
-	}
-	flush() // commit the header before the first (possibly slow) decode
-	for cur.Next() {
-		if err := enc.encode(line(cur)); err != nil {
-			return
-		}
-		flush()
-	}
-	var final rpcwire.StreamLine
-	if err := cur.Err(); err != nil {
-		_, body := rpcwire.EncodeError(err)
-		final.Error = &body
-	} else {
-		final.Stats = ptr(rpcwire.FromScanStats(cur.Stats()))
-	}
-	_ = enc.encode(final)
-	flush()
 }
 
 func ptr[T any](v T) *T { return &v }

@@ -1,0 +1,130 @@
+package shard
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/tasm-repro/tasm/client"
+)
+
+// DefaultBreakerThreshold is the consecutive-failure count that marks a
+// shard down when the router config leaves it zero: one blip (a dropped
+// connection mid-deploy) should not eject a shard, three in a row means
+// requests are burning their latency budget on a dead address.
+const DefaultBreakerThreshold = 3
+
+// DefaultHealthInterval is the probe period when the config leaves it
+// zero: fast enough that a SIGKILLed shard is marked down (and a
+// restarted one marked up) within a few seconds, slow enough that N
+// routers probing M shards is noise.
+const DefaultHealthInterval = 2 * time.Second
+
+// shardState is the router's per-shard runtime: the backend client, the
+// breaker, and the serving counters /metrics exports. States are keyed
+// by shard name and survive map reloads, so a SIGHUP that only changes
+// an unrelated shard does not reset this one's health or counters.
+type shardState struct {
+	name string
+	addr string
+	c    *client.Client
+
+	// Breaker: consecutive counts probe and request failures since the
+	// last success; down latches once it reaches the threshold and
+	// clears on the next success (the prober keeps probing a down
+	// shard, so recovery needs no operator action).
+	mu          sync.Mutex
+	consecutive int
+	down        bool
+
+	requests atomic.Int64 // requests routed to this shard
+	failures atomic.Int64 // transport-level failures observed
+}
+
+// isDown reports whether the breaker is open.
+func (s *shardState) isDown() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.down
+}
+
+// snapshot returns the breaker state for /v1/shards and /metrics.
+func (s *shardState) snapshot() (down bool, consecutive int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.down, s.consecutive
+}
+
+// recordSuccess resets the breaker, reporting true on a down→up
+// transition (the caller logs it).
+func (s *shardState) recordSuccess() (revived bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	revived = s.down
+	s.down, s.consecutive = false, 0
+	return revived
+}
+
+// recordFailure counts one failure, reporting true on the up→down
+// transition at threshold.
+func (s *shardState) recordFailure(threshold int) (opened bool) {
+	s.failures.Add(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.consecutive++
+	if !s.down && s.consecutive >= threshold {
+		s.down = true
+		return true
+	}
+	return false
+}
+
+// probe runs one health check against the shard, bounded so a hung
+// shard costs one interval, not a stuck prober.
+func (rt *Router) probe(st *shardState, timeout time.Duration) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if err := st.c.Ping(ctx); err != nil {
+		if st.recordFailure(rt.cfg.BreakerThreshold) {
+			rt.cfg.Logger.Printf("shard %s (%s) down: %v", st.name, st.addr, err)
+		}
+		return
+	}
+	if st.recordSuccess() {
+		rt.cfg.Logger.Printf("shard %s (%s) up", st.name, st.addr)
+	}
+}
+
+// probeLoop probes every shard each interval until Close. Probes run
+// concurrently per tick: one hung shard must not delay detection on
+// the others.
+func (rt *Router) probeLoop() {
+	defer rt.probeWG.Done()
+	ticker := time.NewTicker(rt.cfg.HealthInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-rt.stopCh:
+			return
+		case <-ticker.C:
+		}
+		// The timeout tracks the interval but never dips below a floor:
+		// with a sub-second interval, a shard briefly busy with a heavy
+		// ingest would blow 50ms probe budgets and trip the breaker
+		// while perfectly alive.
+		timeout := rt.cfg.HealthInterval
+		if timeout < time.Second {
+			timeout = time.Second
+		}
+		var wg sync.WaitGroup
+		for _, st := range rt.statesSnapshot() {
+			wg.Add(1)
+			go func(st *shardState) {
+				defer wg.Done()
+				rt.probe(st, timeout)
+			}(st)
+		}
+		wg.Wait()
+	}
+}

@@ -1,0 +1,159 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"sort"
+	"strconv"
+)
+
+// DefaultReplicas is the virtual-node count per shard when the map file
+// leaves it zero: enough points that a 3-shard ring splits a uniform
+// video population within a few percent of even, cheap enough that a
+// reload rebuilds the ring in microseconds.
+const DefaultReplicas = 128
+
+// MapEntry is one shard in the map: a stable name (the ring hashes the
+// name, so a shard can change address — restart on a new port, move
+// hosts — without any video changing owner) and the tasmd address the
+// router dials.
+type MapEntry struct {
+	Name string `json:"name"`
+	Addr string `json:"addr"`
+}
+
+// Map is an immutable consistent-hash ring over a set of tasmd shards.
+// Each shard contributes Replicas virtual points (FNV-1a of
+// "name#i"), and a video's owner is the shard whose point is first at
+// or clockwise of the video name's hash. Immutability is the reload
+// contract: SIGHUP builds a fresh Map and swaps it in whole, so no
+// request ever sees a half-updated ring.
+type Map struct {
+	replicas int
+	entries  []MapEntry
+	points   []ringPoint
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int // index into entries
+}
+
+// NewMap builds a ring from the entries. Names and addresses must be
+// unique and non-empty; replicas <= 0 means DefaultReplicas.
+func NewMap(entries []MapEntry, replicas int) (*Map, error) {
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("shard: map has no shards")
+	}
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	names := map[string]bool{}
+	addrs := map[string]bool{}
+	for _, e := range entries {
+		if e.Name == "" || e.Addr == "" {
+			return nil, fmt.Errorf("shard: map entry needs both name and addr (got name=%q addr=%q)", e.Name, e.Addr)
+		}
+		if names[e.Name] {
+			return nil, fmt.Errorf("shard: duplicate shard name %q", e.Name)
+		}
+		if addrs[e.Addr] {
+			return nil, fmt.Errorf("shard: duplicate shard addr %q", e.Addr)
+		}
+		names[e.Name], addrs[e.Addr] = true, true
+	}
+	m := &Map{
+		replicas: replicas,
+		entries:  append([]MapEntry(nil), entries...),
+		points:   make([]ringPoint, 0, replicas*len(entries)),
+	}
+	for i, e := range m.entries {
+		for r := 0; r < replicas; r++ {
+			m.points = append(m.points, ringPoint{hash: hashKey(e.Name + "#" + strconv.Itoa(r)), shard: i})
+		}
+	}
+	sort.Slice(m.points, func(i, j int) bool {
+		if m.points[i].hash != m.points[j].hash {
+			return m.points[i].hash < m.points[j].hash
+		}
+		// A full 64-bit hash collision between virtual points is
+		// astronomically unlikely but must still order deterministically
+		// across processes, or two routers could disagree on an owner.
+		return m.points[i].shard < m.points[j].shard
+	})
+	return m, nil
+}
+
+// mapFile is the JSON shard-map file format:
+//
+//	{
+//	  "replicas": 128,
+//	  "shards": [
+//	    {"name": "s1", "addr": "127.0.0.1:7001"},
+//	    {"name": "s2", "addr": "127.0.0.1:7002"}
+//	  ]
+//	}
+type mapFile struct {
+	Replicas int        `json:"replicas,omitempty"`
+	Shards   []MapEntry `json:"shards"`
+}
+
+// ParseMapFile loads and validates a shard-map file. Like the tenant
+// table, a parse failure is the caller's cue to keep the current map
+// (tasm-router does so on SIGHUP).
+func ParseMapFile(path string) (*Map, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("shard: reading map file: %w", err)
+	}
+	var f mapFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("shard: parsing map file %s: %w", path, err)
+	}
+	m, err := NewMap(f.Shards, f.Replicas)
+	if err != nil {
+		return nil, fmt.Errorf("%w (in %s)", err, path)
+	}
+	return m, nil
+}
+
+// Owner returns the shard owning the named video.
+func (m *Map) Owner(video string) MapEntry {
+	h := hashKey(video)
+	// First point at or clockwise of h, wrapping past the top.
+	i := sort.Search(len(m.points), func(i int) bool { return m.points[i].hash >= h })
+	if i == len(m.points) {
+		i = 0
+	}
+	return m.entries[m.points[i].shard]
+}
+
+// Shards returns the map's entries in file order.
+func (m *Map) Shards() []MapEntry { return append([]MapEntry(nil), m.entries...) }
+
+// Replicas returns the virtual-node count per shard.
+func (m *Map) Replicas() int { return m.replicas }
+
+// hashKey is the ring's hash: FNV-1a 64, chosen because it is stable
+// across processes and Go versions (maphash seeds per process, which
+// would make two routers disagree on ownership), finished with a
+// 64-bit avalanche mix. The mix matters: raw FNV-1a barely diffuses
+// short, similar keys ("s1#0", "s1#1", …), which clusters a shard's
+// virtual points and skews a 3-shard ring as far as 50/36/14.
+func hashKey(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer: full avalanche, stable everywhere.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

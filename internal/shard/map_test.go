@@ -1,0 +1,154 @@
+package shard
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func threeShards() []MapEntry {
+	return []MapEntry{
+		{Name: "s1", Addr: "127.0.0.1:7001"},
+		{Name: "s2", Addr: "127.0.0.1:7002"},
+		{Name: "s3", Addr: "127.0.0.1:7003"},
+	}
+}
+
+// TestOwnerDeterministicAcrossBuilds: two independently built rings
+// over the same entries agree on every owner — the property two
+// routers in front of the same fleet depend on (and the reason the
+// hash is FNV, not maphash).
+func TestOwnerDeterministicAcrossBuilds(t *testing.T) {
+	a, err := NewMap(threeShards(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewMap(threeShards(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		v := fmt.Sprintf("video-%d", i)
+		if a.Owner(v).Name != b.Owner(v).Name {
+			t.Fatalf("rings disagree on %q: %s vs %s", v, a.Owner(v).Name, b.Owner(v).Name)
+		}
+	}
+}
+
+// TestOwnerSurvivesAddressChange: the ring hashes names, so moving a
+// shard to a new address must not move any video.
+func TestOwnerSurvivesAddressChange(t *testing.T) {
+	before, err := NewMap(threeShards(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := threeShards()
+	moved[1].Addr = "10.0.0.9:9999"
+	after, err := NewMap(moved, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		v := fmt.Sprintf("video-%d", i)
+		if before.Owner(v).Name != after.Owner(v).Name {
+			t.Fatalf("address change moved %q: %s -> %s", v, before.Owner(v).Name, after.Owner(v).Name)
+		}
+	}
+}
+
+// TestRemovalOnlyMovesOrphans is consistent hashing's defining
+// property: dropping one shard re-homes only the videos it owned.
+func TestRemovalOnlyMovesOrphans(t *testing.T) {
+	full, err := NewMap(threeShards(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, err := NewMap(threeShards()[:2], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		v := fmt.Sprintf("video-%d", i)
+		was := full.Owner(v).Name
+		if was != "s3" && reduced.Owner(v).Name != was {
+			t.Fatalf("%q moved %s -> %s though its shard survived", v, was, reduced.Owner(v).Name)
+		}
+	}
+}
+
+// TestDistribution: with the default virtual-node count a 3-shard ring
+// splits a uniform population roughly evenly. The bound is loose on
+// purpose — the test pins "no shard is starved or doubled", not a
+// particular split.
+func TestDistribution(t *testing.T) {
+	m, err := NewMap(threeShards(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const n = 9000
+	for i := 0; i < n; i++ {
+		counts[m.Owner(fmt.Sprintf("video-%d", i)).Name]++
+	}
+	for name, c := range counts {
+		if c < n/6 || c > n/2 {
+			t.Fatalf("shard %s owns %d of %d (distribution: %v)", name, c, n, counts)
+		}
+	}
+}
+
+func TestMapValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		entries []MapEntry
+	}{
+		{"empty", nil},
+		{"missing name", []MapEntry{{Addr: "a:1"}}},
+		{"missing addr", []MapEntry{{Name: "s1"}}},
+		{"dup name", []MapEntry{{Name: "s1", Addr: "a:1"}, {Name: "s1", Addr: "a:2"}}},
+		{"dup addr", []MapEntry{{Name: "s1", Addr: "a:1"}, {Name: "s2", Addr: "a:1"}}},
+	}
+	for _, tc := range cases {
+		if _, err := NewMap(tc.entries, 0); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestParseMapFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "shards.json")
+	if err := os.WriteFile(path, []byte(`{
+		"replicas": 64,
+		"shards": [
+			{"name": "s1", "addr": "127.0.0.1:7001"},
+			{"name": "s2", "addr": "127.0.0.1:7002"}
+		]
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ParseMapFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Replicas() != 64 || len(m.Shards()) != 2 {
+		t.Fatalf("replicas %d, shards %v", m.Replicas(), m.Shards())
+	}
+
+	for name, content := range map[string]string{
+		"bad.json":   `{"shards": [`,
+		"empty.json": `{"shards": []}`,
+	} {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ParseMapFile(p); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+	if _, err := ParseMapFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file: expected error")
+	}
+}

@@ -1,0 +1,251 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/tasm-repro/tasm/internal/core"
+	"github.com/tasm-repro/tasm/internal/frame"
+	"github.com/tasm-repro/tasm/internal/geom"
+	"github.com/tasm-repro/tasm/internal/tasmerr"
+)
+
+// fakeSource is a scripted merge source: items in order, then an
+// optional terminal error (errAt < 0 means clean exhaustion; errAt = n
+// means the error fires when item n is requested, so errAt = 0 is a
+// source that fails before producing anything).
+type fakeSource struct {
+	items  []core.RegionResult
+	errAt  int
+	err    error
+	stats  core.ScanStats
+	i      int
+	cur    core.RegionResult
+	closed bool
+}
+
+func newFakeSource(items []core.RegionResult) *fakeSource {
+	return &fakeSource{items: items, errAt: -1}
+}
+
+func (f *fakeSource) Next() bool {
+	if f.errAt >= 0 && f.i >= f.errAt {
+		return false
+	}
+	if f.i >= len(f.items) {
+		return false
+	}
+	f.cur = f.items[f.i]
+	f.i++
+	return true
+}
+
+func (f *fakeSource) Result() core.RegionResult { return f.cur }
+
+func (f *fakeSource) Err() error {
+	if f.errAt >= 0 && f.i >= f.errAt {
+		return f.err
+	}
+	return nil
+}
+
+func (f *fakeSource) Stats() core.ScanStats { return f.stats }
+func (f *fakeSource) Close() error          { f.closed = true; return nil }
+
+// region builds a distinguishable result: the pixel payload encodes
+// (frame, seq) so byte-identity checks catch any reordering.
+func region(frameNo, seq int) core.RegionResult {
+	px := frame.New(4, 2)
+	for j := range px.Y {
+		px.Y[j] = byte(frameNo*31 + seq*7 + j)
+	}
+	return core.RegionResult{
+		Frame:  frameNo,
+		Region: geom.Rect{X0: seq, Y0: 0, X1: seq + 4, Y1: 2},
+		Pixels: px,
+	}
+}
+
+func sameRegion(a, b core.RegionResult) bool {
+	return a.Frame == b.Frame && a.Region == b.Region && string(a.Pixels.Y) == string(b.Pixels.Y)
+}
+
+// TestMergeMatchesConcatenation is the property test behind the
+// scatter-gather fidelity bar: merging K frame-ordered sources yields
+// exactly the stream a single source holding the stable frame-sorted
+// concatenation would — same regions, same bytes, same order —
+// across random splits, duplicate frames, empty sources, and K = 1.
+func TestMergeMatchesConcatenation(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		k := 1 + rng.Intn(5)
+		n := rng.Intn(80)
+
+		// Tag each item with its source up front: the merge's contract
+		// is stable frame order with ties broken by source priority, so
+		// the expected stream is the stable sort by (frame, source).
+		type tagged struct {
+			src int
+			r   core.RegionResult
+		}
+		all := make([]tagged, n)
+		for i := 0; i < n; i++ {
+			// Duplicate frames on purpose: rng.Intn(n/2+1) forces
+			// collisions, the case where tie-breaking matters.
+			all[i] = tagged{src: rng.Intn(k), r: region(rng.Intn(n/2+1), i)}
+		}
+
+		perSrc := make([][]core.RegionResult, k)
+		for _, it := range all {
+			perSrc[it.src] = append(perSrc[it.src], it.r)
+		}
+		for s := range perSrc {
+			sort.SliceStable(perSrc[s], func(i, j int) bool { return perSrc[s][i].Frame < perSrc[s][j].Frame })
+		}
+		// Re-derive the expected global order from the now-sorted
+		// per-source streams (the merge sees sources already frame-
+		// ordered, as remote cursors are).
+		var expect []tagged
+		for s := range perSrc {
+			for _, r := range perSrc[s] {
+				expect = append(expect, tagged{src: s, r: r})
+			}
+		}
+		sort.SliceStable(expect, func(i, j int) bool {
+			if expect[i].r.Frame != expect[j].r.Frame {
+				return expect[i].r.Frame < expect[j].r.Frame
+			}
+			return expect[i].src < expect[j].src
+		})
+
+		srcs := make([]Source[core.RegionResult], k)
+		fakes := make([]*fakeSource, k)
+		for s := range perSrc {
+			fakes[s] = newFakeSource(perSrc[s])
+			fakes[s].stats = core.ScanStats{RegionsReturned: len(perSrc[s]), TilesDecoded: s + 1}
+			srcs[s] = fakes[s]
+		}
+		m := NewRegionMerge(srcs...)
+
+		var got []core.RegionResult
+		for m.Next() {
+			got = append(got, m.Result())
+		}
+		if err := m.Err(); err != nil {
+			t.Fatalf("trial %d: clean merge errored: %v", trial, err)
+		}
+		if len(got) != len(expect) {
+			t.Fatalf("trial %d: merged %d items, want %d", trial, len(got), len(expect))
+		}
+		for i := range got {
+			if !sameRegion(got[i], expect[i].r) {
+				t.Fatalf("trial %d item %d: got frame %d region %v, want frame %d region %v",
+					trial, i, got[i].Frame, got[i].Region, expect[i].r.Frame, expect[i].r.Region)
+			}
+		}
+
+		// Stats are the sums; every source is closed exactly once even
+		// when Close is called twice.
+		wantStats := 0
+		for _, f := range fakes {
+			wantStats += f.stats.RegionsReturned
+		}
+		if st := m.Stats(); st.RegionsReturned != wantStats {
+			t.Fatalf("trial %d: stats RegionsReturned = %d, want %d", trial, st.RegionsReturned, wantStats)
+		}
+		if err := m.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Close(); err != nil {
+			t.Fatal(err)
+		}
+		for s, f := range fakes {
+			if !f.closed {
+				t.Fatalf("trial %d: source %d not closed", trial, s)
+			}
+		}
+	}
+}
+
+// TestMergeMidStreamError pins the failure contract the router's
+// trailer depends on: a source dying mid-stream surfaces its exact
+// error after the results already in hand were delivered — maximal
+// delivery, first error wins, Err sticky after Next reports false.
+func TestMergeMidStreamError(t *testing.T) {
+	boom := fmt.Errorf("%w: shard s1 (127.0.0.1:1) went away", tasmerr.ErrShardUnavailable)
+
+	healthy := newFakeSource([]core.RegionResult{region(0, 0), region(2, 1), region(4, 2), region(6, 3)})
+	// The failing source delivers its frame-1 item, then dies when the
+	// merge refills from it.
+	failing := newFakeSource([]core.RegionResult{region(1, 10), region(3, 11)})
+	failing.errAt, failing.err = 1, boom
+
+	m := NewRegionMerge(healthy, failing)
+	var got []core.RegionResult
+	for m.Next() {
+		got = append(got, m.Result())
+	}
+	if err := m.Err(); !errors.Is(err, tasmerr.ErrShardUnavailable) {
+		t.Fatalf("Err = %v, want ErrShardUnavailable", err)
+	}
+	// Partial results first: frame 0 from the healthy source and the
+	// failing source's frame-1 item must both have been delivered (the
+	// refill failure happens after its item was popped).
+	if len(got) < 2 {
+		t.Fatalf("only %d results delivered before the error; want the in-hand item delivered", len(got))
+	}
+	if got[0].Frame != 0 || got[1].Frame != 1 {
+		t.Fatalf("delivered frames %d,%d; want 0,1", got[0].Frame, got[1].Frame)
+	}
+	// Sticky: more Next calls keep failing with the same error.
+	if m.Next() {
+		t.Fatal("Next() returned true after a terminal error")
+	}
+	if err := m.Err(); !errors.Is(err, tasmerr.ErrShardUnavailable) {
+		t.Fatalf("Err not sticky: %v", err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !healthy.closed || !failing.closed {
+		t.Fatal("Close did not reach every source")
+	}
+}
+
+// TestMergeInitError: a source that fails before producing anything
+// fails the whole merge with nothing delivered — the stream equivalent
+// of an open failure.
+func TestMergeInitError(t *testing.T) {
+	boom := errors.New("open failed")
+	bad := newFakeSource([]core.RegionResult{region(0, 0)})
+	bad.errAt, bad.err = 0, boom
+	m := NewRegionMerge(newFakeSource([]core.RegionResult{region(1, 1)}), bad)
+	if m.Next() {
+		t.Fatal("merge delivered a result despite an init error")
+	}
+	if err := m.Err(); !errors.Is(err, boom) {
+		t.Fatalf("Err = %v, want the init error", err)
+	}
+}
+
+// TestMergeEmptySources: zero items everywhere is a clean, empty
+// stream, and stats still sum.
+func TestMergeEmptySources(t *testing.T) {
+	a, b := newFakeSource(nil), newFakeSource(nil)
+	a.stats = core.ScanStats{IndexWall: time.Millisecond}
+	b.stats = core.ScanStats{IndexWall: 2 * time.Millisecond}
+	m := NewRegionMerge(a, b)
+	if m.Next() {
+		t.Fatal("empty merge yielded a result")
+	}
+	if err := m.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if st := m.Stats(); st.IndexWall != 3*time.Millisecond {
+		t.Fatalf("stats IndexWall = %v", st.IndexWall)
+	}
+}

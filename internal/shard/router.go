@@ -1,0 +1,933 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"runtime/debug"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/tasm-repro/tasm"
+	"github.com/tasm-repro/tasm/client"
+	"github.com/tasm-repro/tasm/internal/core"
+	"github.com/tasm-repro/tasm/internal/rpcwire"
+	"github.com/tasm-repro/tasm/internal/tasmerr"
+)
+
+// RouterConfig tunes the routing tier.
+type RouterConfig struct {
+	// Logger receives diagnostics: recovered panics, shard up/down
+	// transitions; nil discards.
+	Logger *log.Logger
+	// AccessLogger receives per-request access lines; nil falls back to
+	// Logger.
+	AccessLogger *log.Logger
+	// HealthInterval is the period between /v1/healthz probes of every
+	// shard; <= 0 means DefaultHealthInterval.
+	HealthInterval time.Duration
+	// BreakerThreshold is the consecutive-failure count (probes and
+	// routed requests combined) that marks a shard down; <= 0 means
+	// DefaultBreakerThreshold.
+	BreakerThreshold int
+	// ShardToken is the bearer token for router→shard requests, for
+	// shard fleets running tasmd -token-file. Empty sends no token.
+	ShardToken string
+	// MaxBodyBytes bounds a request body; <= 0 means 1 GiB (matching
+	// tasmd — the router forwards ingests, so the bounds must agree).
+	MaxBodyBytes int64
+}
+
+// Router is the stateless scale-out tier: an http.Handler serving
+// tasmd's exact HTTP surface (client/ and tasmctl -addr work against it
+// unchanged) by routing each operation over a consistent-hash shard
+// map. Video-scoped operations go to the owning shard; store-scoped
+// ones (catalog, stats, gc, fsck, autotile) fan out to every shard and
+// merge; the streaming paths scatter per-video remote cursors and
+// gather them through the frame-order Merge, re-encoded in whatever
+// framing the caller negotiated.
+//
+// "Stateless" is precise: the router holds no video data and no
+// catalog, only the shard map and per-shard health — kill it and start
+// another with the same map file and nothing is lost.
+type Router struct {
+	cfg RouterConfig
+	mux *http.ServeMux
+
+	mu     sync.Mutex
+	m      *Map
+	states map[string]*shardState
+	order  []*shardState // current map's entry order, for deterministic fan-out
+
+	stopCh    chan struct{}
+	probeWG   sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// NewRouter builds the routing tier over an initial map and starts the
+// health prober. Callers own the returned Router's lifecycle: Close
+// stops the prober and releases backend connections.
+func NewRouter(m *Map, cfg RouterConfig) (*Router, error) {
+	if cfg.Logger == nil {
+		cfg.Logger = log.New(io.Discard, "", 0)
+	}
+	if cfg.AccessLogger == nil {
+		cfg.AccessLogger = cfg.Logger
+	}
+	if cfg.HealthInterval <= 0 {
+		cfg.HealthInterval = DefaultHealthInterval
+	}
+	if cfg.BreakerThreshold <= 0 {
+		cfg.BreakerThreshold = DefaultBreakerThreshold
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 30
+	}
+	rt := &Router{
+		cfg:    cfg,
+		states: make(map[string]*shardState),
+		stopCh: make(chan struct{}),
+	}
+	if err := rt.SetMap(m); err != nil {
+		return nil, err
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", rt.handleHealthz)
+	mux.HandleFunc("GET /v1/videos", rt.handleVideos)
+	mux.HandleFunc("GET /v1/videos/{video}", rt.handleVideoInfo)
+	mux.HandleFunc("DELETE /v1/videos/{video}", rt.handleDeleteVideo)
+	mux.HandleFunc("POST /v1/ingest", rt.handleIngest)
+	mux.HandleFunc("POST /v1/metadata", rt.handleMetadata)
+	mux.HandleFunc("POST /v1/markdetected", rt.handleMarkDetected)
+	mux.HandleFunc("GET /v1/detections", rt.handleDetections)
+	mux.HandleFunc("POST /v1/scan", rt.handleScan)
+	mux.HandleFunc("POST /v1/decodeframes", rt.handleDecodeFrames)
+	mux.HandleFunc("POST /v1/retile", rt.handleRetile)
+	mux.HandleFunc("POST /v1/designlayout", rt.handleDesignLayout)
+	mux.HandleFunc("POST /v1/gc", rt.handleGC)
+	mux.HandleFunc("POST /v1/fsck", rt.handleFsck)
+	mux.HandleFunc("POST /v1/repair", rt.handleRepair)
+	mux.HandleFunc("POST /v1/repairstore", rt.handleRepairStore)
+	mux.HandleFunc("GET /v1/stats", rt.handleStats)
+	mux.HandleFunc("GET /v1/shards", rt.handleShards)
+	mux.HandleFunc("GET /v1/autotile/status", rt.handleAutotileStatus)
+	mux.HandleFunc("POST /v1/autotile/pause", rt.handleAutotilePause)
+	mux.HandleFunc("POST /v1/autotile/resume", rt.handleAutotileResume)
+	mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	rt.mux = mux
+
+	rt.probeWG.Add(1)
+	go rt.probeLoop()
+	return rt, nil
+}
+
+// SetMap atomically replaces the shard map (tasm-router calls it on
+// SIGHUP). Per-shard state is keyed by name and survives the swap when
+// the address is unchanged — health and counters carry over — while a
+// shard whose address moved gets a fresh client and a clean breaker.
+// In-flight requests finish against the clients they started with.
+func (rt *Router) SetMap(m *Map) error {
+	entries := m.Shards()
+	fresh := make(map[string]*shardState, len(entries))
+	order := make([]*shardState, 0, len(entries))
+
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for _, e := range entries {
+		if st := rt.states[e.Name]; st != nil && st.addr == e.Addr {
+			fresh[e.Name] = st
+			order = append(order, st)
+			continue
+		}
+		c, err := client.New(e.Addr,
+			client.WithEncoding(client.Binary),
+			client.WithToken(rt.cfg.ShardToken),
+			client.WithRetry(client.RetryPolicy{MaxAttempts: 3, BaseDelay: 50 * time.Millisecond}))
+		if err != nil {
+			for _, st := range order {
+				if rt.states[st.name] == nil { // only the ones this call created
+					_ = st.c.Close()
+				}
+			}
+			return fmt.Errorf("shard %s: %w", e.Name, err)
+		}
+		st := &shardState{name: e.Name, addr: e.Addr, c: c}
+		fresh[e.Name] = st
+		order = append(order, st)
+	}
+	for name, st := range rt.states {
+		if fresh[name] != st {
+			_ = st.c.Close() // dropped or re-addressed: release idle conns
+		}
+	}
+	rt.m, rt.states, rt.order = m, fresh, order
+	return nil
+}
+
+// Map returns the current shard map.
+func (rt *Router) Map() *Map {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.m
+}
+
+// statesSnapshot returns the current shards in map order.
+func (rt *Router) statesSnapshot() []*shardState {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return append([]*shardState(nil), rt.order...)
+}
+
+// Close stops the health prober and releases backend connections.
+func (rt *Router) Close() {
+	rt.closeOnce.Do(func() {
+		close(rt.stopCh)
+		rt.probeWG.Wait()
+		for _, st := range rt.statesSnapshot() {
+			_ = st.c.Close()
+		}
+	})
+}
+
+// ---- request routing and error classification ----
+
+// owner resolves the shard owning video and fails fast (without
+// dialing) when its breaker is open.
+func (rt *Router) owner(video string) (*shardState, error) {
+	rt.mu.Lock()
+	e := rt.m.Owner(video)
+	st := rt.states[e.Name]
+	rt.mu.Unlock()
+	if st.isDown() {
+		return nil, rt.downErr(st)
+	}
+	st.requests.Add(1)
+	return st, nil
+}
+
+// downErr is the fail-fast error for an open breaker.
+func (rt *Router) downErr(st *shardState) error {
+	_, consec := st.snapshot()
+	return fmt.Errorf("%w: shard %s (%s): breaker open after %d consecutive failures",
+		tasmerr.ErrShardUnavailable, st.name, st.addr, consec)
+}
+
+// classify folds one routed call's outcome into the shard's breaker and
+// translates transport failures into ErrShardUnavailable. A typed
+// remote error passes through untouched — the shard is alive and spoke
+// the protocol; video_not_found from a healthy shard is the caller's
+// problem, not an outage — and context errors belong to the caller, so
+// they neither feed the breaker nor get reclassified.
+func (rt *Router) classify(st *shardState, err error) error {
+	if err == nil {
+		if st.recordSuccess() {
+			rt.cfg.Logger.Printf("shard %s (%s) up", st.name, st.addr)
+		}
+		return nil
+	}
+	var re *rpcwire.RemoteError
+	if errors.As(err, &re) {
+		if st.recordSuccess() {
+			rt.cfg.Logger.Printf("shard %s (%s) up", st.name, st.addr)
+		}
+		return err
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	if st.recordFailure(rt.cfg.BreakerThreshold) {
+		rt.cfg.Logger.Printf("shard %s (%s) down: %v", st.name, st.addr, err)
+	}
+	return fmt.Errorf("%w: shard %s (%s): %v", tasmerr.ErrShardUnavailable, st.name, st.addr, err)
+}
+
+// fanResult is one shard's outcome in a fan-out aggregation.
+type fanResult[T any] struct {
+	st  *shardState
+	val T
+	err error
+}
+
+// fanOut runs fn against every shard concurrently, classifying each
+// outcome. Down shards fail fast without dialing. Results come back in
+// map order, so "first error wins" is deterministic.
+func fanOut[T any](rt *Router, fn func(st *shardState) (T, error)) []fanResult[T] {
+	states := rt.statesSnapshot()
+	out := make([]fanResult[T], len(states))
+	var wg sync.WaitGroup
+	for i, st := range states {
+		wg.Add(1)
+		go func(i int, st *shardState) {
+			defer wg.Done()
+			out[i].st = st
+			if st.isDown() {
+				out[i].err = rt.downErr(st)
+				return
+			}
+			st.requests.Add(1)
+			v, err := fn(st)
+			out[i].val, out[i].err = v, rt.classify(st, err)
+		}(i, st)
+	}
+	wg.Wait()
+	return out
+}
+
+// firstError returns the first failure of a fan-out, in map order.
+func firstError[T any](results []fanResult[T]) error {
+	for _, r := range results {
+		if r.err != nil {
+			return r.err
+		}
+	}
+	return nil
+}
+
+// ---- middleware ----
+
+// ServeHTTP is the router's stack: recover → access log → body cap →
+// route. There is no auth or admission layer here — the shards enforce
+// their own (the router forwards its configured shard token), and the
+// router does no storage work worth admission-controlling.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	lw := &accessWriter{ResponseWriter: w}
+	start := time.Now()
+	defer func() {
+		if p := recover(); p != nil {
+			rt.cfg.Logger.Printf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+			if !lw.wrote {
+				rpcwire.WriteError(lw, fmt.Errorf("internal panic: %v", p))
+			}
+		}
+		rt.cfg.AccessLogger.Printf("%s %s %d %dB %s %s",
+			r.Method, r.URL.Path, lw.status(), lw.bytes, time.Since(start).Round(time.Microsecond), r.RemoteAddr)
+	}()
+	r.Body = http.MaxBytesReader(lw, r.Body, rt.cfg.MaxBodyBytes)
+	rt.mux.ServeHTTP(lw, r)
+}
+
+// accessWriter captures status and bytes for the access line and keeps
+// http.Flusher reachable (the streaming paths flush per record).
+type accessWriter struct {
+	http.ResponseWriter
+	code  int
+	bytes int64
+	wrote bool
+}
+
+func (w *accessWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.wrote, w.code = true, code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *accessWriter) Write(p []byte) (int, error) {
+	if !w.wrote {
+		w.wrote, w.code = true, http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *accessWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (w *accessWriter) status() int {
+	if !w.wrote {
+		return http.StatusOK
+	}
+	return w.code
+}
+
+// ---- unary handlers: video-scoped (route to owner) ----
+
+// routed runs one video-scoped operation against the owner shard and
+// writes the JSON response or the classified error.
+func routed[T any](rt *Router, w http.ResponseWriter, video string, fn func(st *shardState) (T, error)) {
+	st, err := rt.owner(video)
+	if err != nil {
+		rpcwire.WriteError(w, err)
+		return
+	}
+	v, err := fn(st)
+	if err = rt.classify(st, err); err != nil {
+		rpcwire.WriteError(w, err)
+		return
+	}
+	rpcwire.WriteJSON(w, v)
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	rpcwire.WriteJSON(w, struct {
+		OK bool `json:"ok"`
+	}{true})
+}
+
+func (rt *Router) handleVideoInfo(w http.ResponseWriter, r *http.Request) {
+	if !rpcwire.UnaryBoundary(w, r) {
+		return
+	}
+	video := r.PathValue("video")
+	routed(rt, w, video, func(st *shardState) (rpcwire.VideoInfo, error) {
+		meta, bytes, labels, err := st.c.VideoInfoContext(r.Context(), video)
+		return rpcwire.VideoInfo{Meta: meta, Bytes: bytes, Labels: labels}, err
+	})
+}
+
+func (rt *Router) handleDeleteVideo(w http.ResponseWriter, r *http.Request) {
+	if !rpcwire.UnaryBoundary(w, r) {
+		return
+	}
+	video := r.PathValue("video")
+	routed(rt, w, video, func(st *shardState) (struct{}, error) {
+		return struct{}{}, st.c.DeleteVideoContext(r.Context(), video)
+	})
+}
+
+func (rt *Router) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req rpcwire.IngestRequest
+	if err := rpcwire.ReadJSON(r, &req); err != nil {
+		rpcwire.WriteError(w, err)
+		return
+	}
+	ctx, cancel, err := rpcwire.RequestContext(r)
+	if err != nil {
+		rpcwire.WriteError(w, err)
+		return
+	}
+	defer cancel()
+	// Validate frames at the boundary, exactly like tasmd: a malformed
+	// upload is the caller's bad_request, not a shard round trip.
+	frames := make([]*tasm.Frame, len(req.Frames))
+	for i, wf := range req.Frames {
+		if frames[i], err = wf.ToFrame(); err != nil {
+			rpcwire.WriteError(w, fmt.Errorf("frame %d: %w", i, err))
+			return
+		}
+	}
+	routed(rt, w, req.Video, func(st *shardState) (rpcwire.IngestStats, error) {
+		var stats tasm.IngestStats
+		var err error
+		if len(req.Layouts) > 0 {
+			layouts := make([]tasm.Layout, len(req.Layouts))
+			for i, wl := range req.Layouts {
+				layouts[i] = wl.ToLayout()
+			}
+			stats, err = st.c.IngestTiledContext(ctx, req.Video, frames, req.FPS, layouts)
+		} else {
+			stats, err = st.c.IngestContext(ctx, req.Video, frames, req.FPS)
+		}
+		return rpcwire.FromIngestStats(stats), err
+	})
+}
+
+func (rt *Router) handleMetadata(w http.ResponseWriter, r *http.Request) {
+	var req rpcwire.MetadataRequest
+	if err := rpcwire.ReadJSON(r, &req); err != nil {
+		rpcwire.WriteError(w, err)
+		return
+	}
+	if !rpcwire.UnaryBoundary(w, r) {
+		return
+	}
+	ds := make([]tasm.Detection, len(req.Detections))
+	for i, d := range req.Detections {
+		ds[i] = d.ToDetection()
+	}
+	routed(rt, w, req.Video, func(st *shardState) (struct{}, error) {
+		return struct{}{}, st.c.AddDetectionsContext(r.Context(), req.Video, ds)
+	})
+}
+
+func (rt *Router) handleMarkDetected(w http.ResponseWriter, r *http.Request) {
+	var req rpcwire.MarkDetectedRequest
+	if err := rpcwire.ReadJSON(r, &req); err != nil {
+		rpcwire.WriteError(w, err)
+		return
+	}
+	routed(rt, w, req.Video, func(st *shardState) (struct{}, error) {
+		return struct{}{}, st.c.MarkDetectedContext(r.Context(), req.Video, req.Label, req.From, req.To)
+	})
+}
+
+func (rt *Router) handleDetections(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	video, label := q.Get("video"), q.Get("label")
+	from, err1 := strconv.Atoi(q.Get("from"))
+	to, err2 := strconv.Atoi(q.Get("to"))
+	if video == "" || label == "" || err1 != nil || err2 != nil {
+		rpcwire.WriteError(w, fmt.Errorf("%w: need video, label, from, to", rpcwire.ErrBadRequest))
+		return
+	}
+	routed(rt, w, video, func(st *shardState) (rpcwire.DetectionsResponse, error) {
+		ds, err := st.c.LookupDetectionsContext(r.Context(), video, label, from, to)
+		resp := rpcwire.DetectionsResponse{Detections: make([]rpcwire.Detection, len(ds))}
+		for i, d := range ds {
+			resp.Detections[i] = rpcwire.FromDetection(d)
+		}
+		return resp, err
+	})
+}
+
+func (rt *Router) handleRetile(w http.ResponseWriter, r *http.Request) {
+	var req rpcwire.RetileRequest
+	if err := rpcwire.ReadJSON(r, &req); err != nil {
+		rpcwire.WriteError(w, err)
+		return
+	}
+	ctx, cancel, err := rpcwire.RequestContext(r)
+	if err != nil {
+		rpcwire.WriteError(w, err)
+		return
+	}
+	defer cancel()
+	routed(rt, w, req.Video, func(st *shardState) (rpcwire.RetileStats, error) {
+		stats, err := st.c.RetileSOTContext(ctx, req.Video, req.SOT, req.Layout.ToLayout())
+		return rpcwire.FromRetileStats(stats), err
+	})
+}
+
+func (rt *Router) handleDesignLayout(w http.ResponseWriter, r *http.Request) {
+	var req rpcwire.DesignLayoutRequest
+	if err := rpcwire.ReadJSON(r, &req); err != nil {
+		rpcwire.WriteError(w, err)
+		return
+	}
+	if !rpcwire.UnaryBoundary(w, r) {
+		return
+	}
+	routed(rt, w, req.Video, func(st *shardState) (rpcwire.DesignLayoutResponse, error) {
+		l, err := st.c.DesignLayoutContext(r.Context(), req.Video, req.SOT, req.Labels)
+		return rpcwire.DesignLayoutResponse{Layout: rpcwire.FromLayout(l)}, err
+	})
+}
+
+func (rt *Router) handleRepair(w http.ResponseWriter, r *http.Request) {
+	var req rpcwire.RepairRequest
+	if err := rpcwire.ReadJSON(r, &req); err != nil {
+		rpcwire.WriteError(w, err)
+		return
+	}
+	if !rpcwire.UnaryBoundary(w, r) {
+		return
+	}
+	routed(rt, w, req.Video, func(st *shardState) (struct{}, error) {
+		return struct{}{}, st.c.RepairPointersContext(r.Context(), req.Video)
+	})
+}
+
+// ---- unary handlers: store-scoped (fan out and merge) ----
+
+func (rt *Router) handleVideos(w http.ResponseWriter, r *http.Request) {
+	results := fanOut(rt, func(st *shardState) ([]string, error) {
+		return st.c.VideosContext(r.Context())
+	})
+	// A partial catalog is a silent lie — fail loudly instead.
+	if err := firstError(results); err != nil {
+		rpcwire.WriteError(w, err)
+		return
+	}
+	seen := map[string]bool{}
+	var all []string
+	for _, res := range results {
+		for _, v := range res.val {
+			if !seen[v] {
+				seen[v] = true
+				all = append(all, v)
+			}
+		}
+	}
+	sort.Strings(all)
+	rpcwire.WriteJSON(w, rpcwire.VideosResponse{Videos: all})
+}
+
+func (rt *Router) handleGC(w http.ResponseWriter, r *http.Request) {
+	if !rpcwire.UnaryBoundary(w, r) {
+		return
+	}
+	results := fanOut(rt, func(st *shardState) (tasm.GCReport, error) {
+		return st.c.GCContext(r.Context())
+	})
+	if err := firstError(results); err != nil {
+		rpcwire.WriteError(w, err)
+		return
+	}
+	var merged rpcwire.GCReport
+	for _, res := range results {
+		merged.Removed = append(merged.Removed, prefixAll(res.st.name, res.val.Removed)...)
+		merged.Deferred = append(merged.Deferred, prefixAll(res.st.name, res.val.Deferred)...)
+	}
+	rpcwire.WriteJSON(w, merged)
+}
+
+func (rt *Router) handleFsck(w http.ResponseWriter, r *http.Request) {
+	if !rpcwire.UnaryBoundary(w, r) {
+		return
+	}
+	results := fanOut(rt, func(st *shardState) (tasm.FsckReport, error) {
+		return st.c.FSCKContext(r.Context())
+	})
+	// An unreachable shard must fail the check: "clean" may not be
+	// claimed for state that could not be verified.
+	if err := firstError(results); err != nil {
+		rpcwire.WriteError(w, err)
+		return
+	}
+	var merged rpcwire.FsckReport
+	for _, res := range results {
+		merged.Videos += res.val.Videos
+		merged.SOTs += res.val.SOTs
+		merged.Tiles += res.val.Tiles
+		merged.Leases += res.val.Leases
+		merged.Problems = append(merged.Problems, prefixAll(res.st.name, res.val.Problems)...)
+		merged.Orphans = append(merged.Orphans, prefixAll(res.st.name, res.val.Orphans)...)
+	}
+	rpcwire.WriteJSON(w, merged)
+}
+
+func (rt *Router) handleRepairStore(w http.ResponseWriter, r *http.Request) {
+	if !rpcwire.UnaryBoundary(w, r) {
+		return
+	}
+	results := fanOut(rt, func(st *shardState) (tasm.RepairReport, error) {
+		return st.c.RepairStoreContext(r.Context())
+	})
+	if err := firstError(results); err != nil {
+		rpcwire.WriteError(w, err)
+		return
+	}
+	var merged rpcwire.StoreRepairReport
+	for _, res := range results {
+		merged.Quarantined = append(merged.Quarantined, prefixAll(res.st.name, res.val.Quarantined)...)
+		merged.Reverted = append(merged.Reverted, prefixAll(res.st.name, res.val.Reverted)...)
+		merged.Videos = append(merged.Videos, prefixAll(res.st.name, res.val.Videos)...)
+	}
+	rpcwire.WriteJSON(w, merged)
+}
+
+// handleStats degrades gracefully where the other aggregations fail
+// loudly: stats are observability, and an outage is exactly when the
+// operator needs the per-shard view — so a down shard appears in the
+// breakdown with its error while the totals cover the healthy ones.
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	results := fanOut(rt, func(st *shardState) (tasm.CacheStats, error) {
+		return st.c.CacheStatsContext(r.Context())
+	})
+	var resp rpcwire.ShardedCacheStats
+	for _, res := range results {
+		down, _ := res.st.snapshot()
+		sc := rpcwire.ShardCacheStats{Shard: res.st.name, Addr: res.st.addr, Healthy: !down}
+		if res.err != nil {
+			sc.Error = res.err.Error()
+		} else {
+			sc.Stats = rpcwire.FromCacheStats(res.val)
+			resp.Hits += sc.Stats.Hits
+			resp.Misses += sc.Stats.Misses
+			resp.Evictions += sc.Stats.Evictions
+			resp.Invalidations += sc.Stats.Invalidations
+			resp.BytesCached += sc.Stats.BytesCached
+			resp.Entries += sc.Stats.Entries
+			resp.Budget += sc.Stats.Budget
+		}
+		resp.Shards = append(resp.Shards, sc)
+	}
+	rpcwire.WriteJSON(w, resp)
+}
+
+func (rt *Router) handleShards(w http.ResponseWriter, r *http.Request) {
+	rt.mu.Lock()
+	m, order := rt.m, append([]*shardState(nil), rt.order...)
+	rt.mu.Unlock()
+	resp := rpcwire.ShardsResponse{Replicas: m.Replicas()}
+	for _, st := range order {
+		down, consec := st.snapshot()
+		resp.Shards = append(resp.Shards, rpcwire.ShardInfo{
+			Name: st.name, Addr: st.addr, Healthy: !down, ConsecutiveFailures: consec,
+		})
+	}
+	rpcwire.WriteJSON(w, resp)
+}
+
+func (rt *Router) handleAutotileStatus(w http.ResponseWriter, r *http.Request) {
+	results := fanOut(rt, func(st *shardState) (tasm.AutotileStatus, error) {
+		return st.c.AutotileStatusContext(r.Context())
+	})
+	if err := firstError(results); err != nil {
+		rpcwire.WriteError(w, err)
+		return
+	}
+	var merged rpcwire.AutotileStatus
+	for _, res := range results {
+		s := res.val
+		merged.Enabled = merged.Enabled || s.Enabled
+		merged.Paused = merged.Paused || s.Paused
+		if merged.PauseReason == "" {
+			merged.PauseReason = s.PauseReason
+		}
+		merged.QueriesObserved += s.QueriesObserved
+		merged.QueriesPending += s.QueriesPending
+		merged.QueriesDropped += s.QueriesDropped
+		merged.ActionsApplied += s.ActionsApplied
+		merged.ActionsFailed += s.ActionsFailed
+		merged.BytesSpent += s.BytesSpent
+		merged.IOBudget += s.IOBudget
+		merged.Regret += s.Regret
+		if merged.LastAction == "" {
+			merged.LastAction = s.LastAction
+		}
+		if merged.LastError == "" {
+			merged.LastError = s.LastError
+		}
+	}
+	rpcwire.WriteJSON(w, merged)
+}
+
+func (rt *Router) handleAutotilePause(w http.ResponseWriter, r *http.Request) {
+	var req rpcwire.AutotilePauseRequest
+	if r.ContentLength != 0 {
+		if err := rpcwire.ReadJSON(r, &req); err != nil {
+			rpcwire.WriteError(w, err)
+			return
+		}
+	}
+	if !rpcwire.UnaryBoundary(w, r) {
+		return
+	}
+	results := fanOut(rt, func(st *shardState) (struct{}, error) {
+		return struct{}{}, st.c.AutotilePauseContext(r.Context(), req.Reason)
+	})
+	if err := firstError(results); err != nil {
+		rpcwire.WriteError(w, err)
+		return
+	}
+	rpcwire.WriteJSON(w, struct{}{})
+}
+
+func (rt *Router) handleAutotileResume(w http.ResponseWriter, r *http.Request) {
+	if !rpcwire.UnaryBoundary(w, r) {
+		return
+	}
+	results := fanOut(rt, func(st *shardState) (struct{}, error) {
+		return struct{}{}, st.c.AutotileResumeContext(r.Context())
+	})
+	if err := firstError(results); err != nil {
+		rpcwire.WriteError(w, err)
+		return
+	}
+	rpcwire.WriteJSON(w, struct{}{})
+}
+
+// prefixAll tags report lines with the shard they came from, so a
+// merged fsck/gc report still tells the operator where to look.
+func prefixAll(shard string, lines []string) []string {
+	out := make([]string, len(lines))
+	for i, l := range lines {
+		out[i] = shard + ": " + l
+	}
+	return out
+}
+
+// ---- streaming handlers: scatter-gather ----
+
+// shardStream classifies a remote cursor's terminal error exactly once:
+// a typed remote failure (the shard reported video_not_found, the
+// stream trailer carried a sentinel) passes through so the caller gets
+// the exact tasm.Err* identity; a transport-level death mid-stream —
+// the SIGKILLed-shard case — feeds the breaker and becomes
+// ErrShardUnavailable.
+type shardStream struct {
+	rt         *Router
+	st         *shardState
+	classified error
+	done       bool
+}
+
+func (b *shardStream) translate(err error) error {
+	if err == nil {
+		return nil
+	}
+	if !b.done {
+		b.done = true
+		b.classified = b.rt.classify(b.st, err)
+	}
+	return b.classified
+}
+
+// scanSource adapts one shard's remote scan cursor into a merge source.
+type scanSource struct {
+	shardStream
+	cur *client.ScanCursor
+}
+
+func (s *scanSource) Next() bool                { return s.cur.Next() }
+func (s *scanSource) Result() core.RegionResult { return s.cur.Result() }
+func (s *scanSource) Err() error                { return s.translate(s.cur.Err()) }
+func (s *scanSource) Stats() core.ScanStats     { return s.cur.Stats() }
+func (s *scanSource) Close() error              { return s.cur.Close() }
+
+// frameSource adapts one shard's remote frame cursor the same way.
+type frameSource struct {
+	shardStream
+	cur *client.FrameCursor
+}
+
+func (s *frameSource) Next() bool               { return s.cur.Next() }
+func (s *frameSource) Result() core.FrameResult { return s.cur.Result() }
+func (s *frameSource) Err() error               { return s.translate(s.cur.Err()) }
+func (s *frameSource) Stats() core.ScanStats    { return s.cur.Stats() }
+func (s *frameSource) Close() error             { return s.cur.Close() }
+
+// handleScan is the scatter-gather core: one remote cursor per queried
+// video, opened concurrently against the owning shards, gathered
+// through the frame-order Merge, re-encoded in the framing the caller
+// negotiated (router→shard always runs binary; the two hops negotiate
+// independently). Opening fails the request whole — before the 200 —
+// while a shard dying mid-stream surfaces shard_unavailable through
+// the shared trailer after the regions already delivered.
+func (rt *Router) handleScan(w http.ResponseWriter, r *http.Request) {
+	var req rpcwire.ScanRequest
+	if err := rpcwire.ReadJSON(r, &req); err != nil {
+		rpcwire.WriteError(w, err)
+		return
+	}
+	if (req.SQL == "") == (req.Query == nil) {
+		rpcwire.WriteError(w, fmt.Errorf("%w: exactly one of sql and query must be set", rpcwire.ErrBadRequest))
+		return
+	}
+	ctx, cancel, err := rpcwire.RequestContext(r)
+	if err != nil {
+		rpcwire.WriteError(w, err)
+		return
+	}
+	defer cancel()
+	q := tasm.Query{}
+	if req.SQL != "" {
+		if q, err = tasm.ParseQuery(req.SQL); err != nil {
+			rpcwire.WriteError(w, fmt.Errorf("%w: %v", rpcwire.ErrBadRequest, err))
+			return
+		}
+	} else {
+		q = req.Query.ToQuery()
+	}
+
+	vids := q.VideoList()
+	srcs := make([]Source[core.RegionResult], len(vids))
+	errs := make([]error, len(vids))
+	var wg sync.WaitGroup
+	for i, video := range vids {
+		wg.Add(1)
+		go func(i int, video string) {
+			defer wg.Done()
+			st, err := rt.owner(video)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			sq := q
+			sq.Video, sq.Videos = video, nil
+			cur, err := st.c.ScanCursor(ctx, sq)
+			if err != nil {
+				errs[i] = rt.classify(st, err)
+				return
+			}
+			srcs[i] = &scanSource{shardStream: shardStream{rt: rt, st: st}, cur: cur}
+		}(i, video)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			for _, s := range srcs {
+				if s != nil {
+					_ = s.Close()
+				}
+			}
+			rpcwire.WriteError(w, err)
+			return
+		}
+	}
+	merged := NewRegionMerge(srcs...)
+	defer merged.Close()
+	rpcwire.ServeStream(w, r, merged, func(m *Merge[core.RegionResult]) rpcwire.StreamLine {
+		reg := rpcwire.FromRegion(m.Result())
+		return rpcwire.StreamLine{Region: &reg}
+	})
+}
+
+// handleDecodeFrames relays a whole-frame stream from the owning shard
+// — the degenerate scatter (the owning set has size one), through the
+// same translation so a mid-stream shard death is shard_unavailable
+// here too.
+func (rt *Router) handleDecodeFrames(w http.ResponseWriter, r *http.Request) {
+	var req rpcwire.DecodeFramesRequest
+	if err := rpcwire.ReadJSON(r, &req); err != nil {
+		rpcwire.WriteError(w, err)
+		return
+	}
+	ctx, cancel, err := rpcwire.RequestContext(r)
+	if err != nil {
+		rpcwire.WriteError(w, err)
+		return
+	}
+	defer cancel()
+	st, err := rt.owner(req.Video)
+	if err != nil {
+		rpcwire.WriteError(w, err)
+		return
+	}
+	cur, err := st.c.DecodeFramesCursor(ctx, req.Video, req.From, req.To)
+	if err != nil {
+		rpcwire.WriteError(w, rt.classify(st, err))
+		return
+	}
+	src := &frameSource{shardStream: shardStream{rt: rt, st: st}, cur: cur}
+	defer src.Close()
+	rpcwire.ServeStream(w, r, src, func(s *frameSource) rpcwire.StreamLine {
+		fl := rpcwire.FromFrameResult(s.Result())
+		return rpcwire.StreamLine{Frame: &fl}
+	})
+}
+
+// ---- metrics ----
+
+// handleMetrics exports per-shard health and routed-request counters in
+// the same hand-rolled Prometheus text format tasmd uses.
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	states := rt.statesSnapshot()
+	var b strings.Builder
+	series := func(name, typ, help string, value func(st *shardState) int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		for _, st := range states {
+			fmt.Fprintf(&b, "%s{shard=%q} %d\n", name, st.name, value(st))
+		}
+	}
+	series("tasm_router_shard_up", "gauge", "Whether the router's breaker considers the shard healthy.", func(st *shardState) int64 {
+		if st.isDown() {
+			return 0
+		}
+		return 1
+	})
+	series("tasm_router_shard_consecutive_failures", "gauge", "Probe and request failures since the shard's last success.", func(st *shardState) int64 {
+		_, consec := st.snapshot()
+		return int64(consec)
+	})
+	series("tasm_router_requests_total", "counter", "Requests routed to the shard (streams and fan-out calls included).", func(st *shardState) int64 {
+		return st.requests.Load()
+	})
+	series("tasm_router_request_failures_total", "counter", "Transport-level failures observed against the shard.", func(st *shardState) int64 {
+		return st.failures.Load()
+	})
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = io.WriteString(w, b.String())
+}

@@ -70,4 +70,16 @@ var (
 	// and falls back to an earlier intact one when the store still
 	// holds it.
 	ErrTileCorrupt = errors.New("tile corrupt")
+
+	// ErrShardUnavailable reports a scale-out operation that could not
+	// reach the tasmd shard owning the addressed video: the shard's
+	// breaker is open after consecutive health-probe or request
+	// failures, or the request itself died at the transport layer
+	// (connection refused/reset, mid-stream disconnect). It classifies
+	// the *routing tier's* view — the shard process may be healthy but
+	// unreachable — and is deliberately distinct from ErrOverloaded,
+	// which a live shard returns and which is retryable; a down shard
+	// needs an operator (or the router's health prober) to bring it
+	// back before retrying helps.
+	ErrShardUnavailable = errors.New("shard unavailable")
 )

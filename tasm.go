@@ -45,6 +45,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"sort"
 	"time"
 
 	"github.com/tasm-repro/tasm/internal/adapt"
@@ -98,6 +99,12 @@ var (
 	// `tasmctl fsck -repair`) quarantines the damaged version and falls
 	// back to an earlier intact one when the store still holds it.
 	ErrTileCorrupt = tasmerr.ErrTileCorrupt
+	// ErrShardUnavailable: a scale-out operation could not reach the
+	// tasmd shard owning the addressed video — its breaker is open
+	// after consecutive failures, or the request died at the transport
+	// layer. Returned by tasm-router (and surfaced through client/);
+	// a single-node storage manager never produces it.
+	ErrShardUnavailable = tasmerr.ErrShardUnavailable
 )
 
 // Re-exported building blocks. These are aliases so values returned by the
@@ -415,8 +422,48 @@ func (s *StorageManager) Scan(q Query) ([]RegionResult, ScanStats, error) {
 // ScanContext is Scan under a context: cancellation or deadline expiry
 // stops in-flight tile decodes within one frame's work, releases every
 // read lease the request holds, and returns an error wrapping ctx.Err().
+//
+// A multi-video query ("FROM a,b") scans each video in turn and merges
+// the results into one globally frame-ordered slice: regions sharing a
+// frame number keep FROM-list order between videos and scan order
+// within one — the same ordering the serving layer's streaming merge
+// produces, so local and remote multi-video results are identical.
 func (s *StorageManager) ScanContext(ctx context.Context, q Query) ([]RegionResult, ScanStats, error) {
-	return s.m.ScanContext(ctx, q)
+	vids := q.VideoList()
+	if len(vids) == 1 {
+		return s.m.ScanContext(ctx, q)
+	}
+	var all []RegionResult
+	var agg ScanStats
+	for _, v := range vids {
+		sq := q
+		sq.Video, sq.Videos = v, nil
+		rs, st, err := s.m.ScanContext(ctx, sq)
+		agg = addScanStats(agg, st)
+		if err != nil {
+			return nil, agg, err
+		}
+		all = append(all, rs...)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Frame < all[j].Frame })
+	return all, agg, nil
+}
+
+// addScanStats folds one per-video stats record into a running total:
+// every field is additive (walls sum sequential per-video work).
+func addScanStats(a, b ScanStats) ScanStats {
+	a.IndexWall += b.IndexWall
+	a.DecodeWall += b.DecodeWall
+	a.AssembleWall += b.AssembleWall
+	a.PixelsDecoded += b.PixelsDecoded
+	a.TilesDecoded += b.TilesDecoded
+	a.FramesDecoded += b.FramesDecoded
+	a.RegionsReturned += b.RegionsReturned
+	a.SOTsTouched += b.SOTsTouched
+	a.CacheHits += b.CacheHits
+	a.CacheMisses += b.CacheMisses
+	a.CacheEvictions += b.CacheEvictions
+	return a
 }
 
 // ScanCursor starts a streaming Scan: pixel regions are yielded in frame
@@ -426,7 +473,17 @@ func (s *StorageManager) ScanContext(ctx context.Context, q Query) ([]RegionResu
 // are released by the time Next reports false (or Close returns).
 // Streaming scans feed the adaptive-tiling observer exactly like blocking
 // ones: every query path funnels through the same cursor construction.
+//
+// A local streaming cursor serves one video. Multi-video queries are
+// merged above the engine — drain ScanContext, or scan through tasmd /
+// tasm-router, whose serving layer merges per-video cursors into one
+// frame-ordered stream — so a multi-video query here is rejected
+// (wrapping ErrInvalidName) rather than silently scanning only the
+// first video.
 func (s *StorageManager) ScanCursor(ctx context.Context, q Query) (*Cursor, error) {
+	if vids := q.VideoList(); len(vids) > 1 {
+		return nil, fmt.Errorf("%w: a local streaming cursor serves one video, query names %d (drain ScanContext, or scan through tasmd/tasm-router)", tasmerr.ErrInvalidName, len(vids))
+	}
 	return s.m.ScanCursor(ctx, q)
 }
 
