@@ -52,6 +52,7 @@ import (
 	"time"
 
 	"github.com/tasm-repro/tasm"
+	"github.com/tasm-repro/tasm/internal/obs"
 	"github.com/tasm-repro/tasm/internal/rpcwire"
 )
 
@@ -74,6 +75,9 @@ var (
 	// mid-request). Other shards keep serving; retry once the shard
 	// recovers or the map is updated.
 	ErrShardUnavailable = tasm.ErrShardUnavailable
+	// ErrTraceNotFound: a TraceContext lookup for an id no longer in
+	// the daemon's ring of recent finished requests.
+	ErrTraceNotFound = rpcwire.ErrTraceNotFound
 )
 
 // Encoding selects the wire framing the client asks the server for on
@@ -760,9 +764,12 @@ func setDeadline(r *http.Request, ctx context.Context) {
 }
 
 // applyHeaders attaches the client-level contract headers: the context
-// deadline, the bearer token, and the cache admission budget.
-func (c *Client) applyHeaders(hr *http.Request, ctx context.Context) {
+// deadline, the bearer token, the cache admission budget, and the
+// trace id (resolved once per logical operation by traceID so retried
+// attempts correlate under one id).
+func (c *Client) applyHeaders(hr *http.Request, ctx context.Context, tid string) {
 	setDeadline(hr, ctx)
+	hr.Header.Set(obs.TraceHeader, tid)
 	if c.token != "" {
 		hr.Header.Set("Authorization", "Bearer "+c.token)
 	}
@@ -782,6 +789,7 @@ func (c *Client) do(ctx context.Context, method, path string, req, resp any) err
 			return fmt.Errorf("client: encoding request: %w", err)
 		}
 	}
+	tid := traceID(ctx)
 	return c.withRetry(ctx, func() error {
 		var body io.Reader
 		if req != nil {
@@ -794,7 +802,7 @@ func (c *Client) do(ctx context.Context, method, path string, req, resp any) err
 		if req != nil {
 			hr.Header.Set("Content-Type", "application/json")
 		}
-		c.applyHeaders(hr, ctx)
+		c.applyHeaders(hr, ctx, tid)
 		res, err := c.hc.Do(hr)
 		if err != nil {
 			return transportError(ctx, err)

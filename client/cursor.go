@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"github.com/tasm-repro/tasm"
+	"github.com/tasm-repro/tasm/internal/obs"
 	"github.com/tasm-repro/tasm/internal/rpcwire"
 )
 
@@ -28,6 +29,10 @@ type stream struct {
 	ctx    context.Context
 	resp   *http.Response
 	lr     lineReader
+
+	// traceID is the operation's Tasm-Trace-Id — the id the server
+	// echoed (its /v1/trace ring key), falling back to the id sent.
+	traceID string
 
 	stats  tasm.ScanStats
 	err    error
@@ -77,6 +82,7 @@ func (c *Client) startStream(ctx context.Context, path string, req any) (*stream
 		return nil, fmt.Errorf("client: encoding request: %w", err)
 	}
 	var s *stream
+	tid := traceID(ctx)
 	err = c.withRetry(ctx, func() error {
 		sctx, cancel := context.WithCancel(ctx)
 		hr, err := http.NewRequestWithContext(sctx, http.MethodPost, c.base+path, bytes.NewReader(data))
@@ -90,7 +96,7 @@ func (c *Client) startStream(ctx context.Context, path string, req any) (*stream
 		} else {
 			hr.Header.Set("Accept", rpcwire.ContentTypeNDJSON)
 		}
-		c.applyHeaders(hr, ctx)
+		c.applyHeaders(hr, ctx, tid)
 		res, err := c.hc.Do(hr)
 		if err != nil {
 			cancel()
@@ -112,7 +118,10 @@ func (c *Client) startStream(ctx context.Context, path string, req any) (*stream
 		} else {
 			lr = &ndjsonLineReader{bufio.NewReaderSize(res.Body, 64<<10)}
 		}
-		s = &stream{cancel: cancel, ctx: sctx, resp: res, lr: lr}
+		s = &stream{cancel: cancel, ctx: sctx, resp: res, lr: lr, traceID: tid}
+		if echoed := res.Header.Get(obs.TraceHeader); echoed != "" {
+			s.traceID = echoed
+		}
 		return nil
 	})
 	if err != nil {
@@ -255,6 +264,10 @@ func (c *ScanCursor) Err() error { return c.s.errOrNil() }
 // drained (zero before that — remote stats arrive on the last line).
 func (c *ScanCursor) Stats() tasm.ScanStats { return c.s.stats }
 
+// TraceID returns the operation's Tasm-Trace-Id: the key under which
+// every daemon that served a hop of this scan indexed its trace.
+func (c *ScanCursor) TraceID() string { return c.s.traceID }
+
 // Close cancels the remote scan and releases the connection. The
 // cancellation reaches the server, which stops decode work and
 // releases every read lease the scan held.
@@ -298,6 +311,9 @@ func (c *FrameCursor) Err() error { return c.s.errOrNil() }
 
 // Stats returns the server's final ScanStats once drained.
 func (c *FrameCursor) Stats() tasm.ScanStats { return c.s.stats }
+
+// TraceID returns the operation's Tasm-Trace-Id (see ScanCursor.TraceID).
+func (c *FrameCursor) TraceID() string { return c.s.traceID }
 
 // Close cancels the remote decode and releases the connection.
 func (c *FrameCursor) Close() error { return c.s.close() }

@@ -49,6 +49,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/tasm-repro/tasm/internal/obs"
 	"github.com/tasm-repro/tasm/internal/shard"
 )
 
@@ -61,6 +62,8 @@ func main() {
 		shardToken       = flag.String("shard-token", "", "bearer token for router→shard requests (shards running -token-file)")
 		drain            = flag.Duration("drain", 15*time.Second, "graceful-shutdown budget for in-flight requests")
 		quiet            = flag.Bool("quiet", false, "suppress access logs")
+		slowQuery        = flag.Duration("slow-query-threshold", 0, "log requests at or above this wall time as slow queries (0 = disabled)")
+		debugAddr        = flag.String("debug-addr", "", "serve net/http/pprof on this loopback address (empty = disabled)")
 	)
 	flag.Parse()
 	if *mapFile == "" {
@@ -82,12 +85,21 @@ func main() {
 
 	rt, err := shard.NewRouter(m, shard.RouterConfig{
 		Logger: logger, AccessLogger: accessLogger,
-		HealthInterval:   *healthInterval,
-		BreakerThreshold: *breakerThreshold,
-		ShardToken:       *shardToken,
+		HealthInterval:     *healthInterval,
+		BreakerThreshold:   *breakerThreshold,
+		ShardToken:         *shardToken,
+		SlowQueryThreshold: *slowQuery,
 	})
 	if err != nil {
 		logger.Fatalf("%v", err)
+	}
+
+	// Loopback-only, its own listener: pprof has no auth (see tasmd).
+	if *debugAddr != "" {
+		if _, err := obs.StartDebugServer(*debugAddr, logger); err != nil {
+			rt.Close()
+			logger.Fatalf("%v", err)
+		}
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

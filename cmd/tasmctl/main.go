@@ -28,6 +28,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -123,6 +124,11 @@ func main() {
 		<-ctx.Done()
 		stop()
 	}()
+	// One trace id per invocation: every remote request this command
+	// issues carries it, so a failure is greppable across the router's
+	// and shards' access logs and fetchable with `tasmctl trace ID`.
+	tid := client.NewTraceID()
+	ctx = client.WithTraceID(ctx, tid)
 	cmd, cmdArgs := args[0], args[1:]
 	var err error
 	switch cmd {
@@ -144,6 +150,8 @@ func main() {
 		err = cmdFsck(ctx, cmdArgs)
 	case "autotile":
 		err = cmdAutotile(ctx, cmdArgs)
+	case "trace":
+		err = cmdTrace(ctx, cmdArgs)
 	default:
 		usage()
 	}
@@ -153,6 +161,9 @@ func main() {
 			os.Exit(exitInterrupted)
 		}
 		fmt.Fprintf(os.Stderr, "tasmctl %s: %v\n", cmd, err)
+		if globalAddr != "" {
+			fmt.Fprintf(os.Stderr, "tasmctl %s: trace id %s (tasmctl -addr %s trace %s fetches the server-side timeline)\n", cmd, tid, globalAddr, tid)
+		}
 		os.Exit(exitCode(err))
 	}
 }
@@ -162,7 +173,8 @@ func exitCode(err error) int {
 	switch {
 	case err == nil:
 		return exitOK
-	case errors.Is(err, tasm.ErrVideoNotFound), errors.Is(err, tasm.ErrSOTNotFound):
+	case errors.Is(err, tasm.ErrVideoNotFound), errors.Is(err, tasm.ErrSOTNotFound),
+		errors.Is(err, client.ErrTraceNotFound):
 		return exitNotFound
 	case errors.Is(err, tasm.ErrInvalidName), errors.Is(err, tasm.ErrInvalidRange),
 		errors.Is(err, tasm.ErrNoFrames), errors.Is(err, client.ErrBadRequest),
@@ -212,7 +224,12 @@ commands:
   detect  -dir D -video V [-detector yolo|tiny|bgsub|yolo-every5] [-from N -to N]
   query   -dir D "SELECT <pred> FROM <video> [WHERE a <= t < b]"
   info    -dir D [-video V]
-  stats   -dir D            decoded-tile cache counters (eviction pressure)
+  stats   -dir D [-json]    decoded-tile cache counters (eviction pressure);
+          against a tasm-router also the per-shard breakdown; -json
+          emits the same data machine-readable
+  trace   -addr H:P ID      fetch a finished request's span timeline from
+          the daemon's trace ring (ids come from Tasm-Trace-Id response
+          headers, access logs, or a failed tasmctl run's stderr)
   retile  -dir D -video V -sot N -labels a,b
   gc      -dir D            reclaim dead SOT versions and staging debris
   fsck    -dir D [-repair]  verify manifests against tile files on disk
@@ -621,10 +638,22 @@ func cmdQuery(ctx context.Context, args []string) error {
 	return nil
 }
 
+// statsShardJSON is one shard's row in `stats -json` output; the field
+// names are part of the CLI contract, so they are pinned here rather
+// than inherited from the client structs.
+type statsShardJSON struct {
+	Shard   string           `json:"shard"`
+	Addr    string           `json:"addr"`
+	Healthy bool             `json:"healthy"`
+	Error   string           `json:"error,omitempty"`
+	Stats   *tasm.CacheStats `json:"stats,omitempty"`
+}
+
 func cmdStats(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
 	dir := fs.String("dir", "tasmdb", "storage directory")
 	addr := addrFlag(fs)
+	asJSON := fs.Bool("json", false, "emit machine-readable JSON (totals plus per-shard breakdown against a router)")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -634,31 +663,48 @@ func cmdStats(ctx context.Context, args []string) error {
 	}
 	defer b.Close()
 	var st tasm.CacheStats
+	var shards []client.ShardStats
 	if rc, ok := b.(*client.Client); ok {
 		// Against a tasm-router the response carries a per-shard
 		// breakdown; against a plain tasmd the shard list is empty and
 		// only the totals print. One code path serves both.
-		var shards []client.ShardStats
 		if st, shards, err = rc.ShardCacheStats(ctx); err != nil {
 			return err
 		}
-		for _, s := range shards {
-			health := "up"
-			if !s.Healthy {
-				health = "DOWN"
-			}
-			if s.Err != "" {
-				fmt.Printf("shard %-12s %-21s %-4s unreachable: %s\n", s.Shard, s.Addr, health, s.Err)
-				continue
-			}
-			fmt.Printf("shard %-12s %-21s %-4s hits %d  misses %d  evictions %d  cached %d B in %d entries\n",
-				s.Shard, s.Addr, health, s.Stats.Hits, s.Stats.Misses, s.Stats.Evictions, s.Stats.BytesCached, s.Stats.Entries)
-		}
-		if len(shards) > 0 {
-			fmt.Println("merged totals:")
-		}
 	} else if st, err = b.CacheStatsContext(ctx); err != nil {
 		return err
+	}
+	if *asJSON {
+		out := struct {
+			Totals tasm.CacheStats  `json:"totals"`
+			Shards []statsShardJSON `json:"shards,omitempty"`
+		}{Totals: st}
+		for _, s := range shards {
+			row := statsShardJSON{Shard: s.Shard, Addr: s.Addr, Healthy: s.Healthy, Error: s.Err}
+			if s.Err == "" {
+				stats := s.Stats
+				row.Stats = &stats
+			}
+			out.Shards = append(out.Shards, row)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
+	}
+	for _, s := range shards {
+		health := "up"
+		if !s.Healthy {
+			health = "DOWN"
+		}
+		if s.Err != "" {
+			fmt.Printf("shard %-12s %-21s %-4s unreachable: %s\n", s.Shard, s.Addr, health, s.Err)
+			continue
+		}
+		fmt.Printf("shard %-12s %-21s %-4s hits %d  misses %d  evictions %d  cached %d B in %d entries\n",
+			s.Shard, s.Addr, health, s.Stats.Hits, s.Stats.Misses, s.Stats.Evictions, s.Stats.BytesCached, s.Stats.Entries)
+	}
+	if len(shards) > 0 {
+		fmt.Println("merged totals:")
 	}
 	// Eviction pressure is the ratio operators watch: evictions per
 	// miss says whether the budget is churning.
@@ -675,6 +721,38 @@ func cmdStats(ctx context.Context, args []string) error {
 		}
 		fmt.Println()
 	}
+	return nil
+}
+
+// cmdTrace fetches one finished request's span timeline from a
+// daemon's trace ring. Remote-only: traces live in the serving
+// process, there is nothing to look up in a local directory.
+func cmdTrace(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	addr := addrFlag(fs)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("%w: expected one trace id argument", errUsage)
+	}
+	if *addr.addr == "" {
+		return fmt.Errorf("%w: trace needs -addr (traces live in the serving daemon's ring, not on disk)", errUsage)
+	}
+	b, err := addr.openBackend("")
+	if err != nil {
+		return err
+	}
+	defer b.Close()
+	raw, err := b.(*client.Client).TraceContext(ctx, fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	var pretty bytes.Buffer
+	if err := json.Indent(&pretty, raw, "", "  "); err != nil {
+		return err
+	}
+	fmt.Println(pretty.String())
 	return nil
 }
 

@@ -50,6 +50,7 @@ import (
 	"time"
 
 	"github.com/tasm-repro/tasm"
+	"github.com/tasm-repro/tasm/internal/obs"
 	"github.com/tasm-repro/tasm/internal/server"
 )
 
@@ -68,6 +69,8 @@ func main() {
 		quiet          = flag.Bool("quiet", false, "suppress access logs")
 		autotile       = flag.Bool("autotile", false, "run the background workload-adaptive re-tiler")
 		retileIOBudget = flag.Int64("retile-io-budget", 0, "re-tile I/O throttle in bytes/sec (0 = unthrottled; requires -autotile)")
+		slowQuery      = flag.Duration("slow-query-threshold", 0, "log requests at or above this wall time as slow queries (0 = disabled)")
+		debugAddr      = flag.String("debug-addr", "", "serve net/http/pprof on this loopback address (empty = disabled)")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -133,7 +136,18 @@ func main() {
 		Logger: logger, AccessLogger: accessLogger,
 		MaxInflight: *maxInflight,
 		Tenants:     tenants, TenantMaxInflight: *tenantInflight,
+		SlowQueryThreshold: *slowQuery,
 	})
+
+	// The profiling surface is its own loopback-only listener, never a
+	// route on the public one: pprof has no auth and -token-file must
+	// not become a profile-exfiltration vector.
+	if *debugAddr != "" {
+		if _, err := obs.StartDebugServer(*debugAddr, logger); err != nil {
+			sm.Close()
+			logger.Fatalf("%v", err)
+		}
+	}
 
 	// SIGHUP re-reads the token file and swaps the tenant table in place:
 	// tokens rotate without dropping in-flight streams or restarting the

@@ -1,0 +1,437 @@
+// Open-loop load harness: the experiment measuring serving latency
+// under concurrency rather than in isolation. It stands up a real
+// multi-tenant tasmd handler on a loopback listener and fires a mixed
+// scan/ingest workload at it with arrivals scheduled by a clock, not by
+// completions — the open-loop discipline, where a slow server faces a
+// growing backlog instead of a politely waiting client, so queueing
+// delay shows up in the tail instead of hiding in a lower offered rate.
+// Each target-RPS level reports p50/p95/p99 twice: from client-side
+// timing and from the server's own /metrics histograms (scraped before
+// and after the level and differenced), cross-checking that the
+// observability pipeline agrees with ground truth. Results serialize to
+// the BENCH_<n>.json trajectory (BENCH_7.json).
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/tasm-repro/tasm"
+	"github.com/tasm-repro/tasm/client"
+	"github.com/tasm-repro/tasm/internal/obs"
+	"github.com/tasm-repro/tasm/internal/scene"
+	"github.com/tasm-repro/tasm/internal/server"
+)
+
+// LoadLevelResult is one target-RPS step of the ramp.
+type LoadLevelResult struct {
+	TargetRPS   int     `json:"target_rps"`
+	DurationSec float64 `json:"duration_sec"`
+	// Offered arrivals vs completed responses: in an open loop the two
+	// differ only by errors (every arrival is launched regardless of
+	// how the server is doing).
+	Offered     int     `json:"offered"`
+	Completed   int     `json:"completed"`
+	Errors      int     `json:"errors"`
+	AchievedRPS float64 `json:"achieved_rps"`
+	// MaxInflight is the peak concurrency the open loop reached — the
+	// ramp: higher target rates ride on more simultaneous requests.
+	MaxInflight int `json:"max_inflight"`
+	ScanOps     int `json:"scan_ops"`
+	IngestOps   int `json:"ingest_ops"`
+
+	// Client-side wall-time quantiles (ms), measured around each call.
+	ClientP50Ms float64 `json:"client_p50_ms"`
+	ClientP95Ms float64 `json:"client_p95_ms"`
+	ClientP99Ms float64 `json:"client_p99_ms"`
+
+	// Server-side quantiles (ms) from the tasm_request_seconds
+	// histogram delta across the level's /metrics scrapes.
+	ServerP50Ms float64 `json:"server_p50_ms"`
+	ServerP95Ms float64 `json:"server_p95_ms"`
+	ServerP99Ms float64 `json:"server_p99_ms"`
+
+	// ServerCount is the histogram's observation delta; it must equal
+	// Completed + Errors for the scrape accounting to be trusted.
+	ServerCount int `json:"server_count"`
+	// CrossCheckOK: the counts match exactly, the medians agree within
+	// one bucket step, and the server's tail quantiles do not exceed the
+	// client's (plus bucket resolution). The tails are bounded, not
+	// equated: open-loop client timing includes queueing and scheduling
+	// delay the server-side histogram legitimately never sees.
+	CrossCheckOK bool `json:"crosscheck_ok"`
+}
+
+// LoadResult is the machine-readable open-loop measurement.
+type LoadResult struct {
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	CPUs        int    `json:"cpus"`
+	GeneratedAt string `json:"generated_at"`
+
+	Tenants  int               `json:"tenants"`
+	ScanFrac float64           `json:"scan_frac"`
+	Levels   []LoadLevelResult `json:"levels"`
+}
+
+// loadScanFrac is the scan share of the op mix; the rest are small
+// ingests, so the workload exercises both the read and write paths of
+// every tenant.
+const loadScanFrac = 0.85
+
+// loadLevels are the target arrival rates of the ramp; loadLevelDur is
+// how long each level offers load. The high level's inter-arrival gap
+// sits below the mix's tail latency, so arrivals overlap and the open
+// loop actually ramps concurrency instead of serializing.
+var loadLevels = []int{30, 240}
+
+const loadLevelDur = 2500 * time.Millisecond
+
+// RunLoad drives the open-loop workload against a real tasmd handler
+// over loopback TCP: two authenticated tenants, a clock-scheduled
+// arrival process per level, and quantiles from both ends of the wire.
+func RunLoad(o Options) (LoadResult, *Table, error) {
+	o = o.withDefaults()
+	res := LoadResult{
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		CPUs:        runtime.GOMAXPROCS(0),
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		ScanFrac:    loadScanFrac,
+	}
+
+	dir, err := os.MkdirTemp("", "tasm-load-*")
+	if err != nil {
+		return res, nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	sm, err := tasm.Open(dir,
+		tasm.WithGOPLength(5),
+		tasm.WithMinTileSize(32, 32),
+		tasm.WithCacheBudget(64<<20),
+		tasm.WithQP(o.QP))
+	if err != nil {
+		return res, nil, err
+	}
+	defer sm.Close()
+
+	// One seeded video per tenant, with detections marked so scans
+	// return regions. The videos are small on purpose: the experiment
+	// measures serving under concurrency, not decode throughput.
+	tenants := []string{"alpha", "beta"}
+	res.Tenants = len(tenants)
+	tokens := map[string]string{}
+	for i, tn := range tenants {
+		tokens["token-"+tn] = tn
+		v, err := scene.Generate(scene.Spec{
+			Name: tn + "cam", W: 192, H: 96, FPS: 10, DurationSec: 2,
+			Classes: []scene.ClassMix{
+				{Class: scene.Car, Count: 2, SizeFrac: 0.18},
+				{Class: scene.Person, Count: 1, SizeFrac: 0.2},
+			},
+			Seed: o.Seed + uint64(i),
+		})
+		if err != nil {
+			return res, nil, err
+		}
+		n := v.Spec.NumFrames()
+		if _, err := sm.Ingest(tn+"cam", v.Frames(0, n), v.Spec.FPS); err != nil {
+			return res, nil, err
+		}
+		var ds []tasm.Detection
+		for f := 0; f < n; f++ {
+			for _, tr := range v.GroundTruth(f) {
+				ds = append(ds, tasm.Detection{Frame: f, Label: tr.Label, Box: tr.Box})
+			}
+		}
+		if err := sm.AddDetections(tn+"cam", ds); err != nil {
+			return res, nil, err
+		}
+		if err := sm.MarkDetected(tn+"cam", "car", 0, n); err != nil {
+			return res, nil, err
+		}
+	}
+
+	// The ingest ops all write the same tiny pre-generated clip under
+	// fresh video names; generating it is untimed.
+	clip, err := scene.Generate(scene.Spec{
+		Name: "clip", W: 128, H: 64, FPS: 10, DurationSec: 1,
+		Classes: []scene.ClassMix{{Class: scene.Car, Count: 1, SizeFrac: 0.25}},
+		Seed:    o.Seed + 99,
+	})
+	if err != nil {
+		return res, nil, err
+	}
+	clipFrames := clip.Frames(0, 4)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return res, nil, err
+	}
+	// MaxInflight is raised above the open loop's plausible peak so the
+	// measurement sees queueing, not limiter rejections.
+	srv := &http.Server{Handler: server.New(sm, server.Config{
+		Tenants:     tokens,
+		MaxInflight: 512, TenantMaxInflight: 512,
+	})}
+	go srv.Serve(ln) //nolint:errcheck // closed via Shutdown below
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx) //nolint:errcheck // bench teardown
+	}()
+
+	clients := make([]*client.Client, len(tenants))
+	for i, tn := range tenants {
+		c, err := client.New(ln.Addr().String(), client.WithToken("token-"+tn))
+		if err != nil {
+			return res, nil, err
+		}
+		defer c.Close()
+		clients[i] = c
+	}
+
+	ctx := context.Background()
+	// Untimed warm-up: connections, file cache, the tile cache.
+	for i, tn := range tenants {
+		if _, _, err := clients[i].ScanSQLContext(ctx, scanSQL(tn)); err != nil {
+			return res, nil, err
+		}
+	}
+
+	metricsURL := "http://" + ln.Addr().String() + "/metrics"
+	prng := rand.New(rand.NewSource(int64(o.Seed)))
+	var ingestSeq atomic.Int64
+
+	for _, rps := range loadLevels {
+		o.progressf("load: level %d rps\n", rps)
+		before, err := scrapeRequestHist(metricsURL, "token-"+tenants[0])
+		if err != nil {
+			return res, nil, err
+		}
+
+		lv := LoadLevelResult{TargetRPS: rps, DurationSec: loadLevelDur.Seconds()}
+		hist := obs.NewHistogram(obs.DefaultLatencyBuckets)
+		var wg sync.WaitGroup
+		var errs, inflight, peak atomic.Int64
+		interval := time.Duration(float64(time.Second) / float64(rps))
+		offered := int(loadLevelDur / interval)
+		start := time.Now()
+		for i := 0; i < offered; i++ {
+			// Open loop: the i'th arrival fires at start + i*interval no
+			// matter how many predecessors are still in flight.
+			if d := time.Until(start.Add(time.Duration(i) * interval)); d > 0 {
+				time.Sleep(d)
+			}
+			ti := i % len(tenants)
+			tn, c := tenants[ti], clients[ti]
+			scan := prng.Float64() < loadScanFrac
+			if scan {
+				lv.ScanOps++
+			} else {
+				lv.IngestOps++
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				cur := inflight.Add(1)
+				for p := peak.Load(); cur > p && !peak.CompareAndSwap(p, cur); p = peak.Load() {
+				}
+				defer inflight.Add(-1)
+				t0 := time.Now()
+				var err error
+				if scan {
+					_, _, err = c.ScanSQLContext(ctx, scanSQL(tn))
+				} else {
+					name := fmt.Sprintf("ing%s%d", tn, ingestSeq.Add(1))
+					_, err = c.IngestContext(ctx, name, clipFrames, 10)
+				}
+				hist.Observe(time.Since(t0).Seconds())
+				if err != nil {
+					errs.Add(1)
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		// The last responses' server-side observations land in a defer
+		// that can run marginally after the client sees the final byte;
+		// give the scrape a beat so the before/after delta is complete.
+		time.Sleep(50 * time.Millisecond)
+		after, err := scrapeRequestHist(metricsURL, "token-"+tenants[0])
+		if err != nil {
+			return res, nil, err
+		}
+
+		lv.Offered = offered
+		lv.Errors = int(errs.Load())
+		lv.Completed = offered - lv.Errors
+		lv.AchievedRPS = float64(offered) / elapsed.Seconds()
+		lv.MaxInflight = int(peak.Load())
+
+		cs := hist.Snapshot()
+		lv.ClientP50Ms = 1e3 * cs.Quantile(0.50)
+		lv.ClientP95Ms = 1e3 * cs.Quantile(0.95)
+		lv.ClientP99Ms = 1e3 * cs.Quantile(0.99)
+
+		ss := after.sub(before)
+		lv.ServerCount = int(ss.Count)
+		lv.ServerP50Ms = 1e3 * ss.Quantile(0.50)
+		lv.ServerP95Ms = 1e3 * ss.Quantile(0.95)
+		lv.ServerP99Ms = 1e3 * ss.Quantile(0.99)
+
+		lv.CrossCheckOK = lv.ServerCount == offered &&
+			quantilesAgree(lv.ClientP50Ms, lv.ServerP50Ms) &&
+			serverNotAbove(lv.ServerP95Ms, lv.ClientP95Ms) &&
+			serverNotAbove(lv.ServerP99Ms, lv.ClientP99Ms)
+		res.Levels = append(res.Levels, lv)
+	}
+
+	t := &Table{
+		Title:   "Open-loop load: mixed scan/ingest, client vs server quantiles",
+		Columns: []string{"target rps", "achieved", "peak conc", "errors", "client p50/p95/p99 ms", "server p50/p95/p99 ms", "agree"},
+	}
+	for _, lv := range res.Levels {
+		t.Rows = append(t.Rows, []string{
+			strconv.Itoa(lv.TargetRPS),
+			fmt.Sprintf("%.1f", lv.AchievedRPS),
+			strconv.Itoa(lv.MaxInflight),
+			strconv.Itoa(lv.Errors),
+			fmt.Sprintf("%.1f / %.1f / %.1f", lv.ClientP50Ms, lv.ClientP95Ms, lv.ClientP99Ms),
+			fmt.Sprintf("%.1f / %.1f / %.1f", lv.ServerP50Ms, lv.ServerP95Ms, lv.ServerP99Ms),
+			strconv.FormatBool(lv.CrossCheckOK),
+		})
+	}
+	t.Notes = []string{
+		fmt.Sprintf("%d CPUs, %d tenants, %.0f%% scans / %.0f%% ingests, open-loop arrivals (clock-scheduled, not completion-gated)",
+			res.CPUs, res.Tenants, 100*loadScanFrac, 100*(1-loadScanFrac)),
+		"server quantiles from the tasm_request_seconds histogram delta across the level's scrapes",
+		"target: zero errors, counts exact, medians within one bucket, server tails bounded by client tails",
+	}
+	return res, t, nil
+}
+
+func scanSQL(tenant string) string {
+	return "SELECT car FROM " + tenant + "cam WHERE 0 <= t < 2"
+}
+
+// quantilesAgree accepts a client/server quantile pair (ms) that lands
+// within one bucket step of DefaultLatencyBuckets — adjacent-bucket
+// bounds are at most 2.5x apart — or within 5ms absolute, whichever is
+// looser (sub-bucket noise at the fast end).
+func quantilesAgree(a, b float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	if math.Abs(a-b) <= 5 {
+		return true
+	}
+	lo, hi := math.Min(a, b), math.Max(a, b)
+	return lo > 0 && hi/lo <= 2.6
+}
+
+// serverNotAbove accepts a server-side tail quantile that the
+// client-side one bounds from above (within one bucket step of slack
+// for histogram resolution, or 5ms absolute at the fast end). The two
+// are not required to be equal: under open-loop load the client's
+// measurement includes queueing and scheduling delay that is real
+// latency to the caller but invisible to the in-handler histogram —
+// a server tail ABOVE the client's, though, means the histogram is
+// fabricating latency.
+func serverNotAbove(server, client float64) bool {
+	if math.IsNaN(server) || math.IsNaN(client) {
+		return false
+	}
+	return server <= math.Max(client*2.6, client+5)
+}
+
+// scrapeRequestHist fetches /metrics (authenticated: the daemon runs
+// with a tenant table, and only /v1/healthz bypasses auth) and folds
+// every tasm_request_seconds_bucket series (all endpoint/tenant label
+// pairs except the scrape endpoint itself) into one cumulative-count
+// map, so two scrapes can be differenced into the level's latency
+// histogram.
+func scrapeRequestHist(url, token string) (requestHist, error) {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return requestHist{}, err
+	}
+	req.Header.Set("Authorization", "Bearer "+token)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return requestHist{}, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return requestHist{}, fmt.Errorf("bench: scrape %s: status %d, %v", url, resp.StatusCode, err)
+	}
+	h := requestHist{cum: map[float64]int64{}}
+	for _, line := range strings.Split(string(body), "\n") {
+		rest, ok := strings.CutPrefix(line, "tasm_request_seconds_bucket{")
+		if !ok || strings.Contains(rest, `endpoint="GET /metrics"`) {
+			continue
+		}
+		labels, value, ok := strings.Cut(rest, "} ")
+		if !ok {
+			continue
+		}
+		leStart := strings.Index(labels, `le="`)
+		if leStart < 0 {
+			continue
+		}
+		leStr := labels[leStart+len(`le="`):]
+		leStr, _, ok = strings.Cut(leStr, `"`)
+		if !ok {
+			continue
+		}
+		le := math.Inf(1)
+		if leStr != "+Inf" {
+			if le, err = strconv.ParseFloat(leStr, 64); err != nil {
+				return requestHist{}, fmt.Errorf("bench: scrape: bad le %q: %v", leStr, err)
+			}
+		}
+		n, err := strconv.ParseInt(value, 10, 64)
+		if err != nil {
+			return requestHist{}, fmt.Errorf("bench: scrape: bad bucket count %q: %v", value, err)
+		}
+		h.cum[le] += n
+	}
+	return h, nil
+}
+
+// requestHist is a scraped cumulative-bucket histogram (summed over
+// label pairs), keyed by upper bound.
+type requestHist struct {
+	cum map[float64]int64
+}
+
+// sub converts the cumulative delta (h - before) into an obs snapshot
+// aligned with DefaultLatencyBuckets, ready for Quantile.
+func (h requestHist) sub(before requestHist) obs.HistSnapshot {
+	bounds := obs.DefaultLatencyBuckets
+	s := obs.HistSnapshot{Bounds: bounds, Counts: make([]int64, len(bounds)+1)}
+	var prev int64
+	for i, b := range bounds {
+		cum := h.cum[b] - before.cum[b]
+		s.Counts[i] = cum - prev
+		prev = cum
+	}
+	inf := h.cum[math.Inf(1)] - before.cum[math.Inf(1)]
+	s.Counts[len(bounds)] = inf - prev
+	s.Count = inf
+	return s
+}

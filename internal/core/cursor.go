@@ -3,11 +3,13 @@ package core
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
 	"github.com/tasm-repro/tasm/internal/costmodel"
 	"github.com/tasm-repro/tasm/internal/frame"
+	"github.com/tasm-repro/tasm/internal/obs"
 	"github.com/tasm-repro/tasm/internal/query"
 	"github.com/tasm-repro/tasm/internal/tasmerr"
 	"github.com/tasm-repro/tasm/internal/tilestore"
@@ -180,6 +182,32 @@ func (c *cursor[T]) finishEmpty(lease *tilestore.Lease) {
 	close(c.out)
 }
 
+// recordSpans reports the pipeline's stage accounting into the request
+// trace (when one rides the context): decode and assemble spans carry
+// the cumulative stage walls from ScanStats — overlapping parallel
+// decodes already folded to busy intervals — and the cache span carries
+// the tile-cache outcome for this request. Span starts anchor at the
+// pipeline start; the durations are the paper's per-stage costs, not
+// wall-clock sub-intervals.
+func (c *cursor[T]) recordSpans(pipeStart time.Time) {
+	tr := obs.FromContext(c.ctx)
+	if tr == nil {
+		return
+	}
+	st := c.Stats()
+	itoa := strconv.Itoa
+	tr.AddSpan("decode", pipeStart, st.DecodeWall,
+		"tiles", itoa(st.TilesDecoded),
+		"frames", strconv.FormatInt(st.FramesDecoded, 10),
+		"sots", itoa(st.SOTsTouched))
+	tr.AddSpan("assemble", pipeStart, st.AssembleWall,
+		"regions", itoa(st.RegionsReturned))
+	tr.AddSpan("cache", pipeStart, 0,
+		"hits", itoa(st.CacheHits),
+		"misses", itoa(st.CacheMisses),
+		"evictions", itoa(st.CacheEvictions))
+}
+
 // pipelineSOT is one SOT's worth of decode work: jobs to run and an
 // emitter that assembles and sends the SOT's results once they all land.
 type pipelineSOT struct {
@@ -198,11 +226,13 @@ type pipelineSOT struct {
 // the streaming default, sotAhead).
 func (c *cursor[T]) start(lease *tilestore.Lease, sots []pipelineSOT, window int) {
 	go func() {
+		pipeStart := time.Now()
 		err := c.pump(lease, sots, window)
 		// Workers have exited: release before the consumer can observe
 		// end-of-stream, so "Next is false" implies "no leases held".
 		lease.Release()
 		c.setErr(err)
+		c.recordSpans(pipeStart)
 		// done closes before out: a consumer that drained to the closed
 		// out channel and immediately calls Close must find done already
 		// closed, or the Close would spuriously record ErrCursorClosed
@@ -344,7 +374,10 @@ func (m *Manager) ScanCursor(ctx context.Context, q query.Query) (*ScanCursor, e
 // tile) jobs flatten across the pool like the pre-cursor batch path.
 func (m *Manager) scanCursor(ctx context.Context, q query.Query, window int) (*ScanCursor, error) {
 	c := newCursor[RegionResult](m, ctx)
+	tr := obs.FromContext(c.ctx)
+	endLease := tr.StartSpan("lease")
 	meta, lease, err := m.store.SnapshotRangeContext(c.ctx, q.Video, q.From, q.To)
+	endLease("video", q.Video)
 	if err != nil {
 		c.cancel()
 		return nil, err
@@ -358,11 +391,13 @@ func (m *Manager) scanCursor(ctx context.Context, q query.Query, window int) (*S
 	if err != nil {
 		return nil, release(err)
 	}
+	indexStart := time.Now()
 	regions, indexWall, err := m.regionsForQuery(q, from, to)
 	if err != nil {
 		return nil, release(err)
 	}
 	c.stats.IndexWall = indexWall
+	tr.AddSpan("index", indexStart, indexWall)
 
 	// Plan every touched SOT up front: which frame offsets it must serve
 	// and which tiles (decoded through which offset) it needs.
@@ -451,7 +486,10 @@ func (m *Manager) FrameCursor(ctx context.Context, video string, from, to int) (
 // scanCursor).
 func (m *Manager) frameCursor(ctx context.Context, video string, from, to, window int) (*FrameCursor, error) {
 	c := newCursor[FrameResult](m, ctx)
+	tr := obs.FromContext(c.ctx)
+	endLease := tr.StartSpan("lease")
 	meta, lease, err := m.store.SnapshotRangeContext(c.ctx, video, from, to)
+	endLease("video", video)
 	if err != nil {
 		c.cancel()
 		return nil, err

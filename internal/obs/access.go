@@ -1,0 +1,38 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// AccessRecord is the structured access-log line every daemon emits,
+// one JSON object per finished request. The slow-query log reuses the
+// shape with Level "slow_query" plus the threshold that tripped.
+type AccessRecord struct {
+	Level       string  `json:"level"`
+	TraceID     string  `json:"trace_id"`
+	Method      string  `json:"method"`
+	Path        string  `json:"path"`
+	Endpoint    string  `json:"endpoint"`
+	Status      int     `json:"status"`
+	Bytes       int64   `json:"bytes"`
+	DurMS       float64 `json:"dur_ms"`
+	TTFRMS      float64 `json:"ttfr_ms,omitempty"`
+	Remote      string  `json:"remote"`
+	Tenant      string  `json:"tenant,omitempty"`
+	ThresholdMS float64 `json:"threshold_ms,omitempty"`
+}
+
+// Line renders the record as one JSON line (no trailing newline).
+func (rec AccessRecord) Line() string {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		// Every field is a plain string or number; Marshal cannot fail.
+		return fmt.Sprintf(`{"level":%q,"error":"marshal"}`, rec.Level)
+	}
+	return string(data)
+}
+
+// Msec renders a duration as fractional milliseconds for log lines.
+func Msec(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }

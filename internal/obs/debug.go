@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// NewDebugHandler returns a mux serving net/http/pprof under
+// /debug/pprof/ without touching http.DefaultServeMux — the profiling
+// surface must never leak onto the daemon's public listener.
+func NewDebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// StartDebugServer serves pprof on its own listener, refusing any
+// non-loopback bind: profiles expose heap contents and the process
+// command line, and the debug listener has no auth. The returned stop
+// function closes the listener and its connections.
+func StartDebugServer(addr string, logger *log.Logger) (stop func(), err error) {
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil {
+		return nil, fmt.Errorf("debug addr %q: %v", addr, err)
+	}
+	if ip := net.ParseIP(host); host != "localhost" && (ip == nil || !ip.IsLoopback()) {
+		return nil, fmt.Errorf("debug addr %q is not loopback: pprof exposes heap and command-line contents without auth; bind 127.0.0.1", addr)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("debug listen %s: %v", addr, err)
+	}
+	srv := &http.Server{Handler: NewDebugHandler(), ReadHeaderTimeout: 10 * time.Second}
+	go func() {
+		if err := srv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+			logger.Printf("debug server: %v", err)
+		}
+	}()
+	logger.Printf("pprof debug server on http://%s/debug/pprof/", ln.Addr())
+	return func() { _ = srv.Close() }, nil
+}

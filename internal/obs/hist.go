@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// DefaultLatencyBuckets covers loopback microbenchmarks through WAN
+// tail latencies: 500µs .. 10s, roughly 2-2.5x apart. Values are
+// seconds (Prometheus convention).
+var DefaultLatencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// DefaultSizeBuckets covers response sizes from small JSON envelopes to
+// multi-megabyte pixel streams. Values are bytes.
+var DefaultSizeBuckets = []float64{
+	256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10,
+	1 << 20, 4 << 20, 16 << 20, 64 << 20, 256 << 20,
+}
+
+// Histogram is a fixed-bucket histogram in the Prometheus style:
+// counts[i] observations fell at or below bounds[i]; counts[len(bounds)]
+// is the +Inf overflow bucket. Observe is mutex-protected — the hot
+// paths observe once per request, not per region, so contention is
+// negligible against the work being measured.
+type Histogram struct {
+	bounds []float64
+
+	mu     sync.Mutex
+	counts []int64
+	sum    float64
+	count  int64
+}
+
+// NewHistogram returns a histogram over the given ascending upper
+// bounds (a +Inf bucket is implicit). The bounds slice is not copied;
+// callers pass package-level bucket vars.
+func NewHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]int64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Binary search outside the lock; bounds are immutable.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += v
+	h.count++
+	h.mu.Unlock()
+}
+
+// Snapshot returns a consistent copy of the histogram state.
+func (h *Histogram) Snapshot() HistSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.counts)),
+		Sum:    h.sum,
+		Count:  h.count,
+	}
+	copy(s.Counts, h.counts)
+	return s
+}
+
+// HistSnapshot is an immutable histogram state; Counts are per-bucket
+// (not cumulative), Counts[len(Bounds)] being the +Inf bucket.
+type HistSnapshot struct {
+	Bounds []float64
+	Counts []int64
+	Sum    float64
+	Count  int64
+}
+
+// Quantile estimates the p'th quantile (0 < p <= 1) by linear
+// interpolation within the bucket containing the target rank — the
+// same estimate promql's histogram_quantile computes. Returns NaN for
+// an empty histogram. A quantile landing in the +Inf bucket returns
+// the largest finite bound (the histogram cannot resolve beyond it).
+func (s HistSnapshot) Quantile(p float64) float64 {
+	if s.Count == 0 || p <= 0 || p > 1 {
+		return math.NaN()
+	}
+	rank := p * float64(s.Count)
+	var cum int64
+	for i, c := range s.Counts {
+		if float64(cum+c) < rank {
+			cum += c
+			continue
+		}
+		if i >= len(s.Bounds) { // +Inf bucket
+			if len(s.Bounds) == 0 {
+				return math.NaN()
+			}
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Bounds[i]
+		if c == 0 {
+			return hi
+		}
+		return lo + (hi-lo)*(rank-float64(cum))/float64(c)
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// Merge returns a snapshot combining s and o, which must share bounds
+// (same length; callers merge snapshots of histograms built from the
+// same bucket var). Used to aggregate per-label-pair histograms into a
+// whole-endpoint quantile.
+func (s HistSnapshot) Merge(o HistSnapshot) HistSnapshot {
+	if len(s.Counts) == 0 {
+		return o
+	}
+	if len(o.Counts) == 0 {
+		return s
+	}
+	out := HistSnapshot{
+		Bounds: s.Bounds,
+		Counts: make([]int64, len(s.Counts)),
+		Sum:    s.Sum + o.Sum,
+		Count:  s.Count + o.Count,
+	}
+	copy(out.Counts, s.Counts)
+	for i := range o.Counts {
+		if i < len(out.Counts) {
+			out.Counts[i] += o.Counts[i]
+		}
+	}
+	return out
+}

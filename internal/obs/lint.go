@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// LintExposition checks Prometheus text output for the invariant the
+// registry enforces at registration time: every sample belongs to a
+// family announced by a preceding # HELP and # TYPE pair. It exists so
+// tests (and CI, via a scrape) can verify the property end to end on
+// the wire, catching any series emitted outside the registry.
+func LintExposition(text string) error {
+	help := map[string]bool{}
+	typed := map[string]bool{}
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			f := strings.Fields(line)
+			if len(f) < 4 {
+				return fmt.Errorf("line %d: HELP without text: %q", ln+1, line)
+			}
+			help[f[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) < 4 {
+				return fmt.Errorf("line %d: malformed TYPE: %q", ln+1, line)
+			}
+			typed[f[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(name, "{ "); i >= 0 {
+			name = name[:i]
+		}
+		family := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(name, suffix)
+			if trimmed != name && (help[trimmed] || typed[trimmed]) {
+				family = trimmed
+				break
+			}
+		}
+		if !help[family] {
+			return fmt.Errorf("line %d: series %s has no HELP line", ln+1, name)
+		}
+		if !typed[family] {
+			return fmt.Errorf("line %d: series %s has no TYPE line", ln+1, name)
+		}
+	}
+	return nil
+}

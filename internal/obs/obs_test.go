@@ -1,0 +1,263 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceIDMintAndValidate(t *testing.T) {
+	id := NewTraceID()
+	if len(id) != 32 || !ValidTraceID(id) {
+		t.Fatalf("NewTraceID() = %q, want 32 valid hex chars", id)
+	}
+	if id2 := NewTraceID(); id2 == id {
+		t.Fatalf("two minted ids collide: %q", id)
+	}
+	for _, bad := range []string{"", "has space", "semi;colon", strings.Repeat("a", 65), "new\nline", "quote\"y"} {
+		if ValidTraceID(bad) {
+			t.Errorf("ValidTraceID(%q) = true, want false", bad)
+		}
+	}
+	for _, good := range []string{"a", "ABC-123_def", strings.Repeat("f", 64)} {
+		if !ValidTraceID(good) {
+			t.Errorf("ValidTraceID(%q) = false, want true", good)
+		}
+	}
+}
+
+func TestTraceNilSafety(t *testing.T) {
+	var tr *Trace
+	tr.StartSpan("x")("k", "v") // must not panic
+	tr.AddSpan("y", time.Now(), time.Millisecond)
+	tr.Annotate("k", "v")
+	if got := tr.ID(); got != "" {
+		t.Fatalf("nil ID() = %q", got)
+	}
+	if rec := tr.Snapshot(); rec.TraceID != "" || len(rec.Spans) != 0 {
+		t.Fatalf("nil Snapshot() = %+v", rec)
+	}
+	ctx := context.Background()
+	if got := FromContext(ctx); got != nil {
+		t.Fatalf("FromContext(empty) = %v", got)
+	}
+}
+
+func TestTraceSpansAndContext(t *testing.T) {
+	tr := NewTrace("abc123")
+	ctx := WithTrace(context.Background(), tr)
+	got := FromContext(ctx)
+	if got != tr {
+		t.Fatalf("FromContext returned %v, want the installed trace", got)
+	}
+	end := got.StartSpan("lease")
+	time.Sleep(time.Millisecond)
+	end("video", "cam0")
+	got.Annotate("tenant", "alpha")
+	rec := tr.Snapshot()
+	if rec.TraceID != "abc123" {
+		t.Fatalf("TraceID = %q", rec.TraceID)
+	}
+	if len(rec.Spans) != 1 || rec.Spans[0].Name != "lease" {
+		t.Fatalf("spans = %+v", rec.Spans)
+	}
+	if rec.Spans[0].DurUS <= 0 {
+		t.Fatalf("lease span duration = %d us, want > 0", rec.Spans[0].DurUS)
+	}
+	if rec.Spans[0].Attrs["video"] != "cam0" || rec.Attrs["tenant"] != "alpha" {
+		t.Fatalf("attrs not recorded: %+v / %+v", rec.Spans[0].Attrs, rec.Attrs)
+	}
+}
+
+func TestTraceConcurrentSpans(t *testing.T) {
+	tr := NewTrace(NewTraceID())
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				tr.AddSpan(fmt.Sprintf("s%d", i), time.Now(), time.Microsecond)
+				tr.Annotate(fmt.Sprintf("k%d", i), "v")
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := len(tr.Snapshot().Spans); got != 16*50 {
+		t.Fatalf("got %d spans, want %d", got, 16*50)
+	}
+}
+
+func TestTraceStoreRingEviction(t *testing.T) {
+	s := NewTraceStore(3)
+	for i := 0; i < 5; i++ {
+		s.Put(Record{TraceID: fmt.Sprintf("t%d", i)})
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	for _, gone := range []string{"t0", "t1"} {
+		if _, ok := s.Get(gone); ok {
+			t.Errorf("%s should have been evicted", gone)
+		}
+	}
+	for _, kept := range []string{"t2", "t3", "t4"} {
+		if _, ok := s.Get(kept); !ok {
+			t.Errorf("%s should still be present", kept)
+		}
+	}
+	// Replacing an existing id must not consume a new slot.
+	s.Put(Record{TraceID: "t4", DurUS: 99})
+	if s.Len() != 3 {
+		t.Fatalf("replace grew the ring: Len = %d", s.Len())
+	}
+	if rec, _ := s.Get("t4"); rec.DurUS != 99 {
+		t.Fatalf("replace did not update record: %+v", rec)
+	}
+}
+
+func TestHistogramObserveAndQuantile(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4, 8})
+	for _, v := range []float64{0.5, 1.5, 1.5, 3, 3, 3, 7, 100} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 8 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	wantCounts := []int64{1, 2, 3, 1, 1} // <=1, <=2, <=4, <=8, +Inf
+	for i, w := range wantCounts {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if got := s.Quantile(0.5); got < 2 || got > 4 {
+		t.Fatalf("p50 = %v, want within (2,4]", got)
+	}
+	// p100 lands in +Inf: clamped to the largest finite bound.
+	if got := s.Quantile(1.0); got != 8 {
+		t.Fatalf("p100 = %v, want 8", got)
+	}
+	var empty HistSnapshot
+	if !math.IsNaN(empty.Quantile(0.5)) {
+		t.Fatalf("empty quantile should be NaN")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram([]float64{1, 10})
+	b := NewHistogram([]float64{1, 10})
+	a.Observe(0.5)
+	b.Observe(5)
+	b.Observe(50)
+	m := a.Snapshot().Merge(b.Snapshot())
+	if m.Count != 3 || m.Sum != 55.5 {
+		t.Fatalf("merged count=%d sum=%v", m.Count, m.Sum)
+	}
+	if m.Counts[0] != 1 || m.Counts[1] != 1 || m.Counts[2] != 1 {
+		t.Fatalf("merged counts = %v", m.Counts)
+	}
+	// Merge with an empty side returns the other unchanged.
+	if got := (HistSnapshot{}).Merge(m); got.Count != 3 {
+		t.Fatalf("empty.Merge lost data: %+v", got)
+	}
+}
+
+func TestRegistryRejectsMissingHelpAndDuplicates(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	mustPanic("empty help", func() { r.NewCounterVec("tasm_x_total", "") })
+	mustPanic("blank help", func() { r.NewCounterVec("tasm_y_total", "   ") })
+	r.NewCounterVec("tasm_dup_total", "a counter")
+	mustPanic("duplicate", func() { r.NewGaugeFunc("tasm_dup_total", "again", func() float64 { return 0 }) })
+	mustPanic("bad series type", func() {
+		r.NewSeriesFunc("tasm_z", "histogram", "h", nil, func() []Sample { return nil })
+	})
+	mustPanic("no buckets", func() { r.NewHistogramVec("tasm_h", "h", nil) })
+}
+
+func TestRegistryTextExposition(t *testing.T) {
+	r := NewRegistry()
+	reqs := r.NewCounterVec("tasm_requests_total", "Requests served, by tenant.", "tenant")
+	reqs.With("alpha").Add(3)
+	reqs.With(`we"ird`).Inc()
+	r.NewCounterVec("tasm_panics_total", "Handlers recovered from a panic.")
+	r.NewGaugeFunc("tasm_up", "Always 1 while serving.", func() float64 { return 1 })
+	r.NewSeriesFunc("tasm_shard_up", "gauge", "Shard health.", []string{"shard"}, func() []Sample {
+		return []Sample{{LabelValues: []string{"s1"}, Value: 0}}
+	})
+	hist := r.NewHistogramVec("tasm_request_seconds", "Request wall time.", []float64{0.1, 1}, "endpoint")
+	hist.With("GET /v1/videos").Observe(0.05)
+	hist.With("GET /v1/videos").Observe(0.5)
+	hist.With("GET /v1/videos").Observe(5)
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	for _, want := range []string{
+		"# HELP tasm_requests_total Requests served, by tenant.\n# TYPE tasm_requests_total counter\n",
+		`tasm_requests_total{tenant="alpha"} 3`,
+		`tasm_requests_total{tenant="we\"ird"} 1`,
+		"tasm_panics_total 0\n", // unlabeled counter present before first Inc
+		"tasm_up 1\n",
+		`tasm_shard_up{shard="s1"} 0`,
+		`tasm_request_seconds_bucket{endpoint="GET /v1/videos",le="0.1"} 1`,
+		`tasm_request_seconds_bucket{endpoint="GET /v1/videos",le="1"} 2`,
+		`tasm_request_seconds_bucket{endpoint="GET /v1/videos",le="+Inf"} 3`,
+		`tasm_request_seconds_count{endpoint="GET /v1/videos"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n---\n%s", want, out)
+		}
+	}
+	// Every sample line must belong to a family announced by HELP+TYPE —
+	// the same property the CI lint checks on the live endpoint.
+	if err := LintExposition(out); err != nil {
+		t.Fatalf("self-lint: %v", err)
+	}
+}
+
+func TestLintExpositionCatchesBareSeries(t *testing.T) {
+	bad := "# HELP a_total ok\n# TYPE a_total counter\na_total 1\nb_total 2\n"
+	if err := LintExposition(bad); err == nil {
+		t.Fatal("lint accepted a series without HELP")
+	}
+}
+
+func TestHistogramVecConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogramVec("tasm_t_seconds", "t", DefaultLatencyBuckets, "tenant")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				h.With(fmt.Sprintf("t%d", i%2)).Observe(float64(j) / 1000)
+			}
+		}(i)
+	}
+	wg.Wait()
+	var total int64
+	for _, s := range h.Snapshots() {
+		total += s.Count
+	}
+	if total != 8*200 {
+		t.Fatalf("observed %d, want %d", total, 8*200)
+	}
+}

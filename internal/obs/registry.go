@@ -1,0 +1,334 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a Prometheus text-format (0.0.4) metrics registry. Every
+// registration requires a non-empty HELP string and a unique family
+// name — violations panic at construction time, which is how the
+// "no series without a HELP line" lint is enforced in-process: a
+// daemon that would serve an undocumented series fails to start, and
+// the unit suite catches it long before that.
+type Registry struct {
+	mu    sync.Mutex
+	names map[string]bool
+	fams  []renderer
+}
+
+type renderer interface {
+	render(w *strings.Builder)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[string]bool)}
+}
+
+func (r *Registry) register(name, help string, fam renderer) {
+	if name == "" {
+		panic("obs: metric registered with empty name")
+	}
+	if strings.TrimSpace(help) == "" {
+		panic(fmt.Sprintf("obs: metric %s registered without a HELP line", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.names[name] {
+		panic(fmt.Sprintf("obs: metric %s registered twice", name))
+	}
+	r.names[name] = true
+	r.fams = append(r.fams, fam)
+}
+
+// WriteText renders every family, in registration order, as Prometheus
+// text exposition.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]renderer, len(r.fams))
+	copy(fams, r.fams)
+	r.mu.Unlock()
+	var b strings.Builder
+	for _, f := range fams {
+		f.render(&b)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// formatValue renders integral floats without an exponent or decimal
+// point (gauges like tasm_autotile_enabled must print as `1`) and
+// everything else with %g.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// labelString renders {k="v",...} with %q escaping, or "" when there
+// are no labels.
+func labelString(names, values []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", n, values[i])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func writeHeader(b *strings.Builder, name, typ, help string) {
+	fmt.Fprintf(b, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(b, "# TYPE %s %s\n", name, typ)
+}
+
+// labelKey joins label values into a map key; \xff never appears in
+// our label values (tenants, endpoints, shard names).
+func labelKey(values []string) string { return strings.Join(values, "\xff") }
+
+// ---- counters ----
+
+// Counter is a monotonically increasing int64.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0; counters only go up).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// CounterVec is a family of counters keyed by label values.
+type CounterVec struct {
+	name   string
+	help   string
+	labels []string
+
+	mu sync.Mutex
+	m  map[string]*Counter
+}
+
+// NewCounterVec registers a counter family. With no label names it is
+// a single unlabeled series (rendered bare, no braces).
+func (r *Registry) NewCounterVec(name, help string, labels ...string) *CounterVec {
+	v := &CounterVec{name: name, help: help, labels: labels, m: make(map[string]*Counter)}
+	r.register(name, help, v)
+	return v
+}
+
+// With returns the counter for the given label values, creating it on
+// first use. The arity must match the registered label names.
+func (v *CounterVec) With(values ...string) *Counter {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("obs: %s expects %d label values, got %d", v.name, len(v.labels), len(values)))
+	}
+	key := labelKey(values)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.m[key]
+	if !ok {
+		c = &Counter{}
+		v.m[key] = c
+	}
+	return c
+}
+
+func (v *CounterVec) render(b *strings.Builder) {
+	writeHeader(b, v.name, "counter", v.help)
+	v.mu.Lock()
+	keys := make([]string, 0, len(v.m))
+	for k := range v.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	type row struct {
+		labels string
+		val    int64
+	}
+	rows := make([]row, 0, len(keys))
+	for _, k := range keys {
+		var values []string
+		if k != "" || len(v.labels) > 0 {
+			values = strings.Split(k, "\xff")
+		}
+		rows = append(rows, row{labelString(v.labels, values), v.m[k].Value()})
+	}
+	v.mu.Unlock()
+	if len(rows) == 0 && len(v.labels) == 0 {
+		// An unlabeled counter renders 0 before its first Inc so the
+		// series (and its HELP) is always present on the wire.
+		rows = append(rows, row{"", 0})
+	}
+	for _, rw := range rows {
+		fmt.Fprintf(b, "%s%s %d\n", v.name, rw.labels, rw.val)
+	}
+}
+
+// ---- callback gauges/counters ----
+
+type funcFamily struct {
+	name string
+	typ  string
+	help string
+	fn   func() float64
+}
+
+func (f *funcFamily) render(b *strings.Builder) {
+	writeHeader(b, f.name, f.typ, f.help)
+	fmt.Fprintf(b, "%s %s\n", f.name, formatValue(f.fn()))
+}
+
+// NewGaugeFunc registers an unlabeled gauge computed at scrape time.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) {
+	r.register(name, help, &funcFamily{name: name, typ: "gauge", help: help, fn: fn})
+}
+
+// NewCounterFunc registers an unlabeled counter whose value lives
+// elsewhere (store counters, runtime stats) and is read at scrape time.
+func (r *Registry) NewCounterFunc(name, help string, fn func() float64) {
+	r.register(name, help, &funcFamily{name: name, typ: "counter", help: help, fn: fn})
+}
+
+// Sample is one series of a callback family: label values (matching
+// the family's label names) and the value at scrape time.
+type Sample struct {
+	LabelValues []string
+	Value       float64
+}
+
+type seriesFamily struct {
+	name   string
+	typ    string
+	help   string
+	labels []string
+	fn     func() []Sample
+}
+
+func (f *seriesFamily) render(b *strings.Builder) {
+	writeHeader(b, f.name, f.typ, f.help)
+	for _, s := range f.fn() {
+		fmt.Fprintf(b, "%s%s %s\n", f.name, labelString(f.labels, s.LabelValues), formatValue(s.Value))
+	}
+}
+
+// NewSeriesFunc registers a labeled family (typ "gauge" or "counter")
+// whose series set is computed at scrape time — per-shard health, map
+// epochs, anything owned by another subsystem.
+func (r *Registry) NewSeriesFunc(name, typ, help string, labels []string, fn func() []Sample) {
+	if typ != "gauge" && typ != "counter" {
+		panic(fmt.Sprintf("obs: series %s has invalid type %q", name, typ))
+	}
+	r.register(name, help, &seriesFamily{name: name, typ: typ, help: help, labels: labels, fn: fn})
+}
+
+// ---- histograms ----
+
+// HistogramVec is a family of fixed-bucket histograms keyed by label
+// values.
+type HistogramVec struct {
+	name   string
+	help   string
+	labels []string
+	bounds []float64
+
+	mu sync.Mutex
+	m  map[string]*Histogram
+}
+
+// NewHistogramVec registers a histogram family over the given bucket
+// upper bounds.
+func (r *Registry) NewHistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	if len(bounds) == 0 {
+		panic(fmt.Sprintf("obs: histogram %s registered without buckets", name))
+	}
+	v := &HistogramVec{name: name, help: help, labels: labels, bounds: bounds, m: make(map[string]*Histogram)}
+	r.register(name, help, v)
+	return v
+}
+
+// With returns the histogram for the given label values, creating it
+// on first use.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("obs: %s expects %d label values, got %d", v.name, len(v.labels), len(values)))
+	}
+	key := labelKey(values)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	h, ok := v.m[key]
+	if !ok {
+		h = NewHistogram(v.bounds)
+		v.m[key] = h
+	}
+	return h
+}
+
+// Snapshots returns every child histogram's snapshot keyed by its
+// label values, for quantile computation outside the scrape path.
+func (v *HistogramVec) Snapshots() map[string]HistSnapshot {
+	v.mu.Lock()
+	hs := make(map[string]*Histogram, len(v.m))
+	for k, h := range v.m {
+		hs[k] = h
+	}
+	v.mu.Unlock()
+	out := make(map[string]HistSnapshot, len(hs))
+	for k, h := range hs {
+		out[k] = h.Snapshot()
+	}
+	return out
+}
+
+func (v *HistogramVec) render(b *strings.Builder) {
+	writeHeader(b, v.name, "histogram", v.help)
+	v.mu.Lock()
+	keys := make([]string, 0, len(v.m))
+	for k := range v.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	snaps := make([]HistSnapshot, len(keys))
+	for i, k := range keys {
+		snaps[i] = v.m[k].Snapshot()
+	}
+	v.mu.Unlock()
+	bucketNames := make([]string, 0, len(v.labels)+1)
+	bucketNames = append(bucketNames, v.labels...)
+	bucketNames = append(bucketNames, "le")
+	for i, k := range keys {
+		var values []string
+		if k != "" || len(v.labels) > 0 {
+			values = strings.Split(k, "\xff")
+		}
+		s := snaps[i]
+		bucketValues := make([]string, len(values)+1)
+		copy(bucketValues, values)
+		var cum int64
+		for j, bound := range s.Bounds {
+			cum += s.Counts[j]
+			bucketValues[len(values)] = formatValue(bound)
+			fmt.Fprintf(b, "%s_bucket%s %d\n", v.name, labelString(bucketNames, bucketValues), cum)
+		}
+		cum += s.Counts[len(s.Bounds)]
+		bucketValues[len(values)] = "+Inf"
+		fmt.Fprintf(b, "%s_bucket%s %d\n", v.name, labelString(bucketNames, bucketValues), cum)
+		fmt.Fprintf(b, "%s_sum%s %s\n", v.name, labelString(v.labels, values), formatValue(s.Sum))
+		fmt.Fprintf(b, "%s_count%s %d\n", v.name, labelString(v.labels, values), s.Count)
+	}
+}

@@ -1,0 +1,70 @@
+package obs
+
+import "sync"
+
+// DefaultTraceCapacity is the ring size daemons use for the
+// /v1/trace/{id} lookup buffer. 512 finished requests is hours of
+// lookback at interactive rates and a few seconds under load — the
+// ring is a debugging aid, not an archive.
+const DefaultTraceCapacity = 512
+
+// TraceStore is a fixed-capacity ring of finished request traces,
+// indexed by trace id. Inserting the capacity+1'th record evicts the
+// oldest. Re-inserting an existing id replaces its record in place
+// (a retried request with the same id keeps one slot).
+type TraceStore struct {
+	mu   sync.Mutex
+	cap  int
+	ids  []string // ring of ids in insertion order
+	next int
+	m    map[string]Record
+}
+
+// NewTraceStore returns a ring holding at most capacity records
+// (DefaultTraceCapacity when capacity <= 0).
+func NewTraceStore(capacity int) *TraceStore {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &TraceStore{
+		cap: capacity,
+		ids: make([]string, 0, capacity),
+		m:   make(map[string]Record, capacity),
+	}
+}
+
+// Put inserts a finished trace, evicting the oldest when full.
+func (s *TraceStore) Put(rec Record) {
+	if rec.TraceID == "" {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.m[rec.TraceID]; ok {
+		s.m[rec.TraceID] = rec
+		return
+	}
+	if len(s.ids) < s.cap {
+		s.ids = append(s.ids, rec.TraceID)
+	} else {
+		delete(s.m, s.ids[s.next])
+		s.ids[s.next] = rec.TraceID
+		s.next = (s.next + 1) % s.cap
+	}
+	s.m[rec.TraceID] = rec
+}
+
+// Get returns the record for id, if still in the ring.
+func (s *TraceStore) Get(id string) (Record, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.m[id]
+	return rec, ok
+}
+
+// Len returns the number of records currently held.
+func (s *TraceStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}

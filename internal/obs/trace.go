@@ -1,0 +1,203 @@
+// Package obs is the stdlib-only observability layer shared by every
+// tier of the system: request traces with per-stage spans, a
+// ring-buffered trace store backing GET /v1/trace/{id}, fixed-bucket
+// latency histograms, and a Prometheus-text metrics registry that
+// refuses to register a series without a HELP line.
+//
+// The package deliberately imports nothing from the rest of the module
+// so that core, rpcwire, client, server, and shard can all depend on it
+// without cycles.
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"time"
+)
+
+// TraceHeader is the HTTP header carrying the request trace id. The
+// client mints one when the caller did not supply one; tasm-router
+// forwards the inbound id on every shard sub-request; tasmd echoes the
+// id back on the response so callers can correlate without parsing
+// logs.
+const TraceHeader = "Tasm-Trace-Id"
+
+// NewTraceID returns a fresh 128-bit trace id as 32 lowercase hex
+// characters (the W3C traceparent trace-id shape).
+func NewTraceID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is unrecoverable for the process at
+		// large, but tracing must never take a request down; fall
+		// back to a fixed id that is still valid on the wire.
+		return "00000000000000000000000000000001"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ValidTraceID reports whether id is acceptable as a wire trace id:
+// 1..64 characters of [0-9a-zA-Z_-]. Anything else (empty, spaces,
+// header-injection attempts) is rejected and a fresh id minted instead.
+func ValidTraceID(id string) bool {
+	if len(id) == 0 || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= '0' && c <= '9':
+		case c >= 'a' && c <= 'z':
+		case c >= 'A' && c <= 'Z':
+		case c == '-' || c == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Span is one timed stage of a request (auth, route, lease, decode,
+// merge, flush, ...). Offsets are microseconds relative to the trace
+// start so a trace dump reads as a timeline.
+type Span struct {
+	Name    string            `json:"name"`
+	StartUS int64             `json:"start_us"`
+	DurUS   int64             `json:"dur_us"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+}
+
+// Trace accumulates spans and annotations for one request. All methods
+// are safe on a nil receiver (they no-op), so instrumented code can be
+// written unconditionally: obs.FromContext(ctx).StartSpan("lease").
+type Trace struct {
+	id    string
+	start time.Time
+
+	mu    sync.Mutex
+	spans []Span
+	attrs map[string]string
+}
+
+// NewTrace returns a Trace rooted at time.Now with the given id.
+func NewTrace(id string) *Trace {
+	return &Trace{id: id, start: time.Now()}
+}
+
+// ID returns the trace id ("" on nil).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Start returns the trace start time (zero on nil).
+func (t *Trace) Start() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.start
+}
+
+// StartSpan begins a named stage and returns the function that ends
+// it. The end function accepts optional attributes as alternating
+// key, value pairs. Safe on nil (returns a no-op end function).
+func (t *Trace) StartSpan(name string) func(attrs ...string) {
+	if t == nil {
+		return func(...string) {}
+	}
+	begin := time.Now()
+	return func(attrs ...string) {
+		t.AddSpan(name, begin, time.Since(begin), attrs...)
+	}
+}
+
+// AddSpan records a completed stage with an explicit start and
+// duration — used when the stage wall is accounted elsewhere (the
+// cursor pipeline accumulates decode wall across workers and reports
+// it once at drain). Safe on nil.
+func (t *Trace) AddSpan(name string, begin time.Time, d time.Duration, attrs ...string) {
+	if t == nil {
+		return
+	}
+	sp := Span{
+		Name:    name,
+		StartUS: begin.Sub(t.start).Microseconds(),
+		DurUS:   d.Microseconds(),
+	}
+	if len(attrs) >= 2 {
+		sp.Attrs = make(map[string]string, len(attrs)/2)
+		for i := 0; i+1 < len(attrs); i += 2 {
+			sp.Attrs[attrs[i]] = attrs[i+1]
+		}
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, sp)
+	t.mu.Unlock()
+}
+
+// Annotate attaches a request-level key/value (tenant, status, path).
+// Safe on nil.
+func (t *Trace) Annotate(key, value string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.attrs == nil {
+		t.attrs = make(map[string]string)
+	}
+	t.attrs[key] = value
+	t.mu.Unlock()
+}
+
+// Record is the JSON shape served by GET /v1/trace/{id} and stored in
+// the ring buffer.
+type Record struct {
+	TraceID string            `json:"trace_id"`
+	Start   time.Time         `json:"start"`
+	DurUS   int64             `json:"dur_us"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+	Spans   []Span            `json:"spans"`
+}
+
+// Snapshot copies the trace into a Record. The record duration is
+// time since the trace start (callers snapshot at request end).
+func (t *Trace) Snapshot() Record {
+	if t == nil {
+		return Record{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rec := Record{
+		TraceID: t.id,
+		Start:   t.start,
+		DurUS:   time.Since(t.start).Microseconds(),
+		Spans:   make([]Span, len(t.spans)),
+	}
+	copy(rec.Spans, t.spans)
+	if len(t.attrs) > 0 {
+		rec.Attrs = make(map[string]string, len(t.attrs))
+		for k, v := range t.attrs {
+			rec.Attrs[k] = v
+		}
+	}
+	return rec
+}
+
+type ctxKey struct{}
+
+// WithTrace returns a context carrying the trace. Values flow through
+// the whole request path — server middleware installs the trace, the
+// core cursor pipeline and the router's shard clients read it back.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// FromContext returns the trace carried by ctx, or nil. The nil result
+// is usable directly: every Trace method no-ops on nil.
+func FromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(ctxKey{}).(*Trace)
+	return t
+}

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"github.com/tasm-repro/tasm/internal/core"
+	"github.com/tasm-repro/tasm/internal/obs"
 )
 
 // RequestContext derives the operation context from a request: the
@@ -152,12 +153,25 @@ func ServeStream[C StreamSource](w http.ResponseWriter, r *http.Request, cur C, 
 			f.Flush()
 		}
 	}
+	// The flush span accumulates the wall spent encoding + pushing
+	// records to the network — the serving-side cost a trace must
+	// separate from the decode pipeline feeding the cursor.
+	tr := obs.FromContext(r.Context())
+	streamStart := time.Now()
+	var flushWall time.Duration
+	var records int64
+	defer func() {
+		tr.AddSpan("flush", streamStart, flushWall, "records", strconv.FormatInt(records, 10))
+	}()
 	flush() // commit the header before the first (possibly slow) decode
 	for cur.Next() {
+		t0 := time.Now()
 		if err := enc.encode(line(cur)); err != nil {
 			return
 		}
 		flush()
+		flushWall += time.Since(t0)
+		records++
 	}
 	var final StreamLine
 	if err := cur.Err(); err != nil {

@@ -56,6 +56,12 @@ var (
 	// refused: no Authorization header, or a bearer token outside the
 	// tenant table. Retrying without new credentials cannot succeed.
 	ErrUnauthorized = errors.New("unauthorized")
+
+	// ErrTraceNotFound reports a /v1/trace/{id} lookup for an id no
+	// longer (or never) in the daemon's trace ring. The ring holds the
+	// most recent finished requests only, so a miss is expected
+	// operational behavior, not a bug.
+	ErrTraceNotFound = errors.New("trace not found")
 )
 
 // ErrorBody is the canonical error envelope.
@@ -99,6 +105,7 @@ var wireErrors = []errorMapping{
 	// plane at all — retrying against the same dead shard cannot help.
 	{tasmerr.ErrShardUnavailable, "shard_unavailable", http.StatusBadGateway},
 	{ErrBadRequest, "bad_request", http.StatusBadRequest},
+	{ErrTraceNotFound, "trace_not_found", http.StatusNotFound},
 	{ErrUnauthorized, "unauthorized", http.StatusUnauthorized},
 	{ErrOverloaded, "overloaded", http.StatusServiceUnavailable},
 	{context.Canceled, "canceled", statusClientClosedRequest},

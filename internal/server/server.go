@@ -30,15 +30,14 @@ import (
 	"log"
 	"net/http"
 	"runtime/debug"
-	"sort"
 	"strconv"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/tasm-repro/tasm"
 	"github.com/tasm-repro/tasm/internal/core"
+	"github.com/tasm-repro/tasm/internal/obs"
 	"github.com/tasm-repro/tasm/internal/rpcwire"
 	"github.com/tasm-repro/tasm/internal/shard"
 )
@@ -73,6 +72,13 @@ type Config struct {
 	// of the resolved global MaxInflight (at least 1); it is
 	// additionally capped by MaxInflight.
 	TenantMaxInflight int
+	// SlowQueryThreshold: a finished request whose wall time reaches it
+	// is also written to Logger as a level=slow_query JSON line and
+	// counted in tasm_slow_queries_total. 0 disables the slow-query log.
+	SlowQueryThreshold time.Duration
+	// TraceCapacity bounds the /v1/trace/{id} ring (finished requests
+	// retained for lookup). <= 0 means obs.DefaultTraceCapacity.
+	TraceCapacity int
 }
 
 // DefaultMaxInflight is the concurrent-request bound when Config leaves
@@ -117,7 +123,8 @@ func New(sm *tasm.StorageManager, cfg Config) *Server {
 		cfg:            cfg,
 		inflight:       make(chan struct{}, cfg.MaxInflight),
 		tenantInflight: make(map[string]chan struct{}),
-		tenantStats:    make(map[string]*tenantCounters),
+		metrics:        newMetrics(sm),
+		traces:         obs.NewTraceStore(cfg.TraceCapacity),
 	}
 	s.SetTenants(cfg.Tenants)
 
@@ -139,6 +146,7 @@ func New(sm *tasm.StorageManager, cfg Config) *Server {
 	mux.HandleFunc("POST /v1/repair", s.handleRepair)
 	mux.HandleFunc("POST /v1/repairstore", s.handleRepairStore)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/trace/{id}", s.handleTrace)
 	mux.HandleFunc("GET /v1/autotile/status", s.handleAutotileStatus)
 	mux.HandleFunc("POST /v1/autotile/pause", s.handleAutotilePause)
 	mux.HandleFunc("POST /v1/autotile/resume", s.handleAutotileResume)
@@ -159,20 +167,16 @@ type Server struct {
 	// never tears a request's view of the table.
 	tenants atomic.Pointer[map[string]string]
 
-	// tenantMu guards the lazily created per-tenant quota channels and
-	// the per-tenant metric counters. Quota channels persist across
-	// SetTenants reloads: an in-flight request's release closure must
-	// return its slot to the same channel it took it from.
+	// tenantMu guards the lazily created per-tenant quota channels.
+	// Quota channels persist across SetTenants reloads: an in-flight
+	// request's release closure must return its slot to the same
+	// channel it took it from.
 	tenantMu       sync.Mutex
 	tenantInflight map[string]chan struct{}
-	tenantStats    map[string]*tenantCounters
-}
 
-// tenantCounters accumulates one tenant's serving totals for /metrics.
-type tenantCounters struct {
-	requests atomic.Int64 // responses sent, any status
-	rejected atomic.Int64 // 503 overloaded rejections
-	bytes    atomic.Int64 // response body bytes written
+	// metrics is the /metrics registry; traces the /v1/trace/{id} ring.
+	metrics *metrics
+	traces  *obs.TraceStore
 }
 
 // SetTenants atomically replaces the token→tenant table (nil or empty
@@ -183,40 +187,86 @@ func (s *Server) SetTenants(tenants map[string]string) {
 	s.tenants.Store(&tenants)
 }
 
-// counters returns the tenant's metric counters, creating them on first
-// use.
-func (s *Server) counters(tenant string) *tenantCounters {
-	s.tenantMu.Lock()
-	defer s.tenantMu.Unlock()
-	c := s.tenantStats[tenant]
-	if c == nil {
-		c = &tenantCounters{}
-		s.tenantStats[tenant] = c
-	}
-	return c
-}
-
-// ServeHTTP is the middleware stack: recover → authenticate → limit
-// (global, then tenant quota) → log → route.
+// ServeHTTP is the middleware stack: recover → trace → authenticate →
+// limit (global, then tenant quota) → log/observe → route.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	lw := &logWriter{ResponseWriter: w}
 	start := time.Now()
 	tenant := "-"
+
+	// Adopt the caller's trace id (the client mints one per operation;
+	// the router forwards its inbound id) or mint one here so every
+	// request is traceable. The id is echoed on the response before any
+	// handler runs, and the trace itself travels the request context
+	// down into the cursor pipeline.
+	tid := r.Header.Get(obs.TraceHeader)
+	if !obs.ValidTraceID(tid) {
+		tid = obs.NewTraceID()
+	}
+	tr := obs.NewTrace(tid)
+	tr.Annotate("method", r.Method)
+	tr.Annotate("path", r.URL.Path)
+	lw.Header().Set(obs.TraceHeader, tid)
+	r = r.WithContext(obs.WithTrace(r.Context(), tr))
+
 	defer func() {
 		if p := recover(); p != nil {
+			s.metrics.panics.With().Inc()
 			s.cfg.Logger.Printf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
 			if !lw.wrote {
 				writeError(lw, fmt.Errorf("internal panic: %v", p))
 			}
 		}
-		c := s.counters(tenant)
-		c.requests.Add(1)
-		c.bytes.Add(lw.bytes)
-		if lw.status() == http.StatusServiceUnavailable {
-			c.rejected.Add(1)
+		// r.Pattern is filled in by the mux; requests that never
+		// reached it (auth/limiter rejections) or matched nothing
+		// group under synthetic endpoint labels so the histograms
+		// stay low-cardinality.
+		endpoint := r.Pattern
+		if endpoint == "" {
+			endpoint = "unmatched"
 		}
-		s.cfg.AccessLogger.Printf("%s %s %d %dB %s %s tenant=%s",
-			r.Method, r.URL.Path, lw.status(), lw.bytes, time.Since(start).Round(time.Microsecond), r.RemoteAddr, tenant)
+		dur := time.Since(start)
+		status := lw.status()
+		m := s.metrics
+		m.requests.With(tenant).Inc()
+		m.bytes.With(tenant).Add(lw.bytes)
+		rejected := m.rejected.With(tenant) // touch so the series renders alongside requests_total
+		if status == http.StatusServiceUnavailable {
+			rejected.Inc()
+		}
+		m.reqWall.With(endpoint, tenant).Observe(dur.Seconds())
+		var ttfr time.Duration
+		if !lw.firstWrite.IsZero() {
+			ttfr = lw.firstWrite.Sub(start)
+			m.reqTTFR.With(endpoint, tenant).Observe(ttfr.Seconds())
+		}
+		m.respSize.With(endpoint, tenant).Observe(float64(lw.bytes))
+
+		tr.Annotate("tenant", tenant)
+		tr.Annotate("endpoint", endpoint)
+		tr.Annotate("status", strconv.Itoa(status))
+		s.traces.Put(tr.Snapshot())
+
+		rec := obs.AccessRecord{
+			Level:    "access",
+			TraceID:  tid,
+			Method:   r.Method,
+			Path:     r.URL.Path,
+			Endpoint: endpoint,
+			Status:   status,
+			Bytes:    lw.bytes,
+			DurMS:    obs.Msec(dur),
+			TTFRMS:   obs.Msec(ttfr),
+			Remote:   r.RemoteAddr,
+			Tenant:   tenant,
+		}
+		s.cfg.AccessLogger.Print(rec.Line())
+		if thr := s.cfg.SlowQueryThreshold; thr > 0 && dur >= thr {
+			m.slow.With(endpoint).Inc()
+			rec.Level = "slow_query"
+			rec.ThresholdMS = obs.Msec(thr)
+			s.cfg.Logger.Print(rec.Line())
+		}
 	}()
 
 	// Health checks bypass auth and the limiter: an overloaded or
@@ -225,7 +275,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.mux.ServeHTTP(lw, r)
 		return
 	}
+	endAuth := tr.StartSpan("auth")
 	tn, err := s.authenticate(r)
+	endAuth()
 	if err != nil {
 		writeError(lw, err)
 		return
@@ -233,7 +285,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if tn != "" {
 		tenant = tn
 	}
+	endAdmit := tr.StartSpan("admit")
 	release, err := s.admit(tn)
+	endAdmit()
 	if err != nil {
 		// The limiter's politeness contract: a 503 carries both the
 		// canonical envelope (typed, retryable client-side) and a
@@ -244,17 +298,22 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 	r.Body = http.MaxBytesReader(lw, r.Body, s.cfg.MaxBodyBytes)
+	endHandle := tr.StartSpan("handle")
 	s.mux.ServeHTTP(lw, r)
+	endHandle()
 }
 
-// logWriter captures status and byte counts for the access log and
-// keeps http.Flusher reachable through the wrap (the streaming
-// endpoints depend on per-line flushes).
+// logWriter captures status, byte counts, and the first-body-byte time
+// (TTFR: for streaming endpoints the header is committed before the
+// first decode, so the first Write is the first result) for the access
+// log and histograms, and keeps http.Flusher reachable through the
+// wrap (the streaming endpoints depend on per-line flushes).
 type logWriter struct {
 	http.ResponseWriter
-	code  int
-	bytes int64
-	wrote bool
+	code       int
+	bytes      int64
+	wrote      bool
+	firstWrite time.Time
 }
 
 func (w *logWriter) WriteHeader(code int) {
@@ -267,6 +326,9 @@ func (w *logWriter) WriteHeader(code int) {
 func (w *logWriter) Write(p []byte) (int, error) {
 	if !w.wrote {
 		w.wrote, w.code = true, http.StatusOK
+	}
+	if w.firstWrite.IsZero() {
+		w.firstWrite = time.Now()
 	}
 	n, err := w.ResponseWriter.Write(p)
 	w.bytes += int64(n)
@@ -586,63 +648,14 @@ func (s *Server) handleAutotileResume(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, struct{}{})
 }
 
-// handleMetrics serves the Prometheus text exposition format (hand
-// rolled — counters and gauges with labels need no client library).
-// Like every endpoint but the health probe it sits behind auth: serving
-// totals per tenant are operator data, not public data.
+// handleMetrics serves the Prometheus text exposition format. Every
+// series lives in the obs.Registry, which enforces at registration that
+// a HELP line accompanies it — a series without documentation cannot
+// exist. Like every endpoint but the health probe it sits behind auth:
+// serving totals per tenant are operator data, not public data.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	var b strings.Builder
-	s.tenantMu.Lock()
-	tenants := make([]string, 0, len(s.tenantStats))
-	for tenant := range s.tenantStats {
-		tenants = append(tenants, tenant)
-	}
-	sort.Strings(tenants)
-	type row struct {
-		tenant                     string
-		requests, rejected, bytes_ int64
-	}
-	rows := make([]row, 0, len(tenants))
-	for _, tenant := range tenants {
-		c := s.tenantStats[tenant]
-		rows = append(rows, row{tenant, c.requests.Load(), c.rejected.Load(), c.bytes.Load()})
-	}
-	s.tenantMu.Unlock()
-
-	series := func(name, help string, value func(row) int64) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
-		// %q yields exactly the \\ \" \n escapes the text format
-		// defines (tenant ids are single token-file line fragments, so
-		// no other control characters can appear).
-		for _, r := range rows {
-			fmt.Fprintf(&b, "%s{tenant=%q} %d\n", name, r.tenant, value(r))
-		}
-	}
-	series("tasm_requests_total", "Responses sent, by tenant (\"-\" is unauthenticated).", func(r row) int64 { return r.requests })
-	series("tasm_requests_rejected_total", "503 overloaded rejections, by tenant.", func(r row) int64 { return r.rejected })
-	series("tasm_response_bytes_total", "Response body bytes written, by tenant.", func(r row) int64 { return r.bytes_ })
-
-	st := s.sm.StoreMetrics()
-	fmt.Fprintf(&b, "# HELP tasm_store_corrupt_tiles_total Tile reads that failed integrity verification since open.\n# TYPE tasm_store_corrupt_tiles_total counter\ntasm_store_corrupt_tiles_total %d\n", st.CorruptTiles)
-	fmt.Fprintf(&b, "# HELP tasm_store_recovery_sweeps_total Crash-recovery sweeps run when opening the store.\n# TYPE tasm_store_recovery_sweeps_total counter\ntasm_store_recovery_sweeps_total %d\n", st.RecoverySweeps)
-
-	at := s.sm.AutotileStatus()
-	b01 := func(v bool) int {
-		if v {
-			return 1
-		}
-		return 0
-	}
-	fmt.Fprintf(&b, "# HELP tasm_autotile_enabled Whether the background adaptive-tiling subsystem is enabled.\n# TYPE tasm_autotile_enabled gauge\ntasm_autotile_enabled %d\n", b01(at.Enabled))
-	fmt.Fprintf(&b, "# HELP tasm_autotile_paused Whether background re-tiling is currently paused.\n# TYPE tasm_autotile_paused gauge\ntasm_autotile_paused %d\n", b01(at.Paused))
-	fmt.Fprintf(&b, "# HELP tasm_autotile_actions_total Background re-tile actions applied since open.\n# TYPE tasm_autotile_actions_total counter\ntasm_autotile_actions_total %d\n", at.ActionsApplied)
-	fmt.Fprintf(&b, "# HELP tasm_autotile_actions_failed_total Background re-tile actions that failed since open.\n# TYPE tasm_autotile_actions_failed_total counter\ntasm_autotile_actions_failed_total %d\n", at.ActionsFailed)
-	fmt.Fprintf(&b, "# HELP tasm_autotile_bytes_total Bytes written by background re-tiles since open.\n# TYPE tasm_autotile_bytes_total counter\ntasm_autotile_bytes_total %d\n", at.BytesSpent)
-	fmt.Fprintf(&b, "# HELP tasm_autotile_queries_observed_total Queries observed by the adaptive-tiling subsystem since open.\n# TYPE tasm_autotile_queries_observed_total counter\ntasm_autotile_queries_observed_total %d\n", at.QueriesObserved)
-	fmt.Fprintf(&b, "# HELP tasm_autotile_regret Accumulated re-tiling pressure in model seconds (paper section 4.4 delta).\n# TYPE tasm_autotile_regret gauge\ntasm_autotile_regret %g\n", at.Regret)
-
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	_, _ = io.WriteString(w, b.String())
+	_ = s.metrics.reg.WriteText(w)
 }
 
 // ---- streaming handlers ----

@@ -1,0 +1,188 @@
+package server_test
+
+// End-to-end tests of the tracing surface and the latency histograms:
+// the trace id a client installs is the id the daemon echoes, the key
+// the trace ring serves the span timeline under, and the histograms
+// count exactly one observation per request even when streams race.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/tasm-repro/tasm/client"
+	"github.com/tasm-repro/tasm/internal/obs"
+	"github.com/tasm-repro/tasm/internal/server"
+)
+
+// traceRecord is the subset of the daemon's trace JSON the assertions
+// need; the full schema stays owned by internal/obs.
+type traceRecord struct {
+	TraceID string            `json:"trace_id"`
+	Attrs   map[string]string `json:"attrs"`
+	Spans   []struct {
+		Name  string            `json:"name"`
+		Attrs map[string]string `json:"attrs"`
+	} `json:"spans"`
+}
+
+// TestTraceRoundTrip: a caller-chosen trace id survives the whole
+// round trip — cursor, response header, and the /v1/trace/{id} ring —
+// and the record carries the middleware's spans plus the streaming
+// flush span with its record count.
+func TestTraceRoundTrip(t *testing.T) {
+	h := newHarness(t, server.Config{})
+	tid := client.NewTraceID()
+	ctx := client.WithTraceID(context.Background(), tid)
+
+	cur, err := h.c.ScanSQLCursor(ctx, trafficSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	regions := 0
+	for cur.Next() {
+		regions++
+	}
+	if err := cur.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if regions == 0 {
+		t.Fatal("scan returned no regions")
+	}
+	if got := cur.TraceID(); got != tid {
+		t.Fatalf("cursor trace id %q, want %q", got, tid)
+	}
+
+	// The ring indexes the record at request completion, which lands
+	// moments after the client reads the last byte.
+	var rec traceRecord
+	waitFor(t, "trace record in the ring", func() bool {
+		raw, err := h.c.TraceContext(context.Background(), tid)
+		if err != nil {
+			return false
+		}
+		return json.Unmarshal(raw, &rec) == nil
+	})
+	if rec.TraceID != tid {
+		t.Fatalf("record trace id %q, want %q", rec.TraceID, tid)
+	}
+	if rec.Attrs["endpoint"] != "POST /v1/scan" {
+		t.Fatalf("endpoint attr %q", rec.Attrs["endpoint"])
+	}
+	if rec.Attrs["status"] != "200" {
+		t.Fatalf("status attr %q", rec.Attrs["status"])
+	}
+	spans := map[string]map[string]string{}
+	for _, s := range rec.Spans {
+		spans[s.Name] = s.Attrs
+	}
+	for _, want := range []string{"auth", "admit", "handle", "flush"} {
+		if _, ok := spans[want]; !ok {
+			t.Fatalf("record missing span %q; have %v", want, rec.Spans)
+		}
+	}
+	if got := spans["flush"]["records"]; got != fmt.Sprint(regions) {
+		t.Fatalf("flush span records = %q, want %d", got, regions)
+	}
+
+	// A miss is the typed sentinel, not a silent empty record.
+	if _, err := h.c.TraceContext(context.Background(), "nosuchtrace"); !errors.Is(err, client.ErrTraceNotFound) {
+		t.Fatalf("unknown id: err = %v, want ErrTraceNotFound", err)
+	}
+}
+
+// TestInvalidTraceIDReplaced: a header that fails validation is not
+// adopted — the daemon mints its own and echoes that instead, so junk
+// ids never become ring keys.
+func TestInvalidTraceIDReplaced(t *testing.T) {
+	h := newHarness(t, server.Config{})
+	req, err := http.NewRequest(http.MethodGet, h.ts.URL+"/v1/videos", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := "not a valid id!" // spaces and '!' are outside the alphabet
+	req.Header.Set("Tasm-Trace-Id", bad)
+	res, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, res.Body)
+	res.Body.Close()
+	echoed := res.Header.Get("Tasm-Trace-Id")
+	if echoed == bad || echoed == "" {
+		t.Fatalf("echoed id %q; want a freshly minted replacement", echoed)
+	}
+}
+
+// TestMetricsExpositionLinted: the live exposition — after real
+// traffic has populated the labeled series — passes the HELP/TYPE
+// lint, so no series ships undocumented.
+func TestMetricsExpositionLinted(t *testing.T) {
+	h := newHarness(t, server.Config{})
+	if _, _, err := h.c.ScanSQLContext(context.Background(), trafficSQL); err != nil {
+		t.Fatal(err)
+	}
+	res, err := http.Get(h.ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	if err := obs.LintExposition(string(body)); err != nil {
+		t.Fatalf("live exposition fails lint: %v", err)
+	}
+}
+
+// TestHistogramCountsConcurrentStreams: racing streaming scans each
+// count exactly once in the wall, TTFR, and size histograms. Run under
+// -race this also exercises the histogram locking.
+func TestHistogramCountsConcurrentStreams(t *testing.T) {
+	h := newHarness(t, server.Config{})
+	const workers, perWorker = 8, 3
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if _, _, err := h.c.ScanSQLContext(context.Background(), trafficSQL); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	want := fmt.Sprintf("%d", workers*perWorker)
+	for _, series := range []string{
+		`tasm_request_seconds_count{endpoint="POST /v1/scan",tenant="-"} `,
+		`tasm_request_ttfr_seconds_count{endpoint="POST /v1/scan",tenant="-"} `,
+		`tasm_response_size_bytes_count{endpoint="POST /v1/scan",tenant="-"} `,
+	} {
+		// The deferred observation can land moments after the client
+		// reads a stream's last byte; poll the scrape.
+		waitFor(t, series+want, func() bool {
+			res, err := http.Get(h.ts.URL + "/metrics")
+			if err != nil {
+				return false
+			}
+			body, _ := io.ReadAll(res.Body)
+			res.Body.Close()
+			return strings.Contains(string(body), series+want+"\n")
+		})
+	}
+}

@@ -10,13 +10,13 @@ import (
 	"runtime/debug"
 	"sort"
 	"strconv"
-	"strings"
 	"sync"
 	"time"
 
 	"github.com/tasm-repro/tasm"
 	"github.com/tasm-repro/tasm/client"
 	"github.com/tasm-repro/tasm/internal/core"
+	"github.com/tasm-repro/tasm/internal/obs"
 	"github.com/tasm-repro/tasm/internal/rpcwire"
 	"github.com/tasm-repro/tasm/internal/tasmerr"
 )
@@ -42,6 +42,13 @@ type RouterConfig struct {
 	// MaxBodyBytes bounds a request body; <= 0 means 1 GiB (matching
 	// tasmd — the router forwards ingests, so the bounds must agree).
 	MaxBodyBytes int64
+	// SlowQueryThreshold logs any request whose wall time reaches it
+	// (level=slow_query, and the tasm_router_slow_queries_total counter
+	// ticks); 0 disables the slow-query log.
+	SlowQueryThreshold time.Duration
+	// TraceCapacity bounds the /v1/trace/{id} ring of recent finished
+	// requests; <= 0 means obs.DefaultTraceCapacity.
+	TraceCapacity int
 }
 
 // Router is the stateless scale-out tier: an http.Handler serving
@@ -57,8 +64,10 @@ type RouterConfig struct {
 // catalog, only the shard map and per-shard health — kill it and start
 // another with the same map file and nothing is lost.
 type Router struct {
-	cfg RouterConfig
-	mux *http.ServeMux
+	cfg     RouterConfig
+	mux     *http.ServeMux
+	metrics *routerMetrics
+	traces  *obs.TraceStore
 
 	mu     sync.Mutex
 	m      *Map
@@ -93,7 +102,9 @@ func NewRouter(m *Map, cfg RouterConfig) (*Router, error) {
 		cfg:    cfg,
 		states: make(map[string]*shardState),
 		stopCh: make(chan struct{}),
+		traces: obs.NewTraceStore(cfg.TraceCapacity),
 	}
+	rt.metrics = newRouterMetrics(rt)
 	if err := rt.SetMap(m); err != nil {
 		return nil, err
 	}
@@ -121,6 +132,7 @@ func NewRouter(m *Map, cfg RouterConfig) (*Router, error) {
 	mux.HandleFunc("POST /v1/autotile/pause", rt.handleAutotilePause)
 	mux.HandleFunc("POST /v1/autotile/resume", rt.handleAutotileResume)
 	mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	mux.HandleFunc("GET /v1/trace/{id}", rt.handleTrace)
 	rt.mux = mux
 
 	rt.probeWG.Add(1)
@@ -272,7 +284,9 @@ func fanOut[T any](rt *Router, fn func(st *shardState) (T, error)) []fanResult[T
 				return
 			}
 			st.requests.Add(1)
+			t0 := time.Now()
 			v, err := fn(st)
+			rt.observeShard(st, t0)
 			out[i].val, out[i].err = v, rt.classify(st, err)
 		}(i, st)
 	}
@@ -292,34 +306,87 @@ func firstError[T any](results []fanResult[T]) error {
 
 // ---- middleware ----
 
-// ServeHTTP is the router's stack: recover → access log → body cap →
-// route. There is no auth or admission layer here — the shards enforce
-// their own (the router forwards its configured shard token), and the
-// router does no storage work worth admission-controlling.
+// ServeHTTP is the router's stack: recover → trace → observe → body
+// cap → route. There is no auth or admission layer here — the shards
+// enforce their own (the router forwards its configured shard token),
+// and the router does no storage work worth admission-controlling. The
+// trace id — adopted from the caller when valid, minted otherwise —
+// travels the request context into every shard hop (the backend
+// clients forward it as Tasm-Trace-Id), so one id indexes the trace
+// rings of the router and every shard that served the request.
 func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	lw := &accessWriter{ResponseWriter: w}
 	start := time.Now()
+	tid := r.Header.Get(obs.TraceHeader)
+	if !obs.ValidTraceID(tid) {
+		tid = obs.NewTraceID()
+	}
+	tr := obs.NewTrace(tid)
+	tr.Annotate("method", r.Method)
+	tr.Annotate("path", r.URL.Path)
+	tr.Annotate("tier", "router")
+	lw.Header().Set(obs.TraceHeader, tid)
+	r = r.WithContext(obs.WithTrace(r.Context(), tr))
 	defer func() {
 		if p := recover(); p != nil {
+			rt.metrics.panics.With().Inc()
 			rt.cfg.Logger.Printf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
 			if !lw.wrote {
 				rpcwire.WriteError(lw, fmt.Errorf("internal panic: %v", p))
 			}
 		}
-		rt.cfg.AccessLogger.Printf("%s %s %d %dB %s %s",
-			r.Method, r.URL.Path, lw.status(), lw.bytes, time.Since(start).Round(time.Microsecond), r.RemoteAddr)
+		endpoint := r.Pattern
+		if endpoint == "" {
+			endpoint = "unmatched"
+		}
+		dur := time.Since(start)
+		status := lw.status()
+		m := rt.metrics
+		m.reqWall.With(endpoint).Observe(dur.Seconds())
+		var ttfr time.Duration
+		if !lw.firstWrite.IsZero() {
+			ttfr = lw.firstWrite.Sub(start)
+			m.reqTTFR.With(endpoint).Observe(ttfr.Seconds())
+		}
+		m.respSize.With(endpoint).Observe(float64(lw.bytes))
+
+		tr.Annotate("endpoint", endpoint)
+		tr.Annotate("status", strconv.Itoa(status))
+		rt.traces.Put(tr.Snapshot())
+
+		rec := obs.AccessRecord{
+			Level:    "access",
+			TraceID:  tid,
+			Method:   r.Method,
+			Path:     r.URL.Path,
+			Endpoint: endpoint,
+			Status:   status,
+			Bytes:    lw.bytes,
+			DurMS:    obs.Msec(dur),
+			TTFRMS:   obs.Msec(ttfr),
+			Remote:   r.RemoteAddr,
+		}
+		rt.cfg.AccessLogger.Print(rec.Line())
+		if thr := rt.cfg.SlowQueryThreshold; thr > 0 && dur >= thr {
+			m.slow.With(endpoint).Inc()
+			rec.Level = "slow_query"
+			rec.ThresholdMS = obs.Msec(thr)
+			rt.cfg.Logger.Print(rec.Line())
+		}
 	}()
 	r.Body = http.MaxBytesReader(lw, r.Body, rt.cfg.MaxBodyBytes)
 	rt.mux.ServeHTTP(lw, r)
 }
 
-// accessWriter captures status and bytes for the access line and keeps
-// http.Flusher reachable (the streaming paths flush per record).
+// accessWriter captures status, bytes, and time-to-first-byte for the
+// access line and histograms, and keeps http.Flusher reachable (the
+// streaming paths flush per record).
 type accessWriter struct {
 	http.ResponseWriter
-	code  int
-	bytes int64
-	wrote bool
+	code       int
+	bytes      int64
+	wrote      bool
+	firstWrite time.Time
 }
 
 func (w *accessWriter) WriteHeader(code int) {
@@ -332,6 +399,9 @@ func (w *accessWriter) WriteHeader(code int) {
 func (w *accessWriter) Write(p []byte) (int, error) {
 	if !w.wrote {
 		w.wrote, w.code = true, http.StatusOK
+	}
+	if w.firstWrite.IsZero() {
+		w.firstWrite = time.Now()
 	}
 	n, err := w.ResponseWriter.Write(p)
 	w.bytes += int64(n)
@@ -361,7 +431,9 @@ func routed[T any](rt *Router, w http.ResponseWriter, video string, fn func(st *
 		rpcwire.WriteError(w, err)
 		return
 	}
+	t0 := time.Now()
 	v, err := fn(st)
+	rt.observeShard(st, t0)
 	if err = rt.classify(st, err); err != nil {
 		rpcwire.WriteError(w, err)
 		return
@@ -822,7 +894,9 @@ func (rt *Router) handleScan(w http.ResponseWriter, r *http.Request) {
 		q = req.Query.ToQuery()
 	}
 
+	tr := obs.FromContext(r.Context())
 	vids := q.VideoList()
+	endRoute := tr.StartSpan("route")
 	srcs := make([]Source[core.RegionResult], len(vids))
 	errs := make([]error, len(vids))
 	var wg sync.WaitGroup
@@ -837,7 +911,9 @@ func (rt *Router) handleScan(w http.ResponseWriter, r *http.Request) {
 			}
 			sq := q
 			sq.Video, sq.Videos = video, nil
+			t0 := time.Now()
 			cur, err := st.c.ScanCursor(ctx, sq)
+			rt.observeShard(st, t0)
 			if err != nil {
 				errs[i] = rt.classify(st, err)
 				return
@@ -846,6 +922,7 @@ func (rt *Router) handleScan(w http.ResponseWriter, r *http.Request) {
 		}(i, video)
 	}
 	wg.Wait()
+	endRoute("videos", strconv.Itoa(len(vids)))
 	for _, err := range errs {
 		if err != nil {
 			for _, s := range srcs {
@@ -859,10 +936,12 @@ func (rt *Router) handleScan(w http.ResponseWriter, r *http.Request) {
 	}
 	merged := NewRegionMerge(srcs...)
 	defer merged.Close()
+	mergeStart := time.Now()
 	rpcwire.ServeStream(w, r, merged, func(m *Merge[core.RegionResult]) rpcwire.StreamLine {
 		reg := rpcwire.FromRegion(m.Result())
 		return rpcwire.StreamLine{Region: &reg}
 	})
+	tr.AddSpan("merge", mergeStart, time.Since(mergeStart), "sources", strconv.Itoa(len(srcs)))
 }
 
 // handleDecodeFrames relays a whole-frame stream from the owning shard
@@ -881,53 +960,39 @@ func (rt *Router) handleDecodeFrames(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer cancel()
+	tr := obs.FromContext(r.Context())
+	endRoute := tr.StartSpan("route")
 	st, err := rt.owner(req.Video)
 	if err != nil {
+		endRoute()
 		rpcwire.WriteError(w, err)
 		return
 	}
+	t0 := time.Now()
 	cur, err := st.c.DecodeFramesCursor(ctx, req.Video, req.From, req.To)
+	rt.observeShard(st, t0)
+	endRoute("video", req.Video, "shard", st.name)
 	if err != nil {
 		rpcwire.WriteError(w, rt.classify(st, err))
 		return
 	}
 	src := &frameSource{shardStream: shardStream{rt: rt, st: st}, cur: cur}
 	defer src.Close()
+	mergeStart := time.Now()
 	rpcwire.ServeStream(w, r, src, func(s *frameSource) rpcwire.StreamLine {
 		fl := rpcwire.FromFrameResult(s.Result())
 		return rpcwire.StreamLine{Frame: &fl}
 	})
+	tr.AddSpan("merge", mergeStart, time.Since(mergeStart), "sources", "1")
 }
 
 // ---- metrics ----
 
-// handleMetrics exports per-shard health and routed-request counters in
-// the same hand-rolled Prometheus text format tasmd uses.
+// handleMetrics exports the routing tier's registry — per-shard health
+// and routed-request counters, request/TTFR/size histograms by
+// endpoint, per-shard latency histograms — in the same Prometheus text
+// format tasmd uses.
 func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	states := rt.statesSnapshot()
-	var b strings.Builder
-	series := func(name, typ, help string, value func(st *shardState) int64) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
-		for _, st := range states {
-			fmt.Fprintf(&b, "%s{shard=%q} %d\n", name, st.name, value(st))
-		}
-	}
-	series("tasm_router_shard_up", "gauge", "Whether the router's breaker considers the shard healthy.", func(st *shardState) int64 {
-		if st.isDown() {
-			return 0
-		}
-		return 1
-	})
-	series("tasm_router_shard_consecutive_failures", "gauge", "Probe and request failures since the shard's last success.", func(st *shardState) int64 {
-		_, consec := st.snapshot()
-		return int64(consec)
-	})
-	series("tasm_router_requests_total", "counter", "Requests routed to the shard (streams and fan-out calls included).", func(st *shardState) int64 {
-		return st.requests.Load()
-	})
-	series("tasm_router_request_failures_total", "counter", "Transport-level failures observed against the shard.", func(st *shardState) int64 {
-		return st.failures.Load()
-	})
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	_, _ = io.WriteString(w, b.String())
+	_ = rt.metrics.reg.WriteText(w)
 }

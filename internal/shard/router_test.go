@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"runtime"
@@ -47,9 +48,27 @@ func startShard(t *testing.T) *oneShard {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { sm.Close() })
-	ts := httptest.NewServer(server.New(sm, server.Config{}))
+	ts := httptest.NewUnstartedServer(server.New(sm, server.Config{}))
+	ts.Listener = smallSendBufListener{ts.Listener}
+	ts.Start()
 	t.Cleanup(ts.Close)
 	return &oneShard{sm: sm, ts: ts}
+}
+
+// smallSendBufListener clamps the kernel send buffer of every accepted
+// shard connection. The kill-mid-stream tests depend on a scatter-gather
+// stream being genuinely in flight when its shard dies; with default
+// buffers, loopback TCP autotunes to several megabytes and an entire
+// "big" stream can park in socket buffers before the kill lands, turning
+// the expected shard_unavailable into a clean end of stream.
+type smallSendBufListener struct{ net.Listener }
+
+func (l smallSendBufListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if tc, ok := c.(*net.TCPConn); err == nil && ok {
+		tc.SetWriteBuffer(8 << 10)
+	}
+	return c, err
 }
 
 // camSpec generates one distinguishable camera feed: the seed varies
@@ -369,9 +388,22 @@ func TestBreakerFailsFastAndFleetKeepsServing(t *testing.T) {
 	f.shards[victim].ts.CloseClientConnections()
 	f.shards[victim].ts.Close()
 
+	// A routed request fails with shard_unavailable as soon as the dial
+	// fails, before the breaker's consecutive-failure threshold is met —
+	// so wait for the breaker itself (the /metrics gauge) rather than
+	// the first failed request.
+	down := fmt.Sprintf("tasm_router_shard_up{shard=%q} 0", fmt.Sprintf("s%d", victim))
 	waitFor(t, "breaker to open", func() bool {
-		_, err := f.c.Meta("cam0")
-		return errors.Is(err, tasm.ErrShardUnavailable)
+		if _, err := f.c.Meta("cam0"); !errors.Is(err, tasm.ErrShardUnavailable) {
+			return false
+		}
+		res, err := http.Get(f.ts.URL + "/metrics")
+		if err != nil {
+			return false
+		}
+		b, _ := io.ReadAll(res.Body)
+		res.Body.Close()
+		return strings.Contains(string(b), down)
 	})
 
 	// Fail-fast: no dials once the breaker is open.
@@ -399,7 +431,6 @@ func TestBreakerFailsFastAndFleetKeepsServing(t *testing.T) {
 	}
 	body, _ := io.ReadAll(res.Body)
 	res.Body.Close()
-	down := fmt.Sprintf("tasm_router_shard_up{shard=%q} 0", fmt.Sprintf("s%d", victim))
 	if !strings.Contains(string(body), down) {
 		t.Fatalf("/metrics missing %q:\n%s", down, body)
 	}

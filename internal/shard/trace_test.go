@@ -1,0 +1,161 @@
+package shard_test
+
+// Trace continuity across the scale-out tier: one caller-chosen trace
+// id must name the same request in the client cursor, the router's
+// trace ring, and every shard's trace ring — including when a shard is
+// killed mid-stream, which is exactly when an operator reaches for the
+// timeline.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"github.com/tasm-repro/tasm"
+	"github.com/tasm-repro/tasm/client"
+	"github.com/tasm-repro/tasm/internal/obs"
+)
+
+type traceRecord struct {
+	TraceID string            `json:"trace_id"`
+	Attrs   map[string]string `json:"attrs"`
+	Spans   []struct {
+		Name string `json:"name"`
+	} `json:"spans"`
+}
+
+func fetchTrace(c *client.Client, id string) (traceRecord, bool) {
+	raw, err := c.TraceContext(context.Background(), id)
+	if err != nil {
+		return traceRecord{}, false
+	}
+	var rec traceRecord
+	if json.Unmarshal(raw, &rec) != nil {
+		return traceRecord{}, false
+	}
+	return rec, true
+}
+
+// TestRouterExpositionLinted: the router's live exposition — per-shard
+// gauges, request histograms, legacy counters — passes the HELP/TYPE
+// lint after real scatter-gather traffic.
+func TestRouterExpositionLinted(t *testing.T) {
+	f := newFleet(t, "cam0", "cam1", "cam2")
+	sql := "SELECT car FROM " + strings.Join(f.videos, ",") + " WHERE 0 <= t < 20"
+	if _, _, err := f.c.ScanSQLContext(context.Background(), sql); err != nil {
+		t.Fatal(err)
+	}
+	res, err := http.Get(f.ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	if err := obs.LintExposition(string(body)); err != nil {
+		t.Fatalf("live exposition fails lint: %v", err)
+	}
+}
+
+// TestTraceContinuityAcrossScatterGather kills one shard under a traced
+// scatter-gather scan and asserts the single trace id correlates the
+// whole blast radius: the client cursor, the router's record (route and
+// merge spans), and the surviving shards' records.
+func TestTraceContinuityAcrossScatterGather(t *testing.T) {
+	f := newFleetSpec(t, bigCamSpec, "cam0", "cam1", "cam2", "cam3")
+	victim := f.owner("cam0")
+	sql := "SELECT car FROM " + strings.Join(f.videos, ",") + " WHERE 0 <= t < 40"
+
+	tid := client.NewTraceID()
+	ctx := client.WithTraceID(context.Background(), tid)
+	cur, err := f.c.ScanSQLCursor(ctx, sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	for i := 0; i < 2; i++ {
+		if !cur.Next() {
+			t.Fatalf("stream ended early: %v", cur.Err())
+		}
+	}
+
+	f.shards[victim].ts.CloseClientConnections()
+	f.shards[victim].ts.Close()
+
+	for cur.Next() {
+	}
+	if err := cur.Err(); !errors.Is(err, tasm.ErrShardUnavailable) {
+		t.Fatalf("after shard kill: err = %v, want ErrShardUnavailable", err)
+	}
+
+	// Leg 1: the client cursor carries the id the caller chose.
+	if got := cur.TraceID(); got != tid {
+		t.Fatalf("cursor trace id %q, want %q", got, tid)
+	}
+	cur.Close()
+
+	// Leg 2: the router's ring has the record, marked as the router
+	// tier, with the scatter (route) and gather (merge) spans.
+	var rtRec traceRecord
+	waitFor(t, "router trace record", func() bool {
+		rec, ok := fetchTrace(f.c, tid)
+		rtRec = rec
+		return ok
+	})
+	if rtRec.TraceID != tid {
+		t.Fatalf("router record id %q, want %q", rtRec.TraceID, tid)
+	}
+	if rtRec.Attrs["tier"] != "router" {
+		t.Fatalf("router record tier %q", rtRec.Attrs["tier"])
+	}
+	spans := map[string]bool{}
+	for _, s := range rtRec.Spans {
+		spans[s.Name] = true
+	}
+	if !spans["route"] || !spans["merge"] {
+		t.Fatalf("router record missing route/merge spans; have %v", rtRec.Spans)
+	}
+
+	// Leg 3: every surviving shard that owns a queried video served its
+	// cursor under the same id and indexed the request in its own ring.
+	surviving := 0
+	for i, s := range f.shards {
+		if i == victim {
+			continue
+		}
+		owns := false
+		for _, v := range f.videos {
+			if f.owner(v) == i {
+				owns = true
+				break
+			}
+		}
+		if !owns {
+			continue
+		}
+		surviving++
+		sc, err := client.New(s.ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sc.Close()
+		var shRec traceRecord
+		waitFor(t, "shard trace record", func() bool {
+			rec, ok := fetchTrace(sc, tid)
+			shRec = rec
+			return ok
+		})
+		if shRec.TraceID != tid {
+			t.Fatalf("shard %d record id %q, want %q", i, shRec.TraceID, tid)
+		}
+		if got := shRec.Attrs["endpoint"]; got != "POST /v1/scan" {
+			t.Fatalf("shard %d record endpoint %q", i, got)
+		}
+	}
+	if surviving == 0 {
+		t.Fatal("every video on the victim shard; cannot test continuity")
+	}
+}

@@ -65,6 +65,13 @@ type entry struct {
 	key    Key
 	frames []*frame.Frame
 	bytes  int64
+	// use is the cache-global clock reading at the entry's last touch.
+	// Recency comparisons across shards need a shared ordering: the
+	// per-shard lists only order entries within one shard, and shard
+	// placement is randomized per process (maphash seed), so evicting by
+	// shard position alone would make the cross-shard victim choice
+	// depend on the seed rather than on recency.
+	use uint64
 	// LRU list links (per shard, most recent at head).
 	prev, next *entry
 }
@@ -83,7 +90,8 @@ type Cache struct {
 	shards [numShards]shard
 	seed   maphash.Seed
 	budget int64
-	bytes  atomic.Int64 // global byte accounting against budget
+	bytes  atomic.Int64  // global byte accounting against budget
+	clock  atomic.Uint64 // global use ordering for cross-shard eviction
 
 	genMu  sync.Mutex
 	gens   map[string]map[int]uint64
@@ -167,6 +175,7 @@ func (c *Cache) Get(k Key, n int) ([]*frame.Frame, bool) {
 	s.mu.Lock()
 	e, ok := s.items[k]
 	if ok && len(e.frames) >= n {
+		e.use = c.clock.Add(1)
 		s.moveToFront(e)
 		frames := e.frames[:n:n]
 		s.mu.Unlock()
@@ -198,15 +207,17 @@ func (c *Cache) Put(k Key, frames []*frame.Frame) (evicted int) {
 	s.mu.Lock()
 	if e, ok := s.items[k]; ok {
 		if len(e.frames) >= len(frames) {
+			e.use = c.clock.Add(1)
 			s.moveToFront(e)
 			s.mu.Unlock()
 			return 0
 		}
 		c.bytes.Add(bytes - e.bytes)
 		e.frames, e.bytes = frames, bytes
+		e.use = c.clock.Add(1)
 		s.moveToFront(e)
 	} else {
-		e = &entry{key: k, frames: frames, bytes: bytes}
+		e = &entry{key: k, frames: frames, bytes: bytes, use: c.clock.Add(1)}
 		s.items[k] = e
 		c.bytes.Add(bytes)
 		s.pushFront(e)
@@ -245,35 +256,49 @@ func (c *Cache) evictShardLocked(s *shard, keep Key, skipPinned bool) (evicted i
 	return evicted
 }
 
-// evictAcrossShards drops LRU tails shard by shard until the cache is
-// within budget, sparing keep (and pinned SOTs when skipPinned). Locks are
-// taken one shard at a time, so concurrent Puts may interleave; the loop
-// is best-effort and terminates once a full pass makes no progress.
+// evictAcrossShards drops the globally least-recently-used eligible entry
+// (sparing keep, and pinned SOTs when skipPinned) until the cache is
+// within budget or no victim remains. Each round scans every shard's tail
+// region for its oldest eligible entry, picks the one with the smallest
+// use-clock reading, then re-locks that shard to evict. Locks are taken
+// one shard at a time, so concurrent Puts may interleave; the re-locked
+// eviction is best-effort — it takes the shard's current oldest eligible
+// entry, which a race may have changed — and the loop terminates once a
+// round finds no victim anywhere.
 func (c *Cache) evictAcrossShards(keep Key, skipPinned bool) (evicted int) {
-	for pass := 0; c.bytes.Load() > c.budget; pass++ {
-		progressed := false
+	eligible := func(e *entry) bool {
+		return e.key != keep && !(skipPinned && c.isPinned(e.key))
+	}
+	for c.bytes.Load() > c.budget {
+		victimShard := -1
+		var victimUse uint64
 		for i := range c.shards {
-			if c.bytes.Load() <= c.budget {
-				break
-			}
 			s := &c.shards[i]
 			s.mu.Lock()
-			e := s.tail
-			for e != nil {
-				if e.key != keep && !(skipPinned && c.isPinned(e.key)) {
-					c.bytes.Add(-e.bytes)
-					s.remove(e)
-					evicted++
-					progressed = true
+			for e := s.tail; e != nil; e = e.prev {
+				if eligible(e) {
+					if victimShard < 0 || e.use < victimUse {
+						victimShard, victimUse = i, e.use
+					}
 					break
 				}
-				e = e.prev
 			}
 			s.mu.Unlock()
 		}
-		if !progressed {
-			break
+		if victimShard < 0 {
+			return evicted
 		}
+		s := &c.shards[victimShard]
+		s.mu.Lock()
+		for e := s.tail; e != nil; e = e.prev {
+			if eligible(e) {
+				c.bytes.Add(-e.bytes)
+				s.remove(e)
+				evicted++
+				break
+			}
+		}
+		s.mu.Unlock()
 	}
 	return evicted
 }
