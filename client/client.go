@@ -118,6 +118,7 @@ type Client struct {
 	enc         Encoding
 	token       string
 	tlsCfg      *tls.Config
+	clientCert  *tls.Certificate
 	retry       RetryPolicy
 	cacheBudget int64 // -1 = unset
 }
@@ -159,6 +160,16 @@ func WithTLS(cfg *tls.Config) Option {
 	}
 }
 
+// WithClientCert presents a client certificate during the TLS
+// handshake — the credential an mTLS daemon (tasmd or tasm-router run
+// with -tls-client-ca) verifies before serving anything. It implies
+// HTTPS; combine with WithTLS to also configure the server-side trust
+// (RootCAs etc.), and like WithTLS it is mutually exclusive with
+// WithHTTPClient.
+func WithClientCert(cert tls.Certificate) Option {
+	return func(c *Client) { c.clientCert = &cert }
+}
+
 // WithRetry enables automatic retries per the policy.
 func WithRetry(p RetryPolicy) Option {
 	return func(c *Client) { c.retry = p }
@@ -188,6 +199,15 @@ func New(addr string, opts ...Option) (*Client, error) {
 	}
 	if c.tlsCfg != nil && c.customHC {
 		return nil, fmt.Errorf("client: WithTLS and WithHTTPClient are mutually exclusive; set TLSClientConfig on your transport")
+	}
+	if c.clientCert != nil {
+		if c.customHC {
+			return nil, fmt.Errorf("client: WithClientCert and WithHTTPClient are mutually exclusive; set Certificates on your transport")
+		}
+		if c.tlsCfg == nil {
+			c.tlsCfg = &tls.Config{}
+		}
+		c.tlsCfg.Certificates = append(c.tlsCfg.Certificates, *c.clientCert)
 	}
 	if !strings.Contains(addr, "://") {
 		if c.tlsCfg != nil {
@@ -230,13 +250,14 @@ func New(addr string, opts ...Option) (*Client, error) {
 func Dial(addr string, opts ...Option) (*Client, error) { return New(addr, opts...) }
 
 // Retryable reports whether err is safe to retry as-is: the server
-// rejected the request before doing any work (limiter 503s), or the
-// connection died before the request could have reached a handler —
-// dial refused (daemon restarting, LB flap) and connection reset on
+// rejected the request before doing any work (limiter 503s and live
+// append backpressure 429s — both guarantee nothing was written), or
+// the connection died before the request could have reached a handler
+// — dial refused (daemon restarting, LB flap) and connection reset on
 // send. Auth failures, bad requests, storage-manager errors, and
 // failures after a response started are not.
 func Retryable(err error) bool {
-	if errors.Is(err, ErrOverloaded) {
+	if errors.Is(err, ErrOverloaded) || errors.Is(err, tasm.ErrIngestBackpressure) {
 		return true
 	}
 	var te *transientError

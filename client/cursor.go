@@ -81,16 +81,29 @@ func (c *Client) startStream(ctx context.Context, path string, req any) (*stream
 	if err != nil {
 		return nil, fmt.Errorf("client: encoding request: %w", err)
 	}
+	return c.openStream(ctx, http.MethodPost, path, data)
+}
+
+// openStream is the framing-agnostic core of startStream, shared with
+// the bodyless GET streams (/v1/subscribe): body nil issues the request
+// without one.
+func (c *Client) openStream(ctx context.Context, method, path string, body []byte) (*stream, error) {
 	var s *stream
 	tid := traceID(ctx)
-	err = c.withRetry(ctx, func() error {
+	err := c.withRetry(ctx, func() error {
 		sctx, cancel := context.WithCancel(ctx)
-		hr, err := http.NewRequestWithContext(sctx, http.MethodPost, c.base+path, bytes.NewReader(data))
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		hr, err := http.NewRequestWithContext(sctx, method, c.base+path, rd)
 		if err != nil {
 			cancel()
 			return fmt.Errorf("client: %w", err)
 		}
-		hr.Header.Set("Content-Type", "application/json")
+		if body != nil {
+			hr.Header.Set("Content-Type", "application/json")
+		}
 		if c.enc == Binary {
 			hr.Header.Set("Accept", rpcwire.ContentTypeBinary)
 		} else {

@@ -1,0 +1,154 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	"github.com/tasm-repro/tasm"
+	"github.com/tasm-repro/tasm/internal/rpcwire"
+)
+
+// ---- live ingest ----
+//
+// The append-mode surface mirrors the StorageManager's: CreateLive
+// opens an open-ended video, Append pushes frames a batch at a time
+// (each completed GOP committing atomically server-side), Subscribe
+// tails committed frames as they land, Seal converts live → batch.
+// Append failures wrapping tasm.ErrIngestBackpressure mean the video's
+// commit queue was full and nothing was written — Retryable reports
+// true and WithRetry backs off per the server's Retry-After.
+
+// CreateLive opens an append-mode video on the daemon. pol (optional)
+// bounds retained history.
+func (c *Client) CreateLive(video string, w, h, fps int, pol *tasm.RetentionPolicy) error {
+	return c.CreateLiveContext(context.Background(), video, w, h, fps, pol)
+}
+
+// CreateLiveContext is CreateLive under a context.
+func (c *Client) CreateLiveContext(ctx context.Context, video string, w, h, fps int, pol *tasm.RetentionPolicy) error {
+	req := rpcwire.CreateLiveRequest{Video: video, W: w, H: h, FPS: fps, Retention: rpcwire.FromRetentionPolicy(pol)}
+	return c.do(ctx, http.MethodPost, "/v1/live", req, nil)
+}
+
+// Append appends frames to a live video.
+func (c *Client) Append(video string, frames []*tasm.Frame) (tasm.AppendStats, error) {
+	return c.AppendContext(context.Background(), video, frames)
+}
+
+// AppendContext uploads frames onto the end of a live video. With
+// WithEncoding(Binary) the body is the v2 TASMFRM2 framing — raw pixel
+// planes, no base64 — which is the form a sustained camera feed should
+// use; otherwise it falls back to the JSON AppendRequest. Either way
+// the server chunks the frames into GOP-length SOTs, each visible to
+// subscribers atomically at its commit.
+func (c *Client) AppendContext(ctx context.Context, video string, frames []*tasm.Frame) (tasm.AppendStats, error) {
+	var resp rpcwire.AppendStats
+	if c.enc == Binary {
+		var buf bytes.Buffer
+		fw := rpcwire.NewFrameStreamWriter(&buf)
+		for i, f := range frames {
+			line := rpcwire.StreamLine{Frame: &rpcwire.FrameLine{Index: i, Pixels: rpcwire.FromFrame(f)}}
+			if err := fw.WriteLine(line); err != nil {
+				return tasm.AppendStats{}, fmt.Errorf("client: framing append body: %w", err)
+			}
+		}
+		if err := fw.Flush(); err != nil {
+			return tasm.AppendStats{}, fmt.Errorf("client: framing append body: %w", err)
+		}
+		path := "/v1/append?video=" + url.QueryEscape(video)
+		if err := c.doRaw(ctx, path, rpcwire.ContentTypeBinary, buf.Bytes(), &resp); err != nil {
+			return tasm.AppendStats{}, err
+		}
+		return resp.ToAppendStats(), nil
+	}
+	req := rpcwire.AppendRequest{Video: video, Frames: make([]rpcwire.Frame, len(frames))}
+	for i, f := range frames {
+		req.Frames[i] = rpcwire.FromFrame(f)
+	}
+	if err := c.do(ctx, http.MethodPost, "/v1/append", req, &resp); err != nil {
+		return tasm.AppendStats{}, err
+	}
+	return resp.ToAppendStats(), nil
+}
+
+// Seal converts a live video into an ordinary batch video; appends
+// after it fail with tasm.ErrVideoSealed and caught-up subscribers
+// terminate cleanly.
+func (c *Client) Seal(video string) error { return c.SealContext(context.Background(), video) }
+
+// SealContext is Seal under a context.
+func (c *Client) SealContext(ctx context.Context, video string) error {
+	return c.do(ctx, http.MethodPost, "/v1/seal", rpcwire.SealRequest{Video: video}, nil)
+}
+
+// SetRetention replaces a live video's retention policy (nil clears
+// it), returning what the immediate application trimmed.
+func (c *Client) SetRetention(video string, pol *tasm.RetentionPolicy) (tasm.TrimReport, error) {
+	return c.SetRetentionContext(context.Background(), video, pol)
+}
+
+// SetRetentionContext is SetRetention under a context.
+func (c *Client) SetRetentionContext(ctx context.Context, video string, pol *tasm.RetentionPolicy) (tasm.TrimReport, error) {
+	req := rpcwire.RetentionRequest{Video: video, Retention: rpcwire.FromRetentionPolicy(pol)}
+	var resp rpcwire.TrimReport
+	if err := c.do(ctx, http.MethodPost, "/v1/retention", req, &resp); err != nil {
+		return tasm.TrimReport{}, err
+	}
+	return resp.ToTrimReport(), nil
+}
+
+// Subscribe opens a live tail on video from frame from (the resume
+// watermark — pass the last Result().Index + 1 to continue a dropped
+// subscription without gaps or repeats). The cursor blocks in Next
+// while caught up and yields each newly committed frame as appends
+// land; on a sealed video it drains the remainder and ends cleanly.
+// Cancel ctx or Close to stop. Works in either stream framing, against
+// tasmd directly or through tasm-router.
+func (c *Client) Subscribe(ctx context.Context, video string, from int) (*FrameCursor, error) {
+	q := url.Values{}
+	q.Set("video", video)
+	q.Set("from", strconv.Itoa(from))
+	s, err := c.openStream(ctx, http.MethodGet, "/v1/subscribe?"+q.Encode(), nil)
+	if err != nil {
+		return nil, err
+	}
+	return &FrameCursor{s: s}, nil
+}
+
+// doRaw is do for a non-JSON request body (the binary append path):
+// same retry policy, headers, and error envelope, caller-chosen
+// content type.
+func (c *Client) doRaw(ctx context.Context, path, contentType string, body []byte, resp any) error {
+	tid := traceID(ctx)
+	return c.withRetry(ctx, func() error {
+		hr, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+		if err != nil {
+			return fmt.Errorf("client: %w", err)
+		}
+		hr.Header.Set("Content-Type", contentType)
+		c.applyHeaders(hr, ctx, tid)
+		res, err := c.hc.Do(hr)
+		if err != nil {
+			return transportError(ctx, err)
+		}
+		defer func() {
+			io.Copy(io.Discard, io.LimitReader(res.Body, 1<<20)) //nolint:errcheck // keep-alive best effort
+			res.Body.Close()
+		}()
+		if res.StatusCode != http.StatusOK {
+			return decodeErrorResponse(res)
+		}
+		if resp != nil {
+			if err := json.NewDecoder(res.Body).Decode(resp); err != nil {
+				return fmt.Errorf("client: decoding response: %w", err)
+			}
+		}
+		return nil
+	})
+}

@@ -32,7 +32,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "comma-separated experiments: table1,fig6,fig7,fig8,fig9,fig10,fig11,fig12,edge,costfit,alpha,eta,perf,stream,serve,adapt,shard,load,all")
+		exp       = flag.String("exp", "all", "comma-separated experiments: table1,fig6,fig7,fig8,fig9,fig10,fig11,fig12,edge,costfit,alpha,eta,perf,stream,serve,adapt,shard,load,live,all")
 		jsonOut   = flag.String("json", "", "path for machine-readable results of the perf/stream/serve experiments, e.g. BENCH_1.json; when more than one of them runs, the experiment name is inserted before the extension (empty = print tables only)")
 		quick     = flag.Bool("quick", false, "reduced-scale run (smaller videos, fewer queries)")
 		width     = flag.Int("w", 0, "video width (default 320; quick 256)")
@@ -102,7 +102,7 @@ func main() {
 	// name is spliced in (BENCH.json -> BENCH.perf.json, ...). A single
 	// JSON-writing experiment keeps the exact path (the CI shape).
 	jsonWriters := 0
-	for _, name := range []string{"perf", "stream", "serve", "adapt", "shard", "load"} {
+	for _, name := range []string{"perf", "stream", "serve", "adapt", "shard", "load", "live"} {
 		if want(name) {
 			jsonWriters++
 		}
@@ -269,6 +269,14 @@ func main() {
 		}
 		t.Render(os.Stdout)
 		return writeJSON(jsonPath("load"), "load", res)
+	})
+	run("live", func() error {
+		res, t, err := bench.RunLive(opt)
+		if err != nil {
+			return err
+		}
+		t.Render(os.Stdout)
+		return writeJSON(jsonPath("live"), "live", res)
 	})
 
 	if ran == 0 {

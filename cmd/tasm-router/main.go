@@ -37,6 +37,8 @@ package main
 
 import (
 	"context"
+	"crypto/tls"
+	"crypto/x509"
 	"errors"
 	"flag"
 	"fmt"
@@ -60,6 +62,9 @@ func main() {
 		healthInterval   = flag.Duration("health-interval", shard.DefaultHealthInterval, "period between shard health probes")
 		breakerThreshold = flag.Int("breaker-threshold", shard.DefaultBreakerThreshold, "consecutive failures before a shard is marked down")
 		shardToken       = flag.String("shard-token", "", "bearer token for router→shard requests (shards running -token-file)")
+		tlsCert          = flag.String("tls-cert", "", "TLS certificate file (PEM); with -tls-key, serve HTTPS")
+		tlsKey           = flag.String("tls-key", "", "TLS private key file (PEM)")
+		tlsClientCA      = flag.String("tls-client-ca", "", "CA bundle (PEM) for verifying client certificates; requires -tls-cert/-tls-key and makes TLS mutual — unauthenticated handshakes are refused")
 		drain            = flag.Duration("drain", 15*time.Second, "graceful-shutdown budget for in-flight requests")
 		quiet            = flag.Bool("quiet", false, "suppress access logs")
 		slowQuery        = flag.Duration("slow-query-threshold", 0, "log requests at or above this wall time as slow queries (0 = disabled)")
@@ -76,6 +81,21 @@ func main() {
 	accessLogger := logger
 	if *quiet {
 		accessLogger = log.New(io.Discard, "", 0)
+	}
+
+	if (*tlsCert == "") != (*tlsKey == "") {
+		logger.Fatalf("-tls-cert and -tls-key must be set together")
+	}
+	var tlsCfg *tls.Config
+	if *tlsClientCA != "" {
+		if *tlsCert == "" {
+			logger.Fatalf("-tls-client-ca requires -tls-cert and -tls-key (mTLS needs a server identity too)")
+		}
+		pool, err := loadClientCAPool(*tlsClientCA)
+		if err != nil {
+			logger.Fatalf("%v", err)
+		}
+		tlsCfg = &tls.Config{ClientCAs: pool, ClientAuth: tls.RequireAndVerifyClientCert}
 	}
 
 	m, err := shard.ParseMapFile(*mapFile)
@@ -134,6 +154,8 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 		BaseContext:       func(net.Listener) context.Context { return context.Background() },
+		// Non-nil only for mTLS: ServeTLS fills in the certificate pair.
+		TLSConfig: tlsCfg,
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -141,11 +163,24 @@ func main() {
 		rt.Close()
 		logger.Fatalf("listen %s: %v", *addr, err)
 	}
-	logger.Printf("routing %d shards from %s on http://%s (probe every %s, breaker at %d failures)",
-		len(m.Shards()), *mapFile, ln.Addr(), *healthInterval, *breakerThreshold)
+	scheme := "http"
+	if *tlsCert != "" {
+		scheme = "https"
+		if *tlsClientCA != "" {
+			scheme = "https+mtls"
+		}
+	}
+	logger.Printf("routing %d shards from %s on %s://%s (probe every %s, breaker at %d failures)",
+		len(m.Shards()), *mapFile, scheme, ln.Addr(), *healthInterval, *breakerThreshold)
 
 	serveErr := make(chan error, 1)
-	go func() { serveErr <- srv.Serve(ln) }()
+	go func() {
+		if *tlsCert != "" {
+			serveErr <- srv.ServeTLS(ln, *tlsCert, *tlsKey)
+		} else {
+			serveErr <- srv.Serve(ln)
+		}
+	}()
 
 	exit := 0
 	select {
@@ -171,4 +206,18 @@ func main() {
 	rt.Close()
 	logger.Printf("stopped")
 	os.Exit(exit)
+}
+
+// loadClientCAPool reads a PEM CA bundle into the pool mTLS verifies
+// client certificates against.
+func loadClientCAPool(path string) (*x509.CertPool, error) {
+	pem, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading -tls-client-ca: %w", err)
+	}
+	pool := x509.NewCertPool()
+	if !pool.AppendCertsFromPEM(pem) {
+		return nil, fmt.Errorf("-tls-client-ca %s: no CA certificates found", path)
+	}
+	return pool, nil
 }

@@ -13,6 +13,10 @@
 //	tasmctl retile -dir db -video visualroad-2k-a -sot 0 -labels car,person
 //	tasmctl fsck   -dir db
 //	tasmctl gc     -dir db
+//	tasmctl append    -dir db -video cam0 -preset visualroad-2k-a -create
+//	tasmctl subscribe -dir db -video cam0 -from 0
+//	tasmctl retention -dir db -video cam0 -max-age-frames 900
+//	tasmctl videos -dir db -json
 //
 //	tasmctl -addr localhost:7878 query "SELECT car FROM visualroad-2k-a"
 //	tasmctl query -addr localhost:7878 "..."      # same; flag position is free
@@ -30,10 +34,13 @@ package main
 import (
 	"bytes"
 	"context"
+	"crypto/tls"
+	"crypto/x509"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"os/signal"
@@ -51,15 +58,16 @@ import (
 // error text. The mapping rides the same typed-error taxonomy locally
 // and remotely (the client reconstructs the sentinels from the wire).
 const (
-	exitOK          = 0
-	exitFailure     = 1 // unclassified error (I/O, integrity problems, transport)
-	exitNotFound    = 2 // video or SOT not found
-	exitInvalid     = 3 // invalid input: bad flags/usage, name, range, empty ingest, bad request
-	exitConflict    = 4 // already exists, retile conflict, lost race with delete, store locked
-	exitDenied      = 5 // unauthorized: missing or unknown bearer token
-	exitCorrupt     = 6 // stored bytes failed integrity verification (checksum mismatch)
-	exitShardDown   = 7 // a tasm-router could not reach the shard owning the video
-	exitInterrupted = 130
+	exitOK           = 0
+	exitFailure      = 1 // unclassified error (I/O, integrity problems, transport)
+	exitNotFound     = 2 // video or SOT not found
+	exitInvalid      = 3 // invalid input: bad flags/usage, name, range, empty ingest, bad request
+	exitConflict     = 4 // already exists, retile conflict, lost race with delete, store locked
+	exitDenied       = 5 // unauthorized: missing or unknown bearer token
+	exitCorrupt      = 6 // stored bytes failed integrity verification (checksum mismatch)
+	exitShardDown    = 7 // a tasm-router could not reach the shard owning the video
+	exitBackpressure = 8 // live append queue full; nothing was written — retry after a pause
+	exitInterrupted  = 130
 )
 
 // Global connection flags, acceptable before the subcommand too
@@ -69,6 +77,9 @@ var (
 	globalAddr     string
 	globalToken    string
 	globalEncoding string
+	globalCert     string
+	globalKey      string
+	globalCA       string
 )
 
 // globalFlag matches one leading "-name value" / "-name=value" pair
@@ -100,6 +111,18 @@ func main() {
 			continue
 		}
 		if n := globalFlag(args, "encoding", &globalEncoding); n > 0 {
+			args = args[n:]
+			continue
+		}
+		if n := globalFlag(args, "cert", &globalCert); n > 0 {
+			args = args[n:]
+			continue
+		}
+		if n := globalFlag(args, "key", &globalKey); n > 0 {
+			args = args[n:]
+			continue
+		}
+		if n := globalFlag(args, "ca", &globalCA); n > 0 {
 			args = args[n:]
 			continue
 		}
@@ -152,6 +175,16 @@ func main() {
 		err = cmdAutotile(ctx, cmdArgs)
 	case "trace":
 		err = cmdTrace(ctx, cmdArgs)
+	case "videos":
+		err = cmdVideos(ctx, cmdArgs)
+	case "append":
+		err = cmdAppend(ctx, cmdArgs)
+	case "subscribe":
+		err = cmdSubscribe(ctx, cmdArgs)
+	case "seal":
+		err = cmdSeal(ctx, cmdArgs)
+	case "retention":
+		err = cmdRetention(ctx, cmdArgs)
 	default:
 		usage()
 	}
@@ -181,7 +214,8 @@ func exitCode(err error) int {
 		errors.Is(err, tasm.ErrAutotileDisabled), errors.Is(err, errUsage):
 		return exitInvalid
 	case errors.Is(err, tasm.ErrVideoExists), errors.Is(err, tasm.ErrRetileConflict),
-		errors.Is(err, tasm.ErrVideoDeleted), errors.Is(err, tasm.ErrStoreLocked):
+		errors.Is(err, tasm.ErrVideoDeleted), errors.Is(err, tasm.ErrStoreLocked),
+		errors.Is(err, tasm.ErrVideoSealed):
 		return exitConflict
 	case errors.Is(err, client.ErrUnauthorized):
 		return exitDenied
@@ -189,6 +223,8 @@ func exitCode(err error) int {
 		return exitCorrupt
 	case errors.Is(err, client.ErrShardUnavailable):
 		return exitShardDown
+	case errors.Is(err, tasm.ErrIngestBackpressure):
+		return exitBackpressure
 	default:
 		return exitFailure
 	}
@@ -235,6 +271,20 @@ commands:
   fsck    -dir D [-repair]  verify manifests against tile files on disk
   autotile status|pause|resume  [-dir D] [-reason R]
           inspect or gate the background workload-adaptive re-tiler
+  videos  -dir D [-json]    catalog table with live/sealed status,
+          trim watermark, and retention policy per video
+  append  -dir D -video V -preset P [-from A -to B] [-create]
+          append scene frames onto a live video; each GOP-length chunk
+          commits atomically (-create opens the live video first;
+          successive -from/-to windows simulate a camera feed)
+  subscribe -dir D -video V [-from N] [-max N] [-quiet]
+          tail committed frames as they land, printing index + crc32;
+          resume a dropped tail with -from = last index + 1
+  seal    -dir D -video V   convert live -> batch: appends fail, reads
+          unchanged, caught-up subscribers terminate cleanly
+  retention -dir D -video V [-max-age-frames N] [-max-bytes N] [-clear]
+          bound retained history; expired SOTs age out on the append
+          path and reads below the trim watermark return nothing
 
 remote mode:
   every command accepts -addr HOST:PORT (before or after the command
@@ -244,7 +294,9 @@ remote mode:
   ships raw pixel planes: ~25-30% fewer bytes per region; results are
   identical). ingest still writes the scene spec next to -dir locally
   so a later detect can regenerate ground truth; the daemon's codec
-  settings govern the stored GOP length.
+  settings govern the stored GOP length. Against an mTLS daemon or
+  router (-tls-client-ca), -cert/-key present the client certificate
+  and -ca trusts a privately-signed server certificate.
 
 store lock:
   local mode takes the store's ownership lease; pointed at a live
@@ -263,6 +315,8 @@ exit codes:
   6  corrupt (stored tiles failed checksum verification; try fsck -repair)
   7  shard unavailable (a tasm-router's breaker is open for the owning
      shard, or the shard died mid-stream; the rest of the fleet serves)
+  8  ingest backpressure (the live video's commit queue is full; nothing
+     was written — retry after a pause, or use the client's WithRetry)
   130  interrupted by SIGINT/SIGTERM`)
 }
 
@@ -300,6 +354,21 @@ type backend interface {
 	AutotileStatusContext(ctx context.Context) (tasm.AutotileStatus, error)
 	AutotilePauseContext(ctx context.Context, reason string) error
 	AutotileResumeContext(ctx context.Context) error
+	CreateLiveContext(ctx context.Context, video string, w, h, fps int, pol *tasm.RetentionPolicy) error
+	AppendContext(ctx context.Context, video string, frames []*tasm.Frame) (tasm.AppendStats, error)
+	SealContext(ctx context.Context, video string) error
+	SetRetentionContext(ctx context.Context, video string, pol *tasm.RetentionPolicy) (tasm.TrimReport, error)
+}
+
+// tailCursor is the slice of the subscribe-cursor surface the CLI
+// drives, satisfied by both the in-process *tasm.SubscribeCursor and
+// the remote *client.FrameCursor (cmdSubscribe dispatches by backend
+// type because the two constructors return distinct concrete cursors).
+type tailCursor interface {
+	Next() bool
+	Result() tasm.FrameResult
+	Err() error
+	Close() error
 }
 
 // localBackend adapts *tasm.StorageManager to the backend interface.
@@ -407,6 +476,31 @@ func (l localBackend) AutotileResumeContext(ctx context.Context) error {
 	return l.AutotileResume()
 }
 
+func (l localBackend) CreateLiveContext(ctx context.Context, video string, w, h, fps int, pol *tasm.RetentionPolicy) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return l.CreateLiveVideo(video, w, h, fps, pol)
+}
+
+func (l localBackend) AppendContext(ctx context.Context, video string, frames []*tasm.Frame) (tasm.AppendStats, error) {
+	return l.AppendGOPContext(ctx, video, frames)
+}
+
+func (l localBackend) SealContext(ctx context.Context, video string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return l.SealVideo(video)
+}
+
+func (l localBackend) SetRetentionContext(ctx context.Context, video string, pol *tasm.RetentionPolicy) (tasm.TrimReport, error) {
+	if err := ctx.Err(); err != nil {
+		return tasm.TrimReport{}, err
+	}
+	return l.SetRetention(video, pol)
+}
+
 // connFlags is the connection contract every subcommand shares:
 // remote daemon address and credentials, the stream encoding to
 // request, and the local store-lock escape hatch.
@@ -414,6 +508,9 @@ type connFlags struct {
 	addr     *string
 	token    *string
 	encoding *string
+	cert     *string
+	key      *string
+	ca       *string
 	force    *bool
 }
 
@@ -433,10 +530,34 @@ func (cf connFlags) openBackend(dir string, opts ...tasm.Option) (backend, error
 	default:
 		return nil, fmt.Errorf("%w: -encoding must be ndjson or binary, got %q", errUsage, *cf.encoding)
 	}
+	if (*cf.cert == "") != (*cf.key == "") {
+		return nil, fmt.Errorf("%w: -cert and -key must be set together", errUsage)
+	}
+	if *cf.addr == "" && (*cf.cert != "" || *cf.ca != "") {
+		return nil, fmt.Errorf("%w: -cert/-key/-ca are remote-only (they configure the TLS connection to -addr)", errUsage)
+	}
 	if *cf.addr != "" {
 		copts := []client.Option{client.WithEncoding(enc)}
 		if *cf.token != "" {
 			copts = append(copts, client.WithToken(*cf.token))
+		}
+		if *cf.ca != "" {
+			pem, err := os.ReadFile(*cf.ca)
+			if err != nil {
+				return nil, fmt.Errorf("reading -ca: %w", err)
+			}
+			pool := x509.NewCertPool()
+			if !pool.AppendCertsFromPEM(pem) {
+				return nil, fmt.Errorf("-ca %s: no CA certificates found", *cf.ca)
+			}
+			copts = append(copts, client.WithTLS(&tls.Config{RootCAs: pool}))
+		}
+		if *cf.cert != "" {
+			cert, err := tls.LoadX509KeyPair(*cf.cert, *cf.key)
+			if err != nil {
+				return nil, fmt.Errorf("loading -cert/-key: %w", err)
+			}
+			copts = append(copts, client.WithClientCert(cert))
 		}
 		return client.New(*cf.addr, copts...)
 	}
@@ -458,6 +579,9 @@ func addrFlag(fs *flag.FlagSet) connFlags {
 		addr:     fs.String("addr", globalAddr, "remote tasmd address (host:port); empty = local -dir"),
 		token:    fs.String("token", globalToken, "bearer token for a -token-file protected daemon"),
 		encoding: fs.String("encoding", globalEncoding, "stream encoding to request remotely: ndjson (default) or binary"),
+		cert:     fs.String("cert", globalCert, "client certificate (PEM) for an mTLS daemon; requires -key"),
+		key:      fs.String("key", globalKey, "client private key (PEM); requires -cert"),
+		ca:       fs.String("ca", globalCA, "CA bundle (PEM) to verify the server (private CAs; implies HTTPS)"),
 		force:    fs.Bool("force", false, "open a locked local store anyway (recovery only: unsafe against a live owner)"),
 	}
 }
@@ -990,5 +1114,300 @@ func cmdRetile(ctx context.Context, args []string) error {
 	}
 	fmt.Printf("retiled %s SOT %d to %dx%d tiles (decode %s, encode %s, %d KiB)\n",
 		*video, *sot, l.Rows(), l.Cols(), rs.DecodeWall.Round(1e6), rs.EncodeWall.Round(1e6), rs.Bytes/1024)
+	return nil
+}
+
+// retentionString renders a policy for the videos table: "-" when
+// unset, otherwise the active bounds.
+func retentionString(pol *tasm.RetentionPolicy) string {
+	if pol == nil {
+		return "-"
+	}
+	var parts []string
+	if pol.MaxAgeFrames > 0 {
+		parts = append(parts, fmt.Sprintf("age<=%df", pol.MaxAgeFrames))
+	}
+	if pol.MaxBytes > 0 {
+		parts = append(parts, fmt.Sprintf("bytes<=%d", pol.MaxBytes))
+	}
+	if len(parts) == 0 {
+		return "-"
+	}
+	return strings.Join(parts, ",")
+}
+
+// videoStatus classifies a catalog entry for operators: an append-mode
+// video still accepting frames, one sealed shut, or an ordinary batch
+// ingest.
+func videoStatus(meta tasm.VideoMeta) string {
+	switch {
+	case meta.Live:
+		return "live"
+	case meta.Sealed:
+		return "sealed"
+	default:
+		return "batch"
+	}
+}
+
+// videoJSON is one row of `videos -json`; field names are CLI contract.
+type videoJSON struct {
+	Name      string                `json:"name"`
+	W         int                   `json:"w"`
+	H         int                   `json:"h"`
+	FPS       int                   `json:"fps"`
+	Frames    int                   `json:"frames"`
+	SOTs      int                   `json:"sots"`
+	Bytes     int64                 `json:"bytes"`
+	Status    string                `json:"status"` // live | sealed | batch
+	TrimmedTo int                   `json:"trimmed_to,omitempty"`
+	Retention *tasm.RetentionPolicy `json:"retention,omitempty"`
+	Labels    []string              `json:"labels,omitempty"`
+}
+
+func cmdVideos(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("videos", flag.ContinueOnError)
+	dir := fs.String("dir", "tasmdb", "storage directory")
+	addr := addrFlag(fs)
+	asJSON := fs.Bool("json", false, "emit machine-readable JSON rows")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	b, err := addr.openBackend(*dir)
+	if err != nil {
+		return err
+	}
+	defer b.Close()
+	videos, err := b.VideosContext(ctx)
+	if err != nil {
+		return err
+	}
+	var rows []videoJSON
+	for _, name := range videos {
+		meta, bytes, labels, err := b.VideoInfoContext(ctx, name)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, videoJSON{
+			Name: name, W: meta.W, H: meta.H, FPS: meta.FPS,
+			Frames: meta.FrameCount, SOTs: len(meta.SOTs), Bytes: bytes,
+			Status: videoStatus(meta), TrimmedTo: meta.TrimmedTo,
+			Retention: meta.Retention, Labels: labels,
+		})
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rows)
+	}
+	if len(rows) == 0 {
+		fmt.Println("no videos")
+		return nil
+	}
+	fmt.Printf("%-24s %-12s %8s %5s %9s %-7s %s\n", "NAME", "GEOMETRY", "FRAMES", "SOTS", "KIB", "STATUS", "RETENTION")
+	for _, r := range rows {
+		status := r.Status
+		if r.TrimmedTo > 0 {
+			status += fmt.Sprintf(" @%d", r.TrimmedTo)
+		}
+		fmt.Printf("%-24s %-12s %8d %5d %9d %-7s %s\n",
+			r.Name, fmt.Sprintf("%dx%d@%d", r.W, r.H, r.FPS),
+			r.Frames, r.SOTs, r.Bytes/1024, status, retentionString(r.Retention))
+	}
+	return nil
+}
+
+func cmdAppend(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("append", flag.ContinueOnError)
+	dir := fs.String("dir", "tasmdb", "storage directory")
+	addr := addrFlag(fs)
+	video := fs.String("video", "", "live video name")
+	preset := fs.String("preset", "", "scene preset supplying the frames (see tasm-datagen)")
+	from := fs.Int("from", 0, "first scene frame to append")
+	to := fs.Int("to", -1, "end scene frame (exclusive; -1 = all) — successive -from/-to windows simulate a camera feed")
+	width := fs.Int("w", 320, "width")
+	height := fs.Int("h", 180, "height")
+	fps := fs.Int("fps", 30, "frames per second")
+	scaleF := fs.Float64("scale", 1.0, "duration scale")
+	seed := fs.Uint64("seed", 42, "seed")
+	create := fs.Bool("create", false, "create the live video first if it does not exist")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if *video == "" || *preset == "" {
+		return fmt.Errorf("%w: need -video and -preset", errUsage)
+	}
+	opts := scene.Options{Width: *width, Height: *height, FPS: *fps, DurationScale: *scaleF, Seed: *seed}
+	var spec *scene.Spec
+	for _, p := range scene.Presets(opts) {
+		if p.Spec.Name == *preset {
+			s := p.Spec
+			spec = &s
+			break
+		}
+	}
+	if spec == nil {
+		return fmt.Errorf("%w: unknown preset %q", errUsage, *preset)
+	}
+	v, err := scene.Generate(*spec)
+	if err != nil {
+		return err
+	}
+	if *to < 0 || *to > spec.NumFrames() {
+		*to = spec.NumFrames()
+	}
+	if *from < 0 || *from >= *to {
+		return fmt.Errorf("%w: empty scene window [%d,%d)", errUsage, *from, *to)
+	}
+	frames := v.Frames(*from, *to)
+	b, err := addr.openBackend(*dir)
+	if err != nil {
+		return err
+	}
+	defer b.Close()
+	if *create {
+		err := b.CreateLiveContext(ctx, *video, frames[0].W, frames[0].H, spec.FPS, nil)
+		// Idempotent on purpose: a chunked append loop passes -create on
+		// every call and only the first one wins.
+		if err != nil && !errors.Is(err, tasm.ErrVideoExists) {
+			return err
+		}
+	}
+	st, err := b.AppendContext(ctx, *video, frames)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("appended %d frames to %s: %d SOTs, %d KiB, encode %s, head now %d\n",
+		st.Frames, *video, st.SOTs, st.Bytes/1024, st.EncodeWall.Round(1e6), st.FrameCount)
+	return nil
+}
+
+func cmdSubscribe(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("subscribe", flag.ContinueOnError)
+	dir := fs.String("dir", "tasmdb", "storage directory")
+	addr := addrFlag(fs)
+	video := fs.String("video", "", "video name")
+	from := fs.Int("from", 0, "resume watermark: first frame index to deliver (last seen + 1 to continue a dropped tail)")
+	max := fs.Int("max", 0, "stop after this many frames (0 = until sealed or interrupted)")
+	quiet := fs.Bool("quiet", false, "suppress the per-frame lines; print only the summary")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if *video == "" {
+		return fmt.Errorf("%w: missing -video", errUsage)
+	}
+	b, err := addr.openBackend(*dir)
+	if err != nil {
+		return err
+	}
+	defer b.Close()
+	// The two backends return distinct concrete cursors; both satisfy
+	// tailCursor.
+	var cur tailCursor
+	switch be := b.(type) {
+	case *client.Client:
+		c, err := be.Subscribe(ctx, *video, *from)
+		if err != nil {
+			return err
+		}
+		cur = c
+	case localBackend:
+		c, err := be.Subscribe(ctx, *video, *from)
+		if err != nil {
+			return err
+		}
+		cur = c
+	default:
+		return fmt.Errorf("subscribe: unsupported backend %T", b)
+	}
+	defer cur.Close()
+	n := 0
+	for cur.Next() {
+		r := cur.Result()
+		if !*quiet {
+			// The crc is the replay check: the same frame re-scanned later
+			// (or tailed again from the same watermark) prints the same sum.
+			h := crc32.NewIEEE()
+			h.Write(r.Pixels.Y)
+			h.Write(r.Pixels.Cb)
+			h.Write(r.Pixels.Cr)
+			fmt.Printf("frame %6d  %dx%d  crc32 %08x\n", r.Index, r.Pixels.W, r.Pixels.H, h.Sum32())
+		}
+		n++
+		if *max > 0 && n >= *max {
+			break
+		}
+	}
+	if *max == 0 || n < *max {
+		if err := cur.Err(); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("subscribe %s: %d frames delivered\n", *video, n)
+	return nil
+}
+
+func cmdSeal(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("seal", flag.ContinueOnError)
+	dir := fs.String("dir", "tasmdb", "storage directory")
+	addr := addrFlag(fs)
+	video := fs.String("video", "", "live video name")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if *video == "" {
+		return fmt.Errorf("%w: missing -video", errUsage)
+	}
+	b, err := addr.openBackend(*dir)
+	if err != nil {
+		return err
+	}
+	defer b.Close()
+	if err := b.SealContext(ctx, *video); err != nil {
+		return err
+	}
+	fmt.Printf("sealed %s (appends now fail; caught-up subscribers terminate cleanly)\n", *video)
+	return nil
+}
+
+func cmdRetention(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("retention", flag.ContinueOnError)
+	dir := fs.String("dir", "tasmdb", "storage directory")
+	addr := addrFlag(fs)
+	video := fs.String("video", "", "live video name")
+	maxAge := fs.Int("max-age-frames", 0, "expire SOTs older than this many frames behind the append head (0 = unbounded)")
+	maxBytes := fs.Int64("max-bytes", 0, "expire oldest SOTs while the video exceeds this byte footprint (0 = unbounded)")
+	clear := fs.Bool("clear", false, "remove the retention policy (keep everything)")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if *video == "" {
+		return fmt.Errorf("%w: missing -video", errUsage)
+	}
+	if *clear && (*maxAge > 0 || *maxBytes > 0) {
+		return fmt.Errorf("%w: -clear excludes -max-age-frames/-max-bytes", errUsage)
+	}
+	if !*clear && *maxAge == 0 && *maxBytes == 0 {
+		return fmt.Errorf("%w: set -max-age-frames and/or -max-bytes, or -clear", errUsage)
+	}
+	var pol *tasm.RetentionPolicy
+	if !*clear {
+		pol = &tasm.RetentionPolicy{MaxAgeFrames: *maxAge, MaxBytes: *maxBytes}
+	}
+	b, err := addr.openBackend(*dir)
+	if err != nil {
+		return err
+	}
+	defer b.Close()
+	rep, err := b.SetRetentionContext(ctx, *video, pol)
+	if err != nil {
+		return err
+	}
+	if *clear {
+		fmt.Printf("retention cleared on %s\n", *video)
+		return nil
+	}
+	fmt.Printf("retention on %s: %s — trimmed %d SOTs now, first stored frame %d, freed %d KiB\n",
+		*video, retentionString(pol), len(rep.Removed), rep.TrimmedTo, rep.FreedBytes/1024)
 	return nil
 }

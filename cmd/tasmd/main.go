@@ -37,6 +37,8 @@ package main
 
 import (
 	"context"
+	"crypto/tls"
+	"crypto/x509"
 	"errors"
 	"flag"
 	"fmt"
@@ -65,6 +67,7 @@ func main() {
 		tenantInflight = flag.Int("tenant-inflight", 0, "per-tenant concurrent requests before 503 (0 = max-inflight/4; requires -token-file)")
 		tlsCert        = flag.String("tls-cert", "", "TLS certificate file (PEM); with -tls-key, serve HTTPS")
 		tlsKey         = flag.String("tls-key", "", "TLS private key file (PEM)")
+		tlsClientCA    = flag.String("tls-client-ca", "", "CA bundle (PEM) for verifying client certificates; requires -tls-cert/-tls-key and makes TLS mutual — unauthenticated handshakes are refused")
 		drain          = flag.Duration("drain", 15*time.Second, "graceful-shutdown budget for in-flight requests")
 		quiet          = flag.Bool("quiet", false, "suppress access logs")
 		autotile       = flag.Bool("autotile", false, "run the background workload-adaptive re-tiler")
@@ -89,6 +92,17 @@ func main() {
 
 	if (*tlsCert == "") != (*tlsKey == "") {
 		logger.Fatalf("-tls-cert and -tls-key must be set together")
+	}
+	var tlsCfg *tls.Config
+	if *tlsClientCA != "" {
+		if *tlsCert == "" {
+			logger.Fatalf("-tls-client-ca requires -tls-cert and -tls-key (mTLS needs a server identity too)")
+		}
+		pool, err := loadClientCAPool(*tlsClientCA)
+		if err != nil {
+			logger.Fatalf("%v", err)
+		}
+		tlsCfg = &tls.Config{ClientCAs: pool, ClientAuth: tls.RequireAndVerifyClientCert}
 	}
 
 	var tenants map[string]string
@@ -180,6 +194,8 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 		BaseContext:       func(net.Listener) context.Context { return context.Background() },
+		// Non-nil only for mTLS: ServeTLS fills in the certificate pair.
+		TLSConfig: tlsCfg,
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -198,6 +214,9 @@ func main() {
 	scheme := "http"
 	if *tlsCert != "" {
 		scheme = "https"
+		if *tlsClientCA != "" {
+			authMode += ", mTLS client certs"
+		}
 	}
 	tileMode := "manual tiling"
 	if *autotile {
@@ -245,4 +264,18 @@ func main() {
 	}
 	logger.Printf("stopped")
 	os.Exit(exit)
+}
+
+// loadClientCAPool reads a PEM CA bundle into the pool mTLS verifies
+// client certificates against.
+func loadClientCAPool(path string) (*x509.CertPool, error) {
+	pem, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading -tls-client-ca: %w", err)
+	}
+	pool := x509.NewCertPool()
+	if !pool.AppendCertsFromPEM(pem) {
+		return nil, fmt.Errorf("-tls-client-ca %s: no CA certificates found", path)
+	}
+	return pool, nil
 }

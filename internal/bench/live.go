@@ -1,0 +1,247 @@
+// Live-ingest benchmark: the append-mode write path measured through
+// the full serving stack. A real tasmd handler serves on loopback TCP;
+// one client appends GOP-sized batches over the binary framing while a
+// second holds a /v1/subscribe tail open from frame 0 — so every
+// number includes the wire, the commit queue, the MVCC manifest flip,
+// and the hub wakeup, not just the encoder. Two latencies matter and
+// they are not the same: how long an append call takes to return
+// (producer-side backpressure) and how long until a subscriber holds
+// the committed frame (append→visible, the freshness a live query
+// sees). Results serialize to the BENCH_<n>.json trajectory
+// (BENCH_8.json).
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"time"
+
+	"github.com/tasm-repro/tasm"
+	"github.com/tasm-repro/tasm/client"
+	"github.com/tasm-repro/tasm/internal/scene"
+	"github.com/tasm-repro/tasm/internal/server"
+)
+
+// LiveResult is the machine-readable live-ingest measurement.
+type LiveResult struct {
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	CPUs        int    `json:"cpus"`
+	GeneratedAt string `json:"generated_at"`
+
+	FrameW    int `json:"frame_w"`
+	FrameH    int `json:"frame_h"`
+	GOPLength int `json:"gop_length"`
+	Batches   int `json:"batches"`
+	Frames    int `json:"frames"`
+	Errors    int `json:"errors"`
+
+	// Append-call wall time (ms): what a producer blocks on per batch.
+	AppendP50Ms float64 `json:"append_p50_ms"`
+	AppendP95Ms float64 `json:"append_p95_ms"`
+
+	// Append→visible (ms): append call start until the subscriber's
+	// cursor has delivered the batch's last frame — the freshness bound
+	// of querying while recording.
+	VisibleP50Ms float64 `json:"visible_p50_ms"`
+	VisibleP95Ms float64 `json:"visible_p95_ms"`
+
+	// AppendRPS is the sustained frame throughput of the append loop
+	// (frames per second of wall time, encode and commit included).
+	AppendRPS float64 `json:"append_rps"`
+
+	// DeliveredOK: the subscriber received every appended frame exactly
+	// once, in order, and the tail terminated cleanly at the seal.
+	DeliveredOK bool `json:"delivered_ok"`
+}
+
+// liveBatches is how many GOP-sized batches the appender pushes; with
+// liveGOP frames per batch the run appends liveBatches*liveGOP frames.
+const (
+	liveBatches = 40
+	liveGOP     = 5
+)
+
+// RunLive measures append latency, append→visible latency, and
+// sustained append throughput against a real handler over loopback,
+// with a live subscriber tailing from frame 0 throughout.
+func RunLive(o Options) (LiveResult, *Table, error) {
+	o = o.withDefaults()
+	res := LiveResult{
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		CPUs:        runtime.GOMAXPROCS(0),
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		FrameW:      128, FrameH: 64,
+		GOPLength: liveGOP,
+		Batches:   liveBatches,
+	}
+
+	dir, err := os.MkdirTemp("", "tasm-live-*")
+	if err != nil {
+		return res, nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	sm, err := tasm.Open(dir,
+		tasm.WithGOPLength(liveGOP),
+		tasm.WithMinTileSize(32, 32),
+		tasm.WithQP(o.QP))
+	if err != nil {
+		return res, nil, err
+	}
+	defer sm.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return res, nil, err
+	}
+	srv := &http.Server{Handler: server.New(sm, server.Config{MaxInflight: 64})}
+	go srv.Serve(ln) //nolint:errcheck // closed via Shutdown below
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx) //nolint:errcheck // bench teardown
+	}()
+
+	// The appender uses the binary framing — the form a sustained camera
+	// feed should use; the subscriber negotiates it too.
+	appender, err := client.New(ln.Addr().String(), client.WithEncoding(client.Binary))
+	if err != nil {
+		return res, nil, err
+	}
+	defer appender.Close()
+	tail, err := client.New(ln.Addr().String(), client.WithEncoding(client.Binary))
+	if err != nil {
+		return res, nil, err
+	}
+	defer tail.Close()
+
+	// The whole feed is pre-generated; frame synthesis is untimed.
+	v, err := scene.Generate(scene.Spec{
+		Name: "livecam", W: res.FrameW, H: res.FrameH, FPS: 10,
+		DurationSec: liveBatches * liveGOP / 10,
+		Classes:     []scene.ClassMix{{Class: scene.Car, Count: 1, SizeFrac: 0.25}},
+		Seed:        o.Seed,
+	})
+	if err != nil {
+		return res, nil, err
+	}
+	total := liveBatches * liveGOP
+	feed := v.Frames(0, total)
+	res.Frames = total
+
+	ctx := context.Background()
+	if err := appender.CreateLiveContext(ctx, "livecam", res.FrameW, res.FrameH, 10, nil); err != nil {
+		return res, nil, err
+	}
+
+	// The subscriber tails from 0 and stamps each frame's arrival; the
+	// channel is sized for the whole feed so stamping never blocks
+	// delivery (the measurement must not throttle what it measures).
+	type arrival struct {
+		index int
+		at    time.Time
+	}
+	arrivals := make(chan arrival, total)
+	subErr := make(chan error, 1)
+	cur, err := tail.Subscribe(ctx, "livecam", 0)
+	if err != nil {
+		return res, nil, err
+	}
+	go func() {
+		defer close(arrivals)
+		for cur.Next() {
+			arrivals <- arrival{cur.Result().Index, time.Now()}
+		}
+		subErr <- cur.Err()
+	}()
+
+	o.progressf("live: appending %d batches of %d frames\n", liveBatches, liveGOP)
+	appendMs := make([]float64, 0, liveBatches)
+	batchStart := make([]time.Time, liveBatches)
+	loopStart := time.Now()
+	for b := 0; b < liveBatches; b++ {
+		batch := feed[b*liveGOP : (b+1)*liveGOP]
+		batchStart[b] = time.Now()
+		if _, err := appender.AppendContext(ctx, "livecam", batch); err != nil {
+			res.Errors++
+			continue
+		}
+		appendMs = append(appendMs, 1e3*time.Since(batchStart[b]).Seconds())
+	}
+	appendWall := time.Since(loopStart)
+	res.AppendRPS = float64(total) / appendWall.Seconds()
+
+	// Seal: caught-up subscribers terminate cleanly, bounding the drain.
+	if err := appender.SealContext(ctx, "livecam"); err != nil {
+		return res, nil, err
+	}
+
+	// Drain the tail; exactly-once in-order delivery is part of the
+	// result, not an assumption.
+	visibleMs := make([]float64, 0, total)
+	next := 0
+	ordered := true
+	for a := range arrivals {
+		if a.index != next {
+			ordered = false
+		}
+		next = a.index + 1
+		if b := a.index / liveGOP; b < liveBatches {
+			visibleMs = append(visibleMs, 1e3*a.at.Sub(batchStart[b]).Seconds())
+		}
+	}
+	if err := <-subErr; err != nil {
+		return res, nil, fmt.Errorf("bench: live subscriber: %w", err)
+	}
+	res.DeliveredOK = ordered && next == total && res.Errors == 0
+
+	res.AppendP50Ms = exactQuantile(appendMs, 0.50)
+	res.AppendP95Ms = exactQuantile(appendMs, 0.95)
+	res.VisibleP50Ms = exactQuantile(visibleMs, 0.50)
+	res.VisibleP95Ms = exactQuantile(visibleMs, 0.95)
+
+	t := &Table{
+		Title:   "Live ingest: append latency, append→visible, sustained throughput",
+		Columns: []string{"frames", "batches", "append p50/p95 ms", "visible p50/p95 ms", "append fps", "errors", "delivered"},
+		Rows: [][]string{{
+			strconv.Itoa(res.Frames),
+			strconv.Itoa(res.Batches),
+			fmt.Sprintf("%.1f / %.1f", res.AppendP50Ms, res.AppendP95Ms),
+			fmt.Sprintf("%.1f / %.1f", res.VisibleP50Ms, res.VisibleP95Ms),
+			fmt.Sprintf("%.1f", res.AppendRPS),
+			strconv.Itoa(res.Errors),
+			strconv.FormatBool(res.DeliveredOK),
+		}},
+		Notes: []string{
+			fmt.Sprintf("%d CPUs, %dx%d frames, GOP %d, binary framing both directions, subscriber tailing from frame 0 throughout",
+				res.CPUs, res.FrameW, res.FrameH, res.GOPLength),
+			"visible = append call start → subscriber cursor delivered the frame (wire + queue + commit + hub wakeup)",
+			"target: delivered true (every frame exactly once, in order, clean seal), zero errors",
+		},
+	}
+	return res, t, nil
+}
+
+// exactQuantile is the nearest-rank quantile of a small sample (the
+// batch counts here are far too small for histogram bucketing).
+func exactQuantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	i := int(math.Ceil(q*float64(len(s)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	return s[i]
+}

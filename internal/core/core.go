@@ -19,6 +19,7 @@ import (
 	"github.com/tasm-repro/tasm/internal/frame"
 	"github.com/tasm-repro/tasm/internal/geom"
 	"github.com/tasm-repro/tasm/internal/layout"
+	"github.com/tasm-repro/tasm/internal/live"
 	"github.com/tasm-repro/tasm/internal/query"
 	"github.com/tasm-repro/tasm/internal/semindex"
 	"github.com/tasm-repro/tasm/internal/tasmerr"
@@ -53,6 +54,10 @@ type Config struct {
 	// bytes. 0 disables caching (every scan decodes from disk, the
 	// paper's behavior).
 	CacheBudget int64
+	// AppendQueueDepth bounds pending live-append commits per video;
+	// a full queue rejects appends with tasmerr.ErrIngestBackpressure.
+	// <= 0 selects live.DefaultQueueDepth.
+	AppendQueueDepth int
 	// ForceOpen skips the store's cross-process ownership lease — the
 	// tasmctl -force escape hatch for recovering a directory whose lock
 	// holder is unreachable. Unsafe against a live owner: both processes
@@ -108,6 +113,12 @@ type Manager struct {
 	// observer, when installed via SetQueryObserver, receives every
 	// query-path request and informs cache admission (see observer.go).
 	observer QueryObserver
+
+	// hub wakes /v1/subscribe tails as live-append commits land, and
+	// ingest is the bounded per-video commit queue behind AppendGOP
+	// (see internal/live and live.go in this package).
+	hub    *live.Hub
+	ingest *live.Ingestor
 }
 
 // Open creates or opens a storage manager rooted at dir (tiles under
@@ -130,7 +141,10 @@ func Open(dir string, cfg Config) (*Manager, error) {
 		st.Close()
 		return nil, err
 	}
-	return &Manager{cfg: cfg, store: st, index: ix, cache: tilecache.New(cfg.CacheBudget)}, nil
+	return &Manager{
+		cfg: cfg, store: st, index: ix, cache: tilecache.New(cfg.CacheBudget),
+		hub: live.NewHub(), ingest: live.NewIngestor(cfg.AppendQueueDepth),
+	}, nil
 }
 
 // Close flushes and closes the semantic index and releases the store's
@@ -1067,6 +1081,11 @@ func (m *Manager) DeleteVideo(video string) error {
 		return err
 	}
 	m.cache.InvalidateVideo(video)
+	// An active subscriber must not hang waiting for commits that can
+	// never come (or leak its lease): deliver ErrVideoDeleted as every
+	// tail's terminal state, and drop the append queue's map entry.
+	m.hub.CancelVideo(video, fmt.Errorf("core: subscription to %q: %w", video, tasmerr.ErrVideoDeleted))
+	m.ingest.Forget(video)
 	// Drop the per-video retile mutex so long-lived managers cycling many
 	// video names don't accumulate one forever. A retile already holding
 	// the old mutex is safe: its commit is lease-validated by the store.

@@ -1,0 +1,351 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/tasm-repro/tasm/internal/frame"
+	"github.com/tasm-repro/tasm/internal/scene"
+	"github.com/tasm-repro/tasm/internal/tasmerr"
+	"github.com/tasm-repro/tasm/internal/tilestore"
+)
+
+// liveFeed generates a deterministic synthetic camera feed for append
+// tests: 128x64 @10fps, one car.
+func liveFeed(t *testing.T, frames int) *scene.Video {
+	t.Helper()
+	v, err := scene.Generate(scene.Spec{
+		Name: "cam", W: 128, H: 64, FPS: 10, DurationSec: (frames + 9) / 10,
+		Classes: []scene.ClassMix{{Class: scene.Car, Count: 1, SizeFrac: 0.25}},
+		Seed:    13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Spec.NumFrames() < frames {
+		t.Fatalf("feed has %d frames, need %d", v.Spec.NumFrames(), frames)
+	}
+	return v
+}
+
+func frameCRC(f *frame.Frame) uint32 {
+	sum := crc32.NewIEEE()
+	sum.Write(f.Y)
+	sum.Write(f.Cb)
+	sum.Write(f.Cr)
+	return sum.Sum32()
+}
+
+// tail drains a subscription to its end, returning the delivered
+// (index, crc) sequence and the terminal error.
+type tailRun struct {
+	first   int
+	indices []int
+	crcs    map[int]uint32
+	err     error
+}
+
+func drainTail(cur *SubscribeCursor) tailRun {
+	r := tailRun{first: -1, crcs: map[int]uint32{}}
+	for cur.Next() {
+		res := cur.Result()
+		if r.first < 0 {
+			r.first = res.Index
+		}
+		r.indices = append(r.indices, res.Index)
+		r.crcs[res.Index] = frameCRC(res.Pixels)
+	}
+	r.err = cur.Err()
+	return r
+}
+
+// requireContiguous fails unless the delivered indices are a gapless,
+// duplicate-free ascending run — the exactly-once contract.
+func requireContiguous(t *testing.T, name string, r tailRun) {
+	t.Helper()
+	for i, idx := range r.indices {
+		if want := r.first + i; idx != want {
+			t.Fatalf("%s: delivery %d has index %d, want %d (sequence not exactly-once)", name, i, idx, want)
+		}
+	}
+}
+
+// A tail started before the first append and one started mid-stream
+// from an arbitrary watermark must both deliver every committed frame
+// exactly once, byte-identical to a batch re-scan after the seal.
+func TestLiveSubscribeReplayByteIdentical(t *testing.T) {
+	m, err := Open(t.TempDir(), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	const total = 60
+	v := liveFeed(t, total)
+	if err := m.CreateLiveVideo("cam", 128, 64, 10, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	early, err := m.Subscribe(context.Background(), "cam", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer early.Close()
+	earlyC := make(chan tailRun, 1)
+	go func() { earlyC <- drainTail(early) }()
+
+	// First half committed, then a mid-stream tail from watermark 25:
+	// it replays [25, head) from history and follows live after.
+	if _, err := m.AppendGOP("cam", v.Frames(0, total/2)); err != nil {
+		t.Fatal(err)
+	}
+	mid, err := m.Subscribe(context.Background(), "cam", 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mid.Close()
+	midC := make(chan tailRun, 1)
+	go func() { midC <- drainTail(mid) }()
+
+	if _, err := m.AppendGOP("cam", v.Frames(total/2, total)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SealVideo("cam"); err != nil {
+		t.Fatal(err)
+	}
+
+	runs := map[string]tailRun{}
+	for name, ch := range map[string]chan tailRun{"early": earlyC, "mid": midC} {
+		select {
+		case runs[name] = <-ch:
+		case <-time.After(30 * time.Second):
+			t.Fatalf("%s tail did not terminate after seal", name)
+		}
+	}
+	if r := runs["early"]; r.err != nil || r.first != 0 || len(r.indices) != total {
+		t.Fatalf("early tail: first %d, %d frames, err %v; want 0, %d, nil", r.first, len(r.indices), r.err, total)
+	}
+	if r := runs["mid"]; r.err != nil || r.first != 25 || len(r.indices) != total-25 {
+		t.Fatalf("mid tail: first %d, %d frames, err %v; want 25, %d, nil", r.first, len(r.indices), r.err, total-25)
+	}
+	for _, r := range runs {
+		requireContiguous(t, "tail", r)
+	}
+
+	// The reference: a batch decode of the sealed video. Every delivered
+	// frame must match it byte for byte.
+	ref, _, err := m.DecodeFrames("cam", 0, total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, r := range runs {
+		for idx, crc := range r.crcs {
+			if want := frameCRC(ref[idx]); crc != want {
+				t.Fatalf("%s tail: frame %d crc %08x, batch re-scan %08x (replay not byte-identical)", name, idx, crc, want)
+			}
+		}
+	}
+}
+
+// The full interleaving under the race detector: one appender, tails
+// started at different times, retention trims riding the append path,
+// and GC passes reclaiming trimmed SOTs — all concurrent. Every tail
+// must deliver a gapless run of intact frames, byte-identical to the
+// others and to a batch re-scan of the surviving window.
+func TestConcurrentAppendSubscribeRetentionGC(t *testing.T) {
+	m, err := Open(t.TempDir(), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	const total = 100
+	v := liveFeed(t, total)
+	pol := &tilestore.RetentionPolicy{MaxAgeFrames: 40}
+	if err := m.CreateLiveVideo("cam", 128, 64, 10, pol); err != nil {
+		t.Fatal(err)
+	}
+
+	// Concurrent GC sweeps: trimmed SOT directories retire under live
+	// subscriber leases, and GC must interleave with both sides safely.
+	gcDone := make(chan struct{})
+	gcErrs := make(chan error, 1)
+	go func() {
+		defer close(gcErrs)
+		for {
+			select {
+			case <-gcDone:
+				return
+			case <-time.After(5 * time.Millisecond):
+				if _, err := m.Store().GC(); err != nil {
+					gcErrs <- err
+					return
+				}
+			}
+		}
+	}()
+
+	results := make(chan tailRun, 3)
+	var wg sync.WaitGroup
+	startTail := func(from int) {
+		cur, err := m.Subscribe(context.Background(), "cam", from)
+		if err != nil {
+			t.Errorf("Subscribe(from=%d): %v", from, err)
+			results <- tailRun{err: err}
+			return
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer cur.Close()
+			results <- drainTail(cur)
+		}()
+	}
+
+	startTail(0)
+	gop := m.Config().Codec.GOPLength
+	for from := 0; from < total; from += gop {
+		if _, err := m.AppendGOP("cam", v.Frames(from, min(from+gop, total))); err != nil {
+			t.Fatal(err)
+		}
+		switch from {
+		case 30:
+			startTail(0) // mid-stream, clamped to whatever retention kept
+		case 60:
+			startTail(70) // ahead of the head: only new commits
+		}
+	}
+	if err := m.SealVideo("cam"); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	close(gcDone)
+	if err := <-gcErrs; err != nil {
+		t.Fatalf("concurrent GC: %v", err)
+	}
+
+	meta, err := m.Meta("cam")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _, err := m.DecodeFrames("cam", meta.TrimmedTo, total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refCRC := map[int]uint32{}
+	for i, f := range ref {
+		refCRC[meta.TrimmedTo+i] = frameCRC(f)
+	}
+
+	for i := 0; i < 3; i++ {
+		r := <-results
+		name := fmt.Sprintf("tail %d (first=%d)", i, r.first)
+		if r.err != nil {
+			t.Fatalf("%s: terminated with %v", name, r.err)
+		}
+		if len(r.indices) == 0 {
+			t.Fatalf("%s: delivered nothing", name)
+		}
+		requireContiguous(t, name, r)
+		// Every tail runs to the sealed head; its start is its watermark
+		// clamped to the retention floor at subscribe time.
+		if last := r.indices[len(r.indices)-1]; last != total-1 {
+			t.Fatalf("%s: ended at frame %d, want %d", name, last, total-1)
+		}
+		for idx, crc := range r.crcs {
+			want, ok := refCRC[idx]
+			if !ok {
+				// Delivered before retention trimmed it — compare tails
+				// against each other below instead.
+				continue
+			}
+			if crc != want {
+				t.Fatalf("%s: frame %d crc %08x, batch re-scan %08x", name, idx, crc, want)
+			}
+		}
+	}
+
+	if fr, err := m.Store().FSCK(); err != nil || !fr.OK() {
+		t.Fatalf("store not clean after interleaving: %v %v", fr.Problems, err)
+	}
+}
+
+// Deleting a video out from under an active subscription must cancel
+// the tail with a typed ErrVideoDeleted — not leave it blocked on the
+// hub or holding a lease that pins the deleted files forever.
+func TestDeleteVideoCancelsActiveSubscription(t *testing.T) {
+	m, err := Open(t.TempDir(), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	v := liveFeed(t, 20)
+	if err := m.CreateLiveVideo("cam", 128, 64, 10, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AppendGOP("cam", v.Frames(0, 20)); err != nil {
+		t.Fatal(err)
+	}
+
+	cur, err := m.Subscribe(context.Background(), "cam", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	delivered := make(chan int, 1)
+	errC := make(chan error, 1)
+	go func() {
+		n := 0
+		for cur.Next() {
+			n++
+		}
+		delivered <- n
+		errC <- cur.Err()
+	}()
+
+	// Let the tail catch up and block on the hub, then delete.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if st := cur.Stats(); st.FramesDecoded >= 20 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("tail never caught up")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := m.DeleteVideo("cam"); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case n := <-delivered:
+		if n != 20 {
+			t.Errorf("tail delivered %d frames before the delete, want 20", n)
+		}
+		if err := <-errC; !errors.Is(err, tasmerr.ErrVideoDeleted) {
+			t.Fatalf("tail error = %v, want ErrVideoDeleted", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("DeleteVideo left the subscription blocked")
+	}
+
+	// No leaked lease: with the cursor closed, GC reclaims every
+	// tombstone and the store is clean.
+	if err := cur.Close(); err != nil {
+		t.Fatal(err)
+	}
+	gc, err := m.Store().GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gc.Deferred) != 0 {
+		t.Fatalf("GC deferred %v after cursor close — leaked lease pins deleted files", gc.Deferred)
+	}
+	if fr, err := m.Store().FSCK(); err != nil || !fr.OK() {
+		t.Fatalf("store not clean after delete: %v %v", fr.Problems, err)
+	}
+}

@@ -1,0 +1,142 @@
+// Package live holds the serving-side machinery of append-mode videos:
+// the commit-notification hub that wakes /v1/subscribe tails without
+// polling, and the bounded per-video commit queue that turns append
+// overload into typed backpressure instead of unbounded buffering. It
+// is deliberately storage-agnostic — the hub carries frame watermarks
+// and the queue carries closures — so it sits below core without
+// cycling into it.
+package live
+
+import (
+	"context"
+	"sync"
+)
+
+// Hub fans commit notifications out to subscribers, per video. Each
+// publish advances the video's committed-frame watermark and wakes
+// every subscriber (coalesced — a slow subscriber sees one wake for
+// many commits, then reads the watermark). CancelVideo delivers a
+// terminal error, the DeleteVideo path's way of unblocking tails
+// instead of leaving them waiting on commits that will never come.
+type Hub struct {
+	mu   sync.Mutex
+	subs map[string]map[*Sub]struct{}
+}
+
+// NewHub returns an empty hub.
+func NewHub() *Hub {
+	return &Hub{subs: map[string]map[*Sub]struct{}{}}
+}
+
+// Sub is one subscriber's registration. Wait blocks until the video's
+// watermark moves past the caller's, a terminal error is delivered, or
+// the context ends.
+type Sub struct {
+	hub   *Hub
+	video string
+	wake  chan struct{} // cap 1: coalesced notifications
+
+	mu        sync.Mutex
+	committed int
+	err       error
+}
+
+// Subscribe registers a tail on video, seeding its watermark with
+// committed (the catalog's frame count at registration, so a commit
+// that lands between the caller's snapshot and the registration is
+// never missed — it only moves the watermark forward).
+func (h *Hub) Subscribe(video string, committed int) *Sub {
+	s := &Sub{hub: h, video: video, wake: make(chan struct{}, 1), committed: committed}
+	h.mu.Lock()
+	set := h.subs[video]
+	if set == nil {
+		set = map[*Sub]struct{}{}
+		h.subs[video] = set
+	}
+	set[s] = struct{}{}
+	h.mu.Unlock()
+	return s
+}
+
+// Publish advances video's committed-frame watermark and wakes its
+// subscribers. Watermarks only move forward; a stale publish (from a
+// commit that raced a later one) is a no-op.
+func (h *Hub) Publish(video string, committed int) {
+	h.mu.Lock()
+	subs := h.subs[video]
+	for s := range subs {
+		s.mu.Lock()
+		if committed > s.committed {
+			s.committed = committed
+		}
+		s.mu.Unlock()
+		s.notify()
+	}
+	h.mu.Unlock()
+}
+
+// CancelVideo delivers err as every subscriber's terminal state and
+// wakes them; their next Wait (or State) surfaces it. New subscriptions
+// after the cancel start clean — the video name may be re-ingested.
+func (h *Hub) CancelVideo(video string, err error) {
+	h.mu.Lock()
+	subs := h.subs[video]
+	delete(h.subs, video)
+	h.mu.Unlock()
+	for s := range subs {
+		s.mu.Lock()
+		if s.err == nil {
+			s.err = err
+		}
+		s.mu.Unlock()
+		s.notify()
+	}
+}
+
+// notify delivers one coalesced wake.
+func (s *Sub) notify() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// State returns the subscriber's current watermark and terminal error
+// (nil while the subscription is live).
+func (s *Sub) State() (committed int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.committed, s.err
+}
+
+// Wait blocks until a wake arrives, a terminal error is delivered, or
+// ctx ends; it returns the fresh state (ctx expiry is returned as the
+// error). A wake that did not advance the watermark past after still
+// returns: some state changes the watermark cannot express — a seal
+// publishes the unchanged frame count so caught-up tails re-check the
+// catalog and terminate instead of waiting for commits that will never
+// come.
+func (s *Sub) Wait(ctx context.Context, after int) (committed int, err error) {
+	if committed, err = s.State(); err != nil || committed > after {
+		return committed, err
+	}
+	select {
+	case <-s.wake:
+		return s.State()
+	case <-ctx.Done():
+		return committed, ctx.Err()
+	}
+}
+
+// Close unregisters the subscriber; pending wakes are dropped. Close
+// after CancelVideo is a harmless no-op.
+func (s *Sub) Close() {
+	s.hub.mu.Lock()
+	if set := s.hub.subs[s.video]; set != nil {
+		delete(set, s)
+		if len(set) == 0 {
+			delete(s.hub.subs, s.video)
+		}
+	}
+	s.hub.mu.Unlock()
+}

@@ -1,0 +1,296 @@
+package live
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/tasm-repro/tasm/internal/tasmerr"
+)
+
+func TestHubPublishWakesWaiter(t *testing.T) {
+	h := NewHub()
+	s := h.Subscribe("v", 10)
+	defer s.Close()
+
+	if got, err := s.State(); err != nil || got != 10 {
+		t.Fatalf("State() = %d, %v; want 10, nil", got, err)
+	}
+
+	done := make(chan int, 1)
+	go func() {
+		c, err := s.Wait(context.Background(), 10)
+		if err != nil {
+			t.Errorf("Wait: %v", err)
+		}
+		done <- c
+	}()
+	time.Sleep(10 * time.Millisecond)
+	h.Publish("v", 15)
+	select {
+	case c := <-done:
+		if c != 15 {
+			t.Fatalf("woke with watermark %d, want 15", c)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Wait did not wake on publish")
+	}
+}
+
+// A publish that does not advance the watermark must still wake a
+// caught-up waiter: a seal publishes the unchanged frame count and the
+// waiter has to re-check the catalog to terminate. This is the
+// regression the live bench deadlocked on.
+func TestHubStaleWakeReturnsWaiter(t *testing.T) {
+	h := NewHub()
+	s := h.Subscribe("v", 20)
+	defer s.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if c, err := s.Wait(context.Background(), 20); err != nil || c != 20 {
+			t.Errorf("Wait = %d, %v; want 20, nil", c, err)
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	h.Publish("v", 20) // the seal shape: watermark unchanged
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("caught-up waiter not woken by a stale publish")
+	}
+}
+
+func TestHubWatermarkOnlyMovesForward(t *testing.T) {
+	h := NewHub()
+	s := h.Subscribe("v", 0)
+	defer s.Close()
+	h.Publish("v", 30)
+	h.Publish("v", 12) // stale: a commit that raced a later one
+	if got, _ := s.State(); got != 30 {
+		t.Fatalf("watermark = %d after stale publish, want 30", got)
+	}
+}
+
+func TestHubWakesAreCoalesced(t *testing.T) {
+	h := NewHub()
+	s := h.Subscribe("v", 0)
+	defer s.Close()
+	for i := 1; i <= 100; i++ {
+		h.Publish("v", i)
+	}
+	// One Wait drains the single buffered wake and sees the final state.
+	if c, err := s.Wait(context.Background(), 0); err != nil || c != 100 {
+		t.Fatalf("Wait = %d, %v; want 100, nil", c, err)
+	}
+}
+
+func TestHubCancelVideoDeliversTerminalError(t *testing.T) {
+	h := NewHub()
+	s := h.Subscribe("v", 0)
+	defer s.Close()
+
+	errC := make(chan error, 1)
+	go func() {
+		_, err := s.Wait(context.Background(), 0)
+		errC <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	h.CancelVideo("v", tasmerr.ErrVideoDeleted)
+	select {
+	case err := <-errC:
+		if !errors.Is(err, tasmerr.ErrVideoDeleted) {
+			t.Fatalf("Wait error = %v, want ErrVideoDeleted", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("CancelVideo did not unblock the waiter")
+	}
+	// The error is sticky: later calls see it too.
+	if _, err := s.State(); !errors.Is(err, tasmerr.ErrVideoDeleted) {
+		t.Fatalf("State after cancel = %v, want ErrVideoDeleted", err)
+	}
+	// New subscriptions on the name start clean (re-ingest case).
+	s2 := h.Subscribe("v", 0)
+	defer s2.Close()
+	if _, err := s2.State(); err != nil {
+		t.Fatalf("fresh sub after cancel: %v", err)
+	}
+}
+
+func TestHubWaitHonorsContext(t *testing.T) {
+	h := NewHub()
+	s := h.Subscribe("v", 0)
+	defer s.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	errC := make(chan error, 1)
+	go func() {
+		_, err := s.Wait(ctx, 0)
+		errC <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errC:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Wait error = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Wait ignored context cancellation")
+	}
+}
+
+func TestHubVideosAreIndependent(t *testing.T) {
+	h := NewHub()
+	a := h.Subscribe("a", 0)
+	defer a.Close()
+	b := h.Subscribe("b", 0)
+	defer b.Close()
+	h.Publish("a", 5)
+	if got, _ := a.State(); got != 5 {
+		t.Fatalf("a watermark = %d, want 5", got)
+	}
+	if got, _ := b.State(); got != 0 {
+		t.Fatalf("b watermark = %d, want 0 (publish leaked across videos)", got)
+	}
+}
+
+func TestIngestorRunsJobsSeriallyInOrder(t *testing.T) {
+	ing := NewIngestor(8)
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	// Enqueue from one goroutine (the append path is one connection per
+	// video); completion waits run concurrently.
+	for i := 0; i < 5; i++ {
+		wg.Add(1)
+		i := i
+		errC := make(chan error, 1)
+		go func() {
+			defer wg.Done()
+			errC <- ing.Do(context.Background(), "v", func() error {
+				mu.Lock()
+				order = append(order, i)
+				mu.Unlock()
+				return nil
+			})
+		}()
+		if err := <-errC; err != nil {
+			t.Fatalf("Do(%d): %v", i, err)
+		}
+	}
+	wg.Wait()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("jobs ran out of order: %v", order)
+		}
+	}
+}
+
+func TestIngestorBackpressureAtDepth(t *testing.T) {
+	ing := NewIngestor(2)
+	block := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	// One running job (holds the drainer) + two queued = queue full.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ing.Do(context.Background(), "v", func() error { //nolint:errcheck // released below
+			close(started)
+			<-block
+			return nil
+		})
+	}()
+	<-started
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ing.Do(context.Background(), "v", func() error { return nil }) //nolint:errcheck // released below
+		}()
+	}
+	// Wait for both to be queued.
+	deadline := time.Now().Add(2 * time.Second)
+	for ing.Pending("v") < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never filled: pending %d", ing.Pending("v"))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	err := ing.Do(context.Background(), "v", func() error {
+		t.Error("backpressured job must not run")
+		return nil
+	})
+	if !errors.Is(err, tasmerr.ErrIngestBackpressure) {
+		t.Fatalf("Do on full queue = %v, want ErrIngestBackpressure", err)
+	}
+	// Other videos are unaffected by v's full queue.
+	if err := ing.Do(context.Background(), "other", func() error { return nil }); err != nil {
+		t.Fatalf("Do(other) = %v, want nil", err)
+	}
+	close(block)
+	wg.Wait()
+	if got := ing.Pending("v"); got != 0 {
+		t.Fatalf("pending after drain = %d, want 0", got)
+	}
+}
+
+func TestIngestorContextEndsWaitNotJob(t *testing.T) {
+	ing := NewIngestor(4)
+	block := make(chan struct{})
+	ran := make(chan struct{})
+	started := make(chan struct{})
+	go ing.Do(context.Background(), "v", func() error { //nolint:errcheck // synchronized via channels
+		close(started)
+		<-block
+		return nil
+	})
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	errC := make(chan error, 1)
+	go func() {
+		errC <- ing.Do(ctx, "v", func() error {
+			close(ran)
+			return nil
+		})
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	if err := <-errC; !errors.Is(err, context.Canceled) {
+		t.Fatalf("Do under cancelled ctx = %v, want context.Canceled", err)
+	}
+	// The job was already ordered; it still runs once the queue drains.
+	close(block)
+	select {
+	case <-ran:
+	case <-time.After(2 * time.Second):
+		t.Fatal("ordered job abandoned after caller's ctx ended")
+	}
+}
+
+func TestIngestorDoPropagatesJobError(t *testing.T) {
+	ing := NewIngestor(4)
+	want := fmt.Errorf("encode exploded")
+	if err := ing.Do(context.Background(), "v", func() error { return want }); !errors.Is(err, want) {
+		t.Fatalf("Do = %v, want %v", err, want)
+	}
+}
+
+func TestIngestorForgetDropsQueueEntry(t *testing.T) {
+	ing := NewIngestor(4)
+	if err := ing.Do(context.Background(), "v", func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	ing.Forget("v")
+	if got := ing.Pending("v"); got != 0 {
+		t.Fatalf("Pending after Forget = %d, want 0", got)
+	}
+	// The name is usable again immediately.
+	if err := ing.Do(context.Background(), "v", func() error { return nil }); err != nil {
+		t.Fatalf("Do after Forget: %v", err)
+	}
+}

@@ -97,6 +97,11 @@ var wireErrors = []errorMapping{
 	{tasmerr.ErrInvalidRange, "invalid_range", http.StatusBadRequest},
 	{tasmerr.ErrNoFrames, "no_frames", http.StatusBadRequest},
 	{tasmerr.ErrAutotileDisabled, "autotile_disabled", http.StatusBadRequest},
+	{tasmerr.ErrVideoSealed, "video_sealed", http.StatusConflict},
+	// 429: the append did no work and is safe to retry after the
+	// Retry-After the server attaches — the one storage sentinel the
+	// client treats as retryable.
+	{tasmerr.ErrIngestBackpressure, "ingest_backpressure", http.StatusTooManyRequests},
 	{tasmerr.ErrCursorClosed, "cursor_closed", statusClientClosedRequest},
 	{tasmerr.ErrStoreLocked, "store_locked", http.StatusConflict},
 	{tasmerr.ErrTileCorrupt, "tile_corrupt", http.StatusInternalServerError},
@@ -318,6 +323,100 @@ func FromIngestStats(s core.IngestStats) IngestStats {
 // ToIngestStats converts back to the in-process type.
 func (s IngestStats) ToIngestStats() core.IngestStats {
 	return core.IngestStats{EncodeWall: nsDuration(s.EncodeWallNs), Bytes: s.Bytes, SOTs: s.SOTs}
+}
+
+// ---- live ingest ----
+
+// RetentionPolicy mirrors tilestore.RetentionPolicy on the wire.
+type RetentionPolicy struct {
+	MaxAgeFrames int   `json:"max_age_frames,omitempty"`
+	MaxBytes     int64 `json:"max_bytes,omitempty"`
+}
+
+// FromRetentionPolicy converts an in-process policy (nil stays nil).
+func FromRetentionPolicy(p *tilestore.RetentionPolicy) *RetentionPolicy {
+	if p == nil {
+		return nil
+	}
+	return &RetentionPolicy{MaxAgeFrames: p.MaxAgeFrames, MaxBytes: p.MaxBytes}
+}
+
+// ToRetentionPolicy converts back to the in-process type (nil stays nil).
+func (p *RetentionPolicy) ToRetentionPolicy() *tilestore.RetentionPolicy {
+	if p == nil {
+		return nil
+	}
+	return &tilestore.RetentionPolicy{MaxAgeFrames: p.MaxAgeFrames, MaxBytes: p.MaxBytes}
+}
+
+// CreateLiveRequest opens an append-mode video.
+type CreateLiveRequest struct {
+	Video     string           `json:"video"`
+	W         int              `json:"w"`
+	H         int              `json:"h"`
+	FPS       int              `json:"fps"`
+	Retention *RetentionPolicy `json:"retention,omitempty"`
+}
+
+// AppendRequest appends frames to a live video — the v1 JSON body of
+// POST /v1/append. The preferred v2 form sends the same frames as a
+// binary TASMFRM2 stream ('F' records) with the video named by the
+// ?video= query parameter, avoiding the base64 tax on exactly the
+// bytes ingest moves the most of.
+type AppendRequest struct {
+	Video  string  `json:"video"`
+	Frames []Frame `json:"frames"`
+}
+
+// AppendStats mirrors core.AppendStats with explicit-unit fields.
+type AppendStats struct {
+	EncodeWallNs int64 `json:"encode_wall_ns"`
+	Bytes        int64 `json:"bytes"`
+	SOTs         int   `json:"sots"`
+	Frames       int   `json:"frames"`
+	FrameCount   int   `json:"frame_count"`
+}
+
+// FromAppendStats converts an in-process stats record.
+func FromAppendStats(s core.AppendStats) AppendStats {
+	return AppendStats{EncodeWallNs: s.EncodeWall.Nanoseconds(), Bytes: s.Bytes,
+		SOTs: s.SOTs, Frames: s.Frames, FrameCount: s.FrameCount}
+}
+
+// ToAppendStats converts back to the in-process type.
+func (s AppendStats) ToAppendStats() core.AppendStats {
+	return core.AppendStats{EncodeWall: nsDuration(s.EncodeWallNs), Bytes: s.Bytes,
+		SOTs: s.SOTs, Frames: s.Frames, FrameCount: s.FrameCount}
+}
+
+// SealRequest converts a live video into a normal batch one.
+type SealRequest struct {
+	Video string `json:"video"`
+}
+
+// RetentionRequest installs (or with a nil policy clears) a live
+// video's retention policy; the response is the TrimReport of the
+// immediate application.
+type RetentionRequest struct {
+	Video     string           `json:"video"`
+	Retention *RetentionPolicy `json:"retention"`
+}
+
+// TrimReport mirrors tilestore.TrimReport.
+type TrimReport struct {
+	Removed    []int `json:"removed,omitempty"`
+	TrimmedTo  int   `json:"trimmed_to"`
+	FreedBytes int64 `json:"freed_bytes"`
+}
+
+// FromTrimReport converts an in-process report.
+func FromTrimReport(r tilestore.TrimReport) TrimReport {
+	return TrimReport{Removed: r.Removed, TrimmedTo: r.TrimmedTo, FreedBytes: r.FreedBytes}
+}
+
+// ToTrimReport converts back to the in-process type.
+func (r TrimReport) ToTrimReport() tilestore.TrimReport {
+	return tilestore.TrimReport{Removed: r.Removed, TrimmedTo: r.TrimmedTo, FreedBytes: r.FreedBytes}
 }
 
 // RetileRequest re-encodes one SOT under a new layout.

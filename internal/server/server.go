@@ -25,12 +25,14 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"log"
 	"net/http"
 	"runtime/debug"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -134,6 +136,11 @@ func New(sm *tasm.StorageManager, cfg Config) *Server {
 	mux.HandleFunc("GET /v1/videos/{video}", s.handleVideoInfo)
 	mux.HandleFunc("DELETE /v1/videos/{video}", s.handleDeleteVideo)
 	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	mux.HandleFunc("POST /v1/live", s.handleCreateLive)
+	mux.HandleFunc("POST /v1/append", s.handleAppend)
+	mux.HandleFunc("GET /v1/subscribe", s.handleSubscribe)
+	mux.HandleFunc("POST /v1/seal", s.handleSeal)
+	mux.HandleFunc("POST /v1/retention", s.handleRetention)
 	mux.HandleFunc("POST /v1/metadata", s.handleMetadata)
 	mux.HandleFunc("POST /v1/markdetected", s.handleMarkDetected)
 	mux.HandleFunc("GET /v1/detections", s.handleDetections)
@@ -450,6 +457,166 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, rpcwire.FromIngestStats(st))
+}
+
+// ---- live ingest handlers ----
+
+func (s *Server) handleCreateLive(w http.ResponseWriter, r *http.Request) {
+	var req rpcwire.CreateLiveRequest
+	if err := readJSON(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if !unaryBoundary(w, r) {
+		return
+	}
+	if err := s.sm.CreateLiveVideo(req.Video, req.W, req.H, req.FPS, req.Retention.ToRetentionPolicy()); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, struct{}{})
+}
+
+// handleAppend appends a batch of frames to a live video. The body is
+// either the v2 binary framing (Content-Type application/x-tasm-frames:
+// a TASMFRM2 stream of 'F' records, the video named by ?video=) or the
+// JSON AppendRequest fallback. A full commit queue answers 429 with
+// Retry-After — the client's signal to back off and retry, nothing
+// having been written.
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel, err := requestContext(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer cancel()
+	var video string
+	var frames []*tasm.Frame
+	if strings.HasPrefix(r.Header.Get("Content-Type"), rpcwire.ContentTypeBinary) {
+		video = r.URL.Query().Get("video")
+		if video == "" {
+			writeError(w, fmt.Errorf("%w: binary append needs ?video=", rpcwire.ErrBadRequest))
+			return
+		}
+		fr := rpcwire.NewFrameStreamReader(r.Body)
+		for {
+			line, rerr := fr.ReadLine()
+			if rerr == io.EOF {
+				break
+			}
+			if rerr != nil {
+				writeError(w, fmt.Errorf("%w: append stream: %v", rpcwire.ErrBadRequest, rerr))
+				return
+			}
+			if line.Frame == nil {
+				writeError(w, fmt.Errorf("%w: append stream carries only frame records", rpcwire.ErrBadRequest))
+				return
+			}
+			f, ferr := line.Frame.Pixels.ToFrame()
+			if ferr != nil {
+				writeError(w, fmt.Errorf("frame %d: %w", len(frames), ferr))
+				return
+			}
+			frames = append(frames, f)
+		}
+	} else {
+		var req rpcwire.AppendRequest
+		if err := readJSON(r, &req); err != nil {
+			writeError(w, err)
+			return
+		}
+		video = req.Video
+		frames = make([]*tasm.Frame, len(req.Frames))
+		for i, wf := range req.Frames {
+			if frames[i], err = wf.ToFrame(); err != nil {
+				writeError(w, fmt.Errorf("frame %d: %w", i, err))
+				return
+			}
+		}
+	}
+	st, err := s.sm.AppendGOPContext(ctx, video, frames)
+	if err != nil {
+		if errors.Is(err, tasm.ErrIngestBackpressure) {
+			w.Header().Set("Retry-After", "1")
+		}
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, rpcwire.FromAppendStats(st))
+}
+
+// handleSubscribe is the live-tail read path: a long-lived stream of
+// whole frames, in both framings, that begins at ?from= (the client's
+// resume watermark, clamped to the retention horizon), replays every
+// already-committed frame past it, then blocks — flushed up to date —
+// and emits each newly committed SOT's frames as appends land, woken
+// by the commit hub rather than polling. On a sealed video the stream
+// drains and ends with the stats trailer; a deleted video ends it with
+// the video_deleted error trailer.
+func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	qs := r.URL.Query()
+	video := qs.Get("video")
+	if video == "" {
+		writeError(w, fmt.Errorf("%w: need video", rpcwire.ErrBadRequest))
+		return
+	}
+	from := 0
+	if h := qs.Get("from"); h != "" {
+		v, err := strconv.Atoi(h)
+		if err != nil || v < 0 {
+			writeError(w, fmt.Errorf("%w: from=%q", rpcwire.ErrBadRequest, h))
+			return
+		}
+		from = v
+	}
+	ctx, cancel, err := requestContext(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer cancel()
+	cur, err := s.sm.Subscribe(ctx, video, from)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer cur.Close()
+	rpcwire.ServeStream(w, r, cur, func(c *tasm.SubscribeCursor) rpcwire.StreamLine {
+		return rpcwire.StreamLine{Frame: ptr(rpcwire.FromFrameResult(c.Result()))}
+	})
+}
+
+func (s *Server) handleSeal(w http.ResponseWriter, r *http.Request) {
+	var req rpcwire.SealRequest
+	if err := readJSON(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if !unaryBoundary(w, r) {
+		return
+	}
+	if err := s.sm.SealVideo(req.Video); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, struct{}{})
+}
+
+func (s *Server) handleRetention(w http.ResponseWriter, r *http.Request) {
+	var req rpcwire.RetentionRequest
+	if err := readJSON(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if !unaryBoundary(w, r) {
+		return
+	}
+	rep, err := s.sm.SetRetention(req.Video, req.Retention.ToRetentionPolicy())
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, rpcwire.FromTrimReport(rep))
 }
 
 func (s *Server) handleMetadata(w http.ResponseWriter, r *http.Request) {

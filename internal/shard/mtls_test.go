@@ -1,0 +1,166 @@
+package shard_test
+
+// The mTLS auth matrix, mirroring the -tls-client-ca configuration of
+// tasmd and tasm-router: the serving TLS config demands a client
+// certificate signed by the operator's CA, so an anonymous client or
+// one holding a certificate from the wrong CA is refused at the
+// handshake, while a properly-provisioned client (client.WithClientCert)
+// is served — by the daemon and by the router alike.
+
+import (
+	"context"
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"io"
+	"log"
+	"math/big"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/tasm-repro/tasm/client"
+)
+
+// testCA is one in-test certificate authority able to issue leaves.
+type testCA struct {
+	cert *x509.Certificate
+	key  *ecdsa.PrivateKey
+	pool *x509.CertPool
+}
+
+func newTestCA(t *testing.T, name string) *testCA {
+	t.Helper()
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber:          big.NewInt(1),
+		Subject:               pkix.Name{CommonName: name},
+		NotBefore:             time.Now().Add(-time.Hour),
+		NotAfter:              time.Now().Add(time.Hour),
+		IsCA:                  true,
+		KeyUsage:              x509.KeyUsageCertSign,
+		BasicConstraintsValid: true,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, tmpl, &key.PublicKey, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := x509.NewCertPool()
+	pool.AddCert(cert)
+	return &testCA{cert: cert, key: key, pool: pool}
+}
+
+// issue signs a leaf for server or client auth.
+func (ca *testCA) issue(t *testing.T, cn string, usage x509.ExtKeyUsage) tls.Certificate {
+	t.Helper()
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber: big.NewInt(time.Now().UnixNano()),
+		Subject:      pkix.Name{CommonName: cn},
+		NotBefore:    time.Now().Add(-time.Hour),
+		NotAfter:     time.Now().Add(time.Hour),
+		KeyUsage:     x509.KeyUsageDigitalSignature,
+		ExtKeyUsage:  []x509.ExtKeyUsage{usage},
+		DNSNames:     []string{"localhost"},
+		IPAddresses:  []net.IP{net.ParseIP("127.0.0.1")},
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, ca.cert, &key.PublicKey, ca.key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tls.Certificate{Certificate: [][]byte{der}, PrivateKey: key}
+}
+
+// startMTLS serves handler exactly the way tasmd/tasm-router do under
+// -tls-cert/-tls-key/-tls-client-ca: server cert for the transport,
+// RequireAndVerifyClientCert against the client CA pool.
+func startMTLS(t *testing.T, handler http.Handler, serverCert tls.Certificate, clientCA *x509.CertPool) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewUnstartedServer(handler)
+	ts.TLS = &tls.Config{
+		Certificates: []tls.Certificate{serverCert},
+		ClientCAs:    clientCA,
+		ClientAuth:   tls.RequireAndVerifyClientCert,
+	}
+	// The matrix's refused handshakes are expected; keep them out of
+	// the test log.
+	ts.Config.ErrorLog = log.New(io.Discard, "", 0)
+	ts.StartTLS()
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestMTLSAuthMatrix(t *testing.T) {
+	ca := newTestCA(t, "tasm test ca")
+	rogue := newTestCA(t, "rogue ca")
+	serverCert := ca.issue(t, "tasmd", x509.ExtKeyUsageServerAuth)
+	clientCert := ca.issue(t, "operator", x509.ExtKeyUsageClientAuth)
+	rogueCert := rogue.issue(t, "intruder", x509.ExtKeyUsageClientAuth)
+
+	// Both TLS frontends: the daemon itself and the router over it.
+	shardNode := startShard(t)
+	daemon := startMTLS(t, shardNode.ts.Config.Handler, serverCert, ca.pool)
+	routed := newFleet(t, "cam0")
+	router := startMTLS(t, routed.ts.Config.Handler, serverCert, ca.pool)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	for _, tier := range []struct {
+		name string
+		url  string
+	}{
+		{"tasmd", daemon.URL},
+		{"tasm-router", router.URL},
+	} {
+		t.Run(tier.name, func(t *testing.T) {
+			// Provisioned client: serves normally.
+			c, err := client.New(tier.url,
+				client.WithTLS(&tls.Config{RootCAs: ca.pool}),
+				client.WithClientCert(clientCert))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			if _, err := c.VideosContext(ctx); err != nil {
+				t.Fatalf("mTLS client with valid cert refused: %v", err)
+			}
+
+			// Anonymous client: refused at the handshake.
+			anon, err := client.New(tier.url, client.WithTLS(&tls.Config{RootCAs: ca.pool}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer anon.Close()
+			if _, err := anon.VideosContext(ctx); err == nil {
+				t.Fatal("client without a certificate was served")
+			}
+
+			// Certificate from the wrong CA: refused too.
+			bad, err := client.New(tier.url,
+				client.WithTLS(&tls.Config{RootCAs: ca.pool}),
+				client.WithClientCert(rogueCert))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer bad.Close()
+			if _, err := bad.VideosContext(ctx); err == nil {
+				t.Fatal("client with a wrong-CA certificate was served")
+			}
+		})
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"runtime/debug"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -115,6 +116,11 @@ func NewRouter(m *Map, cfg RouterConfig) (*Router, error) {
 	mux.HandleFunc("GET /v1/videos/{video}", rt.handleVideoInfo)
 	mux.HandleFunc("DELETE /v1/videos/{video}", rt.handleDeleteVideo)
 	mux.HandleFunc("POST /v1/ingest", rt.handleIngest)
+	mux.HandleFunc("POST /v1/live", rt.handleCreateLive)
+	mux.HandleFunc("POST /v1/append", rt.handleAppend)
+	mux.HandleFunc("GET /v1/subscribe", rt.handleSubscribe)
+	mux.HandleFunc("POST /v1/seal", rt.handleSeal)
+	mux.HandleFunc("POST /v1/retention", rt.handleRetention)
 	mux.HandleFunc("POST /v1/metadata", rt.handleMetadata)
 	mux.HandleFunc("POST /v1/markdetected", rt.handleMarkDetected)
 	mux.HandleFunc("GET /v1/detections", rt.handleDetections)
@@ -502,6 +508,184 @@ func (rt *Router) handleIngest(w http.ResponseWriter, r *http.Request) {
 			stats, err = st.c.IngestContext(ctx, req.Video, frames, req.FPS)
 		}
 		return rpcwire.FromIngestStats(stats), err
+	})
+}
+
+// ---- live ingest: route to the owning shard ----
+
+func (rt *Router) handleCreateLive(w http.ResponseWriter, r *http.Request) {
+	var req rpcwire.CreateLiveRequest
+	if err := rpcwire.ReadJSON(r, &req); err != nil {
+		rpcwire.WriteError(w, err)
+		return
+	}
+	if !rpcwire.UnaryBoundary(w, r) {
+		return
+	}
+	routed(rt, w, req.Video, func(st *shardState) (struct{}, error) {
+		return struct{}{}, st.c.CreateLiveContext(r.Context(), req.Video, req.W, req.H, req.FPS,
+			req.Retention.ToRetentionPolicy())
+	})
+}
+
+// handleAppend forwards a frame batch to the owning shard. Like
+// handleIngest it validates frames at the boundary (either body form —
+// the binary TASMFRM2 stream or the JSON fallback) so a malformed
+// upload is the caller's bad_request, then re-frames them over the
+// always-binary router→shard hop. A shard's backpressure 429 passes
+// through typed, Retry-After restored, so the client's retry logic
+// behaves identically through the router.
+func (rt *Router) handleAppend(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel, err := rpcwire.RequestContext(r)
+	if err != nil {
+		rpcwire.WriteError(w, err)
+		return
+	}
+	defer cancel()
+	var video string
+	var frames []*tasm.Frame
+	if strings.HasPrefix(r.Header.Get("Content-Type"), rpcwire.ContentTypeBinary) {
+		video = r.URL.Query().Get("video")
+		if video == "" {
+			rpcwire.WriteError(w, fmt.Errorf("%w: binary append needs ?video=", rpcwire.ErrBadRequest))
+			return
+		}
+		fr := rpcwire.NewFrameStreamReader(r.Body)
+		for {
+			line, rerr := fr.ReadLine()
+			if rerr == io.EOF {
+				break
+			}
+			if rerr != nil {
+				rpcwire.WriteError(w, fmt.Errorf("%w: append stream: %v", rpcwire.ErrBadRequest, rerr))
+				return
+			}
+			if line.Frame == nil {
+				rpcwire.WriteError(w, fmt.Errorf("%w: append stream carries only frame records", rpcwire.ErrBadRequest))
+				return
+			}
+			f, ferr := line.Frame.Pixels.ToFrame()
+			if ferr != nil {
+				rpcwire.WriteError(w, fmt.Errorf("frame %d: %w", len(frames), ferr))
+				return
+			}
+			frames = append(frames, f)
+		}
+	} else {
+		var req rpcwire.AppendRequest
+		if err := rpcwire.ReadJSON(r, &req); err != nil {
+			rpcwire.WriteError(w, err)
+			return
+		}
+		video = req.Video
+		frames = make([]*tasm.Frame, len(req.Frames))
+		for i, wf := range req.Frames {
+			if frames[i], err = wf.ToFrame(); err != nil {
+				rpcwire.WriteError(w, fmt.Errorf("frame %d: %w", i, err))
+				return
+			}
+		}
+	}
+	st, err := rt.owner(video)
+	if err != nil {
+		rpcwire.WriteError(w, err)
+		return
+	}
+	t0 := time.Now()
+	stats, err := st.c.AppendContext(ctx, video, frames)
+	rt.observeShard(st, t0)
+	if err = rt.classify(st, err); err != nil {
+		if errors.Is(err, tasmerr.ErrIngestBackpressure) {
+			w.Header().Set("Retry-After", "1")
+		}
+		rpcwire.WriteError(w, err)
+		return
+	}
+	rpcwire.WriteJSON(w, rpcwire.FromAppendStats(stats))
+}
+
+// handleSubscribe relays a live tail from the owning shard — the same
+// single-owner stream shape as handleDecodeFrames, but long-lived: the
+// relay holds one upstream subscription for as long as the caller
+// stays connected, and a SIGHUP map reload does not touch it (in-flight
+// requests keep the shard client they started with; only new
+// subscriptions see the new map). A shard SIGKILLed mid-tail surfaces
+// shard_unavailable through the stream's error trailer, the client's
+// cue to resubscribe from its watermark once the shard returns.
+func (rt *Router) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	qs := r.URL.Query()
+	video := qs.Get("video")
+	if video == "" {
+		rpcwire.WriteError(w, fmt.Errorf("%w: need video", rpcwire.ErrBadRequest))
+		return
+	}
+	from := 0
+	if h := qs.Get("from"); h != "" {
+		v, aerr := strconv.Atoi(h)
+		if aerr != nil || v < 0 {
+			rpcwire.WriteError(w, fmt.Errorf("%w: from=%q", rpcwire.ErrBadRequest, h))
+			return
+		}
+		from = v
+	}
+	ctx, cancel, err := rpcwire.RequestContext(r)
+	if err != nil {
+		rpcwire.WriteError(w, err)
+		return
+	}
+	defer cancel()
+	tr := obs.FromContext(r.Context())
+	endRoute := tr.StartSpan("route")
+	st, err := rt.owner(video)
+	if err != nil {
+		endRoute()
+		rpcwire.WriteError(w, err)
+		return
+	}
+	t0 := time.Now()
+	cur, err := st.c.Subscribe(ctx, video, from)
+	rt.observeShard(st, t0)
+	endRoute("video", video, "shard", st.name)
+	if err != nil {
+		rpcwire.WriteError(w, rt.classify(st, err))
+		return
+	}
+	src := &frameSource{shardStream: shardStream{rt: rt, st: st}, cur: cur}
+	defer src.Close()
+	relayStart := time.Now()
+	rpcwire.ServeStream(w, r, src, func(s *frameSource) rpcwire.StreamLine {
+		fl := rpcwire.FromFrameResult(s.Result())
+		return rpcwire.StreamLine{Frame: &fl}
+	})
+	tr.AddSpan("relay", relayStart, time.Since(relayStart), "shard", st.name)
+}
+
+func (rt *Router) handleSeal(w http.ResponseWriter, r *http.Request) {
+	var req rpcwire.SealRequest
+	if err := rpcwire.ReadJSON(r, &req); err != nil {
+		rpcwire.WriteError(w, err)
+		return
+	}
+	if !rpcwire.UnaryBoundary(w, r) {
+		return
+	}
+	routed(rt, w, req.Video, func(st *shardState) (struct{}, error) {
+		return struct{}{}, st.c.SealContext(r.Context(), req.Video)
+	})
+}
+
+func (rt *Router) handleRetention(w http.ResponseWriter, r *http.Request) {
+	var req rpcwire.RetentionRequest
+	if err := rpcwire.ReadJSON(r, &req); err != nil {
+		rpcwire.WriteError(w, err)
+		return
+	}
+	if !rpcwire.UnaryBoundary(w, r) {
+		return
+	}
+	routed(rt, w, req.Video, func(st *shardState) (rpcwire.TrimReport, error) {
+		rep, err := st.c.SetRetentionContext(r.Context(), req.Video, req.Retention.ToRetentionPolicy())
+		return rpcwire.FromTrimReport(rep), err
 	})
 }
 

@@ -71,6 +71,21 @@ var (
 	// holds it.
 	ErrTileCorrupt = errors.New("tile corrupt")
 
+	// ErrIngestBackpressure reports an append rejected because the
+	// video's bounded commit queue is full: encode+commit of earlier
+	// GOPs has not kept up with the arrival rate. The append did no
+	// work and is safe to retry after backing off — the serving layer
+	// maps it to 429 with a Retry-After header and the client treats
+	// it as retryable, unlike the storage taxonomy's hard failures.
+	ErrIngestBackpressure = errors.New("ingest backpressure")
+
+	// ErrVideoSealed reports an append-path operation (AppendGOP,
+	// SealVideo, SetRetention) against a video that is not live: a
+	// batch ingest, or a live video already converted by SealVideo.
+	// Sealing is one-way; the caller must re-create the video to
+	// append again.
+	ErrVideoSealed = errors.New("video sealed")
+
 	// ErrShardUnavailable reports a scale-out operation that could not
 	// reach the tasmd shard owning the addressed video: the shard's
 	// breaker is open after consecutive health-probe or request

@@ -64,6 +64,10 @@ func storeState(t *testing.T, s *Store) map[string]string {
 		if err != nil {
 			t.Fatalf("Meta(%s): %v", name, err)
 		}
+		// The lifecycle flags are part of the committed state: a seal or
+		// trim changes them without necessarily changing the SOT lineup.
+		out[name+"/meta"] = fmt.Sprintf("live=%v sealed=%v frames=%d trimmed=%d",
+			meta.Live, meta.Sealed, meta.FrameCount, meta.TrimmedTo)
 		for _, sot := range meta.SOTs {
 			key := fmt.Sprintf("%s/sot%d.r%d.t%d", name, sot.ID, sot.Retiles, sot.L.NumTiles())
 			sum := crc32.NewIEEE()
@@ -81,11 +85,14 @@ func storeState(t *testing.T, s *Store) map[string]string {
 }
 
 // TestPowerCutEveryCrashpoint is the power-cut property test: an
-// ingest → retile → ingest → delete → retile schedule is crashed at
-// every mutating filesystem operation index, the store reopened
-// (running its recovery sweep), and the surviving state must be
-// FSCK-clean and byte-identical to the state after the last schedule
-// step whose commit landed — never a torn hybrid.
+// ingest → retile → ingest → delete → retile schedule, followed by a
+// live video's whole life (create → append ×3 → retention trim →
+// seal), is crashed at every mutating filesystem operation index, the
+// store reopened (running its recovery sweep), and the surviving state
+// must be FSCK-clean and byte-identical to the state after the last
+// schedule step whose commit landed — never a torn hybrid. For the
+// append steps in particular this is the live-ingest crash guarantee:
+// a cut mid-append leaves the previously committed SOT prefix intact.
 func TestPowerCutEveryCrashpoint(t *testing.T) {
 	w, h := 64, 48
 	single := layout.Single(w, h)
@@ -110,12 +117,38 @@ func TestPowerCutEveryCrashpoint(t *testing.T) {
 	b0 := encodeSOT(t, w, h, 8, 50, single)
 	b0r := encodeSOT(t, w, h, 8, 50, l12)
 
+	// A live video's whole life rides the same schedule: with GOP 4 and
+	// MaxAgeFrames 4, the third append leaves SOTs 0 and 1 expired, so
+	// the trim step removes both before the seal.
+	liveMeta := VideoMeta{
+		Name: "cam", W: w, H: h, FPS: 10, GOPLength: 4,
+		Retention: &RetentionPolicy{MaxAgeFrames: 4},
+	}
+	c0 := encodeSOT(t, w, h, 4, 70, single)
+	c1 := encodeSOT(t, w, h, 4, 80, single)
+	c2 := encodeSOT(t, w, h, 4, 90, single)
+	appendC := func(tiles []*container.Video) func(s *Store) error {
+		return func(s *Store) error {
+			_, err := s.AppendSOT("cam", single, tiles)
+			return err
+		}
+	}
+
 	steps := []func(s *Store) error{
 		func(s *Store) error { return s.CreateVideo(metaA, [][]*container.Video{a0, a1}) },
 		func(s *Store) error { return s.ReplaceSOT("a", 0, l12, a0r) },
 		func(s *Store) error { return s.CreateVideo(metaB, [][]*container.Video{b0}) },
 		func(s *Store) error { return s.DeleteVideo("a") },
 		func(s *Store) error { return s.ReplaceSOT("b", 0, l12, b0r) },
+		func(s *Store) error { return s.CreateLiveVideo(liveMeta) },
+		appendC(c0),
+		appendC(c1),
+		appendC(c2),
+		func(s *Store) error {
+			_, err := s.TrimExpired("cam")
+			return err
+		},
+		func(s *Store) error { return s.SealVideo("cam") },
 	}
 
 	// Reference run: record the op count and the committed state after

@@ -253,7 +253,10 @@ func (s *Store) FSCK() (FsckReport, error) {
 		}
 		rep.Videos++
 		live := map[string]bool{}
-		covered := 0
+		// Coverage starts at the retention watermark: a trimmed live
+		// video's first stored SOT begins where the trim left off, not at
+		// frame 0.
+		covered := meta.TrimmedTo
 		for _, sot := range meta.SOTs {
 			rep.SOTs++
 			if sot.From != covered || sot.To <= sot.From {

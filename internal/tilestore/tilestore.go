@@ -68,7 +68,10 @@ type SOTMeta struct {
 // NumFrames returns the SOT's frame count.
 func (s SOTMeta) NumFrames() int { return s.To - s.From }
 
-// VideoMeta is the catalog record for one stored video.
+// VideoMeta is the catalog record for one stored video. The live-ingest
+// fields (Live, Sealed, NextSOT, TrimmedTo, Retention) all omit when
+// empty, so batch manifests written before live ingest existed parse
+// and re-seal unchanged.
 type VideoMeta struct {
 	Name       string    `json:"name"`
 	W          int       `json:"width"`
@@ -77,6 +80,22 @@ type VideoMeta struct {
 	GOPLength  int       `json:"gop_length"`
 	FrameCount int       `json:"frame_count"`
 	SOTs       []SOTMeta `json:"sots"`
+	// Live marks an append-mode video still accepting AppendSOT; Sealed
+	// marks one that was live and has been converted to batch by
+	// SealVideo. Both false on an ordinary batch ingest.
+	Live   bool `json:"live,omitempty"`
+	Sealed bool `json:"sealed,omitempty"`
+	// NextSOT is the next SOT id AppendSOT will assign. Ids stay
+	// monotonic even after retention trims leading SOTs, so a lease on
+	// a trimmed SOT can never alias a later append's version.
+	NextSOT int `json:"next_sot,omitempty"`
+	// TrimmedTo is the first frame still stored: retention may have
+	// aged out SOTs covering [0, TrimmedTo). Reads below it return no
+	// data; FrameCount keeps counting absolute frame indices.
+	TrimmedTo int `json:"trimmed_to,omitempty"`
+	// Retention is the video's expiry policy, applied by TrimExpired;
+	// nil keeps everything.
+	Retention *RetentionPolicy `json:"retention,omitempty"`
 	// Checksum is the manifest's own integrity seal: "crc32c:<hex>" of
 	// the manifest JSON marshaled with this field empty. A manifest
 	// whose bytes do not match its seal is reported corrupt instead of

@@ -105,6 +105,15 @@ var (
 	// layer. Returned by tasm-router (and surfaced through client/);
 	// a single-node storage manager never produces it.
 	ErrShardUnavailable = tasmerr.ErrShardUnavailable
+	// ErrIngestBackpressure: a live append found the video's bounded
+	// commit queue full. Nothing was written; the append is safe to
+	// retry after a short delay. The serving layer maps it to HTTP 429
+	// with a Retry-After header.
+	ErrIngestBackpressure = tasmerr.ErrIngestBackpressure
+	// ErrVideoSealed: an append-path operation (AppendGOP, SealVideo,
+	// SetRetention) addressed a video that is not live — batch-ingested,
+	// or already sealed. Sealing is one-way.
+	ErrVideoSealed = tasmerr.ErrVideoSealed
 )
 
 // Re-exported building blocks. These are aliases so values returned by the
@@ -142,6 +151,15 @@ type (
 	VideoMeta = tilestore.VideoMeta
 	// SOTMeta describes one sequence of tiles.
 	SOTMeta = tilestore.SOTMeta
+	// RetentionPolicy bounds how much history a live video keeps.
+	RetentionPolicy = tilestore.RetentionPolicy
+	// TrimReport describes what one retention trim removed.
+	TrimReport = tilestore.TrimReport
+	// AppendStats reports the work of one AppendGOP call.
+	AppendStats = core.AppendStats
+	// SubscribeCursor is a live tail over a video's committed frames
+	// (see StorageManager.Subscribe).
+	SubscribeCursor = core.SubscribeCursor
 )
 
 // NewFrame allocates a zeroed frame with even dimensions.
@@ -267,6 +285,14 @@ func WithAutotileLogger(logger *log.Logger) Option {
 	return func(s *settings) { s.autotile.Logger = logger }
 }
 
+// WithAppendQueueDepth bounds how many live-append commits may be
+// pending per video before AppendGOP refuses with ErrIngestBackpressure
+// (default 4). Deeper queues smooth burstier producers at the cost of
+// more buffered frames in memory.
+func WithAppendQueueDepth(n int) Option {
+	return func(s *settings) { s.cfg.AppendQueueDepth = n }
+}
+
 // WithForceOpen skips the storage directory's cross-process ownership
 // lease. By default Open takes an exclusive flock on the store, so a
 // second opener — a tasmctl -dir pointed at a live tasmd's directory —
@@ -390,6 +416,66 @@ func (s *StorageManager) IngestTiled(video string, frames []*Frame, fps int, lay
 // IngestTiledContext is IngestTiled under a context.
 func (s *StorageManager) IngestTiledContext(ctx context.Context, video string, frames []*Frame, fps int, layouts []Layout) (IngestStats, error) {
 	return s.m.IngestTiledContext(ctx, video, frames, fps, layouts)
+}
+
+// CreateLiveVideo opens an open-ended video in append mode: it starts
+// empty and grows one GOP at a time via AppendGOP until SealVideo
+// converts it to an ordinary batch video. pol (optional) bounds how
+// much history the store keeps; expired SOTs age out through the same
+// tombstone machinery re-tiling uses, so in-flight reads finish on
+// their snapshots.
+func (s *StorageManager) CreateLiveVideo(video string, w, h, fps int, pol *RetentionPolicy) error {
+	return s.m.CreateLiveVideo(video, w, h, fps, pol)
+}
+
+// AppendGOP appends frames to a live video. Frames are chunked into
+// SOTs of the configured GOP length; each completed SOT becomes
+// visible to readers atomically at its manifest commit, so a crash
+// mid-append loses at most the uncommitted tail, never a torn SOT.
+// When the video's bounded commit queue is full the call fails fast
+// with ErrIngestBackpressure and writes nothing.
+func (s *StorageManager) AppendGOP(video string, frames []*Frame) (AppendStats, error) {
+	return s.m.AppendGOP(video, frames)
+}
+
+// AppendGOPContext is AppendGOP under a context: expiry while waiting
+// on the commit queue returns ctx's error (an already-ordered commit
+// still completes).
+func (s *StorageManager) AppendGOPContext(ctx context.Context, video string, frames []*Frame) (AppendStats, error) {
+	return s.m.AppendGOPContext(ctx, video, frames)
+}
+
+// SealVideo converts a live video into an ordinary batch video:
+// further appends fail with ErrVideoSealed, and tails that have caught
+// up terminate cleanly instead of waiting for more commits. Sealing is
+// one-way.
+func (s *StorageManager) SealVideo(video string) error {
+	return s.m.SealVideo(video)
+}
+
+// SetRetention replaces a live video's retention policy (nil clears
+// it) and immediately trims whatever the new policy expires.
+func (s *StorageManager) SetRetention(video string, pol *RetentionPolicy) (TrimReport, error) {
+	return s.m.SetRetention(video, pol)
+}
+
+// TrimExpired applies a live video's retention policy now. Appends run
+// it automatically; this is for operators reclaiming space on an idle
+// stream.
+func (s *StorageManager) TrimExpired(video string) (TrimReport, error) {
+	return s.m.TrimExpired(video)
+}
+
+// Subscribe opens a live tail on video starting at frame from
+// (clamped to the retention horizon): the cursor yields every frame
+// committed at or after its watermark in order, exactly once, blocking
+// in Next while it is caught up and waking as appends commit. On a
+// sealed video the cursor drains the remaining frames and terminates
+// cleanly, so replaying history and tailing new commits are the same
+// operation. Cancel ctx or Close to stop; deleting the video cancels
+// the subscription with ErrVideoDeleted.
+func (s *StorageManager) Subscribe(ctx context.Context, video string, from int) (*SubscribeCursor, error) {
+	return s.m.Subscribe(ctx, video, from)
 }
 
 // AddMetadata records an object detection produced during query processing
